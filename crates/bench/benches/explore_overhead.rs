@@ -1,0 +1,55 @@
+//! Figure 16 as a Criterion benchmark: one `getNextSystemState` step as a
+//! function of the application count, plus the greedy-allocator ablation.
+//!
+//! The paper reports 10.6–14.4 µs for 3–6 applications on the Xeon Gold
+//! 6130; the target shape is microsecond scale with gentle O(N²) growth.
+
+use copart_bench::synthetic_instance;
+use copart_core::next_state::{get_next_system_state, get_next_system_state_greedy};
+use copart_core::state::WaysBudget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let budget = WaysBudget::full_machine(11);
+    let mut group = c.benchmark_group("get_next_system_state");
+    for n in [3usize, 4, 5, 6, 8, 12, 16] {
+        let instances: Vec<_> = (0..32).map(|s| synthetic_instance(n, s)).collect();
+        group.bench_with_input(BenchmarkId::new("hr_matching", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut k = 0usize;
+            b.iter(|| {
+                let (state, apps) = &instances[k % instances.len()];
+                k += 1;
+                black_box(get_next_system_state(
+                    black_box(state),
+                    black_box(apps),
+                    &budget,
+                    &mut rng,
+                    true,
+                    true,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                let (state, apps) = &instances[k % instances.len()];
+                k += 1;
+                black_box(get_next_system_state_greedy(
+                    black_box(state),
+                    black_box(apps),
+                    &budget,
+                    true,
+                    true,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Scaling of the Hospitals/Residents machinery: deferred acceptance and
+//! instability chaining on instances far larger than CoPart ever builds
+//! (CoPart's are ≤ 3 categories × N_A consumers), demonstrating headroom.
+
+use copart_matching::chain::{self, Consumer};
+use copart_matching::{solve_resident_optimal, Hospital, Instance, Resident};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_instance(nh: usize, nr: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hospitals = (0..nh)
+        .map(|_| {
+            let mut preference: Vec<usize> = (0..nr).collect();
+            preference.shuffle(&mut rng);
+            Hospital {
+                capacity: rng.gen_range(1..4),
+                preference,
+            }
+        })
+        .collect();
+    let residents = (0..nr)
+        .map(|_| {
+            let mut preference: Vec<usize> = (0..nh).collect();
+            preference.shuffle(&mut rng);
+            preference.truncate(rng.gen_range(1..=nh));
+            Resident { preference }
+        })
+        .collect();
+    Instance {
+        hospitals,
+        residents,
+    }
+}
+
+fn bench_deferred_acceptance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deferred_acceptance");
+    for (nh, nr) in [(4, 16), (16, 64), (64, 256)] {
+        let inst = random_instance(nh, nr, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nh}h_{nr}r")),
+            &inst,
+            |b, inst| b.iter(|| black_box(solve_resident_optimal(black_box(inst)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_chaining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instability_chaining");
+    for n in [8usize, 32, 128] {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let capacities = vec![n / 4; 3];
+        let consumers: Vec<Consumer> = (0..n)
+            .map(|_| Consumer {
+                priority: rng.gen_range(1.0..3.0),
+                preference: vec![0, 1, 2],
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(capacities, consumers),
+            |b, (capacities, consumers)| {
+                b.iter(|| black_box(chain::allocate(black_box(capacities), black_box(consumers))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deferred_acceptance, bench_chaining);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches regenerate the paper's Figure 16 (controller overhead) and
+//! quantify the simulator substrate itself (cache-access throughput,
+//! machine ticks, matching scaling). Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use copart_core::fsm::AppState;
+use copart_core::next_state::AppClassification;
+use copart_core::state::{AllocationState, SystemState, WaysBudget};
+use copart_rdt::MbaLevel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random but valid `(state, classifications)` pair for `n`
+/// applications on an 11-way budget — the Figure 16 workload.
+pub fn synthetic_instance(n: usize, seed: u64) -> (SystemState, Vec<AppClassification>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let budget = WaysBudget::full_machine(11);
+    let mut allocs = Vec::with_capacity(n);
+    let mut remaining = budget.total_ways;
+    for i in 0..n {
+        let left = (n - i) as u32;
+        let ways = if left == 1 {
+            remaining
+        } else {
+            rng.gen_range(1..=(remaining - (left - 1)))
+        };
+        remaining -= ways;
+        allocs.push(AllocationState {
+            ways,
+            mba: MbaLevel::new(rng.gen_range(1..=10u8) * 10),
+        });
+    }
+    let apps = (0..n)
+        .map(|_| {
+            let pick = |r: &mut SmallRng| match r.gen_range(0..3u8) {
+                0 => AppState::Supply,
+                1 => AppState::Maintain,
+                _ => AppState::Demand,
+            };
+            AppClassification {
+                llc: pick(&mut rng),
+                mba: pick(&mut rng),
+                slowdown: rng.gen_range(1.0..3.0),
+            }
+        })
+        .collect();
+    (SystemState { allocs }, apps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_instances_are_valid() {
+        let budget = WaysBudget::full_machine(11);
+        for n in 2..=8 {
+            for seed in 0..20 {
+                let (state, apps) = synthetic_instance(n, seed);
+                assert!(state.is_valid(&budget));
+                assert_eq!(state.total_ways(), 11);
+                assert_eq!(apps.len(), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal `--key value` option parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+}
+
+impl Options {
+    /// Parses a `--key value --key2 value2` argument list.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected an option, found {key:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("option --{name} needs a value"));
+            };
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("option --{name} given twice"));
+            }
+        }
+        Ok(Options { values })
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of a required option.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = Options::parse(&sv(&["--mix", "h-llc", "--apps", "5"])).unwrap();
+        assert_eq!(o.get("mix"), Some("h-llc"));
+        assert_eq!(o.number::<u32>("apps", 4).unwrap(), 5);
+        assert_eq!(o.number::<u32>("seconds", 30).unwrap(), 30);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Options::parse(&sv(&["mix"])).is_err());
+        assert!(Options::parse(&sv(&["--mix"])).is_err());
+        assert!(Options::parse(&sv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn required_and_bad_numbers() {
+        let o = Options::parse(&sv(&["--apps", "many"])).unwrap();
+        assert!(o.required("root").is_err());
+        assert!(o.number::<u32>("apps", 4).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! `copart` — command-line interface to the CoPart reproduction.
+//!
+//! ```text
+//! copart sim-run   --mix h-both --policy copart --seconds 30
+//! copart classify  --bench WN
+//! copart resctrl-status --root /sys/fs/resctrl
+//! copart resctrl-apply  --root /sys/fs/resctrl --group batch0 --ways 4@2 --mba 40
+//! ```
+//!
+//! `sim-run` and `classify` run entirely on the simulated testbed;
+//! `resctrl-*` speak the resctrl filesystem protocol (point `--root` at a
+//! mock tree or at `/sys/fs/resctrl` on RDT hardware).
+
+mod args;
+mod resctrl_cmd;
+mod sim_cmd;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: copart <command> [options]
+
+Commands:
+  sim-run          Run a consolidation on the simulated testbed
+      --mix <h-llc|h-bw|h-both|m-llc|m-bw|m-both|is>   (default h-both)
+      --policy <eq|st|cat-only|mba-only|copart>        (default copart)
+      --apps <3..6>                                    (default 4)
+      --seconds <virtual seconds>                      (default 30)
+  classify         Probe one benchmark's sensitivity class
+      --bench <WN|WS|RT|OC|CG|FT|SP|ON|FMM|SW|EP>
+  resctrl-status   Show groups and schemata of a resctrl tree
+      --root <path>
+  resctrl-apply    Program one group's CAT mask and MBA level
+      --root <path> --group <name> --ways <count>@<first> --mba <percent>
+  resctrl-init     Create a mock resctrl tree (for dry runs)
+      --root <path> [--llc-ways <n>]
+  monitor          Sample per-group memory bandwidth (MBM) and occupancy
+      --root <path> [--interval-ms <n>] [--count <n>]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "sim-run" => sim_cmd::sim_run(&opts),
+        "classify" => sim_cmd::classify(&opts),
+        "resctrl-status" => resctrl_cmd::status(&opts),
+        "resctrl-apply" => resctrl_cmd::apply(&opts),
+        "resctrl-init" => resctrl_cmd::init(&opts),
+        "monitor" => resctrl_cmd::monitor(&opts),
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

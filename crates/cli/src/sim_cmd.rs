@@ -1,0 +1,110 @@
+//! Simulator-backed commands: `sim-run` and `classify`.
+
+use copart_core::policies::{self, EvalOptions, PolicyKind};
+use copart_sim::MachineConfig;
+use copart_workloads::stream::StreamReference;
+use copart_workloads::{measure, Benchmark, MixKind, WorkloadMix};
+
+use crate::args::Options;
+
+fn parse_mix(s: &str) -> Result<MixKind, String> {
+    Ok(match s {
+        "h-llc" => MixKind::HighLlc,
+        "h-bw" => MixKind::HighBw,
+        "h-both" => MixKind::HighBoth,
+        "m-llc" => MixKind::ModerateLlc,
+        "m-bw" => MixKind::ModerateBw,
+        "m-both" => MixKind::ModerateBoth,
+        "is" => MixKind::Insensitive,
+        other => return Err(format!("unknown mix {other:?}")),
+    })
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    Ok(match s {
+        "eq" => PolicyKind::Equal,
+        "st" => PolicyKind::Static,
+        "cat-only" => PolicyKind::CatOnly,
+        "mba-only" => PolicyKind::MbaOnly,
+        "copart" => PolicyKind::CoPart,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn parse_bench(s: &str) -> Result<Benchmark, String> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.table2().short.eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown benchmark {s:?} (use the Table 2 short names)"))
+}
+
+/// `copart sim-run`: one consolidation run with ground-truth metrics.
+pub fn sim_run(opts: &Options) -> Result<(), String> {
+    let mix_kind = parse_mix(opts.get("mix").unwrap_or("h-both"))?;
+    let policy = parse_policy(opts.get("policy").unwrap_or("copart"))?;
+    let n_apps: usize = opts.number("apps", 4usize)?;
+    let seconds: f64 = opts.number("seconds", 30.0f64)?;
+    if !(1..=6).contains(&n_apps) {
+        return Err("--apps must be between 1 and 6".into());
+    }
+    if seconds <= 0.0 {
+        return Err("--seconds must be positive".into());
+    }
+
+    let machine = MachineConfig::xeon_gold_6130();
+    let mix = WorkloadMix::build(mix_kind, n_apps, machine.n_cores);
+    let specs = mix.specs();
+    println!(
+        "mix {} ({} apps × {} cores): {:?}",
+        mix_kind.label(),
+        specs.len(),
+        mix.cores_per_app,
+        specs.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
+
+    eprintln!("measuring solo references and STREAM table...");
+    let full = policies::solo_full_ips(&machine, &specs);
+    let stream = StreamReference::compute(&machine, 4);
+
+    let period_s = copart_core::CoPartParams::default().period.as_secs_f64();
+    let total_periods = (seconds / period_s).ceil() as u32;
+    let eval = EvalOptions {
+        total_periods,
+        measure_periods: (total_periods / 2).max(1),
+        ..EvalOptions::default()
+    };
+    let r = policies::evaluate_policy(&machine, &specs, &full, &stream, policy, &eval);
+
+    println!("\npolicy {} over {:.0} virtual seconds:", policy.label(), seconds);
+    println!("  unfairness (σ/μ of slowdowns): {:.4}", r.unfairness);
+    println!("  throughput (geomean IPS):      {:.3e}", r.throughput);
+    for (spec, slowdown) in specs.iter().zip(&r.slowdowns) {
+        println!("  {:<16} slowdown {slowdown:.3}", spec.name);
+    }
+    Ok(())
+}
+
+/// `copart classify`: the §3.3 probes for one benchmark.
+pub fn classify(opts: &Options) -> Result<(), String> {
+    let bench = parse_bench(opts.required("bench")?)?;
+    let machine = MachineConfig::xeon_gold_6130();
+    let spec = bench.spec();
+    eprintln!("probing {} (solo, 4 threads)...", spec.name);
+    let (llc_deg, bw_deg) = measure::degradations(&machine, &spec);
+    let category = measure::classify(&machine, &spec);
+    let (ips, rates) = measure::measure_full(&machine, &spec);
+    println!("benchmark {} ({})", bench.table2().short, spec.name);
+    println!("  category:        {category} (paper: {})", bench.category());
+    println!("  IPS (full):      {ips:.3e}");
+    println!("  LLC accesses/s:  {:.3e}", rates.llc_accesses_per_sec);
+    println!("  LLC misses/s:    {:.3e}", rates.llc_misses_per_sec);
+    println!("  LLC degradation (11→1 ways):    {:.1}%", llc_deg * 100.0);
+    println!("  BW degradation (100%→10% MBA):  {:.1}%", bw_deg * 100.0);
+    if let Some(w) = measure::required_ways(&machine, &spec, 0.9) {
+        println!("  ways for 90% of full perf:      {w}");
+    }
+    if let Some(l) = measure::required_mba(&machine, &spec, 0.9) {
+        println!("  MBA level for 90% of full perf: {l}");
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Shared types of the two characteristic-classifier FSMs (§5.2–5.3).
+
+use std::fmt;
+
+/// The three classifier states of Figures 8 and 9.
+///
+/// * `Supply` — a unit of the resource can be reclaimed from the
+///   application without significant performance loss (the application is
+///   a *producer* in the Algorithm 2 match);
+/// * `Maintain` — more of the resource gives marginal gains, but taking
+///   some away hurts;
+/// * `Demand` — more of the resource is expected to significantly improve
+///   performance (the application is a *consumer*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppState {
+    /// Willing to give up a unit of the resource.
+    Supply,
+    /// Keep the current allocation.
+    Maintain,
+    /// Wants an additional unit of the resource.
+    Demand,
+}
+
+impl fmt::Display for AppState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AppState::Supply => "Supply",
+            AppState::Maintain => "Maintain",
+            AppState::Demand => "Demand",
+        })
+    }
+}
+
+/// What the resource manager did to this application at the end of the
+/// previous period. The FSMs are coordinated through this signal: e.g.
+/// the memory-bandwidth FSM stays in Demand when a small performance gain
+/// followed an *LLC* grant, because the small gain says nothing about
+/// bandwidth sensitivity (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResourceEvent {
+    /// No resource change was applied.
+    #[default]
+    None,
+    /// The application received an additional LLC way.
+    GrantedLlc,
+    /// The application received an MBA level increase.
+    GrantedMba,
+    /// An LLC way was reclaimed from the application.
+    ReclaimedLlc,
+    /// The application's MBA level was decreased.
+    ReclaimedMba,
+}
+
+/// One period's observations for one application, assembled by the
+/// runtime from counter deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Observation {
+    /// Relative IPS change versus the previous period (positive = faster).
+    pub perf_delta: f64,
+    /// LLC accesses per second.
+    pub access_rate: f64,
+    /// LLC miss ratio in `[0, 1]`.
+    pub miss_ratio: f64,
+    /// Memory traffic ratio: LLC miss rate over STREAM's at the same MBA
+    /// level (§5.3).
+    pub traffic_ratio: f64,
+    /// The resource change applied before this period.
+    pub event: ResourceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AppState::Supply.to_string(), "Supply");
+        assert_eq!(AppState::Maintain.to_string(), "Maintain");
+        assert_eq!(AppState::Demand.to_string(), "Demand");
+    }
+
+    #[test]
+    fn default_event_is_none() {
+        assert_eq!(ResourceEvent::default(), ResourceEvent::None);
+    }
+}

@@ -1,0 +1,43 @@
+//! The CoPart controller: coordinated LLC + memory-bandwidth partitioning
+//! for fairness-aware workload consolidation (EuroSys '19).
+//!
+//! CoPart dynamically analyzes the characteristics of consolidated
+//! applications and partitions Intel CAT way masks and MBA levels across
+//! them to minimize *unfairness* — the coefficient of variation of the
+//! applications' slowdowns (Eq 2 of the paper). The architecture follows
+//! Figure 7:
+//!
+//! * [`llc_fsm::LlcClassifier`] — per-application Supply/Maintain/Demand
+//!   FSM over LLC capacity (Fig 8),
+//! * [`mba_fsm::MbaClassifier`] — the analogous FSM over memory bandwidth
+//!   (Fig 9), driven by the STREAM-normalized memory traffic ratio,
+//! * [`next_state::get_next_system_state`] — Algorithm 2: a
+//!   Hospitals/Residents instability-chaining match between applications
+//!   willing to supply resources (producers) and those demanding more
+//!   (consumers), ordered by slowdown,
+//! * [`runtime::ConsolidationRuntime`] — the resource manager's
+//!   profile → explore → idle execution flow (Fig 10, Algorithm 1), and
+//! * [`policies`] — the baseline allocation policies the paper compares
+//!   against (EQ, ST, CAT-only, MBA-only, and the unpartitioned state).
+//!
+//! The controller is generic over [`copart_rdt::RdtBackend`], so it drives
+//! the simulator and a resctrl filesystem identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod llc_fsm;
+pub mod mba_fsm;
+pub mod metrics;
+pub mod next_state;
+pub mod params;
+pub mod policies;
+pub mod runtime;
+pub mod state;
+
+pub use fsm::{AppState, ResourceEvent};
+pub use metrics::{geomean, unfairness};
+pub use params::CoPartParams;
+pub use runtime::{ConsolidationRuntime, ManagedApp, PeriodRecord, Phase};
+pub use state::{AllocationState, SystemState, WaysBudget};

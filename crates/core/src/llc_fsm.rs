@@ -1,0 +1,276 @@
+//! The LLC characteristic classifier FSM (Figure 8 of the paper).
+//!
+//! The paper's figure is a state diagram whose transitions are described
+//! in prose (§5.2); this module encodes that prose:
+//!
+//! * an application whose LLC access rate falls below α or whose miss
+//!   ratio falls below β has no productive use for (more) cache and
+//!   transitions to `Supply`;
+//! * a `Demand` application that keeps improving by at least δ_P per
+//!   granted way stays in `Demand`; when the improvement from a granted
+//!   way is small it moves to `Maintain` (diminishing returns);
+//! * a `Maintain` application whose miss ratio rises above Β (e.g. a
+//!   phase change, or a way was reclaimed) moves back to `Demand`;
+//! * a `Supply` application that *lost* performance by more than δ_P after
+//!   a way was reclaimed moves straight to `Demand` (the reclaim was a
+//!   mistake), and re-enters the active states when its miss ratio climbs
+//!   back above the thresholds.
+//!
+//! The reconstructed diagram (cold = access rate < α or miss ratio < β;
+//! hot = miss ratio > Β):
+//!
+//! ```text
+//!              granted way && gain ≥ δ_P, or no grant
+//!                 ┌────┐
+//!                 ▼    │ hot
+//!   ┌─────────► DEMAND ─┐
+//!   │             │     │ granted way && gain < δ_P
+//!   │ hot, or     │cold ▼
+//!   │ reclaimed   │   MAINTAIN ◄─┐
+//!   │ && hurt     │     │  │     │ warm
+//!   │             ▼     │  └─────┘
+//!   │  ┌─────► SUPPLY ◄─┘ cold
+//!   │  │ cold     │
+//!   │  └──────────┤ warm (→ MAINTAIN) / hot or painful reclaim (→ DEMAND)
+//!   └─────────────┘
+//! ```
+//!
+//! The row-by-row table lives in `tests/fsm_tables.rs`.
+
+use crate::fsm::{AppState, Observation, ResourceEvent};
+use crate::CoPartParams;
+
+/// Per-application LLC classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcClassifier {
+    state: AppState,
+}
+
+impl LlcClassifier {
+    /// Starts in the given initial state (chosen by the resource manager
+    /// from the profiling data, §5.4.1).
+    pub fn new(initial: AppState) -> LlcClassifier {
+        LlcClassifier { state: initial }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> AppState {
+        self.state
+    }
+
+    /// Forces a state (used when the manager re-profiles).
+    pub fn reset(&mut self, state: AppState) {
+        self.state = state;
+    }
+
+    /// Applies one period's observation and returns the new state.
+    pub fn update(&mut self, p: &CoPartParams, obs: &Observation) -> AppState {
+        let cold = obs.access_rate < p.alpha_access_rate || obs.miss_ratio < p.miss_ratio_supply;
+        let hot = obs.miss_ratio > p.miss_ratio_demand;
+        let improved = obs.perf_delta >= p.delta_p;
+        let hurt = obs.perf_delta <= -p.delta_p;
+
+        self.state = match self.state {
+            AppState::Demand => {
+                if cold {
+                    // The cache is not being exercised: give ways back.
+                    AppState::Supply
+                } else if obs.event == ResourceEvent::GrantedLlc && !improved {
+                    // An extra way bought little: diminishing returns.
+                    AppState::Maintain
+                } else {
+                    AppState::Demand
+                }
+            }
+            AppState::Maintain => {
+                if cold {
+                    AppState::Supply
+                } else if hot || (obs.event == ResourceEvent::ReclaimedLlc && hurt) {
+                    AppState::Demand
+                } else {
+                    AppState::Maintain
+                }
+            }
+            AppState::Supply => {
+                if obs.event == ResourceEvent::ReclaimedLlc && hurt {
+                    // Supplying was a mistake; ask for the way back.
+                    AppState::Demand
+                } else if cold {
+                    AppState::Supply
+                } else if hot {
+                    AppState::Demand
+                } else {
+                    AppState::Maintain
+                }
+            }
+        };
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> CoPartParams {
+        CoPartParams::default()
+    }
+
+    fn obs(perf_delta: f64, access_rate: f64, miss_ratio: f64, event: ResourceEvent) -> Observation {
+        Observation {
+            perf_delta,
+            access_rate,
+            miss_ratio,
+            traffic_ratio: 0.0,
+            event,
+        }
+    }
+
+    /// A busy application with a miss ratio between β and Β.
+    fn warm(perf_delta: f64, event: ResourceEvent) -> Observation {
+        obs(perf_delta, 1.0e8, 0.02, event)
+    }
+
+    #[test]
+    fn demand_stays_while_ways_keep_paying_off() {
+        let mut c = LlcClassifier::new(AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &obs(0.10, 1.0e8, 0.2, ResourceEvent::GrantedLlc)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn demand_to_maintain_on_diminishing_returns() {
+        let mut c = LlcClassifier::new(AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &obs(0.01, 1.0e8, 0.2, ResourceEvent::GrantedLlc)),
+            AppState::Maintain
+        );
+    }
+
+    #[test]
+    fn demand_to_supply_when_cache_is_cold() {
+        let mut c = LlcClassifier::new(AppState::Demand);
+        // Low access rate.
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 1.0e5, 0.5, ResourceEvent::GrantedLlc)),
+            AppState::Supply
+        );
+        // Low miss ratio.
+        let mut c2 = LlcClassifier::new(AppState::Demand);
+        assert_eq!(
+            c2.update(&p(), &obs(0.0, 1.0e8, 0.001, ResourceEvent::GrantedLlc)),
+            AppState::Supply
+        );
+    }
+
+    #[test]
+    fn demand_persists_without_a_grant() {
+        // No way was granted, so no evidence of diminishing returns yet.
+        let mut c = LlcClassifier::new(AppState::Demand);
+        assert_eq!(c.update(&p(), &warm(0.0, ResourceEvent::None)), AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &warm(0.01, ResourceEvent::GrantedMba)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn maintain_to_demand_on_hot_miss_ratio() {
+        let mut c = LlcClassifier::new(AppState::Maintain);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 1.0e8, 0.08, ResourceEvent::None)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn maintain_to_demand_when_a_reclaim_hurt() {
+        let mut c = LlcClassifier::new(AppState::Maintain);
+        assert_eq!(
+            c.update(&p(), &warm(-0.2, ResourceEvent::ReclaimedLlc)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn maintain_holds_in_the_comfortable_band() {
+        let mut c = LlcClassifier::new(AppState::Maintain);
+        assert_eq!(c.update(&p(), &warm(0.0, ResourceEvent::None)), AppState::Maintain);
+    }
+
+    #[test]
+    fn supply_to_demand_when_reclaim_backfires() {
+        let mut c = LlcClassifier::new(AppState::Supply);
+        assert_eq!(
+            c.update(&p(), &obs(-0.1, 1.0e5, 0.001, ResourceEvent::ReclaimedLlc)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn supply_reactivates_through_miss_ratio() {
+        let mut c = LlcClassifier::new(AppState::Supply);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 1.0e8, 0.08, ResourceEvent::None)),
+            AppState::Demand
+        );
+        let mut c2 = LlcClassifier::new(AppState::Supply);
+        assert_eq!(c2.update(&p(), &warm(0.0, ResourceEvent::None)), AppState::Maintain);
+    }
+
+    #[test]
+    fn supply_holds_while_cold() {
+        let mut c = LlcClassifier::new(AppState::Supply);
+        assert_eq!(
+            c.update(&p(), &obs(0.3, 1.0e5, 0.5, ResourceEvent::None)),
+            AppState::Supply
+        );
+    }
+
+    proptest! {
+        /// The classifier never leaves the three-state set and is a pure
+        /// function of (state, observation).
+        #[test]
+        fn update_is_total_and_deterministic(
+            initial in prop_oneof![
+                Just(AppState::Supply),
+                Just(AppState::Maintain),
+                Just(AppState::Demand)
+            ],
+            perf in -1.0f64..1.0,
+            rate in 0.0f64..1.0e9,
+            mr in 0.0f64..1.0,
+            ev in 0u8..5,
+        ) {
+            let event = match ev {
+                0 => ResourceEvent::None,
+                1 => ResourceEvent::GrantedLlc,
+                2 => ResourceEvent::GrantedMba,
+                3 => ResourceEvent::ReclaimedLlc,
+                _ => ResourceEvent::ReclaimedMba,
+            };
+            let o = obs(perf, rate, mr, event);
+            let mut a = LlcClassifier::new(initial);
+            let mut b = LlcClassifier::new(initial);
+            prop_assert_eq!(a.update(&p(), &o), b.update(&p(), &o));
+        }
+
+        /// A truly cold application (idle cache) always ends up in Supply
+        /// unless a reclaim just hurt it.
+        #[test]
+        fn cold_apps_supply(
+            initial in prop_oneof![
+                Just(AppState::Supply),
+                Just(AppState::Maintain),
+                Just(AppState::Demand)
+            ],
+        ) {
+            let o = obs(0.0, 1.0e4, 0.0, ResourceEvent::None);
+            let mut c = LlcClassifier::new(initial);
+            prop_assert_eq!(c.update(&p(), &o), AppState::Supply);
+        }
+    }
+}

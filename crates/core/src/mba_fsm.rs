@@ -1,0 +1,261 @@
+//! The memory-bandwidth characteristic classifier FSM (Figure 9).
+//!
+//! Structured like the LLC classifier (§5.3), but driven by the *memory
+//! traffic ratio* — the application's LLC miss rate divided by STREAM's at
+//! the same MBA level:
+//!
+//! * ratio below γ ⇒ the application barely touches memory: `Supply`;
+//! * ratio above Γ ⇒ the application pushes a STREAM-like share of
+//!   traffic and wants headroom: `Demand`;
+//! * in between, performance deltas arbitrate, with the paper's explicit
+//!   cross-resource rule: a `Demand` application stays in `Demand` when a
+//!   small performance gain followed an **LLC** grant, because that gain
+//!   says nothing about its bandwidth appetite.
+//!
+//! The reconstructed diagram (quiet = ratio < γ; heavy = ratio ≥ Γ):
+//!
+//! ```text
+//!            heavy, or moderate after an LLC grant / no grant
+//!                 ┌────┐
+//!                 ▼    │
+//!   ┌─────────► DEMAND ─┐
+//!   │             │     │ moderate && MBA grant bought < δ_P
+//!   │ heavy, or   │quiet▼
+//!   │ MBA reclaim │   MAINTAIN ◄─┐
+//!   │ && hurt     │     │  │     │ moderate
+//!   │             ▼     │  └─────┘
+//!   │  ┌─────► SUPPLY ◄─┘ quiet
+//!   │  │ quiet    │
+//!   │  └──────────┤ moderate (→ MAINTAIN) / heavy or painful reclaim (→ DEMAND)
+//!   └─────────────┘
+//! ```
+//!
+//! The row-by-row table lives in `tests/fsm_tables.rs`.
+
+use crate::fsm::{AppState, Observation, ResourceEvent};
+use crate::CoPartParams;
+
+/// Per-application memory-bandwidth classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbaClassifier {
+    state: AppState,
+}
+
+impl MbaClassifier {
+    /// Starts in the given initial state (chosen from profiling data).
+    pub fn new(initial: AppState) -> MbaClassifier {
+        MbaClassifier { state: initial }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> AppState {
+        self.state
+    }
+
+    /// Forces a state (used when the manager re-profiles).
+    pub fn reset(&mut self, state: AppState) {
+        self.state = state;
+    }
+
+    /// Applies one period's observation and returns the new state.
+    pub fn update(&mut self, p: &CoPartParams, obs: &Observation) -> AppState {
+        let quiet = obs.traffic_ratio < p.traffic_ratio_supply;
+        let heavy = obs.traffic_ratio >= p.traffic_ratio_demand;
+        let improved = obs.perf_delta >= p.delta_p;
+        let hurt = obs.perf_delta <= -p.delta_p;
+
+        self.state = match self.state {
+            AppState::Demand => {
+                let demoting_grant = obs.event == ResourceEvent::GrantedMba
+                    || (!p.cross_resource_awareness && obs.event == ResourceEvent::GrantedLlc);
+                if quiet {
+                    AppState::Supply
+                } else if heavy {
+                    AppState::Demand
+                } else if demoting_grant && !improved {
+                    // More bandwidth bought little and the traffic is
+                    // moderate: settle.
+                    AppState::Maintain
+                } else {
+                    // §5.3: stay in Demand when the small improvement
+                    // followed an LLC grant (or nothing happened) — the
+                    // evidence does not speak about bandwidth.
+                    AppState::Demand
+                }
+            }
+            AppState::Maintain => {
+                if heavy || (obs.event == ResourceEvent::ReclaimedMba && hurt) {
+                    AppState::Demand
+                } else if quiet {
+                    AppState::Supply
+                } else {
+                    AppState::Maintain
+                }
+            }
+            AppState::Supply => {
+                if heavy || (obs.event == ResourceEvent::ReclaimedMba && hurt) {
+                    AppState::Demand
+                } else if quiet {
+                    AppState::Supply
+                } else {
+                    AppState::Maintain
+                }
+            }
+        };
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> CoPartParams {
+        CoPartParams::default()
+    }
+
+    fn obs(perf_delta: f64, traffic_ratio: f64, event: ResourceEvent) -> Observation {
+        Observation {
+            perf_delta,
+            access_rate: 1.0e8,
+            miss_ratio: 0.2,
+            traffic_ratio,
+            event,
+        }
+    }
+
+    #[test]
+    fn demand_holds_under_heavy_traffic() {
+        let mut c = MbaClassifier::new(AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 0.6, ResourceEvent::GrantedMba)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn demand_to_maintain_on_diminishing_mba_returns() {
+        let mut c = MbaClassifier::new(AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &obs(0.01, 0.2, ResourceEvent::GrantedMba)),
+            AppState::Maintain
+        );
+    }
+
+    #[test]
+    fn demand_survives_small_gain_after_llc_grant() {
+        // The paper's explicit cross-resource awareness rule.
+        let mut c = MbaClassifier::new(AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &obs(0.01, 0.2, ResourceEvent::GrantedLlc)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn demand_to_supply_when_quiet() {
+        let mut c = MbaClassifier::new(AppState::Demand);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 0.05, ResourceEvent::None)),
+            AppState::Supply
+        );
+    }
+
+    #[test]
+    fn maintain_to_demand_on_heavy_traffic_or_painful_reclaim() {
+        let mut c = MbaClassifier::new(AppState::Maintain);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 0.5, ResourceEvent::None)),
+            AppState::Demand
+        );
+        let mut c2 = MbaClassifier::new(AppState::Maintain);
+        assert_eq!(
+            c2.update(&p(), &obs(-0.2, 0.2, ResourceEvent::ReclaimedMba)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn maintain_holds_in_the_band() {
+        let mut c = MbaClassifier::new(AppState::Maintain);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 0.2, ResourceEvent::None)),
+            AppState::Maintain
+        );
+    }
+
+    #[test]
+    fn supply_to_demand_when_reclaim_backfires() {
+        let mut c = MbaClassifier::new(AppState::Supply);
+        assert_eq!(
+            c.update(&p(), &obs(-0.1, 0.05, ResourceEvent::ReclaimedMba)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn supply_escalates_with_traffic() {
+        let mut c = MbaClassifier::new(AppState::Supply);
+        assert_eq!(
+            c.update(&p(), &obs(0.0, 0.2, ResourceEvent::None)),
+            AppState::Maintain
+        );
+        let mut c2 = MbaClassifier::new(AppState::Supply);
+        assert_eq!(
+            c2.update(&p(), &obs(0.0, 0.9, ResourceEvent::None)),
+            AppState::Demand
+        );
+    }
+
+    #[test]
+    fn supply_holds_while_quiet() {
+        let mut c = MbaClassifier::new(AppState::Supply);
+        assert_eq!(
+            c.update(&p(), &obs(0.4, 0.01, ResourceEvent::None)),
+            AppState::Supply
+        );
+    }
+
+    proptest! {
+        /// Determinism and closure over the state set.
+        #[test]
+        fn update_is_deterministic(
+            initial in prop_oneof![
+                Just(AppState::Supply),
+                Just(AppState::Maintain),
+                Just(AppState::Demand)
+            ],
+            perf in -1.0f64..1.0,
+            ratio in 0.0f64..2.0,
+            ev in 0u8..5,
+        ) {
+            let event = match ev {
+                0 => ResourceEvent::None,
+                1 => ResourceEvent::GrantedLlc,
+                2 => ResourceEvent::GrantedMba,
+                3 => ResourceEvent::ReclaimedLlc,
+                _ => ResourceEvent::ReclaimedMba,
+            };
+            let o = obs(perf, ratio, event);
+            let mut a = MbaClassifier::new(initial);
+            let mut b = MbaClassifier::new(initial);
+            prop_assert_eq!(a.update(&p(), &o), b.update(&p(), &o));
+        }
+
+        /// STREAM-class traffic always demands (no state escapes it).
+        #[test]
+        fn heavy_traffic_always_demands(
+            initial in prop_oneof![
+                Just(AppState::Supply),
+                Just(AppState::Maintain),
+                Just(AppState::Demand)
+            ],
+            perf in -1.0f64..1.0,
+        ) {
+            let o = obs(perf, 0.95, ResourceEvent::None);
+            let mut c = MbaClassifier::new(initial);
+            prop_assert_eq!(c.update(&p(), &o), AppState::Demand);
+        }
+    }
+}

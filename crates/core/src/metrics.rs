@@ -1,0 +1,176 @@
+//! Fairness and throughput metrics (Eq 1–2 of the paper).
+
+/// Unfairness of a set of application slowdowns: the coefficient of
+/// variation σ/μ (Eq 2, following Selfa et al., reference 37 of the
+/// paper); lower is better and
+/// 0 means perfectly even slowdowns.
+///
+/// Uses the population standard deviation. Returns 0 for fewer than two
+/// applications or a non-positive mean.
+///
+/// # Examples
+///
+/// ```
+/// use copart_core::metrics::unfairness;
+///
+/// assert_eq!(unfairness(&[1.2, 1.2, 1.2]), 0.0); // Perfectly fair.
+/// assert!((unfairness(&[1.0, 3.0]) - 0.5).abs() < 1e-12); // σ/μ = 1/2.
+/// ```
+pub fn unfairness(slowdowns: &[f64]) -> f64 {
+    if slowdowns.len() < 2 {
+        return 0.0;
+    }
+    let n = slowdowns.len() as f64;
+    let mean = slowdowns.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = slowdowns.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Per-application slowdown (Eq 1): IPS at full resources over achieved
+/// IPS. Returns 1 when the achieved IPS is non-positive together with a
+/// non-positive reference (no information), and +∞ when a live reference
+/// sees zero progress.
+pub fn slowdown(ips_full: f64, ips_now: f64) -> f64 {
+    if ips_now > 0.0 {
+        (ips_full / ips_now).max(0.0)
+    } else if ips_full > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    }
+}
+
+/// Weighted unfairness: σ/μ of `slowdown_i × weight_i`.
+///
+/// A priority extension beyond the paper (its §8 future-work direction of
+/// richer fairness goals): an application with weight *w* is entitled to
+/// run *w*× closer to its solo speed than a weight-1 application. With all
+/// weights equal this reduces exactly to [`unfairness`].
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or any weight is non-positive;
+/// weights are configuration.
+pub fn weighted_unfairness(slowdowns: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(slowdowns.len(), weights.len(), "one weight per application");
+    assert!(
+        weights.iter().all(|w| *w > 0.0),
+        "weights must be positive"
+    );
+    let normalized: Vec<f64> = slowdowns
+        .iter()
+        .zip(weights)
+        .map(|(s, w)| s * w)
+        .collect();
+    unfairness(&normalized)
+}
+
+/// Geometric mean, the aggregate the paper uses for unfairness and
+/// throughput summaries. Returns 0 for an empty slice or any non-positive
+/// element.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_slowdowns_are_perfectly_fair() {
+        assert_eq!(unfairness(&[1.3, 1.3, 1.3, 1.3]), 0.0);
+    }
+
+    #[test]
+    fn known_unfairness_value() {
+        // Slowdowns 1 and 3: μ = 2, σ = 1, so σ/μ = 0.5.
+        assert!((unfairness(&[1.0, 3.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfairness_edge_cases() {
+        assert_eq!(unfairness(&[]), 0.0);
+        assert_eq!(unfairness(&[2.0]), 0.0);
+        assert_eq!(unfairness(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn slowdown_eq1() {
+        assert!((slowdown(100.0, 50.0) - 2.0).abs() < 1e-12);
+        assert_eq!(slowdown(100.0, 0.0), f64::INFINITY);
+        assert_eq!(slowdown(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_unfairness_reduces_to_plain_with_unit_weights() {
+        let s = [1.0, 2.0, 1.5];
+        assert!((weighted_unfairness(&s, &[1.0, 1.0, 1.0]) - unfairness(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_unfairness_rewards_proportional_slowdowns() {
+        // App 0 is twice as important: it should run at half the slowdown
+        // of app 1. Exactly proportional slowdowns are perfectly fair.
+        assert!(weighted_unfairness(&[1.1, 2.2], &[2.0, 1.0]) < 1e-12);
+        // Equal slowdowns are now *unfair* to the weighted app.
+        assert!(weighted_unfairness(&[2.0, 2.0], &[2.0, 1.0]) > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per application")]
+    fn weighted_unfairness_checks_lengths() {
+        let _ = weighted_unfairness(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn weighted_unfairness_checks_positivity() {
+        let _ = weighted_unfairness(&[1.0, 2.0], &[1.0, 0.0]);
+    }
+
+    proptest! {
+        /// σ/μ is invariant under uniform scaling of the slowdowns.
+        #[test]
+        fn unfairness_is_scale_invariant(
+            xs in proptest::collection::vec(0.5f64..10.0, 2..8),
+            k in 0.1f64..10.0,
+        ) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            let a = unfairness(&xs);
+            let b = unfairness(&scaled);
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+
+        /// Unfairness is non-negative and zero iff all-equal (within fp
+        /// noise).
+        #[test]
+        fn unfairness_nonnegative(xs in proptest::collection::vec(0.5f64..10.0, 2..8)) {
+            prop_assert!(unfairness(&xs) >= 0.0);
+        }
+
+        /// Geomean sits between min and max.
+        #[test]
+        fn geomean_bounded(xs in proptest::collection::vec(0.1f64..10.0, 1..8)) {
+            let g = geomean(&xs);
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        }
+    }
+}

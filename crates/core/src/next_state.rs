@@ -1,0 +1,739 @@
+//! Algorithm 2: `getNextSystemState` — one Hospitals/Residents matching
+//! step between resource producers and consumers.
+//!
+//! Resource *types* (LLC, MBA, ANY) act as hospitals whose capacity is the
+//! number of applications willing to supply that type; applications
+//! demanding a resource act as residents whose priority is their slowdown
+//! (higher slowdown ⇒ stronger claim, improving fairness). Step one runs
+//! instability chaining to decide which consumers obtain which resource
+//! types; step two pairs each granted consumer with the *lowest-slowdown*
+//! producer of that type (the application least hurt by giving a unit up)
+//! and performs the unit transfer: one LLC way, or one MBA level step.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use copart_matching::chain::{self, Consumer};
+use copart_rdt::{MbaLevel, ResourceKind};
+
+use crate::fsm::{AppState, ResourceEvent};
+use crate::state::{SystemState, WaysBudget};
+
+/// The classifier outputs and slowdown estimate for one application — the
+/// inputs Algorithm 2 needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppClassification {
+    /// LLC classifier state.
+    pub llc: AppState,
+    /// Memory-bandwidth classifier state.
+    pub mba: AppState,
+    /// Estimated slowdown (Eq 1); ties break toward lower app index.
+    pub slowdown: f64,
+}
+
+/// The resource transfers applied to one application in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppliedEvents {
+    /// Received an LLC way.
+    pub granted_llc: bool,
+    /// Received an MBA level increase.
+    pub granted_mba: bool,
+    /// Lost an LLC way.
+    pub reclaimed_llc: bool,
+    /// Lost an MBA level.
+    pub reclaimed_mba: bool,
+}
+
+impl AppliedEvents {
+    /// The event as seen by the LLC classifier.
+    pub fn llc_event(&self) -> ResourceEvent {
+        if self.granted_llc {
+            ResourceEvent::GrantedLlc
+        } else if self.reclaimed_llc {
+            ResourceEvent::ReclaimedLlc
+        } else if self.granted_mba {
+            ResourceEvent::GrantedMba
+        } else if self.reclaimed_mba {
+            ResourceEvent::ReclaimedMba
+        } else {
+            ResourceEvent::None
+        }
+    }
+
+    /// The event as seen by the memory-bandwidth classifier (LLC grants
+    /// are visible for the §5.3 cross-resource rule).
+    pub fn mba_event(&self) -> ResourceEvent {
+        if self.granted_mba {
+            ResourceEvent::GrantedMba
+        } else if self.reclaimed_mba {
+            ResourceEvent::ReclaimedMba
+        } else if self.granted_llc {
+            ResourceEvent::GrantedLlc
+        } else if self.reclaimed_llc {
+            ResourceEvent::ReclaimedLlc
+        } else {
+            ResourceEvent::None
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.granted_llc || self.granted_mba || self.reclaimed_llc || self.reclaimed_mba
+    }
+}
+
+/// The result of one Algorithm 2 step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferOutcome {
+    /// The proposed next system state.
+    pub state: SystemState,
+    /// Per-application transfers (same indexing as the input).
+    pub events: Vec<AppliedEvents>,
+    /// Whether any transfer happened (false ⇒ the state converged).
+    pub changed: bool,
+}
+
+/// Category indices used in the matching instance.
+const CAT_LLC: usize = 0;
+const CAT_MBA: usize = 1;
+const CAT_ANY: usize = 2;
+
+/// Runs one `getNextSystemState` step.
+///
+/// `manage_llc` / `manage_mba` restrict which resources the controller
+/// may move — the CAT-only and MBA-only baselines pin one of them.
+pub fn get_next_system_state(
+    current: &SystemState,
+    apps: &[AppClassification],
+    budget: &WaysBudget,
+    rng: &mut SmallRng,
+    manage_llc: bool,
+    manage_mba: bool,
+) -> TransferOutcome {
+    assert_eq!(current.allocs.len(), apps.len(), "state/classification mismatch");
+    let n = apps.len();
+    let mut state = current.clone();
+    let mut events = vec![AppliedEvents::default(); n];
+
+    // --- Producer pools (lines 2–5 of Algorithm 2). ---
+    // `None` entries are virtual producers representing unallocated budget
+    // ways; reclaiming from them costs nobody anything.
+    let mut pool_llc: Vec<Option<usize>> = Vec::new();
+    let mut pool_mba: Vec<Option<usize>> = Vec::new();
+    let mut pool_any: Vec<Option<usize>> = Vec::new();
+    for (i, (app, alloc)) in apps.iter().zip(&current.allocs).enumerate() {
+        let can_llc = manage_llc && app.llc == AppState::Supply && alloc.ways > 1;
+        let can_mba = manage_mba && app.mba == AppState::Supply && alloc.mba > MbaLevel::MIN;
+        match (can_llc, can_mba) {
+            (true, true) => pool_any.push(Some(i)),
+            (true, false) => pool_llc.push(Some(i)),
+            (false, true) => pool_mba.push(Some(i)),
+            (false, false) => {}
+        }
+    }
+    let spare_ways = budget.total_ways.saturating_sub(current.total_ways());
+    if manage_llc {
+        for _ in 0..spare_ways {
+            pool_llc.push(None);
+        }
+    }
+    // Producers are consumed lowest-slowdown first (virtual producers
+    // first of all — they are free).
+    let by_slowdown_asc = |a: &Option<usize>, b: &Option<usize>| match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => apps[*x]
+            .slowdown
+            .partial_cmp(&apps[*y].slowdown)
+            .expect("slowdowns are not NaN")
+            .then(x.cmp(y)),
+    };
+    pool_llc.sort_by(by_slowdown_asc);
+    pool_mba.sort_by(by_slowdown_asc);
+    pool_any.sort_by(by_slowdown_asc);
+
+    // --- Consumers and their preference lists (lines 6–18). ---
+    let mut consumer_apps: Vec<usize> = Vec::new();
+    let mut consumers: Vec<Consumer> = Vec::new();
+    // For ANY-demand consumers, the random specific-type priority (§5.4.2:
+    // randomness avoids local optima).
+    let mut any_choice: Vec<Option<ResourceKind>> = Vec::new();
+    for (i, (app, alloc)) in apps.iter().zip(&current.allocs).enumerate() {
+        let wants_llc = manage_llc && app.llc == AppState::Demand;
+        let wants_mba =
+            manage_mba && app.mba == AppState::Demand && alloc.mba < budget.mba_cap;
+        let (preference, choice) = match (wants_llc, wants_mba) {
+            (true, true) => {
+                if rng.gen_bool(0.5) {
+                    (vec![CAT_LLC, CAT_MBA, CAT_ANY], None)
+                } else {
+                    (vec![CAT_MBA, CAT_LLC, CAT_ANY], None)
+                }
+            }
+            (true, false) => (vec![CAT_LLC, CAT_ANY], Some(ResourceKind::Llc)),
+            (false, true) => (vec![CAT_MBA, CAT_ANY], Some(ResourceKind::MemoryBandwidth)),
+            (false, false) => continue,
+        };
+        consumer_apps.push(i);
+        any_choice.push(choice);
+        consumers.push(Consumer {
+            priority: app.slowdown,
+            preference,
+        });
+    }
+
+    let capacities = [pool_llc.len(), pool_mba.len(), pool_any.len()];
+    let allocation = chain::allocate(&capacities, &consumers);
+
+    // --- Step two: pair consumers with producers and transfer units
+    // (lines 19–29). ---
+    let mut cursor_llc = 0usize;
+    let mut cursor_mba = 0usize;
+    let mut cursor_any = 0usize;
+    for t in [CAT_LLC, CAT_MBA, CAT_ANY] {
+        for k in allocation.granted(t) {
+            let c = consumer_apps[k];
+            let kind = if t == CAT_LLC {
+                ResourceKind::Llc
+            } else if t == CAT_MBA {
+                ResourceKind::MemoryBandwidth
+            } else {
+                match any_choice[k] {
+                    Some(kind) => kind,
+                    // Both the consumer and the producer accept either
+                    // resource: pick randomly (search randomness, §5.4.2).
+                    None => {
+                        if rng.gen_bool(0.5) {
+                            ResourceKind::Llc
+                        } else {
+                            ResourceKind::MemoryBandwidth
+                        }
+                    }
+                }
+            };
+            let producer = match t {
+                CAT_LLC => {
+                    cursor_llc += 1;
+                    pool_llc[cursor_llc - 1]
+                }
+                CAT_MBA => {
+                    cursor_mba += 1;
+                    pool_mba[cursor_mba - 1]
+                }
+                _ => {
+                    cursor_any += 1;
+                    pool_any[cursor_any - 1]
+                }
+            };
+            // Reclaim from the producer.
+            if let Some(p) = producer {
+                match kind {
+                    ResourceKind::Llc => {
+                        debug_assert!(state.allocs[p].ways > 1);
+                        state.allocs[p].ways -= 1;
+                        events[p].reclaimed_llc = true;
+                    }
+                    ResourceKind::MemoryBandwidth => {
+                        state.allocs[p].mba = state.allocs[p].mba.step_down();
+                        events[p].reclaimed_mba = true;
+                    }
+                }
+            }
+            // Grant to the consumer.
+            match kind {
+                ResourceKind::Llc => {
+                    state.allocs[c].ways += 1;
+                    events[c].granted_llc = true;
+                }
+                ResourceKind::MemoryBandwidth => {
+                    state.allocs[c].mba = state.allocs[c].mba.step_up().min(budget.mba_cap);
+                    events[c].granted_mba = true;
+                }
+            }
+        }
+    }
+
+    let changed = events.iter().any(AppliedEvents::any) && state != *current;
+    TransferOutcome {
+        state,
+        events,
+        changed,
+    }
+}
+
+/// The greedy baseline allocator (ablation of the HR matching design
+/// choice): performs at most **one** transfer per period — the
+/// highest-slowdown consumer takes one unit of a demanded resource from
+/// the lowest-slowdown producer that can supply it (spare budget ways
+/// count as free producers). No victim chaining, no randomization.
+pub fn get_next_system_state_greedy(
+    current: &SystemState,
+    apps: &[AppClassification],
+    budget: &WaysBudget,
+    manage_llc: bool,
+    manage_mba: bool,
+) -> TransferOutcome {
+    assert_eq!(current.allocs.len(), apps.len(), "state/classification mismatch");
+    let n = apps.len();
+    let mut state = current.clone();
+    let mut events = vec![AppliedEvents::default(); n];
+
+    // Consumers, highest slowdown first.
+    let mut consumers: Vec<usize> = (0..n)
+        .filter(|&i| {
+            (manage_llc && apps[i].llc == AppState::Demand)
+                || (manage_mba
+                    && apps[i].mba == AppState::Demand
+                    && current.allocs[i].mba < budget.mba_cap)
+        })
+        .collect();
+    consumers.sort_by(|&a, &b| {
+        apps[b]
+            .slowdown
+            .partial_cmp(&apps[a].slowdown)
+            .expect("slowdowns are not NaN")
+            .then(a.cmp(&b))
+    });
+
+    let spare_ways = budget.total_ways.saturating_sub(current.total_ways());
+    let min_producer = |kind: ResourceKind, state: &SystemState| -> Option<usize> {
+        (0..n)
+            .filter(|&i| match kind {
+                ResourceKind::Llc => {
+                    manage_llc && apps[i].llc == AppState::Supply && state.allocs[i].ways > 1
+                }
+                ResourceKind::MemoryBandwidth => {
+                    manage_mba
+                        && apps[i].mba == AppState::Supply
+                        && state.allocs[i].mba > MbaLevel::MIN
+                }
+            })
+            .min_by(|&a, &b| {
+                apps[a]
+                    .slowdown
+                    .partial_cmp(&apps[b].slowdown)
+                    .expect("slowdowns are not NaN")
+                    .then(a.cmp(&b))
+            })
+    };
+
+    for c in consumers {
+        // Prefer LLC when both are demanded (deterministic greedy).
+        let wants: Vec<ResourceKind> = [
+            (manage_llc && apps[c].llc == AppState::Demand, ResourceKind::Llc),
+            (
+                manage_mba
+                    && apps[c].mba == AppState::Demand
+                    && current.allocs[c].mba < budget.mba_cap,
+                ResourceKind::MemoryBandwidth,
+            ),
+        ]
+        .into_iter()
+        .filter_map(|(want, kind)| want.then_some(kind))
+        .collect();
+        for kind in wants {
+            if kind == ResourceKind::Llc && spare_ways > 0 {
+                state.allocs[c].ways += 1;
+                events[c].granted_llc = true;
+                return TransferOutcome {
+                    state,
+                    events,
+                    changed: true,
+                };
+            }
+            if let Some(p) = min_producer(kind, &state) {
+                match kind {
+                    ResourceKind::Llc => {
+                        state.allocs[p].ways -= 1;
+                        state.allocs[c].ways += 1;
+                        events[p].reclaimed_llc = true;
+                        events[c].granted_llc = true;
+                    }
+                    ResourceKind::MemoryBandwidth => {
+                        state.allocs[p].mba = state.allocs[p].mba.step_down();
+                        state.allocs[c].mba = state.allocs[c].mba.step_up().min(budget.mba_cap);
+                        events[p].reclaimed_mba = true;
+                        events[c].granted_mba = true;
+                    }
+                }
+                return TransferOutcome {
+                    state,
+                    events,
+                    changed: true,
+                };
+            }
+        }
+    }
+    TransferOutcome {
+        state,
+        events,
+        changed: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AllocationState;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn budget() -> WaysBudget {
+        WaysBudget::full_machine(11)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    fn alloc(ways: u32, mba: u8) -> AllocationState {
+        AllocationState {
+            ways,
+            mba: MbaLevel::new(mba),
+        }
+    }
+
+    fn class(llc: AppState, mba: AppState, slowdown: f64) -> AppClassification {
+        AppClassification { llc, mba, slowdown }
+    }
+
+    #[test]
+    fn llc_way_moves_from_supplier_to_demander() {
+        let current = SystemState {
+            allocs: vec![alloc(5, 100), alloc(6, 100)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Maintain, 1.0),
+            class(AppState::Demand, AppState::Maintain, 2.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].ways, 4);
+        assert_eq!(out.state.allocs[1].ways, 7);
+        assert!(out.events[0].reclaimed_llc);
+        assert!(out.events[1].granted_llc);
+        assert_eq!(out.state.total_ways(), 11, "ways are conserved");
+    }
+
+    #[test]
+    fn mba_step_moves_between_apps() {
+        let current = SystemState {
+            allocs: vec![alloc(5, 100), alloc(6, 50)],
+        };
+        let apps = [
+            class(AppState::Maintain, AppState::Supply, 1.0),
+            class(AppState::Maintain, AppState::Demand, 2.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].mba.percent(), 90);
+        assert_eq!(out.state.allocs[1].mba.percent(), 60);
+        assert!(out.events[0].reclaimed_mba);
+        assert!(out.events[1].granted_mba);
+    }
+
+    #[test]
+    fn oversubscribed_resource_goes_to_higher_slowdown() {
+        // One LLC supplier, two demanders: the slower app must win.
+        let current = SystemState {
+            allocs: vec![alloc(4, 100), alloc(3, 100), alloc(4, 100)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Maintain, 1.0),
+            class(AppState::Demand, AppState::Maintain, 1.2),
+            class(AppState::Demand, AppState::Maintain, 3.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert_eq!(out.state.allocs[2].ways, 5, "highest slowdown wins");
+        assert_eq!(out.state.allocs[1].ways, 3, "lower slowdown waits");
+        assert_eq!(out.state.allocs[0].ways, 3);
+    }
+
+    #[test]
+    fn lowest_slowdown_producer_gives_up_first() {
+        let current = SystemState {
+            allocs: vec![alloc(4, 100), alloc(3, 100), alloc(4, 100)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Maintain, 1.5),
+            class(AppState::Supply, AppState::Maintain, 1.0),
+            class(AppState::Demand, AppState::Maintain, 3.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert_eq!(out.state.allocs[1].ways, 2, "least-slowed producer pays");
+        assert_eq!(out.state.allocs[0].ways, 4);
+        assert_eq!(out.state.allocs[2].ways, 5);
+    }
+
+    #[test]
+    fn no_participants_means_converged() {
+        let current = SystemState {
+            allocs: vec![alloc(5, 100), alloc(6, 100)],
+        };
+        let apps = [
+            class(AppState::Maintain, AppState::Maintain, 1.0),
+            class(AppState::Maintain, AppState::Maintain, 1.1),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(!out.changed);
+        assert_eq!(out.state, current);
+    }
+
+    #[test]
+    fn demand_without_supply_changes_nothing() {
+        let current = SystemState {
+            allocs: vec![alloc(5, 100), alloc(6, 100)],
+        };
+        let apps = [
+            class(AppState::Demand, AppState::Maintain, 2.0),
+            class(AppState::Demand, AppState::Maintain, 1.5),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(!out.changed, "nobody supplies, nothing moves");
+    }
+
+    #[test]
+    fn spare_budget_ways_are_free_suppliers() {
+        let current = SystemState {
+            allocs: vec![alloc(2, 100), alloc(2, 100)],
+        };
+        let apps = [
+            class(AppState::Demand, AppState::Maintain, 2.0),
+            class(AppState::Maintain, AppState::Maintain, 1.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].ways, 3, "took a spare way");
+        assert_eq!(out.state.allocs[1].ways, 2, "nobody was robbed");
+        assert!(!out.events[1].reclaimed_llc);
+    }
+
+    #[test]
+    fn producer_at_floor_cannot_supply() {
+        let current = SystemState {
+            allocs: vec![alloc(1, 100), alloc(10, 100)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Maintain, 1.0),
+            class(AppState::Demand, AppState::Maintain, 2.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(!out.changed, "a single way can never be reclaimed");
+    }
+
+    #[test]
+    fn consumer_at_mba_cap_cannot_demand_more() {
+        let cap_budget = WaysBudget {
+            first_way: 0,
+            total_ways: 11,
+            mba_cap: MbaLevel::new(40),
+        };
+        let current = SystemState {
+            allocs: vec![alloc(5, 40), alloc(6, 40)],
+        };
+        let apps = [
+            class(AppState::Maintain, AppState::Demand, 2.0),
+            class(AppState::Maintain, AppState::Supply, 1.0),
+        ];
+        let out =
+            get_next_system_state(&current, &apps, &cap_budget, &mut rng(), true, true);
+        assert!(!out.changed, "already at the budget's MBA cap");
+    }
+
+    #[test]
+    fn cat_only_never_touches_mba() {
+        let current = SystemState {
+            allocs: vec![alloc(5, 100), alloc(6, 50)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Supply, 1.0),
+            class(AppState::Demand, AppState::Demand, 2.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, false);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].mba.percent(), 100);
+        assert_eq!(out.state.allocs[1].mba.percent(), 50);
+        assert_eq!(out.state.allocs[1].ways, 7);
+    }
+
+    #[test]
+    fn mba_only_never_touches_ways() {
+        let current = SystemState {
+            allocs: vec![alloc(5, 100), alloc(6, 50)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Supply, 1.0),
+            class(AppState::Demand, AppState::Demand, 2.0),
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), false, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].ways, 5);
+        assert_eq!(out.state.allocs[1].ways, 6);
+        assert_eq!(out.state.allocs[1].mba.percent(), 60);
+        assert_eq!(out.state.allocs[0].mba.percent(), 90);
+    }
+
+    #[test]
+    fn any_supplier_serves_specific_demand() {
+        let current = SystemState {
+            allocs: vec![alloc(6, 80), alloc(5, 100)],
+        };
+        let apps = [
+            class(AppState::Supply, AppState::Supply, 1.0), // ANY producer.
+            class(AppState::Demand, AppState::Maintain, 2.0), // Wants LLC.
+        ];
+        let out = get_next_system_state(&current, &apps, &budget(), &mut rng(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[1].ways, 6);
+        assert_eq!(out.state.allocs[0].ways, 5);
+        assert_eq!(
+            out.state.allocs[0].mba.percent(),
+            80,
+            "the ANY producer paid in LLC, not MBA"
+        );
+    }
+
+    proptest! {
+        /// Invariants on random inputs: ways conserved within the budget,
+        /// every allocation stays valid, and transfers are unit-sized.
+        #[test]
+        fn transfers_preserve_invariants(
+            seed in 0u64..500,
+            raw in proptest::collection::vec(
+                (1u32..6, 1u8..=10, 0u8..3, 0u8..3, 10u32..400),
+                2..6,
+            ),
+        ) {
+            let budget = budget();
+            let mut allocs = Vec::new();
+            let mut apps = Vec::new();
+            let mut total = 0u32;
+            for (ways, mba10, llc_s, mba_s, slow100) in raw {
+                if total + ways > budget.total_ways {
+                    break;
+                }
+                total += ways;
+                allocs.push(alloc(ways, mba10 * 10));
+                let st = |k: u8| match k {
+                    0 => AppState::Supply,
+                    1 => AppState::Maintain,
+                    _ => AppState::Demand,
+                };
+                apps.push(class(st(llc_s), st(mba_s), f64::from(slow100) / 100.0));
+            }
+            prop_assume!(allocs.len() >= 2);
+            let current = SystemState { allocs };
+            let mut r = SmallRng::seed_from_u64(seed);
+            let out = get_next_system_state(&current, &apps, &budget, &mut r, true, true);
+            prop_assert!(out.state.is_valid(&budget), "invalid: {:?}", out.state);
+            prop_assert!(out.state.total_ways() <= budget.total_ways);
+            for (before, after) in current.allocs.iter().zip(&out.state.allocs) {
+                let dw = i64::from(after.ways) - i64::from(before.ways);
+                prop_assert!(dw.abs() <= 1, "way transfers are unit-sized");
+                let dm = i16::from(after.mba.percent()) - i16::from(before.mba.percent());
+                prop_assert!(dm.abs() <= 10, "MBA transfers are one step");
+            }
+            // Ways are conserved up to spare-budget grants.
+            prop_assert!(out.state.total_ways() >= current.total_ways());
+            let spare = budget.total_ways - current.total_ways();
+            prop_assert!(out.state.total_ways() - current.total_ways() <= spare);
+        }
+    }
+}
+
+#[cfg(test)]
+mod greedy_tests {
+    use super::*;
+    use crate::state::AllocationState;
+    use copart_rdt::MbaLevel;
+
+    fn alloc(ways: u32, mba: u8) -> AllocationState {
+        AllocationState {
+            ways,
+            mba: MbaLevel::new(mba),
+        }
+    }
+
+    fn class(llc: AppState, mba: AppState, slowdown: f64) -> AppClassification {
+        AppClassification { llc, mba, slowdown }
+    }
+
+    fn budget() -> WaysBudget {
+        WaysBudget::full_machine(11)
+    }
+
+    #[test]
+    fn greedy_moves_exactly_one_unit() {
+        let current = SystemState {
+            allocs: vec![alloc(4, 100), alloc(3, 100), alloc(4, 100)],
+        };
+        // Two consumers, one supplier: only the slowest consumer is served
+        // in a single greedy step.
+        let apps = [
+            class(AppState::Supply, AppState::Maintain, 1.0),
+            class(AppState::Demand, AppState::Maintain, 2.0),
+            class(AppState::Demand, AppState::Maintain, 3.0),
+        ];
+        let out = get_next_system_state_greedy(&current, &apps, &budget(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[2].ways, 5, "slowest consumer first");
+        assert_eq!(out.state.allocs[1].ways, 3, "second consumer waits");
+        assert_eq!(out.state.allocs[0].ways, 3);
+        let transfers: usize = out
+            .events
+            .iter()
+            .map(|e| {
+                usize::from(e.granted_llc)
+                    + usize::from(e.granted_mba)
+                    + usize::from(e.reclaimed_llc)
+                    + usize::from(e.reclaimed_mba)
+            })
+            .sum();
+        assert_eq!(transfers, 2, "one grant + one reclaim");
+    }
+
+    #[test]
+    fn greedy_uses_spare_ways_before_robbing_producers() {
+        let current = SystemState {
+            allocs: vec![alloc(2, 100), alloc(2, 100)],
+        };
+        let apps = [
+            class(AppState::Demand, AppState::Maintain, 2.0),
+            class(AppState::Supply, AppState::Maintain, 1.0),
+        ];
+        let out = get_next_system_state_greedy(&current, &apps, &budget(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].ways, 3);
+        assert_eq!(out.state.allocs[1].ways, 2, "producer untouched while spare exists");
+    }
+
+    #[test]
+    fn greedy_falls_back_to_mba_when_no_llc_supply() {
+        let current = SystemState {
+            allocs: vec![alloc(6, 50), alloc(5, 100)],
+        };
+        let apps = [
+            class(AppState::Demand, AppState::Demand, 2.0),
+            class(AppState::Maintain, AppState::Supply, 1.0),
+        ];
+        let out = get_next_system_state_greedy(&current, &apps, &budget(), true, true);
+        assert!(out.changed);
+        assert_eq!(out.state.allocs[0].ways, 6, "no LLC producer available");
+        assert_eq!(out.state.allocs[0].mba.percent(), 60);
+        assert_eq!(out.state.allocs[1].mba.percent(), 90);
+    }
+
+    #[test]
+    fn greedy_converges_when_nothing_moves() {
+        let current = SystemState {
+            allocs: vec![alloc(6, 50), alloc(5, 100)],
+        };
+        let apps = [
+            class(AppState::Maintain, AppState::Maintain, 2.0),
+            class(AppState::Maintain, AppState::Maintain, 1.0),
+        ];
+        let out = get_next_system_state_greedy(&current, &apps, &budget(), true, true);
+        assert!(!out.changed);
+        assert_eq!(out.state, current);
+    }
+}

@@ -1,0 +1,157 @@
+//! CoPart design parameters (§5.2, §5.3, §5.4 of the paper).
+
+use std::time::Duration;
+
+/// All tunables of the controller, with the paper's published defaults.
+///
+/// The values were chosen by the authors through design-space exploration
+/// (§5.5.3); Figure 11 sweeps `delta_p`, `miss_ratio_demand`, and
+/// `traffic_ratio_demand` around these defaults, which the `repro fig11`
+/// harness reproduces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoPartParams {
+    /// α — LLC access-rate threshold (accesses/second) below which an
+    /// application has no use for cache capacity. Paper: 1.5 × 10⁶.
+    pub alpha_access_rate: f64,
+    /// β — LLC miss-ratio floor below which the allocated LLC already
+    /// captures the working set. Paper: 1 %.
+    pub miss_ratio_supply: f64,
+    /// Β — LLC miss-ratio ceiling above which the application wants more
+    /// ways. Paper: 3 %.
+    pub miss_ratio_demand: f64,
+    /// δ_P — relative performance-change threshold for FSM transitions.
+    /// Paper: 5 %.
+    pub delta_p: f64,
+    /// γ — memory-traffic-ratio floor below which bandwidth can be
+    /// supplied. Paper: 10 %.
+    pub traffic_ratio_supply: f64,
+    /// Γ — memory-traffic-ratio ceiling above which more bandwidth is
+    /// demanded. Paper: 30 %.
+    pub traffic_ratio_demand: f64,
+    /// θ — converged-state retries with random neighbor states before the
+    /// manager transitions to the idle phase (Algorithm 1). Paper: 3.
+    pub theta_retries: u32,
+    /// Adaptation period between FSM updates (the `sleep(period)` of
+    /// Algorithm 1).
+    pub period: Duration,
+    /// l_P — way count used by the LLC-sensitivity profiling probe
+    /// (§5.4.1). Paper: 2.
+    pub profile_ways: u32,
+    /// M_P — MBA level (percent) used by the bandwidth-sensitivity
+    /// profiling probe. Paper: 20 %.
+    pub profile_mba_percent: u8,
+    /// Performance-degradation threshold that sets an initial FSM state to
+    /// Demand during profiling. Paper: 10 %.
+    pub profile_demand_threshold: f64,
+    /// Periods spent at each profiling allocation (the paper only says
+    /// "briefly"; the first period is discarded as settling time).
+    pub profile_periods: u32,
+    /// Seed for the controller's own randomness (ANY-type preference
+    /// shuffling and neighbor-state selection).
+    pub seed: u64,
+    /// Ablation switch: when false, the memory-bandwidth FSM loses the
+    /// §5.3 cross-resource rule (a small gain after an *LLC* grant then
+    /// demotes Demand → Maintain just like an MBA grant would).
+    pub cross_resource_awareness: bool,
+    /// Ablation switch: when false, Algorithm 2's Hospitals/Residents
+    /// matching is replaced by a greedy single-transfer step
+    /// (highest-slowdown consumer takes from the lowest-slowdown
+    /// producer).
+    pub use_hr_matching: bool,
+}
+
+impl Default for CoPartParams {
+    fn default() -> Self {
+        CoPartParams {
+            alpha_access_rate: 1.5e6,
+            miss_ratio_supply: 0.01,
+            miss_ratio_demand: 0.03,
+            delta_p: 0.05,
+            traffic_ratio_supply: 0.10,
+            traffic_ratio_demand: 0.30,
+            theta_retries: 3,
+            period: Duration::from_millis(200),
+            profile_ways: 2,
+            profile_mba_percent: 20,
+            profile_demand_threshold: 0.10,
+            profile_periods: 4,
+            seed: 0x51C0_FA12,
+            cross_resource_awareness: true,
+            use_hr_matching: true,
+        }
+    }
+}
+
+impl CoPartParams {
+    /// Validates threshold ordering invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `β > Β`, `γ > Γ`, or any threshold is outside `[0, 1]`;
+    /// parameters are configuration, so this is a deployment error worth
+    /// failing fast on.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.miss_ratio_supply <= self.miss_ratio_demand,
+            "β must not exceed Β"
+        );
+        assert!(
+            self.traffic_ratio_supply <= self.traffic_ratio_demand,
+            "γ must not exceed Γ"
+        );
+        for (name, v) in [
+            ("β", self.miss_ratio_supply),
+            ("Β", self.miss_ratio_demand),
+            ("δ_P", self.delta_p),
+            ("γ", self.traffic_ratio_supply),
+            ("Γ", self.traffic_ratio_demand),
+            ("profile threshold", self.profile_demand_threshold),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0, 1]");
+        }
+        assert!(self.profile_ways >= 1, "profiling needs at least one way");
+        assert!(self.profile_periods >= 2, "profiling needs a settle period");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = CoPartParams::default();
+        p.assert_valid();
+        assert_eq!(p.alpha_access_rate, 1.5e6);
+        assert_eq!(p.miss_ratio_supply, 0.01);
+        assert_eq!(p.miss_ratio_demand, 0.03);
+        assert_eq!(p.delta_p, 0.05);
+        assert_eq!(p.traffic_ratio_supply, 0.10);
+        assert_eq!(p.traffic_ratio_demand, 0.30);
+        assert_eq!(p.theta_retries, 3);
+        assert_eq!(p.profile_ways, 2);
+        assert_eq!(p.profile_mba_percent, 20);
+        assert_eq!(p.profile_demand_threshold, 0.10);
+    }
+
+    #[test]
+    #[should_panic(expected = "β must not exceed Β")]
+    fn inverted_miss_thresholds_rejected() {
+        let p = CoPartParams {
+            miss_ratio_supply: 0.05,
+            miss_ratio_demand: 0.01,
+            ..CoPartParams::default()
+        };
+        p.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_threshold_rejected() {
+        let p = CoPartParams {
+            delta_p: 1.5,
+            ..CoPartParams::default()
+        };
+        p.assert_valid();
+    }
+}

@@ -1,0 +1,865 @@
+//! The resource manager's execution flow (Figure 10, Algorithm 1).
+//!
+//! [`ConsolidationRuntime`] drives a set of application groups on an
+//! [`RdtBackend`] through the paper's three phases:
+//!
+//! 1. **Application profiling** (§5.4.1) — each application briefly runs
+//!    with full resources (establishing `IPS_full` for Eq 1), with
+//!    `(l_P, 100 %)` to probe LLC sensitivity, and with `(L, M_P)` to
+//!    probe bandwidth sensitivity; the probes pick the classifiers'
+//!    initial states.
+//! 2. **System state space exploration** (§5.4.2, Algorithm 1) — each
+//!    period the FSMs are updated from counters and Algorithm 2 proposes a
+//!    new state; when the state stops changing, up to θ random neighbor
+//!    states are tried before the manager goes idle.
+//! 3. **Idle** (§5.4.3) — monitoring only; membership or budget changes
+//!    (and sustained unfairness drift) trigger re-adaptation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use copart_rdt::{ClosId, MbaLevel, RdtBackend, RdtError};
+use copart_telemetry::SlidingWindow;
+use copart_workloads::stream::StreamReference;
+
+use crate::fsm::{AppState, Observation};
+use crate::llc_fsm::LlcClassifier;
+use crate::mba_fsm::MbaClassifier;
+use crate::metrics;
+use crate::next_state::{get_next_system_state, AppClassification, AppliedEvents};
+use crate::state::{SystemState, WaysBudget};
+use crate::CoPartParams;
+
+/// Which phase the resource manager is in (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Measuring per-application profiles.
+    Profiling,
+    /// Exploring the system state space (Algorithm 1).
+    Exploring,
+    /// Converged; monitoring only.
+    Idle,
+}
+
+/// One consolidated application under management.
+#[derive(Debug)]
+pub struct ManagedApp {
+    /// The application's resource group (CLOS).
+    pub group: ClosId,
+    /// Display name.
+    pub name: String,
+    /// `IPS_full` measured during profiling (Eq 1 numerator).
+    pub ips_full: f64,
+    /// Fairness weight (default 1): the controller equalizes
+    /// `slowdown / weight`, so a weight-2 application is entitled to run
+    /// twice as close to its solo speed (see
+    /// [`crate::metrics::weighted_unfairness`]).
+    pub weight: f64,
+    window: SlidingWindow,
+    llc_fsm: LlcClassifier,
+    mba_fsm: MbaClassifier,
+    prev_ips: f64,
+    last_ips: f64,
+    last_events: AppliedEvents,
+}
+
+impl ManagedApp {
+    fn new(group: ClosId, name: String) -> ManagedApp {
+        ManagedApp {
+            group,
+            name,
+            ips_full: 0.0,
+            weight: 1.0,
+            window: SlidingWindow::new(8),
+            llc_fsm: LlcClassifier::new(AppState::Maintain),
+            mba_fsm: MbaClassifier::new(AppState::Maintain),
+            prev_ips: 0.0,
+            last_ips: 0.0,
+            last_events: AppliedEvents::default(),
+        }
+    }
+
+    /// Current slowdown estimate (Eq 1).
+    pub fn slowdown(&self) -> f64 {
+        metrics::slowdown(self.ips_full, self.last_ips)
+    }
+
+    /// Weight-normalized slowdown — the quantity the controller equalizes.
+    pub fn weighted_slowdown(&self) -> f64 {
+        self.slowdown() * self.weight
+    }
+
+    /// Current classifier states `(LLC, MBA)`.
+    pub fn classifier_states(&self) -> (AppState, AppState) {
+        (self.llc_fsm.state(), self.mba_fsm.state())
+    }
+}
+
+/// Per-application data recorded each period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppPeriod {
+    /// Application name.
+    pub name: String,
+    /// IPS over the period.
+    pub ips: f64,
+    /// Slowdown estimate (Eq 1).
+    pub slowdown: f64,
+    /// LLC classifier state after the update.
+    pub llc_state: AppState,
+    /// MBA classifier state after the update.
+    pub mba_state: AppState,
+}
+
+/// The record of one adaptation period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodRecord {
+    /// Backend time at the end of the period, nanoseconds.
+    pub time_ns: u64,
+    /// Phase during the period.
+    pub phase: Phase,
+    /// System state in force during the period.
+    pub state: SystemState,
+    /// Per-application measurements.
+    pub apps: Vec<AppPeriod>,
+    /// Unfairness (Eq 2) of the current slowdown estimates.
+    pub unfairness: f64,
+}
+
+/// Configuration of a consolidation run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Controller parameters.
+    pub params: CoPartParams,
+    /// Whether the controller may move LLC ways (false for MBA-only).
+    pub manage_llc: bool,
+    /// Whether the controller may move MBA levels (false for CAT-only).
+    pub manage_mba: bool,
+    /// The machine slice available to the controller.
+    pub budget: WaysBudget,
+    /// STREAM reference miss rates per MBA level (§5.3).
+    pub stream: StreamReference,
+}
+
+/// The CoPart resource manager.
+pub struct ConsolidationRuntime<B: RdtBackend> {
+    backend: B,
+    apps: Vec<ManagedApp>,
+    cfg: RuntimeConfig,
+    state: SystemState,
+    phase: Phase,
+    retry_count: u32,
+    rng: SmallRng,
+    unfairness_at_idle: f64,
+    /// Best (lowest-unfairness) state observed during the current
+    /// exploration, and its unfairness. Random neighbor restarts can walk
+    /// into worse states with no supplier able to undo them; the manager
+    /// settles on the best state seen when it goes idle.
+    best_seen: Option<(f64, SystemState)>,
+}
+
+impl<B: RdtBackend> ConsolidationRuntime<B> {
+    /// Creates a runtime managing the given groups, applies the equal
+    /// split as the initial state, and leaves the manager in the
+    /// profiling phase ([`ConsolidationRuntime::profile`] runs it).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the initial state cannot be applied to the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `groups` is empty or the budget cannot give every
+    /// application a way.
+    pub fn new(
+        mut backend: B,
+        groups: Vec<(ClosId, String)>,
+        cfg: RuntimeConfig,
+    ) -> Result<Self, RdtError> {
+        assert!(!groups.is_empty(), "need at least one application");
+        cfg.params.assert_valid();
+        let apps: Vec<ManagedApp> = groups
+            .into_iter()
+            .map(|(g, name)| ManagedApp::new(g, name))
+            .collect();
+        let state = SystemState::equal_split(apps.len(), &cfg.budget, cfg.budget.mba_cap);
+        let group_ids: Vec<ClosId> = apps.iter().map(|a| a.group).collect();
+        state.apply(&mut backend, &group_ids, &cfg.budget)?;
+        let rng = SmallRng::seed_from_u64(cfg.params.seed);
+        Ok(ConsolidationRuntime {
+            backend,
+            apps,
+            cfg,
+            state,
+            phase: Phase::Profiling,
+            retry_count: 0,
+            rng,
+            unfairness_at_idle: 0.0,
+            best_seen: None,
+        })
+    }
+
+    /// The backend (e.g. to inspect simulator ground truth).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access (e.g. for the case study's outer manager).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The managed applications.
+    pub fn apps(&self) -> &[ManagedApp] {
+        &self.apps
+    }
+
+    /// The current system state.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Sets an application's fairness weight (default 1.0). Takes effect
+    /// from the next period.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive weight (configuration error).
+    pub fn set_weight(&mut self, group: ClosId, weight: f64) -> Result<(), RdtError> {
+        assert!(weight > 0.0, "weights must be positive");
+        let app = self
+            .apps
+            .iter_mut()
+            .find(|a| a.group == group)
+            .ok_or(RdtError::UnknownGroup(group))?;
+        app.weight = weight;
+        // A weight change alters the fairness objective: re-explore.
+        if self.phase == Phase::Idle {
+            self.phase = Phase::Exploring;
+            self.retry_count = 0;
+            self.best_seen = None;
+        }
+        Ok(())
+    }
+
+    fn group_ids(&self) -> Vec<ClosId> {
+        self.apps.iter().map(|a| a.group).collect()
+    }
+
+    /// Measures average IPS (and access rate / miss ratio / miss rate) of
+    /// one application over `periods` periods, discarding the first.
+    fn probe(&mut self, idx: usize, periods: u32) -> Result<(f64, f64, f64, f64), RdtError> {
+        let period = self.cfg.params.period;
+        self.backend.advance(period)?; // Settle.
+        let start = self.backend.read_counters(self.apps[idx].group)?;
+        for _ in 0..periods.max(1) {
+            self.backend.advance(period)?;
+        }
+        let end = self.backend.read_counters(self.apps[idx].group)?;
+        let rates = end
+            .delta_since(&start)
+            .and_then(|d| d.rates())
+            .unwrap_or_default();
+        Ok((
+            rates.ips,
+            rates.llc_accesses_per_sec,
+            rates.miss_ratio,
+            rates.llc_misses_per_sec,
+        ))
+    }
+
+    /// Runs the application profiling phase (§5.4.1): per application,
+    /// measure `IPS_full`, the `(l_P, 100 %)` LLC probe, and the
+    /// `(L, M_P)` bandwidth probe; derive initial classifier states; then
+    /// enter the exploration phase from the equal-split state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures; the phase can be retried.
+    pub fn profile(&mut self) -> Result<(), RdtError> {
+        let p = self.cfg.params.clone();
+        let budget = self.cfg.budget;
+        let machine_ways = self.backend.capabilities().llc_ways;
+        let full_mask = copart_rdt::CbmMask::contiguous(
+            budget.first_way,
+            budget.total_ways,
+            machine_ways,
+        )
+        .expect("budget fits the machine");
+        let probe_mask = copart_rdt::CbmMask::contiguous(
+            budget.first_way,
+            p.profile_ways.min(budget.total_ways),
+            machine_ways,
+        )
+        .expect("budget fits the machine");
+        let group_ids = self.group_ids();
+
+        for i in 0..self.apps.len() {
+            let group = self.apps[i].group;
+
+            // LLC probe first — (l_P, 100 %) — while the application's
+            // footprint is still confined to its equal-split region.
+            // Probing *after* a full-mask stint would let stale lines in
+            // other CLOSes' ways keep serving hits (CAT restricts
+            // allocation, not lookup), masking the app's LLC sensitivity.
+            self.backend.set_cbm(group, probe_mask)?;
+            self.backend.set_mba(group, budget.mba_cap)?;
+            let (ips_llc, probe_access_rate, probe_miss_ratio, _) =
+                self.probe(i, p.profile_periods)?;
+
+            // Full resources: IPS_full (the app's mask may overlap the
+            // others' during the probe, exactly as CAT allows).
+            self.backend.set_cbm(group, full_mask)?;
+            let (ips_full, _, _, miss_rate) = self.probe(i, p.profile_periods)?;
+
+            // Bandwidth probe: (L, M_P).
+            let probe_level = MbaLevel::new(p.profile_mba_percent).min(budget.mba_cap);
+            self.backend.set_mba(group, probe_level)?;
+            let (ips_mba, _, _, _) = self.probe(i, p.profile_periods)?;
+
+            // Restore the shared equal-split allocation for this app.
+            self.state.apply(&mut self.backend, &group_ids, &budget)?;
+
+            let deg = |x: f64| if ips_full > 0.0 { (ips_full - x) / ips_full } else { 0.0 };
+            // Supply when the cache is barely exercised even at l_P ways:
+            // a low access rate means cache-idle, a low miss ratio at l_P
+            // ways means the working set already fits a minimal slice.
+            let llc_initial = if deg(ips_llc) > p.profile_demand_threshold {
+                AppState::Demand
+            } else if probe_access_rate < p.alpha_access_rate
+                || probe_miss_ratio < p.miss_ratio_supply
+            {
+                AppState::Supply
+            } else {
+                AppState::Maintain
+            };
+            let traffic_full = self.cfg.stream.traffic_ratio(miss_rate, budget.mba_cap);
+            let mba_initial = if deg(ips_mba) > p.profile_demand_threshold {
+                AppState::Demand
+            } else if traffic_full < p.traffic_ratio_supply {
+                AppState::Supply
+            } else {
+                AppState::Maintain
+            };
+
+            let app = &mut self.apps[i];
+            app.ips_full = ips_full;
+            app.prev_ips = ips_full;
+            app.last_ips = ips_full;
+            app.llc_fsm.reset(llc_initial);
+            app.mba_fsm.reset(mba_initial);
+            app.window.clear();
+            app.last_events = AppliedEvents::default();
+        }
+
+        self.phase = Phase::Exploring;
+        self.retry_count = 0;
+        self.best_seen = None;
+        Ok(())
+    }
+
+    /// Runs one adaptation period: advance the platform, sample counters,
+    /// update classifiers and slowdowns, and (in the exploration phase)
+    /// apply Algorithm 1's next step.
+    ///
+    /// Per-application counter failures are tolerated: the application
+    /// keeps its previous estimates for the period (a counter dropout must
+    /// not crash the resource manager). Backend `advance` failures
+    /// propagate.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the platform cannot advance or a new state cannot be
+    /// applied.
+    pub fn run_period(&mut self) -> Result<PeriodRecord, RdtError> {
+        let p = self.cfg.params.clone();
+        self.backend.advance(p.period)?;
+
+        // Sample counters and build observations.
+        let mut classifications = Vec::with_capacity(self.apps.len());
+        let mut period_apps = Vec::with_capacity(self.apps.len());
+        for (i, app) in self.apps.iter_mut().enumerate() {
+            let mba_level = self.state.allocs[i].mba;
+            let snapshot = self.backend.read_counters(app.group);
+            let rates = match snapshot {
+                Ok(s) => {
+                    app.window.push(s);
+                    app.window.last_rates()
+                }
+                Err(_) => None, // Dropout: hold previous estimates.
+            };
+            if let Some(r) = rates {
+                let perf_delta = if app.prev_ips > 0.0 {
+                    (r.ips - app.prev_ips) / app.prev_ips
+                } else {
+                    0.0
+                };
+                let traffic_ratio = self
+                    .cfg
+                    .stream
+                    .traffic_ratio(r.llc_misses_per_sec, mba_level);
+                let base = Observation {
+                    perf_delta,
+                    access_rate: r.llc_accesses_per_sec,
+                    miss_ratio: r.miss_ratio,
+                    traffic_ratio,
+                    event: app.last_events.llc_event(),
+                };
+                app.llc_fsm.update(&p, &base);
+                let mba_obs = Observation {
+                    event: app.last_events.mba_event(),
+                    ..base
+                };
+                app.mba_fsm.update(&p, &mba_obs);
+                app.prev_ips = app.last_ips;
+                app.last_ips = r.ips;
+            }
+            app.last_events = AppliedEvents::default();
+            classifications.push(AppClassification {
+                llc: app.llc_fsm.state(),
+                mba: app.mba_fsm.state(),
+                // Weight-normalized: a high-priority application competes
+                // as if it were more slowed than it is.
+                slowdown: app.weighted_slowdown(),
+            });
+            period_apps.push(AppPeriod {
+                name: app.name.clone(),
+                ips: app.last_ips,
+                slowdown: app.slowdown(),
+                llc_state: app.llc_fsm.state(),
+                mba_state: app.mba_fsm.state(),
+            });
+        }
+
+        let slowdowns: Vec<f64> = classifications.iter().map(|c| c.slowdown).collect();
+        let current_unfairness = metrics::unfairness(&slowdowns);
+
+        match self.phase {
+            Phase::Exploring => {
+                // The unfairness just measured belongs to the state that
+                // was in force during this period; remember the best. The
+                // first period after (re)starting carries bootstrap
+                // slowdowns (exactly 1.0 for everyone, unfairness 0), so
+                // only states with two real counter samples qualify.
+                let measured = self.apps.iter().all(|a| a.window.len() >= 2);
+                if measured
+                    && current_unfairness.is_finite()
+                    && self
+                        .best_seen
+                        .as_ref()
+                        .is_none_or(|(u, _)| current_unfairness < *u)
+                {
+                    self.best_seen = Some((current_unfairness, self.state.clone()));
+                }
+                let outcome = if p.use_hr_matching {
+                    get_next_system_state(
+                        &self.state,
+                        &classifications,
+                        &self.cfg.budget,
+                        &mut self.rng,
+                        self.cfg.manage_llc,
+                        self.cfg.manage_mba,
+                    )
+                } else {
+                    crate::next_state::get_next_system_state_greedy(
+                        &self.state,
+                        &classifications,
+                        &self.cfg.budget,
+                        self.cfg.manage_llc,
+                        self.cfg.manage_mba,
+                    )
+                };
+                if outcome.changed {
+                    self.state = outcome.state;
+                    self.apply_state()?;
+                    for (app, ev) in self.apps.iter_mut().zip(outcome.events) {
+                        app.last_events = ev;
+                    }
+                    self.retry_count = 0;
+                } else if self.retry_count < p.theta_retries
+                    && (self.cfg.manage_llc || self.cfg.manage_mba)
+                {
+                    // Algorithm 1 lines 11–14: random neighbor restart.
+                    let neighbor = self.state.neighbor(
+                        &self.cfg.budget,
+                        &mut self.rng,
+                        self.cfg.manage_llc,
+                        self.cfg.manage_mba,
+                    );
+                    let events = diff_events(&self.state, &neighbor);
+                    self.state = neighbor;
+                    self.apply_state()?;
+                    for (app, ev) in self.apps.iter_mut().zip(events) {
+                        app.last_events = ev;
+                    }
+                    self.retry_count += 1;
+                } else {
+                    // Converged: settle on the best state seen during this
+                    // exploration (random restarts may have left us on a
+                    // worse state with no producer able to undo them).
+                    if let Some((best_u, best_state)) = self.best_seen.take() {
+                        if best_state != self.state && best_u < current_unfairness {
+                            let events = diff_events(&self.state, &best_state);
+                            self.state = best_state;
+                            self.apply_state()?;
+                            for (app, ev) in self.apps.iter_mut().zip(events) {
+                                app.last_events = ev;
+                            }
+                            self.unfairness_at_idle = best_u;
+                        } else {
+                            self.unfairness_at_idle = current_unfairness;
+                        }
+                    } else {
+                        self.unfairness_at_idle = current_unfairness;
+                    }
+                    self.phase = Phase::Idle;
+                }
+            }
+            Phase::Idle => {
+                // §5.4.3: monitor only, but resume adaptation when the
+                // fairness picture drifts substantially.
+                if current_unfairness > self.unfairness_at_idle * 1.5 + 0.02 {
+                    self.phase = Phase::Exploring;
+                    self.retry_count = 0;
+                    self.best_seen = None;
+                }
+            }
+            Phase::Profiling => {
+                // run_period before profile(): measure only.
+            }
+        }
+
+        Ok(PeriodRecord {
+            time_ns: self.backend.now_ns(),
+            phase: self.phase,
+            state: self.state.clone(),
+            apps: period_apps,
+            unfairness: current_unfairness,
+        })
+    }
+
+    /// Runs `n` periods, collecting the records.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first backend failure.
+    pub fn run_periods(&mut self, n: u32) -> Result<Vec<PeriodRecord>, RdtError> {
+        (0..n).map(|_| self.run_period()).collect()
+    }
+
+    /// Installs a new resource budget (the §6.3 outer server manager
+    /// shrinking or growing the batch partition) and triggers
+    /// re-adaptation from the equal split within the new budget.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the new state cannot be applied.
+    pub fn set_budget(&mut self, budget: WaysBudget) -> Result<(), RdtError> {
+        self.cfg.budget = budget;
+        self.state = SystemState::equal_split(self.apps.len(), &budget, budget.mba_cap);
+        self.apply_state()?;
+        for app in &mut self.apps {
+            app.last_events = AppliedEvents::default();
+            app.window.clear();
+        }
+        self.phase = Phase::Exploring;
+        self.retry_count = 0;
+        self.best_seen = None;
+        Ok(())
+    }
+
+    /// Removes a terminated application and re-adapts the remainder (the
+    /// idle phase's change detection, §5.4.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or when the shrunken state cannot be
+    /// applied.
+    pub fn remove_app(&mut self, group: ClosId) -> Result<(), RdtError> {
+        let idx = self
+            .apps
+            .iter()
+            .position(|a| a.group == group)
+            .ok_or(RdtError::UnknownGroup(group))?;
+        self.apps.remove(idx);
+        if self.apps.is_empty() {
+            return Ok(());
+        }
+        // Hand the departed application's resources back via equal split
+        // and re-explore.
+        self.state =
+            SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
+        self.apply_state()?;
+        self.phase = Phase::Exploring;
+        self.retry_count = 0;
+        self.best_seen = None;
+        Ok(())
+    }
+
+    /// Adds a newly launched application. The whole consolidation is
+    /// re-profiled (§5.4.3: a launch triggers the adaptation process).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the re-profiled initial state cannot be applied.
+    pub fn add_app(&mut self, group: ClosId, name: String) -> Result<(), RdtError> {
+        self.apps.push(ManagedApp::new(group, name));
+        self.state =
+            SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
+        self.apply_state()?;
+        self.phase = Phase::Profiling;
+        self.retry_count = 0;
+        self.best_seen = None;
+        self.profile()
+    }
+
+    fn apply_state(&mut self) -> Result<(), RdtError> {
+        let groups = self.group_ids();
+        self.state.apply(&mut self.backend, &groups, &self.cfg.budget)
+    }
+}
+
+/// Derives per-application events from the difference between two states
+/// (used when a random neighbor state is applied).
+fn diff_events(from: &SystemState, to: &SystemState) -> Vec<AppliedEvents> {
+    from.allocs
+        .iter()
+        .zip(&to.allocs)
+        .map(|(a, b)| AppliedEvents {
+            granted_llc: b.ways > a.ways,
+            reclaimed_llc: b.ways < a.ways,
+            granted_mba: b.mba > a.mba,
+            reclaimed_mba: b.mba < a.mba,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copart_rdt::SimBackend;
+    use copart_sim::{Machine, MachineConfig};
+    use copart_workloads::{mixes::MixKind, mixes::WorkloadMix, stream::StreamReference};
+
+    fn make_runtime(kind: MixKind) -> ConsolidationRuntime<SimBackend> {
+        let machine_cfg = MachineConfig::xeon_gold_6130();
+        let stream = StreamReference::compute(&machine_cfg, 4);
+        let mut backend = SimBackend::new(Machine::new(machine_cfg.clone()));
+        let mix = WorkloadMix::paper_default(kind);
+        let mut groups = Vec::new();
+        for spec in mix.specs() {
+            let name = spec.name.clone();
+            let g = backend.add_workload(spec).unwrap();
+            groups.push((g, name));
+        }
+        let cfg = RuntimeConfig {
+            params: CoPartParams::default(),
+            manage_llc: true,
+            manage_mba: true,
+            budget: WaysBudget::full_machine(machine_cfg.llc_ways),
+            stream,
+        };
+        ConsolidationRuntime::new(backend, groups, cfg).unwrap()
+    }
+
+    #[test]
+    fn profiling_fills_ips_full_and_initial_states() {
+        let mut rt = make_runtime(MixKind::HighLlc);
+        assert_eq!(rt.phase(), Phase::Profiling);
+        rt.profile().unwrap();
+        assert_eq!(rt.phase(), Phase::Exploring);
+        for app in rt.apps() {
+            assert!(app.ips_full > 0.0, "{} has no IPS_full", app.name);
+        }
+        // The insensitive member (swaptions) must come out Supply/Supply.
+        let sw = rt.apps().iter().find(|a| a.name == "swaptions").unwrap();
+        assert_eq!(
+            sw.classifier_states(),
+            (AppState::Supply, AppState::Supply),
+            "an insensitive app should supply both resources"
+        );
+    }
+
+    #[test]
+    fn exploration_converges_to_idle() {
+        let mut rt = make_runtime(MixKind::HighLlc);
+        rt.profile().unwrap();
+        let records = rt.run_periods(60).unwrap();
+        assert_eq!(
+            records.last().unwrap().phase,
+            Phase::Idle,
+            "exploration should converge within 60 periods"
+        );
+        // The state in force is always valid.
+        for r in &records {
+            assert!(r.state.is_valid(&WaysBudget::full_machine(11)));
+        }
+    }
+
+    #[test]
+    fn exploration_finds_a_sensitivity_proportional_split() {
+        // Ground-truth fairness comparisons live in `policies::tests`;
+        // here we assert the *structure* the paper predicts for the
+        // H-LLC mix (§4.2): water_nsquared needs 4 ways for 90 % of its
+        // performance, while the insensitive member can live on the
+        // minimum.
+        let mut rt = make_runtime(MixKind::HighLlc);
+        rt.profile().unwrap();
+        let records = rt.run_periods(60).unwrap();
+        let last = records.last().unwrap();
+        let idx = |name: &str| last.apps.iter().position(|a| a.name == name).unwrap();
+        let wn = last.state.allocs[idx("water_nsquared")];
+        let sw = last.state.allocs[idx("swaptions")];
+        assert!(
+            wn.ways >= 4,
+            "water_nsquared needs ≥4 ways, got {:?}",
+            wn
+        );
+        assert!(
+            sw.ways <= 2,
+            "the insensitive member should donate its ways, got {:?}",
+            sw
+        );
+        assert!(wn.ways > sw.ways);
+    }
+
+    #[test]
+    fn budget_change_triggers_readaptation() {
+        let mut rt = make_runtime(MixKind::ModerateBoth);
+        rt.profile().unwrap();
+        rt.run_periods(50).unwrap();
+        let shrunk = WaysBudget {
+            first_way: 6,
+            total_ways: 5,
+            mba_cap: MbaLevel::new(40),
+        };
+        rt.set_budget(shrunk).unwrap();
+        assert_eq!(rt.phase(), Phase::Exploring);
+        let records = rt.run_periods(30).unwrap();
+        for r in &records {
+            assert!(r.state.is_valid(&shrunk), "state exceeds shrunk budget");
+            assert!(r.state.allocs.iter().all(|a| a.mba <= shrunk.mba_cap));
+        }
+    }
+
+    #[test]
+    fn app_removal_redistributes_resources() {
+        let mut rt = make_runtime(MixKind::HighBw);
+        rt.profile().unwrap();
+        rt.run_periods(20).unwrap();
+        let victim = rt.apps()[0].group;
+        let n_before = rt.apps().len();
+        rt.remove_app(victim).unwrap();
+        assert_eq!(rt.apps().len(), n_before - 1);
+        assert_eq!(rt.phase(), Phase::Exploring);
+        let r = rt.run_period().unwrap();
+        assert_eq!(r.apps.len(), n_before - 1);
+    }
+
+    #[test]
+    fn remove_unknown_group_fails() {
+        let mut rt = make_runtime(MixKind::Insensitive);
+        assert!(matches!(
+            rt.remove_app(ClosId(999)),
+            Err(RdtError::UnknownGroup(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+    use copart_rdt::SimBackend;
+    use copart_sim::{Machine, MachineConfig};
+    use copart_workloads::stream::StreamReference;
+    use copart_workloads::Benchmark;
+
+    #[test]
+    fn weighted_app_wins_contested_resources() {
+        let machine_cfg = MachineConfig::xeon_gold_6130();
+        let stream = StreamReference::compute(&machine_cfg, 4);
+        let mut backend = SimBackend::new(Machine::new(machine_cfg.clone()));
+        // Two identical LLC-hungry apps plus two insensitive donors.
+        let mut groups = Vec::new();
+        for (i, b) in [
+            Benchmark::WaterNsquared,
+            Benchmark::WaterNsquared,
+            Benchmark::Swaptions,
+            Benchmark::Ep,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut spec = b.spec();
+            spec.name = format!("{}#{i}", spec.name);
+            let name = spec.name.clone();
+            groups.push((backend.add_workload(spec).unwrap(), name));
+        }
+        let favored = groups[0].0;
+        let rival = groups[1].0;
+        let cfg = RuntimeConfig {
+            params: CoPartParams::default(),
+            manage_llc: true,
+            manage_mba: true,
+            budget: WaysBudget::full_machine(machine_cfg.llc_ways),
+            stream,
+        };
+        let mut rt = ConsolidationRuntime::new(backend, groups, cfg).unwrap();
+        rt.set_weight(favored, 3.0).unwrap();
+        rt.profile().unwrap();
+        let records = rt.run_periods(60).unwrap();
+        let last = records.last().unwrap();
+        let idx = |g: ClosId| rt.apps().iter().position(|a| a.group == g).unwrap();
+        let favored_ways = last.state.allocs[idx(favored)].ways;
+        let rival_ways = last.state.allocs[idx(rival)].ways;
+        assert!(
+            favored_ways >= rival_ways,
+            "weight-3 app holds {favored_ways} ways vs identical rival's {rival_ways}"
+        );
+        assert!(favored_ways >= 4, "the favored app should reach its knee");
+    }
+
+    #[test]
+    fn weight_change_reopens_exploration() {
+        let machine_cfg = MachineConfig::xeon_gold_6130();
+        let stream = StreamReference::compute(&machine_cfg, 4);
+        let mut backend = SimBackend::new(Machine::new(machine_cfg.clone()));
+        let mut groups = Vec::new();
+        for b in [Benchmark::WaterNsquared, Benchmark::Swaptions] {
+            let spec = b.spec();
+            let name = spec.name.clone();
+            groups.push((backend.add_workload(spec).unwrap(), name));
+        }
+        let g = groups[0].0;
+        let cfg = RuntimeConfig {
+            params: CoPartParams::default(),
+            manage_llc: true,
+            manage_mba: true,
+            budget: WaysBudget::full_machine(machine_cfg.llc_ways),
+            stream,
+        };
+        let mut rt = ConsolidationRuntime::new(backend, groups, cfg).unwrap();
+        rt.profile().unwrap();
+        rt.run_periods(40).unwrap();
+        assert_eq!(rt.phase(), Phase::Idle);
+        rt.set_weight(g, 2.0).unwrap();
+        assert_eq!(rt.phase(), Phase::Exploring);
+        assert!(matches!(
+            rt.set_weight(ClosId(999), 1.0),
+            Err(RdtError::UnknownGroup(_))
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! Long-horizon invariants of the resource manager: whatever the mix and
+//! seed, every state ever applied must satisfy the partitioning rules,
+//! and the manager must always terminate its exploration.
+
+use copart_core::runtime::{ConsolidationRuntime, RuntimeConfig};
+use copart_core::state::WaysBudget;
+use copart_core::{CoPartParams, Phase};
+use copart_rdt::{ClosId, SimBackend};
+use copart_sim::{Machine, MachineConfig};
+use copart_workloads::stream::StreamReference;
+use copart_workloads::{MixKind, WorkloadMix};
+use std::sync::OnceLock;
+
+fn stream() -> &'static StreamReference {
+    static S: OnceLock<StreamReference> = OnceLock::new();
+    S.get_or_init(|| StreamReference::compute(&MachineConfig::xeon_gold_6130(), 4))
+}
+
+fn run_with_seed(kind: MixKind, seed: u64) -> Vec<copart_core::PeriodRecord> {
+    let cfg = MachineConfig::xeon_gold_6130();
+    let mut backend = SimBackend::new(Machine::new(cfg.clone()));
+    let mut groups: Vec<(ClosId, String)> = Vec::new();
+    for spec in WorkloadMix::paper_default(kind).specs() {
+        let name = spec.name.clone();
+        groups.push((backend.add_workload(spec).unwrap(), name));
+    }
+    let rcfg = RuntimeConfig {
+        params: CoPartParams {
+            seed,
+            ..CoPartParams::default()
+        },
+        manage_llc: true,
+        manage_mba: true,
+        budget: WaysBudget::full_machine(cfg.llc_ways),
+        stream: stream().clone(),
+    };
+    let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
+    rt.profile().unwrap();
+    rt.run_periods(80).unwrap()
+}
+
+#[test]
+fn every_applied_state_is_valid_across_seeds_and_mixes() {
+    let budget = WaysBudget::full_machine(11);
+    for kind in [MixKind::HighLlc, MixKind::HighBw, MixKind::HighBoth] {
+        for seed in [1u64, 99, 0xDEAD] {
+            let records = run_with_seed(kind, seed);
+            for r in &records {
+                assert!(
+                    r.state.is_valid(&budget),
+                    "{:?} seed {seed}: invalid state {:?}",
+                    kind,
+                    r.state
+                );
+                assert!(r.unfairness.is_finite() && r.unfairness >= 0.0);
+                for app in &r.apps {
+                    assert!(app.slowdown.is_finite() && app.slowdown > 0.0);
+                }
+            }
+            // Every exploration run reaches idle within the horizon:
+            // Algorithm 1's θ retries bound the search.
+            assert_eq!(
+                records.last().unwrap().phase,
+                Phase::Idle,
+                "{kind:?} seed {seed} never converged"
+            );
+        }
+    }
+}
+
+#[test]
+fn time_advances_monotonically_across_periods() {
+    let records = run_with_seed(MixKind::ModerateBoth, 7);
+    for pair in records.windows(2) {
+        assert!(pair[1].time_ns > pair[0].time_ns);
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared infrastructure for the experiment harness: cached measurement
+//! context and plain-text table rendering.
+
+use std::collections::HashMap;
+
+use copart_core::policies::{self, EvalOptions, EvalResult, PolicyKind};
+use copart_sim::{AppSpec, MachineConfig};
+use copart_workloads::stream::StreamReference;
+use copart_workloads::{MixKind, WorkloadMix};
+
+/// Cached per-session measurement context: machine configuration, STREAM
+/// reference, and memoized solo full-resource IPS per spec (keyed by name
+/// and core count).
+pub struct Context {
+    /// The simulated testbed.
+    pub machine: MachineConfig,
+    /// STREAM miss-rate reference table.
+    pub stream: StreamReference,
+    solo_cache: HashMap<(String, u32), f64>,
+}
+
+impl Context {
+    /// Builds the context on the paper's testbed configuration.
+    pub fn new() -> Context {
+        let machine = MachineConfig::xeon_gold_6130();
+        let stream = StreamReference::compute(&machine, 4);
+        Context {
+            machine,
+            stream,
+            solo_cache: HashMap::new(),
+        }
+    }
+
+    /// Builds the context for a machine with a different total LLC way
+    /// count (the Figure 14 sweep).
+    pub fn with_ways(ways: u32) -> Context {
+        let mut machine = MachineConfig::xeon_gold_6130();
+        machine.llc_ways = ways;
+        let stream = StreamReference::compute(&machine, 4);
+        Context {
+            machine,
+            stream,
+            solo_cache: HashMap::new(),
+        }
+    }
+
+    /// Solo full-resource IPS for each spec (memoized).
+    pub fn solo_full(&mut self, specs: &[AppSpec]) -> Vec<f64> {
+        specs
+            .iter()
+            .map(|s| {
+                let key = (s.name.clone(), s.cores);
+                if let Some(&v) = self.solo_cache.get(&key) {
+                    return v;
+                }
+                let v = copart_workloads::measure::measure_full(&self.machine, s).0;
+                self.solo_cache.insert(key, v);
+                v
+            })
+            .collect()
+    }
+
+    /// Runs one `(mix, policy)` evaluation cell.
+    pub fn run_policy(
+        &mut self,
+        mix: &WorkloadMix,
+        policy: PolicyKind,
+        opts: &EvalOptions,
+    ) -> EvalResult {
+        let specs = mix.specs();
+        let full = self.solo_full(&specs);
+        policies::evaluate_policy(&self.machine, &specs, &full, &self.stream, policy, opts)
+    }
+
+    /// Unfairness of every evaluated policy on a mix, as
+    /// `(policy, unfairness, throughput)` rows.
+    pub fn policy_row(
+        &mut self,
+        kind: MixKind,
+        n_apps: usize,
+        opts: &EvalOptions,
+    ) -> Vec<(PolicyKind, EvalResult)> {
+        let mix = WorkloadMix::build(kind, n_apps, self.machine.n_cores);
+        PolicyKind::evaluated()
+            .into_iter()
+            .map(|p| (p, self.run_policy(&mix, p, opts)))
+            .collect()
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+/// Default evaluation lengths used by the figure harnesses (~30 s of
+/// virtual time per run at the 200 ms period).
+pub fn default_opts() -> EvalOptions {
+    EvalOptions::default()
+}
+
+/// Renders an aligned plain-text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table and, when `REPRO_CSV_DIR` is set, also writes it
+    /// as `<dir>/<name>.csv` for plotting.
+    pub fn emit(&self, name: &str) {
+        self.print();
+        let Ok(dir) = std::env::var("REPRO_CSV_DIR") else {
+            return;
+        };
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| {
+            let mut out = String::new();
+            let csv_row = |cells: &[String]| {
+                cells
+                    .iter()
+                    .map(|c| {
+                        if c.contains(',') || c.contains('"') {
+                            format!("\"{}\"", c.replace('"', "\"\""))
+                        } else {
+                            c.clone()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&csv_row(&self.header));
+            out.push('\n');
+            for row in &self.rows {
+                out.push_str(&csv_row(row));
+                out.push('\n');
+            }
+            std::fs::write(&path, out)
+        }) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("(csv written to {})", path.display());
+        }
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a ratio to three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a rate in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        // Printing must not panic; width bookkeeping is internal.
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(sci(12345.0), "1.23e4");
+    }
+
+    #[test]
+    fn emit_writes_csv_when_directed() {
+        let dir = std::env::temp_dir().join(format!("copart-csv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // SAFETY-free: tests in this binary run single-threaded with
+        // respect to this env var (no other test touches it).
+        std::env::set_var("REPRO_CSV_DIR", &dir);
+        let mut t = Table::new(&["mix", "value"]);
+        t.row(vec!["H-LLC".into(), "0.123".into()]);
+        t.row(vec!["with,comma".into(), "0.5".into()]);
+        t.emit("unit_test_table");
+        std::env::remove_var("REPRO_CSV_DIR");
+        let text = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
+        assert_eq!(text, "mix,value\nH-LLC,0.123\n\"with,comma\",0.5\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn context_memoizes_solo_measurements() {
+        let mut ctx = Context::new();
+        let specs = vec![copart_workloads::Benchmark::Swaptions.spec()];
+        let first = ctx.solo_full(&specs);
+        let second = ctx.solo_full(&specs);
+        assert_eq!(first, second);
+        assert!(first[0] > 0.0);
+    }
+}

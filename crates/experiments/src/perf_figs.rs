@@ -1,0 +1,105 @@
+//! Figures 1–3: solo performance heatmaps over (LLC ways × MBA level).
+//!
+//! Each tile is the benchmark's IPS at that allocation, normalized to the
+//! best tile — exactly the quantity the paper plots. The harness prints
+//! one matrix per benchmark (rows = MBA level, columns = way count) plus
+//! the §4.1 anchor summary.
+
+use copart_sim::{MachineConfig, MbaLevel};
+use copart_workloads::{measure, Benchmark};
+
+/// Figure 1: LLC-sensitive benchmarks.
+pub fn fig1() {
+    heatmaps(
+        "Figure 1 — LLC-sensitive benchmarks",
+        &[
+            Benchmark::WaterNsquared,
+            Benchmark::WaterSpatial,
+            Benchmark::Raytrace,
+        ],
+    );
+    anchors_ways();
+}
+
+/// Figure 2: memory bandwidth-sensitive benchmarks.
+pub fn fig2() {
+    heatmaps(
+        "Figure 2 — memory bandwidth-sensitive benchmarks",
+        &[Benchmark::OceanCp, Benchmark::Cg, Benchmark::Ft],
+    );
+    anchors_mba();
+}
+
+/// Figure 3: LLC- and memory bandwidth-sensitive benchmarks.
+pub fn fig3() {
+    heatmaps(
+        "Figure 3 — LLC- & memory BW-sensitive benchmarks",
+        &[Benchmark::Sp, Benchmark::OceanNcp, Benchmark::Fmm],
+    );
+    // §4.1: SP achieves similar performance at (8 ways, MBA 20) and
+    // (3 ways, MBA 40).
+    let cfg = MachineConfig::xeon_gold_6130();
+    let spec = Benchmark::Sp.spec();
+    let a = measure::measure_ips(&cfg, &spec, 8, MbaLevel::new(20));
+    let b = measure::measure_ips(&cfg, &spec, 3, MbaLevel::new(40));
+    println!(
+        "\nSP equivalent states: IPS(8 ways, MBA 20) = {a:.3e}, IPS(3 ways, MBA 40) = {b:.3e} (ratio {:.2})",
+        a / b
+    );
+}
+
+fn heatmaps(title: &str, benches: &[Benchmark]) {
+    let cfg = MachineConfig::xeon_gold_6130();
+    println!("{title}");
+    println!("(tiles: IPS normalized to the best allocation; rows = MBA level, cols = ways)\n");
+    for b in benches {
+        let spec = b.spec();
+        let mut grid = Vec::new();
+        let mut best = 0.0f64;
+        for level in MbaLevel::all() {
+            let mut row = Vec::new();
+            for ways in 1..=cfg.llc_ways {
+                let ips = measure::measure_ips(&cfg, &spec, ways, level);
+                best = best.max(ips);
+                row.push(ips);
+            }
+            grid.push((level, row));
+        }
+        println!("{} ({})", b.table2().short, spec.name);
+        print!("      ");
+        for ways in 1..=cfg.llc_ways {
+            print!("  w{ways:<3}");
+        }
+        println!();
+        for (level, row) in grid.iter().rev() {
+            print!("m{:<4}", level.percent());
+            for ips in row {
+                print!("  {:.2} ", ips / best);
+            }
+            println!();
+        }
+        println!();
+    }
+}
+
+fn anchors_ways() {
+    let cfg = MachineConfig::xeon_gold_6130();
+    println!("90%-performance way requirements (paper: WN 4, WS 3, RT 2):");
+    for b in [
+        Benchmark::WaterNsquared,
+        Benchmark::WaterSpatial,
+        Benchmark::Raytrace,
+    ] {
+        let w = measure::required_ways(&cfg, &b.spec(), 0.9);
+        println!("  {}: {:?} ways", b.table2().short, w);
+    }
+}
+
+fn anchors_mba() {
+    let cfg = MachineConfig::xeon_gold_6130();
+    println!("90%-performance MBA requirements (paper: OC 30, CG 20, FT 30):");
+    for b in [Benchmark::OceanCp, Benchmark::Cg, Benchmark::Ft] {
+        let l = measure::required_mba(&cfg, &b.spec(), 0.9).map(|l| l.percent());
+        println!("  {}: {:?}%", b.table2().short, l);
+    }
+}

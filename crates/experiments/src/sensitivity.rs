@@ -1,0 +1,183 @@
+//! Figures 11, 13, 14, 17: sensitivity sweeps and throughput.
+
+use copart_core::metrics::geomean;
+use copart_core::policies::{EvalOptions, PolicyKind};
+use copart_core::CoPartParams;
+use copart_workloads::{MixKind, WorkloadMix};
+
+use crate::common::{default_opts, f3, Context, Table};
+
+/// Figure 11: sensitivity of CoPart's fairness to the three key design
+/// parameters — δ_P (performance threshold), Β (LLC miss-ratio demand
+/// threshold), and Γ (memory-traffic-ratio demand threshold). Each series
+/// is normalized to the paper-default setting.
+pub fn fig11() {
+    let mut ctx = Context::new();
+    // The sensitivity study averages across the sensitive 4-app mixes.
+    let kinds = [MixKind::HighLlc, MixKind::HighBw, MixKind::HighBoth];
+    let opts = EvalOptions {
+        total_periods: 80,
+        measure_periods: 40,
+        ..default_opts()
+    };
+
+    let sweep = |label: &str,
+                 values: &[f64],
+                 default_value: f64,
+                 make: &dyn Fn(f64) -> CoPartParams,
+                 ctx: &mut Context| {
+        let mut unf = Vec::new();
+        for &v in values {
+            let params = make(v);
+            let mut per_mix = Vec::new();
+            for kind in kinds {
+                let mix = WorkloadMix::paper_default(kind);
+                let specs = mix.specs();
+                let full = ctx.solo_full(&specs);
+                let r = copart_core::policies::evaluate_copart_with_params(
+                    &ctx.machine,
+                    &specs,
+                    &full,
+                    &ctx.stream,
+                    &params,
+                    &opts,
+                );
+                per_mix.push(r.unfairness.max(1e-6));
+            }
+            unf.push(geomean(&per_mix));
+        }
+        let default_idx = values
+            .iter()
+            .position(|&v| (v - default_value).abs() < 1e-12)
+            .expect("default value is in the sweep");
+        let norm = unf[default_idx].max(1e-9);
+        println!("\n{label} (normalized to the paper default {default_value}):");
+        let mut t = Table::new(&["value", "unfairness (norm.)"]);
+        for (v, u) in values.iter().zip(&unf) {
+            t.row(vec![format!("{v}"), f3(u / norm)]);
+        }
+        t.print();
+    };
+
+    println!("Figure 11 — sensitivity to the design parameters");
+    println!("(geomean unfairness over the H-LLC, H-BW, H-Both mixes)");
+
+    sweep(
+        "(a) performance threshold δ_P",
+        &[0.01, 0.03, 0.05, 0.20, 0.40],
+        0.05,
+        &|v| CoPartParams {
+            delta_p: v,
+            ..CoPartParams::default()
+        },
+        &mut ctx,
+    );
+    sweep(
+        "(b) LLC miss ratio threshold Β",
+        &[0.01, 0.02, 0.03, 0.06, 0.12],
+        0.03,
+        &|v| CoPartParams {
+            miss_ratio_demand: v,
+            miss_ratio_supply: (v / 3.0).min(0.01),
+            ..CoPartParams::default()
+        },
+        &mut ctx,
+    );
+    sweep(
+        "(c) memory traffic ratio threshold Γ",
+        &[0.05, 0.10, 0.30, 0.60, 0.90],
+        0.30,
+        &|v| CoPartParams {
+            traffic_ratio_demand: v,
+            traffic_ratio_supply: (v / 3.0).min(0.10),
+            ..CoPartParams::default()
+        },
+        &mut ctx,
+    );
+}
+
+/// Figure 13: unfairness of every policy, swept over application counts
+/// 3–6, geomean across the seven mixes, normalized to EQ.
+pub fn fig13() {
+    println!("Figure 13 — sensitivity to the application count");
+    println!("(geomean over the 7 mixes, normalized to EQ; lower is better)");
+    println!("Paper: CoPart is 23.3% better than EQ at 3 apps, 70.6% at 6.\n");
+    count_sweep(|r| r.unfairness.max(1e-6), true);
+}
+
+/// Figure 17: throughput (geomean IPS) of every policy, swept over
+/// application counts, normalized to EQ (higher is better).
+pub fn fig17() {
+    println!("Figure 17 — throughput vs application count");
+    println!("(geomean IPS over the 7 mixes, normalized to EQ; higher is better)");
+    println!("Paper: CoPart is comparable to or slightly better than the others.\n");
+    count_sweep(|r| r.throughput.max(1.0), false);
+}
+
+fn count_sweep(metric: impl Fn(&copart_core::policies::EvalResult) -> f64, print_copart_gain: bool) {
+    let mut ctx = Context::new();
+    let opts = default_opts();
+    let policies = PolicyKind::evaluated();
+    let mut t = Table::new(&["apps", "EQ", "ST", "CAT-only", "MBA-only", "CoPart"]);
+    for n in 3..=6usize {
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        for kind in MixKind::all() {
+            let results = ctx.policy_row(kind, n, &opts);
+            let eq = metric(
+                &results
+                    .iter()
+                    .find(|(p, _)| *p == PolicyKind::Equal)
+                    .expect("EQ evaluated")
+                    .1,
+            );
+            for (i, (_, r)) in results.iter().enumerate() {
+                per_policy[i].push(if eq > 0.0 { metric(r) / eq } else { 1.0 });
+            }
+        }
+        let mut cells = vec![n.to_string()];
+        for series in &per_policy {
+            cells.push(f3(geomean(series)));
+        }
+        if print_copart_gain {
+            let copart = geomean(&per_policy[4]);
+            println!("  n={n}: CoPart improvement over EQ = {:.1}%", (1.0 - copart) * 100.0);
+        }
+        t.row(cells);
+    }
+    println!();
+    t.emit(if print_copart_gain { "fig13" } else { "fig17" });
+}
+
+/// Figure 14: unfairness of every policy as the total LLC capacity is
+/// swept from 7 to 11 ways, geomean over the seven mixes, normalized to
+/// EQ.
+pub fn fig14() {
+    println!("Figure 14 — sensitivity to the total LLC capacity");
+    println!("(4-app mixes; geomean over the 7 mixes, normalized to EQ)\n");
+    let opts = default_opts();
+    let policies = PolicyKind::evaluated();
+    let mut t = Table::new(&["ways", "EQ", "ST", "CAT-only", "MBA-only", "CoPart"]);
+    for ways in 7..=11u32 {
+        let mut ctx = Context::with_ways(ways);
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        for kind in MixKind::all() {
+            let results = ctx.policy_row(kind, 4, &opts);
+            let eq = results
+                .iter()
+                .find(|(p, _)| *p == PolicyKind::Equal)
+                .expect("EQ evaluated")
+                .1
+                .unfairness
+                .max(1e-6);
+            for (i, (_, r)) in results.iter().enumerate() {
+                per_policy[i].push((r.unfairness / eq).max(1e-6));
+            }
+        }
+        let mut cells = vec![ways.to_string()];
+        for series in &per_policy {
+            cells.push(f3(geomean(series)));
+        }
+        t.row(cells);
+    }
+    t.emit("fig14");
+}

@@ -1,0 +1,82 @@
+//! Tables 1 and 2 of the paper.
+
+use copart_sim::{MachineConfig, MbaLevel};
+use copart_workloads::{measure, Benchmark};
+
+use crate::common::{sci, Table};
+
+/// Table 1: the (simulated) system configuration.
+pub fn table1() {
+    let cfg = MachineConfig::xeon_gold_6130();
+    let mut t = Table::new(&["Component", "Description"]);
+    t.row(vec![
+        "Processor".into(),
+        format!(
+            "Simulated Intel Xeon Gold 6130 @ {:.1}GHz, {} cores",
+            cfg.freq_hz / 1e9,
+            cfg.n_cores
+        ),
+    ]);
+    t.row(vec![
+        "L3 cache".into(),
+        format!(
+            "Shared, {}MB, {} ways ({} sets × {}B lines, 1/{} set-sampled)",
+            cfg.llc_bytes() / (1024 * 1024),
+            cfg.llc_ways,
+            cfg.true_sets(),
+            cfg.line_bytes,
+            cfg.scale
+        ),
+    ]);
+    t.row(vec![
+        "Memory".into(),
+        format!(
+            "{:.0}GB/s total bandwidth, {:.0}ns unloaded latency",
+            cfg.mem_bw_bytes_per_sec / 1e9,
+            cfg.mem_latency_ns
+        ),
+    ]);
+    t.row(vec![
+        "MBA".into(),
+        format!(
+            "levels {}%–{}% in steps of {}%",
+            MbaLevel::MIN.percent(),
+            MbaLevel::MAX.percent(),
+            MbaLevel::STEP
+        ),
+    ]);
+    println!("Table 1 — system configuration (paper testbed, simulated)\n");
+    t.print();
+}
+
+/// Table 2: benchmark categories and counter signatures, paper vs
+/// measured on the simulator.
+pub fn table2() {
+    let cfg = MachineConfig::xeon_gold_6130();
+    let mut t = Table::new(&[
+        "bench",
+        "category (paper)",
+        "category (measured)",
+        "acc/s paper",
+        "acc/s measured",
+        "miss/s paper",
+        "miss/s measured",
+    ]);
+    for b in Benchmark::all() {
+        let row = b.table2();
+        let spec = b.spec();
+        let (_, rates) = measure::measure_full(&cfg, &spec);
+        let measured_cat = measure::classify(&cfg, &spec);
+        t.row(vec![
+            row.short.into(),
+            row.category.to_string(),
+            measured_cat.to_string(),
+            sci(row.llc_accesses_per_sec),
+            sci(rates.llc_accesses_per_sec),
+            sci(row.llc_misses_per_sec),
+            sci(rates.llc_misses_per_sec),
+        ]);
+    }
+    println!("Table 2 — evaluated benchmarks, paper vs measured\n");
+    t.print();
+}

@@ -1,0 +1,305 @@
+//! Instability-chaining allocation of consumers to resource categories.
+//!
+//! This module implements the first step of the paper's Algorithm 2
+//! (`getNextSystemState`, lines 7–18) in its general form: a set of
+//! *resource categories* with fixed capacities (the hospitals, whose
+//! capacity is the number of producers willing to supply that category),
+//! and a set of *consumers* with a numeric priority (their slowdown) and a
+//! preference list over categories. Consumers are inserted one at a time;
+//! when a category oversubscribes, the tentatively-admitted consumer with
+//! the **lowest** priority is displaced and chained onto its next
+//! preference — the Roth–Peranson instability-chaining discipline the paper
+//! cites (its reference 35).
+//!
+//! Because each category effectively ranks consumers by priority, the
+//! result coincides with the resident-optimal stable matching of the
+//! induced Hospitals/Residents instance; a property test in this module
+//! checks exactly that equivalence.
+
+use crate::{Hospital, Instance, Matching, Resident};
+
+/// A consumer competing for resource categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consumer {
+    /// Claim strength; higher priority wins contested categories. In
+    /// CoPart this is the application's slowdown.
+    pub priority: f64,
+    /// Category indices in decreasing order of desire.
+    pub preference: Vec<usize>,
+}
+
+/// The result of an allocation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// For each consumer, the category it was granted, if any.
+    pub consumer_to_category: Vec<Option<usize>>,
+}
+
+impl Allocation {
+    /// Consumers granted category `c`, in insertion order.
+    pub fn granted(&self, c: usize) -> Vec<usize> {
+        self.consumer_to_category
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == Some(c)).then_some(i))
+            .collect()
+    }
+}
+
+/// Runs instability chaining.
+///
+/// `capacities[c]` is the number of grants category `c` can make. Ties in
+/// priority are broken toward the lower consumer index, making the result
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if any preference index is out of range; the caller constructs
+/// the preference lists from its own category table, so an out-of-range
+/// index is a programming error rather than an input error.
+pub fn allocate(capacities: &[usize], consumers: &[Consumer]) -> Allocation {
+    for c in consumers {
+        for &p in &c.preference {
+            assert!(
+                p < capacities.len(),
+                "preference index {p} out of range ({} categories)",
+                capacities.len()
+            );
+        }
+    }
+
+    let mut granted: Vec<Vec<usize>> = vec![Vec::new(); capacities.len()];
+    let mut assignment: Vec<Option<usize>> = vec![None; consumers.len()];
+    // Next preference position each consumer will try after a displacement.
+    let mut cursor = vec![0usize; consumers.len()];
+
+    // Mirrors Algorithm 2 lines 7–18: iterate consumers; each insertion may
+    // displace the weakest holder, who chains onto its own next preference.
+    for start in 0..consumers.len() {
+        let mut current = start;
+        // Not a `while let`: `current` changes inside the body when a
+        // displacement chains to another consumer.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(&cat) = consumers[current].preference.get(cursor[current]) else {
+                break; // Preference list exhausted (line 10–11).
+            };
+            cursor[current] += 1;
+            if capacities[cat] == 0 {
+                continue; // No producer supplies this category.
+            }
+            granted[cat].push(current);
+            assignment[current] = Some(cat);
+            if granted[cat].len() <= capacities[cat] {
+                break; // Fits; chain ends (line 17–18).
+            }
+            // Oversubscribed: displace the minimum-priority holder
+            // (line 14–16), favoring higher slowdowns as the paper does.
+            let (weakest_pos, _) = granted[cat]
+                .iter()
+                .enumerate()
+                .min_by(|&(_, &a), &(_, &b)| {
+                    consumers[a]
+                        .priority
+                        .partial_cmp(&consumers[b].priority)
+                        .expect("priorities must not be NaN")
+                        .then(b.cmp(&a)) // Lower index wins ties, so higher
+                                         // index is displaced first.
+                })
+                .expect("oversubscribed ⇒ non-empty");
+            let displaced = granted[cat].swap_remove(weakest_pos);
+            assignment[displaced] = None;
+            if displaced == current {
+                // Immediately bounced; keep walking our own list.
+                continue;
+            }
+            current = displaced;
+        }
+    }
+
+    Allocation {
+        consumer_to_category: assignment,
+    }
+}
+
+/// Builds the Hospitals/Residents instance induced by a chaining problem:
+/// categories become hospitals preferring consumers by descending priority.
+pub fn induced_instance(capacities: &[usize], consumers: &[Consumer]) -> Instance {
+    let mut by_priority: Vec<usize> = (0..consumers.len()).collect();
+    by_priority.sort_by(|&a, &b| {
+        consumers[b]
+            .priority
+            .partial_cmp(&consumers[a].priority)
+            .expect("priorities must not be NaN")
+            .then(a.cmp(&b))
+    });
+    Instance {
+        hospitals: capacities
+            .iter()
+            .map(|&capacity| Hospital {
+                capacity,
+                preference: by_priority.clone(),
+            })
+            .collect(),
+        residents: consumers
+            .iter()
+            .map(|c| Resident {
+                preference: c.preference.clone(),
+            })
+            .collect(),
+    }
+}
+
+impl From<Allocation> for Matching {
+    fn from(a: Allocation) -> Matching {
+        Matching {
+            resident_to_hospital: a.consumer_to_category,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_resident_optimal;
+    use proptest::prelude::*;
+
+    fn consumer(priority: f64, preference: Vec<usize>) -> Consumer {
+        Consumer {
+            priority,
+            preference,
+        }
+    }
+
+    #[test]
+    fn single_slot_goes_to_highest_priority() {
+        let alloc = allocate(
+            &[1],
+            &[consumer(1.2, vec![0]), consumer(2.0, vec![0])],
+        );
+        assert_eq!(alloc.consumer_to_category, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn displaced_consumer_chains_to_second_choice() {
+        // Consumer 0 takes cat 0 first, is displaced by consumer 1, and
+        // lands on cat 1.
+        let alloc = allocate(
+            &[1, 1],
+            &[consumer(1.0, vec![0, 1]), consumer(3.0, vec![0])],
+        );
+        assert_eq!(alloc.consumer_to_category, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn empty_category_is_skipped() {
+        let alloc = allocate(&[0, 1], &[consumer(1.0, vec![0, 1])]);
+        assert_eq!(alloc.consumer_to_category, vec![Some(1)]);
+    }
+
+    #[test]
+    fn exhausted_preferences_leave_consumer_empty_handed() {
+        let alloc = allocate(
+            &[1],
+            &[
+                consumer(5.0, vec![0]),
+                consumer(4.0, vec![0]),
+                consumer(3.0, vec![0]),
+            ],
+        );
+        assert_eq!(
+            alloc.consumer_to_category,
+            vec![Some(0), None, None]
+        );
+    }
+
+    #[test]
+    fn priority_ties_break_toward_lower_index() {
+        let alloc = allocate(
+            &[1],
+            &[consumer(2.0, vec![0]), consumer(2.0, vec![0])],
+        );
+        assert_eq!(alloc.consumer_to_category, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn capacity_two_admits_two() {
+        let alloc = allocate(
+            &[2],
+            &[
+                consumer(1.0, vec![0]),
+                consumer(2.0, vec![0]),
+                consumer(3.0, vec![0]),
+            ],
+        );
+        let granted = alloc.granted(0);
+        assert_eq!(granted.len(), 2);
+        assert!(granted.contains(&1) && granted.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_preference_panics() {
+        let _ = allocate(&[1], &[consumer(1.0, vec![3])]);
+    }
+
+    proptest! {
+        /// The chaining result is exactly the resident-optimal stable
+        /// matching of the induced HR instance.
+        #[test]
+        fn chaining_matches_deferred_acceptance(
+            capacities in proptest::collection::vec(0usize..3, 1..5),
+            raw in proptest::collection::vec(
+                (0u32..1000, proptest::collection::vec(0usize..5, 0..5)),
+                0..8,
+            ),
+        ) {
+            let ncat = capacities.len();
+            let consumers: Vec<Consumer> = raw
+                .into_iter()
+                .map(|(p, prefs)| {
+                    // Dedup preferences and clamp to range.
+                    let mut seen = vec![false; ncat];
+                    let preference = prefs
+                        .into_iter()
+                        .map(|x| x % ncat)
+                        .filter(|&c| !std::mem::replace(&mut seen[c], true))
+                        .collect();
+                    Consumer { priority: p as f64, preference }
+                })
+                .collect();
+            let alloc = allocate(&capacities, &consumers);
+            let inst = induced_instance(&capacities, &consumers);
+            let matching: crate::Matching = alloc.into();
+            prop_assert!(matching.is_feasible(&inst));
+            let reference = solve_resident_optimal(&inst).unwrap();
+            // Ties in priority make the hospital order deterministic (by
+            // index), so the two algorithms agree exactly.
+            prop_assert_eq!(matching, reference);
+        }
+
+        /// Stability: no consumer both lost a category it prefers and
+        /// would have been accepted there.
+        #[test]
+        fn chaining_is_stable(
+            capacities in proptest::collection::vec(0usize..4, 1..4),
+            prios in proptest::collection::vec(0u32..100, 1..8),
+        ) {
+            let ncat = capacities.len();
+            let consumers: Vec<Consumer> = prios
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Consumer {
+                    priority: p as f64,
+                    // Rotate the full preference list per consumer.
+                    preference: (0..ncat).map(|k| (k + i) % ncat).collect(),
+                })
+                .collect();
+            let alloc = allocate(&capacities, &consumers);
+            let inst = induced_instance(&capacities, &consumers);
+            let matching: crate::Matching = alloc.into();
+            prop_assert!(matching.is_stable(&inst),
+                "blocking pairs: {:?}", matching.blocking_pairs(&inst));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Problem instances and matchings.
+
+use std::fmt;
+
+/// A hospital: a capacity and a strict preference order over residents.
+///
+/// Residents absent from `preference` are unacceptable to the hospital and
+/// will never be matched to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hospital {
+    /// Maximum number of residents the hospital can admit.
+    pub capacity: usize,
+    /// Resident indices, most preferred first.
+    pub preference: Vec<usize>,
+}
+
+/// A resident: a strict preference order over hospitals.
+///
+/// Hospitals absent from `preference` are unacceptable to the resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resident {
+    /// Hospital indices, most preferred first.
+    pub preference: Vec<usize>,
+}
+
+/// A Hospitals/Residents problem instance.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    /// The hospitals, indexed by position.
+    pub hospitals: Vec<Hospital>,
+    /// The residents, indexed by position.
+    pub residents: Vec<Resident>,
+}
+
+/// Structural errors in an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A preference list references an index out of range.
+    IndexOutOfRange {
+        /// Human-readable description of the offending list.
+        context: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+    /// A preference list mentions the same counterpart twice.
+    DuplicatePreference {
+        /// Human-readable description of the offending list.
+        context: &'static str,
+        /// The duplicated index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::IndexOutOfRange { context, index } => {
+                write!(f, "{context} preference references out-of-range index {index}")
+            }
+            InstanceError::DuplicatePreference { context, index } => {
+                write!(f, "{context} preference lists index {index} more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+impl Instance {
+    /// Validates index ranges and duplicate-free preference lists.
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        let nh = self.hospitals.len();
+        let nr = self.residents.len();
+        for h in &self.hospitals {
+            let mut seen = vec![false; nr];
+            for &r in &h.preference {
+                if r >= nr {
+                    return Err(InstanceError::IndexOutOfRange {
+                        context: "hospital",
+                        index: r,
+                    });
+                }
+                if seen[r] {
+                    return Err(InstanceError::DuplicatePreference {
+                        context: "hospital",
+                        index: r,
+                    });
+                }
+                seen[r] = true;
+            }
+        }
+        for r in &self.residents {
+            let mut seen = vec![false; nh];
+            for &h in &r.preference {
+                if h >= nh {
+                    return Err(InstanceError::IndexOutOfRange {
+                        context: "resident",
+                        index: h,
+                    });
+                }
+                if seen[h] {
+                    return Err(InstanceError::DuplicatePreference {
+                        context: "resident",
+                        index: h,
+                    });
+                }
+                seen[h] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank of resident `r` in hospital `h`'s list (0 = most preferred),
+    /// or `None` if unacceptable.
+    pub fn hospital_rank(&self, h: usize, r: usize) -> Option<usize> {
+        self.hospitals[h].preference.iter().position(|&x| x == r)
+    }
+
+    /// Rank of hospital `h` in resident `r`'s list (0 = most preferred),
+    /// or `None` if unacceptable.
+    pub fn resident_rank(&self, r: usize, h: usize) -> Option<usize> {
+        self.residents[r].preference.iter().position(|&x| x == h)
+    }
+
+    /// Whether the pair finds each other mutually acceptable.
+    pub fn acceptable(&self, r: usize, h: usize) -> bool {
+        self.hospital_rank(h, r).is_some() && self.resident_rank(r, h).is_some()
+    }
+}
+
+/// An assignment of residents to hospitals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// For each resident, the hospital it is assigned to, if any.
+    pub resident_to_hospital: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// An empty matching over `n_residents` residents.
+    pub fn empty(n_residents: usize) -> Self {
+        Matching {
+            resident_to_hospital: vec![None; n_residents],
+        }
+    }
+
+    /// Residents assigned to hospital `h`.
+    pub fn assigned_to(&self, h: usize) -> Vec<usize> {
+        self.resident_to_hospital
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &a)| (a == Some(h)).then_some(r))
+            .collect()
+    }
+
+    /// Number of matched residents.
+    pub fn matched_count(&self) -> usize {
+        self.resident_to_hospital.iter().flatten().count()
+    }
+
+    /// Whether the matching respects hospital capacities and mutual
+    /// acceptability with respect to `inst`.
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        if self.resident_to_hospital.len() != inst.residents.len() {
+            return false;
+        }
+        let mut load = vec![0usize; inst.hospitals.len()];
+        for (r, &assigned) in self.resident_to_hospital.iter().enumerate() {
+            if let Some(h) = assigned {
+                if h >= inst.hospitals.len() || !inst.acceptable(r, h) {
+                    return false;
+                }
+                load[h] += 1;
+            }
+        }
+        load.iter()
+            .zip(&inst.hospitals)
+            .all(|(&l, h)| l <= h.capacity)
+    }
+
+    /// All blocking pairs `(resident, hospital)` of the matching.
+    ///
+    /// A pair blocks when both sides find each other acceptable, the
+    /// resident strictly prefers the hospital to its current assignment
+    /// (or is unmatched), and the hospital either has spare capacity or
+    /// strictly prefers the resident to its least-preferred admit.
+    pub fn blocking_pairs(&self, inst: &Instance) -> Vec<(usize, usize)> {
+        let mut blocking = Vec::new();
+        for r in 0..inst.residents.len() {
+            let current_rank = self.resident_to_hospital[r]
+                .and_then(|h| inst.resident_rank(r, h));
+            for (rank, &h) in inst.residents[r].preference.iter().enumerate() {
+                if let Some(cur) = current_rank {
+                    if rank >= cur {
+                        break; // Only strictly better hospitals can block.
+                    }
+                }
+                if inst.hospital_rank(h, r).is_none() {
+                    continue;
+                }
+                let admitted = self.assigned_to(h);
+                let would_admit = if admitted.len() < inst.hospitals[h].capacity {
+                    true
+                } else {
+                    // Hospital prefers r to its worst admitted resident.
+                    let r_rank = inst.hospital_rank(h, r).expect("checked above");
+                    admitted.iter().any(|&other| {
+                        inst.hospital_rank(h, other)
+                            .is_none_or(|other_rank| r_rank < other_rank)
+                    })
+                };
+                if would_admit {
+                    blocking.push((r, h));
+                }
+            }
+        }
+        blocking
+    }
+
+    /// Whether the matching is stable (feasible and without blocking
+    /// pairs).
+    pub fn is_stable(&self, inst: &Instance) -> bool {
+        self.is_feasible(inst) && self.blocking_pairs(inst).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Instance {
+        // Two hospitals with capacity 1, two residents, opposed tastes.
+        Instance {
+            hospitals: vec![
+                Hospital {
+                    capacity: 1,
+                    preference: vec![0, 1],
+                },
+                Hospital {
+                    capacity: 1,
+                    preference: vec![1, 0],
+                },
+            ],
+            residents: vec![
+                Resident {
+                    preference: vec![0, 1],
+                },
+                Resident {
+                    preference: vec![1, 0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut inst = tiny();
+        inst.residents[0].preference.push(9);
+        assert!(matches!(
+            inst.validate(),
+            Err(InstanceError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let mut inst = tiny();
+        inst.hospitals[0].preference.push(0);
+        assert!(matches!(
+            inst.validate(),
+            Err(InstanceError::DuplicatePreference { .. })
+        ));
+    }
+
+    #[test]
+    fn mutually_preferred_assignment_is_stable() {
+        let inst = tiny();
+        let m = Matching {
+            resident_to_hospital: vec![Some(0), Some(1)],
+        };
+        assert!(m.is_stable(&inst));
+    }
+
+    #[test]
+    fn swapped_assignment_has_blocking_pairs() {
+        // The textbook blocking-pair example from §5.4.2 of the paper:
+        // (h_A, s_B) and (h_B, s_A) against everyone's preferences.
+        let inst = tiny();
+        let m = Matching {
+            resident_to_hospital: vec![Some(1), Some(0)],
+        };
+        let blocks = m.blocking_pairs(&inst);
+        assert!(blocks.contains(&(0, 0)));
+        assert!(blocks.contains(&(1, 1)));
+        assert!(!m.is_stable(&inst));
+    }
+
+    #[test]
+    fn over_capacity_is_infeasible() {
+        let inst = tiny();
+        let m = Matching {
+            resident_to_hospital: vec![Some(0), Some(0)],
+        };
+        assert!(!m.is_feasible(&inst));
+    }
+
+    #[test]
+    fn unacceptable_assignment_is_infeasible() {
+        let mut inst = tiny();
+        inst.hospitals[0].preference = vec![1]; // Resident 0 unacceptable.
+        let m = Matching {
+            resident_to_hospital: vec![Some(0), None],
+        };
+        assert!(!m.is_feasible(&inst));
+    }
+
+    #[test]
+    fn unmatched_resident_with_free_acceptable_hospital_blocks() {
+        let inst = tiny();
+        let m = Matching::empty(2);
+        assert!(!m.is_stable(&inst));
+        assert_eq!(m.matched_count(), 0);
+    }
+}

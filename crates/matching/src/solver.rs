@@ -1,0 +1,262 @@
+//! Deferred-acceptance solvers.
+
+use crate::{Instance, InstanceError, Matching};
+
+/// Solves the instance with resident-proposing deferred acceptance,
+/// producing the resident-optimal stable matching.
+///
+/// Each unassigned resident proposes to hospitals in preference order; a
+/// hospital tentatively holds its best admits and bumps its least-preferred
+/// admit when over capacity. Runs in `O(Σ |preference lists|)` proposals.
+///
+/// # Errors
+///
+/// Returns the instance's structural error if it fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use copart_matching::{Hospital, Instance, Resident, solve_resident_optimal};
+///
+/// let inst = Instance {
+///     hospitals: vec![Hospital { capacity: 1, preference: vec![0, 1] }],
+///     residents: vec![
+///         Resident { preference: vec![0] },
+///         Resident { preference: vec![0] },
+///     ],
+/// };
+/// let m = solve_resident_optimal(&inst).unwrap();
+/// assert_eq!(m.resident_to_hospital, vec![Some(0), None]);
+/// assert!(m.is_stable(&inst));
+/// ```
+pub fn solve_resident_optimal(inst: &Instance) -> Result<Matching, InstanceError> {
+    inst.validate()?;
+    let nr = inst.residents.len();
+
+    // Precompute hospital-side ranks for O(1) comparisons.
+    let hospital_rank: Vec<Vec<Option<usize>>> = inst
+        .hospitals
+        .iter()
+        .map(|h| {
+            let mut ranks = vec![None; nr];
+            for (rank, &r) in h.preference.iter().enumerate() {
+                ranks[r] = Some(rank);
+            }
+            ranks
+        })
+        .collect();
+
+    let mut assignment: Vec<Option<usize>> = vec![None; nr];
+    // Residents currently held by each hospital.
+    let mut admits: Vec<Vec<usize>> = vec![Vec::new(); inst.hospitals.len()];
+    // Next preference index each resident will propose to.
+    let mut next_choice = vec![0usize; nr];
+    let mut free: Vec<usize> = (0..nr).rev().collect();
+
+    while let Some(r) = free.pop() {
+        let prefs = &inst.residents[r].preference;
+        let Some(&h) = prefs.get(next_choice[r]) else {
+            continue; // Exhausted list; resident stays unmatched.
+        };
+        next_choice[r] += 1;
+        if hospital_rank[h][r].is_none() {
+            free.push(r); // Unacceptable to the hospital; try the next one.
+            continue;
+        }
+        admits[h].push(r);
+        assignment[r] = Some(h);
+        if admits[h].len() > inst.hospitals[h].capacity {
+            // Bump the least-preferred admit.
+            let (worst_pos, _) = admits[h]
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &res)| hospital_rank[h][res].expect("admitted ⇒ acceptable"))
+                .expect("non-empty: just pushed");
+            let bumped = admits[h].swap_remove(worst_pos);
+            assignment[bumped] = None;
+            free.push(bumped);
+        }
+    }
+
+    Ok(Matching {
+        resident_to_hospital: assignment,
+    })
+}
+
+/// Solves the instance with hospital-proposing deferred acceptance,
+/// producing the hospital-optimal stable matching.
+///
+/// Each hospital with spare capacity proposes down its list; a resident
+/// holds the best offer seen so far. Used in tests to bracket the set of
+/// stable matchings (by the Rural Hospitals theorem, both solvers match
+/// the same set of residents).
+///
+/// # Errors
+///
+/// Returns the instance's structural error if it fails validation.
+pub fn solve_hospital_optimal(inst: &Instance) -> Result<Matching, InstanceError> {
+    inst.validate()?;
+    let nr = inst.residents.len();
+    let nh = inst.hospitals.len();
+
+    let resident_rank: Vec<Vec<Option<usize>>> = inst
+        .residents
+        .iter()
+        .map(|r| {
+            let mut ranks = vec![None; nh];
+            for (rank, &h) in r.preference.iter().enumerate() {
+                ranks[h] = Some(rank);
+            }
+            ranks
+        })
+        .collect();
+
+    let mut assignment: Vec<Option<usize>> = vec![None; nr];
+    let mut load = vec![0usize; nh];
+    let mut next_choice = vec![0usize; nh];
+    let mut open: Vec<usize> = (0..nh).rev().collect();
+
+    while let Some(h) = open.pop() {
+        if load[h] >= inst.hospitals[h].capacity {
+            continue;
+        }
+        let prefs = &inst.hospitals[h].preference;
+        let Some(&r) = prefs.get(next_choice[h]) else {
+            continue; // Exhausted list.
+        };
+        next_choice[h] += 1;
+        let acceptable = resident_rank[r][h].is_some();
+        let accepts = acceptable
+            && match assignment[r] {
+                None => true,
+                Some(current) => resident_rank[r][h] < resident_rank[r][current],
+            };
+        if accepts {
+            if let Some(prev) = assignment[r].replace(h) {
+                load[prev] -= 1;
+                open.push(prev); // The jilted hospital proposes again.
+            }
+            load[h] += 1;
+        }
+        // Whether or not the proposal stuck, the hospital keeps going if it
+        // still has capacity and candidates.
+        if load[h] < inst.hospitals[h].capacity && next_choice[h] < prefs.len() {
+            open.push(h);
+        }
+    }
+
+    Ok(Matching {
+        resident_to_hospital: assignment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hospital, Resident};
+
+    fn inst(hospitals: Vec<(usize, Vec<usize>)>, residents: Vec<Vec<usize>>) -> Instance {
+        Instance {
+            hospitals: hospitals
+                .into_iter()
+                .map(|(capacity, preference)| Hospital {
+                    capacity,
+                    preference,
+                })
+                .collect(),
+            residents: residents
+                .into_iter()
+                .map(|preference| Resident { preference })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mutual_first_choices_match() {
+        let i = inst(
+            vec![(1, vec![0, 1]), (1, vec![1, 0])],
+            vec![vec![0, 1], vec![1, 0]],
+        );
+        let m = solve_resident_optimal(&i).unwrap();
+        assert_eq!(m.resident_to_hospital, vec![Some(0), Some(1)]);
+        assert!(m.is_stable(&i));
+    }
+
+    #[test]
+    fn contested_hospital_keeps_preferred_resident() {
+        // Both residents want hospital 0 (capacity 1); it prefers 1.
+        let i = inst(
+            vec![(1, vec![1, 0]), (1, vec![0, 1])],
+            vec![vec![0, 1], vec![0, 1]],
+        );
+        let m = solve_resident_optimal(&i).unwrap();
+        assert_eq!(m.resident_to_hospital, vec![Some(1), Some(0)]);
+        assert!(m.is_stable(&i));
+    }
+
+    #[test]
+    fn capacity_two_admits_both() {
+        let i = inst(vec![(2, vec![0, 1])], vec![vec![0], vec![0]]);
+        let m = solve_resident_optimal(&i).unwrap();
+        assert_eq!(m.matched_count(), 2);
+        assert!(m.is_stable(&i));
+    }
+
+    #[test]
+    fn unacceptable_pairs_stay_unmatched() {
+        // Hospital finds resident 1 unacceptable; resident 0 refuses all.
+        let i = inst(vec![(2, vec![0])], vec![vec![], vec![0]]);
+        let m = solve_resident_optimal(&i).unwrap();
+        assert_eq!(m.resident_to_hospital, vec![None, None]);
+        assert!(m.is_stable(&i));
+    }
+
+    #[test]
+    fn resident_optimal_weakly_beats_hospital_optimal_for_residents() {
+        // Classic 3x3 marriage instance embedded as capacity-1 HR.
+        let i = inst(
+            vec![
+                (1, vec![0, 1, 2]),
+                (1, vec![1, 2, 0]),
+                (1, vec![2, 0, 1]),
+            ],
+            vec![vec![1, 0, 2], vec![2, 1, 0], vec![0, 2, 1]],
+        );
+        let ro = solve_resident_optimal(&i).unwrap();
+        let ho = solve_hospital_optimal(&i).unwrap();
+        assert!(ro.is_stable(&i));
+        assert!(ho.is_stable(&i));
+        for r in 0..3 {
+            let ro_rank = ro.resident_to_hospital[r].and_then(|h| i.resident_rank(r, h));
+            let ho_rank = ho.resident_to_hospital[r].and_then(|h| i.resident_rank(r, h));
+            assert!(
+                ro_rank <= ho_rank,
+                "resident {r}: resident-optimal rank {ro_rank:?} vs {ho_rank:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rural_hospitals_same_matched_set() {
+        let i = inst(
+            vec![(1, vec![2, 0, 1]), (2, vec![0, 1, 2])],
+            vec![vec![0, 1], vec![1], vec![1, 0]],
+        );
+        let ro = solve_resident_optimal(&i).unwrap();
+        let ho = solve_hospital_optimal(&i).unwrap();
+        let matched = |m: &Matching| {
+            m.resident_to_hospital
+                .iter()
+                .map(|a| a.is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(matched(&ro), matched(&ho));
+    }
+
+    #[test]
+    fn invalid_instance_is_rejected() {
+        let i = inst(vec![(1, vec![5])], vec![vec![0]]);
+        assert!(solve_resident_optimal(&i).is_err());
+        assert!(solve_hospital_optimal(&i).is_err());
+    }
+}

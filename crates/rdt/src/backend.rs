@@ -1,0 +1,105 @@
+//! The backend trait the CoPart controller is written against.
+
+use std::time::Duration;
+
+use copart_sim::{CbmMask, ClosId, MbaLevel};
+use copart_telemetry::CounterSnapshot;
+
+use crate::RdtError;
+
+/// What the hardware (or simulator) supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RdtCapabilities {
+    /// Number of CAT-partitionable LLC ways.
+    pub llc_ways: u32,
+    /// Number of classes of service the hardware exposes.
+    pub num_clos: usize,
+    /// Minimum MBA level in percent (10 on the evaluated CPU).
+    pub mba_min_percent: u8,
+    /// MBA level granularity in percent (10 on the evaluated CPU).
+    pub mba_step_percent: u8,
+}
+
+/// The control-and-observation surface CoPart needs from a platform.
+///
+/// One *group* corresponds to one consolidated application: on the real
+/// system each application runs in its own container whose tasks are
+/// assigned to a dedicated resctrl group (= CLOS); in the simulator each
+/// application is admitted into its own CLOS. The controller:
+///
+/// 1. programs each group's CAT way mask and MBA level,
+/// 2. lets the platform run for an adaptation period ([`RdtBackend::advance`]),
+/// 3. samples each group's counters, and repeats.
+///
+/// `advance` is virtual time on the simulator and a real sleep on
+/// hardware, which is the only place the two differ.
+pub trait RdtBackend {
+    /// Hardware capabilities.
+    fn capabilities(&self) -> RdtCapabilities;
+
+    /// Groups currently under management, in creation order.
+    fn groups(&self) -> Vec<ClosId>;
+
+    /// Programs the CAT way mask of a group.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or a mask invalid for this hardware.
+    fn set_cbm(&mut self, group: ClosId, mask: CbmMask) -> Result<(), RdtError>;
+
+    /// Programs the MBA level of a group.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group.
+    fn set_mba(&mut self, group: ClosId, level: MbaLevel) -> Result<(), RdtError>;
+
+    /// Reads back a group's current CAT mask and MBA level.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group.
+    fn clos_config(&self, group: ClosId) -> Result<(CbmMask, MbaLevel), RdtError>;
+
+    /// Samples a group's cumulative counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or when the counter source fails.
+    fn read_counters(&mut self, group: ClosId) -> Result<CounterSnapshot, RdtError>;
+
+    /// Lets the platform execute for `period` (virtual time on the
+    /// simulator, wall-clock sleep on hardware).
+    ///
+    /// # Errors
+    ///
+    /// Backends may fail if the platform has stopped.
+    fn advance(&mut self, period: Duration) -> Result<(), RdtError>;
+
+    /// Monotonic platform time in nanoseconds.
+    fn now_ns(&self) -> u64;
+
+    /// Cumulative memory traffic of the group in bytes, RDT's
+    /// `mbm_total_bytes` monitoring event. Optional: backends without MBM
+    /// report `Unsupported`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or when the platform lacks MBM.
+    fn read_mbm_total_bytes(&mut self, group: ClosId) -> Result<u64, RdtError> {
+        let _ = group;
+        Err(RdtError::Unsupported("memory bandwidth monitoring"))
+    }
+
+    /// Current LLC occupancy of the group in bytes, RDT's `llc_occupancy`
+    /// monitoring event. Optional: backends without CMT report
+    /// `Unsupported`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or when the platform lacks CMT.
+    fn read_llc_occupancy_bytes(&mut self, group: ClosId) -> Result<u64, RdtError> {
+        let _ = group;
+        Err(RdtError::Unsupported("cache monitoring technology"))
+    }
+}

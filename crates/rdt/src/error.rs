@@ -1,0 +1,67 @@
+//! Error type shared by all RDT backends.
+
+use std::fmt;
+use std::io;
+
+use copart_sim::{ClosId, MaskError, SimError};
+
+/// Errors raised by RDT backends.
+#[derive(Debug)]
+pub enum RdtError {
+    /// The group/CLOS is unknown to the backend.
+    UnknownGroup(ClosId),
+    /// An invalid CAT mask was supplied or encountered.
+    Mask(MaskError),
+    /// A resctrl file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A resctrl file had unexpected contents.
+    Parse {
+        /// The path involved.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The simulated machine rejected an operation.
+    Sim(SimError),
+    /// The backend cannot perform the requested operation.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for RdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdtError::UnknownGroup(c) => write!(f, "unknown resource group {c}"),
+            RdtError::Mask(e) => write!(f, "invalid CAT mask: {e}"),
+            RdtError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
+            RdtError::Parse { path, message } => write!(f, "cannot parse {path}: {message}"),
+            RdtError::Sim(e) => write!(f, "simulator error: {e}"),
+            RdtError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RdtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RdtError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MaskError> for RdtError {
+    fn from(e: MaskError) -> Self {
+        RdtError::Mask(e)
+    }
+}
+
+impl From<SimError> for RdtError {
+    fn from(e: SimError) -> Self {
+        RdtError::Sim(e)
+    }
+}

@@ -1,0 +1,620 @@
+//! A Linux `resctrl` filesystem backend.
+//!
+//! On an RDT-capable machine, `mount -t resctrl resctrl /sys/fs/resctrl`
+//! exposes CAT and MBA control as a directory tree: each resource group is
+//! a directory whose `schemata` file carries lines like
+//!
+//! ```text
+//! L3:0=7ff
+//! MB:0=100
+//! ```
+//!
+//! and whose `tasks` file lists member PIDs. This module implements that
+//! protocol against *any* directory with the resctrl layout, which makes
+//! it fully testable (the tests build a mock tree in a tempdir via
+//! [`ResctrlBackend::create_mock_tree`]) and directly usable on real
+//! hardware.
+//!
+//! Retired-instruction counts are not part of resctrl — the paper samples
+//! them with PAPI — so counter sampling is delegated to a [`CounterSource`].
+//! [`FileCounterSource`] reads them from a per-group `copart_counters`
+//! file (what the mock tree and the failure-injection tests use); a
+//! production deployment would implement the trait over `perf_event`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use copart_sim::{CbmMask, ClosId, MbaLevel};
+use copart_telemetry::CounterSnapshot;
+
+use crate::{RdtBackend, RdtCapabilities, RdtError};
+
+/// Provides per-group instruction/LLC counters (resctrl itself does not
+/// expose instruction counts; the paper uses PAPI).
+pub trait CounterSource {
+    /// Samples cumulative counters for the named group.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail when the underlying counter files or perf
+    /// events are unavailable.
+    fn read(&mut self, group_dir: &Path) -> Result<CounterSnapshot, RdtError>;
+}
+
+/// Reads counters from `<group>/copart_counters`, a whitespace-separated
+/// `instructions cycles llc_accesses llc_misses` line. Timestamps come
+/// from the backend's monotonic clock at read time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FileCounterSource;
+
+impl CounterSource for FileCounterSource {
+    fn read(&mut self, group_dir: &Path) -> Result<CounterSnapshot, RdtError> {
+        let path = group_dir.join("copart_counters");
+        let text = read_file(&path)?;
+        let fields: Vec<u64> = text
+            .split_whitespace()
+            .map(|t| t.parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| RdtError::Parse {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        if fields.len() != 4 {
+            return Err(RdtError::Parse {
+                path: path.display().to_string(),
+                message: format!("expected 4 counter fields, found {}", fields.len()),
+            });
+        }
+        Ok(CounterSnapshot {
+            timestamp_ns: 0, // Stamped by the backend.
+            instructions: fields[0],
+            cycles: fields[1],
+            llc_accesses: fields[2],
+            llc_misses: fields[3],
+        })
+    }
+}
+
+/// One group's parsed `schemata` contents: per-domain L3 masks and MB
+/// levels. The evaluated machine has a single socket, i.e. domain 0.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schemata {
+    /// L3 CAT bitmask per cache domain.
+    pub l3: BTreeMap<u32, u32>,
+    /// MBA level (percent) per memory domain.
+    pub mb: BTreeMap<u32, u8>,
+}
+
+impl Schemata {
+    /// Parses the contents of a `schemata` file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed lines; unknown resource prefixes are ignored
+    /// (real kernels expose resources we do not manage, e.g. `L2`).
+    pub fn parse(text: &str) -> Result<Schemata, String> {
+        let mut s = Schemata::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (resource, rest) = line
+                .split_once(':')
+                .ok_or_else(|| format!("missing ':' in line {line:?}"))?;
+            let resource = resource.trim();
+            for part in rest.split(';') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                let (dom, val) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("missing '=' in {part:?}"))?;
+                let dom: u32 = dom
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad domain id {dom:?}"))?;
+                match resource {
+                    "L3" | "L3CODE" | "L3DATA" => {
+                        let bits = u32::from_str_radix(val.trim(), 16)
+                            .map_err(|_| format!("bad L3 mask {val:?}"))?;
+                        s.l3.insert(dom, bits);
+                    }
+                    "MB" => {
+                        let pct: u8 = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad MB level {val:?}"))?;
+                        s.mb.insert(dom, pct);
+                    }
+                    _ => {} // Unmanaged resource (L2, SMBA, ...).
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// Renders the schemata in the format the kernel accepts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.l3.is_empty() {
+            let doms: Vec<String> = self.l3.iter().map(|(d, b)| format!("{d}={b:x}")).collect();
+            out.push_str(&format!("L3:{}\n", doms.join(";")));
+        }
+        if !self.mb.is_empty() {
+            let doms: Vec<String> = self.mb.iter().map(|(d, p)| format!("{d}={p}")).collect();
+            out.push_str(&format!("MB:{}\n", doms.join(";")));
+        }
+        out
+    }
+}
+
+/// The resctrl-filesystem backend.
+pub struct ResctrlBackend<C: CounterSource = FileCounterSource> {
+    root: PathBuf,
+    caps: RdtCapabilities,
+    groups: BTreeMap<ClosId, String>,
+    next_clos: u16,
+    counters: C,
+    epoch: Instant,
+}
+
+impl<C: CounterSource> ResctrlBackend<C> {
+    /// Opens a resctrl tree rooted at `root` (e.g. `/sys/fs/resctrl`),
+    /// reading capabilities from its `info` directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the info files are missing or malformed.
+    pub fn mount(root: impl Into<PathBuf>, counters: C) -> Result<Self, RdtError> {
+        let root = root.into();
+        let cbm_mask = read_file(&root.join("info/L3/cbm_mask"))?;
+        let llc_ways = u32::from_str_radix(cbm_mask.trim(), 16)
+            .map_err(|e| RdtError::Parse {
+                path: root.join("info/L3/cbm_mask").display().to_string(),
+                message: e.to_string(),
+            })?
+            .count_ones();
+        let num_clos: usize = parse_file(&root.join("info/L3/num_closids"))?;
+        let mba_min_percent: u8 = parse_file(&root.join("info/MB/min_bandwidth"))?;
+        let mba_step_percent: u8 = parse_file(&root.join("info/MB/bandwidth_gran"))?;
+        Ok(ResctrlBackend {
+            root,
+            caps: RdtCapabilities {
+                llc_ways,
+                num_clos,
+                mba_min_percent,
+                mba_step_percent,
+            },
+            groups: BTreeMap::new(),
+            next_clos: 1,
+            counters,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Creates a resource group directory and registers it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created (e.g. the hardware ran
+    /// out of CLOSes) or the group limit is reached.
+    pub fn create_group(&mut self, name: &str) -> Result<ClosId, RdtError> {
+        if self.groups.len() + 1 >= self.caps.num_clos {
+            return Err(RdtError::Unsupported("hardware CLOS limit reached"));
+        }
+        let dir = self.root.join(name);
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        // A freshly mkdir'ed group on real resctrl inherits full resources;
+        // in a mock tree the files may not exist yet, so seed them.
+        let schemata = dir.join("schemata");
+        if !schemata.exists() {
+            let full = Schemata {
+                l3: [(0, (1u32 << self.caps.llc_ways) - 1)].into(),
+                mb: [(0, 100)].into(),
+            };
+            write_file(&schemata, &full.render())?;
+        }
+        let tasks = dir.join("tasks");
+        if !tasks.exists() {
+            write_file(&tasks, "")?;
+        }
+        // Monitoring files (populated by hardware on real resctrl; seeded
+        // at zero in mock trees).
+        let mon = dir.join("mon_data/mon_L3_00");
+        if !mon.exists() {
+            fs::create_dir_all(&mon).map_err(|e| io_err(&mon, e))?;
+            write_file(&mon.join("llc_occupancy"), "0\n")?;
+            write_file(&mon.join("mbm_total_bytes"), "0\n")?;
+        }
+        let clos = ClosId(self.next_clos);
+        self.next_clos += 1;
+        self.groups.insert(clos, name.to_string());
+        Ok(clos)
+    }
+
+    /// Removes a group directory (moving its tasks back to the default
+    /// group, as the kernel does on rmdir).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or when the directory cannot be removed.
+    pub fn remove_group(&mut self, group: ClosId) -> Result<(), RdtError> {
+        let name = self
+            .groups
+            .remove(&group)
+            .ok_or(RdtError::UnknownGroup(group))?;
+        let dir = self.root.join(&name);
+        fs::remove_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(())
+    }
+
+    /// Appends task PIDs to the group's `tasks` file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group or an I/O error.
+    pub fn assign_tasks(&mut self, group: ClosId, pids: &[u32]) -> Result<(), RdtError> {
+        let dir = self.group_dir(group)?;
+        let path = dir.join("tasks");
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        for pid in pids {
+            writeln!(f, "{pid}").map_err(|e| io_err(&path, e))?;
+        }
+        Ok(())
+    }
+
+    /// The directory of a registered group.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group.
+    pub fn group_dir(&self, group: ClosId) -> Result<PathBuf, RdtError> {
+        self.groups
+            .get(&group)
+            .map(|name| self.root.join(name))
+            .ok_or(RdtError::UnknownGroup(group))
+    }
+
+    /// Builds a directory tree mimicking a freshly mounted resctrl
+    /// filesystem — used by tests, examples, and anyone wanting to dry-run
+    /// the controller without RDT hardware.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the files cannot be created.
+    pub fn create_mock_tree(root: &Path, caps: RdtCapabilities) -> Result<(), RdtError> {
+        fs::create_dir_all(root.join("info/L3")).map_err(|e| io_err(root, e))?;
+        fs::create_dir_all(root.join("info/MB")).map_err(|e| io_err(root, e))?;
+        write_file(
+            &root.join("info/L3/cbm_mask"),
+            &format!("{:x}\n", (1u32 << caps.llc_ways) - 1),
+        )?;
+        write_file(
+            &root.join("info/L3/num_closids"),
+            &format!("{}\n", caps.num_clos),
+        )?;
+        write_file(
+            &root.join("info/MB/min_bandwidth"),
+            &format!("{}\n", caps.mba_min_percent),
+        )?;
+        write_file(
+            &root.join("info/MB/bandwidth_gran"),
+            &format!("{}\n", caps.mba_step_percent),
+        )?;
+        let full = Schemata {
+            l3: [(0, (1u32 << caps.llc_ways) - 1)].into(),
+            mb: [(0, 100)].into(),
+        };
+        write_file(&root.join("schemata"), &full.render())?;
+        write_file(&root.join("tasks"), "")?;
+        Ok(())
+    }
+
+    fn read_schemata(&self, group: ClosId) -> Result<Schemata, RdtError> {
+        let path = self.group_dir(group)?.join("schemata");
+        let text = read_file(&path)?;
+        Schemata::parse(&text).map_err(|message| RdtError::Parse {
+            path: path.display().to_string(),
+            message,
+        })
+    }
+
+    fn write_schemata(&self, group: ClosId, s: &Schemata) -> Result<(), RdtError> {
+        let path = self.group_dir(group)?.join("schemata");
+        write_file(&path, &s.render())
+    }
+}
+
+impl<C: CounterSource> RdtBackend for ResctrlBackend<C> {
+    fn capabilities(&self) -> RdtCapabilities {
+        self.caps
+    }
+
+    fn groups(&self) -> Vec<ClosId> {
+        self.groups.keys().copied().collect()
+    }
+
+    fn set_cbm(&mut self, group: ClosId, mask: CbmMask) -> Result<(), RdtError> {
+        CbmMask::new(mask.bits(), self.caps.llc_ways)?;
+        let mut s = self.read_schemata(group)?;
+        // Single-socket testbed: program domain 0 (and mirror to any other
+        // domains present so multi-socket trees stay consistent).
+        if s.l3.is_empty() {
+            s.l3.insert(0, mask.bits());
+        } else {
+            for bits in s.l3.values_mut() {
+                *bits = mask.bits();
+            }
+        }
+        self.write_schemata(group, &s)
+    }
+
+    fn set_mba(&mut self, group: ClosId, level: MbaLevel) -> Result<(), RdtError> {
+        let mut s = self.read_schemata(group)?;
+        if s.mb.is_empty() {
+            s.mb.insert(0, level.percent());
+        } else {
+            for pct in s.mb.values_mut() {
+                *pct = level.percent();
+            }
+        }
+        self.write_schemata(group, &s)
+    }
+
+    fn clos_config(&self, group: ClosId) -> Result<(CbmMask, MbaLevel), RdtError> {
+        let s = self.read_schemata(group)?;
+        let bits = s.l3.get(&0).copied().ok_or_else(|| RdtError::Parse {
+            path: format!("{group} schemata"),
+            message: "no L3 domain 0".into(),
+        })?;
+        let pct = s.mb.get(&0).copied().ok_or_else(|| RdtError::Parse {
+            path: format!("{group} schemata"),
+            message: "no MB domain 0".into(),
+        })?;
+        Ok((
+            CbmMask::new(bits, self.caps.llc_ways)?,
+            MbaLevel::new(pct),
+        ))
+    }
+
+    fn read_counters(&mut self, group: ClosId) -> Result<CounterSnapshot, RdtError> {
+        let dir = self.group_dir(group)?;
+        let mut snap = self.counters.read(&dir)?;
+        snap.timestamp_ns = self.now_ns();
+        Ok(snap)
+    }
+
+    fn advance(&mut self, period: Duration) -> Result<(), RdtError> {
+        std::thread::sleep(period);
+        Ok(())
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn read_mbm_total_bytes(&mut self, group: ClosId) -> Result<u64, RdtError> {
+        let dir = self.group_dir(group)?;
+        parse_file(&dir.join("mon_data/mon_L3_00/mbm_total_bytes"))
+    }
+
+    fn read_llc_occupancy_bytes(&mut self, group: ClosId) -> Result<u64, RdtError> {
+        let dir = self.group_dir(group)?;
+        parse_file(&dir.join("mon_data/mon_L3_00/llc_occupancy"))
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> RdtError {
+    RdtError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+fn read_file(path: &Path) -> Result<String, RdtError> {
+    fs::read_to_string(path).map_err(|e| io_err(path, e))
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), RdtError> {
+    fs::write(path, contents).map_err(|e| io_err(path, e))
+}
+
+fn parse_file<T: std::str::FromStr>(path: &Path) -> Result<T, RdtError>
+where
+    T::Err: std::fmt::Display,
+{
+    let text = read_file(path)?;
+    text.trim().parse().map_err(|e: T::Err| RdtError::Parse {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> RdtCapabilities {
+        RdtCapabilities {
+            llc_ways: 11,
+            num_clos: 16,
+            mba_min_percent: 10,
+            mba_step_percent: 10,
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "copart-resctrl-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mounted(tag: &str) -> (PathBuf, ResctrlBackend) {
+        let root = temp_root(tag);
+        ResctrlBackend::<FileCounterSource>::create_mock_tree(&root, caps()).unwrap();
+        let b = ResctrlBackend::mount(&root, FileCounterSource).unwrap();
+        (root, b)
+    }
+
+    #[test]
+    fn schemata_round_trip() {
+        let text = "L3:0=7ff\nMB:0=70\n";
+        let s = Schemata::parse(text).unwrap();
+        assert_eq!(s.l3[&0], 0x7ff);
+        assert_eq!(s.mb[&0], 70);
+        assert_eq!(s.render(), text);
+    }
+
+    #[test]
+    fn schemata_multi_domain_and_unknown_resources() {
+        let s = Schemata::parse("L3:0=ff;1=f0\nL2:0=3\nMB:0=50;1=100\n").unwrap();
+        assert_eq!(s.l3.len(), 2);
+        assert_eq!(s.l3[&1], 0xf0);
+        assert_eq!(s.mb[&1], 100);
+        assert_eq!(s.render(), "L3:0=ff;1=f0\nMB:0=50;1=100\n");
+    }
+
+    #[test]
+    fn schemata_rejects_garbage() {
+        assert!(Schemata::parse("L3 0=7ff").is_err());
+        assert!(Schemata::parse("L3:0").is_err());
+        assert!(Schemata::parse("L3:x=7ff").is_err());
+        assert!(Schemata::parse("L3:0=zz").is_err());
+        assert!(Schemata::parse("MB:0=abc").is_err());
+    }
+
+    #[test]
+    fn mount_reads_capabilities_from_info() {
+        let (_root, b) = mounted("caps");
+        assert_eq!(b.capabilities(), caps());
+    }
+
+    #[test]
+    fn mount_fails_without_info_tree() {
+        let root = temp_root("noinfo");
+        assert!(matches!(
+            ResctrlBackend::mount(&root, FileCounterSource),
+            Err(RdtError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn group_lifecycle_and_schemata_programming() {
+        let (root, mut b) = mounted("lifecycle");
+        let g = b.create_group("copart-app-0").unwrap();
+        let mask = CbmMask::contiguous(2, 3, 11).unwrap();
+        b.set_cbm(g, mask).unwrap();
+        b.set_mba(g, MbaLevel::new(40)).unwrap();
+        // Verify on-disk representation, exactly what the kernel would see.
+        let text = fs::read_to_string(root.join("copart-app-0/schemata")).unwrap();
+        assert_eq!(text, "L3:0=1c\nMB:0=40\n");
+        let (m, l) = b.clos_config(g).unwrap();
+        assert_eq!(m, mask);
+        assert_eq!(l.percent(), 40);
+        b.remove_group(g).unwrap();
+        assert!(!root.join("copart-app-0").exists());
+        assert!(b.clos_config(g).is_err());
+    }
+
+    #[test]
+    fn task_assignment_appends_pids() {
+        let (root, mut b) = mounted("tasks");
+        let g = b.create_group("grp").unwrap();
+        b.assign_tasks(g, &[100, 200]).unwrap();
+        b.assign_tasks(g, &[300]).unwrap();
+        let text = fs::read_to_string(root.join("grp/tasks")).unwrap();
+        assert_eq!(text, "100\n200\n300\n");
+    }
+
+    #[test]
+    fn clos_limit_is_enforced() {
+        let root = temp_root("limit");
+        let mut small = caps();
+        small.num_clos = 3; // Default group + 2 creatable.
+        ResctrlBackend::<FileCounterSource>::create_mock_tree(&root, small).unwrap();
+        let mut b = ResctrlBackend::mount(&root, FileCounterSource).unwrap();
+        b.create_group("a").unwrap();
+        b.create_group("b").unwrap();
+        assert!(matches!(
+            b.create_group("c"),
+            Err(RdtError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn file_counter_source_reads_and_validates() {
+        let (root, mut b) = mounted("counters");
+        let g = b.create_group("grp").unwrap();
+        fs::write(root.join("grp/copart_counters"), "1000 2000 50 5\n").unwrap();
+        let snap = b.read_counters(g).unwrap();
+        assert_eq!(snap.instructions, 1000);
+        assert_eq!(snap.llc_misses, 5);
+        // Corrupt file → parse error (failure injection).
+        fs::write(root.join("grp/copart_counters"), "1000 x 50 5\n").unwrap();
+        assert!(matches!(b.read_counters(g), Err(RdtError::Parse { .. })));
+        fs::write(root.join("grp/copart_counters"), "1 2 3\n").unwrap();
+        assert!(matches!(b.read_counters(g), Err(RdtError::Parse { .. })));
+        // Missing file → I/O error.
+        fs::remove_file(root.join("grp/copart_counters")).unwrap();
+        assert!(matches!(b.read_counters(g), Err(RdtError::Io { .. })));
+    }
+
+    #[test]
+    fn monitoring_files_are_created_and_read() {
+        let (root, mut b) = mounted("mon");
+        let g = b.create_group("grp").unwrap();
+        assert_eq!(b.read_mbm_total_bytes(g).unwrap(), 0);
+        assert_eq!(b.read_llc_occupancy_bytes(g).unwrap(), 0);
+        fs::write(
+            root.join("grp/mon_data/mon_L3_00/mbm_total_bytes"),
+            "123456\n",
+        )
+        .unwrap();
+        assert_eq!(b.read_mbm_total_bytes(g).unwrap(), 123_456);
+    }
+
+    #[test]
+    fn invalid_mask_rejected_before_touching_disk() {
+        let (_root, mut b) = mounted("badmask");
+        let g = b.create_group("grp").unwrap();
+        let too_wide = CbmMask::full(12);
+        assert!(matches!(b.set_cbm(g, too_wide), Err(RdtError::Mask(_))));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any schemata we can render parses back to the same value.
+        #[test]
+        fn schemata_render_parse_round_trip(
+            l3 in proptest::collection::btree_map(0u32..4, 1u32..0x800, 0..3),
+            mb in proptest::collection::btree_map(0u32..4, 1u8..=100, 0..3),
+        ) {
+            let s = Schemata { l3, mb };
+            let parsed = Schemata::parse(&s.render()).unwrap();
+            prop_assert_eq!(parsed, s);
+        }
+
+        /// Arbitrary junk either fails to parse or parses without panic.
+        #[test]
+        fn schemata_parser_never_panics(text in "\\PC{0,120}") {
+            let _ = Schemata::parse(&text);
+        }
+    }
+}

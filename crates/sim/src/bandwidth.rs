@@ -1,0 +1,191 @@
+//! Memory-bus contention model: MBA caps plus max–min fair sharing.
+//!
+//! Each application demands memory traffic (misses + writebacks); MBA
+//! throttling caps its request rate at a fraction of its cores' link
+//! bandwidth; whatever demand survives the caps then contends for the
+//! machine's total memory bandwidth. The memory controller is modelled as
+//! max–min fair: low-traffic applications get their full demand, heavy
+//! streamers split the residual capacity evenly — the usual first-order
+//! model of a fair DRAM scheduler.
+
+/// One application's bandwidth request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthRequest {
+    /// Unconstrained demand, in bytes/second.
+    pub demand: f64,
+    /// MBA-imposed cap, in bytes/second.
+    pub cap: f64,
+}
+
+impl BandwidthRequest {
+    /// The demand after clamping by the MBA cap.
+    pub fn effective_demand(&self) -> f64 {
+        self.demand.min(self.cap).max(0.0)
+    }
+}
+
+/// Allocates `total` bytes/second across the requests with max–min
+/// fairness under each request's cap.
+///
+/// Guarantees (see the property tests):
+/// * `0 ≤ grant_i ≤ min(demand_i, cap_i)`,
+/// * `Σ grant_i ≤ total`, with equality when demand saturates the bus,
+/// * max–min fairness: every unsatisfied application receives the same
+///   grant, and no application receives more than that.
+pub fn allocate(total: f64, requests: &[BandwidthRequest]) -> Vec<f64> {
+    let n = requests.len();
+    let mut grants = vec![0.0f64; n];
+    if n == 0 || total <= 0.0 {
+        return grants;
+    }
+
+    let demands: Vec<f64> = requests.iter().map(|r| r.effective_demand()).collect();
+    let mut active: Vec<usize> = (0..n).filter(|&i| demands[i] > 0.0).collect();
+    let mut remaining = total;
+
+    while !active.is_empty() && remaining > 0.0 {
+        let fair = remaining / active.len() as f64;
+        let mut satisfied: Vec<usize> = Vec::new();
+        for &i in &active {
+            if demands[i] <= fair {
+                satisfied.push(i);
+            }
+        }
+        if satisfied.is_empty() {
+            // Everyone still active wants more than the fair share: split
+            // the remainder evenly and stop.
+            for &i in &active {
+                grants[i] = fair;
+            }
+            return grants;
+        }
+        for &i in &satisfied {
+            grants[i] = demands[i];
+            remaining -= demands[i];
+        }
+        active.retain(|i| !satisfied.contains(i));
+        remaining = remaining.max(0.0);
+    }
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const GB: f64 = 1.0e9;
+
+    fn req(demand: f64, cap: f64) -> BandwidthRequest {
+        BandwidthRequest { demand, cap }
+    }
+
+    #[test]
+    fn undersubscribed_bus_grants_all_demands() {
+        let g = allocate(28.0 * GB, &[req(3.0 * GB, 48.0 * GB), req(5.0 * GB, 48.0 * GB)]);
+        assert!((g[0] - 3.0 * GB).abs() < 1.0);
+        assert!((g[1] - 5.0 * GB).abs() < 1.0);
+    }
+
+    #[test]
+    fn mba_cap_clamps_before_contention() {
+        let g = allocate(28.0 * GB, &[req(10.0 * GB, 4.8 * GB)]);
+        assert!((g[0] - 4.8 * GB).abs() < 1.0, "cap binds: {}", g[0]);
+    }
+
+    #[test]
+    fn oversubscribed_bus_splits_evenly_among_heavy_streamers() {
+        let g = allocate(
+            28.0 * GB,
+            &[
+                req(20.0 * GB, 48.0 * GB),
+                req(20.0 * GB, 48.0 * GB),
+                req(20.0 * GB, 48.0 * GB),
+            ],
+        );
+        for &x in &g {
+            assert!((x - 28.0 * GB / 3.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn light_app_is_protected_from_streamers() {
+        let g = allocate(
+            28.0 * GB,
+            &[
+                req(1.0 * GB, 48.0 * GB),
+                req(100.0 * GB, 48.0 * GB),
+                req(100.0 * GB, 48.0 * GB),
+            ],
+        );
+        assert!((g[0] - 1.0 * GB).abs() < 1.0, "light app gets full demand");
+        assert!((g[1] - 13.5 * GB).abs() < GB * 1e-6);
+        assert!((g[2] - 13.5 * GB).abs() < GB * 1e-6);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert!(allocate(28.0 * GB, &[]).is_empty());
+        assert_eq!(allocate(0.0, &[req(GB, GB)]), vec![0.0]);
+        assert_eq!(allocate(GB, &[req(0.0, GB)]), vec![0.0]);
+    }
+
+    #[test]
+    fn negative_demand_is_treated_as_zero() {
+        let g = allocate(GB, &[req(-5.0, GB), req(0.5 * GB, GB)]);
+        assert_eq!(g[0], 0.0);
+        assert!((g[1] - 0.5 * GB).abs() < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn grants_respect_caps_demands_and_bus(
+            total_g in 1.0f64..64.0,
+            raw in proptest::collection::vec((0.0f64..40.0, 0.1f64..50.0), 1..10),
+        ) {
+            let total = total_g * GB;
+            let reqs: Vec<BandwidthRequest> =
+                raw.iter().map(|&(d, c)| req(d * GB, c * GB)).collect();
+            let g = allocate(total, &reqs);
+            prop_assert_eq!(g.len(), reqs.len());
+            let mut sum = 0.0;
+            for (gi, r) in g.iter().zip(&reqs) {
+                prop_assert!(*gi >= -1e-6);
+                prop_assert!(*gi <= r.effective_demand() + 1e-3);
+                sum += gi;
+            }
+            prop_assert!(sum <= total + 1e-3);
+            // Conservation: if demand saturates the bus, the bus is fully
+            // used; otherwise everyone is satisfied.
+            let eff: f64 = reqs.iter().map(|r| r.effective_demand()).sum();
+            if eff >= total {
+                prop_assert!((sum - total).abs() < total * 1e-9 + 1e-3);
+            } else {
+                for (gi, r) in g.iter().zip(&reqs) {
+                    prop_assert!((gi - r.effective_demand()).abs() < 1e-3);
+                }
+            }
+        }
+
+        #[test]
+        fn max_min_fairness_holds(
+            total_g in 1.0f64..40.0,
+            raw in proptest::collection::vec((0.0f64..40.0, 0.1f64..50.0), 1..10),
+        ) {
+            let total = total_g * GB;
+            let reqs: Vec<BandwidthRequest> =
+                raw.iter().map(|&(d, c)| req(d * GB, c * GB)).collect();
+            let g = allocate(total, &reqs);
+            // Every unsatisfied app receives the maximum grant.
+            let max_grant = g.iter().cloned().fold(0.0f64, f64::max);
+            for (gi, r) in g.iter().zip(&reqs) {
+                if *gi + 1e-3 < r.effective_demand() {
+                    prop_assert!(
+                        *gi >= max_grant - 1e-3,
+                        "unsatisfied app got {gi} < max grant {max_grant}"
+                    );
+                }
+            }
+        }
+    }
+}

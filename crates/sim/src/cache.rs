@@ -1,0 +1,497 @@
+//! Way-partitioned, set-sampled LRU last-level cache with CAT semantics.
+//!
+//! Intel Cache Allocation Technology partitions the LLC by *ways*: the
+//! capacity bitmask of a CLOS restricts which ways new lines may be
+//! **allocated** into, while lookups are served from any way. Overlapping
+//! masks share ways. This module implements exactly those semantics over a
+//! classic set-associative LRU cache.
+//!
+//! The cache is simulated at a reduced set count (set sampling; see the
+//! crate docs): miss *ratios* are preserved as long as application
+//! footprints are scaled by the same factor, which
+//! [`crate::trace::AccessPattern::scaled`] does.
+
+use crate::{CbmMask, ClosId};
+
+/// Geometry of the simulated cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of simulated sets (after sampling).
+    pub sets: u64,
+    /// Associativity (CAT-partitionable ways).
+    pub ways: u32,
+    /// Line size in bytes; must be a power of two.
+    pub line_bytes: u64,
+}
+
+/// The outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// Whether the access evicted a dirty line (memory writeback traffic).
+    pub writeback: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    lru: u64,
+    owner: ClosId,
+    valid: bool,
+    dirty: bool,
+}
+
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    lru: 0,
+    owner: ClosId(0),
+    valid: false,
+    dirty: false,
+};
+
+/// A way-partitioned set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct SampledCache {
+    cfg: CacheConfig,
+    /// `sets × ways` lines, row-major by set.
+    lines: Vec<Line>,
+    line_shift: u32,
+    clock: u64,
+}
+
+impl SampledCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry (zero sets/ways or a non-power-of-
+    /// two line size); geometry comes from [`crate::MachineConfig`] and is
+    /// a programming error if invalid.
+    pub fn new(cfg: CacheConfig) -> SampledCache {
+        assert!(cfg.sets > 0 && cfg.ways > 0, "degenerate cache geometry");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let n = usize::try_from(cfg.sets).expect("set count fits usize") * cfg.ways as usize;
+        SampledCache {
+            cfg,
+            lines: vec![INVALID_LINE; n],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            clock: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Performs one access on behalf of `clos`, whose CAT mask is `mask`.
+    ///
+    /// A hit is served from any way; on a miss the victim is chosen among
+    /// the ways permitted by `mask` (invalid first, then least recently
+    /// used), matching CAT allocation semantics.
+    pub fn access(&mut self, clos: ClosId, mask: CbmMask, addr: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr % self.cfg.sets) as usize;
+        let tag = line_addr / self.cfg.sets;
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        // Lookup across all ways (hits are not restricted by the mask).
+        for line in set_lines.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.lru = self.clock;
+                line.dirty |= is_write;
+                line.owner = clos;
+                return AccessOutcome {
+                    hit: true,
+                    writeback: false,
+                };
+            }
+        }
+
+        // Miss: pick a victim among the permitted ways. CbmMask guarantees
+        // at least one permitted way exists.
+        let victim_way = {
+            let mut choice: Option<usize> = None;
+            for w in 0..ways {
+                if !mask.contains(w as u32) {
+                    continue;
+                }
+                if !set_lines[w].valid {
+                    choice = Some(w);
+                    break;
+                }
+                match choice {
+                    None => choice = Some(w),
+                    Some(c) => {
+                        if set_lines[w].lru < set_lines[c].lru {
+                            choice = Some(w);
+                        }
+                    }
+                }
+            }
+            choice.expect("CAT mask is non-empty by construction")
+        };
+
+        let victim = &mut set_lines[victim_way];
+        let writeback = victim.valid && victim.dirty;
+        *victim = Line {
+            tag,
+            lru: self.clock,
+            owner: clos,
+            valid: true,
+            dirty: is_write,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Installs `addr`'s line on behalf of `clos` if it is absent — a
+    /// prefetch. Returns whether a fill happened (prefetches that hit an
+    /// already-resident line are free) and whether a dirty victim was
+    /// written back. The line is installed *least*-recently-used rather
+    /// than most, the usual conservative prefetch insertion policy, so a
+    /// useless prefetch is evicted first.
+    pub fn prefetch(&mut self, clos: ClosId, mask: CbmMask, addr: u64) -> AccessOutcome {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr % self.cfg.sets) as usize;
+        let tag = line_addr / self.cfg.sets;
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+        if set_lines.iter().any(|l| l.valid && l.tag == tag) {
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+            };
+        }
+        // Victim selection identical to a demand miss.
+        let mut choice: Option<usize> = None;
+        for w in 0..ways {
+            if !mask.contains(w as u32) {
+                continue;
+            }
+            if !set_lines[w].valid {
+                choice = Some(w);
+                break;
+            }
+            match choice {
+                None => choice = Some(w),
+                Some(c) => {
+                    if set_lines[w].lru < set_lines[c].lru {
+                        choice = Some(w);
+                    }
+                }
+            }
+        }
+        let victim_way = choice.expect("CAT mask is non-empty by construction");
+        let victim = &mut set_lines[victim_way];
+        let writeback = victim.valid && victim.dirty;
+        // LRU-position insertion: stamp with the victim's old recency so a
+        // never-used prefetch leaves first.
+        let lru = victim.lru;
+        *victim = Line {
+            tag,
+            lru,
+            owner: clos,
+            valid: true,
+            dirty: false,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Number of valid lines currently owned by `clos` (last toucher),
+    /// emulating RDT's `llc_occupancy` monitoring event.
+    pub fn occupancy_lines(&self, clos: ClosId) -> u64 {
+        self.lines
+            .iter()
+            .filter(|l| l.valid && l.owner == clos)
+            .count() as u64
+    }
+
+    /// Invalidate every line (e.g., between experiments). Dirty lines are
+    /// dropped without writeback accounting.
+    pub fn flush(&mut self) {
+        self.lines.fill(INVALID_LINE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SampledCache {
+        SampledCache::new(CacheConfig {
+            sets: 4,
+            ways: 4,
+            line_bytes: 64,
+        })
+    }
+
+    fn full_mask() -> CbmMask {
+        CbmMask::full(4)
+    }
+
+    const C0: ClosId = ClosId(0);
+    const C1: ClosId = ClosId(1);
+
+    /// Address that maps to `set` with tag `tag` (4 sets, 64 B lines).
+    fn addr(set: u64, tag: u64) -> u64 {
+        (tag * 4 + set) * 64
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small();
+        assert!(!c.access(C0, full_mask(), addr(0, 1), false).hit);
+        assert!(c.access(C0, full_mask(), addr(0, 1), false).hit);
+    }
+
+    #[test]
+    fn working_set_within_ways_all_hits_after_warmup() {
+        let mut c = small();
+        let m = full_mask();
+        for round in 0..3 {
+            for t in 0..4 {
+                let out = c.access(C0, m, addr(2, t), false);
+                if round > 0 {
+                    assert!(out.hit, "round {round} tag {t} should hit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_sweep_beyond_ways_thrashes_lru() {
+        // 5 tags over a 4-way set under LRU: every access misses.
+        let mut c = small();
+        let m = full_mask();
+        let mut misses = 0;
+        for _ in 0..5 {
+            for t in 0..5 {
+                if !c.access(C0, m, addr(1, t), false).hit {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 25, "classic LRU thrashing on a cyclic sweep");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        let m = full_mask();
+        for t in 0..4 {
+            c.access(C0, m, addr(0, t), false);
+        }
+        // Touch tags 1..3 so tag 0 is LRU, then install tag 9.
+        for t in 1..4 {
+            assert!(c.access(C0, m, addr(0, t), false).hit);
+        }
+        c.access(C0, m, addr(0, 9), false);
+        assert!(!c.access(C0, m, addr(0, 0), false).hit, "tag 0 was evicted");
+        assert!(c.access(C0, m, addr(0, 9), false).hit);
+    }
+
+    #[test]
+    fn cat_mask_restricts_allocation_but_not_hits() {
+        let mut c = small();
+        let left = CbmMask::new(0b0011, 4).unwrap();
+        let right = CbmMask::new(0b1100, 4).unwrap();
+        // CLOS 0 fills its two permitted ways in set 0.
+        c.access(C0, left, addr(0, 1), false);
+        c.access(C0, left, addr(0, 2), false);
+        // CLOS 1 installs into the other two ways only.
+        c.access(C1, right, addr(0, 10), false);
+        c.access(C1, right, addr(0, 11), false);
+        c.access(C1, right, addr(0, 12), false); // Evicts within right half.
+        // CLOS 0's lines must have survived CLOS 1's thrashing.
+        assert!(c.access(C0, left, addr(0, 1), false).hit);
+        assert!(c.access(C0, left, addr(0, 2), false).hit);
+        // Hits cross the partition: CLOS 0 may hit a line in the right
+        // half.
+        assert!(c.access(C0, left, addr(0, 12), false).hit);
+    }
+
+    #[test]
+    fn one_way_mask_keeps_reusing_the_same_way() {
+        let mut c = small();
+        let narrow = CbmMask::new(0b0001, 4).unwrap();
+        c.access(C0, narrow, addr(0, 1), false);
+        c.access(C0, narrow, addr(0, 2), false); // Must evict tag 1.
+        assert!(!c.access(C0, narrow, addr(0, 1), false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let narrow = CbmMask::new(0b0001, 4).unwrap();
+        c.access(C0, narrow, addr(0, 1), true); // Dirty install.
+        let out = c.access(C0, narrow, addr(0, 2), false);
+        assert!(!out.hit);
+        assert!(out.writeback, "evicting a dirty line writes back");
+        // The new line is clean; evicting it is silent.
+        let out2 = c.access(C0, narrow, addr(0, 3), false);
+        assert!(!out2.writeback);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty() {
+        let mut c = small();
+        let narrow = CbmMask::new(0b0001, 4).unwrap();
+        c.access(C0, narrow, addr(0, 1), false); // Clean install.
+        c.access(C0, narrow, addr(0, 1), true); // Dirty on write hit.
+        let out = c.access(C0, narrow, addr(0, 2), false);
+        assert!(out.writeback);
+    }
+
+    #[test]
+    fn occupancy_tracks_owner() {
+        let mut c = small();
+        let m = full_mask();
+        for t in 0..3 {
+            c.access(C0, m, addr(0, t), false);
+        }
+        c.access(C1, m, addr(1, 0), false);
+        assert_eq!(c.occupancy_lines(C0), 3);
+        assert_eq!(c.occupancy_lines(C1), 1);
+        c.flush();
+        assert_eq!(c.occupancy_lines(C0), 0);
+    }
+
+    #[test]
+    fn invalid_ways_fill_before_eviction() {
+        let mut c = small();
+        let m = full_mask();
+        for t in 0..4 {
+            c.access(C0, m, addr(3, t), false);
+        }
+        // All four distinct tags must be resident (no premature eviction).
+        for t in 0..4 {
+            assert!(c.access(C0, m, addr(3, t), false).hit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A CLOS whose mask grants `k` ways can never occupy more than
+        /// `k × sets` lines, no matter the access pattern.
+        #[test]
+        fn occupancy_bounded_by_mask(
+            start in 0u32..6,
+            count in 1u32..6,
+            addrs in proptest::collection::vec(0u64..1_000_000, 1..2000),
+        ) {
+            prop_assume!(start + count <= 8);
+            let sets = 16u64;
+            let mut cache = SampledCache::new(CacheConfig {
+                sets,
+                ways: 8,
+                line_bytes: 64,
+            });
+            let mask = CbmMask::contiguous(start, count, 8).unwrap();
+            for a in addrs {
+                let _ = cache.access(ClosId(1), mask, a * 64, false);
+            }
+            prop_assert!(cache.occupancy_lines(ClosId(1)) <= u64::from(count) * sets);
+        }
+
+        /// Accesses are idempotent on the second touch: any address
+        /// accessed twice in a row hits the second time.
+        #[test]
+        fn immediate_reuse_always_hits(addr in 0u64..1_000_000u64) {
+            let mut cache = SampledCache::new(CacheConfig {
+                sets: 64,
+                ways: 4,
+                line_bytes: 64,
+            });
+            let mask = CbmMask::full(4);
+            let _ = cache.access(ClosId(0), mask, addr * 64, false);
+            prop_assert!(cache.access(ClosId(0), mask, addr * 64, false).hit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prefetch_unit_tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_installs_absent_lines_and_skips_resident_ones() {
+        let mut c = SampledCache::new(CacheConfig {
+            sets: 4,
+            ways: 4,
+            line_bytes: 64,
+        });
+        let m = CbmMask::full(4);
+        let out = c.prefetch(ClosId(0), m, 0);
+        assert!(!out.hit, "first prefetch fills");
+        assert!(c.access(ClosId(0), m, 0, false).hit, "prefetched line hits");
+        assert!(c.prefetch(ClosId(0), m, 0).hit, "re-prefetch is free");
+    }
+
+    #[test]
+    fn prefetched_lines_are_evicted_before_demand_lines() {
+        let mut c = SampledCache::new(CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 64,
+        });
+        let m = CbmMask::full(2);
+        c.access(ClosId(0), m, 0, false); // Demand line, tag 0.
+        c.prefetch(ClosId(0), m, 64); // Prefetch line, tag 1 (LRU insert).
+        c.access(ClosId(0), m, 128, false); // Fill: must evict the prefetch.
+        assert!(c.access(ClosId(0), m, 0, false).hit, "demand line survived");
+        assert!(!c.access(ClosId(0), m, 64, false).hit, "prefetch was victim");
+    }
+
+    #[test]
+    fn prefetch_respects_cat_masks() {
+        let mut c = SampledCache::new(CacheConfig {
+            sets: 1,
+            ways: 4,
+            line_bytes: 64,
+        });
+        let left = CbmMask::new(0b0011, 4).unwrap();
+        let right = CbmMask::new(0b1100, 4).unwrap();
+        // CLOS 1 owns the right half.
+        c.access(ClosId(1), right, 64 * 10, false);
+        c.access(ClosId(1), right, 64 * 11, false);
+        // CLOS 0 prefetches heavily into its left half only.
+        for t in 0..8 {
+            c.prefetch(ClosId(0), left, 64 * t);
+        }
+        assert!(c.access(ClosId(1), right, 64 * 10, false).hit);
+        assert!(c.access(ClosId(1), right, 64 * 11, false).hit);
+    }
+
+    #[test]
+    fn prefetch_writeback_of_dirty_victim_is_reported() {
+        let mut c = SampledCache::new(CacheConfig {
+            sets: 1,
+            ways: 1,
+            line_bytes: 64,
+        });
+        let m = CbmMask::full(1);
+        c.access(ClosId(0), m, 0, true); // Dirty.
+        let out = c.prefetch(ClosId(0), m, 64);
+        assert!(!out.hit);
+        assert!(out.writeback, "dirty victim must be written back");
+    }
+}

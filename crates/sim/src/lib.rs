@@ -1,0 +1,50 @@
+//! A commodity-server simulator for the CoPart reproduction.
+//!
+//! The original CoPart prototype (EuroSys '19) ran on an Intel Xeon Gold
+//! 6130 with Resource Director Technology: Cache Allocation Technology
+//! (CAT) partitions the 11-way, 22 MB LLC by *ways* across classes of
+//! service (CLOSes), and Memory Bandwidth Allocation (MBA) throttles the
+//! L2↔LLC traffic of each CLOS in 10 % steps. CoPart itself only ever
+//! observes three per-application counters (instructions, LLC accesses,
+//! LLC misses) and actuates CAT way masks and MBA levels — so a simulator
+//! that models exactly that surface lets the controller run unmodified.
+//!
+//! This crate provides that simulator:
+//!
+//! * [`MachineConfig`] — topology and timing constants, defaulting to the
+//!   paper's testbed (Table 1),
+//! * [`cache::SampledCache`] — a way-partitioned, set-sampled LRU LLC with
+//!   true CAT allocation semantics (way masks restrict *victim selection*,
+//!   hits are served from any way),
+//! * [`trace`] — synthetic address-trace generators (working-set loops,
+//!   streams, uniform and Zipf mixes) used to model application memory
+//!   behaviour,
+//! * [`bandwidth`] — an MBA-throttled, max–min fair memory-bus contention
+//!   model,
+//! * [`timing`] — the per-window analytic timing model that converts miss
+//!   ratios and achieved bandwidth into instructions per second, and
+//! * [`Machine`] — the composed server: CLOS table, consolidated
+//!   applications, per-application PMCs, and a `tick`-driven clock.
+//!
+//! # Fidelity and scaling
+//!
+//! The LLC is simulated at a configurable `1/scale` of its true size (both
+//! sets and application footprints are scaled together), which preserves
+//! reuse distances and therefore miss ratios — the standard set-sampling
+//! argument. A regression test compares a scaled run against a full-size
+//! run on a small configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod cache;
+mod config;
+mod machine;
+mod resources;
+pub mod timing;
+pub mod trace;
+
+pub use config::MachineConfig;
+pub use machine::{AppHandle, AppSpec, Machine, SimError, WindowReport};
+pub use resources::{CbmMask, ClosId, MaskError, MbaLevel, ResourceKind};

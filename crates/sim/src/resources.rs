@@ -1,0 +1,290 @@
+//! Hardware resource-control types: CLOSes, CAT way masks, MBA levels.
+
+use std::fmt;
+
+/// A class of service (CLOS) identifier.
+///
+/// On RDT hardware every core (or task group) is associated with a CLOS;
+/// CAT way masks and MBA levels are programmed per CLOS. The evaluated
+/// Xeon Gold 6130 exposes a small number of CLOSes; the simulator allows
+/// any number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClosId(pub u16);
+
+impl fmt::Display for ClosId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COS{}", self.0)
+    }
+}
+
+/// The two partitionable resources CoPart coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Last-level cache capacity (CAT ways).
+    Llc,
+    /// Memory bandwidth (MBA level).
+    MemoryBandwidth,
+}
+
+/// Errors constructing or validating a CAT capacity bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskError {
+    /// The mask has no bits set; CAT requires at least one way.
+    Empty,
+    /// The mask has bits above the machine's way count.
+    OutOfRange {
+        /// Number of ways the machine supports.
+        ways: u32,
+    },
+    /// The set bits are not contiguous, which Intel CAT forbids.
+    NotContiguous,
+}
+
+impl fmt::Display for MaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskError::Empty => write!(f, "CAT mask must have at least one way"),
+            MaskError::OutOfRange { ways } => {
+                write!(f, "CAT mask has bits beyond the {ways} supported ways")
+            }
+            MaskError::NotContiguous => write!(f, "CAT mask bits must be contiguous"),
+        }
+    }
+}
+
+impl std::error::Error for MaskError {}
+
+/// A CAT capacity bitmask (CBM): bit *i* grants way *i*.
+///
+/// Intel CAT requires masks to be non-empty and contiguous; this type
+/// enforces both at construction. Masks of different CLOSes may overlap —
+/// overlapped ways are shared.
+///
+/// # Examples
+///
+/// ```
+/// use copart_sim::CbmMask;
+///
+/// let mask = CbmMask::contiguous(2, 3, 11).unwrap(); // Ways 2, 3, 4.
+/// assert_eq!(mask.bits(), 0b1_1100);
+/// assert_eq!(mask.way_count(), 3);
+/// assert!(CbmMask::new(0b101, 11).is_err()); // Not contiguous.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CbmMask(u32);
+
+impl CbmMask {
+    /// Builds a mask from raw bits, enforcing CAT validity rules for a
+    /// machine with `ways` ways.
+    pub fn new(bits: u32, ways: u32) -> Result<CbmMask, MaskError> {
+        if bits == 0 {
+            return Err(MaskError::Empty);
+        }
+        if ways < 32 && bits >> ways != 0 {
+            return Err(MaskError::OutOfRange { ways });
+        }
+        // Contiguity: shifting out trailing zeros must leave 2^k - 1.
+        let norm = bits >> bits.trailing_zeros();
+        if norm & (norm + 1) != 0 {
+            return Err(MaskError::NotContiguous);
+        }
+        Ok(CbmMask(bits))
+    }
+
+    /// A contiguous mask of `count` ways starting at way `start`.
+    pub fn contiguous(start: u32, count: u32, ways: u32) -> Result<CbmMask, MaskError> {
+        if count == 0 {
+            return Err(MaskError::Empty);
+        }
+        if start + count > ways || count > 31 {
+            return Err(MaskError::OutOfRange { ways });
+        }
+        CbmMask::new(((1u32 << count) - 1) << start, ways)
+    }
+
+    /// A mask granting all `ways` ways.
+    pub fn full(ways: u32) -> CbmMask {
+        assert!((1..=31).contains(&ways), "way count out of range: {ways}");
+        CbmMask((1u32 << ways) - 1)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of ways granted.
+    pub fn way_count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether way `w` is granted.
+    pub fn contains(self, w: u32) -> bool {
+        w < 32 && self.0 & (1 << w) != 0
+    }
+
+    /// Iterator over the granted way indices, ascending.
+    pub fn ways(self) -> impl Iterator<Item = u32> {
+        let bits = self.0;
+        (0..32).filter(move |w| bits & (1 << w) != 0)
+    }
+
+    /// Whether the two masks share any way.
+    pub fn overlaps(self, other: CbmMask) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl fmt::Display for CbmMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// An MBA throttling level in percent.
+///
+/// The evaluated CPU exposes levels 10 % (maximum throttling) through
+/// 100 % (no throttling) in steps of 10 % (§3.1). The type clamps and
+/// snaps arbitrary values onto that grid.
+///
+/// # Examples
+///
+/// ```
+/// use copart_sim::MbaLevel;
+///
+/// assert_eq!(MbaLevel::new(34).percent(), 30); // Snapped to the grid.
+/// assert_eq!(MbaLevel::new(50).step_up().percent(), 60);
+/// assert_eq!(MbaLevel::MIN.step_down(), MbaLevel::MIN); // Saturates.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MbaLevel(u8);
+
+impl MbaLevel {
+    /// Minimum level (maximum throttling) exposed by the hardware.
+    pub const MIN: MbaLevel = MbaLevel(10);
+    /// Maximum level (no throttling).
+    pub const MAX: MbaLevel = MbaLevel(100);
+    /// Step between adjacent levels.
+    pub const STEP: u8 = 10;
+
+    /// Creates a level, snapping to the nearest multiple of 10 within
+    /// `[10, 100]`.
+    pub fn new(percent: u8) -> MbaLevel {
+        let snapped = ((percent as u32 + 5) / 10 * 10).clamp(10, 100);
+        MbaLevel(snapped as u8)
+    }
+
+    /// The level in percent, a multiple of 10 in `[10, 100]`.
+    pub fn percent(self) -> u8 {
+        self.0
+    }
+
+    /// The level as a fraction in `[0.1, 1.0]`.
+    pub fn fraction(self) -> f64 {
+        f64::from(self.0) / 100.0
+    }
+
+    /// One step less throttled, saturating at 100 %.
+    pub fn step_up(self) -> MbaLevel {
+        MbaLevel((self.0 + Self::STEP).min(100))
+    }
+
+    /// One step more throttled, saturating at 10 %.
+    pub fn step_down(self) -> MbaLevel {
+        MbaLevel((self.0.saturating_sub(Self::STEP)).max(10))
+    }
+
+    /// All levels from most to least throttled.
+    pub fn all() -> impl Iterator<Item = MbaLevel> {
+        (1..=10).map(|k| MbaLevel(k * 10))
+    }
+}
+
+impl fmt::Display for MbaLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_masks_are_accepted() {
+        let m = CbmMask::new(0b0111_0000, 11).unwrap();
+        assert_eq!(m.way_count(), 3);
+        assert!(m.contains(4) && m.contains(6) && !m.contains(7));
+        assert_eq!(m.ways().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_mask_rejected() {
+        assert_eq!(CbmMask::new(0, 11), Err(MaskError::Empty));
+    }
+
+    #[test]
+    fn out_of_range_mask_rejected() {
+        assert_eq!(
+            CbmMask::new(1 << 11, 11),
+            Err(MaskError::OutOfRange { ways: 11 })
+        );
+    }
+
+    #[test]
+    fn non_contiguous_mask_rejected() {
+        assert_eq!(CbmMask::new(0b101, 11), Err(MaskError::NotContiguous));
+    }
+
+    #[test]
+    fn full_mask_covers_all_ways() {
+        let m = CbmMask::full(11);
+        assert_eq!(m.way_count(), 11);
+        assert_eq!(m.bits(), 0x7ff);
+    }
+
+    #[test]
+    fn contiguous_constructor() {
+        let m = CbmMask::contiguous(3, 4, 11).unwrap();
+        assert_eq!(m.bits(), 0b0111_1000);
+        assert!(CbmMask::contiguous(8, 4, 11).is_err());
+        assert!(CbmMask::contiguous(0, 0, 11).is_err());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = CbmMask::contiguous(0, 4, 11).unwrap();
+        let b = CbmMask::contiguous(3, 2, 11).unwrap();
+        let c = CbmMask::contiguous(4, 2, 11).unwrap();
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn mba_levels_snap_and_clamp() {
+        assert_eq!(MbaLevel::new(0).percent(), 10);
+        assert_eq!(MbaLevel::new(14).percent(), 10);
+        assert_eq!(MbaLevel::new(15).percent(), 20);
+        assert_eq!(MbaLevel::new(95).percent(), 100);
+        assert_eq!(MbaLevel::new(255).percent(), 100);
+    }
+
+    #[test]
+    fn mba_steps_saturate() {
+        assert_eq!(MbaLevel::MAX.step_up(), MbaLevel::MAX);
+        assert_eq!(MbaLevel::MIN.step_down(), MbaLevel::MIN);
+        assert_eq!(MbaLevel::new(50).step_up().percent(), 60);
+        assert_eq!(MbaLevel::new(50).step_down().percent(), 40);
+    }
+
+    #[test]
+    fn mba_all_levels() {
+        let all: Vec<u8> = MbaLevel::all().map(|l| l.percent()).collect();
+        assert_eq!(all, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn mba_fraction() {
+        assert!((MbaLevel::new(30).fraction() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-window analytic timing: miss ratios + bandwidth → IPS.
+//!
+//! Within one adaptation window the simulator knows, per application, the
+//! LLC miss ratio (from the cache model) and the MBA configuration. This
+//! module closes the loop between execution speed and memory traffic:
+//!
+//! * cycles per instruction decompose into a compute term (`1/ipc_peak`)
+//!   and an exposed-memory term proportional to misses per instruction,
+//!   the effective memory latency, and the inverse of the application's
+//!   memory-level parallelism;
+//! * effective memory latency is the unloaded latency, inflated by MBA
+//!   throttling (latency-bound applications feel throttling even below
+//!   their bandwidth cap);
+//! * the achieved IPS is then the *roofline* minimum of the latency-bound
+//!   rate and the bandwidth-bound rate `grant / bytes-per-instruction`,
+//!   where grants come from the max–min fair bus model under each
+//!   application's MBA cap.
+
+use crate::bandwidth::{self, BandwidthRequest};
+
+/// Machine-level constants the timing model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Core frequency in Hz.
+    pub freq_hz: f64,
+    /// Unloaded memory latency in nanoseconds.
+    pub mem_latency_ns: f64,
+    /// Total memory-bus bandwidth in bytes/second.
+    pub total_bw: f64,
+    /// Cache-line size in bytes (unit of memory traffic).
+    pub line_bytes: f64,
+}
+
+/// Static per-application execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppTimingParams {
+    /// Dedicated cores.
+    pub cores: u32,
+    /// Peak per-core IPC when never missing the LLC.
+    pub ipc_peak: f64,
+    /// LLC accesses per kilo-instruction.
+    pub apki: f64,
+    /// Memory-level parallelism: average outstanding misses that overlap.
+    /// Values below 1 model dependent-miss chains whose effective cost
+    /// exceeds the raw latency.
+    pub mlp: f64,
+}
+
+/// Per-window observations and configuration for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowInputs {
+    /// LLC miss ratio observed this window, in `[0, 1]`.
+    pub miss_ratio: f64,
+    /// Writebacks per LLC access observed this window.
+    pub wb_per_access: f64,
+    /// MBA bandwidth cap in bytes/second.
+    pub bw_cap: f64,
+    /// MBA latency-inflation factor (1.0 when unthrottled).
+    pub lat_factor: f64,
+}
+
+/// The solved steady state of one application for the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppWindowResult {
+    /// Achieved instructions per second (all cores combined).
+    pub ips: f64,
+    /// Memory traffic the application wanted, bytes/second.
+    pub demand_bw: f64,
+    /// Memory traffic it was granted, bytes/second.
+    pub granted_bw: f64,
+    /// Final congestion factor (demand/grant, ≥ 1).
+    pub congestion: f64,
+}
+
+/// Solves the window roofline for all applications jointly.
+///
+/// Applications with zero miss traffic are purely compute-bound and come
+/// out at `cores × freq × ipc_peak` instructions per second. Applications
+/// whose demanded traffic exceeds their max–min fair grant are
+/// bandwidth-bound and come out at `grant / bytes-per-instruction`.
+pub fn solve_window(cfg: &TimingConfig, apps: &[(AppTimingParams, WindowInputs)]) -> Vec<AppWindowResult> {
+    let n = apps.len();
+    let mut results = Vec::with_capacity(n);
+    if n == 0 {
+        return results;
+    }
+
+    let lat_cycles_base = cfg.mem_latency_ns * 1e-9 * cfg.freq_hz;
+
+    // Latency-bound pass: MBA-inflated latency → unconstrained IPS and the
+    // memory traffic that IPS would generate.
+    let mut bytes_per_inst = Vec::with_capacity(n);
+    let mut requests = Vec::with_capacity(n);
+    for (p, w) in apps {
+        let misses_per_inst = (p.apki / 1000.0) * w.miss_ratio.clamp(0.0, 1.0);
+        // MLP below 1 models dependent-miss chains (each miss costs more
+        // than the raw latency); the floor keeps the model numerically sane.
+        let exposed_lat = lat_cycles_base * w.lat_factor / p.mlp.max(0.25);
+        let cpi = 1.0 / p.ipc_peak + misses_per_inst * exposed_lat;
+        let ips = f64::from(p.cores) * cfg.freq_hz / cpi;
+        let traffic_per_access = w.miss_ratio.clamp(0.0, 1.0) + w.wb_per_access.max(0.0);
+        let bpi = (p.apki / 1000.0) * traffic_per_access * cfg.line_bytes;
+        let demand = ips * bpi;
+        bytes_per_inst.push(bpi);
+        results.push(AppWindowResult {
+            ips,
+            demand_bw: demand,
+            granted_bw: 0.0,
+            congestion: 1.0,
+        });
+        requests.push(BandwidthRequest {
+            demand,
+            cap: w.bw_cap,
+        });
+    }
+
+    // Bandwidth-bound pass: grants clamp IPS from above. Grants never
+    // exceed demand, so the clamp can only lower IPS.
+    let grants = bandwidth::allocate(cfg.total_bw, &requests);
+    for i in 0..n {
+        results[i].granted_bw = grants[i];
+        if results[i].demand_bw > 0.0 {
+            if grants[i] > 0.0 {
+                results[i].ips = results[i].ips.min(grants[i] / bytes_per_inst[i]);
+                results[i].congestion = (results[i].demand_bw / grants[i]).max(1.0);
+            } else {
+                results[i].ips = 0.0;
+                results[i].congestion = f64::INFINITY;
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1.0e9;
+
+    fn cfg() -> TimingConfig {
+        TimingConfig {
+            freq_hz: 2.1e9,
+            mem_latency_ns: 80.0,
+            total_bw: 28.0 * GB,
+            line_bytes: 64.0,
+        }
+    }
+
+    fn params(cores: u32, ipc: f64, apki: f64, mlp: f64) -> AppTimingParams {
+        AppTimingParams {
+            cores,
+            ipc_peak: ipc,
+            apki,
+            mlp,
+        }
+    }
+
+    fn inputs(miss_ratio: f64, cap_gb: f64) -> WindowInputs {
+        WindowInputs {
+            miss_ratio,
+            wb_per_access: 0.0,
+            bw_cap: cap_gb * GB,
+            lat_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn compute_bound_app_reaches_peak_ips() {
+        let r = solve_window(&cfg(), &[(params(4, 1.5, 5.0, 4.0), inputs(0.0, 48.0))]);
+        let expect = 4.0 * 2.1e9 * 1.5;
+        assert!((r[0].ips - expect).abs() / expect < 1e-9);
+        assert_eq!(r[0].demand_bw, 0.0);
+        assert!((r[0].congestion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_miss_ratio_means_lower_ips() {
+        let base = params(4, 1.5, 30.0, 6.0);
+        let lo = solve_window(&cfg(), &[(base, inputs(0.05, 48.0))]);
+        let hi = solve_window(&cfg(), &[(base, inputs(0.5, 48.0))]);
+        assert!(hi[0].ips < lo[0].ips * 0.7, "{} vs {}", hi[0].ips, lo[0].ips);
+    }
+
+    #[test]
+    fn mba_cap_throttles_heavy_streamer() {
+        let p = params(4, 1.2, 120.0, 12.0);
+        let free = solve_window(&cfg(), &[(p, inputs(0.9, 48.0))]);
+        let capped = solve_window(&cfg(), &[(p, inputs(0.9, 2.0))]);
+        assert!(capped[0].granted_bw <= 2.0 * GB + 1.0);
+        assert!(
+            capped[0].ips < free[0].ips * 0.6,
+            "capped {} vs free {}",
+            capped[0].ips,
+            free[0].ips
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_ips_tracks_grant() {
+        // When fully bandwidth-bound, IPS ≈ grant / bytes-per-instruction.
+        let p = params(4, 2.0, 200.0, 16.0);
+        let r = solve_window(&cfg(), &[(p, inputs(1.0, 4.0))]);
+        let bytes_per_inst = 200.0 / 1000.0 * 64.0;
+        let predicted = 4.0 * GB / bytes_per_inst;
+        assert!(
+            (r[0].ips - predicted).abs() / predicted < 0.15,
+            "ips {} vs predicted {predicted}",
+            r[0].ips
+        );
+    }
+
+    #[test]
+    fn two_streamers_share_the_bus() {
+        let p = params(8, 1.2, 150.0, 12.0);
+        let alone = solve_window(&cfg(), &[(p, inputs(0.9, 96.0))]);
+        let pair = solve_window(
+            &cfg(),
+            &[(p, inputs(0.9, 96.0)), (p, inputs(0.9, 96.0))],
+        );
+        assert!(pair[0].ips < alone[0].ips * 0.75);
+        assert!((pair[0].ips - pair[1].ips).abs() / pair[0].ips < 1e-6);
+        let total: f64 = pair.iter().map(|r| r.granted_bw).sum();
+        assert!(total <= 28.0 * GB * 1.0001);
+    }
+
+    #[test]
+    fn latency_inflation_hits_low_mlp_hardest() {
+        let low_mlp = params(4, 1.5, 40.0, 2.0);
+        let high_mlp = params(4, 1.5, 40.0, 16.0);
+        let mk = |lat_factor| WindowInputs {
+            miss_ratio: 0.6,
+            wb_per_access: 0.0,
+            bw_cap: 48.0 * GB,
+            lat_factor,
+        };
+        let base_lo = solve_window(&cfg(), &[(low_mlp, mk(1.0))])[0].ips;
+        let thr_lo = solve_window(&cfg(), &[(low_mlp, mk(3.0))])[0].ips;
+        let base_hi = solve_window(&cfg(), &[(high_mlp, mk(1.0))])[0].ips;
+        let thr_hi = solve_window(&cfg(), &[(high_mlp, mk(3.0))])[0].ips;
+        let drop_lo = 1.0 - thr_lo / base_lo;
+        let drop_hi = 1.0 - thr_hi / base_hi;
+        assert!(
+            drop_lo > drop_hi + 0.1,
+            "low-MLP drop {drop_lo} should exceed high-MLP drop {drop_hi}"
+        );
+    }
+
+    #[test]
+    fn writebacks_add_to_demand() {
+        let p = params(4, 1.5, 60.0, 8.0);
+        let clean = solve_window(&cfg(), &[(p, inputs(0.5, 48.0))]);
+        let dirty = solve_window(
+            &cfg(),
+            &[(
+                p,
+                WindowInputs {
+                    miss_ratio: 0.5,
+                    wb_per_access: 0.25,
+                    bw_cap: 48.0 * GB,
+                    lat_factor: 1.0,
+                },
+            )],
+        );
+        assert!(dirty[0].demand_bw > clean[0].demand_bw * 1.3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(solve_window(&cfg(), &[]).is_empty());
+    }
+
+    #[test]
+    fn roofline_is_stable_and_finite() {
+        // A pathological mix should still produce finite, positive IPS.
+        let apps: Vec<_> = (0..6)
+            .map(|k| {
+                (
+                    params(2, 1.0 + k as f64 * 0.2, 150.0, 4.0),
+                    inputs(0.95, 1.2),
+                )
+            })
+            .collect();
+        for r in solve_window(&cfg(), &apps) {
+            assert!(r.ips.is_finite() && r.ips > 0.0);
+            assert!(r.congestion >= 1.0 && r.congestion.is_finite());
+        }
+    }
+}

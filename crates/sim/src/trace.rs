@@ -1,0 +1,376 @@
+//! Synthetic address-trace generation.
+//!
+//! Application memory behaviour is modelled as a weighted mixture of
+//! access *phases*, each a simple, well-understood pattern. The mixture
+//! weights and footprints are per-benchmark calibration data (see the
+//! `copart-workloads` crate); together they reproduce the four sensitivity
+//! classes the paper characterizes in §3.3/§4:
+//!
+//! * [`AccessPattern::WorkingSetLoop`] — cyclic sweeps over a bounded
+//!   region; hits when the region fits the allocated ways, LRU-thrashes
+//!   when it does not (LLC-sensitive behaviour),
+//! * [`AccessPattern::Stream`] — sequential, effectively-no-reuse traffic
+//!   (memory-bandwidth-sensitive behaviour),
+//! * [`AccessPattern::UniformRandom`] — uniform accesses over a region,
+//! * [`AccessPattern::Zipf`] — skewed reuse, yielding smooth miss-ratio
+//!   curves.
+//!
+//! Patterns are emitted in bursts of [`BURST_LEN`] accesses so streaming
+//! runs stay sequential under mixing, as they do in real traces.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of consecutive accesses drawn from one phase before the active
+/// phase is re-sampled.
+pub const BURST_LEN: u32 = 64;
+
+/// A single access phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPattern {
+    /// Cyclic sweep over `bytes` with the given stride.
+    WorkingSetLoop {
+        /// Footprint in bytes.
+        bytes: u64,
+        /// Address increment per access, in bytes.
+        stride: u64,
+    },
+    /// Sequential streaming over a `bytes`-sized region (wraps around; make
+    /// the region much larger than the LLC for true no-reuse behaviour).
+    Stream {
+        /// Footprint in bytes.
+        bytes: u64,
+    },
+    /// Uniformly random line-aligned accesses within `bytes`.
+    UniformRandom {
+        /// Footprint in bytes.
+        bytes: u64,
+    },
+    /// Zipf-distributed accesses over `bytes` with the given exponent
+    /// (larger exponent ⇒ more skew, more locality).
+    Zipf {
+        /// Footprint in bytes.
+        bytes: u64,
+        /// Skew exponent, must be positive and not exactly 1.
+        exponent: f64,
+    },
+    /// A dependent pointer chase: each access determines the next through
+    /// a fixed pseudo-random permutation of the region's lines (one long
+    /// cycle), modelling linked-data-structure traversals. Pair this
+    /// pattern with a low [`crate::AppSpec`] `mlp` — the chain serializes
+    /// misses.
+    PointerChase {
+        /// Footprint in bytes.
+        bytes: u64,
+    },
+}
+
+impl AccessPattern {
+    /// The pattern's footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            AccessPattern::WorkingSetLoop { bytes, .. }
+            | AccessPattern::Stream { bytes }
+            | AccessPattern::UniformRandom { bytes }
+            | AccessPattern::Zipf { bytes, .. }
+            | AccessPattern::PointerChase { bytes } => bytes,
+        }
+    }
+
+    /// Returns a copy with the footprint divided by `scale` (floored at
+    /// four lines), used for scaled cache simulation.
+    pub fn scaled(&self, scale: u32, line_bytes: u64) -> AccessPattern {
+        let floor = 4 * line_bytes;
+        let scale_bytes = |b: u64| (b / u64::from(scale)).max(floor);
+        match *self {
+            AccessPattern::WorkingSetLoop { bytes, stride } => AccessPattern::WorkingSetLoop {
+                bytes: scale_bytes(bytes),
+                stride,
+            },
+            AccessPattern::Stream { bytes } => AccessPattern::Stream {
+                bytes: scale_bytes(bytes),
+            },
+            AccessPattern::UniformRandom { bytes } => AccessPattern::UniformRandom {
+                bytes: scale_bytes(bytes),
+            },
+            AccessPattern::Zipf { bytes, exponent } => AccessPattern::Zipf {
+                bytes: scale_bytes(bytes),
+                exponent,
+            },
+            AccessPattern::PointerChase { bytes } => AccessPattern::PointerChase {
+                bytes: scale_bytes(bytes),
+            },
+        }
+    }
+}
+
+/// Per-phase generator state.
+#[derive(Debug, Clone)]
+struct PhaseState {
+    pattern: AccessPattern,
+    weight: f64,
+    cursor: u64,
+}
+
+impl PhaseState {
+    fn next_addr(&mut self, rng: &mut SmallRng, line_bytes: u64) -> u64 {
+        match self.pattern {
+            AccessPattern::WorkingSetLoop { bytes, stride } => {
+                let addr = self.cursor;
+                self.cursor = (self.cursor + stride) % bytes;
+                addr
+            }
+            AccessPattern::Stream { bytes } => {
+                let addr = self.cursor;
+                self.cursor = (self.cursor + line_bytes) % bytes;
+                addr
+            }
+            AccessPattern::UniformRandom { bytes } => {
+                let lines = (bytes / line_bytes).max(1);
+                rng.gen_range(0..lines) * line_bytes
+            }
+            AccessPattern::Zipf { bytes, exponent } => {
+                let lines = (bytes / line_bytes).max(1);
+                let rank = zipf_rank(rng, lines, exponent);
+                rank * line_bytes
+            }
+            AccessPattern::PointerChase { bytes } => {
+                let lines = (bytes / line_bytes).max(1);
+                // Weyl-style permutation walk: stepping by an odd constant
+                // modulo `lines` visits every line once per cycle when
+                // `lines` and the step are coprime; the large odd step
+                // destroys spatial locality like a real pointer chase.
+                let step = (lines / 2) | 1;
+                let idx = self.cursor % lines;
+                self.cursor = (idx + step) % lines;
+                idx * line_bytes
+            }
+        }
+    }
+}
+
+/// Samples a Zipf-like rank in `[0, n)` via the continuous inverse-CDF
+/// approximation of the generalized harmonic CDF. Approximate but cheap
+/// and monotone in skew, which is all the workload models need.
+fn zipf_rank(rng: &mut SmallRng, n: u64, s: f64) -> u64 {
+    debug_assert!(s > 0.0 && (s - 1.0).abs() > 1e-9, "exponent {s} unsupported");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let nf = n as f64;
+    let one_minus_s = 1.0 - s;
+    // H(n) ≈ (n^(1-s) - 1) / (1-s); invert H(k)/H(n) = u for k.
+    let h_n = (nf.powf(one_minus_s) - 1.0) / one_minus_s;
+    let k = (one_minus_s * u * h_n + 1.0).powf(1.0 / one_minus_s);
+    (k as u64).min(n - 1)
+}
+
+/// A deterministic, seedable trace generator over a phase mixture.
+///
+/// All addresses are offsets within the application's private address
+/// space; the machine adds a per-application base so tags never collide
+/// across applications.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    phases: Vec<PhaseState>,
+    line_bytes: u64,
+    rng: SmallRng,
+    active: usize,
+    burst_left: u32,
+    total_weight: f64,
+}
+
+impl TraceGenerator {
+    /// Builds a generator over `(weight, pattern)` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mixture is empty or all weights are non-positive;
+    /// phase tables are static calibration data, so this is a programming
+    /// error.
+    pub fn new(phases: &[(f64, AccessPattern)], line_bytes: u64, seed: u64) -> TraceGenerator {
+        assert!(!phases.is_empty(), "phase mixture must be non-empty");
+        let states: Vec<PhaseState> = phases
+            .iter()
+            .map(|(w, p)| PhaseState {
+                pattern: p.clone(),
+                weight: *w,
+                cursor: 0,
+            })
+            .collect();
+        let total_weight: f64 = states.iter().map(|p| p.weight).sum();
+        assert!(total_weight > 0.0, "phase weights must sum to a positive value");
+        TraceGenerator {
+            phases: states,
+            line_bytes,
+            rng: SmallRng::seed_from_u64(seed),
+            active: 0,
+            burst_left: 0,
+            total_weight,
+        }
+    }
+
+    /// Produces the next line-aligned address offset.
+    pub fn next_addr(&mut self) -> u64 {
+        if self.burst_left == 0 {
+            self.active = self.pick_phase();
+            self.burst_left = BURST_LEN;
+        }
+        self.burst_left -= 1;
+        let line = self.line_bytes;
+        let addr = self.phases[self.active].next_addr(&mut self.rng, line);
+        addr & !(line - 1)
+    }
+
+    fn pick_phase(&mut self) -> usize {
+        let mut t = self.rng.gen_range(0.0..self.total_weight);
+        for (i, p) in self.phases.iter().enumerate() {
+            if t < p.weight {
+                return i;
+            }
+            t -= p.weight;
+        }
+        self.phases.len() - 1
+    }
+
+    /// Draws a Bernoulli sample with probability `p` from the generator's
+    /// own RNG stream (used for write decisions, keeping runs
+    /// reproducible from the single seed).
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_range(0.0..1.0) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn gen_one(pattern: AccessPattern, n: usize) -> Vec<u64> {
+        let mut g = TraceGenerator::new(&[(1.0, pattern)], 64, 42);
+        (0..n).map(|_| g.next_addr()).collect()
+    }
+
+    #[test]
+    fn working_set_loop_cycles_exactly() {
+        let addrs = gen_one(
+            AccessPattern::WorkingSetLoop {
+                bytes: 4 * 64,
+                stride: 64,
+            },
+            8,
+        );
+        assert_eq!(addrs, vec![0, 64, 128, 192, 0, 64, 128, 192]);
+    }
+
+    #[test]
+    fn stream_is_sequential_and_wraps() {
+        let addrs = gen_one(AccessPattern::Stream { bytes: 3 * 64 }, 4);
+        assert_eq!(addrs, vec![0, 64, 128, 0]);
+    }
+
+    #[test]
+    fn uniform_random_stays_in_bounds_and_is_aligned() {
+        let bytes = 1024 * 64;
+        let addrs = gen_one(AccessPattern::UniformRandom { bytes }, 10_000);
+        assert!(addrs.iter().all(|&a| a < bytes && a % 64 == 0));
+        // Should touch a large fraction of the 1024 lines.
+        let distinct: HashSet<_> = addrs.iter().collect();
+        assert!(distinct.len() > 900, "only {} distinct lines", distinct.len());
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let bytes = 4096 * 64;
+        let addrs = gen_one(
+            AccessPattern::Zipf {
+                bytes,
+                exponent: 1.2,
+            },
+            50_000,
+        );
+        assert!(addrs.iter().all(|&a| a < bytes && a % 64 == 0));
+        let hot = addrs.iter().filter(|&&a| a < 64 * 64).count();
+        // Top 64 of 4096 lines should draw far more than the uniform share
+        // (64/4096 ≈ 1.6 %).
+        assert!(
+            hot as f64 / 50_000.0 > 0.3,
+            "hot fraction {}",
+            hot as f64 / 50_000.0
+        );
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_line_without_locality() {
+        let lines = 257u64; // Prime: any odd step is coprime.
+        let addrs = gen_one(
+            AccessPattern::PointerChase { bytes: lines * 64 },
+            lines as usize,
+        );
+        let distinct: HashSet<_> = addrs.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            lines as usize,
+            "one full cycle covers every line exactly once"
+        );
+        // No spatial locality: consecutive addresses are far apart.
+        let close = addrs
+            .windows(2)
+            .filter(|w| w[0].abs_diff(w[1]) <= 64)
+            .count();
+        assert!(close <= 2, "{close} near-sequential steps");
+    }
+
+    #[test]
+    fn mixture_respects_weights_roughly() {
+        // 90 % tiny loop (addresses < 256), 10 % distant stream.
+        let mut g = TraceGenerator::new(
+            &[
+                (
+                    0.9,
+                    AccessPattern::WorkingSetLoop {
+                        bytes: 4 * 64,
+                        stride: 64,
+                    },
+                ),
+                (
+                    0.1,
+                    AccessPattern::UniformRandom {
+                        bytes: 1 << 30,
+                    },
+                ),
+            ],
+            64,
+            9,
+        );
+        let n = 100_000;
+        let near = (0..n).filter(|_| g.next_addr() < 256).count();
+        let frac = near as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.05, "loop fraction {frac}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let p = [(1.0, AccessPattern::UniformRandom { bytes: 1 << 20 })];
+        let mut a = TraceGenerator::new(&p, 64, 5);
+        let mut b = TraceGenerator::new(&p, 64, 5);
+        let mut c = TraceGenerator::new(&p, 64, 6);
+        let va: Vec<u64> = (0..100).map(|_| a.next_addr()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_addr()).collect();
+        let vc: Vec<u64> = (0..100).map(|_| c.next_addr()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn scaling_shrinks_footprints_with_floor() {
+        let p = AccessPattern::Stream { bytes: 1 << 20 };
+        assert_eq!(p.scaled(64, 64).bytes(), (1 << 20) / 64);
+        let tiny = AccessPattern::Stream { bytes: 512 };
+        assert_eq!(tiny.scaled(64, 64).bytes(), 4 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mixture_panics() {
+        let _ = TraceGenerator::new(&[], 64, 0);
+    }
+}

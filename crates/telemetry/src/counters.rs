@@ -1,0 +1,200 @@
+//! Raw counter snapshots and deltas.
+
+use crate::rates::Rates;
+use crate::NS_PER_SEC;
+
+/// A point-in-time reading of the per-application hardware counters.
+///
+/// # Examples
+///
+/// ```
+/// use copart_telemetry::CounterSnapshot;
+///
+/// let t0 = CounterSnapshot { timestamp_ns: 0, instructions: 0, cycles: 0,
+///                            llc_accesses: 0, llc_misses: 0 };
+/// let t1 = CounterSnapshot { timestamp_ns: 1_000_000_000, instructions: 2_000,
+///                            cycles: 4_000, llc_accesses: 100, llc_misses: 10 };
+/// let rates = t1.delta_since(&t0).unwrap().rates().unwrap();
+/// assert_eq!(rates.ips, 2_000.0);
+/// assert_eq!(rates.miss_ratio, 0.1);
+/// ```
+///
+/// All counters are cumulative since the application (or its monitoring
+/// group) started. Snapshots are totally ordered by `timestamp_ns`; a later
+/// snapshot must have counter values greater than or equal to an earlier
+/// one. The trio of events mirrors §3.2 of the paper: dynamically executed
+/// instructions, LLC accesses, and LLC misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Monotonic timestamp of the reading, in nanoseconds.
+    pub timestamp_ns: u64,
+    /// Cumulative retired instructions.
+    pub instructions: u64,
+    /// Cumulative CPU cycles consumed (informational; CoPart itself only
+    /// uses instructions and wall time).
+    pub cycles: u64,
+    /// Cumulative LLC accesses (loads and stores reaching the LLC).
+    pub llc_accesses: u64,
+    /// Cumulative LLC misses.
+    pub llc_misses: u64,
+}
+
+impl CounterSnapshot {
+    /// Returns the delta `self - earlier`.
+    ///
+    /// Returns `None` when `earlier` is not actually earlier (equal
+    /// timestamps included) or when any counter has gone backwards, which
+    /// indicates a counter reset or a monitoring-group change; callers
+    /// should discard the pair and re-arm.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> Option<CounterDelta> {
+        if self.timestamp_ns <= earlier.timestamp_ns {
+            return None;
+        }
+        Some(CounterDelta {
+            duration_ns: self.timestamp_ns - earlier.timestamp_ns,
+            instructions: self.instructions.checked_sub(earlier.instructions)?,
+            cycles: self.cycles.checked_sub(earlier.cycles)?,
+            llc_accesses: self.llc_accesses.checked_sub(earlier.llc_accesses)?,
+            llc_misses: self.llc_misses.checked_sub(earlier.llc_misses)?,
+        })
+    }
+}
+
+/// The difference between two [`CounterSnapshot`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterDelta {
+    /// Wall-clock duration covered by the delta, in nanoseconds.
+    pub duration_ns: u64,
+    /// Instructions retired during the interval.
+    pub instructions: u64,
+    /// Cycles consumed during the interval.
+    pub cycles: u64,
+    /// LLC accesses during the interval.
+    pub llc_accesses: u64,
+    /// LLC misses during the interval.
+    pub llc_misses: u64,
+}
+
+impl CounterDelta {
+    /// Converts the delta into per-second rates.
+    ///
+    /// Returns `None` for an empty interval (`duration_ns == 0`), which
+    /// cannot be converted to rates.
+    pub fn rates(&self) -> Option<Rates> {
+        if self.duration_ns == 0 {
+            return None;
+        }
+        let secs = self.duration_ns as f64 / NS_PER_SEC;
+        let miss_ratio = if self.llc_accesses == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.llc_accesses as f64
+        };
+        Some(Rates {
+            ips: self.instructions as f64 / secs,
+            llc_accesses_per_sec: self.llc_accesses as f64 / secs,
+            llc_misses_per_sec: self.llc_misses as f64 / secs,
+            miss_ratio,
+        })
+    }
+
+    /// Sums two deltas covering adjacent intervals.
+    pub fn merge(&self, other: &CounterDelta) -> CounterDelta {
+        CounterDelta {
+            duration_ns: self.duration_ns + other.duration_ns,
+            instructions: self.instructions + other.instructions,
+            cycles: self.cycles + other.cycles,
+            llc_accesses: self.llc_accesses + other.llc_accesses,
+            llc_misses: self.llc_misses + other.llc_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: u64, i: u64, a: u64, m: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            timestamp_ns: t,
+            instructions: i,
+            cycles: i,
+            llc_accesses: a,
+            llc_misses: m,
+        }
+    }
+
+    #[test]
+    fn delta_between_ordered_snapshots() {
+        let a = snap(0, 100, 10, 1);
+        let b = snap(1_000_000_000, 300, 50, 5);
+        let d = b.delta_since(&a).unwrap();
+        assert_eq!(d.duration_ns, 1_000_000_000);
+        assert_eq!(d.instructions, 200);
+        assert_eq!(d.llc_accesses, 40);
+        assert_eq!(d.llc_misses, 4);
+    }
+
+    #[test]
+    fn delta_rejects_equal_or_reversed_time() {
+        let a = snap(5, 1, 1, 1);
+        assert!(a.delta_since(&a).is_none());
+        let later = snap(10, 2, 2, 2);
+        assert!(a.delta_since(&later).is_none());
+    }
+
+    #[test]
+    fn delta_rejects_counter_rollback() {
+        let a = snap(0, 100, 10, 1);
+        let b = snap(10, 50, 20, 2);
+        assert!(b.delta_since(&a).is_none());
+    }
+
+    #[test]
+    fn rates_from_delta() {
+        let d = CounterDelta {
+            duration_ns: 500_000_000,
+            instructions: 1_000,
+            cycles: 2_000,
+            llc_accesses: 100,
+            llc_misses: 25,
+        };
+        let r = d.rates().unwrap();
+        assert!((r.ips - 2_000.0).abs() < 1e-9);
+        assert!((r.llc_accesses_per_sec - 200.0).abs() < 1e-9);
+        assert!((r.llc_misses_per_sec - 50.0).abs() < 1e-9);
+        assert!((r.miss_ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_of_empty_interval_is_none() {
+        assert!(CounterDelta::default().rates().is_none());
+    }
+
+    #[test]
+    fn zero_access_delta_has_zero_miss_ratio() {
+        let d = CounterDelta {
+            duration_ns: 1,
+            instructions: 10,
+            cycles: 10,
+            llc_accesses: 0,
+            llc_misses: 0,
+        };
+        assert_eq!(d.rates().unwrap().miss_ratio, 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let d1 = CounterDelta {
+            duration_ns: 1,
+            instructions: 2,
+            cycles: 3,
+            llc_accesses: 4,
+            llc_misses: 5,
+        };
+        let sum = d1.merge(&d1);
+        assert_eq!(sum.duration_ns, 2);
+        assert_eq!(sum.instructions, 4);
+        assert_eq!(sum.llc_misses, 10);
+    }
+}

@@ -1,0 +1,106 @@
+//! Exponentially-weighted moving average.
+
+/// An exponentially-weighted moving average over a scalar series.
+///
+/// Counter-derived rates are noisy at the 100 ms sampling periods CoPart
+/// uses; the classifiers smooth them before comparing against thresholds so
+/// a single noisy window does not trigger a spurious state transition.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a smoother with weight `alpha` given to each new sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds a sample and returns the updated average.
+    ///
+    /// Non-finite samples are ignored (the previous average is returned)
+    /// so a corrupted reading cannot permanently poison the series.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        if !sample.is_finite() {
+            return self.value.unwrap_or(0.0);
+        }
+        let next = match self.value {
+            None => sample,
+            Some(v) => self.alpha * sample + (1.0 - self.alpha) * v,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current average, if any sample has been observed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forgets all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_is_adopted_directly() {
+        let mut e = Ewma::new(0.25);
+        assert_eq!(e.update(8.0), 8.0);
+        assert_eq!(e.value(), Some(8.0));
+    }
+
+    #[test]
+    fn converges_toward_constant_input() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        for _ in 0..32 {
+            e.update(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_tracks_input_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(3.0);
+        assert_eq!(e.update(7.0), 7.0);
+    }
+
+    #[test]
+    fn ignores_non_finite_samples() {
+        let mut e = Ewma::new(0.5);
+        e.update(4.0);
+        assert_eq!(e.update(f64::NAN), 4.0);
+        assert_eq!(e.update(f64::INFINITY), 4.0);
+        assert_eq!(e.value(), Some(4.0));
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut e = Ewma::new(0.5);
+        e.update(4.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+}

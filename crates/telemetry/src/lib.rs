@@ -1,0 +1,34 @@
+//! Performance-counter telemetry for the CoPart reproduction.
+//!
+//! CoPart observes exactly three raw hardware events per application —
+//! retired instructions, LLC accesses, and LLC misses (§3.2 of the paper,
+//! collected through PAPI on the original testbed) — plus wall-clock time.
+//! This crate provides the portable representation of those observations:
+//!
+//! * [`CounterSnapshot`] — a point-in-time reading of the raw counters,
+//! * [`CounterDelta`] — the difference between two snapshots,
+//! * [`Rates`] — derived per-second rates (IPS, accesses/s, misses/s) and
+//!   the LLC miss ratio, which are the quantities the CoPart classifiers
+//!   actually consume,
+//! * [`SlidingWindow`] — a bounded history of snapshots with windowed rate
+//!   queries, and
+//! * [`Ewma`] — exponentially-weighted smoothing for noisy rate series.
+//!
+//! The types are backend-agnostic: the simulator backend and the resctrl
+//! backend both produce [`CounterSnapshot`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod ewma;
+mod rates;
+mod window;
+
+pub use counters::{CounterDelta, CounterSnapshot};
+pub use ewma::Ewma;
+pub use rates::{traffic_ratio, Rates};
+pub use window::SlidingWindow;
+
+/// Nanoseconds per second, used when converting deltas to rates.
+pub const NS_PER_SEC: f64 = 1_000_000_000.0;

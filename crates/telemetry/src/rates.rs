@@ -1,0 +1,84 @@
+//! Derived per-second rates and ratios.
+
+/// Per-second rates derived from a [`crate::CounterDelta`].
+///
+/// These are the quantities the CoPart classifiers consume: IPS drives the
+/// slowdown estimate (Eq 1 of the paper), the LLC access rate and miss
+/// ratio drive the LLC classifier FSM (§5.2), and the miss rate — relative
+/// to STREAM's — drives the memory-bandwidth classifier FSM (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rates {
+    /// Instructions per second.
+    pub ips: f64,
+    /// LLC accesses per second.
+    pub llc_accesses_per_sec: f64,
+    /// LLC misses per second.
+    pub llc_misses_per_sec: f64,
+    /// LLC misses divided by LLC accesses, in `[0, 1]`.
+    pub miss_ratio: f64,
+}
+
+/// Computes the *memory traffic ratio* of §5.3: the application's LLC miss
+/// rate relative to the LLC miss rate of the STREAM benchmark measured at
+/// the same MBA level.
+///
+/// STREAM is used as the empirical upper bound of memory traffic on the
+/// machine (§3.3), so the ratio is a normalized measure of how close the
+/// application is to saturating its bandwidth allocation. Returns 0 when
+/// the reference rate is not positive (counter dropout); the classifier
+/// treats that sample as "no traffic" rather than propagating a NaN.
+pub fn traffic_ratio(app_misses_per_sec: f64, stream_misses_per_sec: f64) -> f64 {
+    if stream_misses_per_sec <= 0.0 {
+        return 0.0;
+    }
+    (app_misses_per_sec / stream_misses_per_sec).max(0.0)
+}
+
+impl Rates {
+    /// Relative change of `self.ips` with respect to `baseline` IPS.
+    ///
+    /// Positive means faster than the baseline. Returns 0 when the baseline
+    /// is not positive.
+    pub fn ips_delta_vs(&self, baseline_ips: f64) -> f64 {
+        if baseline_ips <= 0.0 {
+            return 0.0;
+        }
+        (self.ips - baseline_ips) / baseline_ips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_ratio_normalizes_by_stream() {
+        assert!((traffic_ratio(5.0e7, 1.0e8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_ratio_handles_zero_reference() {
+        assert_eq!(traffic_ratio(1.0, 0.0), 0.0);
+        assert_eq!(traffic_ratio(1.0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn traffic_ratio_clamps_negative_app_rate() {
+        assert_eq!(traffic_ratio(-1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn ips_delta_signs() {
+        let r = Rates {
+            ips: 110.0,
+            ..Default::default()
+        };
+        assert!((r.ips_delta_vs(100.0) - 0.1).abs() < 1e-12);
+        let r2 = Rates {
+            ips: 90.0,
+            ..Default::default()
+        };
+        assert!((r2.ips_delta_vs(100.0) + 0.1).abs() < 1e-12);
+        assert_eq!(r.ips_delta_vs(0.0), 0.0);
+    }
+}

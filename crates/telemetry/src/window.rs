@@ -1,0 +1,177 @@
+//! Bounded snapshot history with windowed rate queries.
+
+use std::collections::VecDeque;
+
+use crate::{CounterDelta, CounterSnapshot, Rates};
+
+/// A bounded, time-ordered history of [`CounterSnapshot`]s.
+///
+/// The resource manager samples counters once per adaptation period; the
+/// window keeps the most recent `capacity` samples and answers rate queries
+/// over the last period or over the whole retained history. Out-of-order or
+/// rolled-back samples are rejected so a single bad reading cannot poison
+/// the derived rates.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    samples: VecDeque<CounterSnapshot>,
+}
+
+impl SlidingWindow {
+    /// Creates a window retaining at most `capacity` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`; at least two snapshots are needed to form
+    /// a delta.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "window capacity must be at least 2");
+        SlidingWindow {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a snapshot, evicting the oldest if full.
+    ///
+    /// Returns `false` (and drops the sample) if it is not strictly newer
+    /// than the latest retained snapshot or if any counter went backwards.
+    pub fn push(&mut self, snapshot: CounterSnapshot) -> bool {
+        if let Some(last) = self.samples.back() {
+            if snapshot.delta_since(last).is_none() {
+                return false;
+            }
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(snapshot);
+        true
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Discards all retained snapshots (e.g., after a counter reset).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn latest(&self) -> Option<&CounterSnapshot> {
+        self.samples.back()
+    }
+
+    /// Delta between the two most recent snapshots.
+    pub fn last_delta(&self) -> Option<CounterDelta> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        self.samples[n - 1].delta_since(&self.samples[n - 2])
+    }
+
+    /// Rates over the most recent sampling period.
+    pub fn last_rates(&self) -> Option<Rates> {
+        self.last_delta()?.rates()
+    }
+
+    /// Delta spanning the whole retained history.
+    pub fn full_delta(&self) -> Option<CounterDelta> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        self.samples
+            .back()
+            .unwrap()
+            .delta_since(self.samples.front().unwrap())
+    }
+
+    /// Rates averaged over the whole retained history.
+    pub fn full_rates(&self) -> Option<Rates> {
+        self.full_delta()?.rates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t_ms: u64, i: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            timestamp_ns: t_ms * 1_000_000,
+            instructions: i,
+            cycles: i,
+            llc_accesses: i / 10,
+            llc_misses: i / 100,
+        }
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        for k in 1..=5u64 {
+            assert!(w.push(snap(k * 100, k * 1000)));
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.latest().unwrap().instructions, 5000);
+        // Full delta spans samples 3..5.
+        let d = w.full_delta().unwrap();
+        assert_eq!(d.instructions, 2000);
+    }
+
+    #[test]
+    fn window_rejects_stale_samples() {
+        let mut w = SlidingWindow::new(4);
+        assert!(w.push(snap(100, 1000)));
+        assert!(!w.push(snap(100, 2000)), "equal timestamp rejected");
+        assert!(!w.push(snap(50, 2000)), "older timestamp rejected");
+        assert!(!w.push(snap(200, 500)), "counter rollback rejected");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn last_and_full_rates() {
+        let mut w = SlidingWindow::new(8);
+        w.push(snap(0, 0));
+        w.push(snap(1000, 1_000_000));
+        w.push(snap(2000, 3_000_000));
+        let last = w.last_rates().unwrap();
+        assert!((last.ips - 2_000_000.0).abs() < 1.0);
+        let full = w.full_rates().unwrap();
+        assert!((full.ips - 1_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_window_queries() {
+        let w = SlidingWindow::new(2);
+        assert!(w.is_empty());
+        assert!(w.latest().is_none());
+        assert!(w.last_delta().is_none());
+        assert!(w.full_rates().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn capacity_must_allow_a_delta() {
+        let _ = SlidingWindow::new(1);
+    }
+
+    #[test]
+    fn clear_resets_history() {
+        let mut w = SlidingWindow::new(4);
+        w.push(snap(100, 100));
+        w.push(snap(200, 200));
+        w.clear();
+        assert!(w.is_empty());
+        // After a clear, an "older" sample is acceptable again.
+        assert!(w.push(snap(50, 10)));
+    }
+}

@@ -1,0 +1,277 @@
+//! The §6.3 dynamic-consolidation case study models.
+//!
+//! The paper collocates memcached (CloudSuite, Twitter dataset) as a
+//! latency-critical (LC) workload with two Spark batch jobs (BigDataBench
+//! Word Count and Kmeans). An outer Heracles-style server manager sizes
+//! the LC reservation from the offered load; CoPart partitions whatever is
+//! left across the batch applications. This module provides:
+//!
+//! * [`memcached_spec`], [`wordcount_spec`], [`kmeans_spec`] — the three
+//!   application models,
+//! * [`LcModel`] — the queueing approximation converting achieved IPS and
+//!   offered load into a 95th-percentile latency (SLO: 1 ms, §6.3),
+//! * [`LoadTrace`] — the paper's load timeline (75 krps → 150 krps at
+//!   t ≈ 99.4 s → back at t ≈ 299.4 s), and
+//! * [`LcReservation`] — the outer manager's load → reservation map.
+
+use copart_sim::trace::AccessPattern;
+use copart_sim::AppSpec;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// The memcached model: Zipf-distributed key lookups over a dataset much
+/// larger than any realistic cache slice, with a hot core that rewards
+/// LLC capacity.
+pub fn memcached_spec(cores: u32) -> AppSpec {
+    AppSpec {
+        name: "memcached".into(),
+        cores,
+        ipc_peak: 1.1,
+        apki: 8.0,
+        write_fraction: 0.15,
+        mlp: 3.0,
+        phases: vec![
+            (0.7, AccessPattern::Zipf { bytes: 24 * MB, exponent: 1.05 }),
+            (0.2, AccessPattern::UniformRandom { bytes: 96 * MB }),
+            (0.1, AccessPattern::WorkingSetLoop { bytes: 512 * KB, stride: 64 }),
+        ],
+    }
+}
+
+/// The Spark Word Count model: a streaming text scan feeding a skewed
+/// hash aggregation — dominantly bandwidth-hungry.
+pub fn wordcount_spec(cores: u32) -> AppSpec {
+    AppSpec {
+        name: "wordcount".into(),
+        cores,
+        ipc_peak: 0.9,
+        apki: 30.0,
+        write_fraction: 0.25,
+        mlp: 8.0,
+        phases: vec![
+            (0.6, AccessPattern::Stream { bytes: 512 * MB }),
+            (0.4, AccessPattern::Zipf { bytes: 24 * MB, exponent: 1.1 }),
+        ],
+    }
+}
+
+/// The Spark Kmeans model: repeated sweeps over the point set with a hot
+/// centroid block — sensitive to both LLC capacity and bandwidth.
+pub fn kmeans_spec(cores: u32) -> AppSpec {
+    AppSpec {
+        name: "kmeans".into(),
+        cores,
+        ipc_peak: 1.0,
+        apki: 25.0,
+        write_fraction: 0.2,
+        mlp: 6.0,
+        phases: vec![
+            (0.35, AccessPattern::WorkingSetLoop { bytes: 8 * MB, stride: 64 }),
+            (0.65, AccessPattern::Stream { bytes: 256 * MB }),
+        ],
+    }
+}
+
+/// Queueing approximation for the LC application's tail latency.
+///
+/// memcached is modelled as an M/M/1-like server whose service rate is the
+/// achieved IPS divided by the instruction cost per request; the p95
+/// sojourn time of M/M/1 is `-ln(0.05) / (μ - λ) ≈ 3 / (μ - λ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcModel {
+    /// Instructions executed per request (dominated by hash lookup and
+    /// network stack).
+    pub instructions_per_request: f64,
+    /// Latency reported when the server is saturated (ρ ≥ 1).
+    pub saturated_latency_ms: f64,
+}
+
+impl Default for LcModel {
+    fn default() -> Self {
+        LcModel {
+            instructions_per_request: 75_000.0,
+            saturated_latency_ms: 50.0,
+        }
+    }
+}
+
+impl LcModel {
+    /// 95th-percentile latency in milliseconds at the given achieved IPS
+    /// and offered load (requests per second).
+    pub fn p95_latency_ms(&self, achieved_ips: f64, load_rps: f64) -> f64 {
+        let mu = achieved_ips / self.instructions_per_request; // requests/s
+        if mu <= load_rps || mu <= 0.0 {
+            return self.saturated_latency_ms;
+        }
+        let p95_s = 3.0 / (mu - load_rps);
+        (p95_s * 1e3).min(self.saturated_latency_ms)
+    }
+
+    /// Whether the 1 ms SLO of §6.3 is met.
+    pub fn slo_met(&self, achieved_ips: f64, load_rps: f64) -> bool {
+        self.p95_latency_ms(achieved_ips, load_rps) <= 1.0
+    }
+}
+
+/// The offered-load timeline of Figure 15.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadTrace {
+    /// `(start_second, requests_per_second)` steps, sorted by time.
+    pub steps: Vec<(f64, f64)>,
+}
+
+impl LoadTrace {
+    /// The paper's trace: 75 krps, stepping to 150 krps at t = 99.4 s and
+    /// back to 75 krps at t = 299.4 s.
+    pub fn paper() -> LoadTrace {
+        LoadTrace {
+            steps: vec![(0.0, 75_000.0), (99.4, 150_000.0), (299.4, 75_000.0)],
+        }
+    }
+
+    /// Offered load at time `t` seconds.
+    pub fn load_at(&self, t: f64) -> f64 {
+        let mut load = self.steps.first().map_or(0.0, |&(_, l)| l);
+        for &(start, l) in &self.steps {
+            if t >= start {
+                load = l;
+            } else {
+                break;
+            }
+        }
+        load
+    }
+}
+
+/// The outer server manager's reservation for the LC workload, in the
+/// spirit of Heracles/PerfIso ([15, 24] in the paper): more load ⇒ more
+/// cores and more LLC ways for memcached, leaving less for the batch
+/// partition that CoPart manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcReservation {
+    /// Cores dedicated to the LC application.
+    pub lc_cores: u32,
+    /// LLC ways dedicated to the LC application.
+    pub lc_ways: u32,
+    /// LLC ways left for the batch partition.
+    pub batch_ways: u32,
+    /// Highest MBA level the batch applications may be granted (the
+    /// manager throttles batch traffic to protect LC tail latency).
+    pub batch_mba_cap: u8,
+}
+
+impl LcReservation {
+    /// Reservation for the given offered load on the 16-core, 11-way
+    /// testbed.
+    pub fn for_load(load_rps: f64) -> LcReservation {
+        if load_rps > 100_000.0 {
+            LcReservation {
+                lc_cores: 8,
+                lc_ways: 6,
+                batch_ways: 5,
+                batch_mba_cap: 40,
+            }
+        } else {
+            LcReservation {
+                lc_cores: 4,
+                lc_ways: 3,
+                batch_ways: 8,
+                batch_mba_cap: 100,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_trace_matches_figure_15() {
+        let t = LoadTrace::paper();
+        assert_eq!(t.load_at(0.0), 75_000.0);
+        assert_eq!(t.load_at(99.0), 75_000.0);
+        assert_eq!(t.load_at(99.4), 150_000.0);
+        assert_eq!(t.load_at(200.0), 150_000.0);
+        assert_eq!(t.load_at(299.4), 75_000.0);
+        assert_eq!(t.load_at(400.0), 75_000.0);
+    }
+
+    #[test]
+    fn latency_model_behaves_like_a_queue() {
+        let m = LcModel::default();
+        // 8 cores at ~1 IPC on 2.1 GHz ⇒ μ ≈ 153 krps.
+        let ips = 16.8e9;
+        let light = m.p95_latency_ms(ips, 75_000.0);
+        let heavy = m.p95_latency_ms(ips, 140_000.0);
+        assert!(light < heavy);
+        assert!(m.slo_met(ips, 75_000.0));
+        // Saturation clamps to the ceiling (μ = ips / 75k ≈ 224 krps).
+        assert_eq!(m.p95_latency_ms(ips, 250_000.0), 50.0);
+        assert_eq!(m.p95_latency_ms(0.0, 10.0), 50.0);
+    }
+
+    #[test]
+    fn slo_needs_headroom() {
+        let m = LcModel::default();
+        // μ = 100 krps, λ = 75 krps ⇒ p95 = 3/25k s = 0.12 ms: fine.
+        assert!(m.slo_met(100_000.0 * 75_000.0, 75_000.0));
+        // μ = 76 krps, λ = 75 krps ⇒ p95 = 3 ms: SLO violated.
+        assert!(!m.slo_met(76_000.0 * 75_000.0, 75_000.0));
+    }
+
+    #[test]
+    fn reservation_scales_with_load() {
+        let low = LcReservation::for_load(75_000.0);
+        let high = LcReservation::for_load(150_000.0);
+        assert!(high.lc_cores > low.lc_cores);
+        assert!(high.lc_ways > low.lc_ways);
+        assert!(high.batch_ways < low.batch_ways);
+        assert!(high.batch_mba_cap < low.batch_mba_cap);
+        // Ways must cover the 11-way LLC exactly or less.
+        assert!(low.lc_ways + low.batch_ways <= 11);
+        assert!(high.lc_ways + high.batch_ways <= 11);
+    }
+
+    #[test]
+    fn specs_are_well_formed() {
+        for spec in [memcached_spec(4), wordcount_spec(4), kmeans_spec(4)] {
+            assert!(spec.ipc_peak > 0.0);
+            let w: f64 = spec.phases.iter().map(|(w, _)| w).sum();
+            assert!((w - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod reservation_tests {
+    use super::*;
+
+    #[test]
+    fn reservation_boundary_is_at_100_krps() {
+        assert_eq!(
+            LcReservation::for_load(100_000.0),
+            LcReservation::for_load(75_000.0),
+            "100 krps is still the low tier"
+        );
+        assert_ne!(
+            LcReservation::for_load(100_001.0),
+            LcReservation::for_load(100_000.0)
+        );
+    }
+
+    #[test]
+    fn load_trace_is_piecewise_constant_between_steps() {
+        let t = LoadTrace::paper();
+        for (a, b) in [(0.0, 99.39), (99.4, 299.39), (299.4, 1e6)] {
+            assert_eq!(t.load_at(a), t.load_at(b), "step [{a}, {b}] is flat");
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_zero_load() {
+        let t = LoadTrace { steps: vec![] };
+        assert_eq!(t.load_at(10.0), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's four sensitivity categories (§3.3).
+
+use std::fmt;
+
+/// How a benchmark responds to LLC capacity and memory bandwidth.
+///
+/// The paper classifies a benchmark (§3.3) by running it alone with four
+/// threads and measuring the performance degradation when
+///
+/// * the allocated LLC shrinks from 11 ways to 1 (at MBA 100 %), and
+/// * the MBA level drops from 100 % to 10 % (with 11 ways):
+///
+/// ≥ 15 % on the first test ⇒ LLC-sensitive; ≥ 15 % on the second ⇒
+/// bandwidth-sensitive; both ⇒ both; < 1 % on both ⇒ insensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Performance depends primarily on allocated LLC ways.
+    LlcSensitive,
+    /// Performance depends primarily on allocated memory bandwidth.
+    BwSensitive,
+    /// Performance depends on both resources ("LM" in the paper).
+    Both,
+    /// Performance is insensitive to both resources.
+    Insensitive,
+}
+
+impl Category {
+    /// Applies the paper's thresholds to measured degradations (fractions
+    /// in `[0, 1]`).
+    ///
+    /// Benchmarks falling between the 1 % and 15 % thresholds (the paper
+    /// does not evaluate any) are mapped to the nearest dominant category:
+    /// whichever degradation is larger, or `Insensitive` when both are
+    /// below 1 %.
+    pub fn classify(llc_degradation: f64, bw_degradation: f64) -> Category {
+        let llc = llc_degradation >= 0.15;
+        let bw = bw_degradation >= 0.15;
+        match (llc, bw) {
+            (true, true) => Category::Both,
+            (true, false) => Category::LlcSensitive,
+            (false, true) => Category::BwSensitive,
+            (false, false) => {
+                if llc_degradation < 0.01 && bw_degradation < 0.01 {
+                    Category::Insensitive
+                } else if llc_degradation >= bw_degradation {
+                    Category::LlcSensitive
+                } else {
+                    Category::BwSensitive
+                }
+            }
+        }
+    }
+
+    /// Whether the category implies LLC sensitivity.
+    pub fn llc_sensitive(self) -> bool {
+        matches!(self, Category::LlcSensitive | Category::Both)
+    }
+
+    /// Whether the category implies bandwidth sensitivity.
+    pub fn bw_sensitive(self) -> bool {
+        matches!(self, Category::BwSensitive | Category::Both)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::LlcSensitive => "LLC-sensitive",
+            Category::BwSensitive => "memory bandwidth-sensitive",
+            Category::Both => "LLC- & memory BW-sensitive",
+            Category::Insensitive => "insensitive",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds() {
+        assert_eq!(Category::classify(0.30, 0.02), Category::LlcSensitive);
+        assert_eq!(Category::classify(0.02, 0.30), Category::BwSensitive);
+        assert_eq!(Category::classify(0.20, 0.20), Category::Both);
+        assert_eq!(Category::classify(0.005, 0.004), Category::Insensitive);
+    }
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(Category::classify(0.15, 0.0), Category::LlcSensitive);
+        assert_eq!(Category::classify(0.1499, 0.0), Category::LlcSensitive);
+        assert_eq!(Category::classify(0.0, 0.1499), Category::BwSensitive);
+        assert_eq!(Category::classify(0.009, 0.0099), Category::Insensitive);
+        assert_eq!(Category::classify(0.012, 0.011), Category::LlcSensitive);
+        assert_eq!(Category::classify(0.011, 0.012), Category::BwSensitive);
+    }
+
+    #[test]
+    fn sensitivity_predicates() {
+        assert!(Category::Both.llc_sensitive() && Category::Both.bw_sensitive());
+        assert!(Category::LlcSensitive.llc_sensitive());
+        assert!(!Category::LlcSensitive.bw_sensitive());
+        assert!(!Category::Insensitive.llc_sensitive());
+        assert!(!Category::Insensitive.bw_sensitive());
+    }
+}

@@ -1,0 +1,93 @@
+//! Monotonicity of the performance surfaces (the shape behind Figures
+//! 1–3): giving an application strictly more of a resource must never
+//! meaningfully hurt it, and the heatmaps must slope the right way for
+//! each sensitivity class.
+
+use copart_sim::{MachineConfig, MbaLevel};
+use copart_workloads::{measure, Benchmark};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::xeon_gold_6130()
+}
+
+/// Sampling tolerance: the simulator's per-window sampling introduces a
+/// few percent of noise, so "monotone" means "never drops by more than
+/// this fraction when resources grow".
+const TOLERANCE: f64 = 0.05;
+
+#[test]
+fn ips_is_monotone_in_ways_for_every_benchmark() {
+    let cfg = cfg();
+    for b in Benchmark::all() {
+        let spec = b.spec();
+        let mut prev = 0.0f64;
+        for ways in [1u32, 3, 5, 8, 11] {
+            let ips = measure::measure_ips(&cfg, &spec, ways, MbaLevel::MAX);
+            assert!(
+                ips >= prev * (1.0 - TOLERANCE),
+                "{}: IPS fell from {prev:.3e} to {ips:.3e} when ways grew to {ways}",
+                b.table2().short
+            );
+            prev = prev.max(ips);
+        }
+    }
+}
+
+#[test]
+fn ips_is_monotone_in_mba_for_every_benchmark() {
+    let cfg = cfg();
+    for b in Benchmark::all() {
+        let spec = b.spec();
+        let mut prev = 0.0f64;
+        for level in [10u8, 30, 50, 80, 100] {
+            let ips = measure::measure_ips(&cfg, &spec, cfg.llc_ways, MbaLevel::new(level));
+            assert!(
+                ips >= prev * (1.0 - TOLERANCE),
+                "{}: IPS fell from {prev:.3e} to {ips:.3e} when MBA grew to {level}%",
+                b.table2().short
+            );
+            prev = prev.max(ips);
+        }
+    }
+}
+
+#[test]
+fn heatmap_gradients_match_categories() {
+    // The dominant gradient of each benchmark's (ways × MBA) surface must
+    // point along its sensitivity class: LLC-sensitive benchmarks gain
+    // far more from ways than from bandwidth, and vice versa.
+    let cfg = cfg();
+    let gain = |b: Benchmark| {
+        let spec = b.spec();
+        let base = measure::measure_ips(&cfg, &spec, 2, MbaLevel::new(20));
+        let more_ways = measure::measure_ips(&cfg, &spec, 8, MbaLevel::new(20));
+        let more_bw = measure::measure_ips(&cfg, &spec, 2, MbaLevel::new(80));
+        (more_ways / base, more_bw / base)
+    };
+
+    for b in [Benchmark::WaterNsquared, Benchmark::WaterSpatial] {
+        let (ways_gain, bw_gain) = gain(b);
+        assert!(
+            ways_gain > bw_gain,
+            "{}: ways gain {ways_gain:.3} should dominate bw gain {bw_gain:.3}",
+            b.table2().short
+        );
+    }
+    for b in [Benchmark::OceanCp, Benchmark::Ft] {
+        let (ways_gain, bw_gain) = gain(b);
+        assert!(
+            bw_gain > ways_gain,
+            "{}: bw gain {bw_gain:.3} should dominate ways gain {ways_gain:.3}",
+            b.table2().short
+        );
+    }
+    // LM benchmarks benefit noticeably from both.
+    for b in [Benchmark::Sp, Benchmark::OceanNcp] {
+        let (ways_gain, bw_gain) = gain(b);
+        assert!(
+            ways_gain > 1.03 && bw_gain > 1.03,
+            "{}: both gains should be real (ways {ways_gain:.3}, bw {bw_gain:.3})",
+            b.table2().short
+        );
+    }
+}

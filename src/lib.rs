@@ -1,0 +1,24 @@
+//! Umbrella crate for the CoPart reproduction workspace.
+//!
+//! The real API surface lives in the member crates; this crate re-exports
+//! them under one roof so the workspace-level examples and integration
+//! tests have a single dependency root:
+//!
+//! * [`sim`] — the simulated commodity server (way-partitioned LLC,
+//!   MBA-throttled memory bus, PMC emulation),
+//! * [`rdt`] — the RDT control/observation abstraction (simulator and
+//!   resctrl-filesystem backends),
+//! * [`telemetry`] — counter snapshots and derived rates,
+//! * [`workloads`] — calibrated models of the paper's benchmarks,
+//! * [`matching`] — Hospitals/Residents stable matching, and
+//! * [`core`] — the CoPart controller and the baseline policies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use copart_core as core;
+pub use copart_matching as matching;
+pub use copart_rdt as rdt;
+pub use copart_sim as sim;
+pub use copart_telemetry as telemetry;
+pub use copart_workloads as workloads;
