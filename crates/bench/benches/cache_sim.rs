@@ -2,16 +2,22 @@
 //! of one machine window tick under a consolidated mix, and the
 //! set-sampling scale ablation (DESIGN.md §6).
 
+use std::hint::black_box;
+
+use copart_bench::bench;
 use copart_sim::cache::{CacheConfig, SampledCache};
 use copart_sim::trace::{AccessPattern, TraceGenerator};
 use copart_sim::{CbmMask, ClosId, Machine, MachineConfig};
 use copart_workloads::{Benchmark, MixKind, WorkloadMix};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(1));
+fn main() {
+    bench_cache_access();
+    bench_machine_tick();
+    bench_scale_ablation();
+}
+
+fn bench_cache_access() {
+    println!("cache_access (one sampled-cache lookup per iter)");
     for (name, pattern) in [
         ("stream", AccessPattern::Stream { bytes: 1 << 24 }),
         (
@@ -29,68 +35,53 @@ fn bench_cache_access(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |b| {
-            let mut cache = SampledCache::new(CacheConfig {
-                sets: 512,
-                ways: 11,
-                line_bytes: 64,
-            });
-            let mut generator = TraceGenerator::new(&[(1.0, pattern.clone())], 64, 7);
-            let mask = CbmMask::full(11);
-            b.iter(|| {
-                let addr = generator.next_addr();
-                black_box(cache.access(ClosId(0), mask, addr, false))
-            })
+        let mut cache = SampledCache::new(CacheConfig {
+            sets: 512,
+            ways: 11,
+            line_bytes: 64,
+        });
+        let mut generator = TraceGenerator::new(&[(1.0, pattern)], 64, 7);
+        let mask = CbmMask::full(11);
+        bench(&format!("cache_access/{name}"), || {
+            let addr = generator.next_addr();
+            black_box(cache.access(ClosId(0), mask, addr, false));
         });
     }
-    group.finish();
 }
 
-fn bench_machine_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine_tick_200ms");
+fn bench_machine_tick() {
+    println!("\nmachine_tick_200ms (one consolidated window tick per iter)");
     for kind in [MixKind::HighLlc, MixKind::HighBw, MixKind::HighBoth] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{:?}", kind)),
-            &kind,
-            |b, &kind| {
-                let mut machine = Machine::new(MachineConfig::xeon_gold_6130());
-                for spec in WorkloadMix::paper_default(kind).specs() {
-                    machine.add_app(spec, ClosId(0)).expect("mix fits");
-                }
-                // Warm the cache so steady-state ticks are measured.
-                for _ in 0..10 {
-                    machine.tick(200_000_000);
-                }
-                b.iter(|| black_box(machine.tick(200_000_000)))
-            },
-        );
+        let mut machine = Machine::new(MachineConfig::xeon_gold_6130());
+        for spec in WorkloadMix::paper_default(kind).specs() {
+            machine.add_app(spec, ClosId(0)).expect("mix fits");
+        }
+        // Warm the cache so steady-state ticks are measured.
+        for _ in 0..10 {
+            machine.tick(200_000_000);
+        }
+        bench(&format!("machine_tick_200ms/{kind:?}"), || {
+            black_box(machine.tick(200_000_000));
+        });
     }
-    group.finish();
 }
 
-fn bench_scale_ablation(c: &mut Criterion) {
+fn bench_scale_ablation() {
     // How much wall time one solo measurement costs at different
     // set-sampling scales (accuracy is pinned by tests; this is the cost
     // side of the trade-off).
-    let mut group = c.benchmark_group("set_sampling_scale");
-    group.sample_size(10);
+    println!("\nset_sampling_scale (10 x 50 ms solo ticks per iter)");
     for scale in [16u32, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
-            let mut cfg = MachineConfig::xeon_gold_6130();
-            cfg.scale = scale;
-            let spec = Benchmark::WaterNsquared.spec();
-            b.iter(|| {
-                let mut machine = Machine::new(cfg.clone());
-                machine.add_app(spec.clone(), ClosId(0)).expect("fits");
-                for _ in 0..10 {
-                    machine.tick(50_000_000);
-                }
-                black_box(machine.now_ns())
-            })
+        let mut cfg = MachineConfig::xeon_gold_6130();
+        cfg.scale = scale;
+        let spec = Benchmark::WaterNsquared.spec();
+        bench(&format!("set_sampling_scale/{scale}"), || {
+            let mut machine = Machine::new(cfg.clone());
+            machine.add_app(spec.clone(), ClosId(0)).expect("fits");
+            for _ in 0..10 {
+                machine.tick(50_000_000);
+            }
+            black_box(machine.now_ns());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cache_access, bench_machine_tick, bench_scale_ablation);
-criterion_main!(benches);

@@ -1,55 +1,131 @@
-//! Figure 16 as a Criterion benchmark: one `getNextSystemState` step as a
-//! function of the application count, plus the greedy-allocator ablation.
+//! Figure 16: one `get_next_system_state` step as a function of the
+//! application count, the greedy-allocator ablation, and the cost of the
+//! observability layer on a full control epoch.
 //!
 //! The paper reports 10.6–14.4 µs for 3–6 applications on the Xeon Gold
 //! 6130; the target shape is microsecond scale with gentle O(N²) growth.
+//! The epoch section demonstrates the PR's acceptance criterion: with the
+//! default no-op recorder the tracing hooks cost nothing measurable
+//! (< 2 % of an epoch), because `Recorder::enabled()` gates all event
+//! construction.
 
-use copart_bench::synthetic_instance;
-use copart_core::next_state::{get_next_system_state, get_next_system_state_greedy};
-use copart_core::state::WaysBudget;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_explore(c: &mut Criterion) {
-    let budget = WaysBudget::full_machine(11);
-    let mut group = c.benchmark_group("get_next_system_state");
-    for n in [3usize, 4, 5, 6, 8, 12, 16] {
-        let instances: Vec<_> = (0..32).map(|s| synthetic_instance(n, s)).collect();
-        group.bench_with_input(BenchmarkId::new("hr_matching", n), &n, |b, _| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            let mut k = 0usize;
-            b.iter(|| {
-                let (state, apps) = &instances[k % instances.len()];
-                k += 1;
-                black_box(get_next_system_state(
-                    black_box(state),
-                    black_box(apps),
-                    &budget,
-                    &mut rng,
-                    true,
-                    true,
-                ))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            let mut k = 0usize;
-            b.iter(|| {
-                let (state, apps) = &instances[k % instances.len()];
-                k += 1;
-                black_box(get_next_system_state_greedy(
-                    black_box(state),
-                    black_box(apps),
-                    &budget,
-                    true,
-                    true,
-                ))
-            })
-        });
-    }
-    group.finish();
+use copart_bench::{bench, synthetic_instance};
+use copart_core::next_state::{get_next_system_state, get_next_system_state_greedy};
+use copart_core::runtime::{ConsolidationRuntime, RuntimeConfig};
+use copart_core::state::WaysBudget;
+use copart_core::CoPartParams;
+use copart_rdt::SimBackend;
+use copart_rng::XorShift64Star;
+use copart_sim::{Machine, MachineConfig};
+use copart_telemetry::{NullRecorder, Recorder, RingRecorder};
+use copart_workloads::stream::StreamReference;
+use copart_workloads::{MixKind, WorkloadMix};
+
+fn main() {
+    explore_step();
+    recorder_overhead();
 }
 
-criterion_group!(benches, bench_explore);
-criterion_main!(benches);
+/// Figure 16 proper: the explore step alone, HR matching vs greedy.
+fn explore_step() {
+    println!("get_next_system_state (Figure 16; paper: 10.6-14.4 us for 3-6 apps)");
+    // 11 ways bound the app count: every app needs at least one way.
+    let budget = WaysBudget::full_machine(11);
+    for n in [3usize, 4, 5, 6, 8, 11] {
+        let instances: Vec<_> = (0..32).map(|s| synthetic_instance(n, s)).collect();
+        let mut rng = XorShift64Star::seed_from_u64(1);
+        let mut k = 0usize;
+        bench(&format!("get_next_system_state/hr_matching/{n}"), || {
+            let (state, apps) = &instances[k % instances.len()];
+            k += 1;
+            black_box(get_next_system_state(
+                black_box(state),
+                black_box(apps),
+                &budget,
+                &mut rng,
+                true,
+                true,
+            ));
+        });
+        let mut k = 0usize;
+        bench(&format!("get_next_system_state/greedy/{n}"), || {
+            let (state, apps) = &instances[k % instances.len()];
+            k += 1;
+            black_box(get_next_system_state_greedy(
+                black_box(state),
+                black_box(apps),
+                &budget,
+                true,
+                true,
+            ));
+        });
+    }
+}
+
+/// Builds a profiled 4-app CoPart runtime with the given recorder.
+fn epoch_runtime(
+    stream: &StreamReference,
+    recorder: Box<dyn Recorder>,
+) -> ConsolidationRuntime<SimBackend> {
+    let machine_cfg = MachineConfig::xeon_gold_6130();
+    let mix = WorkloadMix::build(MixKind::HighBoth, 4, machine_cfg.n_cores);
+    let mut backend = SimBackend::new(Machine::new(machine_cfg.clone()));
+    let named = mix
+        .specs()
+        .iter()
+        .map(|s| {
+            let g = backend.add_workload(s.clone()).expect("mix fits");
+            (g, s.name.clone())
+        })
+        .collect();
+    let cfg = RuntimeConfig {
+        params: CoPartParams::default(),
+        manage_llc: true,
+        manage_mba: true,
+        budget: WaysBudget::full_machine(machine_cfg.llc_ways),
+        stream: stream.clone(),
+    };
+    let mut rt = ConsolidationRuntime::new(backend, named, cfg).expect("state applies");
+    rt.set_recorder(recorder);
+    rt.profile().expect("profiling on the simulator");
+    rt
+}
+
+/// Mean cost of one `run_period` epoch under each recorder. Both
+/// runtimes are seeded identically, so they take the exact same
+/// decision trajectory and the comparison isolates the recorder.
+fn epoch_mean_ns(label: &str, stream: &StreamReference, recorder: Box<dyn Recorder>) -> f64 {
+    const EPOCHS: u32 = 200;
+    let mut rt = epoch_runtime(stream, recorder);
+    let t = Instant::now();
+    for _ in 0..EPOCHS {
+        black_box(rt.run_period().expect("period runs"));
+    }
+    let mean = t.elapsed().as_nanos() as f64 / f64::from(EPOCHS);
+    println!("{label:<44} {mean:>14.1} ns/epoch ({EPOCHS} epochs)");
+    mean
+}
+
+/// The acceptance check: a full control epoch with the default no-op
+/// sink vs. with an enabled in-memory ring recorder.
+fn recorder_overhead() {
+    println!("\nrun_period epoch cost by recorder (4-app H-Both mix)");
+    eprintln!("(computing STREAM reference table...)");
+    let machine_cfg = MachineConfig::xeon_gold_6130();
+    let stream = StreamReference::compute(&machine_cfg, 4);
+    let null = epoch_mean_ns("run_period/null_recorder", &stream, Box::new(NullRecorder));
+    let ring = epoch_mean_ns(
+        "run_period/ring_recorder_64k",
+        &stream,
+        Box::new(RingRecorder::new(65_536)),
+    );
+    let overhead = (ring - null) / null * 100.0;
+    println!(
+        "full event tracing adds {overhead:+.2}% per epoch; the no-op sink skips\n\
+         event construction entirely (one virtual `enabled()` call), so its\n\
+         overhead is bounded by the tracing cost and must stay < 2%."
+    );
+}

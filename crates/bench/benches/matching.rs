@@ -2,22 +2,21 @@
 //! instability chaining on instances far larger than CoPart ever builds
 //! (CoPart's are ≤ 3 categories × N_A consumers), demonstrating headroom.
 
-use copart_matching::chain::{self, Consumer};
-use copart_matching::{solve_resident_optimal, Hospital, Instance, Resident};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
+use copart_bench::bench;
+use copart_matching::chain::{self, Consumer};
+use copart_matching::{solve_resident_optimal, Hospital, Instance, Resident};
+use copart_rng::XorShift64Star;
+
 fn random_instance(nh: usize, nr: usize, seed: u64) -> Instance {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let hospitals = (0..nh)
         .map(|_| {
             let mut preference: Vec<usize> = (0..nr).collect();
-            preference.shuffle(&mut rng);
+            rng.shuffle(&mut preference);
             Hospital {
-                capacity: rng.gen_range(1..4),
+                capacity: rng.gen_range(1..4usize),
                 preference,
             }
         })
@@ -25,7 +24,7 @@ fn random_instance(nh: usize, nr: usize, seed: u64) -> Instance {
     let residents = (0..nr)
         .map(|_| {
             let mut preference: Vec<usize> = (0..nh).collect();
-            preference.shuffle(&mut rng);
+            rng.shuffle(&mut preference);
             preference.truncate(rng.gen_range(1..=nh));
             Resident { preference }
         })
@@ -36,23 +35,25 @@ fn random_instance(nh: usize, nr: usize, seed: u64) -> Instance {
     }
 }
 
-fn bench_deferred_acceptance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("deferred_acceptance");
-    for (nh, nr) in [(4, 16), (16, 64), (64, 256)] {
-        let inst = random_instance(nh, nr, 42);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{nh}h_{nr}r")),
-            &inst,
-            |b, inst| b.iter(|| black_box(solve_resident_optimal(black_box(inst)).unwrap())),
-        );
-    }
-    group.finish();
+fn main() {
+    bench_deferred_acceptance();
+    bench_chaining();
 }
 
-fn bench_chaining(c: &mut Criterion) {
-    let mut group = c.benchmark_group("instability_chaining");
+fn bench_deferred_acceptance() {
+    println!("deferred_acceptance (one resident-optimal solve per iter)");
+    for (nh, nr) in [(4, 16), (16, 64), (64, 256)] {
+        let inst = random_instance(nh, nr, 42);
+        bench(&format!("deferred_acceptance/{nh}h_{nr}r"), || {
+            black_box(solve_resident_optimal(black_box(&inst)).unwrap());
+        });
+    }
+}
+
+fn bench_chaining() {
+    println!("\ninstability_chaining (one allocation per iter)");
     for n in [8usize, 32, 128] {
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = XorShift64Star::seed_from_u64(9);
         let capacities = vec![n / 4; 3];
         let consumers: Vec<Consumer> = (0..n)
             .map(|_| Consumer {
@@ -60,16 +61,11 @@ fn bench_chaining(c: &mut Criterion) {
                 preference: vec![0, 1, 2],
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(capacities, consumers),
-            |b, (capacities, consumers)| {
-                b.iter(|| black_box(chain::allocate(black_box(capacities), black_box(consumers))))
-            },
-        );
+        bench(&format!("instability_chaining/{n}"), || {
+            black_box(chain::allocate(
+                black_box(&capacities),
+                black_box(&consumers),
+            ));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_deferred_acceptance, bench_chaining);
-criterion_main!(benches);

@@ -1,23 +1,27 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and a tiny self-timing harness for the benchmarks.
 //!
 //! The benches regenerate the paper's Figure 16 (controller overhead) and
 //! quantify the simulator substrate itself (cache-access throughput,
 //! machine ticks, matching scaling). Run with `cargo bench --workspace`.
+//! Everything is std-only: each bench is a plain `harness = false` binary
+//! timed with [`std::time::Instant`], so no external benchmark framework
+//! is needed and the workspace builds offline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
 
 use copart_core::fsm::AppState;
 use copart_core::next_state::AppClassification;
 use copart_core::state::{AllocationState, SystemState, WaysBudget};
 use copart_rdt::MbaLevel;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use copart_rng::XorShift64Star;
 
 /// Builds a random but valid `(state, classifications)` pair for `n`
 /// applications on an 11-way budget — the Figure 16 workload.
 pub fn synthetic_instance(n: usize, seed: u64) -> (SystemState, Vec<AppClassification>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let budget = WaysBudget::full_machine(11);
     let mut allocs = Vec::with_capacity(n);
     let mut remaining = budget.total_ways;
@@ -36,7 +40,7 @@ pub fn synthetic_instance(n: usize, seed: u64) -> (SystemState, Vec<AppClassific
     }
     let apps = (0..n)
         .map(|_| {
-            let pick = |r: &mut SmallRng| match r.gen_range(0..3u8) {
+            let pick = |r: &mut XorShift64Star| match r.gen_range(0..3u8) {
                 0 => AppState::Supply,
                 1 => AppState::Maintain,
                 _ => AppState::Demand,
@@ -51,9 +55,73 @@ pub fn synthetic_instance(n: usize, seed: u64) -> (SystemState, Vec<AppClassific
     (SystemState { allocs }, apps)
 }
 
+/// One benchmark measurement: per-iteration timing statistics over
+/// several equally sized batches.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Iterations per measured batch (chosen by calibration).
+    pub iters: u64,
+    /// Batches measured after calibration.
+    pub batches: u32,
+    /// Mean nanoseconds per iteration across all batches.
+    pub mean_ns: f64,
+    /// Per-iteration mean of the fastest batch.
+    pub best_ns: f64,
+}
+
+/// Times `f`, prints one aligned report line, and returns the statistics.
+///
+/// The batch size is calibrated by doubling until one batch takes at
+/// least ~5 ms (capped at 2²⁴ iterations for sub-nanosecond bodies), so
+/// the `Instant` read-out error is amortized to noise; seven batches are
+/// then measured. The calibration runs also serve as warm-up.
+pub fn bench(label: &str, mut f: impl FnMut()) -> Timing {
+    const MIN_BATCH: Duration = Duration::from_millis(5);
+    const BATCHES: u32 = 7;
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= MIN_BATCH || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut means = Vec::with_capacity(BATCHES as usize);
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        means.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let timing = Timing {
+        iters,
+        batches: BATCHES,
+        mean_ns: means.iter().sum::<f64>() / f64::from(BATCHES),
+        best_ns: means.iter().copied().fold(f64::INFINITY, f64::min),
+    };
+    println!(
+        "{label:<44} {:>14.1} ns/iter (best {:>12.1}, {} × {} iters)",
+        timing.mean_ns, timing.best_ns, timing.batches, timing.iters
+    );
+    timing
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_reports_plausible_timings() {
+        let mut n = 0u64;
+        let t = bench("tests/noop_counter", || n = n.wrapping_add(1));
+        assert!(t.mean_ns.is_finite() && t.mean_ns > 0.0);
+        assert!(t.best_ns <= t.mean_ns);
+        assert!(t.iters >= 1 && n >= t.iters);
+    }
 
     #[test]
     fn synthetic_instances_are_valid() {

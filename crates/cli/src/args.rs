@@ -1,22 +1,32 @@
 //! Minimal `--key value` option parsing (no external dependencies).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Parsed `--key value` pairs.
+/// Parsed `--key value` pairs plus value-less boolean flags.
 #[derive(Debug, Default)]
 pub struct Options {
     values: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
 }
 
 impl Options {
-    /// Parses a `--key value --key2 value2` argument list.
-    pub fn parse(args: &[String]) -> Result<Options, String> {
+    /// Parses an argument list where every name in `boolean` is a
+    /// value-less flag (`--metrics`) and everything else is a
+    /// `--key value` pair.
+    pub fn parse_with_flags(args: &[String], boolean: &[&str]) -> Result<Options, String> {
         let mut values = BTreeMap::new();
+        let mut flags = BTreeSet::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected an option, found {key:?}"));
             };
+            if boolean.contains(&name) {
+                if !flags.insert(name.to_string()) {
+                    return Err(format!("flag --{name} given twice"));
+                }
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(format!("option --{name} needs a value"));
             };
@@ -24,12 +34,17 @@ impl Options {
                 return Err(format!("option --{name} given twice"));
             }
         }
-        Ok(Options { values })
+        Ok(Options { values, flags })
     }
 
     /// The raw value of `--name`, if given.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether the boolean flag `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
     }
 
     /// The value of a required option.
@@ -57,9 +72,14 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    /// Flag-free parse, the common case in these tests.
+    fn parse(args: &[String]) -> Result<Options, String> {
+        Options::parse_with_flags(args, &[])
+    }
+
     #[test]
     fn parses_pairs() {
-        let o = Options::parse(&sv(&["--mix", "h-llc", "--apps", "5"])).unwrap();
+        let o = parse(&sv(&["--mix", "h-llc", "--apps", "5"])).unwrap();
         assert_eq!(o.get("mix"), Some("h-llc"));
         assert_eq!(o.number::<u32>("apps", 4).unwrap(), 5);
         assert_eq!(o.number::<u32>("seconds", 30).unwrap(), 30);
@@ -67,15 +87,29 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(Options::parse(&sv(&["mix"])).is_err());
-        assert!(Options::parse(&sv(&["--mix"])).is_err());
-        assert!(Options::parse(&sv(&["--a", "1", "--a", "2"])).is_err());
+        assert!(parse(&sv(&["mix"])).is_err());
+        assert!(parse(&sv(&["--mix"])).is_err());
+        assert!(parse(&sv(&["--a", "1", "--a", "2"])).is_err());
     }
 
     #[test]
     fn required_and_bad_numbers() {
-        let o = Options::parse(&sv(&["--apps", "many"])).unwrap();
+        let o = parse(&sv(&["--apps", "many"])).unwrap();
         assert!(o.required("root").is_err());
         assert!(o.number::<u32>("apps", 4).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let o =
+            Options::parse_with_flags(&sv(&["--metrics", "--mix", "h-llc"]), &["metrics"]).unwrap();
+        assert!(o.flag("metrics"));
+        assert!(!o.flag("absent"));
+        assert_eq!(o.get("mix"), Some("h-llc"));
+        // A flag is not a value option and vice versa.
+        assert_eq!(o.get("metrics"), None);
+        assert!(Options::parse_with_flags(&sv(&["--metrics", "--metrics"]), &["metrics"]).is_err());
+        // Without the declaration, the old strict behavior holds.
+        assert!(parse(&sv(&["--metrics"])).is_err());
     }
 }

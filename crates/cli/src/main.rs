@@ -24,8 +24,11 @@ Commands:
   sim-run          Run a consolidation on the simulated testbed
       --mix <h-llc|h-bw|h-both|m-llc|m-bw|m-both|is>   (default h-both)
       --policy <eq|st|cat-only|mba-only|copart>        (default copart)
-      --apps <3..6>                                    (default 4)
+      --apps <1..6>                                    (default 4)
       --seconds <virtual seconds>                      (default 30)
+      --trace-out <path>   write a per-epoch JSONL decision trace
+                           (dynamic policies: cat-only, mba-only, copart)
+      --metrics            print the runtime metrics registry after the run
   classify         Probe one benchmark's sensitivity class
       --bench <WN|WS|RT|OC|CG|FT|SP|ON|FMM|SW|EP>
   resctrl-status   Show groups and schemata of a resctrl tree
@@ -44,7 +47,7 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match args::Options::parse(rest) {
+    let opts = match args::Options::parse_with_flags(rest, &["metrics"]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n");

@@ -2,9 +2,7 @@
 //! `resctrl-init`.
 
 use copart_rdt::resctrl::Schemata;
-use copart_rdt::{
-    CbmMask, FileCounterSource, MbaLevel, RdtCapabilities, ResctrlBackend,
-};
+use copart_rdt::{CbmMask, FileCounterSource, MbaLevel, RdtCapabilities, ResctrlBackend};
 use std::path::Path;
 
 use crate::args::Options;
@@ -43,16 +41,14 @@ fn print_group(dir: &Path, label: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(dir.join("schemata")).map_err(|e| format!("{label}: {e}"))?;
     let s = Schemata::parse(&text).map_err(|e| format!("{label}: {e}"))?;
-    let l3 = s
-        .l3
-        .get(&0)
-        .map(|b| format!("{:#x} ({} ways)", b, b.count_ones()))
-        .unwrap_or_else(|| "-".into());
-    let mb = s
-        .mb
-        .get(&0)
-        .map(|p| format!("{p}%"))
-        .unwrap_or_else(|| "-".into());
+    let l3 =
+        s.l3.get(&0)
+            .map(|b| format!("{:#x} ({} ways)", b, b.count_ones()))
+            .unwrap_or_else(|| "-".into());
+    let mb =
+        s.mb.get(&0)
+            .map(|p| format!("{p}%"))
+            .unwrap_or_else(|| "-".into());
     println!("  {label:<16} L3 {l3:<18} MB {mb}");
     Ok(())
 }

@@ -2,6 +2,7 @@
 
 use copart_core::policies::{self, EvalOptions, PolicyKind};
 use copart_sim::MachineConfig;
+use copart_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{measure, Benchmark, MixKind, WorkloadMix};
 
@@ -73,9 +74,49 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
         measure_periods: (total_periods / 2).max(1),
         ..EvalOptions::default()
     };
-    let r = policies::evaluate_policy(&machine, &specs, &full, &stream, policy, &eval);
 
-    println!("\npolicy {} over {:.0} virtual seconds:", policy.label(), seconds);
+    let trace_out = opts.get("trace-out");
+    let want_metrics = opts.flag("metrics");
+    let r = if trace_out.is_some() || want_metrics {
+        if !matches!(
+            policy,
+            PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+        ) {
+            return Err(
+                "--trace-out/--metrics need a dynamic policy (cat-only, mba-only, copart)".into(),
+            );
+        }
+        let recorder: Box<dyn Recorder> = match trace_out {
+            Some(path) => Box::new(
+                JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            ),
+            // Metrics are collected by the runtime unconditionally; no
+            // recorder needed when only --metrics was asked for.
+            None => Box::new(NullRecorder),
+        };
+        let (r, mut recorder, snapshot) = policies::evaluate_policy_traced(
+            &machine, &specs, &full, &stream, policy, &eval, recorder,
+        );
+        recorder
+            .flush()
+            .map_err(|e| format!("flushing trace: {e}"))?;
+        if let Some(path) = trace_out {
+            eprintln!("trace written to {path}");
+        }
+        if want_metrics {
+            println!("\nmetrics:");
+            print!("{snapshot}");
+        }
+        r
+    } else {
+        policies::evaluate_policy(&machine, &specs, &full, &stream, policy, &eval)
+    };
+
+    println!(
+        "\npolicy {} over {:.0} virtual seconds:",
+        policy.label(),
+        seconds
+    );
     println!("  unfairness (σ/μ of slowdowns): {:.4}", r.unfairness);
     println!("  throughput (geomean IPS):      {:.3e}", r.throughput);
     for (spec, slowdown) in specs.iter().zip(&r.slowdowns) {
@@ -94,7 +135,10 @@ pub fn classify(opts: &Options) -> Result<(), String> {
     let category = measure::classify(&machine, &spec);
     let (ips, rates) = measure::measure_full(&machine, &spec);
     println!("benchmark {} ({})", bench.table2().short, spec.name);
-    println!("  category:        {category} (paper: {})", bench.category());
+    println!(
+        "  category:        {category} (paper: {})",
+        bench.category()
+    );
     println!("  IPS (full):      {ips:.3e}");
     println!("  LLC accesses/s:  {:.3e}", rates.llc_accesses_per_sec);
     println!("  LLC misses/s:    {:.3e}", rates.llc_misses_per_sec);

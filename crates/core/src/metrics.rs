@@ -56,15 +56,8 @@ pub fn slowdown(ips_full: f64, ips_now: f64) -> f64 {
 /// weights are configuration.
 pub fn weighted_unfairness(slowdowns: &[f64], weights: &[f64]) -> f64 {
     assert_eq!(slowdowns.len(), weights.len(), "one weight per application");
-    assert!(
-        weights.iter().all(|w| *w > 0.0),
-        "weights must be positive"
-    );
-    let normalized: Vec<f64> = slowdowns
-        .iter()
-        .zip(weights)
-        .map(|(s, w)| s * w)
-        .collect();
+    assert!(weights.iter().all(|w| *w > 0.0), "weights must be positive");
+    let normalized: Vec<f64> = slowdowns.iter().zip(weights).map(|(s, w)| s * w).collect();
     unfairness(&normalized)
 }
 
@@ -82,7 +75,6 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn equal_slowdowns_are_perfectly_fair() {
@@ -144,33 +136,53 @@ mod tests {
         let _ = weighted_unfairness(&[1.0, 2.0], &[1.0, 0.0]);
     }
 
-    proptest! {
-        /// σ/μ is invariant under uniform scaling of the slowdowns.
-        #[test]
-        fn unfairness_is_scale_invariant(
-            xs in proptest::collection::vec(0.5f64..10.0, 2..8),
-            k in 0.1f64..10.0,
-        ) {
+    /// Deterministic random vectors for the property-style tests below
+    /// (the offline build has no proptest; a seeded sweep covers the
+    /// same input space reproducibly).
+    fn random_vec(
+        rng: &mut copart_rng::XorShift64Star,
+        len_range: (usize, usize),
+        lo: f64,
+        hi: f64,
+    ) -> Vec<f64> {
+        let len = rng.gen_range(len_range.0..len_range.1);
+        (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    /// σ/μ is invariant under uniform scaling of the slowdowns.
+    #[test]
+    fn unfairness_is_scale_invariant() {
+        let mut rng = copart_rng::XorShift64Star::seed_from_u64(0xE41);
+        for _ in 0..500 {
+            let xs = random_vec(&mut rng, (2, 8), 0.5, 10.0);
+            let k = rng.gen_range(0.1..10.0);
             let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
             let a = unfairness(&xs);
             let b = unfairness(&scaled);
-            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
 
-        /// Unfairness is non-negative and zero iff all-equal (within fp
-        /// noise).
-        #[test]
-        fn unfairness_nonnegative(xs in proptest::collection::vec(0.5f64..10.0, 2..8)) {
-            prop_assert!(unfairness(&xs) >= 0.0);
+    /// Unfairness is non-negative on positive slowdowns.
+    #[test]
+    fn unfairness_nonnegative() {
+        let mut rng = copart_rng::XorShift64Star::seed_from_u64(0xE42);
+        for _ in 0..500 {
+            let xs = random_vec(&mut rng, (2, 8), 0.5, 10.0);
+            assert!(unfairness(&xs) >= 0.0);
         }
+    }
 
-        /// Geomean sits between min and max.
-        #[test]
-        fn geomean_bounded(xs in proptest::collection::vec(0.1f64..10.0, 1..8)) {
+    /// Geomean sits between min and max.
+    #[test]
+    fn geomean_bounded() {
+        let mut rng = copart_rng::XorShift64Star::seed_from_u64(0xE43);
+        for _ in 0..500 {
+            let xs = random_vec(&mut rng, (1, 8), 0.1, 10.0);
             let g = geomean(&xs);
             let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = xs.iter().cloned().fold(0.0f64, f64::max);
-            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+            assert!(g >= min - 1e-9 && g <= max + 1e-9);
         }
     }
 }

@@ -10,8 +10,7 @@
 //! producer of that type (the application least hurt by giving a unit up)
 //! and performs the unit transfer: one LLC way, or one MBA level step.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use copart_rng::XorShift64Star;
 
 use copart_matching::chain::{self, Consumer};
 use copart_rdt::{MbaLevel, ResourceKind};
@@ -90,6 +89,9 @@ pub struct TransferOutcome {
     pub events: Vec<AppliedEvents>,
     /// Whether any transfer happened (false ⇒ the state converged).
     pub changed: bool,
+    /// Instability-chaining iterations the matching step used (0 for the
+    /// greedy baseline, which runs no matching).
+    pub matching_rounds: u32,
 }
 
 /// Category indices used in the matching instance.
@@ -105,11 +107,15 @@ pub fn get_next_system_state(
     current: &SystemState,
     apps: &[AppClassification],
     budget: &WaysBudget,
-    rng: &mut SmallRng,
+    rng: &mut XorShift64Star,
     manage_llc: bool,
     manage_mba: bool,
 ) -> TransferOutcome {
-    assert_eq!(current.allocs.len(), apps.len(), "state/classification mismatch");
+    assert_eq!(
+        current.allocs.len(),
+        apps.len(),
+        "state/classification mismatch"
+    );
     let n = apps.len();
     let mut state = current.clone();
     let mut events = vec![AppliedEvents::default(); n];
@@ -160,8 +166,7 @@ pub fn get_next_system_state(
     let mut any_choice: Vec<Option<ResourceKind>> = Vec::new();
     for (i, (app, alloc)) in apps.iter().zip(&current.allocs).enumerate() {
         let wants_llc = manage_llc && app.llc == AppState::Demand;
-        let wants_mba =
-            manage_mba && app.mba == AppState::Demand && alloc.mba < budget.mba_cap;
+        let wants_mba = manage_mba && app.mba == AppState::Demand && alloc.mba < budget.mba_cap;
         let (preference, choice) = match (wants_llc, wants_mba) {
             (true, true) => {
                 if rng.gen_bool(0.5) {
@@ -258,6 +263,7 @@ pub fn get_next_system_state(
         state,
         events,
         changed,
+        matching_rounds: allocation.rounds,
     }
 }
 
@@ -273,7 +279,11 @@ pub fn get_next_system_state_greedy(
     manage_llc: bool,
     manage_mba: bool,
 ) -> TransferOutcome {
-    assert_eq!(current.allocs.len(), apps.len(), "state/classification mismatch");
+    assert_eq!(
+        current.allocs.len(),
+        apps.len(),
+        "state/classification mismatch"
+    );
     let n = apps.len();
     let mut state = current.clone();
     let mut events = vec![AppliedEvents::default(); n];
@@ -320,7 +330,10 @@ pub fn get_next_system_state_greedy(
     for c in consumers {
         // Prefer LLC when both are demanded (deterministic greedy).
         let wants: Vec<ResourceKind> = [
-            (manage_llc && apps[c].llc == AppState::Demand, ResourceKind::Llc),
+            (
+                manage_llc && apps[c].llc == AppState::Demand,
+                ResourceKind::Llc,
+            ),
             (
                 manage_mba
                     && apps[c].mba == AppState::Demand
@@ -339,6 +352,7 @@ pub fn get_next_system_state_greedy(
                     state,
                     events,
                     changed: true,
+                    matching_rounds: 0,
                 };
             }
             if let Some(p) = min_producer(kind, &state) {
@@ -360,6 +374,7 @@ pub fn get_next_system_state_greedy(
                     state,
                     events,
                     changed: true,
+                    matching_rounds: 0,
                 };
             }
         }
@@ -368,6 +383,7 @@ pub fn get_next_system_state_greedy(
         state,
         events,
         changed: false,
+        matching_rounds: 0,
     }
 }
 
@@ -375,15 +391,13 @@ pub fn get_next_system_state_greedy(
 mod tests {
     use super::*;
     use crate::state::AllocationState;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
 
     fn budget() -> WaysBudget {
         WaysBudget::full_machine(11)
     }
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
+    fn rng() -> XorShift64Star {
+        XorShift64Star::seed_from_u64(7)
     }
 
     fn alloc(ways: u32, mba: u8) -> AllocationState {
@@ -535,8 +549,7 @@ mod tests {
             class(AppState::Maintain, AppState::Demand, 2.0),
             class(AppState::Maintain, AppState::Supply, 1.0),
         ];
-        let out =
-            get_next_system_state(&current, &apps, &cap_budget, &mut rng(), true, true);
+        let out = get_next_system_state(&current, &apps, &cap_budget, &mut rng(), true, true);
         assert!(!out.changed, "already at the budget's MBA cap");
     }
 
@@ -593,22 +606,24 @@ mod tests {
         );
     }
 
-    proptest! {
-        /// Invariants on random inputs: ways conserved within the budget,
-        /// every allocation stays valid, and transfers are unit-sized.
-        #[test]
-        fn transfers_preserve_invariants(
-            seed in 0u64..500,
-            raw in proptest::collection::vec(
-                (1u32..6, 1u8..=10, 0u8..3, 0u8..3, 10u32..400),
-                2..6,
-            ),
-        ) {
+    /// Invariants on random inputs: ways conserved within the budget,
+    /// every allocation stays valid, and transfers are unit-sized.
+    /// Seeded sweep over the same input space the old property test
+    /// sampled (instance shape and the explorer's own seed both vary).
+    #[test]
+    fn transfers_preserve_invariants() {
+        let mut gen = XorShift64Star::seed_from_u64(0x7_2A57);
+        for seed in 0u64..500 {
             let budget = budget();
             let mut allocs = Vec::new();
             let mut apps = Vec::new();
             let mut total = 0u32;
-            for (ways, mba10, llc_s, mba_s, slow100) in raw {
+            for _ in 0..gen.gen_range(2..6usize) {
+                let ways = gen.gen_range(1..6u32);
+                let mba10 = gen.gen_range(1..=10u8);
+                let llc_s = gen.gen_range(0..3u8);
+                let mba_s = gen.gen_range(0..3u8);
+                let slow100 = gen.gen_range(10..400u32);
                 if total + ways > budget.total_ways {
                     break;
                 }
@@ -621,22 +636,24 @@ mod tests {
                 };
                 apps.push(class(st(llc_s), st(mba_s), f64::from(slow100) / 100.0));
             }
-            prop_assume!(allocs.len() >= 2);
+            if allocs.len() < 2 {
+                continue;
+            }
             let current = SystemState { allocs };
-            let mut r = SmallRng::seed_from_u64(seed);
+            let mut r = XorShift64Star::seed_from_u64(seed);
             let out = get_next_system_state(&current, &apps, &budget, &mut r, true, true);
-            prop_assert!(out.state.is_valid(&budget), "invalid: {:?}", out.state);
-            prop_assert!(out.state.total_ways() <= budget.total_ways);
+            assert!(out.state.is_valid(&budget), "invalid: {:?}", out.state);
+            assert!(out.state.total_ways() <= budget.total_ways);
             for (before, after) in current.allocs.iter().zip(&out.state.allocs) {
                 let dw = i64::from(after.ways) - i64::from(before.ways);
-                prop_assert!(dw.abs() <= 1, "way transfers are unit-sized");
+                assert!(dw.abs() <= 1, "way transfers are unit-sized");
                 let dm = i16::from(after.mba.percent()) - i16::from(before.mba.percent());
-                prop_assert!(dm.abs() <= 10, "MBA transfers are one step");
+                assert!(dm.abs() <= 10, "MBA transfers are one step");
             }
             // Ways are conserved up to spare-budget grants.
-            prop_assert!(out.state.total_ways() >= current.total_ways());
+            assert!(out.state.total_ways() >= current.total_ways());
             let spare = budget.total_ways - current.total_ways();
-            prop_assert!(out.state.total_ways() - current.total_ways() <= spare);
+            assert!(out.state.total_ways() - current.total_ways() <= spare);
         }
     }
 }
@@ -704,7 +721,10 @@ mod greedy_tests {
         let out = get_next_system_state_greedy(&current, &apps, &budget(), true, true);
         assert!(out.changed);
         assert_eq!(out.state.allocs[0].ways, 3);
-        assert_eq!(out.state.allocs[1].ways, 2, "producer untouched while spare exists");
+        assert_eq!(
+            out.state.allocs[1].ways, 2,
+            "producer untouched while spare exists"
+        );
     }
 
     #[test]

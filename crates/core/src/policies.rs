@@ -14,11 +14,11 @@
 //! (measured independently of the controller), so the controller cannot
 //! grade its own homework.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use copart_rng::XorShift64Star;
 
 use copart_rdt::{CbmMask, ClosId, MbaLevel, RdtBackend, SimBackend};
 use copart_sim::{AppSpec, Machine, MachineConfig};
+use copart_telemetry::{MetricsSnapshot, NullRecorder, Recorder};
 use copart_workloads::stream::StreamReference;
 
 use crate::metrics::{self, geomean, unfairness};
@@ -149,26 +149,66 @@ pub fn evaluate_policy(
     match policy {
         PolicyKind::Unpartitioned => {
             let state = unpartitioned_state(specs.len(), machine_cfg.llc_ways);
-            run_static(machine_cfg, specs, ips_full_solo, &state, true, policy, opts)
+            run_static(
+                machine_cfg,
+                specs,
+                ips_full_solo,
+                &state,
+                true,
+                policy,
+                opts,
+            )
         }
         PolicyKind::Equal => {
             let state = equal_state(specs.len(), &budget);
-            run_static(machine_cfg, specs, ips_full_solo, &state, false, policy, opts)
+            run_static(
+                machine_cfg,
+                specs,
+                ips_full_solo,
+                &state,
+                false,
+                policy,
+                opts,
+            )
         }
         PolicyKind::Static => {
             let state = static_search(machine_cfg, specs, ips_full_solo, &budget, opts);
-            run_static(machine_cfg, specs, ips_full_solo, &state, false, policy, opts)
+            run_static(
+                machine_cfg,
+                specs,
+                ips_full_solo,
+                &state,
+                false,
+                policy,
+                opts,
+            )
         }
         PolicyKind::Utility => {
             let state = utility_state(machine_cfg, specs, &budget);
-            run_static(machine_cfg, specs, ips_full_solo, &state, false, policy, opts)
+            run_static(
+                machine_cfg,
+                specs,
+                ips_full_solo,
+                &state,
+                false,
+                policy,
+                opts,
+            )
         }
         PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart => {
             let params = CoPartParams {
                 seed: opts.seed,
                 ..CoPartParams::default()
             };
-            run_dynamic(machine_cfg, specs, ips_full_solo, stream, policy, &params, opts)
+            run_dynamic(
+                machine_cfg,
+                specs,
+                ips_full_solo,
+                stream,
+                policy,
+                &params,
+                opts,
+            )
         }
     }
 }
@@ -239,7 +279,11 @@ fn build_backend(machine_cfg: &MachineConfig, specs: &[AppSpec]) -> (SimBackend,
     let mut backend = SimBackend::new(Machine::new(machine_cfg.clone()));
     let groups = specs
         .iter()
-        .map(|s| backend.add_workload(s.clone()).expect("mix fits the machine"))
+        .map(|s| {
+            backend
+                .add_workload(s.clone())
+                .expect("mix fits the machine")
+        })
         .collect();
     (backend, groups)
 }
@@ -282,6 +326,23 @@ fn run_dynamic(
     params: &CoPartParams,
     opts: &EvalOptions,
 ) -> EvalResult {
+    let (mut runtime, groups) = build_runtime(machine_cfg, specs, stream, policy, params);
+    runtime.profile().expect("simulator profiling cannot fail");
+    measure_run_runtime(runtime, &groups, ips_full_solo, policy, opts).0
+}
+
+/// Builds the consolidation runtime a dynamic policy runs on.
+///
+/// # Panics
+///
+/// Panics when `policy` is not CAT-only / MBA-only / CoPart.
+fn build_runtime(
+    machine_cfg: &MachineConfig,
+    specs: &[AppSpec],
+    stream: &StreamReference,
+    policy: PolicyKind,
+    params: &CoPartParams,
+) -> (ConsolidationRuntime<SimBackend>, Vec<ClosId>) {
     let (backend, groups) = build_backend(machine_cfg, specs);
     let n = specs.len();
     let (manage_llc, manage_mba, mba_cap) = match policy {
@@ -308,20 +369,60 @@ fn run_dynamic(
         .zip(specs)
         .map(|(g, s)| (*g, s.name.clone()))
         .collect();
-    let mut runtime =
-        ConsolidationRuntime::new(backend, named, cfg).expect("initial state applies");
-    runtime.profile().expect("simulator profiling cannot fail");
-    measure_run_runtime(runtime, &groups, ips_full_solo, policy, opts)
+    let runtime = ConsolidationRuntime::new(backend, named, cfg).expect("initial state applies");
+    (runtime, groups)
 }
 
-/// Measures ground truth while the runtime adapts each period.
+/// Runs a dynamic policy exactly like [`evaluate_policy`], but with a
+/// trace [`Recorder`] installed on the consolidation runtime for the whole
+/// run (profiling included). Returns the recorder — so a JSONL sink can be
+/// flushed or a ring buffer inspected — together with a snapshot of the
+/// runtime's metrics registry.
+///
+/// # Panics
+///
+/// Panics when `policy` is not one of the dynamic policies (CAT-only /
+/// MBA-only / CoPart): static policies never build a runtime, so there is
+/// nothing to trace.
+pub fn evaluate_policy_traced(
+    machine_cfg: &MachineConfig,
+    specs: &[AppSpec],
+    ips_full_solo: &[f64],
+    stream: &StreamReference,
+    policy: PolicyKind,
+    opts: &EvalOptions,
+    recorder: Box<dyn Recorder>,
+) -> (EvalResult, Box<dyn Recorder>, MetricsSnapshot) {
+    assert!(
+        matches!(
+            policy,
+            PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+        ),
+        "only dynamic policies build a runtime to trace"
+    );
+    assert_eq!(specs.len(), ips_full_solo.len());
+    let params = CoPartParams {
+        seed: opts.seed,
+        ..CoPartParams::default()
+    };
+    let (mut runtime, groups) = build_runtime(machine_cfg, specs, stream, policy, &params);
+    runtime.set_recorder(recorder);
+    runtime.profile().expect("simulator profiling cannot fail");
+    let (result, mut runtime) = measure_run_runtime(runtime, &groups, ips_full_solo, policy, opts);
+    let snapshot = runtime.metrics_snapshot();
+    let recorder = runtime.set_recorder(Box::new(NullRecorder));
+    (result, recorder, snapshot)
+}
+
+/// Measures ground truth while the runtime adapts each period. Hands the
+/// runtime back so callers can recover its recorder and metrics.
 fn measure_run_runtime(
     mut runtime: ConsolidationRuntime<SimBackend>,
     groups: &[ClosId],
     ips_full_solo: &[f64],
     policy: PolicyKind,
     opts: &EvalOptions,
-) -> EvalResult {
+) -> (EvalResult, ConsolidationRuntime<SimBackend>) {
     let mut timeline = Vec::with_capacity(opts.total_periods as usize);
     let mut prev = read_all(runtime.backend_mut(), groups);
     let mut measure_start = None;
@@ -336,7 +437,10 @@ fn measure_run_runtime(
     }
     let end = read_all(runtime.backend_mut(), groups);
     let start = measure_start.unwrap_or(end.clone());
-    finish(policy, &start, &end, ips_full_solo, timeline)
+    (
+        finish(policy, &start, &end, ips_full_solo, timeline),
+        runtime,
+    )
 }
 
 /// Measures ground truth over a statically-configured backend.
@@ -485,7 +589,7 @@ pub fn static_search(
     opts: &EvalOptions,
 ) -> SystemState {
     let n = specs.len();
-    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x57A7_1C5E);
+    let mut rng = XorShift64Star::seed_from_u64(opts.seed ^ 0x57A7_1C5E);
     let mut candidates = vec![equal_state(n, budget)];
     for _ in 0..opts.static_candidates {
         candidates.push(random_state(n, budget, &mut rng));
@@ -516,8 +620,7 @@ pub fn static_search(
 
 /// A uniformly random valid state: random composition of the budget ways
 /// (each app ≥ 1) and random MBA levels under the cap.
-fn random_state(n: usize, budget: &WaysBudget, rng: &mut SmallRng) -> SystemState {
-    use rand::Rng;
+fn random_state(n: usize, budget: &WaysBudget, rng: &mut XorShift64Star) -> SystemState {
     // Random composition via stars-and-bars: sample n-1 distinct cut
     // points among total_ways - 1 gaps.
     let total = budget.total_ways;
@@ -606,9 +709,51 @@ mod tests {
     }
 
     #[test]
+    fn traced_evaluation_returns_events_and_metrics() {
+        use copart_telemetry::{read_trace_file, JsonlRecorder, TraceDecision};
+        let cfg = machine_cfg();
+        let mix = WorkloadMix::paper_default(MixKind::HighLlc);
+        let specs = mix.specs();
+        let full = solo_full_ips(&cfg, &specs);
+        let opts = quick_opts();
+        let path = std::env::temp_dir().join(format!("copart-traced-{}.jsonl", std::process::id()));
+        let sink = Box::new(JsonlRecorder::create(&path).unwrap());
+        let (result, mut recorder, snapshot) = evaluate_policy_traced(
+            &cfg,
+            &specs,
+            &full,
+            stream(),
+            PolicyKind::CoPart,
+            &opts,
+            sink,
+        );
+        recorder.flush().unwrap();
+        drop(recorder);
+        let events = read_trace_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert!(result.unfairness.is_finite());
+        // One event per profiling probe plus one per control period,
+        // strictly monotone epoch numbers.
+        assert_eq!(events.len(), specs.len() + opts.total_periods as usize);
+        assert!(events.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert!(events
+            .iter()
+            .take(specs.len())
+            .all(|e| e.decision == TraceDecision::Profiled));
+
+        assert_eq!(snapshot.counter("epochs"), u64::from(opts.total_periods));
+        assert_eq!(snapshot.counter("apps_profiled"), specs.len() as u64);
+        let epoch_hist = snapshot.histogram("epoch_ns").expect("epoch_ns recorded");
+        assert_eq!(epoch_hist.count(), u64::from(opts.total_periods));
+        assert!(snapshot.histogram("explore_ns").is_some());
+        assert!(snapshot.counter("transfers") > 0, "CoPart should transfer");
+    }
+
+    #[test]
     fn random_states_are_valid() {
         let budget = WaysBudget::full_machine(11);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = XorShift64Star::seed_from_u64(1);
         for _ in 0..100 {
             for n in 2..=6 {
                 let s = random_state(n, &budget, &mut rng);
@@ -636,8 +781,13 @@ mod tests {
             ..opts
         };
         let eq = run_static(
-            &cfg, &specs, &full, &equal_state(specs.len(), &budget), false,
-            PolicyKind::Equal, &probe,
+            &cfg,
+            &specs,
+            &full,
+            &equal_state(specs.len(), &budget),
+            false,
+            PolicyKind::Equal,
+            &probe,
         );
         let st_res = run_static(&cfg, &specs, &full, &st, false, PolicyKind::Static, &probe);
         assert!(st_res.unfairness <= eq.unfairness + 1e-9);

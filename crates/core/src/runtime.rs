@@ -15,11 +15,15 @@
 //! 3. **Idle** (§5.4.3) — monitoring only; membership or budget changes
 //!    (and sustained unfairness drift) trigger re-adaptation.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::time::Instant;
+
+use copart_rng::XorShift64Star;
 
 use copart_rdt::{ClosId, MbaLevel, RdtBackend, RdtError};
-use copart_telemetry::SlidingWindow;
+use copart_telemetry::{
+    AllocSample, AppSample, MetricsRegistry, MetricsSnapshot, NullRecorder, Rates, Recorder,
+    SlidingWindow, TraceClass, TraceDecision, TraceEvent, TracePhase,
+};
 use copart_workloads::stream::StreamReference;
 
 use crate::fsm::{AppState, Observation};
@@ -148,13 +152,18 @@ pub struct ConsolidationRuntime<B: RdtBackend> {
     state: SystemState,
     phase: Phase,
     retry_count: u32,
-    rng: SmallRng,
+    rng: XorShift64Star,
     unfairness_at_idle: f64,
     /// Best (lowest-unfairness) state observed during the current
     /// exploration, and its unfairness. Random neighbor restarts can walk
     /// into worse states with no supplier able to undo them; the manager
     /// settles on the best state seen when it goes idle.
     best_seen: Option<(f64, SystemState)>,
+    /// Monotone event counter: one per control period plus one per
+    /// profiling probe, advanced whether or not a recorder listens.
+    epoch: u64,
+    recorder: Box<dyn Recorder>,
+    metrics: MetricsRegistry,
 }
 
 impl<B: RdtBackend> ConsolidationRuntime<B> {
@@ -184,7 +193,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         let state = SystemState::equal_split(apps.len(), &cfg.budget, cfg.budget.mba_cap);
         let group_ids: Vec<ClosId> = apps.iter().map(|a| a.group).collect();
         state.apply(&mut backend, &group_ids, &cfg.budget)?;
-        let rng = SmallRng::seed_from_u64(cfg.params.seed);
+        let rng = XorShift64Star::seed_from_u64(cfg.params.seed);
         Ok(ConsolidationRuntime {
             backend,
             apps,
@@ -195,6 +204,9 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             rng,
             unfairness_at_idle: 0.0,
             best_seen: None,
+            epoch: 0,
+            recorder: Box::new(NullRecorder),
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -226,6 +238,29 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// The active configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
+    }
+
+    /// Installs a trace recorder (the default is the disabled
+    /// [`NullRecorder`]) and returns the previous one, so callers can
+    /// recover a buffering sink they handed in earlier.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) -> Box<dyn Recorder> {
+        std::mem::replace(&mut self.recorder, recorder)
+    }
+
+    /// The active trace recorder (e.g. to flush a JSONL sink).
+    pub fn recorder_mut(&mut self) -> &mut dyn Recorder {
+        self.recorder.as_mut()
+    }
+
+    /// The runtime's metrics registry (counters, gauges, latency
+    /// histograms fed by [`ConsolidationRuntime::run_period`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Sets an application's fairness weight (default 1.0). Takes effect
@@ -293,12 +328,9 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         let p = self.cfg.params.clone();
         let budget = self.cfg.budget;
         let machine_ways = self.backend.capabilities().llc_ways;
-        let full_mask = copart_rdt::CbmMask::contiguous(
-            budget.first_way,
-            budget.total_ways,
-            machine_ways,
-        )
-        .expect("budget fits the machine");
+        let full_mask =
+            copart_rdt::CbmMask::contiguous(budget.first_way, budget.total_ways, machine_ways)
+                .expect("budget fits the machine");
         let probe_mask = copart_rdt::CbmMask::contiguous(
             budget.first_way,
             p.profile_ways.min(budget.total_ways),
@@ -333,7 +365,13 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             // Restore the shared equal-split allocation for this app.
             self.state.apply(&mut self.backend, &group_ids, &budget)?;
 
-            let deg = |x: f64| if ips_full > 0.0 { (ips_full - x) / ips_full } else { 0.0 };
+            let deg = |x: f64| {
+                if ips_full > 0.0 {
+                    (ips_full - x) / ips_full
+                } else {
+                    0.0
+                }
+            };
             // Supply when the cache is barely exercised even at l_P ways:
             // a low access rate means cache-idle, a low miss ratio at l_P
             // ways means the working set already fits a minimal slice.
@@ -363,6 +401,35 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             app.mba_fsm.reset(mba_initial);
             app.window.clear();
             app.last_events = AppliedEvents::default();
+
+            self.metrics.inc("apps_profiled");
+            if self.recorder.enabled() {
+                // One event per profiled application: its probe
+                // measurements and the initial classifier verdicts.
+                let name = self.apps[i].name.clone();
+                let rates = Rates {
+                    ips: ips_full,
+                    llc_accesses_per_sec: probe_access_rate,
+                    llc_misses_per_sec: miss_rate,
+                    miss_ratio: probe_miss_ratio,
+                };
+                let sample = AppSample::from_rates(
+                    &name,
+                    1.0, // Fresh IPS_full ⇒ slowdown is 1 by definition.
+                    trace_class(llc_initial),
+                    trace_class(mba_initial),
+                    &rates,
+                );
+                self.emit(
+                    Phase::Profiling,
+                    TraceDecision::Profiled,
+                    0,
+                    0.0,
+                    vec![sample],
+                    Vec::new(),
+                );
+            }
+            self.epoch += 1;
         }
 
         self.phase = Phase::Exploring;
@@ -385,12 +452,15 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// Fails when the platform cannot advance or a new state cannot be
     /// applied.
     pub fn run_period(&mut self) -> Result<PeriodRecord, RdtError> {
+        let t_epoch = Instant::now();
+        let tracing = self.recorder.enabled();
         let p = self.cfg.params.clone();
         self.backend.advance(p.period)?;
 
         // Sample counters and build observations.
         let mut classifications = Vec::with_capacity(self.apps.len());
         let mut period_apps = Vec::with_capacity(self.apps.len());
+        let mut trace_apps: Vec<AppSample> = Vec::new();
         for (i, app) in self.apps.iter_mut().enumerate() {
             let mba_level = self.state.allocs[i].mba;
             let snapshot = self.backend.read_counters(app.group);
@@ -442,10 +512,24 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 llc_state: app.llc_fsm.state(),
                 mba_state: app.mba_fsm.state(),
             });
+            if tracing {
+                trace_apps.push(AppSample::from_rates(
+                    &app.name,
+                    app.slowdown(),
+                    trace_class(app.llc_fsm.state()),
+                    trace_class(app.mba_fsm.state()),
+                    &rates.unwrap_or_default(),
+                ));
+            }
         }
 
         let slowdowns: Vec<f64> = classifications.iter().map(|c| c.slowdown).collect();
         let current_unfairness = metrics::unfairness(&slowdowns);
+
+        // What the trace event for this epoch will say.
+        let mut decision = TraceDecision::Monitor;
+        let mut matching_rounds = 0u32;
+        let mut proposed: Vec<AllocSample> = Vec::new();
 
         match self.phase {
             Phase::Exploring => {
@@ -464,6 +548,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 {
                     self.best_seen = Some((current_unfairness, self.state.clone()));
                 }
+                let t_explore = Instant::now();
                 let outcome = if p.use_hr_matching {
                     get_next_system_state(
                         &self.state,
@@ -482,6 +567,14 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         self.cfg.manage_mba,
                     )
                 };
+                self.metrics
+                    .observe_ns("explore_ns", t_explore.elapsed().as_nanos() as u64);
+                matching_rounds = outcome.matching_rounds;
+                self.metrics
+                    .add("matching_rounds", u64::from(outcome.matching_rounds));
+                if tracing {
+                    proposed = alloc_samples(&outcome.state);
+                }
                 if outcome.changed {
                     self.state = outcome.state;
                     self.apply_state()?;
@@ -489,6 +582,8 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         app.last_events = ev;
                     }
                     self.retry_count = 0;
+                    self.metrics.inc("transfers");
+                    decision = TraceDecision::Transfer;
                 } else if self.retry_count < p.theta_retries
                     && (self.cfg.manage_llc || self.cfg.manage_mba)
                 {
@@ -506,6 +601,13 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         app.last_events = ev;
                     }
                     self.retry_count += 1;
+                    self.metrics.inc("theta_retries");
+                    decision = TraceDecision::ThetaRetry;
+                    if tracing {
+                        // The proposal that actually went out is the
+                        // random neighbor, not the stalled matching state.
+                        proposed = alloc_samples(&self.state);
+                    }
                 } else {
                     // Converged: settle on the best state seen during this
                     // exploration (random restarts may have left us on a
@@ -526,6 +628,8 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         self.unfairness_at_idle = current_unfairness;
                     }
                     self.phase = Phase::Idle;
+                    self.metrics.inc("convergences");
+                    decision = TraceDecision::Converged;
                 }
             }
             Phase::Idle => {
@@ -535,12 +639,32 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                     self.phase = Phase::Exploring;
                     self.retry_count = 0;
                     self.best_seen = None;
+                    self.metrics.inc("re_explorations");
+                    decision = TraceDecision::ReExplore;
                 }
             }
             Phase::Profiling => {
                 // run_period before profile(): measure only.
             }
         }
+
+        self.metrics.inc("epochs");
+        self.metrics.set_gauge("unfairness", current_unfairness);
+        if tracing {
+            // Report the phase the controller ends the epoch in, matching
+            // the PeriodRecord below.
+            self.emit(
+                self.phase,
+                decision,
+                matching_rounds,
+                current_unfairness,
+                trace_apps,
+                proposed,
+            );
+        }
+        self.epoch += 1;
+        self.metrics
+            .observe_ns("epoch_ns", t_epoch.elapsed().as_nanos() as u64);
 
         Ok(PeriodRecord {
             time_ns: self.backend.now_ns(),
@@ -628,8 +752,71 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
 
     fn apply_state(&mut self) -> Result<(), RdtError> {
         let groups = self.group_ids();
-        self.state.apply(&mut self.backend, &groups, &self.cfg.budget)
+        let t0 = Instant::now();
+        let result = self
+            .state
+            .apply(&mut self.backend, &groups, &self.cfg.budget);
+        self.metrics
+            .observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
+        self.metrics.inc("backend_applies");
+        result
     }
+
+    /// Builds one trace event and hands it to the recorder. Callers gate
+    /// on `self.recorder.enabled()` so the disabled path never gets here.
+    fn emit(
+        &mut self,
+        phase: Phase,
+        decision: TraceDecision,
+        matching_rounds: u32,
+        unfairness: f64,
+        apps: Vec<AppSample>,
+        proposed: Vec<AllocSample>,
+    ) {
+        let event = TraceEvent {
+            epoch: self.epoch,
+            time_ns: self.backend.now_ns(),
+            phase: trace_phase(phase),
+            decision,
+            retry_count: self.retry_count,
+            matching_rounds,
+            unfairness,
+            apps,
+            proposed,
+            applied: alloc_samples(&self.state),
+        };
+        self.recorder.record(&event);
+    }
+}
+
+/// Maps the runtime phase onto its wire representation.
+fn trace_phase(phase: Phase) -> TracePhase {
+    match phase {
+        Phase::Profiling => TracePhase::Profiling,
+        Phase::Exploring => TracePhase::Exploring,
+        Phase::Idle => TracePhase::Idle,
+    }
+}
+
+/// Maps a classifier state onto its wire representation.
+fn trace_class(state: AppState) -> TraceClass {
+    match state {
+        AppState::Supply => TraceClass::Supply,
+        AppState::Maintain => TraceClass::Maintain,
+        AppState::Demand => TraceClass::Demand,
+    }
+}
+
+/// Snapshots a system state as per-group allocation samples.
+fn alloc_samples(state: &SystemState) -> Vec<AllocSample> {
+    state
+        .allocs
+        .iter()
+        .map(|a| AllocSample {
+            ways: a.ways,
+            mba_percent: a.mba.percent(),
+        })
+        .collect()
 }
 
 /// Derives per-application events from the difference between two states
@@ -723,11 +910,7 @@ mod tests {
         let idx = |name: &str| last.apps.iter().position(|a| a.name == name).unwrap();
         let wn = last.state.allocs[idx("water_nsquared")];
         let sw = last.state.allocs[idx("swaptions")];
-        assert!(
-            wn.ways >= 4,
-            "water_nsquared needs ≥4 ways, got {:?}",
-            wn
-        );
+        assert!(wn.ways >= 4, "water_nsquared needs ≥4 ways, got {:?}", wn);
         assert!(
             sw.ways <= 2,
             "the insensitive member should donate its ways, got {:?}",

@@ -1,8 +1,7 @@
 //! Resource-allocation state: per-application `(ways, MBA level)` pairs
 //! (the paper's `s_i = (l_i, m_i)`, §2.3) and the system state `S`.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use copart_rng::XorShift64Star;
 
 use copart_rdt::{CbmMask, ClosId, MbaLevel, RdtBackend, RdtError};
 
@@ -173,7 +172,7 @@ impl SystemState {
     pub fn neighbor(
         &self,
         budget: &WaysBudget,
-        rng: &mut SmallRng,
+        rng: &mut XorShift64Star,
         allow_llc: bool,
         allow_mba: bool,
     ) -> SystemState {
@@ -220,7 +219,6 @@ impl SystemState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn budget11() -> WaysBudget {
         WaysBudget::full_machine(11)
@@ -260,8 +258,14 @@ mod tests {
     fn spare_ways_go_to_the_last_app() {
         let s = SystemState {
             allocs: vec![
-                AllocationState { ways: 2, mba: MbaLevel::MAX },
-                AllocationState { ways: 3, mba: MbaLevel::MAX },
+                AllocationState {
+                    ways: 2,
+                    mba: MbaLevel::MAX,
+                },
+                AllocationState {
+                    ways: 3,
+                    mba: MbaLevel::MAX,
+                },
             ],
         };
         let masks = s.masks(&budget11(), 11);
@@ -277,7 +281,10 @@ mod tests {
             mba_cap: MbaLevel::new(40),
         };
         let s = SystemState::equal_split(2, &budget, MbaLevel::MAX);
-        assert!(s.allocs.iter().all(|a| a.mba.percent() == 40), "cap applies");
+        assert!(
+            s.allocs.iter().all(|a| a.mba.percent() == 40),
+            "cap applies"
+        );
         let masks = s.masks(&budget, 11);
         assert!(masks.iter().all(|m| m.ways().all(|w| w >= 6)));
         let union: u32 = masks.iter().map(|m| m.bits()).fold(0, |a, b| a | b);
@@ -310,7 +317,7 @@ mod tests {
     fn neighbors_are_valid_and_different() {
         let budget = budget11();
         let s = SystemState::equal_split(4, &budget, MbaLevel::new(50));
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = XorShift64Star::seed_from_u64(9);
         let mut seen_diff = 0;
         for _ in 0..50 {
             let n = s.neighbor(&budget, &mut rng, true, true);
@@ -330,7 +337,7 @@ mod tests {
             mba_cap: MbaLevel::new(40),
         };
         let s = SystemState::equal_split(3, &budget, MbaLevel::new(40));
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = XorShift64Star::seed_from_u64(3);
         for _ in 0..100 {
             let n = s.neighbor(&budget, &mut rng, true, true);
             assert!(n.allocs.iter().all(|a| a.mba <= budget.mba_cap));

@@ -57,13 +57,27 @@ fn every_applied_state_is_valid_across_seeds_and_mixes() {
                     assert!(app.slowdown.is_finite() && app.slowdown > 0.0);
                 }
             }
-            // Every exploration run reaches idle within the horizon:
-            // Algorithm 1's θ retries bound the search.
-            assert_eq!(
-                records.last().unwrap().phase,
-                Phase::Idle,
+            // Algorithm 1's θ retries bound the search: the manager
+            // reaches Idle, and no exploration burst (including the
+            // Figure 10 re-explorations triggered by unfairness drift,
+            // one of which may still be in flight when the horizon
+            // ends) runs unboundedly.
+            assert!(
+                records.iter().any(|r| r.phase == Phase::Idle),
                 "{kind:?} seed {seed} never converged"
             );
+            let mut burst = 0usize;
+            for r in &records {
+                if r.phase == Phase::Exploring {
+                    burst += 1;
+                    assert!(
+                        burst <= 40,
+                        "{kind:?} seed {seed}: exploration burst exceeded 40 periods"
+                    );
+                } else {
+                    burst = 0;
+                }
+            }
         }
     }
 }

@@ -16,7 +16,7 @@ use copart_core::state::{SystemState, WaysBudget};
 use copart_core::{metrics, CoPartParams};
 use copart_rdt::{CbmMask, ClosId, MbaLevel, RdtBackend, SimBackend};
 use copart_sim::{Machine, MachineConfig};
-use copart_telemetry::CounterSnapshot;
+use copart_telemetry::{CounterSnapshot, NullRecorder};
 use copart_workloads::casestudy::{
     kmeans_spec, memcached_spec, wordcount_spec, LcModel, LcReservation, LoadTrace,
 };
@@ -123,6 +123,9 @@ fn run_case(policy: PolicyKind) -> Vec<BucketRow> {
                 stream: stream.clone(),
             };
             let mut rt = ConsolidationRuntime::new(backend, named, cfg).expect("state applies");
+            // Record the whole CoPart run — including the profiling
+            // probes and both load-step transients — as a JSONL trace.
+            rt.set_recorder(crate::common::trace_sink("fig15_casestudy"));
             rt.profile().expect("profiling on the simulator");
             Driver::CoPart(Box::new(rt))
         }
@@ -147,7 +150,12 @@ fn run_case(policy: PolicyKind) -> Vec<BucketRow> {
             let b = batch_budget(&reservation);
             match &mut driver {
                 Driver::CoPart(rt) => {
-                    apply_lc(rt.backend_mut(), lc_group, &reservation, machine_cfg.llc_ways);
+                    apply_lc(
+                        rt.backend_mut(),
+                        lc_group,
+                        &reservation,
+                        machine_cfg.llc_ways,
+                    );
                     rt.set_budget(b).expect("budget applies");
                 }
                 Driver::Equal(be) => {
@@ -211,6 +219,13 @@ fn run_case(policy: PolicyKind) -> Vec<BucketRow> {
             batch_prev = batch_now;
         }
     }
+
+    if let Driver::CoPart(rt) = &mut driver {
+        let mut recorder = rt.set_recorder(Box::new(NullRecorder));
+        if let Err(e) = recorder.flush() {
+            eprintln!("warning: flushing case-study trace: {e}");
+        }
+    }
     rows
 }
 
@@ -222,12 +237,7 @@ fn batch_budget(res: &LcReservation) -> WaysBudget {
     }
 }
 
-fn apply_lc(
-    backend: &mut SimBackend,
-    lc_group: ClosId,
-    res: &LcReservation,
-    machine_ways: u32,
-) {
+fn apply_lc(backend: &mut SimBackend, lc_group: ClosId, res: &LcReservation, machine_ways: u32) {
     let mask = CbmMask::contiguous(0, res.lc_ways, machine_ways).expect("reservation fits");
     backend.set_cbm(lc_group, mask).expect("LC group exists");
     backend

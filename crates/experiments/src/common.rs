@@ -2,9 +2,11 @@
 //! context and plain-text table rendering.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use copart_core::policies::{self, EvalOptions, EvalResult, PolicyKind};
 use copart_sim::{AppSpec, MachineConfig};
+use copart_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{MixKind, WorkloadMix};
 
@@ -72,6 +74,35 @@ impl Context {
         policies::evaluate_policy(&self.machine, &specs, &full, &self.stream, policy, opts)
     }
 
+    /// Like [`Context::run_policy`], but records a per-epoch JSONL
+    /// decision trace as `<trace_dir()>/<trace_name>.jsonl`. Only valid
+    /// for the dynamic policies (CAT-only, MBA-only, CoPart); the
+    /// static ones run no controller and emit no epochs.
+    pub fn run_policy_traced(
+        &mut self,
+        mix: &WorkloadMix,
+        policy: PolicyKind,
+        opts: &EvalOptions,
+        trace_name: &str,
+    ) -> EvalResult {
+        let specs = mix.specs();
+        let full = self.solo_full(&specs);
+        let recorder = trace_sink(trace_name);
+        let (result, mut recorder, _metrics) = policies::evaluate_policy_traced(
+            &self.machine,
+            &specs,
+            &full,
+            &self.stream,
+            policy,
+            opts,
+            recorder,
+        );
+        if let Err(e) = recorder.flush() {
+            eprintln!("warning: flushing trace {trace_name}: {e}");
+        }
+        result
+    }
+
     /// Unfairness of every evaluated policy on a mix, as
     /// `(policy, unfairness, throughput)` rows.
     pub fn policy_row(
@@ -80,11 +111,60 @@ impl Context {
         n_apps: usize,
         opts: &EvalOptions,
     ) -> Vec<(PolicyKind, EvalResult)> {
+        self.policy_row_traced(kind, n_apps, opts, None)
+    }
+
+    /// [`Context::policy_row`] with optional tracing: when
+    /// `trace_prefix` is given, the CoPart cell writes its decision
+    /// trace to `<trace_dir()>/<prefix>_<mix>.jsonl`.
+    pub fn policy_row_traced(
+        &mut self,
+        kind: MixKind,
+        n_apps: usize,
+        opts: &EvalOptions,
+        trace_prefix: Option<&str>,
+    ) -> Vec<(PolicyKind, EvalResult)> {
         let mix = WorkloadMix::build(kind, n_apps, self.machine.n_cores);
         PolicyKind::evaluated()
             .into_iter()
-            .map(|p| (p, self.run_policy(&mix, p, opts)))
+            .map(|p| {
+                let r = match trace_prefix {
+                    Some(prefix) if p == PolicyKind::CoPart => {
+                        let name = format!("{prefix}_{}", kind.label().to_lowercase());
+                        self.run_policy_traced(&mix, p, opts, &name)
+                    }
+                    _ => self.run_policy(&mix, p, opts),
+                };
+                (p, r)
+            })
             .collect()
+    }
+}
+
+/// Directory experiment runs drop JSONL decision traces into:
+/// `$REPRO_TRACE_DIR` when set, `results/` (relative to the working
+/// directory) otherwise.
+pub fn trace_dir() -> PathBuf {
+    std::env::var("REPRO_TRACE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Opens a JSONL trace sink named `<name>.jsonl` under [`trace_dir`].
+/// Falls back to a no-op recorder (with a warning) when the file cannot
+/// be created, so figure runs never fail on trace I/O.
+pub fn trace_sink(name: &str) -> Box<dyn Recorder> {
+    let dir = trace_dir();
+    let path = dir.join(format!("{name}.jsonl"));
+    match std::fs::create_dir_all(&dir).and_then(|()| JsonlRecorder::create(&path)) {
+        Ok(r) => {
+            eprintln!("(trace -> {})", path.display());
+            Box::new(r)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot create {}: {e}", path.display());
+            Box::new(NullRecorder)
+        }
     }
 }
 
@@ -242,6 +322,34 @@ mod tests {
         std::env::remove_var("REPRO_CSV_DIR");
         let text = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
         assert_eq!(text, "mix,value\nH-LLC,0.123\n\"with,comma\",0.5\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_sink_writes_jsonl_under_trace_dir() {
+        use copart_telemetry::{TraceDecision, TraceEvent, TracePhase};
+        let dir = std::env::temp_dir().join(format!("copart-traces-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Only this test touches REPRO_TRACE_DIR (cf. the CSV test above).
+        std::env::set_var("REPRO_TRACE_DIR", &dir);
+        let mut sink = trace_sink("unit_test_trace");
+        sink.record(&TraceEvent {
+            epoch: 0,
+            time_ns: 42,
+            phase: TracePhase::Profiling,
+            decision: TraceDecision::Profiled,
+            retry_count: 0,
+            matching_rounds: 0,
+            unfairness: 0.0,
+            apps: Vec::new(),
+            proposed: Vec::new(),
+            applied: Vec::new(),
+        });
+        sink.flush().unwrap();
+        std::env::remove_var("REPRO_TRACE_DIR");
+        let events = copart_telemetry::read_trace_file(dir.join("unit_test_trace.jsonl")).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time_ns, 42);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -18,13 +18,22 @@ pub fn fig12() {
     let policies = PolicyKind::evaluated();
 
     let mut table = Table::new(&[
-        "mix", "EQ(abs)", "EQ", "ST", "CAT-only", "MBA-only", "CoPart", "CoPart/EQ",
+        "mix",
+        "EQ(abs)",
+        "EQ",
+        "ST",
+        "CAT-only",
+        "MBA-only",
+        "CoPart",
+        "CoPart/EQ",
     ]);
     // Per-policy normalized unfairness collected for the geomean column.
     let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
 
     for kind in MixKind::all() {
-        let results = ctx.policy_row(kind, 4, &opts);
+        // The CoPart cell also drops its per-epoch decision trace as
+        // results/fig12_<mix>.jsonl (see common::trace_dir).
+        let results = ctx.policy_row_traced(kind, 4, &opts, Some("fig12"));
         let eq_unfairness = results
             .iter()
             .find(|(p, _)| *p == PolicyKind::Equal)

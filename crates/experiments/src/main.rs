@@ -81,9 +81,26 @@ fn main() -> ExitCode {
     };
     if cmd == "all" {
         for name in [
-            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablate-matching",
-            "ablate-fsm", "ablate-retry", "ablate-prefetch", "compare-utility",
+            "table1",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "ablate-matching",
+            "ablate-fsm",
+            "ablate-retry",
+            "ablate-prefetch",
+            "compare-utility",
         ] {
             println!("\n================ {name} ================\n");
             assert!(run(name));

@@ -13,14 +13,13 @@ use copart_core::fsm::AppState;
 use copart_core::next_state::{get_next_system_state, AppClassification};
 use copart_core::state::{AllocationState, SystemState, WaysBudget};
 use copart_rdt::MbaLevel;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use copart_rng::XorShift64Star;
 
 use crate::common::Table;
 
 /// Builds a representative classification/state pair for `n` apps.
 pub fn synthetic_instance(n: usize, seed: u64) -> (SystemState, Vec<AppClassification>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let budget = WaysBudget::full_machine(11);
     let mut allocs = Vec::with_capacity(n);
     let mut remaining = budget.total_ways;
@@ -39,7 +38,7 @@ pub fn synthetic_instance(n: usize, seed: u64) -> (SystemState, Vec<AppClassific
     }
     let apps = (0..n)
         .map(|_| {
-            let pick = |r: &mut SmallRng| match r.gen_range(0..3u8) {
+            let pick = |r: &mut XorShift64Star| match r.gen_range(0..3u8) {
                 0 => AppState::Supply,
                 1 => AppState::Maintain,
                 _ => AppState::Demand,
@@ -65,7 +64,7 @@ pub fn fig16() {
         // Average across many random instances (and RNG states) to cover
         // the spread of classifier situations.
         const ITERS: u64 = 20_000;
-        let mut rng = SmallRng::seed_from_u64(99);
+        let mut rng = XorShift64Star::seed_from_u64(99);
         let instances: Vec<_> = (0..64).map(|s| synthetic_instance(n, s)).collect();
         let start = Instant::now();
         let mut sink = 0u32;

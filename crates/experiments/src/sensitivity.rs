@@ -114,7 +114,10 @@ pub fn fig17() {
     count_sweep(|r| r.throughput.max(1.0), false);
 }
 
-fn count_sweep(metric: impl Fn(&copart_core::policies::EvalResult) -> f64, print_copart_gain: bool) {
+fn count_sweep(
+    metric: impl Fn(&copart_core::policies::EvalResult) -> f64,
+    print_copart_gain: bool,
+) {
     let mut ctx = Context::new();
     let opts = default_opts();
     let policies = PolicyKind::evaluated();
@@ -140,7 +143,10 @@ fn count_sweep(metric: impl Fn(&copart_core::policies::EvalResult) -> f64, print
         }
         if print_copart_gain {
             let copart = geomean(&per_policy[4]);
-            println!("  n={n}: CoPart improvement over EQ = {:.1}%", (1.0 - copart) * 100.0);
+            println!(
+                "  n={n}: CoPart improvement over EQ = {:.1}%",
+                (1.0 - copart) * 100.0
+            );
         }
         t.row(cells);
     }

@@ -55,7 +55,10 @@ impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstanceError::IndexOutOfRange { context, index } => {
-                write!(f, "{context} preference references out-of-range index {index}")
+                write!(
+                    f,
+                    "{context} preference references out-of-range index {index}"
+                )
             }
             InstanceError::DuplicatePreference { context, index } => {
                 write!(f, "{context} preference lists index {index} more than once")
@@ -186,8 +189,7 @@ impl Matching {
     pub fn blocking_pairs(&self, inst: &Instance) -> Vec<(usize, usize)> {
         let mut blocking = Vec::new();
         for r in 0..inst.residents.len() {
-            let current_rank = self.resident_to_hospital[r]
-                .and_then(|h| inst.resident_rank(r, h));
+            let current_rank = self.resident_to_hospital[r].and_then(|h| inst.resident_rank(r, h));
             for (rank, &h) in inst.residents[r].preference.iter().enumerate() {
                 if let Some(cur) = current_rank {
                     if rank >= cur {

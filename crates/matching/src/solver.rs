@@ -215,11 +215,7 @@ mod tests {
     fn resident_optimal_weakly_beats_hospital_optimal_for_residents() {
         // Classic 3x3 marriage instance embedded as capacity-1 HR.
         let i = inst(
-            vec![
-                (1, vec![0, 1, 2]),
-                (1, vec![1, 2, 0]),
-                (1, vec![2, 0, 1]),
-            ],
+            vec![(1, vec![0, 1, 2]), (1, vec![1, 2, 0]), (1, vec![2, 0, 1])],
             vec![vec![1, 0, 2], vec![2, 1, 0], vec![0, 2, 1]],
         );
         let ro = solve_resident_optimal(&i).unwrap();

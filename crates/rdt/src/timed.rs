@@ -1,0 +1,210 @@
+//! A timing decorator for [`RdtBackend`]s.
+//!
+//! [`TimedBackend`] wraps any backend and records, per operation kind,
+//! how many calls were made and how long they took. On the resctrl
+//! backend this measures real sysfs write latency (the paper's §6.4
+//! overhead discussion); on the simulator it measures model cost. The
+//! consolidation runtime's own histograms (`apply_ns`) time whole
+//! programming passes; this wrapper attributes the time to individual
+//! backend calls instead.
+
+use std::time::{Duration, Instant};
+
+use copart_sim::{CbmMask, ClosId, MbaLevel};
+use copart_telemetry::CounterSnapshot;
+
+use crate::backend::{RdtBackend, RdtCapabilities};
+use crate::error::RdtError;
+
+/// Call count and latency accumulator for one backend operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of calls observed.
+    pub calls: u64,
+    /// Total time across all calls, in nanoseconds.
+    pub total_ns: u64,
+    /// Slowest single call, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl OpStats {
+    fn observe(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        self.calls += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean call latency in nanoseconds (0 when no calls were made).
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Timing statistics for every instrumented backend operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// `set_cbm` (CAT mask programming) calls.
+    pub set_cbm: OpStats,
+    /// `set_mba` (MBA level programming) calls.
+    pub set_mba: OpStats,
+    /// `read_counters` sampling calls.
+    pub read_counters: OpStats,
+    /// `advance` (platform execution) calls.
+    pub advance: OpStats,
+}
+
+/// Wraps a backend, timing each mutating or sampling call.
+#[derive(Debug)]
+pub struct TimedBackend<B: RdtBackend> {
+    inner: B,
+    stats: BackendStats,
+}
+
+impl<B: RdtBackend> TimedBackend<B> {
+    /// Wraps `inner` with zeroed statistics.
+    pub fn new(inner: B) -> TimedBackend<B> {
+        TimedBackend {
+            inner,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Accumulated per-operation timing statistics.
+    pub fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    /// Resets all statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped backend.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// Unwraps, discarding the statistics.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: RdtBackend> RdtBackend for TimedBackend<B> {
+    fn capabilities(&self) -> RdtCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn groups(&self) -> Vec<ClosId> {
+        self.inner.groups()
+    }
+
+    fn set_cbm(&mut self, group: ClosId, mask: CbmMask) -> Result<(), RdtError> {
+        let t0 = Instant::now();
+        let result = self.inner.set_cbm(group, mask);
+        self.stats.set_cbm.observe(t0.elapsed());
+        result
+    }
+
+    fn set_mba(&mut self, group: ClosId, level: MbaLevel) -> Result<(), RdtError> {
+        let t0 = Instant::now();
+        let result = self.inner.set_mba(group, level);
+        self.stats.set_mba.observe(t0.elapsed());
+        result
+    }
+
+    fn clos_config(&self, group: ClosId) -> Result<(CbmMask, MbaLevel), RdtError> {
+        self.inner.clos_config(group)
+    }
+
+    fn read_counters(&mut self, group: ClosId) -> Result<CounterSnapshot, RdtError> {
+        let t0 = Instant::now();
+        let result = self.inner.read_counters(group);
+        self.stats.read_counters.observe(t0.elapsed());
+        result
+    }
+
+    fn advance(&mut self, period: Duration) -> Result<(), RdtError> {
+        let t0 = Instant::now();
+        let result = self.inner.advance(period);
+        self.stats.advance.observe(t0.elapsed());
+        result
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn read_mbm_total_bytes(&mut self, group: ClosId) -> Result<u64, RdtError> {
+        self.inner.read_mbm_total_bytes(group)
+    }
+
+    fn read_llc_occupancy_bytes(&mut self, group: ClosId) -> Result<u64, RdtError> {
+        self.inner.read_llc_occupancy_bytes(group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_backend::SimBackend;
+    use copart_sim::trace::AccessPattern;
+    use copart_sim::{AppSpec, Machine, MachineConfig};
+
+    #[test]
+    fn timed_backend_counts_and_forwards() {
+        let cfg = MachineConfig::tiny_test();
+        let machine_ways = cfg.llc_ways;
+        let mut backend = SimBackend::new(Machine::new(cfg));
+        let spec = AppSpec {
+            name: "probe".into(),
+            cores: 1,
+            ipc_peak: 1.0,
+            apki: 10.0,
+            write_fraction: 0.1,
+            mlp: 4.0,
+            phases: vec![(1.0, AccessPattern::UniformRandom { bytes: 1 << 20 })],
+        };
+        let g = backend.add_workload(spec).unwrap();
+        let mut timed = TimedBackend::new(backend);
+
+        assert_eq!(timed.stats(), &BackendStats::default());
+        let mask = CbmMask::contiguous(0, 4, machine_ways).unwrap();
+        timed.set_cbm(g, mask).unwrap();
+        timed.set_mba(g, MbaLevel::new(50)).unwrap();
+        timed.advance(Duration::from_millis(200)).unwrap();
+        timed.read_counters(g).unwrap();
+        timed.read_counters(g).unwrap();
+
+        let stats = *timed.stats();
+        assert_eq!(stats.set_cbm.calls, 1);
+        assert_eq!(stats.set_mba.calls, 1);
+        assert_eq!(stats.advance.calls, 1);
+        assert_eq!(stats.read_counters.calls, 2);
+        assert!(stats.read_counters.total_ns >= stats.read_counters.max_ns);
+        assert!(stats.advance.mean_ns() > 0.0);
+
+        // The decorated configuration really reached the inner backend.
+        let (cbm, mba) = timed.clos_config(g).unwrap();
+        assert_eq!(cbm, mask);
+        assert_eq!(mba, MbaLevel::new(50));
+
+        // Errors pass through while still being counted.
+        assert!(timed.set_mba(ClosId(999), MbaLevel::MAX).is_err());
+        assert_eq!(timed.stats().set_mba.calls, 2);
+
+        timed.reset_stats();
+        assert_eq!(timed.stats().set_cbm.calls, 0);
+        let _inner: SimBackend = timed.into_inner();
+    }
+}

@@ -1,0 +1,283 @@
+//! Tiny deterministic pseudo-random number generator for the CoPart
+//! workspace.
+//!
+//! The reproduction must build and test **offline** — no crates.io
+//! access — so the external `rand` dependency is replaced by this
+//! self-contained module. The generator is an
+//! [xorshift64*](https://en.wikipedia.org/wiki/Xorshift#xorshift*)
+//! core whose state is initialised from the user seed through one round
+//! of SplitMix64, the standard recipe for turning low-entropy seeds
+//! (0, 1, small integers…) into well-mixed 64-bit states.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism** — the same seed yields the same stream on every
+//!    platform and every run; experiment seeds in `CoPartParams` and
+//!    `EvalOptions` stay meaningful.
+//! 2. **API compatibility** — the handful of `rand` calls used by the
+//!    workspace (`seed_from_u64`, `gen_range` over integer and float
+//!    ranges, `gen_bool`, `shuffle`) keep their shape, so call sites
+//!    port with a type swap.
+//! 3. **No dependencies** — `std` only.
+//!
+//! This is *not* a cryptographic generator; it drives simulated
+//! workload mixes and the controller's θ-retry restarts, where speed
+//! and reproducibility matter and adversarial prediction does not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// One round of SplitMix64: turns an arbitrary 64-bit seed into a
+/// well-mixed state word. Public so tests and seed-derivation helpers
+/// can reuse it.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xorshift64* generator.
+///
+/// ```
+/// use copart_rng::XorShift64Star;
+///
+/// let mut rng = XorShift64Star::seed_from_u64(42);
+/// let a = rng.gen_range(0..10u32);
+/// assert!(a < 10);
+/// let p = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&p));
+///
+/// // Same seed, same stream.
+/// let mut rng2 = XorShift64Star::seed_from_u64(42);
+/// assert_eq!(rng2.gen_range(0..10u32), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from a 64-bit seed. Any seed is valid —
+    /// SplitMix64 expansion guarantees a non-zero, well-mixed internal
+    /// state even for seed 0.
+    pub fn seed_from_u64(seed: u64) -> XorShift64Star {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            // xorshift's single forbidden state; remap deterministically.
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        XorShift64Star { state }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`. Uses the widening
+    /// multiply-shift reduction (Lemire); the bias for the bounds used
+    /// in this workspace (≪ 2⁶⁴) is immaterial.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is 0.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform sample from `range` — accepts the same half-open and
+    /// inclusive integer ranges plus half-open `f64` ranges that the
+    /// old `rand::Rng::gen_range` calls used.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice, driven by this generator.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Ranges [`XorShift64Star::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut XorShift64Star) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut XorShift64Star) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.next_below(span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut XorShift64Star) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                start + rng.next_below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut XorShift64Star) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShift64Star::seed_from_u64(0xDEAD_BEEF);
+        let mut b = XorShift64Star::seed_from_u64(0xDEAD_BEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64Star::seed_from_u64(1);
+        let mut b = XorShift64Star::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShift64Star::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = XorShift64Star::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1..=6usize);
+            assert!((1..=6).contains(&y));
+            let z = rng.gen_range(0..3u8);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = XorShift64Star::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..6 should appear: {seen:?}"
+        );
+        let mut seen_inc = [false; 4];
+        for _ in 0..500 {
+            seen_inc[rng.gen_range(1..=4usize) - 1] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_bounds_and_spread() {
+        let mut rng = XorShift64Star::seed_from_u64(13);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..2000 {
+            let x = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 2.3, "lower tail reached: {lo}");
+        assert!(hi > 4.7, "upper tail reached: {hi}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = XorShift64Star::seed_from_u64(17);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "~2500 expected, got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = XorShift64Star::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        // With 32 elements the identity permutation is astronomically
+        // unlikely.
+        assert_ne!(v, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = XorShift64Star::seed_from_u64(23);
+        let _ = rng.gen_range(5..5u32);
+    }
+}

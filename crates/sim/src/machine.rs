@@ -530,7 +530,10 @@ impl Machine {
     /// live application over the last `measure` windows (a convenience for
     /// profiling and experiments: warm up, then measure).
     pub fn run_windows(&mut self, window_ns: u64, n: u32, measure: u32) -> Vec<(AppHandle, f64)> {
-        assert!(measure >= 1 && measure <= n, "measure must be within run length");
+        assert!(
+            measure >= 1 && measure <= n,
+            "measure must be within run length"
+        );
         let mut sums: BTreeMap<AppHandle, (f64, u32)> = BTreeMap::new();
         for round in 0..n {
             let reports = self.tick(window_ns);
@@ -691,8 +694,10 @@ mod tests {
         let run = |isolated: bool| {
             let mut m = Machine::new(MachineConfig::tiny_test());
             if isolated {
-                m.set_cbm(ClosId(0), CbmMask::new(0b0111, 4).unwrap()).unwrap();
-                m.set_cbm(ClosId(1), CbmMask::new(0b1000, 4).unwrap()).unwrap();
+                m.set_cbm(ClosId(0), CbmMask::new(0b0111, 4).unwrap())
+                    .unwrap();
+                m.set_cbm(ClosId(1), CbmMask::new(0b1000, 4).unwrap())
+                    .unwrap();
             } else {
                 m.set_cbm(ClosId(0), CbmMask::full(4)).unwrap();
                 m.set_cbm(ClosId(1), CbmMask::full(4)).unwrap();
@@ -715,7 +720,8 @@ mod tests {
     fn occupancy_reflects_partition_size() {
         let cfg = MachineConfig::tiny_test();
         let mut m = Machine::new(cfg.clone());
-        m.set_cbm(ClosId(0), CbmMask::new(0b0001, 4).unwrap()).unwrap();
+        m.set_cbm(ClosId(0), CbmMask::new(0b0001, 4).unwrap())
+            .unwrap();
         let a = m.add_app(stream_spec("s", 2), ClosId(0)).unwrap();
         m.run_windows(100_000_000, 10, 1);
         let occ = m.llc_occupancy_bytes(a).unwrap();

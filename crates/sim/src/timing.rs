@@ -78,7 +78,10 @@ pub struct AppWindowResult {
 /// out at `cores × freq × ipc_peak` instructions per second. Applications
 /// whose demanded traffic exceeds their max–min fair grant are
 /// bandwidth-bound and come out at `grant / bytes-per-instruction`.
-pub fn solve_window(cfg: &TimingConfig, apps: &[(AppTimingParams, WindowInputs)]) -> Vec<AppWindowResult> {
+pub fn solve_window(
+    cfg: &TimingConfig,
+    apps: &[(AppTimingParams, WindowInputs)],
+) -> Vec<AppWindowResult> {
     let n = apps.len();
     let mut results = Vec::with_capacity(n);
     if n == 0 {
@@ -179,7 +182,12 @@ mod tests {
         let base = params(4, 1.5, 30.0, 6.0);
         let lo = solve_window(&cfg(), &[(base, inputs(0.05, 48.0))]);
         let hi = solve_window(&cfg(), &[(base, inputs(0.5, 48.0))]);
-        assert!(hi[0].ips < lo[0].ips * 0.7, "{} vs {}", hi[0].ips, lo[0].ips);
+        assert!(
+            hi[0].ips < lo[0].ips * 0.7,
+            "{} vs {}",
+            hi[0].ips,
+            lo[0].ips
+        );
     }
 
     #[test]
@@ -214,10 +222,7 @@ mod tests {
     fn two_streamers_share_the_bus() {
         let p = params(8, 1.2, 150.0, 12.0);
         let alone = solve_window(&cfg(), &[(p, inputs(0.9, 96.0))]);
-        let pair = solve_window(
-            &cfg(),
-            &[(p, inputs(0.9, 96.0)), (p, inputs(0.9, 96.0))],
-        );
+        let pair = solve_window(&cfg(), &[(p, inputs(0.9, 96.0)), (p, inputs(0.9, 96.0))]);
         assert!(pair[0].ips < alone[0].ips * 0.75);
         assert!((pair[0].ips - pair[1].ips).abs() / pair[0].ips < 1e-6);
         let total: f64 = pair.iter().map(|r| r.granted_bw).sum();

@@ -18,8 +18,7 @@
 //! Patterns are emitted in bursts of [`BURST_LEN`] accesses so streaming
 //! runs stay sequential under mixing, as they do in real traces.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use copart_rng::XorShift64Star;
 
 /// Number of consecutive accesses drawn from one phase before the active
 /// phase is re-sampled.
@@ -113,7 +112,7 @@ struct PhaseState {
 }
 
 impl PhaseState {
-    fn next_addr(&mut self, rng: &mut SmallRng, line_bytes: u64) -> u64 {
+    fn next_addr(&mut self, rng: &mut XorShift64Star, line_bytes: u64) -> u64 {
         match self.pattern {
             AccessPattern::WorkingSetLoop { bytes, stride } => {
                 let addr = self.cursor;
@@ -152,8 +151,11 @@ impl PhaseState {
 /// Samples a Zipf-like rank in `[0, n)` via the continuous inverse-CDF
 /// approximation of the generalized harmonic CDF. Approximate but cheap
 /// and monotone in skew, which is all the workload models need.
-fn zipf_rank(rng: &mut SmallRng, n: u64, s: f64) -> u64 {
-    debug_assert!(s > 0.0 && (s - 1.0).abs() > 1e-9, "exponent {s} unsupported");
+fn zipf_rank(rng: &mut XorShift64Star, n: u64, s: f64) -> u64 {
+    debug_assert!(
+        s > 0.0 && (s - 1.0).abs() > 1e-9,
+        "exponent {s} unsupported"
+    );
     let u: f64 = rng.gen_range(0.0..1.0);
     let nf = n as f64;
     let one_minus_s = 1.0 - s;
@@ -172,7 +174,7 @@ fn zipf_rank(rng: &mut SmallRng, n: u64, s: f64) -> u64 {
 pub struct TraceGenerator {
     phases: Vec<PhaseState>,
     line_bytes: u64,
-    rng: SmallRng,
+    rng: XorShift64Star,
     active: usize,
     burst_left: u32,
     total_weight: f64,
@@ -197,11 +199,14 @@ impl TraceGenerator {
             })
             .collect();
         let total_weight: f64 = states.iter().map(|p| p.weight).sum();
-        assert!(total_weight > 0.0, "phase weights must sum to a positive value");
+        assert!(
+            total_weight > 0.0,
+            "phase weights must sum to a positive value"
+        );
         TraceGenerator {
             phases: states,
             line_bytes,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: XorShift64Star::seed_from_u64(seed),
             active: 0,
             burst_left: 0,
             total_weight,
@@ -274,7 +279,11 @@ mod tests {
         assert!(addrs.iter().all(|&a| a < bytes && a % 64 == 0));
         // Should touch a large fraction of the 1024 lines.
         let distinct: HashSet<_> = addrs.iter().collect();
-        assert!(distinct.len() > 900, "only {} distinct lines", distinct.len());
+        assert!(
+            distinct.len() > 900,
+            "only {} distinct lines",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -331,12 +340,7 @@ mod tests {
                         stride: 64,
                     },
                 ),
-                (
-                    0.1,
-                    AccessPattern::UniformRandom {
-                        bytes: 1 << 30,
-                    },
-                ),
+                (0.1, AccessPattern::UniformRandom { bytes: 1 << 30 }),
             ],
             64,
             9,

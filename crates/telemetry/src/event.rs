@@ -1,0 +1,514 @@
+//! The per-epoch trace event emitted by the consolidation runtime.
+//!
+//! One [`TraceEvent`] captures everything the controller knew and did in
+//! one control epoch (one period of Figure 10's profile → explore → idle
+//! loop): the per-application measurements (Eq 1 slowdowns, rates), the
+//! classifier FSM states (§5.3), the system-wide unfairness (Eq 2), the
+//! allocation the explorer *proposed* and the one actually *applied*,
+//! plus Algorithm 1/2 diagnostics (θ-retry count, matching rounds).
+//!
+//! The types here are deliberately plain — strings and small enums, no
+//! controller types — because `copart-telemetry` sits below `copart-core`
+//! in the crate graph. The runtime converts its richer types into this
+//! representation at emit time.
+//!
+//! Events serialise to JSONL (one [`TraceEvent::to_json_line`] per line)
+//! and parse back with [`TraceEvent::from_json_line`]; the schema is
+//! documented field-by-field in `DESIGN.md` § Observability.
+
+use crate::json::{Json, JsonError};
+use crate::Rates;
+use std::fmt;
+
+/// The controller phase a trace event was emitted from (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Initial per-application profiling (§5.4.1).
+    Profiling,
+    /// Actively exploring allocations (Algorithm 1).
+    Exploring,
+    /// Converged; monitoring for unfairness drift.
+    Idle,
+}
+
+impl TracePhase {
+    /// Stable wire name (lowercase).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Profiling => "profiling",
+            TracePhase::Exploring => "exploring",
+            TracePhase::Idle => "idle",
+        }
+    }
+
+    /// Parses a wire name produced by [`TracePhase::as_str`].
+    pub fn from_str(s: &str) -> Option<TracePhase> {
+        match s {
+            "profiling" => Some(TracePhase::Profiling),
+            "exploring" => Some(TracePhase::Exploring),
+            "idle" => Some(TracePhase::Idle),
+            _ => None,
+        }
+    }
+}
+
+/// A classifier FSM state (§5.3) in wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClass {
+    /// The application can give the resource up.
+    Supply,
+    /// The application is content with its share.
+    Maintain,
+    /// The application wants more of the resource.
+    Demand,
+}
+
+impl TraceClass {
+    /// Stable wire name (lowercase).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceClass::Supply => "supply",
+            TraceClass::Maintain => "maintain",
+            TraceClass::Demand => "demand",
+        }
+    }
+
+    /// Parses a wire name produced by [`TraceClass::as_str`].
+    pub fn from_str(s: &str) -> Option<TraceClass> {
+        match s {
+            "supply" => Some(TraceClass::Supply),
+            "maintain" => Some(TraceClass::Maintain),
+            "demand" => Some(TraceClass::Demand),
+            _ => None,
+        }
+    }
+}
+
+/// What the controller decided this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDecision {
+    /// A profiling probe completed (one event per profiled application).
+    Profiled,
+    /// The matching produced a transfer and the new state was applied.
+    Transfer,
+    /// The matching found no transfer; a random θ-retry neighbor was
+    /// applied instead (Algorithm 1 line 9).
+    ThetaRetry,
+    /// Retries exhausted; the best state seen was restored and the
+    /// controller went idle.
+    Converged,
+    /// Idle monitoring — nothing changed.
+    Monitor,
+    /// Idle unfairness drifted past the re-exploration threshold; the
+    /// controller is exploring again.
+    ReExplore,
+}
+
+impl TraceDecision {
+    /// Stable wire name (snake_case).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceDecision::Profiled => "profiled",
+            TraceDecision::Transfer => "transfer",
+            TraceDecision::ThetaRetry => "theta_retry",
+            TraceDecision::Converged => "converged",
+            TraceDecision::Monitor => "monitor",
+            TraceDecision::ReExplore => "re_explore",
+        }
+    }
+
+    /// Parses a wire name produced by [`TraceDecision::as_str`].
+    pub fn from_str(s: &str) -> Option<TraceDecision> {
+        match s {
+            "profiled" => Some(TraceDecision::Profiled),
+            "transfer" => Some(TraceDecision::Transfer),
+            "theta_retry" => Some(TraceDecision::ThetaRetry),
+            "converged" => Some(TraceDecision::Converged),
+            "monitor" => Some(TraceDecision::Monitor),
+            "re_explore" => Some(TraceDecision::ReExplore),
+            _ => None,
+        }
+    }
+}
+
+/// One application's view in a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSample {
+    /// Workload name (stable across the run).
+    pub name: String,
+    /// Measured instructions per second this epoch.
+    pub ips: f64,
+    /// Eq 1 slowdown: solo-full-machine IPS over achieved IPS.
+    pub slowdown: f64,
+    /// LLC classifier FSM state after this epoch's update.
+    pub llc_state: TraceClass,
+    /// MBA classifier FSM state after this epoch's update.
+    pub mba_state: TraceClass,
+    /// LLC miss ratio this epoch.
+    pub miss_ratio: f64,
+    /// LLC accesses per second this epoch.
+    pub llc_accesses_per_sec: f64,
+    /// LLC misses per second this epoch.
+    pub llc_misses_per_sec: f64,
+}
+
+impl AppSample {
+    /// Builds a sample from a name, Eq 1 slowdown, FSM states and the
+    /// telemetry [`Rates`] measured this epoch.
+    pub fn from_rates(
+        name: &str,
+        slowdown: f64,
+        llc_state: TraceClass,
+        mba_state: TraceClass,
+        rates: &Rates,
+    ) -> AppSample {
+        AppSample {
+            name: name.to_string(),
+            ips: rates.ips,
+            slowdown,
+            llc_state,
+            mba_state,
+            miss_ratio: rates.miss_ratio,
+            llc_accesses_per_sec: rates.llc_accesses_per_sec,
+            llc_misses_per_sec: rates.llc_misses_per_sec,
+        }
+    }
+}
+
+/// One application's allocation in a (proposed or applied) system state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSample {
+    /// Number of LLC ways granted.
+    pub ways: u32,
+    /// MBA throttle percentage (10–100).
+    pub mba_percent: u8,
+}
+
+/// One control epoch of the consolidation runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotone epoch counter (starts at 0, increments per event).
+    pub epoch: u64,
+    /// Backend wall-clock at emit time, in nanoseconds.
+    pub time_ns: u64,
+    /// Controller phase (Figure 10).
+    pub phase: TracePhase,
+    /// What the controller decided this epoch.
+    pub decision: TraceDecision,
+    /// Algorithm 1 θ-retry counter at the end of the epoch.
+    pub retry_count: u32,
+    /// Rounds the Algorithm 2 matching ran this epoch (0 when no
+    /// matching was attempted).
+    pub matching_rounds: u32,
+    /// Eq 2 unfairness (σ/μ of weighted slowdowns) this epoch.
+    pub unfairness: f64,
+    /// Per-application measurements, in group order.
+    pub apps: Vec<AppSample>,
+    /// The allocation the explorer proposed this epoch (equals
+    /// `applied` when the proposal was accepted; empty during
+    /// profiling and idle monitoring).
+    pub proposed: Vec<AllocSample>,
+    /// The allocation in force at the end of the epoch, in group order.
+    pub applied: Vec<AllocSample>,
+}
+
+/// An error turning a JSONL line back into a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceParseError {
+    /// The line was not well-formed JSON.
+    Json(JsonError),
+    /// The JSON was well-formed but did not match the schema.
+    Schema(String),
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::Json(e) => write!(f, "{e}"),
+            TraceParseError::Schema(msg) => write!(f, "trace schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl From<JsonError> for TraceParseError {
+    fn from(e: JsonError) -> TraceParseError {
+        TraceParseError::Json(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, TraceParseError> {
+    Err(TraceParseError::Schema(msg.into()))
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, TraceParseError> {
+    obj.get(key)
+        .ok_or_else(|| TraceParseError::Schema(format!("missing field '{key}'")))
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, TraceParseError> {
+    match field(obj, key)? {
+        // Non-finite floats encode as null (JSON has no Infinity); an
+        // infinite slowdown means "no progress against a live
+        // reference" and must survive the round trip.
+        Json::Null => Ok(f64::INFINITY),
+        v => v
+            .as_f64()
+            .ok_or_else(|| TraceParseError::Schema(format!("field '{key}' is not a number"))),
+    }
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, TraceParseError> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| TraceParseError::Schema(format!("field '{key}' is not a u64")))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, TraceParseError> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| TraceParseError::Schema(format!("field '{key}' is not a string")))
+}
+
+fn num(x: f64) -> Json {
+    Json::Num(x)
+}
+
+impl TraceEvent {
+    /// Serialises the event as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let apps = self
+            .apps
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(a.name.clone())),
+                    ("ips".into(), num(a.ips)),
+                    ("slowdown".into(), num(a.slowdown)),
+                    ("llc_state".into(), Json::Str(a.llc_state.as_str().into())),
+                    ("mba_state".into(), Json::Str(a.mba_state.as_str().into())),
+                    ("miss_ratio".into(), num(a.miss_ratio)),
+                    ("llc_aps".into(), num(a.llc_accesses_per_sec)),
+                    ("llc_mps".into(), num(a.llc_misses_per_sec)),
+                ])
+            })
+            .collect();
+        let allocs = |xs: &[AllocSample]| {
+            Json::Arr(
+                xs.iter()
+                    .map(|x| {
+                        Json::Obj(vec![
+                            ("ways".into(), num(f64::from(x.ways))),
+                            ("mba".into(), num(f64::from(x.mba_percent))),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("epoch".into(), num(self.epoch as f64)),
+            ("time_ns".into(), num(self.time_ns as f64)),
+            ("phase".into(), Json::Str(self.phase.as_str().into())),
+            ("decision".into(), Json::Str(self.decision.as_str().into())),
+            ("retry_count".into(), num(f64::from(self.retry_count))),
+            (
+                "matching_rounds".into(),
+                num(f64::from(self.matching_rounds)),
+            ),
+            ("unfairness".into(), num(self.unfairness)),
+            ("apps".into(), Json::Arr(apps)),
+            ("proposed".into(), allocs(&self.proposed)),
+            ("applied".into(), allocs(&self.applied)),
+        ])
+        .to_string()
+    }
+
+    /// Parses one JSONL line produced by [`TraceEvent::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, TraceParseError> {
+        let v = Json::parse(line)?;
+        let phase = str_field(&v, "phase")?;
+        let phase = TracePhase::from_str(phase)
+            .ok_or_else(|| TraceParseError::Schema(format!("unknown phase '{phase}'")))?;
+        let decision = str_field(&v, "decision")?;
+        let decision = TraceDecision::from_str(decision)
+            .ok_or_else(|| TraceParseError::Schema(format!("unknown decision '{decision}'")))?;
+        let apps = field(&v, "apps")?
+            .as_arr()
+            .ok_or_else(|| TraceParseError::Schema("'apps' is not an array".into()))?
+            .iter()
+            .map(|a| -> Result<AppSample, TraceParseError> {
+                let class = |key: &str| -> Result<TraceClass, TraceParseError> {
+                    let s = str_field(a, key)?;
+                    TraceClass::from_str(s).ok_or_else(|| {
+                        TraceParseError::Schema(format!("unknown class '{s}' in '{key}'"))
+                    })
+                };
+                Ok(AppSample {
+                    name: str_field(a, "name")?.to_string(),
+                    ips: f64_field(a, "ips")?,
+                    slowdown: f64_field(a, "slowdown")?,
+                    llc_state: class("llc_state")?,
+                    mba_state: class("mba_state")?,
+                    miss_ratio: f64_field(a, "miss_ratio")?,
+                    llc_accesses_per_sec: f64_field(a, "llc_aps")?,
+                    llc_misses_per_sec: f64_field(a, "llc_mps")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let allocs = |key: &str| -> Result<Vec<AllocSample>, TraceParseError> {
+            field(&v, key)?
+                .as_arr()
+                .ok_or_else(|| TraceParseError::Schema(format!("'{key}' is not an array")))?
+                .iter()
+                .map(|x| {
+                    let ways = u64_field(x, "ways")?;
+                    let mba = u64_field(x, "mba")?;
+                    if ways > u64::from(u32::MAX) {
+                        return schema_err("'ways' out of range");
+                    }
+                    if mba > u64::from(u8::MAX) {
+                        return schema_err("'mba' out of range");
+                    }
+                    Ok(AllocSample {
+                        ways: ways as u32,
+                        mba_percent: mba as u8,
+                    })
+                })
+                .collect()
+        };
+        Ok(TraceEvent {
+            epoch: u64_field(&v, "epoch")?,
+            time_ns: u64_field(&v, "time_ns")?,
+            phase,
+            decision,
+            retry_count: u64_field(&v, "retry_count")? as u32,
+            matching_rounds: u64_field(&v, "matching_rounds")? as u32,
+            unfairness: f64_field(&v, "unfairness")?,
+            apps,
+            proposed: allocs("proposed")?,
+            applied: allocs("applied")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_event(epoch: u64) -> TraceEvent {
+        TraceEvent {
+            epoch,
+            time_ns: 200_000_000 * (epoch + 1),
+            phase: TracePhase::Exploring,
+            decision: TraceDecision::Transfer,
+            retry_count: 1,
+            matching_rounds: 3,
+            unfairness: 0.173_25,
+            apps: vec![
+                AppSample {
+                    name: "fft".into(),
+                    ips: 2.13e9,
+                    slowdown: 1.31,
+                    llc_state: TraceClass::Demand,
+                    mba_state: TraceClass::Supply,
+                    miss_ratio: 0.042,
+                    llc_accesses_per_sec: 1.7e7,
+                    llc_misses_per_sec: 7.1e5,
+                },
+                AppSample {
+                    name: "stream".into(),
+                    ips: 9.4e8,
+                    slowdown: 2.05,
+                    llc_state: TraceClass::Supply,
+                    mba_state: TraceClass::Demand,
+                    miss_ratio: 0.91,
+                    llc_accesses_per_sec: 4.4e7,
+                    llc_misses_per_sec: 4.0e7,
+                },
+            ],
+            proposed: vec![
+                AllocSample {
+                    ways: 6,
+                    mba_percent: 100,
+                },
+                AllocSample {
+                    ways: 5,
+                    mba_percent: 60,
+                },
+            ],
+            applied: vec![
+                AllocSample {
+                    ways: 6,
+                    mba_percent: 100,
+                },
+                AllocSample {
+                    ways: 5,
+                    mba_percent: 60,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        for epoch in [0, 1, 7, 100_000] {
+            let event = sample_event(epoch);
+            let line = event.to_json_line();
+            assert!(!line.contains('\n'), "one line per event");
+            let parsed = TraceEvent::from_json_line(&line).unwrap();
+            assert_eq!(parsed, event);
+        }
+    }
+
+    #[test]
+    fn infinite_slowdown_survives_round_trip() {
+        let mut event = sample_event(3);
+        event.apps[0].slowdown = f64::INFINITY;
+        let parsed = TraceEvent::from_json_line(&event.to_json_line()).unwrap();
+        assert_eq!(parsed.apps[0].slowdown, f64::INFINITY);
+    }
+
+    #[test]
+    fn wire_enums_round_trip() {
+        for p in [
+            TracePhase::Profiling,
+            TracePhase::Exploring,
+            TracePhase::Idle,
+        ] {
+            assert_eq!(TracePhase::from_str(p.as_str()), Some(p));
+        }
+        for c in [TraceClass::Supply, TraceClass::Maintain, TraceClass::Demand] {
+            assert_eq!(TraceClass::from_str(c.as_str()), Some(c));
+        }
+        for d in [
+            TraceDecision::Profiled,
+            TraceDecision::Transfer,
+            TraceDecision::ThetaRetry,
+            TraceDecision::Converged,
+            TraceDecision::Monitor,
+            TraceDecision::ReExplore,
+        ] {
+            assert_eq!(TraceDecision::from_str(d.as_str()), Some(d));
+        }
+        assert_eq!(TracePhase::from_str("bogus"), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for line in [
+            "",
+            "{}",
+            "not json",
+            "{\"epoch\":1}",
+            "{\"epoch\":-1,\"time_ns\":0}",
+        ] {
+            assert!(TraceEvent::from_json_line(line).is_err(), "{line:?}");
+        }
+        // Unknown enum value.
+        let line = sample_event(0)
+            .to_json_line()
+            .replace("exploring", "warping");
+        assert!(TraceEvent::from_json_line(&line).is_err());
+    }
+}

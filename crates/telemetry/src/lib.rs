@@ -16,18 +16,44 @@
 //!
 //! The types are backend-agnostic: the simulator backend and the resctrl
 //! backend both produce [`CounterSnapshot`]s.
+//!
+//! # Observability
+//!
+//! The crate also hosts the structured observability layer the
+//! consolidation runtime threads through the stack (DESIGN.md
+//! § Observability):
+//!
+//! * [`TraceEvent`] — one control epoch's decisions and measurements,
+//! * [`Recorder`] — the pluggable sink trait, with [`NullRecorder`],
+//!   [`RingRecorder`] and [`JsonlRecorder`] implementations,
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket latency
+//!   [`Histogram`]s with a snapshot API,
+//! * [`Json`] — the dependency-free JSON value backing the JSONL trace
+//!   format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counters;
+mod event;
 mod ewma;
+pub mod json;
 mod rates;
+mod recorder;
+mod registry;
 mod window;
 
 pub use counters::{CounterDelta, CounterSnapshot};
+pub use event::{
+    AllocSample, AppSample, TraceClass, TraceDecision, TraceEvent, TraceParseError, TracePhase,
+};
 pub use ewma::Ewma;
+pub use json::{Json, JsonError};
 pub use rates::{traffic_ratio, Rates};
+pub use recorder::{
+    parse_trace, read_trace_file, JsonlRecorder, NullRecorder, Recorder, RingRecorder,
+};
+pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKET_BOUNDS_NS};
 pub use window::SlidingWindow;
 
 /// Nanoseconds per second, used when converting deltas to rates.

@@ -1,0 +1,319 @@
+//! Pluggable sinks for [`TraceEvent`]s.
+//!
+//! The consolidation runtime emits one event per control epoch through a
+//! [`Recorder`]. Three sinks cover the deployment spectrum:
+//!
+//! * [`NullRecorder`] — the default; reports itself disabled so the
+//!   runtime skips event construction entirely (the production
+//!   fast path costs one virtual call per epoch),
+//! * [`RingRecorder`] — a bounded in-memory buffer for tests and
+//!   flight-recorder style "last N epochs" debugging,
+//! * [`JsonlRecorder`] — streams each event as one JSON line to any
+//!   `io::Write` (a `BufWriter<File>` via [`JsonlRecorder::create`]),
+//!   the format the `trace_inspection` example and the experiment
+//!   harness consume.
+
+use crate::event::{TraceEvent, TraceParseError};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// A sink for per-epoch trace events.
+pub trait Recorder {
+    /// Whether the sink wants events at all. The runtime checks this
+    /// before building a [`TraceEvent`], so a disabled sink costs one
+    /// virtual call per epoch and nothing else.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one event. Implementations must not panic on I/O
+    /// problems; they report them through [`Recorder::flush`].
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes buffered output, surfacing any deferred I/O error.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything and disables event construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory, evicting the
+/// oldest on overflow.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl RingRecorder {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is 0.
+    pub fn new(capacity: usize) -> RingRecorder {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingRecorder {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, yielding retained events oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to a writer.
+///
+/// `record` cannot return errors, so write failures are counted and the
+/// first one is re-surfaced from [`Recorder::flush`].
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    out: W,
+    written: u64,
+    deferred_error: Option<io::Error>,
+}
+
+impl JsonlRecorder<BufWriter<File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlRecorder<BufWriter<File>>> {
+        Ok(JsonlRecorder::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wraps an arbitrary writer (buffer it yourself if it is raw).
+    pub fn new(out: W) -> JsonlRecorder<W> {
+        JsonlRecorder {
+            out,
+            written: 0,
+            deferred_error: None,
+        }
+    }
+
+    /// Number of events successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.deferred_error.is_some() {
+            return;
+        }
+        let line = event.to_json_line();
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.deferred_error = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// Parses a whole JSONL trace from a reader, one event per non-empty
+/// line. Stops at the first malformed line with its line number.
+pub fn parse_trace(reader: impl BufRead) -> Result<Vec<TraceEvent>, (usize, TraceParseError)> {
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| {
+            (
+                lineno + 1,
+                TraceParseError::Schema(format!("I/O error reading line: {e}")),
+            )
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TraceEvent::from_json_line(&line).map_err(|e| (lineno + 1, e))?);
+    }
+    Ok(events)
+}
+
+/// Reads a JSONL trace file written by [`JsonlRecorder`].
+pub fn read_trace_file(path: impl AsRef<Path>) -> io::Result<Vec<TraceEvent>> {
+    let file = File::open(path)?;
+    parse_trace(io::BufReader::new(file)).map_err(|(lineno, e)| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceDecision, TracePhase};
+
+    fn event(epoch: u64) -> TraceEvent {
+        TraceEvent {
+            epoch,
+            time_ns: epoch * 1000,
+            phase: TracePhase::Exploring,
+            decision: TraceDecision::Transfer,
+            retry_count: 0,
+            matching_rounds: 1,
+            unfairness: 0.1,
+            apps: Vec::new(),
+            proposed: Vec::new(),
+            applied: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(&event(0));
+        r.flush().unwrap();
+    }
+
+    #[test]
+    fn ring_keeps_order_below_capacity() {
+        let mut ring = RingRecorder::new(8);
+        for epoch in 0..5 {
+            ring.record(&event(epoch));
+        }
+        assert_eq!(ring.len(), 5);
+        let epochs: Vec<u64> = ring.events().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut ring = RingRecorder::new(3);
+        for epoch in 0..10 {
+            ring.record(&event(epoch));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        let epochs: Vec<u64> = ring.events().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![7, 8, 9], "oldest evicted first");
+        assert_eq!(
+            ring.into_events()
+                .iter()
+                .map(|e| e.epoch)
+                .collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn ring_clear_empties() {
+        let mut ring = RingRecorder::new(2);
+        ring.record(&event(1));
+        assert!(!ring.is_empty());
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingRecorder::new(0);
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines() {
+        let mut sink = JsonlRecorder::new(Vec::new());
+        for epoch in 0..4 {
+            sink.record(&event(epoch));
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.events_written(), 4);
+        let bytes = sink.into_inner();
+        let parsed = parse_trace(&bytes[..]).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[3], event(3));
+    }
+
+    #[test]
+    fn parse_trace_skips_blank_lines_and_reports_bad_ones() {
+        let good = event(0).to_json_line();
+        let text = format!("{good}\n\n{good}\n");
+        assert_eq!(parse_trace(text.as_bytes()).unwrap().len(), 2);
+        let bad = format!("{good}\nnot json\n");
+        let (lineno, _) = parse_trace(bad.as_bytes()).unwrap_err();
+        assert_eq!(lineno, 2);
+    }
+
+    #[test]
+    fn jsonl_write_errors_surface_in_flush() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::Other, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlRecorder::new(Broken);
+        sink.record(&event(0));
+        sink.record(&event(1));
+        assert_eq!(sink.events_written(), 0);
+        assert!(sink.flush().is_err());
+        // The error is consumed; a second flush succeeds.
+        assert!(sink.flush().is_ok());
+    }
+}

@@ -1,0 +1,333 @@
+//! A low-overhead metrics registry: monotonic counters, gauges, and
+//! fixed-bucket latency histograms with a [`MetricsRegistry::snapshot`]
+//! API.
+//!
+//! The consolidation runtime feeds three histograms per run —
+//! `explore_ns` (one `get_next_system_state` decision), `apply_ns` (one
+//! backend programming pass), and `epoch_ns` (one end-to-end control
+//! epoch) — plus counters for epochs, transfers, θ-retries and backend
+//! calls. Names are `&'static str` so the hot path never allocates; the
+//! registry is single-threaded by design (the runtime owns it), so no
+//! atomics are needed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Histogram bucket upper bounds in nanoseconds: 256 ns doubling up to
+/// ~8.6 s, which brackets everything from a sub-microsecond matching
+/// decision to a long profiling epoch. Samples above the last bound land
+/// in an implicit overflow bucket.
+pub const LATENCY_BUCKET_BOUNDS_NS: [u64; 25] = {
+    let mut bounds = [0u64; 25];
+    let mut i = 0;
+    while i < 25 {
+        bounds[i] = 256u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// A fixed-bucket latency histogram over [`LATENCY_BUCKET_BOUNDS_NS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn observe_ns(&mut self, ns: u64) {
+        let idx = LATENCY_BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_NS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Mean sample, in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
+    /// upper bound of the bucket containing that rank. Returns 0 when
+    /// empty; `u64::MAX` when the rank falls in the overflow bucket.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LATENCY_BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, count)`; the overflow
+    /// bucket reports `u64::MAX` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                (
+                    LATENCY_BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX),
+                    c,
+                )
+            })
+    }
+}
+
+/// Counters, gauges and histograms under `&'static str` names.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increments the named monotonic counter by 1.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments the named monotonic counter by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to an arbitrary value.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a latency sample into the named histogram.
+    pub fn observe_ns(&mut self, name: &'static str, ns: u64) {
+        self.histograms.entry(name).or_default().observe_ns(ns);
+    }
+
+    /// The named histogram, if it has ever received a sample.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(&k, &v)| (k, v)).collect(),
+            gauges: self.gauges.iter().map(|(&k, &v)| (k, v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k, v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen copy of a [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// `(name, histogram)` for every histogram.
+    pub histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value at snapshot time (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The named histogram at snapshot time.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Human-readable rendering, one metric per line, used by the CLI's
+    /// `--metrics` flag.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter {name} = {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "gauge   {name} = {v:.6}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "hist    {name}: count={} mean={} p50≤{} p99≤{} max={}",
+                h.count(),
+                fmt_ns(h.mean_ns()),
+                fmt_ns(h.quantile_ns(0.50) as f64),
+                fmt_ns(h.quantile_ns(0.99) as f64),
+                fmt_ns(h.max_ns() as f64),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("epochs");
+        m.inc("epochs");
+        m.add("epochs", 3);
+        assert_eq!(m.counter("epochs"), 5);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("u"), None);
+        m.set_gauge("u", 0.5);
+        m.set_gauge("u", 0.25);
+        assert_eq!(m.gauge("u"), Some(0.25));
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ns in [100u64, 200, 300, 100_000, 2_000_000] {
+            h.observe_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ns(), 2_000_000);
+        assert!((h.mean_ns() - 420_120.0).abs() < 1.0);
+        // Rank 3 of 5 lands on the 300ns sample, in the ≤512ns bucket.
+        assert_eq!(h.quantile_ns(0.5), 512);
+        assert!(h.quantile_ns(1.0) >= 2_000_000);
+        let total: u64 = h.buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::default();
+        h.observe_ns(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_ns(0.5), u64::MAX);
+        assert_eq!(h.buckets().next(), Some((u64::MAX, 1)));
+    }
+
+    #[test]
+    fn bucket_bounds_are_increasing() {
+        for pair in LATENCY_BUCKET_BOUNDS_NS.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert_eq!(LATENCY_BUCKET_BOUNDS_NS[0], 256);
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_copy() {
+        let mut m = MetricsRegistry::new();
+        m.inc("epochs");
+        m.observe_ns("epoch_ns", 1000);
+        let snap = m.snapshot();
+        m.inc("epochs");
+        m.observe_ns("epoch_ns", 2000);
+        assert_eq!(snap.counter("epochs"), 1);
+        assert_eq!(snap.histogram("epoch_ns").unwrap().count(), 1);
+        assert_eq!(m.counter("epochs"), 2);
+    }
+
+    #[test]
+    fn snapshot_renders_every_kind() {
+        let mut m = MetricsRegistry::new();
+        m.inc("epochs");
+        m.set_gauge("unfairness", 0.125);
+        m.observe_ns("epoch_ns", 1_500_000);
+        let text = m.snapshot().to_string();
+        assert!(text.contains("counter epochs = 1"));
+        assert!(text.contains("gauge   unfairness = 0.125000"));
+        assert!(text.contains("hist    epoch_ns: count=1"));
+    }
+}

@@ -189,135 +189,266 @@ impl Benchmark {
     pub fn spec_with_cores(self, cores: u32) -> AppSpec {
         use AccessPattern::*;
         use Benchmark::*;
-        let (ipc_peak, apki, write_fraction, mlp, phases): (f64, f64, f64, f64, Vec<(f64, AccessPattern)>) =
-            match self {
-                WaterNsquared => (
-                    1.4,
-                    5.9,
-                    0.20,
-                    2.0,
-                    vec![
-                        (0.5495, WorkingSetLoop { bytes: 7 * MB, stride: 64 }),
-                        (0.30, Zipf { bytes: 9 * MB, exponent: 1.3 }),
-                        (0.15, WorkingSetLoop { bytes: 512 * KB, stride: 64 }),
-                        // Cold/compulsory misses (Table 2: 2.58e4 misses/s).
-                        (0.0005, UniformRandom { bytes: 1 << 30 }),
-                    ],
-                ),
-                WaterSpatial => (
-                    1.35,
-                    3.8,
-                    0.20,
-                    2.0,
-                    vec![
-                        (0.578, WorkingSetLoop { bytes: 5 * MB, stride: 64 }),
-                        (0.25, Zipf { bytes: 7 * MB, exponent: 1.3 }),
-                        (0.15, WorkingSetLoop { bytes: 256 * KB, stride: 64 }),
-                        // Boundary-exchange misses (Table 2: 9.12e5 misses/s).
-                        (0.022, UniformRandom { bytes: 1 << 30 }),
-                    ],
-                ),
-                Raytrace => (
-                    1.5,
-                    3.0,
-                    0.10,
-                    2.0,
-                    vec![
-                        (0.5993, WorkingSetLoop { bytes: 3 * MB + 256 * KB, stride: 64 }),
-                        (0.30, Zipf { bytes: 5 * MB, exponent: 1.4 }),
-                        (0.10, WorkingSetLoop { bytes: 128 * KB, stride: 64 }),
-                        // Cold scene-graph misses (Table 2: 2.16e4 misses/s).
-                        (0.0007, UniformRandom { bytes: 1 << 30 }),
-                    ],
-                ),
-                OceanCp => (
-                    1.0,
-                    10.0,
-                    0.30,
-                    2.5,
-                    vec![
-                        (0.95, Stream { bytes: 128 * MB }),
-                        (0.05, WorkingSetLoop { bytes: 256 * KB, stride: 64 }),
-                    ],
-                ),
-                Cg => (
-                    0.9,
-                    41.0,
-                    0.15,
-                    10.0,
-                    vec![
-                        (0.25, Stream { bytes: 256 * MB }),
-                        (0.15, UniformRandom { bytes: 64 * MB }),
-                        (0.60, WorkingSetLoop { bytes: 3 * MB / 2, stride: 64 }),
-                    ],
-                ),
-                Ft => (
-                    1.3,
-                    4.0,
-                    0.25,
-                    2.2,
-                    vec![
-                        (0.80, Stream { bytes: 192 * MB }),
-                        (0.20, WorkingSetLoop { bytes: 512 * KB, stride: 64 }),
-                    ],
-                ),
-                Sp => (
-                    0.8,
-                    25.0,
-                    0.25,
-                    6.0,
-                    vec![
-                        (0.45, WorkingSetLoop { bytes: 9 * MB, stride: 64 }),
-                        (0.10, Zipf { bytes: 12 * MB, exponent: 1.2 }),
-                        (0.45, Stream { bytes: 128 * MB }),
-                    ],
-                ),
-                OceanNcp => (
-                    0.7,
-                    30.0,
-                    0.30,
-                    4.0,
-                    vec![
-                        (0.35, WorkingSetLoop { bytes: 6 * MB, stride: 64 }),
-                        (0.05, Zipf { bytes: 8 * MB, exponent: 1.2 }),
-                        (0.60, Stream { bytes: 192 * MB }),
-                    ],
-                ),
-                Fmm => (
-                    1.2,
-                    1.2,
-                    0.20,
-                    0.4,
-                    vec![
-                        (0.40, WorkingSetLoop { bytes: 10 * MB, stride: 64 }),
-                        (0.20, Zipf { bytes: 14 * MB, exponent: 1.1 }),
-                        (0.40, Stream { bytes: 64 * MB }),
-                    ],
-                ),
-                Swaptions => (
-                    1.8,
-                    7.1e-4,
-                    0.10,
-                    1.0,
-                    vec![
-                        (0.925, WorkingSetLoop { bytes: 64 * KB, stride: 64 }),
-                        // Rare swap-path misses (Table 2: 7.98e2 misses/s).
-                        (0.075, UniformRandom { bytes: 1 << 30 }),
-                    ],
-                ),
-                Ep => (
-                    1.6,
-                    0.055,
-                    0.10,
-                    1.0,
-                    vec![
-                        (0.675, WorkingSetLoop { bytes: 512 * KB, stride: 64 }),
-                        (0.30, Zipf { bytes: MB, exponent: 1.3 }),
-                        // Random-number table misses (Table 2: 1.79e4 misses/s).
-                        (0.025, UniformRandom { bytes: 1 << 30 }),
-                    ],
-                ),
-            };
+        let (ipc_peak, apki, write_fraction, mlp, phases): (
+            f64,
+            f64,
+            f64,
+            f64,
+            Vec<(f64, AccessPattern)>,
+        ) = match self {
+            WaterNsquared => (
+                1.4,
+                5.9,
+                0.20,
+                2.0,
+                vec![
+                    (
+                        0.5495,
+                        WorkingSetLoop {
+                            bytes: 7 * MB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.30,
+                        Zipf {
+                            bytes: 9 * MB,
+                            exponent: 1.3,
+                        },
+                    ),
+                    (
+                        0.15,
+                        WorkingSetLoop {
+                            bytes: 512 * KB,
+                            stride: 64,
+                        },
+                    ),
+                    // Cold/compulsory misses (Table 2: 2.58e4 misses/s).
+                    (0.0005, UniformRandom { bytes: 1 << 30 }),
+                ],
+            ),
+            WaterSpatial => (
+                1.35,
+                3.8,
+                0.20,
+                2.0,
+                vec![
+                    (
+                        0.578,
+                        WorkingSetLoop {
+                            bytes: 5 * MB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.25,
+                        Zipf {
+                            bytes: 7 * MB,
+                            exponent: 1.3,
+                        },
+                    ),
+                    (
+                        0.15,
+                        WorkingSetLoop {
+                            bytes: 256 * KB,
+                            stride: 64,
+                        },
+                    ),
+                    // Boundary-exchange misses (Table 2: 9.12e5 misses/s).
+                    (0.022, UniformRandom { bytes: 1 << 30 }),
+                ],
+            ),
+            Raytrace => (
+                1.5,
+                3.0,
+                0.10,
+                2.0,
+                vec![
+                    (
+                        0.5993,
+                        WorkingSetLoop {
+                            bytes: 3 * MB + 256 * KB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.30,
+                        Zipf {
+                            bytes: 5 * MB,
+                            exponent: 1.4,
+                        },
+                    ),
+                    (
+                        0.10,
+                        WorkingSetLoop {
+                            bytes: 128 * KB,
+                            stride: 64,
+                        },
+                    ),
+                    // Cold scene-graph misses (Table 2: 2.16e4 misses/s).
+                    (0.0007, UniformRandom { bytes: 1 << 30 }),
+                ],
+            ),
+            OceanCp => (
+                1.0,
+                10.0,
+                0.30,
+                2.5,
+                vec![
+                    (0.95, Stream { bytes: 128 * MB }),
+                    (
+                        0.05,
+                        WorkingSetLoop {
+                            bytes: 256 * KB,
+                            stride: 64,
+                        },
+                    ),
+                ],
+            ),
+            Cg => (
+                0.9,
+                41.0,
+                0.15,
+                10.0,
+                vec![
+                    (0.25, Stream { bytes: 256 * MB }),
+                    (0.15, UniformRandom { bytes: 64 * MB }),
+                    (
+                        0.60,
+                        WorkingSetLoop {
+                            bytes: 3 * MB / 2,
+                            stride: 64,
+                        },
+                    ),
+                ],
+            ),
+            Ft => (
+                1.3,
+                4.0,
+                0.25,
+                2.2,
+                vec![
+                    (0.80, Stream { bytes: 192 * MB }),
+                    (
+                        0.20,
+                        WorkingSetLoop {
+                            bytes: 512 * KB,
+                            stride: 64,
+                        },
+                    ),
+                ],
+            ),
+            Sp => (
+                0.8,
+                25.0,
+                0.25,
+                6.0,
+                vec![
+                    (
+                        0.45,
+                        WorkingSetLoop {
+                            bytes: 9 * MB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.10,
+                        Zipf {
+                            bytes: 12 * MB,
+                            exponent: 1.2,
+                        },
+                    ),
+                    (0.45, Stream { bytes: 128 * MB }),
+                ],
+            ),
+            OceanNcp => (
+                0.7,
+                30.0,
+                0.30,
+                4.0,
+                vec![
+                    (
+                        0.35,
+                        WorkingSetLoop {
+                            bytes: 6 * MB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.05,
+                        Zipf {
+                            bytes: 8 * MB,
+                            exponent: 1.2,
+                        },
+                    ),
+                    (0.60, Stream { bytes: 192 * MB }),
+                ],
+            ),
+            Fmm => (
+                1.2,
+                1.2,
+                0.20,
+                0.4,
+                vec![
+                    (
+                        0.40,
+                        WorkingSetLoop {
+                            bytes: 10 * MB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.20,
+                        Zipf {
+                            bytes: 14 * MB,
+                            exponent: 1.1,
+                        },
+                    ),
+                    (0.40, Stream { bytes: 64 * MB }),
+                ],
+            ),
+            Swaptions => (
+                1.8,
+                7.1e-4,
+                0.10,
+                1.0,
+                vec![
+                    (
+                        0.925,
+                        WorkingSetLoop {
+                            bytes: 64 * KB,
+                            stride: 64,
+                        },
+                    ),
+                    // Rare swap-path misses (Table 2: 7.98e2 misses/s).
+                    (0.075, UniformRandom { bytes: 1 << 30 }),
+                ],
+            ),
+            Ep => (
+                1.6,
+                0.055,
+                0.10,
+                1.0,
+                vec![
+                    (
+                        0.675,
+                        WorkingSetLoop {
+                            bytes: 512 * KB,
+                            stride: 64,
+                        },
+                    ),
+                    (
+                        0.30,
+                        Zipf {
+                            bytes: MB,
+                            exponent: 1.3,
+                        },
+                    ),
+                    // Random-number table misses (Table 2: 1.79e4 misses/s).
+                    (0.025, UniformRandom { bytes: 1 << 30 }),
+                ],
+            ),
+        };
         AppSpec {
             name: self.table2().name.to_string(),
             cores,
@@ -363,7 +494,11 @@ mod tests {
             assert!((0.0..=1.0).contains(&s.write_fraction));
             assert!(!s.phases.is_empty());
             let total_weight: f64 = s.phases.iter().map(|(w, _)| w).sum();
-            assert!((total_weight - 1.0).abs() < 1e-9, "{}: weights {total_weight}", s.name);
+            assert!(
+                (total_weight - 1.0).abs() < 1e-9,
+                "{}: weights {total_weight}",
+                s.name
+            );
         }
     }
 

@@ -32,9 +32,21 @@ pub fn memcached_spec(cores: u32) -> AppSpec {
         write_fraction: 0.15,
         mlp: 3.0,
         phases: vec![
-            (0.7, AccessPattern::Zipf { bytes: 24 * MB, exponent: 1.05 }),
+            (
+                0.7,
+                AccessPattern::Zipf {
+                    bytes: 24 * MB,
+                    exponent: 1.05,
+                },
+            ),
             (0.2, AccessPattern::UniformRandom { bytes: 96 * MB }),
-            (0.1, AccessPattern::WorkingSetLoop { bytes: 512 * KB, stride: 64 }),
+            (
+                0.1,
+                AccessPattern::WorkingSetLoop {
+                    bytes: 512 * KB,
+                    stride: 64,
+                },
+            ),
         ],
     }
 }
@@ -51,7 +63,13 @@ pub fn wordcount_spec(cores: u32) -> AppSpec {
         mlp: 8.0,
         phases: vec![
             (0.6, AccessPattern::Stream { bytes: 512 * MB }),
-            (0.4, AccessPattern::Zipf { bytes: 24 * MB, exponent: 1.1 }),
+            (
+                0.4,
+                AccessPattern::Zipf {
+                    bytes: 24 * MB,
+                    exponent: 1.1,
+                },
+            ),
         ],
     }
 }
@@ -67,7 +85,13 @@ pub fn kmeans_spec(cores: u32) -> AppSpec {
         write_fraction: 0.2,
         mlp: 6.0,
         phases: vec![
-            (0.35, AccessPattern::WorkingSetLoop { bytes: 8 * MB, stride: 64 }),
+            (
+                0.35,
+                AccessPattern::WorkingSetLoop {
+                    bytes: 8 * MB,
+                    stride: 64,
+                },
+            ),
             (0.65, AccessPattern::Stream { bytes: 256 * MB }),
         ],
     }

@@ -208,7 +208,10 @@ mod tests {
         );
 
         let m = WorkloadMix::paper_default(MixKind::Insensitive);
-        assert!(m.members.iter().all(|b| b.category() == Category::Insensitive));
+        assert!(m
+            .members
+            .iter()
+            .all(|b| b.category() == Category::Insensitive));
     }
 
     #[test]

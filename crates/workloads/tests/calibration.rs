@@ -58,7 +58,11 @@ fn table2_counter_signatures() {
             ));
         }
     }
-    assert!(failures.is_empty(), "Table 2 mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "Table 2 mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -76,7 +80,11 @@ fn categories_match_the_paper() {
             ));
         }
     }
-    assert!(failures.is_empty(), "category mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "category mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -90,8 +98,7 @@ fn llc_sensitive_way_requirements_match_section_4_1() {
         (Benchmark::Raytrace, 2),
     ];
     for (b, expected) in anchors {
-        let ways = measure::required_ways(&cfg, &b.spec(), 0.9)
-            .unwrap_or(cfg.llc_ways + 1);
+        let ways = measure::required_ways(&cfg, &b.spec(), 0.9).unwrap_or(cfg.llc_ways + 1);
         assert!(
             (ways as i64 - expected).abs() <= 1,
             "{}: needs {ways} ways for 90%, paper says {expected}",
@@ -155,7 +162,11 @@ fn llc_sensitive_benchmarks_ignore_mba() {
     // §4.1 finding 1: LLC-sensitive performance is relatively insensitive
     // to allocated memory bandwidth, even at small MBA levels.
     let cfg = cfg();
-    for b in [Benchmark::WaterNsquared, Benchmark::WaterSpatial, Benchmark::Raytrace] {
+    for b in [
+        Benchmark::WaterNsquared,
+        Benchmark::WaterSpatial,
+        Benchmark::Raytrace,
+    ] {
         let full = measure::measure_ips(&cfg, &b.spec(), cfg.llc_ways, MbaLevel::MAX);
         let throttled = measure::measure_ips(&cfg, &b.spec(), cfg.llc_ways, MbaLevel::MIN);
         let deg = (full - throttled) / full;

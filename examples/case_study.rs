@@ -51,7 +51,10 @@ fn main() {
     .expect("state applies");
     runtime.profile().expect("profiling");
 
-    let report = |runtime: &mut ConsolidationRuntime<SimBackend>, load: f64, res: &LcReservation, label: &str| {
+    let report = |runtime: &mut ConsolidationRuntime<SimBackend>,
+                  load: f64,
+                  res: &LcReservation,
+                  label: &str| {
         let before = runtime.backend_mut().read_counters(lc).expect("LC live");
         let record = (0..25)
             .map(|_| runtime.run_period().expect("period"))
@@ -90,7 +93,12 @@ fn main() {
     // re-adapts within the shrunken batch budget.
     load = 150_000.0;
     reservation = LcReservation::for_load(load);
-    apply_lc(runtime.backend_mut(), lc, &reservation, machine_cfg.llc_ways);
+    apply_lc(
+        runtime.backend_mut(),
+        lc,
+        &reservation,
+        machine_cfg.llc_ways,
+    );
     runtime
         .set_budget(batch_budget(&reservation))
         .expect("budget applies");
@@ -99,7 +107,12 @@ fn main() {
     // Load returns to normal.
     load = 75_000.0;
     reservation = LcReservation::for_load(load);
-    apply_lc(runtime.backend_mut(), lc, &reservation, machine_cfg.llc_ways);
+    apply_lc(
+        runtime.backend_mut(),
+        lc,
+        &reservation,
+        machine_cfg.llc_ways,
+    );
     runtime
         .set_budget(batch_budget(&reservation))
         .expect("budget applies");

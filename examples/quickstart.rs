@@ -59,7 +59,10 @@ fn main() {
         let (llc, mba) = app.classifier_states();
         println!(
             "  {:<16} IPS_full {:>9.3e}  LLC {:<8}  MBA {:<8}",
-            app.name, app.ips_full, llc.to_string(), mba.to_string()
+            app.name,
+            app.ips_full,
+            llc.to_string(),
+            mba.to_string()
         );
     }
 

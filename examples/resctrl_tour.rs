@@ -8,9 +8,7 @@
 //! ```
 
 use copart_core::state::{AllocationState, SystemState, WaysBudget};
-use copart_rdt::{
-    FileCounterSource, MbaLevel, RdtBackend, RdtCapabilities, ResctrlBackend,
-};
+use copart_rdt::{FileCounterSource, MbaLevel, RdtBackend, RdtCapabilities, ResctrlBackend};
 
 fn main() {
     let root = std::env::temp_dir().join(format!("copart-resctrl-tour-{}", std::process::id()));
@@ -25,12 +23,10 @@ fn main() {
         mba_min_percent: 10,
         mba_step_percent: 10,
     };
-    ResctrlBackend::<FileCounterSource>::create_mock_tree(&root, caps)
-        .expect("mock tree builds");
+    ResctrlBackend::<FileCounterSource>::create_mock_tree(&root, caps).expect("mock tree builds");
     println!("mock resctrl tree at {}", root.display());
 
-    let mut backend =
-        ResctrlBackend::mount(&root, FileCounterSource).expect("tree has info files");
+    let mut backend = ResctrlBackend::mount(&root, FileCounterSource).expect("tree has info files");
     println!("capabilities: {:?}", backend.capabilities());
 
     // One group per consolidated application, as CoPart deploys.
@@ -48,9 +44,18 @@ fn main() {
     // streamer gets throttled, the insensitive job gets the leftovers.
     let state = SystemState {
         allocs: vec![
-            AllocationState { ways: 5, mba: MbaLevel::new(100) },
-            AllocationState { ways: 4, mba: MbaLevel::new(30) },
-            AllocationState { ways: 2, mba: MbaLevel::new(100) },
+            AllocationState {
+                ways: 5,
+                mba: MbaLevel::new(100),
+            },
+            AllocationState {
+                ways: 4,
+                mba: MbaLevel::new(30),
+            },
+            AllocationState {
+                ways: 2,
+                mba: MbaLevel::new(100),
+            },
         ],
     };
     let budget = WaysBudget::full_machine(caps.llc_ways);
@@ -60,8 +65,8 @@ fn main() {
 
     println!("\nresulting schemata files:");
     for (g, name) in groups.iter().zip(["copart-wn", "copart-cg", "copart-sw"]) {
-        let schemata = std::fs::read_to_string(root.join(name).join("schemata"))
-            .expect("schemata exists");
+        let schemata =
+            std::fs::read_to_string(root.join(name).join("schemata")).expect("schemata exists");
         let (mask, level) = backend.clos_config(*g).expect("parses back");
         print!("  {name}: {schemata}");
         println!("    parsed back: mask {mask}, MBA {level}");

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate for the CoPart reproduction (see README.md).
+#
+# Runs, in order:
+#   1. the tier-1 verify from ROADMAP.md (offline release build + tests),
+#   2. rustfmt in check mode over the whole workspace,
+#   3. rustdoc with warnings denied (the workspace keeps
+#      `#![warn(missing_docs)]` satisfied on every crate).
+#
+# Everything must pass before a PR is cut. The script is std-toolchain
+# only: no network access and no external tools beyond cargo itself.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "verify: all gates passed"

@@ -118,7 +118,11 @@ fn app_termination_mid_run_redistributes_resources() {
     // from the manager (order as a real deployment would observe it).
     rt.backend_mut().remove_workload(victim).unwrap();
     rt.remove_app(victim).unwrap();
-    assert_eq!(rt.phase(), Phase::Exploring, "termination triggers re-adaptation");
+    assert_eq!(
+        rt.phase(),
+        Phase::Exploring,
+        "termination triggers re-adaptation"
+    );
 
     let records = rt.run_periods(30).unwrap();
     let last = records.last().unwrap();
@@ -152,7 +156,10 @@ fn app_launch_mid_run_triggers_reprofile() {
     assert_eq!(rt.apps().len(), 4);
     let records = rt.run_periods(20).unwrap();
     assert_eq!(records.last().unwrap().apps.len(), 4);
-    assert!(rt.apps().iter().all(|a| a.ips_full > 0.0), "everyone re-profiled");
+    assert!(
+        rt.apps().iter().all(|a| a.ips_full > 0.0),
+        "everyone re-profiled"
+    );
 }
 
 #[test]
@@ -171,12 +178,19 @@ fn abrupt_budget_revocation_keeps_states_valid() {
     rt.set_budget(tight).unwrap();
     let records = rt.run_periods(30).unwrap();
     for r in &records {
-        assert!(r.state.is_valid(&tight), "state {:?} violates budget", r.state);
+        assert!(
+            r.state.is_valid(&tight),
+            "state {:?} violates budget",
+            r.state
+        );
     }
     // Programmed masks stay inside the granted way range.
     for app in rt.apps() {
         let (mask, level) = rt.backend().machine().clos_config(app.group).unwrap();
-        assert!(mask.ways().all(|w| (7..11).contains(&w)), "mask {mask} escapes budget");
+        assert!(
+            mask.ways().all(|w| (7..11).contains(&w)),
+            "mask {mask} escapes budget"
+        );
         assert!(level <= MbaLevel::MIN);
     }
 }
@@ -217,7 +231,11 @@ fn phase_change_wakes_the_idle_manager() {
     rt.run_periods(40).unwrap();
     assert_eq!(rt.phase(), Phase::Idle, "converged before the phase change");
     let ways_before = {
-        let idx = rt.apps().iter().position(|a| a.group == chameleon_group).unwrap();
+        let idx = rt
+            .apps()
+            .iter()
+            .position(|a| a.group == chameleon_group)
+            .unwrap();
         rt.state().allocs[idx].ways
     };
 
@@ -246,7 +264,11 @@ fn phase_change_wakes_the_idle_manager() {
         }
     }
     assert!(reexplored, "drift detection should reopen exploration");
-    let idx = rt.apps().iter().position(|a| a.group == chameleon_group).unwrap();
+    let idx = rt
+        .apps()
+        .iter()
+        .position(|a| a.group == chameleon_group)
+        .unwrap();
     let ways_after = rt.state().allocs[idx].ways;
     assert!(
         ways_after > ways_before && ways_after >= 5,

@@ -58,12 +58,11 @@ impl SchemataDrivenCounters {
 impl CounterSource for SchemataDrivenCounters {
     fn read(&mut self, group_dir: &Path) -> Result<CounterSnapshot, RdtError> {
         self.calls += 1;
-        let text = std::fs::read_to_string(group_dir.join("schemata")).map_err(|e| {
-            RdtError::Io {
+        let text =
+            std::fs::read_to_string(group_dir.join("schemata")).map_err(|e| RdtError::Io {
                 path: group_dir.display().to_string(),
                 source: e,
-            }
-        })?;
+            })?;
         let schemata = Schemata::parse(&text).map_err(|message| RdtError::Parse {
             path: group_dir.display().to_string(),
             message,
@@ -80,16 +79,13 @@ impl CounterSource for SchemataDrivenCounters {
         // IPS saturates once the group holds `needed` ways; MBA throttling
         // shaves off a little.
         let ips = 1.0e9 * (ways / needed).min(1.0) * (0.8 + 0.2 * mba);
-        let entry = self
-            .state
-            .entry(group_dir.to_path_buf())
-            .or_default();
+        let entry = self.state.entry(group_dir.to_path_buf()).or_default();
         // One sampling period is ~1 ms in this test.
         entry.instructions += (ips / 1000.0) as u64;
         entry.cycles += 2_100_000;
         entry.llc_accesses += (ips / 100.0 / 1000.0) as u64;
-        entry.llc_misses += ((ways / needed).min(1.0).mul_add(-0.04, 0.05) * ips / 100.0 / 1000.0)
-            .max(0.0) as u64;
+        entry.llc_misses +=
+            ((ways / needed).min(1.0).mul_add(-0.04, 0.05) * ips / 100.0 / 1000.0).max(0.0) as u64;
         Ok(*entry)
     }
 }
@@ -105,9 +101,18 @@ fn system_states_program_schemata_files() {
 
     let state = SystemState {
         allocs: vec![
-            AllocationState { ways: 5, mba: MbaLevel::new(100) },
-            AllocationState { ways: 4, mba: MbaLevel::new(30) },
-            AllocationState { ways: 2, mba: MbaLevel::new(60) },
+            AllocationState {
+                ways: 5,
+                mba: MbaLevel::new(100),
+            },
+            AllocationState {
+                ways: 4,
+                mba: MbaLevel::new(30),
+            },
+            AllocationState {
+                ways: 2,
+                mba: MbaLevel::new(60),
+            },
         ],
     };
     let budget = WaysBudget::full_machine(11);
@@ -138,8 +143,7 @@ fn full_control_loop_over_the_filesystem() {
     let root = temp_root("loop");
     ResctrlBackend::<SchemataDrivenCounters>::create_mock_tree(&root, caps()).unwrap();
     // "hungry" saturates at 6 ways, "modest" at 2, "tiny" at 1.
-    let counters =
-        SchemataDrivenCounters::new(&[("hungry", 6.0), ("modest", 2.0), ("tiny", 1.0)]);
+    let counters = SchemataDrivenCounters::new(&[("hungry", 6.0), ("modest", 2.0), ("tiny", 1.0)]);
     let mut backend = ResctrlBackend::mount(&root, counters).unwrap();
     let hungry = backend.create_group("hungry").unwrap();
     let modest = backend.create_group("modest").unwrap();

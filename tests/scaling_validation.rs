@@ -106,7 +106,12 @@ fn sampled_and_full_caches_agree_for_stream_mixtures() {
                     stride: 64,
                 },
             ),
-            (0.5, AccessPattern::Stream { bytes: 64 * 1024 * 1024 }),
+            (
+                0.5,
+                AccessPattern::Stream {
+                    bytes: 64 * 1024 * 1024,
+                },
+            ),
         ],
     );
     for ways in [3u32, 8] {
@@ -142,5 +147,8 @@ fn way_partitioning_effects_survive_sampling() {
         (full_gain - sampled_gain).abs() / full_gain < 0.15,
         "way-count gain differs: full {full_gain:.3} vs sampled {sampled_gain:.3}"
     );
-    assert!(full_gain > 1.1, "the knee must actually exist: {full_gain:.3}");
+    assert!(
+        full_gain > 1.1,
+        "the knee must actually exist: {full_gain:.3}"
+    );
 }
