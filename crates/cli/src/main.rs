@@ -29,6 +29,11 @@ Commands:
       --trace-out <path>   write a per-epoch JSONL decision trace
                            (dynamic policies: cat-only, mba-only, copart)
       --metrics            print the runtime metrics registry after the run
+      --jobs <n>           worker threads for parallel sweeps (the ST
+                           offline search); also COPART_JOBS env var
+  trace-check      Validate a JSONL decision trace (parses, gapless
+                   epochs, monotone time) — the CI smoke gate
+      --path <file> [--min-events <n>]
   classify         Probe one benchmark's sensitivity class
       --bench <WN|WS|RT|OC|CG|FT|SP|ON|FMM|SW|EP>
   resctrl-status   Show groups and schemata of a resctrl tree
@@ -57,6 +62,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "sim-run" => sim_cmd::sim_run(&opts),
+        "trace-check" => sim_cmd::trace_check(&opts),
         "classify" => sim_cmd::classify(&opts),
         "resctrl-status" => resctrl_cmd::status(&opts),
         "resctrl-apply" => resctrl_cmd::apply(&opts),

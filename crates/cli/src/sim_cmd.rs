@@ -51,6 +51,13 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
     if seconds <= 0.0 {
         return Err("--seconds must be positive".into());
     }
+    // Worker count for the parallel sweeps (the ST offline search).
+    if let Some(jobs) = opts.get("jobs") {
+        match jobs.parse::<usize>() {
+            Ok(n) if n > 0 => copart_parallel::set_jobs(Some(n)),
+            _ => return Err(format!("option --jobs: cannot parse {jobs:?}")),
+        }
+    }
 
     let machine = MachineConfig::xeon_gold_6130();
     let mix = WorkloadMix::build(mix_kind, n_apps, machine.n_cores);
@@ -122,6 +129,52 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
     for (spec, slowdown) in specs.iter().zip(&r.slowdowns) {
         println!("  {:<16} slowdown {slowdown:.3}", spec.name);
     }
+    Ok(())
+}
+
+/// `copart trace-check`: validate a JSONL decision trace — it must
+/// parse, epoch numbers must be gapless from 0, and time must never
+/// rewind (the invariants `tests/trace_observability.rs` asserts on
+/// in-process runs, here for trace files any run wrote). The CI smoke
+/// job points this at the traces `sim-run` and `repro fig12` emit.
+pub fn trace_check(opts: &Options) -> Result<(), String> {
+    let path = opts.required("path")?;
+    let min_events: usize = opts.number("min-events", 1usize)?;
+    let events = copart_telemetry::read_trace_file(path)
+        .map_err(|e| format!("{path}: trace does not parse: {e}"))?;
+    if events.len() < min_events {
+        return Err(format!(
+            "{path}: only {} events, expected at least {min_events}",
+            events.len()
+        ));
+    }
+    for (i, e) in events.iter().enumerate() {
+        if e.epoch != i as u64 {
+            return Err(format!(
+                "{path}: event {i} has epoch {} — epoch numbers must be gapless from 0",
+                e.epoch
+            ));
+        }
+    }
+    for (i, pair) in events.windows(2).enumerate() {
+        if pair[1].time_ns < pair[0].time_ns {
+            return Err(format!(
+                "{path}: time rewinds at event {} ({} -> {} ns)",
+                i + 1,
+                pair[0].time_ns,
+                pair[1].time_ns
+            ));
+        }
+    }
+    let profiled = events
+        .iter()
+        .filter(|e| e.decision == copart_telemetry::TraceDecision::Profiled)
+        .count();
+    println!(
+        "{path}: OK — {} events, epochs 0..{} gapless, {profiled} profiling probes",
+        events.len(),
+        events.len().saturating_sub(1),
+    );
     Ok(())
 }
 

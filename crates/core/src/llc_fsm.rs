@@ -250,7 +250,7 @@ mod tests {
     /// sweep of the observation space.
     #[test]
     fn update_is_total_and_deterministic() {
-        let mut rng = copart_rng::XorShift64Star::seed_from_u64(0x11C_F5);
+        let mut rng = copart_rng::XorShift64Star::seed_from_u64(0x0001_1CF5);
         for _ in 0..500 {
             let initial = STATES[rng.gen_range(0..3usize)];
             let perf = rng.gen_range(-1.0..1.0);

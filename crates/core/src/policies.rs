@@ -254,6 +254,30 @@ pub fn evaluate_static_state(
     )
 }
 
+/// [`evaluate_static_state`] over a whole batch of states, fanned out on
+/// the [`copart_parallel`] pool (`--jobs` / `COPART_JOBS` workers).
+/// Every state runs on its own fresh machine, so the results — returned
+/// in input order — are identical at every job count.
+pub fn evaluate_static_states(
+    machine_cfg: &MachineConfig,
+    specs: &[AppSpec],
+    ips_full_solo: &[f64],
+    states: &[SystemState],
+    opts: &EvalOptions,
+) -> Vec<EvalResult> {
+    copart_parallel::par_map_indexed(states, 1, |_, state| {
+        run_static(
+            machine_cfg,
+            specs,
+            ips_full_solo,
+            state,
+            false,
+            PolicyKind::Static,
+            opts,
+        )
+    })
+}
+
 /// The EQ state: even way split, equal-share MBA level.
 pub fn equal_state(n: usize, budget: &WaysBudget) -> SystemState {
     SystemState::equal_split(n, budget, SystemState::equal_mba_level(n))
@@ -577,10 +601,17 @@ pub fn utility_state(
     }
 }
 
-/// The ST policy's offline search: evaluates the equal split, a
-/// sensitivity-guided split, and a population of random valid states on
-/// short fresh runs, returning the state with the lowest measured
-/// unfairness (the paper's "extensive offline experiments", §6.1).
+/// The ST policy's offline search: evaluates the equal split and a
+/// population of random valid states on short fresh runs, returning the
+/// state with the lowest measured unfairness (the paper's "extensive
+/// offline experiments", §6.1).
+///
+/// The search is the workspace's hottest enumeration loop, so the
+/// candidate probes fan out on the [`copart_parallel`] pool. Candidate
+/// *i* is generated from its own [`copart_parallel::task_rng`] stream
+/// seeded by `(opts.seed, i)` — never from a generator advanced by other
+/// candidates — and ties break toward the lower candidate index, so the
+/// chosen state is byte-identical at every `--jobs` setting.
 pub fn static_search(
     machine_cfg: &MachineConfig,
     specs: &[AppSpec],
@@ -589,33 +620,42 @@ pub fn static_search(
     opts: &EvalOptions,
 ) -> SystemState {
     let n = specs.len();
-    let mut rng = XorShift64Star::seed_from_u64(opts.seed ^ 0x57A7_1C5E);
-    let mut candidates = vec![equal_state(n, budget)];
-    for _ in 0..opts.static_candidates {
-        candidates.push(random_state(n, budget, &mut rng));
-    }
+    // Candidate 0 is the equal split; 1..=static_candidates are random
+    // valid states, each from an index-seeded stream.
+    let candidates: Vec<SystemState> = std::iter::once(equal_state(n, budget))
+        .chain((0..opts.static_candidates).map(|i| {
+            let mut rng = copart_parallel::task_rng(opts.seed ^ 0x57A7_1C5E, u64::from(i));
+            random_state(n, budget, &mut rng)
+        }))
+        .collect();
 
     let probe_opts = EvalOptions {
         total_periods: opts.static_probe_periods,
         measure_periods: (opts.static_probe_periods / 2).max(1),
         ..*opts
     };
-    let mut best: Option<(f64, SystemState)> = None;
-    for cand in candidates {
-        let res = run_static(
+    let probed = copart_parallel::par_map_indexed(&candidates, 1, |_, cand| {
+        run_static(
             machine_cfg,
             specs,
             ips_full_solo,
-            &cand,
+            cand,
             false,
             PolicyKind::Static,
             &probe_opts,
-        );
-        if best.as_ref().is_none_or(|(u, _)| res.unfairness < *u) {
-            best = Some((res.unfairness, cand));
+        )
+        .unfairness
+    });
+    // Strictly-lower-wins over the in-order results: the earliest of
+    // equally good candidates is chosen, exactly as the serial loop did.
+    let mut best: Option<(f64, usize)> = None;
+    for (i, &unfairness) in probed.iter().enumerate() {
+        if best.is_none_or(|(u, _)| unfairness < u) {
+            best = Some((unfairness, i));
         }
     }
-    best.expect("at least the equal split was evaluated").1
+    let (_, winner) = best.expect("at least the equal split was evaluated");
+    candidates.into_iter().nth(winner).expect("index in range")
 }
 
 /// A uniformly random valid state: random composition of the budget ways

@@ -19,24 +19,39 @@ fn run_variants(title: &str, variants: &[(&str, CoPartParams)]) {
     header.extend(variants.iter().map(|(n, _)| *n));
     let mut t = Table::new(&header);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for kind in KINDS {
-        let mix = WorkloadMix::paper_default(kind);
-        let specs = mix.specs();
-        let full = ctx.solo_full(&specs);
-        let mut cells = vec![kind.label().to_string()];
-        for (i, (_, params)) in variants.iter().enumerate() {
-            let r = policies::evaluate_copart_with_params(
-                &ctx.machine,
-                &specs,
-                &full,
-                &ctx.stream,
-                params,
-                &opts,
-            );
-            series[i].push(r.unfairness.max(1e-6));
-            cells.push(f3(r.unfairness));
+    // Fan the (mix × variant) cells out on the parallel pool.
+    let mixes: Vec<WorkloadMix> = KINDS
+        .iter()
+        .map(|&k| WorkloadMix::paper_default(k))
+        .collect();
+    for mix in &mixes {
+        ctx.prewarm(&mix.specs());
+    }
+    let cells: Vec<(usize, usize)> = (0..KINDS.len())
+        .flat_map(|ki| (0..variants.len()).map(move |vi| (ki, vi)))
+        .collect();
+    let ctx_ref = &ctx;
+    let unf = copart_parallel::par_map_indexed(&cells, 1, |_, &(ki, vi)| {
+        let specs = mixes[ki].specs();
+        let full = ctx_ref.solo_full_shared(&specs);
+        policies::evaluate_copart_with_params(
+            &ctx_ref.machine,
+            &specs,
+            &full,
+            &ctx_ref.stream,
+            &variants[vi].1,
+            &opts,
+        )
+        .unfairness
+    });
+    for (ki, kind) in KINDS.iter().enumerate() {
+        let mut cells_row = vec![kind.label().to_string()];
+        for (vi, s) in series.iter_mut().enumerate() {
+            let u = unf[ki * variants.len() + vi];
+            s.push(u.max(1e-6));
+            cells_row.push(f3(u));
         }
-        t.row(cells);
+        t.row(cells_row);
     }
     let mut cells = vec!["geomean".to_string()];
     for s in &series {
@@ -166,18 +181,31 @@ pub fn utility() {
     println!("(absolute unfairness; lower is better)\n");
     let mut t = Table::new(&["mix", "EQ", "Utility", "CoPart"]);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for kind in KINDS {
-        let mix = WorkloadMix::paper_default(kind);
-        let mut cells = vec![kind.label().to_string()];
-        for (i, p) in [PolicyKind::Equal, PolicyKind::Utility, PolicyKind::CoPart]
-            .into_iter()
-            .enumerate()
-        {
-            let r = ctx.run_policy(&mix, p, &opts);
-            series[i].push(r.unfairness.max(1e-6));
-            cells.push(f3(r.unfairness));
+    const POLICIES: [PolicyKind; 3] = [PolicyKind::Equal, PolicyKind::Utility, PolicyKind::CoPart];
+    let mixes: Vec<WorkloadMix> = KINDS
+        .iter()
+        .map(|&k| WorkloadMix::paper_default(k))
+        .collect();
+    for mix in &mixes {
+        ctx.prewarm(&mix.specs());
+    }
+    let cells: Vec<(usize, usize)> = (0..KINDS.len())
+        .flat_map(|ki| (0..POLICIES.len()).map(move |pi| (ki, pi)))
+        .collect();
+    let ctx_ref = &ctx;
+    let unf = copart_parallel::par_map_indexed(&cells, 1, |_, &(ki, pi)| {
+        ctx_ref
+            .run_policy_shared(&mixes[ki], POLICIES[pi], &opts)
+            .unfairness
+    });
+    for (ki, kind) in KINDS.iter().enumerate() {
+        let mut row = vec![kind.label().to_string()];
+        for (pi, s) in series.iter_mut().enumerate() {
+            let u = unf[ki * POLICIES.len() + pi];
+            s.push(u.max(1e-6));
+            row.push(f3(u));
         }
-        t.row(cells);
+        t.row(row);
     }
     let mut cells = vec!["geomean".to_string()];
     for s in &series {

@@ -48,45 +48,79 @@ impl Context {
 
     /// Solo full-resource IPS for each spec (memoized).
     pub fn solo_full(&mut self, specs: &[AppSpec]) -> Vec<f64> {
+        self.prewarm(specs);
+        self.solo_full_shared(specs)
+    }
+
+    /// Fills the solo-IPS cache for `specs`, measuring the misses on the
+    /// parallel pool (each spec solo run is independent). Parallel cell
+    /// fan-out calls this first so the shared-`&self` lookups below hit.
+    pub fn prewarm(&mut self, specs: &[AppSpec]) {
+        let missing: Vec<AppSpec> = {
+            let mut seen = std::collections::HashSet::new();
+            specs
+                .iter()
+                .filter(|s| {
+                    !self.solo_cache.contains_key(&(s.name.clone(), s.cores))
+                        && seen.insert((s.name.clone(), s.cores))
+                })
+                .cloned()
+                .collect()
+        };
+        let machine = &self.machine;
+        let measured = copart_parallel::par_map_indexed(&missing, 1, |_, s| {
+            copart_workloads::measure::measure_full(machine, s).0
+        });
+        for (s, v) in missing.into_iter().zip(measured) {
+            self.solo_cache.insert((s.name, s.cores), v);
+        }
+    }
+
+    /// Cache-only variant of [`Context::solo_full`] for use from worker
+    /// threads: a miss is measured on the spot but *not* memoized (the
+    /// cache is not shared mutable state across the pool).
+    pub fn solo_full_shared(&self, specs: &[AppSpec]) -> Vec<f64> {
         specs
             .iter()
             .map(|s| {
-                let key = (s.name.clone(), s.cores);
-                if let Some(&v) = self.solo_cache.get(&key) {
-                    return v;
-                }
-                let v = copart_workloads::measure::measure_full(&self.machine, s).0;
-                self.solo_cache.insert(key, v);
-                v
+                self.solo_cache
+                    .get(&(s.name.clone(), s.cores))
+                    .copied()
+                    .unwrap_or_else(|| copart_workloads::measure::measure_full(&self.machine, s).0)
             })
             .collect()
     }
 
-    /// Runs one `(mix, policy)` evaluation cell.
-    pub fn run_policy(
-        &mut self,
+    /// Runs one `(mix, policy)` evaluation cell through `&self`, for
+    /// cells fanned out on the parallel pool. Callers
+    /// [`Context::prewarm`] the mix's specs first so the solo lookups
+    /// are cache hits.
+    pub fn run_policy_shared(
+        &self,
         mix: &WorkloadMix,
         policy: PolicyKind,
         opts: &EvalOptions,
     ) -> EvalResult {
         let specs = mix.specs();
-        let full = self.solo_full(&specs);
+        let full = self.solo_full_shared(&specs);
         policies::evaluate_policy(&self.machine, &specs, &full, &self.stream, policy, opts)
     }
 
-    /// Like [`Context::run_policy`], but records a per-epoch JSONL
-    /// decision trace as `<trace_dir()>/<trace_name>.jsonl`. Only valid
-    /// for the dynamic policies (CAT-only, MBA-only, CoPart); the
-    /// static ones run no controller and emit no epochs.
-    pub fn run_policy_traced(
-        &mut self,
+    /// Like [`Context::run_policy_shared`], but records a per-epoch
+    /// JSONL decision trace as `<trace_dir()>/<trace_name>.jsonl`. Only
+    /// valid for the dynamic policies (CAT-only, MBA-only, CoPart); the
+    /// static ones run no controller and emit no epochs. Each cell
+    /// writes its own trace file, so concurrent cells never interleave
+    /// within one JSONL.
+    pub fn run_policy_traced_shared(
+        &self,
         mix: &WorkloadMix,
         policy: PolicyKind,
         opts: &EvalOptions,
         trace_name: &str,
     ) -> EvalResult {
         let specs = mix.specs();
-        let full = self.solo_full(&specs);
+        let full = self.solo_full_shared(&specs);
         let recorder = trace_sink(trace_name);
         let (result, mut recorder, _metrics) = policies::evaluate_policy_traced(
             &self.machine,
@@ -103,41 +137,46 @@ impl Context {
         result
     }
 
-    /// Unfairness of every evaluated policy on a mix, as
-    /// `(policy, unfairness, throughput)` rows.
-    pub fn policy_row(
+    /// The full `(mix × policy)` evaluation grid, fanned out cell-by-cell
+    /// on the parallel pool: one row per entry of `kinds`, each row the
+    /// five evaluated policies in plot order. Every cell runs on a fresh
+    /// simulated machine from an explicit seed, so the grid is identical
+    /// at every `--jobs` setting; with `trace_prefix`, each CoPart cell
+    /// writes its own `<prefix>_<mix>.jsonl` decision trace.
+    pub fn policy_grid(
         &mut self,
-        kind: MixKind,
-        n_apps: usize,
-        opts: &EvalOptions,
-    ) -> Vec<(PolicyKind, EvalResult)> {
-        self.policy_row_traced(kind, n_apps, opts, None)
-    }
-
-    /// [`Context::policy_row`] with optional tracing: when
-    /// `trace_prefix` is given, the CoPart cell writes its decision
-    /// trace to `<trace_dir()>/<prefix>_<mix>.jsonl`.
-    pub fn policy_row_traced(
-        &mut self,
-        kind: MixKind,
+        kinds: &[MixKind],
         n_apps: usize,
         opts: &EvalOptions,
         trace_prefix: Option<&str>,
-    ) -> Vec<(PolicyKind, EvalResult)> {
-        let mix = WorkloadMix::build(kind, n_apps, self.machine.n_cores);
-        PolicyKind::evaluated()
-            .into_iter()
-            .map(|p| {
-                let r = match trace_prefix {
-                    Some(prefix) if p == PolicyKind::CoPart => {
-                        let name = format!("{prefix}_{}", kind.label().to_lowercase());
-                        self.run_policy_traced(&mix, p, opts, &name)
-                    }
-                    _ => self.run_policy(&mix, p, opts),
-                };
-                (p, r)
-            })
-            .collect()
+    ) -> Vec<Vec<(PolicyKind, EvalResult)>> {
+        let mixes: Vec<WorkloadMix> = kinds
+            .iter()
+            .map(|&k| WorkloadMix::build(k, n_apps, self.machine.n_cores))
+            .collect();
+        for mix in &mixes {
+            self.prewarm(&mix.specs());
+        }
+        let cells: Vec<(usize, PolicyKind)> = (0..mixes.len())
+            .flat_map(|mi| PolicyKind::evaluated().into_iter().map(move |p| (mi, p)))
+            .collect();
+        let ctx = &*self;
+        let results = copart_parallel::par_map_indexed(&cells, 1, |_, &(mi, p)| {
+            let mix = &mixes[mi];
+            match trace_prefix {
+                Some(prefix) if p == PolicyKind::CoPart => {
+                    let name = format!("{prefix}_{}", kinds[mi].label().to_lowercase());
+                    ctx.run_policy_traced_shared(mix, p, opts, &name)
+                }
+                _ => ctx.run_policy_shared(mix, p, opts),
+            }
+        });
+        let mut rows: Vec<Vec<(PolicyKind, EvalResult)>> =
+            kinds.iter().map(|_| Vec::new()).collect();
+        for (&(mi, p), r) in cells.iter().zip(results) {
+            rows[mi].push((p, r));
+        }
+        rows
     }
 }
 
@@ -174,10 +213,28 @@ impl Default for Context {
     }
 }
 
+/// Whether `REPRO_FAST` asks for shrunk runs (any value but empty/`0`):
+/// the CI smoke mode, trading statistical weight for minutes.
+pub fn fast_mode() -> bool {
+    std::env::var("REPRO_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Default evaluation lengths used by the figure harnesses (~30 s of
-/// virtual time per run at the 200 ms period).
+/// virtual time per run at the 200 ms period). Under [`fast_mode`]
+/// every run is shrunk to smoke-test length — trends survive, absolute
+/// numbers lose precision.
 pub fn default_opts() -> EvalOptions {
-    EvalOptions::default()
+    if fast_mode() {
+        EvalOptions {
+            total_periods: 40,
+            measure_periods: 20,
+            static_candidates: 8,
+            static_probe_periods: 6,
+            ..EvalOptions::default()
+        }
+    } else {
+        EvalOptions::default()
+    }
 }
 
 /// Renders an aligned plain-text table.

@@ -68,15 +68,12 @@ fn run_heatmap(title: &str, kind: MixKind) {
         baseline.unfairness
     );
 
-    print!("{:<18}", "LLC \\ MBA");
-    for mba in &MBA_SETTINGS {
-        print!("  {:<18}", format!("{mba:?}"));
-    }
-    println!();
-    for llc in &LLC_SETTINGS {
-        print!("{:<18}", format!("{llc:?}"));
-        for mba in &MBA_SETTINGS {
-            let state = SystemState {
+    // All tiles of the heatmap run as one batch on the parallel pool,
+    // row-major, and print after the fan-out returns them in order.
+    let states: Vec<SystemState> = LLC_SETTINGS
+        .iter()
+        .flat_map(|llc| {
+            MBA_SETTINGS.iter().map(|mba| SystemState {
                 allocs: llc
                     .iter()
                     .zip(mba)
@@ -85,8 +82,19 @@ fn run_heatmap(title: &str, kind: MixKind) {
                         mba: MbaLevel::new(pct),
                     })
                     .collect(),
-            };
-            let r = policies::evaluate_static_state(&ctx.machine, &specs, &full, &state, &opts);
+            })
+        })
+        .collect();
+    let tiles = policies::evaluate_static_states(&ctx.machine, &specs, &full, &states, &opts);
+
+    print!("{:<18}", "LLC \\ MBA");
+    for mba in &MBA_SETTINGS {
+        print!("  {:<18}", format!("{mba:?}"));
+    }
+    println!();
+    for (row, llc) in LLC_SETTINGS.iter().enumerate() {
+        print!("{:<18}", format!("{llc:?}"));
+        for r in &tiles[row * MBA_SETTINGS.len()..(row + 1) * MBA_SETTINGS.len()] {
             print!("  {:<18.3}", r.unfairness / base_unfairness);
         }
         println!();

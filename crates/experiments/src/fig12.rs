@@ -30,10 +30,13 @@ pub fn fig12() {
     // Per-policy normalized unfairness collected for the geomean column.
     let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
 
-    for kind in MixKind::all() {
-        // The CoPart cell also drops its per-epoch decision trace as
-        // results/fig12_<mix>.jsonl (see common::trace_dir).
-        let results = ctx.policy_row_traced(kind, 4, &opts, Some("fig12"));
+    // All 7 mixes × 5 policies fan out as one grid on the parallel
+    // pool (--jobs / COPART_JOBS); the CoPart cells drop their
+    // per-epoch decision traces as results/fig12_<mix>.jsonl (see
+    // common::trace_dir).
+    let kinds: Vec<MixKind> = MixKind::all().into_iter().collect();
+    let grid = ctx.policy_grid(&kinds, 4, &opts, Some("fig12"));
+    for (kind, results) in kinds.iter().copied().zip(grid) {
         let eq_unfairness = results
             .iter()
             .find(|(p, _)| *p == PolicyKind::Equal)

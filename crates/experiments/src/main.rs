@@ -45,10 +45,38 @@ Ablations (design choices of DESIGN.md section 6):
   compare-utility UCP/dCat-style utility partitioning vs CoPart
 
   all             Run everything (slow)
+
+Options:
+  --jobs N        Worker threads for the sweep fan-out (also COPART_JOBS;
+                  default: the machine's available parallelism)
+
+Environment:
+  COPART_JOBS     Same as --jobs (the flag wins)
+  REPRO_FAST      Non-empty/non-zero: shrink every run to smoke length
+  REPRO_TRACE_DIR Where JSONL decision traces land (default: results/)
+  REPRO_CSV_DIR   Also write each table as CSV under this directory
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global `--jobs N` (anywhere on the line): worker count for the
+    // parallel sweep engine.
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        let Some(value) = args.get(pos + 1) else {
+            eprintln!("error: --jobs needs a value\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => copart_parallel::set_jobs(Some(n)),
+            _ => {
+                eprintln!("error: --jobs: cannot parse {value:?} (want a positive integer)\n");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
     let Some(cmd) = args.first() else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;

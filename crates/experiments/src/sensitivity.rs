@@ -24,28 +24,38 @@ pub fn fig11() {
     let sweep = |label: &str,
                  values: &[f64],
                  default_value: f64,
-                 make: &dyn Fn(f64) -> CoPartParams,
+                 make: &(dyn Fn(f64) -> CoPartParams + Sync),
                  ctx: &mut Context| {
-        let mut unf = Vec::new();
-        for &v in values {
-            let params = make(v);
-            let mut per_mix = Vec::new();
-            for kind in kinds {
-                let mix = WorkloadMix::paper_default(kind);
-                let specs = mix.specs();
-                let full = ctx.solo_full(&specs);
-                let r = copart_core::policies::evaluate_copart_with_params(
-                    &ctx.machine,
-                    &specs,
-                    &full,
-                    &ctx.stream,
-                    &params,
-                    &opts,
-                );
-                per_mix.push(r.unfairness.max(1e-6));
-            }
-            unf.push(geomean(&per_mix));
+        // Every (value × mix) cell is an independent run from an
+        // explicit seed: fan the whole sweep out on the parallel pool.
+        let mixes: Vec<WorkloadMix> = kinds
+            .iter()
+            .map(|&k| WorkloadMix::paper_default(k))
+            .collect();
+        for mix in &mixes {
+            ctx.prewarm(&mix.specs());
         }
+        let cells: Vec<(usize, usize)> = (0..values.len())
+            .flat_map(|vi| (0..mixes.len()).map(move |mi| (vi, mi)))
+            .collect();
+        let ctx_ref = &*ctx;
+        let per_cell = copart_parallel::par_map_indexed(&cells, 1, |_, &(vi, mi)| {
+            let params = make(values[vi]);
+            let specs = mixes[mi].specs();
+            let full = ctx_ref.solo_full_shared(&specs);
+            let r = copart_core::policies::evaluate_copart_with_params(
+                &ctx_ref.machine,
+                &specs,
+                &full,
+                &ctx_ref.stream,
+                &params,
+                &opts,
+            );
+            r.unfairness.max(1e-6)
+        });
+        let unf: Vec<f64> = (0..values.len())
+            .map(|vi| geomean(&per_cell[vi * mixes.len()..(vi + 1) * mixes.len()]))
+            .collect();
         let default_idx = values
             .iter()
             .position(|&v| (v - default_value).abs() < 1e-12)
@@ -122,10 +132,10 @@ fn count_sweep(
     let opts = default_opts();
     let policies = PolicyKind::evaluated();
     let mut t = Table::new(&["apps", "EQ", "ST", "CAT-only", "MBA-only", "CoPart"]);
+    let kinds: Vec<MixKind> = MixKind::all().into_iter().collect();
     for n in 3..=6usize {
         let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-        for kind in MixKind::all() {
-            let results = ctx.policy_row(kind, n, &opts);
+        for results in ctx.policy_grid(&kinds, n, &opts, None) {
             let eq = metric(
                 &results
                     .iter()
@@ -163,11 +173,11 @@ pub fn fig14() {
     let opts = default_opts();
     let policies = PolicyKind::evaluated();
     let mut t = Table::new(&["ways", "EQ", "ST", "CAT-only", "MBA-only", "CoPart"]);
+    let kinds: Vec<MixKind> = MixKind::all().into_iter().collect();
     for ways in 7..=11u32 {
         let mut ctx = Context::with_ways(ways);
         let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-        for kind in MixKind::all() {
-            let results = ctx.policy_row(kind, 4, &opts);
+        for results in ctx.policy_grid(&kinds, 4, &opts, None) {
             let eq = results
                 .iter()
                 .find(|(p, _)| *p == PolicyKind::Equal)

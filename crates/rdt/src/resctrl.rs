@@ -622,7 +622,7 @@ mod proptests {
             '-', '%', 'ÿ', '☃',
         ];
         for _ in 0..500 {
-            let len = rng.gen_range(0..120usize.max(1));
+            let len = rng.gen_range(0..120usize);
             let text: String = (0..len)
                 .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
                 .collect();

@@ -42,7 +42,7 @@ impl TracePhase {
     }
 
     /// Parses a wire name produced by [`TracePhase::as_str`].
-    pub fn from_str(s: &str) -> Option<TracePhase> {
+    pub fn from_wire(s: &str) -> Option<TracePhase> {
         match s {
             "profiling" => Some(TracePhase::Profiling),
             "exploring" => Some(TracePhase::Exploring),
@@ -74,7 +74,7 @@ impl TraceClass {
     }
 
     /// Parses a wire name produced by [`TraceClass::as_str`].
-    pub fn from_str(s: &str) -> Option<TraceClass> {
+    pub fn from_wire(s: &str) -> Option<TraceClass> {
         match s {
             "supply" => Some(TraceClass::Supply),
             "maintain" => Some(TraceClass::Maintain),
@@ -118,7 +118,7 @@ impl TraceDecision {
     }
 
     /// Parses a wire name produced by [`TraceDecision::as_str`].
-    pub fn from_str(s: &str) -> Option<TraceDecision> {
+    pub fn from_wire(s: &str) -> Option<TraceDecision> {
         match s {
             "profiled" => Some(TraceDecision::Profiled),
             "transfer" => Some(TraceDecision::Transfer),
@@ -328,10 +328,10 @@ impl TraceEvent {
     pub fn from_json_line(line: &str) -> Result<TraceEvent, TraceParseError> {
         let v = Json::parse(line)?;
         let phase = str_field(&v, "phase")?;
-        let phase = TracePhase::from_str(phase)
+        let phase = TracePhase::from_wire(phase)
             .ok_or_else(|| TraceParseError::Schema(format!("unknown phase '{phase}'")))?;
         let decision = str_field(&v, "decision")?;
-        let decision = TraceDecision::from_str(decision)
+        let decision = TraceDecision::from_wire(decision)
             .ok_or_else(|| TraceParseError::Schema(format!("unknown decision '{decision}'")))?;
         let apps = field(&v, "apps")?
             .as_arr()
@@ -340,7 +340,7 @@ impl TraceEvent {
             .map(|a| -> Result<AppSample, TraceParseError> {
                 let class = |key: &str| -> Result<TraceClass, TraceParseError> {
                     let s = str_field(a, key)?;
-                    TraceClass::from_str(s).ok_or_else(|| {
+                    TraceClass::from_wire(s).ok_or_else(|| {
                         TraceParseError::Schema(format!("unknown class '{s}' in '{key}'"))
                     })
                 };
@@ -476,10 +476,10 @@ mod tests {
             TracePhase::Exploring,
             TracePhase::Idle,
         ] {
-            assert_eq!(TracePhase::from_str(p.as_str()), Some(p));
+            assert_eq!(TracePhase::from_wire(p.as_str()), Some(p));
         }
         for c in [TraceClass::Supply, TraceClass::Maintain, TraceClass::Demand] {
-            assert_eq!(TraceClass::from_str(c.as_str()), Some(c));
+            assert_eq!(TraceClass::from_wire(c.as_str()), Some(c));
         }
         for d in [
             TraceDecision::Profiled,
@@ -489,9 +489,9 @@ mod tests {
             TraceDecision::Monitor,
             TraceDecision::ReExplore,
         ] {
-            assert_eq!(TraceDecision::from_str(d.as_str()), Some(d));
+            assert_eq!(TraceDecision::from_wire(d.as_str()), Some(d));
         }
-        assert_eq!(TracePhase::from_str("bogus"), None);
+        assert_eq!(TracePhase::from_wire("bogus"), None);
     }
 
     #[test]

@@ -302,7 +302,7 @@ mod tests {
         struct Broken;
         impl Write for Broken {
             fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
-                Err(io::Error::new(io::ErrorKind::Other, "disk full"))
+                Err(io::Error::other("disk full"))
             }
             fn flush(&mut self) -> io::Result<()> {
                 Ok(())

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI smoke gate: drive the built binaries end-to-end on a tiny
+# configuration and validate the JSONL decision traces they emit
+# (parse, gapless epochs, monotone time — `copart trace-check`).
+#
+#   1. `copart sim-run` with a short CoPart consolidation + --trace-out,
+#   2. `repro fig12` under REPRO_FAST=1 (shrunk EvalOptions) at --jobs 2,
+#   3. `copart trace-check` over every trace the two produced.
+#
+# Usage: smoke.sh [debug|release]   (default release, matching CI)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-release}"
+bindir="target/$profile"
+build_flags=(-p copart-cli -p copart-experiments)
+if [[ "$profile" == release ]]; then
+    build_flags+=(--release)
+fi
+cargo build "${build_flags[@]}"
+
+smokedir="$(mktemp -d "${TMPDIR:-/tmp}/copart-smoke.XXXXXX")"
+trap 'rm -rf "$smokedir"' EXIT
+
+echo "==> smoke: copart sim-run (copart policy, 10 virtual seconds)"
+"$bindir/copart" sim-run --mix h-both --policy copart --apps 4 \
+    --seconds 10 --jobs 2 --trace-out "$smokedir/sim_run.jsonl"
+
+echo "==> smoke: repro fig12 (REPRO_FAST, --jobs 2)"
+REPRO_FAST=1 REPRO_TRACE_DIR="$smokedir" "$bindir/repro" fig12 --jobs 2
+
+echo "==> smoke: trace-check over every emitted trace"
+shopt -s nullglob
+traces=("$smokedir"/*.jsonl)
+if ((${#traces[@]} < 2)); then
+    echo "smoke: expected sim-run + fig12 traces, found ${#traces[@]}" >&2
+    exit 1
+fi
+for trace in "${traces[@]}"; do
+    "$bindir/copart" trace-check --path "$trace" --min-events 1
+done
+
+echo "smoke: all ${#traces[@]} traces check out"

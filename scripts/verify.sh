@@ -1,28 +1,54 @@
 #!/usr/bin/env bash
 # Pre-PR gate for the CoPart reproduction (see README.md).
 #
-# Runs, in order:
-#   1. the tier-1 verify from ROADMAP.md (offline release build + tests),
-#   2. rustfmt in check mode over the whole workspace,
-#   3. rustdoc with warnings denied (the workspace keeps
-#      `#![warn(missing_docs)]` satisfied on every crate).
+# Two modes:
+#   verify.sh quick   fast inner-loop gate: debug tests + rustfmt + clippy.
+#                     One debug build of the workspace, nothing else.
+#   verify.sh [full]  everything a PR must pass: release build, release
+#                     tests (sharing the release cache with the build —
+#                     no debug/release double compile), rustfmt, clippy,
+#                     and rustdoc with warnings denied (the workspace
+#                     keeps `#![warn(missing_docs)]` satisfied on every
+#                     crate).
 #
-# Everything must pass before a PR is cut. The script is std-toolchain
-# only: no network access and no external tools beyond cargo itself.
+# The script is std-toolchain only: no network access and no external
+# tools beyond cargo itself.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier-1: cargo build --release"
-cargo build --release
+mode="${1:-full}"
+case "$mode" in
+quick)
+    echo "==> cargo test -q (debug)"
+    cargo test -q --workspace
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+    echo "==> cargo clippy (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+    ;;
+full)
+    echo "==> tier-1: cargo build --release"
+    cargo build --workspace --release
 
-echo "==> cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+    echo "==> tier-1: cargo test -q --release"
+    cargo test -q --workspace --release
 
-echo "verify: all gates passed"
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+
+    echo "==> cargo clippy (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "==> cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+    ;;
+*)
+    echo "usage: $0 [quick|full]" >&2
+    exit 2
+    ;;
+esac
+
+echo "verify ($mode): all gates passed"

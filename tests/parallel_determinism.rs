@@ -1,0 +1,130 @@
+//! The parallel sweep engine's determinism contract, end to end: the
+//! ST offline search and a Figure 12-style traced sweep must produce
+//! byte-identical results at `--jobs 1` and `--jobs 8`.
+//!
+//! Both tests drive the *global* job knob (`copart_parallel::set_jobs`),
+//! so they serialize on a process-wide lock — the cargo test harness
+//! runs tests in this binary concurrently otherwise.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use copart_core::policies::{
+    self, evaluate_policy_traced, static_search, EvalOptions, EvalResult, PolicyKind,
+};
+use copart_core::state::WaysBudget;
+use copart_sim::MachineConfig;
+use copart_telemetry::JsonlRecorder;
+use copart_workloads::stream::StreamReference;
+use copart_workloads::{MixKind, WorkloadMix};
+
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the global worker count pinned to `jobs`, restoring
+/// the default afterwards even if `f` panics midway.
+fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            copart_parallel::set_jobs(None);
+        }
+    }
+    let _reset = Reset;
+    copart_parallel::set_jobs(Some(jobs));
+    f()
+}
+
+/// Short search options — the contract is exact equality, so the probe
+/// lengths only need to be long enough to exercise the parallel paths.
+fn short_opts() -> EvalOptions {
+    EvalOptions {
+        total_periods: 40,
+        measure_periods: 20,
+        static_candidates: 8,
+        static_probe_periods: 6,
+        ..EvalOptions::default()
+    }
+}
+
+#[test]
+fn static_search_identical_at_1_and_8_jobs() {
+    let machine = MachineConfig::xeon_gold_6130();
+    let specs = WorkloadMix::paper_default(MixKind::HighBoth).specs();
+    let full = policies::solo_full_ips(&machine, &specs);
+    let budget = WaysBudget::full_machine(machine.llc_ways);
+    let opts = short_opts();
+
+    let serial = with_jobs(1, || static_search(&machine, &specs, &full, &budget, &opts));
+    let parallel = with_jobs(8, || static_search(&machine, &specs, &full, &budget, &opts));
+    assert_eq!(
+        serial, parallel,
+        "static_search must choose the same state at --jobs 1 and --jobs 8"
+    );
+}
+
+/// One fig12-style cell: a traced CoPart consolidation on `kind`,
+/// writing its JSONL decision trace to `path`.
+fn traced_cell(kind: MixKind, path: &std::path::Path, opts: &EvalOptions) -> EvalResult {
+    let machine = MachineConfig::xeon_gold_6130();
+    let mix = WorkloadMix::paper_default(kind);
+    let specs = mix.specs();
+    let full = policies::solo_full_ips(&machine, &specs);
+    let stream = StreamReference::compute(&machine, 4);
+    let recorder = Box::new(JsonlRecorder::create(path).expect("create trace file"));
+    let (result, mut recorder, _snapshot) = evaluate_policy_traced(
+        &machine,
+        &specs,
+        &full,
+        &stream,
+        PolicyKind::CoPart,
+        opts,
+        recorder,
+    );
+    recorder.flush().expect("flush trace");
+    result
+}
+
+#[test]
+fn fig12_sweep_traces_identical_at_1_and_8_jobs() {
+    let kinds = [MixKind::HighLlc, MixKind::HighBw, MixKind::HighBoth];
+    let opts = short_opts();
+    let dir = std::env::temp_dir().join(format!("copart-par-det-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let run = |jobs: usize| -> (Vec<EvalResult>, Vec<PathBuf>) {
+        let paths: Vec<PathBuf> = kinds
+            .iter()
+            .map(|k| dir.join(format!("fig12_{}_j{jobs}.jsonl", k.label())))
+            .collect();
+        let results = with_jobs(jobs, || {
+            copart_parallel::par_map(&kinds, |&kind| {
+                let i = kinds.iter().position(|&k| k == kind).unwrap();
+                traced_cell(kind, &paths[i], &opts)
+            })
+        });
+        (results, paths)
+    };
+
+    let (serial_results, serial_paths) = run(1);
+    let (parallel_results, parallel_paths) = run(8);
+
+    assert_eq!(
+        serial_results, parallel_results,
+        "fig12 sweep results must match between --jobs 1 and --jobs 8"
+    );
+    for (a, b) in serial_paths.iter().zip(&parallel_paths) {
+        let bytes_a = fs::read(a).expect("read serial trace");
+        let bytes_b = fs::read(b).expect("read parallel trace");
+        assert!(!bytes_a.is_empty(), "trace {} is empty", a.display());
+        assert_eq!(
+            bytes_a,
+            bytes_b,
+            "JSONL traces diverge between job counts: {} vs {}",
+            a.display(),
+            b.display()
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
