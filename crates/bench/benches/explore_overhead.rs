@@ -87,6 +87,7 @@ fn epoch_runtime(
         manage_mba: true,
         budget: WaysBudget::full_machine(machine_cfg.llc_ways),
         stream: stream.clone(),
+        resilience: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(backend, named, cfg).expect("state applies");
     rt.set_recorder(recorder);

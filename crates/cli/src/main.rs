@@ -31,6 +31,10 @@ Commands:
       --metrics            print the runtime metrics registry after the run
       --jobs <n>           worker threads for parallel sweeps (the ST
                            offline search); also COPART_JOBS env var
+      --faults <spec>      inject deterministic backend faults (dynamic
+                           policies only), e.g. seed=7,write=0.1,dropout=0.05
+                           keys: seed, dropout, cbm, mba, write, vanish,
+                           stall; values: probability, 1/<n>, or off
   trace-check      Validate a JSONL decision trace (parses, gapless
                    epochs, monotone time) — the CI smoke gate
       --path <file> [--min-events <n>]

@@ -1,7 +1,10 @@
 //! Simulator-backed commands: `sim-run` and `classify`.
 
 use copart_core::policies::{self, EvalOptions, PolicyKind};
-use copart_sim::MachineConfig;
+use copart_core::runtime::ConsolidationRuntime;
+use copart_faults::{FaultPlan, FaultyBackend};
+use copart_rdt::{ClosId, RdtBackend, SimBackend};
+use copart_sim::{AppSpec, Machine, MachineConfig};
 use copart_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{measure, Benchmark, MixKind, WorkloadMix};
@@ -84,11 +87,31 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
 
     let trace_out = opts.get("trace-out");
     let want_metrics = opts.flag("metrics");
-    let r = if trace_out.is_some() || want_metrics {
-        if !matches!(
+    let faults = opts
+        .get("faults")
+        .map(|spec| FaultPlan::parse(spec).map_err(|e| format!("option --faults: {e}")))
+        .transpose()?;
+    let dynamic = matches!(
+        policy,
+        PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+    );
+    let r = if let Some(plan) = faults {
+        if !dynamic {
+            return Err("--faults needs a dynamic policy (cat-only, mba-only, copart)".into());
+        }
+        run_faulty(
+            &machine,
+            &specs,
+            &full,
+            &stream,
             policy,
-            PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
-        ) {
+            &eval,
+            plan,
+            trace_out,
+            want_metrics,
+        )?
+    } else if trace_out.is_some() || want_metrics {
+        if !dynamic {
             return Err(
                 "--trace-out/--metrics need a dynamic policy (cat-only, mba-only, copart)".into(),
             );
@@ -130,6 +153,94 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
         println!("  {:<16} slowdown {slowdown:.3}", spec.name);
     }
     Ok(())
+}
+
+/// The `--faults` variant of the traced evaluation: the same dynamic
+/// policy and controller configuration, but with the simulator wrapped
+/// in `copart-faults`' deterministic injector. Ground truth reads go
+/// through [`FaultyBackend::inner_mut`] so the fairness measurement
+/// stays exact even when the controller's own view is degraded.
+#[allow(clippy::too_many_arguments)]
+fn run_faulty(
+    machine: &MachineConfig,
+    specs: &[AppSpec],
+    full: &[f64],
+    stream: &StreamReference,
+    policy: PolicyKind,
+    eval: &EvalOptions,
+    plan: FaultPlan,
+    trace_out: Option<&str>,
+    want_metrics: bool,
+) -> Result<policies::EvalResult, String> {
+    let params = copart_core::CoPartParams {
+        seed: eval.seed,
+        ..copart_core::CoPartParams::default()
+    };
+    let mut backend = SimBackend::new(Machine::new(machine.clone()));
+    let named: Vec<(ClosId, String)> = specs
+        .iter()
+        .map(|s| {
+            let g = backend
+                .add_workload(s.clone())
+                .expect("mix fits the machine");
+            (g, s.name.clone())
+        })
+        .collect();
+    let groups: Vec<ClosId> = named.iter().map(|(g, _)| *g).collect();
+    let cfg = policies::dynamic_runtime_config(machine, specs.len(), stream, policy, &params);
+    let faulty = FaultyBackend::new(backend, plan);
+    let mut runtime = ConsolidationRuntime::new(faulty, named, cfg)
+        .map_err(|e| format!("initial partition apply failed under faults: {e}"))?;
+    let recorder: Box<dyn Recorder> = match trace_out {
+        Some(path) => {
+            Box::new(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        }
+        None => Box::new(NullRecorder),
+    };
+    runtime.set_recorder(recorder);
+    // A vanished group or a run of busy writes outlasting the bounded
+    // retries aborts a whole profiling pass; give it a few passes.
+    let mut profiled = false;
+    for attempt in 1..=5 {
+        match runtime.profile() {
+            Ok(()) => {
+                profiled = true;
+                break;
+            }
+            Err(e) => eprintln!("profiling attempt {attempt} failed under faults: {e}; retrying"),
+        }
+    }
+    if !profiled {
+        return Err("profiling did not survive the fault plan (5 attempts)".into());
+    }
+    let (r, mut runtime) =
+        policies::evaluate_runtime_traced(runtime, &groups, full, policy, eval, |b, g| {
+            b.inner_mut().read_counters(g).expect("group is live")
+        })
+        .map_err(|e| format!("consolidation run failed under faults: {e}"))?;
+    let snapshot = runtime.metrics_snapshot();
+    let stats = runtime.backend().stats();
+    let mut recorder = runtime.set_recorder(Box::new(NullRecorder));
+    recorder
+        .flush()
+        .map_err(|e| format!("flushing trace: {e}"))?;
+    if let Some(path) = trace_out {
+        eprintln!("trace written to {path}");
+    }
+    eprintln!(
+        "faults injected: {} (dropouts {}, CAT writes {}, MBA writes {}, vanishes {}, clock stalls {})",
+        stats.total(),
+        stats.dropouts,
+        stats.cbm_write_faults,
+        stats.mba_write_faults,
+        stats.vanishes,
+        stats.clock_stalls
+    );
+    if want_metrics {
+        println!("\nmetrics:");
+        print!("{snapshot}");
+    }
+    Ok(r)
 }
 
 /// `copart trace-check`: validate a JSONL decision trace — it must

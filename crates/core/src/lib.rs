@@ -39,5 +39,5 @@ pub mod state;
 pub use fsm::{AppState, ResourceEvent};
 pub use metrics::{geomean, unfairness};
 pub use params::CoPartParams;
-pub use runtime::{ConsolidationRuntime, ManagedApp, PeriodRecord, Phase};
+pub use runtime::{ConsolidationRuntime, ManagedApp, PeriodRecord, Phase, ResilienceConfig};
 pub use state::{AllocationState, SystemState, WaysBudget};

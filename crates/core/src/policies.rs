@@ -368,16 +368,40 @@ fn build_runtime(
     params: &CoPartParams,
 ) -> (ConsolidationRuntime<SimBackend>, Vec<ClosId>) {
     let (backend, groups) = build_backend(machine_cfg, specs);
-    let n = specs.len();
+    let cfg = dynamic_runtime_config(machine_cfg, specs.len(), stream, policy, params);
+    let named: Vec<(ClosId, String)> = groups
+        .iter()
+        .zip(specs)
+        .map(|(g, s)| (*g, s.name.clone()))
+        .collect();
+    let runtime = ConsolidationRuntime::new(backend, named, cfg).expect("initial state applies");
+    (runtime, groups)
+}
+
+/// The [`RuntimeConfig`] a dynamic policy (CAT-only / MBA-only / CoPart)
+/// runs with. Public so harnesses that build the backend themselves —
+/// e.g. to wrap it in a fault-injecting decorator — run the *same*
+/// controller configuration the standard traced evaluation uses.
+///
+/// # Panics
+///
+/// Panics when `policy` is not CAT-only / MBA-only / CoPart.
+pub fn dynamic_runtime_config(
+    machine_cfg: &MachineConfig,
+    n_apps: usize,
+    stream: &StreamReference,
+    policy: PolicyKind,
+    params: &CoPartParams,
+) -> RuntimeConfig {
     let (manage_llc, manage_mba, mba_cap) = match policy {
         // CAT-only: MBA pinned at the equal share (the budget cap makes
         // the fixed level both the initial and the maximum value).
-        PolicyKind::CatOnly => (true, false, SystemState::equal_mba_level(n)),
+        PolicyKind::CatOnly => (true, false, SystemState::equal_mba_level(n_apps)),
         PolicyKind::MbaOnly => (false, true, MbaLevel::MAX),
         PolicyKind::CoPart => (true, true, MbaLevel::MAX),
-        _ => unreachable!("static policies handled elsewhere"),
+        _ => panic!("static policies do not build a runtime"),
     };
-    let cfg = RuntimeConfig {
+    RuntimeConfig {
         params: params.clone(),
         manage_llc,
         manage_mba,
@@ -387,14 +411,8 @@ fn build_runtime(
             mba_cap,
         },
         stream: stream.clone(),
-    };
-    let named: Vec<(ClosId, String)> = groups
-        .iter()
-        .zip(specs)
-        .map(|(g, s)| (*g, s.name.clone()))
-        .collect();
-    let runtime = ConsolidationRuntime::new(backend, named, cfg).expect("initial state applies");
-    (runtime, groups)
+        resilience: crate::runtime::ResilienceConfig::default(),
+    }
 }
 
 /// Runs a dynamic policy exactly like [`evaluate_policy`], but with a
@@ -441,30 +459,61 @@ pub fn evaluate_policy_traced(
 /// Measures ground truth while the runtime adapts each period. Hands the
 /// runtime back so callers can recover its recorder and metrics.
 fn measure_run_runtime(
-    mut runtime: ConsolidationRuntime<SimBackend>,
+    runtime: ConsolidationRuntime<SimBackend>,
     groups: &[ClosId],
     ips_full_solo: &[f64],
     policy: PolicyKind,
     opts: &EvalOptions,
 ) -> (EvalResult, ConsolidationRuntime<SimBackend>) {
+    evaluate_runtime_traced(runtime, groups, ips_full_solo, policy, opts, |b, g| {
+        b.read_counters(g).expect("group is live")
+    })
+    .expect("simulator periods cannot fail")
+}
+
+/// Measures ground truth over an externally built (already profiled)
+/// runtime on *any* backend, adapting each period exactly like
+/// [`evaluate_policy_traced`] does.
+///
+/// `ground_truth` reads one group's cumulative counters for the fairness
+/// measurement. It is separate from the runtime's own sampling so a
+/// decorated backend (e.g. `copart-faults`' fault injector) can route
+/// the measurement past the decoration to the inner simulator — ground
+/// truth must stay fault-free even when the controller's view is not.
+///
+/// # Errors
+///
+/// Propagates the first [`copart_rdt::RdtError`] a period fails with
+/// (with the hardened runtime that is only a failed platform `advance`).
+pub fn evaluate_runtime_traced<B: RdtBackend>(
+    mut runtime: ConsolidationRuntime<B>,
+    groups: &[ClosId],
+    ips_full_solo: &[f64],
+    policy: PolicyKind,
+    opts: &EvalOptions,
+    mut ground_truth: impl FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot,
+) -> Result<(EvalResult, ConsolidationRuntime<B>), copart_rdt::RdtError> {
     let mut timeline = Vec::with_capacity(opts.total_periods as usize);
-    let mut prev = read_all(runtime.backend_mut(), groups);
+    let read = |rt: &mut ConsolidationRuntime<B>,
+                gt: &mut dyn FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot|
+     -> Snapshots { groups.iter().map(|&g| gt(rt.backend_mut(), g)).collect() };
+    let mut prev = read(&mut runtime, &mut ground_truth);
     let mut measure_start = None;
     for k in 0..opts.total_periods {
-        runtime.run_period().expect("simulator periods cannot fail");
-        let now = read_all(runtime.backend_mut(), groups);
+        runtime.run_period()?;
+        let now = read(&mut runtime, &mut ground_truth);
         timeline.push(period_unfairness(&prev, &now, ips_full_solo));
         prev = now.clone();
         if k + opts.measure_periods == opts.total_periods {
             measure_start = Some(now);
         }
     }
-    let end = read_all(runtime.backend_mut(), groups);
+    let end = read(&mut runtime, &mut ground_truth);
     let start = measure_start.unwrap_or(end.clone());
-    (
+    Ok((
         finish(policy, &start, &end, ips_full_solo, timeline),
         runtime,
-    )
+    ))
 }
 
 /// Measures ground truth over a statically-configured backend.

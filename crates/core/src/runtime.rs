@@ -15,14 +15,14 @@
 //! 3. **Idle** (§5.4.3) — monitoring only; membership or budget changes
 //!    (and sustained unfairness drift) trigger re-adaptation.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use copart_rng::XorShift64Star;
 
 use copart_rdt::{ClosId, MbaLevel, RdtBackend, RdtError};
 use copart_telemetry::{
-    AllocSample, AppSample, MetricsRegistry, MetricsSnapshot, NullRecorder, Rates, Recorder,
-    SlidingWindow, TraceClass, TraceDecision, TraceEvent, TracePhase,
+    AllocSample, AppSample, Ewma, FaultSample, MetricsRegistry, MetricsSnapshot, NullRecorder,
+    Rates, Recorder, SlidingWindow, TraceClass, TraceDecision, TraceEvent, TracePhase,
 };
 use copart_workloads::stream::StreamReference;
 
@@ -45,6 +45,61 @@ pub enum Phase {
     Idle,
 }
 
+/// Smoothing weight for the degraded-mode rate estimates. Biased toward
+/// recent samples: the estimate is only consulted while counters are
+/// unavailable, so it should track the latest behaviour, not the whole
+/// run's average.
+const DEGRADED_EWMA_ALPHA: f64 = 0.3;
+
+/// EWMA'd copies of an application's per-epoch rates.
+///
+/// When a counter read drops out the runtime cannot measure this epoch,
+/// but it still owes the trace (and any consumer of the period record) a
+/// plausible per-application sample. These smoothers bridge the gap: they
+/// are fed every successfully measured epoch and consulted only on
+/// dropouts.
+#[derive(Debug)]
+struct RatesEwma {
+    ips: Ewma,
+    accesses: Ewma,
+    misses: Ewma,
+    miss_ratio: Ewma,
+}
+
+impl RatesEwma {
+    fn new() -> RatesEwma {
+        RatesEwma {
+            ips: Ewma::new(DEGRADED_EWMA_ALPHA),
+            accesses: Ewma::new(DEGRADED_EWMA_ALPHA),
+            misses: Ewma::new(DEGRADED_EWMA_ALPHA),
+            miss_ratio: Ewma::new(DEGRADED_EWMA_ALPHA),
+        }
+    }
+
+    fn update(&mut self, r: &Rates) {
+        self.ips.update(r.ips);
+        self.accesses.update(r.llc_accesses_per_sec);
+        self.misses.update(r.llc_misses_per_sec);
+        self.miss_ratio.update(r.miss_ratio);
+    }
+
+    fn rates(&self) -> Option<Rates> {
+        Some(Rates {
+            ips: self.ips.value()?,
+            llc_accesses_per_sec: self.accesses.value()?,
+            llc_misses_per_sec: self.misses.value()?,
+            miss_ratio: self.miss_ratio.value()?,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.ips.reset();
+        self.accesses.reset();
+        self.misses.reset();
+        self.miss_ratio.reset();
+    }
+}
+
 /// One consolidated application under management.
 #[derive(Debug)]
 pub struct ManagedApp {
@@ -65,6 +120,7 @@ pub struct ManagedApp {
     prev_ips: f64,
     last_ips: f64,
     last_events: AppliedEvents,
+    ewma: RatesEwma,
 }
 
 impl ManagedApp {
@@ -80,6 +136,7 @@ impl ManagedApp {
             prev_ips: 0.0,
             last_ips: 0.0,
             last_events: AppliedEvents::default(),
+            ewma: RatesEwma::new(),
         }
     }
 
@@ -129,6 +186,33 @@ pub struct PeriodRecord {
     pub unfairness: f64,
 }
 
+/// Bounded retry-with-backoff policy for transient backend failures.
+///
+/// On a real server a schemata write can race another resctrl user and
+/// come back `EBUSY` ([`RdtError::Busy`]); such failures are expected to
+/// clear within a write or two. The runtime retries them up to
+/// `max_write_attempts` total attempts, backing off exponentially from
+/// `retry_backoff` between attempts. The backoff is spent through
+/// [`RdtBackend::advance`], so it is virtual time on the simulator and a
+/// real sleep on hardware.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Total attempts per backend write, including the first
+    /// (1 disables retrying).
+    pub max_write_attempts: u32,
+    /// Backoff before the first retry; doubled on each further retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            max_write_attempts: 4,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
 /// Configuration of a consolidation run.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -142,6 +226,32 @@ pub struct RuntimeConfig {
     pub budget: WaysBudget,
     /// STREAM reference miss rates per MBA level (§5.3).
     pub stream: StreamReference,
+    /// Retry/backoff policy for transient backend failures.
+    pub resilience: ResilienceConfig,
+}
+
+/// Runs `op`, retrying transient ([`RdtError::is_transient`]) failures
+/// with exponential backoff per `resilience`. Each retry is counted into
+/// `retries`. Backoff-advance failures are ignored: the backoff is best
+/// effort, the retried write is what matters.
+fn retry_transient<B: RdtBackend, T>(
+    backend: &mut B,
+    resilience: &ResilienceConfig,
+    retries: &mut u32,
+    mut op: impl FnMut(&mut B) -> Result<T, RdtError>,
+) -> Result<T, RdtError> {
+    let mut attempt = 1u32;
+    loop {
+        match op(backend) {
+            Err(e) if e.is_transient() && attempt < resilience.max_write_attempts.max(1) => {
+                *retries += 1;
+                let backoff = resilience.retry_backoff * 2u32.saturating_pow(attempt - 1);
+                let _ = backend.advance(backoff);
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 /// The CoPart resource manager.
@@ -180,7 +290,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// Panics when `groups` is empty or the budget cannot give every
     /// application a way.
     pub fn new(
-        mut backend: B,
+        backend: B,
         groups: Vec<(ClosId, String)>,
         cfg: RuntimeConfig,
     ) -> Result<Self, RdtError> {
@@ -191,10 +301,8 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             .map(|(g, name)| ManagedApp::new(g, name))
             .collect();
         let state = SystemState::equal_split(apps.len(), &cfg.budget, cfg.budget.mba_cap);
-        let group_ids: Vec<ClosId> = apps.iter().map(|a| a.group).collect();
-        state.apply(&mut backend, &group_ids, &cfg.budget)?;
         let rng = XorShift64Star::seed_from_u64(cfg.params.seed);
-        Ok(ConsolidationRuntime {
+        let mut runtime = ConsolidationRuntime {
             backend,
             apps,
             cfg,
@@ -207,7 +315,17 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             epoch: 0,
             recorder: Box::new(NullRecorder),
             metrics: MetricsRegistry::new(),
-        })
+        };
+        // The retry-aware path, so a transiently busy backend does not
+        // fail construction.
+        let mut retries = 0u32;
+        runtime.apply_with_retry(&mut retries)?;
+        if retries > 0 {
+            runtime
+                .metrics
+                .add("fault_write_retries", u64::from(retries));
+        }
+        Ok(runtime)
     }
 
     /// The backend (e.g. to inspect simulator ground truth).
@@ -296,14 +414,23 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
 
     /// Measures average IPS (and access rate / miss ratio / miss rate) of
     /// one application over `periods` periods, discarding the first.
-    fn probe(&mut self, idx: usize, periods: u32) -> Result<(f64, f64, f64, f64), RdtError> {
+    /// Transient counter dropouts are retried (profiling has no previous
+    /// estimate to fall back on); persistent failures propagate.
+    fn probe(
+        &mut self,
+        idx: usize,
+        periods: u32,
+        retries: &mut u32,
+    ) -> Result<(f64, f64, f64, f64), RdtError> {
         let period = self.cfg.params.period;
+        let res = self.cfg.resilience.clone();
+        let group = self.apps[idx].group;
         self.backend.advance(period)?; // Settle.
-        let start = self.backend.read_counters(self.apps[idx].group)?;
+        let start = retry_transient(&mut self.backend, &res, retries, |b| b.read_counters(group))?;
         for _ in 0..periods.max(1) {
             self.backend.advance(period)?;
         }
-        let end = self.backend.read_counters(self.apps[idx].group)?;
+        let end = retry_transient(&mut self.backend, &res, retries, |b| b.read_counters(group))?;
         let rates = end
             .delta_since(&start)
             .and_then(|d| d.rates())
@@ -323,9 +450,12 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     ///
     /// # Errors
     ///
-    /// Propagates backend failures; the phase can be retried.
+    /// Propagates backend failures (transient ones are first retried per
+    /// the [`ResilienceConfig`]); the phase can be retried.
     pub fn profile(&mut self) -> Result<(), RdtError> {
         let p = self.cfg.params.clone();
+        let res = self.cfg.resilience.clone();
+        let mut retries = 0u32;
         let budget = self.cfg.budget;
         let machine_ways = self.backend.capabilities().llc_ways;
         let full_mask =
@@ -337,7 +467,6 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             machine_ways,
         )
         .expect("budget fits the machine");
-        let group_ids = self.group_ids();
 
         for i in 0..self.apps.len() {
             let group = self.apps[i].group;
@@ -347,23 +476,31 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             // Probing *after* a full-mask stint would let stale lines in
             // other CLOSes' ways keep serving hits (CAT restricts
             // allocation, not lookup), masking the app's LLC sensitivity.
-            self.backend.set_cbm(group, probe_mask)?;
-            self.backend.set_mba(group, budget.mba_cap)?;
+            retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                b.set_cbm(group, probe_mask)
+            })?;
+            retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                b.set_mba(group, budget.mba_cap)
+            })?;
             let (ips_llc, probe_access_rate, probe_miss_ratio, _) =
-                self.probe(i, p.profile_periods)?;
+                self.probe(i, p.profile_periods, &mut retries)?;
 
             // Full resources: IPS_full (the app's mask may overlap the
             // others' during the probe, exactly as CAT allows).
-            self.backend.set_cbm(group, full_mask)?;
-            let (ips_full, _, _, miss_rate) = self.probe(i, p.profile_periods)?;
+            retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                b.set_cbm(group, full_mask)
+            })?;
+            let (ips_full, _, _, miss_rate) = self.probe(i, p.profile_periods, &mut retries)?;
 
             // Bandwidth probe: (L, M_P).
             let probe_level = MbaLevel::new(p.profile_mba_percent).min(budget.mba_cap);
-            self.backend.set_mba(group, probe_level)?;
-            let (ips_mba, _, _, _) = self.probe(i, p.profile_periods)?;
+            retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                b.set_mba(group, probe_level)
+            })?;
+            let (ips_mba, _, _, _) = self.probe(i, p.profile_periods, &mut retries)?;
 
             // Restore the shared equal-split allocation for this app.
-            self.state.apply(&mut self.backend, &group_ids, &budget)?;
+            self.apply_with_retry(&mut retries)?;
 
             let deg = |x: f64| {
                 if ips_full > 0.0 {
@@ -401,6 +538,15 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             app.mba_fsm.reset(mba_initial);
             app.window.clear();
             app.last_events = AppliedEvents::default();
+            // Seed the degraded-mode estimate so even a first-epoch
+            // dropout has something to bridge with.
+            app.ewma.reset();
+            app.ewma.update(&Rates {
+                ips: ips_full,
+                llc_accesses_per_sec: probe_access_rate,
+                llc_misses_per_sec: miss_rate,
+                miss_ratio: probe_miss_ratio,
+            });
 
             self.metrics.inc("apps_profiled");
             if self.recorder.enabled() {
@@ -427,11 +573,15 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                     0.0,
                     vec![sample],
                     Vec::new(),
+                    None,
                 );
             }
             self.epoch += 1;
         }
 
+        if retries > 0 {
+            self.metrics.add("fault_write_retries", u64::from(retries));
+        }
         self.phase = Phase::Exploring;
         self.retry_count = 0;
         self.best_seen = None;
@@ -442,19 +592,24 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// update classifiers and slowdowns, and (in the exploration phase)
     /// apply Algorithm 1's next step.
     ///
-    /// Per-application counter failures are tolerated: the application
-    /// keeps its previous estimates for the period (a counter dropout must
-    /// not crash the resource manager). Backend `advance` failures
-    /// propagate.
+    /// Per-application counter failures are tolerated: the application is
+    /// marked *degraded* for the period — its classifier FSMs and slowdown
+    /// estimate hold their previous values and the trace shows its EWMA'd
+    /// rates (a counter dropout must not crash the resource manager).
+    /// Transient schemata write failures are retried with backoff; a
+    /// persistently failing partition apply is rolled back to the previous
+    /// partition (never left half-applied) and the exploration simply
+    /// continues from the old state next period. Backend `advance`
+    /// failures propagate.
     ///
     /// # Errors
     ///
-    /// Fails when the platform cannot advance or a new state cannot be
-    /// applied.
+    /// Fails only when the platform cannot advance.
     pub fn run_period(&mut self) -> Result<PeriodRecord, RdtError> {
         let t_epoch = Instant::now();
         let tracing = self.recorder.enabled();
         let p = self.cfg.params.clone();
+        let mut fault = FaultSample::new();
         self.backend.advance(p.period)?;
 
         // Sample counters and build observations.
@@ -464,13 +619,19 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         for (i, app) in self.apps.iter_mut().enumerate() {
             let mba_level = self.state.allocs[i].mba;
             let snapshot = self.backend.read_counters(app.group);
-            let rates = match snapshot {
+            let (rates, dropped) = match snapshot {
                 Ok(s) => {
                     app.window.push(s);
-                    app.window.last_rates()
+                    (app.window.last_rates(), false)
                 }
-                Err(_) => None, // Dropout: hold previous estimates.
+                // Dropout (or a momentarily vanished group): degrade —
+                // hold the previous estimates for one period.
+                Err(_) => (None, true),
             };
+            if dropped {
+                self.metrics.inc("fault_counter_dropouts");
+                fault.degraded.push(app.name.clone());
+            }
             if let Some(r) = rates {
                 let perf_delta = if app.prev_ips > 0.0 {
                     (r.ips - app.prev_ips) / app.prev_ips
@@ -496,6 +657,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 app.mba_fsm.update(&p, &mba_obs);
                 app.prev_ips = app.last_ips;
                 app.last_ips = r.ips;
+                app.ewma.update(&r);
             }
             app.last_events = AppliedEvents::default();
             classifications.push(AppClassification {
@@ -513,14 +675,25 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 mba_state: app.mba_fsm.state(),
             });
             if tracing {
+                // A degraded app is traced with its smoothed estimate; an
+                // app that merely lacks two samples (startup, clock stall)
+                // is traced as zero-rates, exactly as before.
+                let shown = match rates {
+                    Some(r) => r,
+                    None if dropped => app.ewma.rates().unwrap_or_default(),
+                    None => Rates::default(),
+                };
                 trace_apps.push(AppSample::from_rates(
                     &app.name,
                     app.slowdown(),
                     trace_class(app.llc_fsm.state()),
                     trace_class(app.mba_fsm.state()),
-                    &rates.unwrap_or_default(),
+                    &shown,
                 ));
             }
+        }
+        if !fault.degraded.is_empty() {
+            self.metrics.inc("degraded_epochs");
         }
 
         let slowdowns: Vec<f64> = classifications.iter().map(|c| c.slowdown).collect();
@@ -576,13 +749,15 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                     proposed = alloc_samples(&outcome.state);
                 }
                 if outcome.changed {
-                    self.state = outcome.state;
-                    self.apply_state()?;
-                    for (app, ev) in self.apps.iter_mut().zip(outcome.events) {
-                        app.last_events = ev;
+                    // A rolled-back apply leaves the old state in force;
+                    // classifiers simply propose again next period.
+                    if self.apply_state_txn(outcome.state, &mut fault) {
+                        for (app, ev) in self.apps.iter_mut().zip(outcome.events) {
+                            app.last_events = ev;
+                        }
+                        self.retry_count = 0;
+                        self.metrics.inc("transfers");
                     }
-                    self.retry_count = 0;
-                    self.metrics.inc("transfers");
                     decision = TraceDecision::Transfer;
                 } else if self.retry_count < p.theta_retries
                     && (self.cfg.manage_llc || self.cfg.manage_mba)
@@ -594,39 +769,40 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         self.cfg.manage_llc,
                         self.cfg.manage_mba,
                     );
-                    let events = diff_events(&self.state, &neighbor);
-                    self.state = neighbor;
-                    self.apply_state()?;
-                    for (app, ev) in self.apps.iter_mut().zip(events) {
-                        app.last_events = ev;
-                    }
-                    self.retry_count += 1;
-                    self.metrics.inc("theta_retries");
-                    decision = TraceDecision::ThetaRetry;
                     if tracing {
                         // The proposal that actually went out is the
                         // random neighbor, not the stalled matching state.
-                        proposed = alloc_samples(&self.state);
+                        proposed = alloc_samples(&neighbor);
                     }
+                    let events = diff_events(&self.state, &neighbor);
+                    // A rolled-back restart does not consume a θ-retry:
+                    // nothing new was tried.
+                    if self.apply_state_txn(neighbor, &mut fault) {
+                        for (app, ev) in self.apps.iter_mut().zip(events) {
+                            app.last_events = ev;
+                        }
+                        self.retry_count += 1;
+                        self.metrics.inc("theta_retries");
+                    }
+                    decision = TraceDecision::ThetaRetry;
                 } else {
                     // Converged: settle on the best state seen during this
                     // exploration (random restarts may have left us on a
                     // worse state with no producer able to undo them).
+                    let mut settled = current_unfairness;
                     if let Some((best_u, best_state)) = self.best_seen.take() {
                         if best_state != self.state && best_u < current_unfairness {
                             let events = diff_events(&self.state, &best_state);
-                            self.state = best_state;
-                            self.apply_state()?;
-                            for (app, ev) in self.apps.iter_mut().zip(events) {
-                                app.last_events = ev;
+                            // On rollback the manager idles where it is.
+                            if self.apply_state_txn(best_state, &mut fault) {
+                                for (app, ev) in self.apps.iter_mut().zip(events) {
+                                    app.last_events = ev;
+                                }
+                                settled = best_u;
                             }
-                            self.unfairness_at_idle = best_u;
-                        } else {
-                            self.unfairness_at_idle = current_unfairness;
                         }
-                    } else {
-                        self.unfairness_at_idle = current_unfairness;
                     }
+                    self.unfairness_at_idle = settled;
                     self.phase = Phase::Idle;
                     self.metrics.inc("convergences");
                     decision = TraceDecision::Converged;
@@ -653,6 +829,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         if tracing {
             // Report the phase the controller ends the epoch in, matching
             // the PeriodRecord below.
+            let fault = if fault.is_empty() { None } else { Some(fault) };
             self.emit(
                 self.phase,
                 decision,
@@ -660,6 +837,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 current_unfairness,
                 trace_apps,
                 proposed,
+                fault,
             );
         }
         self.epoch += 1;
@@ -750,20 +928,124 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.profile()
     }
 
-    fn apply_state(&mut self) -> Result<(), RdtError> {
+    /// Writes `self.state`'s allocation for every group, retrying
+    /// transient failures. The first persistent failure propagates —
+    /// membership and budget changes use this and surface the error to
+    /// their caller, who owns the recovery decision.
+    fn apply_with_retry(&mut self, retries: &mut u32) -> Result<(), RdtError> {
         let groups = self.group_ids();
+        let res = self.cfg.resilience.clone();
+        let budget = self.cfg.budget;
+        let machine_ways = self.backend.capabilities().llc_ways;
+        let masks = self.state.masks(&budget, machine_ways);
+        for ((group, alloc), mask) in groups.iter().zip(&self.state.allocs).zip(masks) {
+            let group = *group;
+            let level = alloc.mba.min(budget.mba_cap);
+            retry_transient(&mut self.backend, &res, retries, |b| b.set_cbm(group, mask))?;
+            retry_transient(&mut self.backend, &res, retries, |b| {
+                b.set_mba(group, level)
+            })?;
+        }
+        Ok(())
+    }
+
+    fn apply_state(&mut self) -> Result<(), RdtError> {
         let t0 = Instant::now();
-        let result = self
-            .state
-            .apply(&mut self.backend, &groups, &self.cfg.budget);
+        let mut retries = 0u32;
+        let result = self.apply_with_retry(&mut retries);
         self.metrics
             .observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
         self.metrics.inc("backend_applies");
+        if retries > 0 {
+            self.metrics.add("fault_write_retries", u64::from(retries));
+        }
         result
+    }
+
+    /// Transactionally switches the partition to `new`: either every
+    /// group's CBM and MBA level land (the state is adopted, returns
+    /// `true`) or the already-written prefix is rolled back to the old
+    /// partition and the old state stays in force (returns `false`).
+    /// Mid-transition the masks of prefix and suffix groups may overlap —
+    /// CAT permits that (it restricts allocation, not lookup), so every
+    /// intermediate picture the hardware sees is individually valid.
+    ///
+    /// Transient write failures are retried with backoff first; only a
+    /// write that stays broken triggers the rollback. Rollback writes get
+    /// the same bounded retry, and one that *still* fails is counted
+    /// (`rollback_write_failures`) and skipped — the group keeps the new
+    /// mask until the next successful apply overwrites it, which is safe
+    /// for the same reason overlap mid-transition is.
+    fn apply_state_txn(&mut self, new: SystemState, fault: &mut FaultSample) -> bool {
+        let groups = self.group_ids();
+        let res = self.cfg.resilience.clone();
+        let budget = self.cfg.budget;
+        let machine_ways = self.backend.capabilities().llc_ways;
+        let new_masks = new.masks(&budget, machine_ways);
+        let t0 = Instant::now();
+        let mut retries = 0u32;
+        let mut failed_at = None;
+        for (i, (alloc, mask)) in new.allocs.iter().zip(&new_masks).enumerate() {
+            let group = groups[i];
+            let mask = *mask;
+            let level = alloc.mba.min(budget.mba_cap);
+            let wrote = retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                b.set_cbm(group, mask)
+            })
+            .and_then(|()| {
+                retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                    b.set_mba(group, level)
+                })
+            });
+            if wrote.is_err() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        let landed = failed_at.is_none();
+        if let Some(k) = failed_at {
+            // Roll groups 0..=k back to the old partition (group k may
+            // have taken the new CBM before its MBA write failed); the
+            // untouched suffix still holds it.
+            let old_masks = self.state.masks(&budget, machine_ways);
+            for i in 0..=k {
+                let group = groups[i];
+                let mask = old_masks[i];
+                let level = self.state.allocs[i].mba.min(budget.mba_cap);
+                if retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                    b.set_cbm(group, mask)
+                })
+                .is_err()
+                {
+                    self.metrics.inc("rollback_write_failures");
+                }
+                if retry_transient(&mut self.backend, &res, &mut retries, |b| {
+                    b.set_mba(group, level)
+                })
+                .is_err()
+                {
+                    self.metrics.inc("rollback_write_failures");
+                }
+            }
+            self.metrics.inc("partition_apply_failures");
+            self.metrics.inc("partition_rollbacks");
+            fault.rolled_back = true;
+        } else {
+            self.state = new;
+        }
+        self.metrics
+            .observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
+        self.metrics.inc("backend_applies");
+        if retries > 0 {
+            self.metrics.add("fault_write_retries", u64::from(retries));
+        }
+        fault.write_retries += retries;
+        landed
     }
 
     /// Builds one trace event and hands it to the recorder. Callers gate
     /// on `self.recorder.enabled()` so the disabled path never gets here.
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         &mut self,
         phase: Phase,
@@ -772,6 +1054,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         unfairness: f64,
         apps: Vec<AppSample>,
         proposed: Vec<AllocSample>,
+        fault: Option<FaultSample>,
     ) {
         let event = TraceEvent {
             epoch: self.epoch,
@@ -784,6 +1067,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             apps,
             proposed,
             applied: alloc_samples(&self.state),
+            fault,
         };
         self.recorder.record(&event);
     }
@@ -858,6 +1142,7 @@ mod tests {
             manage_mba: true,
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
+            resilience: Default::default(),
         };
         ConsolidationRuntime::new(backend, groups, cfg).unwrap()
     }
@@ -999,6 +1284,7 @@ mod weight_tests {
             manage_mba: true,
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
+            resilience: Default::default(),
         };
         let mut rt = ConsolidationRuntime::new(backend, groups, cfg).unwrap();
         rt.set_weight(favored, 3.0).unwrap();
@@ -1033,6 +1319,7 @@ mod weight_tests {
             manage_mba: true,
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
+            resilience: Default::default(),
         };
         let mut rt = ConsolidationRuntime::new(backend, groups, cfg).unwrap();
         rt.profile().unwrap();

@@ -33,6 +33,7 @@ fn run_with_seed(kind: MixKind, seed: u64) -> Vec<copart_core::PeriodRecord> {
         manage_mba: true,
         budget: WaysBudget::full_machine(cfg.llc_ways),
         stream: stream().clone(),
+        resilience: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
     rt.profile().unwrap();

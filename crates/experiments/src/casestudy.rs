@@ -128,6 +128,7 @@ fn run_case(policy: PolicyKind) -> Vec<BucketRow> {
                 manage_mba: true,
                 budget,
                 stream: stream.clone(),
+                resilience: Default::default(),
             };
             let mut rt = ConsolidationRuntime::new(backend, named, cfg).expect("state applies");
             // Record the whole CoPart run — including the profiling

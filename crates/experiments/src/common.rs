@@ -401,6 +401,7 @@ mod tests {
             apps: Vec::new(),
             proposed: Vec::new(),
             applied: Vec::new(),
+            fault: None,
         });
         sink.flush().unwrap();
         std::env::remove_var("REPRO_TRACE_DIR");

@@ -1,0 +1,238 @@
+//! The fault plan: what to inject, where, and how often.
+
+use std::fmt;
+
+/// When a fault site fires.
+///
+/// Call numbers are 1-based: the first call to a site is call 1. This
+/// matches the "every n-th call fails" convention of the original
+/// hand-rolled test decorators (`calls += 1; calls % n == 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTrigger {
+    /// Never fires.
+    Never,
+    /// Fires on every `n`-th call to the site (n ≥ 1).
+    Every {
+        /// The period, in calls.
+        n: u64,
+    },
+    /// Fires independently on each call with probability `p`, drawn from
+    /// the site's private deterministic stream.
+    Prob {
+        /// The per-call probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// Fires on exactly the listed (1-based, ascending) call numbers —
+    /// the fixed schedules golden-trace tests pin down.
+    AtCalls(Vec<u64>),
+}
+
+impl FaultTrigger {
+    /// Whether this trigger can ever fire.
+    pub fn is_armed(&self) -> bool {
+        match self {
+            FaultTrigger::Never => false,
+            FaultTrigger::Every { .. } => true,
+            FaultTrigger::Prob { p } => *p > 0.0,
+            FaultTrigger::AtCalls(calls) => !calls.is_empty(),
+        }
+    }
+}
+
+/// An error parsing a `--faults` specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError(String);
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, FaultPlanError> {
+    Err(FaultPlanError(msg.into()))
+}
+
+/// A complete, deterministic fault-injection plan.
+///
+/// One field per injection site; [`FaultTrigger::Never`] everywhere
+/// means the decorated backend behaves byte-identically to the bare one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed; each site derives its private stream from
+    /// `(seed, site index)`.
+    pub seed: u64,
+    /// `read_counters` returns [`copart_rdt::RdtError::Busy`] — a PMC
+    /// multiplexing dropout. The runtime degrades (holds the app's FSM
+    /// state, reuses EWMA'd rates) rather than retrying.
+    pub counter_dropout: FaultTrigger,
+    /// `set_cbm` returns `Busy` — a transient CAT schemata write failure.
+    pub write_cbm: FaultTrigger,
+    /// `set_mba` returns `Busy` — a transient MBA schemata write failure.
+    /// Arming only this site produces the classic *partial apply*: the
+    /// CBM lands, the MBA write fails.
+    pub write_mba: FaultTrigger,
+    /// Any per-group operation returns
+    /// [`copart_rdt::RdtError::UnknownGroup`] — the group momentarily
+    /// disappeared (CLOS churn). Not transient: retries do not help.
+    pub vanish: FaultTrigger,
+    /// `advance` succeeds but the platform clock does not move — a clock
+    /// stall. The next counter delta spans zero time and yields no rates.
+    pub clock_stall: FaultTrigger,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing is ever injected.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            counter_dropout: FaultTrigger::Never,
+            write_cbm: FaultTrigger::Never,
+            write_mba: FaultTrigger::Never,
+            vanish: FaultTrigger::Never,
+            clock_stall: FaultTrigger::Never,
+        }
+    }
+
+    /// Whether no site can ever fire.
+    pub fn is_none(&self) -> bool {
+        !self.counter_dropout.is_armed()
+            && !self.write_cbm.is_armed()
+            && !self.write_mba.is_armed()
+            && !self.vanish.is_armed()
+            && !self.clock_stall.is_armed()
+    }
+
+    /// Parses a `--faults` specification: comma-separated `key=value`
+    /// pairs.
+    ///
+    /// Keys: `seed` (u64), `dropout` (counter reads), `cbm`, `mba`,
+    /// `write` (both `cbm` and `mba`), `vanish`, `stall`.
+    ///
+    /// Values for the fault keys: a probability like `0.1`, a period
+    /// like `1/29` (every 29th call), or `off`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown keys, malformed values, probabilities outside
+    /// `[0, 1]`, or a zero period.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                return err(format!("expected key=value, found {part:?}"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                let Ok(seed) = value.parse::<u64>() else {
+                    return err(format!("seed must be a u64, found {value:?}"));
+                };
+                plan.seed = seed;
+                continue;
+            }
+            let trigger = parse_trigger(key, value)?;
+            match key {
+                "dropout" => plan.counter_dropout = trigger,
+                "cbm" => plan.write_cbm = trigger,
+                "mba" => plan.write_mba = trigger,
+                "write" => {
+                    plan.write_cbm = trigger.clone();
+                    plan.write_mba = trigger;
+                }
+                "vanish" => plan.vanish = trigger,
+                "stall" => plan.clock_stall = trigger,
+                other => return err(format!("unknown fault site {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_trigger(key: &str, value: &str) -> Result<FaultTrigger, FaultPlanError> {
+    if value == "off" {
+        return Ok(FaultTrigger::Never);
+    }
+    if let Some(period) = value.strip_prefix("1/") {
+        let Ok(n) = period.parse::<u64>() else {
+            return err(format!("{key}: period must be 1/<u64>, found {value:?}"));
+        };
+        if n == 0 {
+            return err(format!("{key}: period must be at least 1"));
+        }
+        return Ok(FaultTrigger::Every { n });
+    }
+    let Ok(p) = value.parse::<f64>() else {
+        return err(format!(
+            "{key}: expected a probability, 1/<n>, or off — found {value:?}"
+        ));
+    };
+    if !(0.0..=1.0).contains(&p) {
+        return err(format!("{key}: probability {p} outside [0, 1]"));
+    }
+    if p == 0.0 {
+        return Ok(FaultTrigger::Never);
+    }
+    Ok(FaultTrigger::Prob { p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultTrigger::Never.is_armed());
+        assert!(!FaultTrigger::Prob { p: 0.0 }.is_armed());
+        assert!(FaultTrigger::Every { n: 3 }.is_armed());
+        assert!(FaultTrigger::AtCalls(vec![1]).is_armed());
+        assert!(!FaultTrigger::AtCalls(vec![]).is_armed());
+    }
+
+    #[test]
+    fn parses_the_standard_spec() {
+        let plan = FaultPlan::parse("seed=42,write=0.1,dropout=0.05,vanish=1/97,stall=0.01")
+            .expect("spec parses");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.write_cbm, FaultTrigger::Prob { p: 0.1 });
+        assert_eq!(plan.write_mba, FaultTrigger::Prob { p: 0.1 });
+        assert_eq!(plan.counter_dropout, FaultTrigger::Prob { p: 0.05 });
+        assert_eq!(plan.vanish, FaultTrigger::Every { n: 97 });
+        assert_eq!(plan.clock_stall, FaultTrigger::Prob { p: 0.01 });
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn individual_write_sites_and_off() {
+        let plan = FaultPlan::parse("cbm=0.2,mba=off").unwrap();
+        assert_eq!(plan.write_cbm, FaultTrigger::Prob { p: 0.2 });
+        assert_eq!(plan.write_mba, FaultTrigger::Never);
+        // Zero probability collapses to Never.
+        let plan = FaultPlan::parse("dropout=0.0").unwrap();
+        assert!(plan.is_none());
+        // Empty segments are tolerated (trailing commas).
+        assert!(FaultPlan::parse("seed=1,").unwrap().is_none());
+        assert!(FaultPlan::parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "frobnicate=0.1",
+            "dropout",
+            "dropout=maybe",
+            "dropout=1.5",
+            "dropout=-0.1",
+            "dropout=1/0",
+            "seed=banana",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -30,6 +30,23 @@ pub enum RdtError {
     Sim(SimError),
     /// The backend cannot perform the requested operation.
     Unsupported(&'static str),
+    /// A transient, retryable failure: the resource was momentarily
+    /// unavailable (an `EBUSY`-style schemata write race with another
+    /// tenant, a multiplexed PMC read that returned nothing this
+    /// interval). Unlike the other variants, retrying the same call is
+    /// expected to succeed once the contention clears.
+    Busy(&'static str),
+}
+
+impl RdtError {
+    /// Whether retrying the failed call is expected to help.
+    ///
+    /// Only [`RdtError::Busy`] is transient; every other variant reports
+    /// a persistent condition (unknown group, invalid mask, parse error)
+    /// that an identical retry would hit again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RdtError::Busy(_))
+    }
 }
 
 impl fmt::Display for RdtError {
@@ -41,6 +58,7 @@ impl fmt::Display for RdtError {
             RdtError::Parse { path, message } => write!(f, "cannot parse {path}: {message}"),
             RdtError::Sim(e) => write!(f, "simulator error: {e}"),
             RdtError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            RdtError::Busy(what) => write!(f, "resource busy (transient): {what}"),
         }
     }
 }

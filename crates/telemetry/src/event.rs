@@ -184,6 +184,48 @@ pub struct AllocSample {
     pub mba_percent: u8,
 }
 
+/// Fault-handling activity within one control epoch.
+///
+/// Present on an event only when the runtime observed or worked around a
+/// backend fault this epoch; fault-free epochs omit the field entirely,
+/// so fault-free traces are byte-identical to those of a build with no
+/// fault machinery wired in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSample {
+    /// Applications whose counter read failed this epoch; the runtime
+    /// held their FSM state and substituted EWMA'd rates (degraded mode).
+    pub degraded: Vec<String>,
+    /// Transient (`Busy`) schemata writes retried this epoch, across all
+    /// apply and rollback attempts.
+    pub write_retries: u32,
+    /// Whether a partition apply failed mid-way and the previous
+    /// partition was rolled back.
+    pub rolled_back: bool,
+}
+
+impl FaultSample {
+    /// An empty record (nothing happened). The runtime drops empty
+    /// samples instead of emitting them.
+    pub fn new() -> FaultSample {
+        FaultSample {
+            degraded: Vec::new(),
+            write_retries: 0,
+            rolled_back: false,
+        }
+    }
+
+    /// Whether the sample records no fault activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.degraded.is_empty() && self.write_retries == 0 && !self.rolled_back
+    }
+}
+
+impl Default for FaultSample {
+    fn default() -> FaultSample {
+        FaultSample::new()
+    }
+}
+
 /// One control epoch of the consolidation runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
@@ -210,6 +252,9 @@ pub struct TraceEvent {
     pub proposed: Vec<AllocSample>,
     /// The allocation in force at the end of the epoch, in group order.
     pub applied: Vec<AllocSample>,
+    /// Fault-handling activity this epoch; `None` (and absent from the
+    /// JSONL) on fault-free epochs.
+    pub fault: Option<FaultSample>,
 }
 
 /// An error turning a JSONL line back into a [`TraceEvent`].
@@ -306,7 +351,7 @@ impl TraceEvent {
                     .collect(),
             )
         };
-        Json::Obj(vec![
+        let mut fields = vec![
             ("epoch".into(), num(self.epoch as f64)),
             ("time_ns".into(), num(self.time_ns as f64)),
             ("phase".into(), Json::Str(self.phase.as_str().into())),
@@ -320,8 +365,27 @@ impl TraceEvent {
             ("apps".into(), Json::Arr(apps)),
             ("proposed".into(), allocs(&self.proposed)),
             ("applied".into(), allocs(&self.applied)),
-        ])
-        .to_string()
+        ];
+        if let Some(fault) = &self.fault {
+            fields.push((
+                "fault".into(),
+                Json::Obj(vec![
+                    (
+                        "degraded".into(),
+                        Json::Arr(
+                            fault
+                                .degraded
+                                .iter()
+                                .map(|n| Json::Str(n.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("write_retries".into(), num(f64::from(fault.write_retries))),
+                    ("rolled_back".into(), Json::Bool(fault.rolled_back)),
+                ]),
+            ));
+        }
+        Json::Obj(fields).to_string()
     }
 
     /// Parses one JSONL line produced by [`TraceEvent::to_json_line`].
@@ -377,6 +441,31 @@ impl TraceEvent {
                 })
                 .collect()
         };
+        // Absent on fault-free epochs (and in traces predating the
+        // fault-injection subsystem) — parse back to None.
+        let fault = match v.get("fault") {
+            None => None,
+            Some(f) => {
+                let degraded = field(f, "degraded")?
+                    .as_arr()
+                    .ok_or_else(|| TraceParseError::Schema("'degraded' is not an array".into()))?
+                    .iter()
+                    .map(|n| {
+                        n.as_str().map(str::to_string).ok_or_else(|| {
+                            TraceParseError::Schema("'degraded' entry is not a string".into())
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rolled_back = field(f, "rolled_back")?
+                    .as_bool()
+                    .ok_or_else(|| TraceParseError::Schema("'rolled_back' is not a bool".into()))?;
+                Some(FaultSample {
+                    degraded,
+                    write_retries: u64_field(f, "write_retries")? as u32,
+                    rolled_back,
+                })
+            }
+        };
         Ok(TraceEvent {
             epoch: u64_field(&v, "epoch")?,
             time_ns: u64_field(&v, "time_ns")?,
@@ -388,6 +477,7 @@ impl TraceEvent {
             apps,
             proposed: allocs("proposed")?,
             applied: allocs("applied")?,
+            fault,
         })
     }
 }
@@ -447,6 +537,7 @@ mod tests {
                     mba_percent: 60,
                 },
             ],
+            fault: None,
         }
     }
 
@@ -459,6 +550,25 @@ mod tests {
             let parsed = TraceEvent::from_json_line(&line).unwrap();
             assert_eq!(parsed, event);
         }
+    }
+
+    #[test]
+    fn fault_field_round_trips_and_is_omitted_when_none() {
+        let clean = sample_event(4);
+        assert!(
+            !clean.to_json_line().contains("fault"),
+            "fault-free events must not mention faults"
+        );
+        let mut faulty = sample_event(4);
+        faulty.fault = Some(FaultSample {
+            degraded: vec!["stream".into()],
+            write_retries: 2,
+            rolled_back: true,
+        });
+        let parsed = TraceEvent::from_json_line(&faulty.to_json_line()).unwrap();
+        assert_eq!(parsed, faulty);
+        assert!(FaultSample::new().is_empty());
+        assert!(!parsed.fault.unwrap().is_empty());
     }
 
     #[test]

@@ -45,7 +45,8 @@ mod window;
 
 pub use counters::{CounterDelta, CounterSnapshot};
 pub use event::{
-    AllocSample, AppSample, TraceClass, TraceDecision, TraceEvent, TraceParseError, TracePhase,
+    AllocSample, AppSample, FaultSample, TraceClass, TraceDecision, TraceEvent, TraceParseError,
+    TracePhase,
 };
 pub use ewma::Ewma;
 pub use json::{Json, JsonError};

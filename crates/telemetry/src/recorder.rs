@@ -217,6 +217,7 @@ mod tests {
             apps: Vec::new(),
             proposed: Vec::new(),
             applied: Vec::new(),
+            fault: None,
         }
     }
 

@@ -42,6 +42,7 @@ fn main() {
         manage_mba: true,
         budget: batch_budget(&reservation),
         stream,
+        resilience: Default::default(),
     };
     let mut runtime = ConsolidationRuntime::new(
         backend,

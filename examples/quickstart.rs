@@ -47,6 +47,7 @@ fn main() {
         manage_mba: true,
         budget: WaysBudget::full_machine(machine_cfg.llc_ways),
         stream,
+        resilience: Default::default(),
     };
     let mut runtime =
         ConsolidationRuntime::new(backend, groups, cfg).expect("initial state applies");

@@ -52,6 +52,7 @@ fn main() {
             manage_mba: true,
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
+            resilience: Default::default(),
         },
     )
     .unwrap();

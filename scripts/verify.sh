@@ -44,6 +44,9 @@ full)
 
     echo "==> cargo doc --no-deps (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+    echo "==> chaos gate (fault injection, REPRO_FAST)"
+    REPRO_FAST=1 scripts/chaos.sh release
     ;;
 *)
     echo "usage: $0 [quick|full]" >&2

@@ -123,6 +123,7 @@ fn controller_converges_to_idle_and_masks_partition_the_budget() {
         manage_mba: true,
         budget: WaysBudget::full_machine(cfg.llc_ways),
         stream: stream().clone(),
+        resilience: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
     rt.profile().unwrap();
@@ -172,6 +173,7 @@ fn full_runs_are_reproducible() {
             manage_mba: true,
             budget: WaysBudget::full_machine(cfg.llc_ways),
             stream: stream().clone(),
+            resilience: Default::default(),
         };
         let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
         rt.profile().unwrap();

@@ -13,8 +13,12 @@ use std::sync::Mutex;
 use copart_core::policies::{
     self, evaluate_policy_traced, static_search, EvalOptions, EvalResult, PolicyKind,
 };
+use copart_core::runtime::ConsolidationRuntime;
 use copart_core::state::WaysBudget;
-use copart_sim::MachineConfig;
+use copart_core::CoPartParams;
+use copart_faults::{FaultPlan, FaultTrigger, FaultyBackend};
+use copart_rdt::{ClosId, RdtBackend, SimBackend};
+use copart_sim::{Machine, MachineConfig};
 use copart_telemetry::JsonlRecorder;
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{MixKind, WorkloadMix};
@@ -122,6 +126,130 @@ fn fig12_sweep_traces_identical_at_1_and_8_jobs() {
             bytes_a,
             bytes_b,
             "JSONL traces diverge between job counts: {} vs {}",
+            a.display(),
+            b.display()
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The fault plan the cross-jobs contract is checked under: every
+/// transient site armed. (No vanish — group disappearance aborts whole
+/// profiling passes, which this test is not about; `fault_soak`
+/// exercises that path.)
+fn sweep_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xC0FA,
+        counter_dropout: FaultTrigger::Prob { p: 0.05 },
+        write_cbm: FaultTrigger::Prob { p: 0.1 },
+        write_mba: FaultTrigger::Prob { p: 0.1 },
+        vanish: FaultTrigger::Never,
+        clock_stall: FaultTrigger::Prob { p: 0.02 },
+    }
+}
+
+/// Like [`traced_cell`], but with the simulator wrapped in the
+/// `copart-faults` injector — the controller sees dropouts, busy writes
+/// and clock stalls while ground truth reads the inner machine.
+fn faulty_traced_cell(kind: MixKind, path: &std::path::Path, opts: &EvalOptions) -> EvalResult {
+    let machine = MachineConfig::xeon_gold_6130();
+    let mix = WorkloadMix::paper_default(kind);
+    let specs = mix.specs();
+    let full = policies::solo_full_ips(&machine, &specs);
+    let stream = StreamReference::compute(&machine, 4);
+    let params = CoPartParams {
+        seed: opts.seed,
+        ..CoPartParams::default()
+    };
+
+    let mut backend = SimBackend::new(Machine::new(MachineConfig::xeon_gold_6130()));
+    let named: Vec<(ClosId, String)> = specs
+        .iter()
+        .map(|s| {
+            let g = backend.add_workload(s.clone()).expect("mix fits");
+            (g, s.name.clone())
+        })
+        .collect();
+    let groups: Vec<ClosId> = named.iter().map(|(g, _)| *g).collect();
+    let cfg = policies::dynamic_runtime_config(
+        &machine,
+        specs.len(),
+        &stream,
+        PolicyKind::CoPart,
+        &params,
+    );
+    let faulty = FaultyBackend::new(backend, sweep_plan());
+    let mut runtime =
+        ConsolidationRuntime::new(faulty, named, cfg).expect("transient faults are retried");
+    runtime.set_recorder(Box::new(
+        JsonlRecorder::create(path).expect("create trace file"),
+    ));
+    runtime.profile().expect("transient faults are retried");
+    let (result, mut runtime) = policies::evaluate_runtime_traced(
+        runtime,
+        &groups,
+        &full,
+        PolicyKind::CoPart,
+        opts,
+        |b, g| b.inner_mut().read_counters(g).expect("group is live"),
+    )
+    .expect("periods survive transient faults");
+    assert!(
+        runtime.backend().stats().total() > 0,
+        "the sweep plan should actually inject"
+    );
+    runtime
+        .set_recorder(Box::new(copart_telemetry::NullRecorder))
+        .flush()
+        .expect("flush trace");
+    result
+}
+
+#[test]
+fn faulty_sweep_traces_identical_at_1_and_8_jobs() {
+    let kinds = [MixKind::HighLlc, MixKind::HighBoth];
+    let opts = short_opts();
+    let dir = std::env::temp_dir().join(format!("copart-fault-det-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let run = |jobs: usize| -> (Vec<EvalResult>, Vec<PathBuf>) {
+        let paths: Vec<PathBuf> = kinds
+            .iter()
+            .map(|k| dir.join(format!("faulty_{}_j{jobs}.jsonl", k.label())))
+            .collect();
+        let results = with_jobs(jobs, || {
+            copart_parallel::par_map(&kinds, |&kind| {
+                let i = kinds.iter().position(|&k| k == kind).unwrap();
+                faulty_traced_cell(kind, &paths[i], &opts)
+            })
+        });
+        (results, paths)
+    };
+
+    let (serial_results, serial_paths) = run(1);
+    let (parallel_results, parallel_paths) = run(8);
+
+    // A fully stalled epoch measures no work, so its timeline entry is
+    // NaN — compare the Debug rendering, where NaN equals NaN, instead
+    // of float equality.
+    assert_eq!(
+        format!("{serial_results:?}"),
+        format!("{parallel_results:?}"),
+        "faulty sweep results must match between --jobs 1 and --jobs 8"
+    );
+    for (a, b) in serial_paths.iter().zip(&parallel_paths) {
+        let bytes_a = fs::read(a).expect("read serial trace");
+        let bytes_b = fs::read(b).expect("read parallel trace");
+        assert!(!bytes_a.is_empty(), "trace {} is empty", a.display());
+        assert!(
+            String::from_utf8_lossy(&bytes_a).contains("\"fault\""),
+            "trace {} never recorded a fault sample",
+            a.display()
+        );
+        assert_eq!(
+            bytes_a,
+            bytes_b,
+            "fault injection diverges between job counts: {} vs {}",
             a.display(),
             b.display()
         );

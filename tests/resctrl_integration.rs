@@ -161,6 +161,7 @@ fn full_control_loop_over_the_filesystem() {
         manage_mba: true,
         budget: WaysBudget::full_machine(11),
         stream,
+        resilience: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(
         backend,

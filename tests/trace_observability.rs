@@ -37,6 +37,7 @@ fn traced_run() -> (Vec<TraceEvent>, usize) {
         manage_mba: true,
         budget: WaysBudget::full_machine(cfg.llc_ways),
         stream,
+        resilience: Default::default(),
     };
     let path =
         std::env::temp_dir().join(format!("copart-observability-{}.jsonl", std::process::id()));
