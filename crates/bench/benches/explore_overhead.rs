@@ -9,7 +9,9 @@
 //! (< 2 % of an epoch), because `Recorder::enabled()` gates all event
 //! construction.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use copart_bench::{bench, synthetic_instance};
@@ -23,6 +25,33 @@ use copart_sim::{Machine, MachineConfig};
 use copart_telemetry::{NullRecorder, Recorder, RingRecorder};
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{MixKind, WorkloadMix};
+
+/// Counts heap allocations so the bench can report allocations per
+/// control epoch. Only `alloc`/`realloc` count — frees are not new
+/// allocations — and the counter is process-global, so the measured
+/// section must run single-threaded (it does: one runtime, one thread).
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     explore_step();
@@ -129,4 +158,34 @@ fn recorder_overhead() {
          event construction entirely (one virtual `enabled()` call), so its\n\
          overhead is bounded by the tracing cost and must stay < 2%."
     );
+    epoch_allocations(&stream);
+}
+
+/// Heap allocations per untraced control epoch: the scratch-buffer hot
+/// path must allocate strictly less than the pre-layering runtime did.
+/// The seed (pre-refactor) runtime measured ~28.4 allocations per epoch on
+/// this exact workload; the layered driver reuses per-epoch scratch, so
+/// the count must come in below that baseline.
+fn epoch_allocations(stream: &StreamReference) {
+    /// Allocations/epoch of the monolithic seed runtime (measured before
+    /// the layered refactor on this same 4-app H-Both workload).
+    const SEED_ALLOCS_PER_EPOCH: f64 = 28.4;
+    const EPOCHS: u32 = 400;
+    let mut rt = epoch_runtime(stream, Box::new(NullRecorder));
+    // Warm up past exploration start so Vec scratch reaches steady size.
+    for _ in 0..8 {
+        black_box(rt.run_period().expect("period runs"));
+    }
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    for _ in 0..EPOCHS {
+        black_box(rt.run_period().expect("period runs"));
+    }
+    let per_epoch = (ALLOC_COUNT.load(Ordering::Relaxed) - before) as f64 / f64::from(EPOCHS);
+    println!(
+        "\nrun_period heap allocations: {per_epoch:.1}/epoch \
+         (seed baseline {SEED_ALLOCS_PER_EPOCH:.1}/epoch, {EPOCHS} epochs)"
+    );
+    if per_epoch >= SEED_ALLOCS_PER_EPOCH {
+        println!("WARNING: per-epoch allocations did not improve on the seed baseline");
+    }
 }

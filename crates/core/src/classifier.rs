@@ -1,0 +1,157 @@
+//! The classification layer: the per-application LLC/MBA FSM pair behind
+//! one interface.
+//!
+//! The second stage of the control-plane pipeline (DESIGN.md §12). The
+//! epoch driver hands each application's classifier one [`Measurement`]
+//! per successfully sensed epoch; the classifier derives the two
+//! per-resource [`Observation`]s (each FSM sees the transfer events in
+//! its own priority order, Figs 8–9) and steps both machines. It also
+//! owns the §5.4.1 probe-to-initial-state rule that profiling uses.
+
+use crate::fsm::{AppState, Observation};
+use crate::llc_fsm::LlcClassifier;
+use crate::mba_fsm::MbaClassifier;
+use crate::next_state::AppliedEvents;
+use crate::params::CoPartParams;
+
+/// One epoch's classifier inputs for one application, before the
+/// per-resource event views are derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Relative IPS change vs. the previous period.
+    pub perf_delta: f64,
+    /// LLC accesses per second.
+    pub access_rate: f64,
+    /// LLC miss ratio.
+    pub miss_ratio: f64,
+    /// STREAM-normalized memory traffic ratio (§5.3).
+    pub traffic_ratio: f64,
+}
+
+/// The classification seam of the control-plane pipeline: anything that
+/// turns per-epoch measurements into a Supply/Maintain/Demand verdict per
+/// resource.
+pub trait Classifier {
+    /// Steps both resource classifiers with one epoch's measurement and
+    /// the transfers applied to this application last epoch.
+    fn observe(&mut self, params: &CoPartParams, m: &Measurement, events: AppliedEvents);
+
+    /// Current verdicts `(LLC, MBA)`.
+    fn states(&self) -> (AppState, AppState);
+
+    /// Restarts both machines from the given initial states (profiling).
+    fn reset(&mut self, llc: AppState, mba: AppState);
+}
+
+/// The default classifier: the paper's two FSMs (Figs 8–9) side by side.
+#[derive(Debug)]
+pub struct DualFsmClassifier {
+    llc: LlcClassifier,
+    mba: MbaClassifier,
+}
+
+impl DualFsmClassifier {
+    /// Both machines starting in `Maintain` (pre-profiling default).
+    pub fn new() -> DualFsmClassifier {
+        DualFsmClassifier {
+            llc: LlcClassifier::new(AppState::Maintain),
+            mba: MbaClassifier::new(AppState::Maintain),
+        }
+    }
+
+    /// The LLC verdict alone.
+    pub fn llc_state(&self) -> AppState {
+        self.llc.state()
+    }
+
+    /// The MBA verdict alone.
+    pub fn mba_state(&self) -> AppState {
+        self.mba.state()
+    }
+}
+
+impl Default for DualFsmClassifier {
+    fn default() -> DualFsmClassifier {
+        DualFsmClassifier::new()
+    }
+}
+
+impl Classifier for DualFsmClassifier {
+    fn observe(&mut self, params: &CoPartParams, m: &Measurement, events: AppliedEvents) {
+        let base = Observation {
+            perf_delta: m.perf_delta,
+            access_rate: m.access_rate,
+            miss_ratio: m.miss_ratio,
+            traffic_ratio: m.traffic_ratio,
+            event: events.llc_event(),
+        };
+        self.llc.update(params, &base);
+        let mba_obs = Observation {
+            event: events.mba_event(),
+            ..base
+        };
+        self.mba.update(params, &mba_obs);
+    }
+
+    fn states(&self) -> (AppState, AppState) {
+        (self.llc.state(), self.mba.state())
+    }
+
+    fn reset(&mut self, llc: AppState, mba: AppState) {
+        self.llc.reset(llc);
+        self.mba.reset(mba);
+    }
+}
+
+/// The three profiling probes' outputs for one application (§5.4.1):
+/// `IPS_full` plus the `(l_P, 100 %)` LLC probe and the `(L, M_P)`
+/// bandwidth probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileProbes {
+    /// IPS with full resources (the Eq 1 numerator).
+    pub ips_full: f64,
+    /// IPS confined to `l_P` ways.
+    pub ips_llc_probe: f64,
+    /// IPS throttled to `M_P` percent bandwidth.
+    pub ips_mba_probe: f64,
+    /// LLC access rate during the LLC probe.
+    pub probe_access_rate: f64,
+    /// LLC miss ratio during the LLC probe.
+    pub probe_miss_ratio: f64,
+    /// STREAM-normalized traffic ratio with full resources.
+    pub traffic_full: f64,
+}
+
+/// Derives the initial classifier states from the profiling probes
+/// (§5.4.1): a probe that costs more than the demand threshold starts
+/// the machine in `Demand`; an application that barely exercises the
+/// resource starts in `Supply`; everything else starts in `Maintain`.
+pub fn initial_states(p: &CoPartParams, probes: &ProfileProbes) -> (AppState, AppState) {
+    let deg = |x: f64| {
+        if probes.ips_full > 0.0 {
+            (probes.ips_full - x) / probes.ips_full
+        } else {
+            0.0
+        }
+    };
+    // Supply when the cache is barely exercised even at l_P ways: a low
+    // access rate means cache-idle, a low miss ratio at l_P ways means
+    // the working set already fits a minimal slice.
+    let llc = if deg(probes.ips_llc_probe) > p.profile_demand_threshold {
+        AppState::Demand
+    } else if probes.probe_access_rate < p.alpha_access_rate
+        || probes.probe_miss_ratio < p.miss_ratio_supply
+    {
+        AppState::Supply
+    } else {
+        AppState::Maintain
+    };
+    let mba = if deg(probes.ips_mba_probe) > p.profile_demand_threshold {
+        AppState::Demand
+    } else if probes.traffic_full < p.traffic_ratio_supply {
+        AppState::Supply
+    } else {
+        AppState::Maintain
+    };
+    (llc, mba)
+}

@@ -1,4 +1,8 @@
 //! Shared types of the two characteristic-classifier FSMs (§5.2–5.3).
+//!
+//! The runtime never drives these FSMs directly: the classification layer
+//! ([`crate::classifier`], DESIGN.md §12) steps the LLC/MBA pair behind
+//! one [`crate::classifier::Classifier`] interface.
 
 use std::fmt;
 

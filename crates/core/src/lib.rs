@@ -20,24 +20,44 @@
 //! * [`policies`] — the baseline allocation policies the paper compares
 //!   against (EQ, ST, CAT-only, MBA-only, and the unpartitioned state).
 //!
+//! The runtime itself is a thin epoch driver over a four-layer
+//! control-plane pipeline (DESIGN.md §12):
+//!
+//! * [`sensor`] — per-application counter sampling with degraded-mode
+//!   EWMA bridging,
+//! * [`classifier`] — the LLC/MBA FSM pair behind one interface,
+//! * [`planner`] — Algorithm 1 as an [`planner::Explorer`], plus the
+//!   [`planner::PolicyEngine`] trait every evaluated policy (including
+//!   CoPart itself) plugs into, and
+//! * [`actuator`] — transactional partition writes with bounded
+//!   retry/backoff and prefix rollback.
+//!
 //! The controller is generic over [`copart_rdt::RdtBackend`], so it drives
 //! the simulator and a resctrl filesystem identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actuator;
+pub mod classifier;
 pub mod fsm;
 pub mod llc_fsm;
 pub mod mba_fsm;
 pub mod metrics;
 pub mod next_state;
 pub mod params;
+pub mod planner;
 pub mod policies;
 pub mod runtime;
+pub mod sensor;
 pub mod state;
 
+pub use actuator::{Actuator, ApplyReport, ResilienceConfig, TransactionalActuator};
+pub use classifier::{Classifier, DualFsmClassifier};
 pub use fsm::{AppState, ResourceEvent};
 pub use metrics::{geomean, unfairness};
 pub use params::CoPartParams;
-pub use runtime::{ConsolidationRuntime, ManagedApp, PeriodRecord, Phase, ResilienceConfig};
+pub use planner::{PlanContext, PolicyEngine, PolicyPlan};
+pub use runtime::{ConsolidationRuntime, ManagedApp, PeriodRecord, Phase};
+pub use sensor::{Sensor, SensorReading, WindowedSensor};
 pub use state::{AllocationState, SystemState, WaysBudget};

@@ -1,5 +1,8 @@
 //! The LLC characteristic classifier FSM (Figure 8 of the paper).
 //!
+//! Consumed through the classification layer's [`crate::classifier::DualFsmClassifier`],
+//! which steps this FSM and its MBA sibling in lockstep (DESIGN.md §12).
+//!
 //! The paper's figure is a state diagram whose transitions are described
 //! in prose (§5.2); this module encodes that prose:
 //!

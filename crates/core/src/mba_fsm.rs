@@ -1,5 +1,8 @@
 //! The memory-bandwidth characteristic classifier FSM (Figure 9).
 //!
+//! Consumed through the classification layer's [`crate::classifier::DualFsmClassifier`],
+//! which steps this FSM and its LLC sibling in lockstep (DESIGN.md §12).
+//!
 //! Structured like the LLC classifier (§5.3), but driven by the *memory
 //! traffic ratio* — the application's LLC miss rate divided by STREAM's at
 //! the same MBA level:

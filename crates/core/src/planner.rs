@@ -1,0 +1,499 @@
+//! The planning layer: Algorithm 1's exploration stepper and the
+//! pluggable policy engines.
+//!
+//! The third stage of the control-plane pipeline (DESIGN.md §12), in two
+//! halves:
+//!
+//! * [`Explorer`] — the per-runtime state of the §5.4.2 exploration
+//!   (Algorithm 1): the RNG, the θ-retry counter, the best state seen,
+//!   and the idle-phase drift threshold. Each exploring epoch it turns
+//!   the classifier verdicts into one [`PlannedStep`] — a proposed next
+//!   state plus what the driver should do with it.
+//! * [`PolicyEngine`] — one uniform interface over every evaluated
+//!   allocation policy (§6.1). A static engine plans a single
+//!   [`SystemState`]; a dynamic engine plans a [`RuntimeConfig`] for the
+//!   consolidation runtime. [`engine`] maps each
+//!   [`PolicyKind`] onto its engine, replacing per-policy `match`
+//!   dispatch in the evaluation harness; a new policy plugs in by
+//!   implementing the trait (see DESIGN.md §12.3).
+
+use copart_rng::XorShift64Star;
+
+use copart_rdt::MbaLevel;
+use copart_sim::{AppSpec, MachineConfig};
+use copart_workloads::stream::StreamReference;
+
+use crate::actuator::ResilienceConfig;
+use crate::next_state::{
+    get_next_system_state, get_next_system_state_greedy, AppClassification, AppliedEvents,
+};
+use crate::policies::{equal_state, static_search, utility_state, EvalOptions, PolicyKind};
+use crate::runtime::RuntimeConfig;
+use crate::state::{AllocationState, SystemState, WaysBudget};
+use crate::CoPartParams;
+
+/// What the explorer proposes for one exploring epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStep {
+    /// The state the matching step produced (for [`PlanAction::Transfer`]
+    /// and [`PlanAction::Converge`]) or the random neighbor (for
+    /// [`PlanAction::ThetaRetry`]) — exactly what the trace records as
+    /// the epoch's proposal.
+    pub proposal: SystemState,
+    /// Instability-chaining iterations the matching step used.
+    pub matching_rounds: u32,
+    /// What the driver should do with the proposal.
+    pub action: PlanAction,
+}
+
+/// The three outcomes of one Algorithm 1 step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanAction {
+    /// The matching transferred resources: apply the proposal and feed
+    /// each application its transfer events.
+    Transfer {
+        /// Per-application transfers (same indexing as the apps).
+        events: Vec<AppliedEvents>,
+    },
+    /// The matching stalled; the proposal is a random neighbor restart
+    /// (Algorithm 1 lines 11–14). A rolled-back apply does not consume a
+    /// θ-retry: nothing new was tried.
+    ThetaRetry,
+    /// Exploration converged: go idle, optionally settling on the best
+    /// state seen (with its unfairness) when it beats the current one.
+    Converge {
+        /// `(unfairness, state)` to settle on, when better than staying.
+        settle: Option<(f64, SystemState)>,
+    },
+}
+
+/// The §5.4.2 exploration stepper (Algorithm 1), lifted out of the epoch
+/// driver. Owns everything exploration is stateful about: the RNG that
+/// drives matching tie-breaks and neighbor restarts, the θ-retry
+/// counter, the best `(unfairness, state)` seen, and the unfairness the
+/// manager last went idle at.
+#[derive(Debug)]
+pub struct Explorer {
+    rng: XorShift64Star,
+    retry_count: u32,
+    unfairness_at_idle: f64,
+    /// Best (lowest-unfairness) state observed during the current
+    /// exploration, and its unfairness. Random neighbor restarts can walk
+    /// into worse states with no supplier able to undo them; the manager
+    /// settles on the best state seen when it goes idle.
+    best_seen: Option<(f64, SystemState)>,
+}
+
+impl Explorer {
+    /// A fresh explorer seeded with the controller seed.
+    pub fn new(seed: u64) -> Explorer {
+        Explorer {
+            rng: XorShift64Star::seed_from_u64(seed),
+            retry_count: 0,
+            unfairness_at_idle: 0.0,
+            best_seen: None,
+        }
+    }
+
+    /// θ-retries consumed in the current exploration (traced per epoch).
+    pub fn retry_count(&self) -> u32 {
+        self.retry_count
+    }
+
+    /// Begins a new exploration: forgets the retry budget and the best
+    /// state seen (membership, budget, weight changes, re-exploration).
+    pub fn restart(&mut self) {
+        self.retry_count = 0;
+        self.best_seen = None;
+    }
+
+    /// Remembers the state in force this epoch when its measured
+    /// unfairness is the best so far. The first period after (re)starting
+    /// carries bootstrap slowdowns (exactly 1.0 for everyone, unfairness
+    /// 0), so only `measured` states — two real counter samples for every
+    /// application — qualify.
+    pub fn record_best(&mut self, unfairness: f64, state: &SystemState, measured: bool) {
+        if measured
+            && unfairness.is_finite()
+            && self.best_seen.as_ref().is_none_or(|(u, _)| unfairness < *u)
+        {
+            self.best_seen = Some((unfairness, state.clone()));
+        }
+    }
+
+    /// One Algorithm 1 step: run the matching (or the greedy ablation)
+    /// over the classifier verdicts and decide whether to transfer,
+    /// restart from a random neighbor, or converge.
+    pub fn plan(
+        &mut self,
+        cfg: &RuntimeConfig,
+        current: &SystemState,
+        apps: &[AppClassification],
+        current_unfairness: f64,
+    ) -> PlannedStep {
+        let p = &cfg.params;
+        let outcome = if p.use_hr_matching {
+            get_next_system_state(
+                current,
+                apps,
+                &cfg.budget,
+                &mut self.rng,
+                cfg.manage_llc,
+                cfg.manage_mba,
+            )
+        } else {
+            get_next_system_state_greedy(current, apps, &cfg.budget, cfg.manage_llc, cfg.manage_mba)
+        };
+        let matching_rounds = outcome.matching_rounds;
+        if outcome.changed {
+            PlannedStep {
+                proposal: outcome.state,
+                matching_rounds,
+                action: PlanAction::Transfer {
+                    events: outcome.events,
+                },
+            }
+        } else if self.retry_count < p.theta_retries && (cfg.manage_llc || cfg.manage_mba) {
+            // Algorithm 1 lines 11–14: random neighbor restart.
+            let neighbor =
+                current.neighbor(&cfg.budget, &mut self.rng, cfg.manage_llc, cfg.manage_mba);
+            PlannedStep {
+                proposal: neighbor,
+                matching_rounds,
+                action: PlanAction::ThetaRetry,
+            }
+        } else {
+            // Converged: settle on the best state seen during this
+            // exploration (random restarts may have left us on a worse
+            // state with no producer able to undo them).
+            let settle = self.best_seen.take().filter(|(best_u, best_state)| {
+                *best_state != *current && *best_u < current_unfairness
+            });
+            PlannedStep {
+                proposal: outcome.state,
+                matching_rounds,
+                action: PlanAction::Converge { settle },
+            }
+        }
+    }
+
+    /// A transfer landed: the stall streak is broken.
+    pub fn transfer_applied(&mut self) {
+        self.retry_count = 0;
+    }
+
+    /// A neighbor restart landed: one θ-retry consumed.
+    pub fn retry_applied(&mut self) {
+        self.retry_count += 1;
+    }
+
+    /// Exploration went idle at the given unfairness (§5.4.3).
+    pub fn settle(&mut self, unfairness: f64) {
+        self.unfairness_at_idle = unfairness;
+    }
+
+    /// Whether the fairness picture has drifted enough from the idle
+    /// point to resume adaptation (§5.4.3).
+    pub fn should_reexplore(&self, current_unfairness: f64) -> bool {
+        current_unfairness > self.unfairness_at_idle * 1.5 + 0.02
+    }
+}
+
+/// Everything a policy engine may consult when planning a run: the
+/// machine, the mix, the solo baselines, the STREAM reference, the
+/// controller parameters, and the evaluation lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext<'a> {
+    /// The machine the mix runs on.
+    pub machine: &'a MachineConfig,
+    /// The consolidated applications.
+    pub specs: &'a [AppSpec],
+    /// Each spec's solo full-resource IPS (Eq 1 numerators).
+    pub ips_full_solo: &'a [f64],
+    /// STREAM reference miss rates per MBA level (§5.3).
+    pub stream: &'a StreamReference,
+    /// Controller parameters (dynamic engines only).
+    pub params: &'a CoPartParams,
+    /// Evaluation lengths (the ST search probes candidates with these).
+    pub opts: &'a EvalOptions,
+    /// The machine slice the policy may allocate.
+    pub budget: WaysBudget,
+}
+
+/// What a policy engine plans for a run.
+#[derive(Debug, Clone)]
+pub enum PolicyPlan {
+    /// Apply one fixed state and only measure.
+    Static {
+        /// The state to hold for the whole run.
+        state: SystemState,
+        /// Apply full overlapping masks instead of the state's disjoint
+        /// layout (the unpartitioned baseline is not representable as
+        /// disjoint way counts).
+        overlapping: bool,
+    },
+    /// Drive the consolidation runtime with this configuration.
+    Dynamic {
+        /// The runtime configuration to adapt under.
+        config: RuntimeConfig,
+    },
+}
+
+/// One §6.1 allocation policy behind a uniform interface.
+///
+/// Implementations are stateless units; [`engine`] hands out a static
+/// reference per [`PolicyKind`]. A new policy plugs into the evaluation
+/// harness by implementing this trait — plan a state (static) or a
+/// runtime configuration (dynamic) and the shared driver does the rest.
+pub trait PolicyEngine: Sync {
+    /// The policy this engine implements.
+    fn kind(&self) -> PolicyKind;
+
+    /// The paper's label for plots and tables.
+    fn label(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Plans the run: a fixed state or a runtime configuration.
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan;
+
+    /// The [`RuntimeConfig`] a *dynamic* engine drives the consolidation
+    /// runtime with, `None` for static engines. Public seam for harnesses
+    /// that build the backend themselves (e.g. to wrap it in a
+    /// fault-injecting decorator) yet must run the exact controller
+    /// configuration the standard evaluation uses.
+    fn runtime_config(
+        &self,
+        machine_cfg: &MachineConfig,
+        n_apps: usize,
+        stream: &StreamReference,
+        params: &CoPartParams,
+    ) -> Option<RuntimeConfig> {
+        let _ = (machine_cfg, n_apps, stream, params);
+        None
+    }
+}
+
+/// The engine implementing `kind`.
+pub fn engine(kind: PolicyKind) -> &'static dyn PolicyEngine {
+    match kind {
+        PolicyKind::Unpartitioned => &UnpartitionedEngine,
+        PolicyKind::Equal => &EqualShareEngine,
+        PolicyKind::Static => &StaticSearchEngine,
+        PolicyKind::CatOnly => &CatOnlyEngine,
+        PolicyKind::MbaOnly => &MbaOnlyEngine,
+        PolicyKind::CoPart => &CoPartEngine,
+        PolicyKind::Utility => &UtilityEngine,
+    }
+}
+
+/// The unpartitioned "state" is not representable as disjoint way counts;
+/// it is applied specially (full overlapping masks). The returned state
+/// records full ways / MBA 100 per app for bookkeeping.
+pub fn unpartitioned_state(n: usize, ways: u32) -> SystemState {
+    SystemState {
+        allocs: vec![
+            AllocationState {
+                ways,
+                mba: MbaLevel::MAX,
+            };
+            n
+        ],
+    }
+}
+
+/// The shared [`RuntimeConfig`] shape of the dynamic engines.
+fn dynamic_config(
+    machine_cfg: &MachineConfig,
+    stream: &StreamReference,
+    params: &CoPartParams,
+    manage_llc: bool,
+    manage_mba: bool,
+    mba_cap: MbaLevel,
+) -> RuntimeConfig {
+    RuntimeConfig {
+        params: params.clone(),
+        manage_llc,
+        manage_mba,
+        budget: WaysBudget {
+            first_way: 0,
+            total_ways: machine_cfg.llc_ways,
+            mba_cap,
+        },
+        stream: stream.clone(),
+        resilience: ResilienceConfig::default(),
+    }
+}
+
+/// Plans a [`PolicyPlan::Dynamic`] from the engine's own
+/// [`PolicyEngine::runtime_config`].
+fn dynamic_plan(engine: &dyn PolicyEngine, ctx: &PlanContext<'_>) -> PolicyPlan {
+    let config = engine
+        .runtime_config(ctx.machine, ctx.specs.len(), ctx.stream, ctx.params)
+        .expect("dynamic engines provide a runtime configuration");
+    PolicyPlan::Dynamic { config }
+}
+
+/// No partitioning at all: full overlapping masks, MBA 100 % (the §4.2
+/// normalization baseline).
+pub struct UnpartitionedEngine;
+
+impl PolicyEngine for UnpartitionedEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Unpartitioned
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        PolicyPlan::Static {
+            state: unpartitioned_state(ctx.specs.len(), ctx.machine.llc_ways),
+            overlapping: true,
+        }
+    }
+}
+
+/// EQ: equal static split of ways, equal MBA share.
+pub struct EqualShareEngine;
+
+impl PolicyEngine for EqualShareEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Equal
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        PolicyPlan::Static {
+            state: equal_state(ctx.specs.len(), &ctx.budget),
+            overlapping: false,
+        }
+    }
+}
+
+/// ST: the best static state found by offline search (§6.1).
+pub struct StaticSearchEngine;
+
+impl PolicyEngine for StaticSearchEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Static
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        PolicyPlan::Static {
+            state: static_search(
+                ctx.machine,
+                ctx.specs,
+                ctx.ips_full_solo,
+                &ctx.budget,
+                ctx.opts,
+            ),
+            overlapping: false,
+        }
+    }
+}
+
+/// Utility-based static LLC partitioning (UCP/dCat-style), the paper's
+/// closest related work; MBA is the equal share.
+pub struct UtilityEngine;
+
+impl PolicyEngine for UtilityEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Utility
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        PolicyPlan::Static {
+            state: utility_state(ctx.machine, ctx.specs, &ctx.budget),
+            overlapping: false,
+        }
+    }
+}
+
+/// CAT-only: dynamic LLC partitioning with the MBA level pinned at the
+/// equal share (the budget cap makes the fixed level both the initial
+/// and the maximum value).
+pub struct CatOnlyEngine;
+
+impl PolicyEngine for CatOnlyEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CatOnly
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        dynamic_plan(self, ctx)
+    }
+
+    fn runtime_config(
+        &self,
+        machine_cfg: &MachineConfig,
+        n_apps: usize,
+        stream: &StreamReference,
+        params: &CoPartParams,
+    ) -> Option<RuntimeConfig> {
+        Some(dynamic_config(
+            machine_cfg,
+            stream,
+            params,
+            true,
+            false,
+            SystemState::equal_mba_level(n_apps),
+        ))
+    }
+}
+
+/// MBA-only: equal fixed LLC partitioning with dynamic MBA.
+pub struct MbaOnlyEngine;
+
+impl PolicyEngine for MbaOnlyEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::MbaOnly
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        dynamic_plan(self, ctx)
+    }
+
+    fn runtime_config(
+        &self,
+        machine_cfg: &MachineConfig,
+        _n_apps: usize,
+        stream: &StreamReference,
+        params: &CoPartParams,
+    ) -> Option<RuntimeConfig> {
+        Some(dynamic_config(
+            machine_cfg,
+            stream,
+            params,
+            false,
+            true,
+            MbaLevel::MAX,
+        ))
+    }
+}
+
+/// CoPart: coordinated dynamic partitioning of both resources.
+pub struct CoPartEngine;
+
+impl PolicyEngine for CoPartEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CoPart
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        dynamic_plan(self, ctx)
+    }
+
+    fn runtime_config(
+        &self,
+        machine_cfg: &MachineConfig,
+        _n_apps: usize,
+        stream: &StreamReference,
+        params: &CoPartParams,
+    ) -> Option<RuntimeConfig> {
+        Some(dynamic_config(
+            machine_cfg,
+            stream,
+            params,
+            true,
+            true,
+            MbaLevel::MAX,
+        ))
+    }
+}

@@ -13,6 +13,12 @@
 //! are computed against each benchmark's *solo full-resource* IPS
 //! (measured independently of the controller), so the controller cannot
 //! grade its own homework.
+//!
+//! Every policy — the baselines and CoPart itself — is dispatched through
+//! the [`PolicyEngine`] trait ([`crate::planner::engine`]); the harness
+//! here only drives whatever plan the engine produces. A new policy plugs
+//! in via [`evaluate_engine`] without touching this module (DESIGN.md
+//! §12.3).
 
 use copart_rng::XorShift64Star;
 
@@ -22,6 +28,7 @@ use copart_telemetry::{MetricsSnapshot, NullRecorder, Recorder};
 use copart_workloads::stream::StreamReference;
 
 use crate::metrics::{self, geomean, unfairness};
+use crate::planner::{self, PlanContext, PolicyEngine, PolicyPlan};
 use crate::runtime::{ConsolidationRuntime, RuntimeConfig};
 use crate::state::{AllocationState, SystemState, WaysBudget};
 use crate::CoPartParams;
@@ -54,8 +61,8 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// The five policies of Figure 12, in plot order.
-    pub fn evaluated() -> [PolicyKind; 5] {
-        [
+    pub fn evaluated() -> &'static [PolicyKind] {
+        &[
             PolicyKind::Equal,
             PolicyKind::Static,
             PolicyKind::CatOnly,
@@ -144,72 +151,66 @@ pub fn evaluate_policy(
     policy: PolicyKind,
     opts: &EvalOptions,
 ) -> EvalResult {
+    evaluate_engine(
+        planner::engine(policy),
+        machine_cfg,
+        specs,
+        ips_full_solo,
+        stream,
+        opts,
+    )
+}
+
+/// Runs any [`PolicyEngine`] — the extension seam: a policy outside
+/// [`PolicyKind`]'s built-ins plugs into the same harness by implementing
+/// the trait and calling this (DESIGN.md §12.3). The engine plans either
+/// a fixed state (measured statically) or a [`RuntimeConfig`] (profiled
+/// and adapted through the consolidation runtime).
+///
+/// # Panics
+///
+/// Panics if the simulated machine rejects the mix (more cores demanded
+/// than exist) — mixes are constructed to fit.
+pub fn evaluate_engine(
+    engine: &dyn PolicyEngine,
+    machine_cfg: &MachineConfig,
+    specs: &[AppSpec],
+    ips_full_solo: &[f64],
+    stream: &StreamReference,
+    opts: &EvalOptions,
+) -> EvalResult {
     assert_eq!(specs.len(), ips_full_solo.len());
-    let budget = WaysBudget::full_machine(machine_cfg.llc_ways);
-    match policy {
-        PolicyKind::Unpartitioned => {
-            let state = unpartitioned_state(specs.len(), machine_cfg.llc_ways);
-            run_static(
-                machine_cfg,
-                specs,
-                ips_full_solo,
-                &state,
-                true,
-                policy,
-                opts,
-            )
-        }
-        PolicyKind::Equal => {
-            let state = equal_state(specs.len(), &budget);
-            run_static(
-                machine_cfg,
-                specs,
-                ips_full_solo,
-                &state,
-                false,
-                policy,
-                opts,
-            )
-        }
-        PolicyKind::Static => {
-            let state = static_search(machine_cfg, specs, ips_full_solo, &budget, opts);
-            run_static(
-                machine_cfg,
-                specs,
-                ips_full_solo,
-                &state,
-                false,
-                policy,
-                opts,
-            )
-        }
-        PolicyKind::Utility => {
-            let state = utility_state(machine_cfg, specs, &budget);
-            run_static(
-                machine_cfg,
-                specs,
-                ips_full_solo,
-                &state,
-                false,
-                policy,
-                opts,
-            )
-        }
-        PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart => {
-            let params = CoPartParams {
-                seed: opts.seed,
-                ..CoPartParams::default()
-            };
-            run_dynamic(
-                machine_cfg,
-                specs,
-                ips_full_solo,
-                stream,
-                policy,
-                &params,
-                opts,
-            )
-        }
+    let params = CoPartParams {
+        seed: opts.seed,
+        ..CoPartParams::default()
+    };
+    let ctx = PlanContext {
+        machine: machine_cfg,
+        specs,
+        ips_full_solo,
+        stream,
+        params: &params,
+        opts,
+        budget: WaysBudget::full_machine(machine_cfg.llc_ways),
+    };
+    match engine.plan(&ctx) {
+        PolicyPlan::Static { state, overlapping } => run_static(
+            machine_cfg,
+            specs,
+            ips_full_solo,
+            &state,
+            overlapping,
+            engine.kind(),
+            opts,
+        ),
+        PolicyPlan::Dynamic { config } => run_dynamic(
+            machine_cfg,
+            specs,
+            ips_full_solo,
+            engine.kind(),
+            config,
+            opts,
+        ),
     }
 }
 
@@ -223,13 +224,13 @@ pub fn evaluate_copart_with_params(
     params: &CoPartParams,
     opts: &EvalOptions,
 ) -> EvalResult {
+    let cfg = dynamic_runtime_config(machine_cfg, specs.len(), stream, PolicyKind::CoPart, params);
     run_dynamic(
         machine_cfg,
         specs,
         ips_full_solo,
-        stream,
         PolicyKind::CoPart,
-        params,
+        cfg,
         opts,
     )
 }
@@ -283,21 +284,6 @@ pub fn equal_state(n: usize, budget: &WaysBudget) -> SystemState {
     SystemState::equal_split(n, budget, SystemState::equal_mba_level(n))
 }
 
-/// The unpartitioned "state" is not representable as disjoint way counts;
-/// it is applied specially (full overlapping masks). The returned state
-/// records full ways / MBA 100 per app for bookkeeping.
-fn unpartitioned_state(n: usize, ways: u32) -> SystemState {
-    SystemState {
-        allocs: vec![
-            AllocationState {
-                ways,
-                mba: MbaLevel::MAX,
-            };
-            n
-        ],
-    }
-}
-
 /// Builds a machine with the mix admitted, one group per application.
 fn build_backend(machine_cfg: &MachineConfig, specs: &[AppSpec]) -> (SimBackend, Vec<ClosId>) {
     let mut backend = SimBackend::new(Machine::new(machine_cfg.clone()));
@@ -336,39 +322,31 @@ fn run_static(
             .apply(&mut backend, &groups, &budget)
             .expect("static state is valid");
     }
-    measure_run(backend, &groups, ips_full_solo, policy, opts, |_| Ok(()))
+    measure_run(backend, &groups, ips_full_solo, policy, opts)
 }
 
-/// Runs a dynamic policy (CAT-only / MBA-only / CoPart) through the
+/// Runs a dynamic policy's planned configuration through the
 /// consolidation runtime.
 fn run_dynamic(
     machine_cfg: &MachineConfig,
     specs: &[AppSpec],
     ips_full_solo: &[f64],
-    stream: &StreamReference,
     policy: PolicyKind,
-    params: &CoPartParams,
+    cfg: RuntimeConfig,
     opts: &EvalOptions,
 ) -> EvalResult {
-    let (mut runtime, groups) = build_runtime(machine_cfg, specs, stream, policy, params);
+    let (mut runtime, groups) = build_runtime(machine_cfg, specs, cfg);
     runtime.profile().expect("simulator profiling cannot fail");
     measure_run_runtime(runtime, &groups, ips_full_solo, policy, opts).0
 }
 
 /// Builds the consolidation runtime a dynamic policy runs on.
-///
-/// # Panics
-///
-/// Panics when `policy` is not CAT-only / MBA-only / CoPart.
 fn build_runtime(
     machine_cfg: &MachineConfig,
     specs: &[AppSpec],
-    stream: &StreamReference,
-    policy: PolicyKind,
-    params: &CoPartParams,
+    cfg: RuntimeConfig,
 ) -> (ConsolidationRuntime<SimBackend>, Vec<ClosId>) {
     let (backend, groups) = build_backend(machine_cfg, specs);
-    let cfg = dynamic_runtime_config(machine_cfg, specs.len(), stream, policy, params);
     let named: Vec<(ClosId, String)> = groups
         .iter()
         .zip(specs)
@@ -379,9 +357,10 @@ fn build_runtime(
 }
 
 /// The [`RuntimeConfig`] a dynamic policy (CAT-only / MBA-only / CoPart)
-/// runs with. Public so harnesses that build the backend themselves —
-/// e.g. to wrap it in a fault-injecting decorator — run the *same*
-/// controller configuration the standard traced evaluation uses.
+/// runs with, as planned by its [`PolicyEngine`]. Public so harnesses
+/// that build the backend themselves — e.g. to wrap it in a
+/// fault-injecting decorator — run the *same* controller configuration
+/// the standard traced evaluation uses.
 ///
 /// # Panics
 ///
@@ -393,26 +372,9 @@ pub fn dynamic_runtime_config(
     policy: PolicyKind,
     params: &CoPartParams,
 ) -> RuntimeConfig {
-    let (manage_llc, manage_mba, mba_cap) = match policy {
-        // CAT-only: MBA pinned at the equal share (the budget cap makes
-        // the fixed level both the initial and the maximum value).
-        PolicyKind::CatOnly => (true, false, SystemState::equal_mba_level(n_apps)),
-        PolicyKind::MbaOnly => (false, true, MbaLevel::MAX),
-        PolicyKind::CoPart => (true, true, MbaLevel::MAX),
-        _ => panic!("static policies do not build a runtime"),
-    };
-    RuntimeConfig {
-        params: params.clone(),
-        manage_llc,
-        manage_mba,
-        budget: WaysBudget {
-            first_way: 0,
-            total_ways: machine_cfg.llc_ways,
-            mba_cap,
-        },
-        stream: stream.clone(),
-        resilience: crate::runtime::ResilienceConfig::default(),
-    }
+    planner::engine(policy)
+        .runtime_config(machine_cfg, n_apps, stream, params)
+        .expect("static policies do not build a runtime")
 }
 
 /// Runs a dynamic policy exactly like [`evaluate_policy`], but with a
@@ -447,7 +409,8 @@ pub fn evaluate_policy_traced(
         seed: opts.seed,
         ..CoPartParams::default()
     };
-    let (mut runtime, groups) = build_runtime(machine_cfg, specs, stream, policy, &params);
+    let cfg = dynamic_runtime_config(machine_cfg, specs.len(), stream, policy, &params);
+    let (mut runtime, groups) = build_runtime(machine_cfg, specs, cfg);
     runtime.set_recorder(recorder);
     runtime.profile().expect("simulator profiling cannot fail");
     let (result, mut runtime) = measure_run_runtime(runtime, &groups, ips_full_solo, policy, opts);
@@ -471,6 +434,74 @@ fn measure_run_runtime(
     .expect("simulator periods cannot fail")
 }
 
+/// One source of adaptation periods for the shared measurement loop:
+/// either the consolidation runtime (dynamic policies) or a
+/// statically-configured backend whose clock simply advances.
+trait EpochSource<B: RdtBackend> {
+    /// Executes one period.
+    fn step(&mut self) -> Result<(), copart_rdt::RdtError>;
+
+    /// The backend, for ground-truth counter reads between periods.
+    fn backend_mut(&mut self) -> &mut B;
+}
+
+impl<B: RdtBackend> EpochSource<B> for ConsolidationRuntime<B> {
+    fn step(&mut self) -> Result<(), copart_rdt::RdtError> {
+        self.run_period().map(|_| ())
+    }
+
+    fn backend_mut(&mut self) -> &mut B {
+        ConsolidationRuntime::backend_mut(self)
+    }
+}
+
+/// A static policy's period source: nothing adapts, the clock advances.
+struct StaticSource {
+    backend: SimBackend,
+    period: std::time::Duration,
+}
+
+impl EpochSource<SimBackend> for StaticSource {
+    fn step(&mut self) -> Result<(), copart_rdt::RdtError> {
+        self.backend.advance(self.period)
+    }
+
+    fn backend_mut(&mut self) -> &mut SimBackend {
+        &mut self.backend
+    }
+}
+
+/// The one ground-truth measurement loop every evaluation runs: step the
+/// source one period at a time, read the cumulative counters after each,
+/// and measure fairness over the trailing `measure_periods`.
+fn measure_source<B: RdtBackend, S: EpochSource<B>>(
+    source: &mut S,
+    groups: &[ClosId],
+    ips_full_solo: &[f64],
+    policy: PolicyKind,
+    opts: &EvalOptions,
+    mut ground_truth: impl FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot,
+) -> Result<EvalResult, copart_rdt::RdtError> {
+    let mut timeline = Vec::with_capacity(opts.total_periods as usize);
+    let read = |src: &mut S,
+                gt: &mut dyn FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot|
+     -> Snapshots { groups.iter().map(|&g| gt(src.backend_mut(), g)).collect() };
+    let mut prev = read(source, &mut ground_truth);
+    let mut measure_start = None;
+    for k in 0..opts.total_periods {
+        source.step()?;
+        let now = read(source, &mut ground_truth);
+        timeline.push(period_unfairness(&prev, &now, ips_full_solo));
+        prev = now.clone();
+        if k + opts.measure_periods == opts.total_periods {
+            measure_start = Some(now);
+        }
+    }
+    let end = read(source, &mut ground_truth);
+    let start = measure_start.unwrap_or(end.clone());
+    Ok(finish(policy, &start, &end, ips_full_solo, timeline))
+}
+
 /// Measures ground truth over an externally built (already profiled)
 /// runtime on *any* backend, adapting each period exactly like
 /// [`evaluate_policy_traced`] does.
@@ -491,67 +522,38 @@ pub fn evaluate_runtime_traced<B: RdtBackend>(
     ips_full_solo: &[f64],
     policy: PolicyKind,
     opts: &EvalOptions,
-    mut ground_truth: impl FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot,
+    ground_truth: impl FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot,
 ) -> Result<(EvalResult, ConsolidationRuntime<B>), copart_rdt::RdtError> {
-    let mut timeline = Vec::with_capacity(opts.total_periods as usize);
-    let read = |rt: &mut ConsolidationRuntime<B>,
-                gt: &mut dyn FnMut(&mut B, ClosId) -> copart_telemetry::CounterSnapshot|
-     -> Snapshots { groups.iter().map(|&g| gt(rt.backend_mut(), g)).collect() };
-    let mut prev = read(&mut runtime, &mut ground_truth);
-    let mut measure_start = None;
-    for k in 0..opts.total_periods {
-        runtime.run_period()?;
-        let now = read(&mut runtime, &mut ground_truth);
-        timeline.push(period_unfairness(&prev, &now, ips_full_solo));
-        prev = now.clone();
-        if k + opts.measure_periods == opts.total_periods {
-            measure_start = Some(now);
-        }
-    }
-    let end = read(&mut runtime, &mut ground_truth);
-    let start = measure_start.unwrap_or(end.clone());
-    Ok((
-        finish(policy, &start, &end, ips_full_solo, timeline),
-        runtime,
-    ))
+    let result = measure_source(
+        &mut runtime,
+        groups,
+        ips_full_solo,
+        policy,
+        opts,
+        ground_truth,
+    )?;
+    Ok((result, runtime))
 }
 
 /// Measures ground truth over a statically-configured backend.
 fn measure_run(
-    mut backend: SimBackend,
+    backend: SimBackend,
     groups: &[ClosId],
     ips_full_solo: &[f64],
     policy: PolicyKind,
     opts: &EvalOptions,
-    mut each_period: impl FnMut(&mut SimBackend) -> Result<(), copart_rdt::RdtError>,
 ) -> EvalResult {
-    let period = CoPartParams::default().period;
-    let mut timeline = Vec::with_capacity(opts.total_periods as usize);
-    let mut prev = read_all(&mut backend, groups);
-    let mut measure_start = None;
-    for k in 0..opts.total_periods {
-        each_period(&mut backend).expect("static policies cannot fail");
-        backend.advance(period).expect("sim advance cannot fail");
-        let now = read_all(&mut backend, groups);
-        timeline.push(period_unfairness(&prev, &now, ips_full_solo));
-        prev = now.clone();
-        if k + opts.measure_periods == opts.total_periods {
-            measure_start = Some(now);
-        }
-    }
-    let end = read_all(&mut backend, groups);
-    let start = measure_start.unwrap_or(end.clone());
-    finish(policy, &start, &end, ips_full_solo, timeline)
+    let mut source = StaticSource {
+        backend,
+        period: CoPartParams::default().period,
+    };
+    measure_source(&mut source, groups, ips_full_solo, policy, opts, |b, g| {
+        b.read_counters(g).expect("group is live")
+    })
+    .expect("sim advance cannot fail")
 }
 
 type Snapshots = Vec<copart_telemetry::CounterSnapshot>;
-
-fn read_all(backend: &mut SimBackend, groups: &[ClosId]) -> Snapshots {
-    groups
-        .iter()
-        .map(|&g| backend.read_counters(g).expect("group is live"))
-        .collect()
-}
 
 fn ips_between(a: &Snapshots, b: &Snapshots) -> Vec<f64> {
     a.iter()

@@ -14,23 +14,33 @@
 //!    states are tried before the manager goes idle.
 //! 3. **Idle** (§5.4.3) — monitoring only; membership or budget changes
 //!    (and sustained unfairness drift) trigger re-adaptation.
+//!
+//! The runtime itself is a thin epoch driver over the four control-plane
+//! layers (DESIGN.md §12): each period it feeds counter reads to the
+//! per-application [`Sensor`]s, steps the [`Classifier`]s, asks the
+//! [`Explorer`] for one Algorithm 1 step, and
+//! hands the proposal to the [`Actuator`]. Cross-cutting concerns —
+//! tracing, metrics, fault accounting — live here, at the seams.
 
-use std::time::{Duration, Instant};
-
-use copart_rng::XorShift64Star;
+use std::time::Instant;
 
 use copart_rdt::{ClosId, MbaLevel, RdtBackend, RdtError};
 use copart_telemetry::{
-    AllocSample, AppSample, Ewma, FaultSample, MetricsRegistry, MetricsSnapshot, NullRecorder,
-    Rates, Recorder, SlidingWindow, TraceClass, TraceDecision, TraceEvent, TracePhase,
+    AllocSample, AppSample, FaultSample, MetricsRegistry, MetricsSnapshot, NullRecorder, Rates,
+    Recorder, TraceClass, TraceDecision, TraceEvent, TracePhase,
 };
 use copart_workloads::stream::StreamReference;
 
-use crate::fsm::{AppState, Observation};
-use crate::llc_fsm::LlcClassifier;
-use crate::mba_fsm::MbaClassifier;
+pub use crate::actuator::ResilienceConfig;
+use crate::actuator::{retry_transient, Actuator, ApplyReport, TransactionalActuator};
+use crate::classifier::{
+    initial_states, Classifier, DualFsmClassifier, Measurement, ProfileProbes,
+};
+use crate::fsm::AppState;
 use crate::metrics;
-use crate::next_state::{get_next_system_state, AppClassification, AppliedEvents};
+use crate::next_state::{AppClassification, AppliedEvents};
+use crate::planner::{Explorer, PlanAction};
+use crate::sensor::{Sensor, WindowedSensor};
 use crate::state::{SystemState, WaysBudget};
 use crate::CoPartParams;
 
@@ -45,62 +55,12 @@ pub enum Phase {
     Idle,
 }
 
-/// Smoothing weight for the degraded-mode rate estimates. Biased toward
-/// recent samples: the estimate is only consulted while counters are
-/// unavailable, so it should track the latest behaviour, not the whole
-/// run's average.
-const DEGRADED_EWMA_ALPHA: f64 = 0.3;
+/// Samples the sensor keeps per application (a little over the paper's
+/// adaptation horizon; only the last two matter for period rates).
+const SENSOR_WINDOW: usize = 8;
 
-/// EWMA'd copies of an application's per-epoch rates.
-///
-/// When a counter read drops out the runtime cannot measure this epoch,
-/// but it still owes the trace (and any consumer of the period record) a
-/// plausible per-application sample. These smoothers bridge the gap: they
-/// are fed every successfully measured epoch and consulted only on
-/// dropouts.
-#[derive(Debug)]
-struct RatesEwma {
-    ips: Ewma,
-    accesses: Ewma,
-    misses: Ewma,
-    miss_ratio: Ewma,
-}
-
-impl RatesEwma {
-    fn new() -> RatesEwma {
-        RatesEwma {
-            ips: Ewma::new(DEGRADED_EWMA_ALPHA),
-            accesses: Ewma::new(DEGRADED_EWMA_ALPHA),
-            misses: Ewma::new(DEGRADED_EWMA_ALPHA),
-            miss_ratio: Ewma::new(DEGRADED_EWMA_ALPHA),
-        }
-    }
-
-    fn update(&mut self, r: &Rates) {
-        self.ips.update(r.ips);
-        self.accesses.update(r.llc_accesses_per_sec);
-        self.misses.update(r.llc_misses_per_sec);
-        self.miss_ratio.update(r.miss_ratio);
-    }
-
-    fn rates(&self) -> Option<Rates> {
-        Some(Rates {
-            ips: self.ips.value()?,
-            llc_accesses_per_sec: self.accesses.value()?,
-            llc_misses_per_sec: self.misses.value()?,
-            miss_ratio: self.miss_ratio.value()?,
-        })
-    }
-
-    fn reset(&mut self) {
-        self.ips.reset();
-        self.accesses.reset();
-        self.misses.reset();
-        self.miss_ratio.reset();
-    }
-}
-
-/// One consolidated application under management.
+/// One consolidated application under management: its identity plus its
+/// sensing and classification layers.
 #[derive(Debug)]
 pub struct ManagedApp {
     /// The application's resource group (CLOS).
@@ -114,13 +74,11 @@ pub struct ManagedApp {
     /// twice as close to its solo speed (see
     /// [`crate::metrics::weighted_unfairness`]).
     pub weight: f64,
-    window: SlidingWindow,
-    llc_fsm: LlcClassifier,
-    mba_fsm: MbaClassifier,
+    sensor: WindowedSensor,
+    classifier: DualFsmClassifier,
     prev_ips: f64,
     last_ips: f64,
     last_events: AppliedEvents,
-    ewma: RatesEwma,
 }
 
 impl ManagedApp {
@@ -130,13 +88,11 @@ impl ManagedApp {
             name,
             ips_full: 0.0,
             weight: 1.0,
-            window: SlidingWindow::new(8),
-            llc_fsm: LlcClassifier::new(AppState::Maintain),
-            mba_fsm: MbaClassifier::new(AppState::Maintain),
+            sensor: WindowedSensor::new(SENSOR_WINDOW),
+            classifier: DualFsmClassifier::new(),
             prev_ips: 0.0,
             last_ips: 0.0,
             last_events: AppliedEvents::default(),
-            ewma: RatesEwma::new(),
         }
     }
 
@@ -152,7 +108,7 @@ impl ManagedApp {
 
     /// Current classifier states `(LLC, MBA)`.
     pub fn classifier_states(&self) -> (AppState, AppState) {
-        (self.llc_fsm.state(), self.mba_fsm.state())
+        self.classifier.states()
     }
 }
 
@@ -186,33 +142,6 @@ pub struct PeriodRecord {
     pub unfairness: f64,
 }
 
-/// Bounded retry-with-backoff policy for transient backend failures.
-///
-/// On a real server a schemata write can race another resctrl user and
-/// come back `EBUSY` ([`RdtError::Busy`]); such failures are expected to
-/// clear within a write or two. The runtime retries them up to
-/// `max_write_attempts` total attempts, backing off exponentially from
-/// `retry_backoff` between attempts. The backoff is spent through
-/// [`RdtBackend::advance`], so it is virtual time on the simulator and a
-/// real sleep on hardware.
-#[derive(Debug, Clone)]
-pub struct ResilienceConfig {
-    /// Total attempts per backend write, including the first
-    /// (1 disables retrying).
-    pub max_write_attempts: u32,
-    /// Backoff before the first retry; doubled on each further retry.
-    pub retry_backoff: Duration,
-}
-
-impl Default for ResilienceConfig {
-    fn default() -> ResilienceConfig {
-        ResilienceConfig {
-            max_write_attempts: 4,
-            retry_backoff: Duration::from_millis(1),
-        }
-    }
-}
-
 /// Configuration of a consolidation run.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -230,45 +159,33 @@ pub struct RuntimeConfig {
     pub resilience: ResilienceConfig,
 }
 
-/// Runs `op`, retrying transient ([`RdtError::is_transient`]) failures
-/// with exponential backoff per `resilience`. Each retry is counted into
-/// `retries`. Backoff-advance failures are ignored: the backoff is best
-/// effort, the retried write is what matters.
-fn retry_transient<B: RdtBackend, T>(
-    backend: &mut B,
-    resilience: &ResilienceConfig,
-    retries: &mut u32,
-    mut op: impl FnMut(&mut B) -> Result<T, RdtError>,
-) -> Result<T, RdtError> {
-    let mut attempt = 1u32;
-    loop {
-        match op(backend) {
-            Err(e) if e.is_transient() && attempt < resilience.max_write_attempts.max(1) => {
-                *retries += 1;
-                let backoff = resilience.retry_backoff * 2u32.saturating_pow(attempt - 1);
-                let _ = backend.advance(backoff);
-                attempt += 1;
-            }
-            other => return other,
-        }
-    }
+/// Reusable per-epoch buffers, so the hot path does not reallocate the
+/// same vectors every period.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    /// Classifier verdicts + slowdowns, rebuilt each period.
+    classifications: Vec<AppClassification>,
+    /// Weighted slowdowns for the unfairness computation.
+    slowdowns: Vec<f64>,
+    /// Mask layout of the state being applied.
+    masks: Vec<copart_rdt::CbmMask>,
+    /// Mask layout of the rollback target during a failed transaction.
+    rollback_masks: Vec<copart_rdt::CbmMask>,
 }
 
-/// The CoPart resource manager.
+/// The CoPart resource manager: a thin epoch driver over the sensing,
+/// classification, planning, and actuation layers.
 pub struct ConsolidationRuntime<B: RdtBackend> {
     backend: B,
     apps: Vec<ManagedApp>,
+    /// The apps' group ids, cached in app order for the actuator.
+    groups: Vec<ClosId>,
     cfg: RuntimeConfig,
     state: SystemState,
     phase: Phase,
-    retry_count: u32,
-    rng: XorShift64Star,
-    unfairness_at_idle: f64,
-    /// Best (lowest-unfairness) state observed during the current
-    /// exploration, and its unfairness. Random neighbor restarts can walk
-    /// into worse states with no supplier able to undo them; the manager
-    /// settles on the best state seen when it goes idle.
-    best_seen: Option<(f64, SystemState)>,
+    explorer: Explorer,
+    actuator: TransactionalActuator,
+    scratch: EpochScratch,
     /// Monotone event counter: one per control period plus one per
     /// profiling probe, advanced whether or not a recorder listens.
     epoch: u64,
@@ -300,18 +217,20 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             .into_iter()
             .map(|(g, name)| ManagedApp::new(g, name))
             .collect();
+        let group_ids: Vec<ClosId> = apps.iter().map(|a| a.group).collect();
         let state = SystemState::equal_split(apps.len(), &cfg.budget, cfg.budget.mba_cap);
-        let rng = XorShift64Star::seed_from_u64(cfg.params.seed);
+        let explorer = Explorer::new(cfg.params.seed);
+        let actuator = TransactionalActuator::new(cfg.resilience.clone());
         let mut runtime = ConsolidationRuntime {
             backend,
             apps,
+            groups: group_ids,
             cfg,
             state,
             phase: Phase::Profiling,
-            retry_count: 0,
-            rng,
-            unfairness_at_idle: 0.0,
-            best_seen: None,
+            explorer,
+            actuator,
+            scratch: EpochScratch::default(),
             epoch: 0,
             recorder: Box::new(NullRecorder),
             metrics: MetricsRegistry::new(),
@@ -319,7 +238,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         // The retry-aware path, so a transiently busy backend does not
         // fail construction.
         let mut retries = 0u32;
-        runtime.apply_with_retry(&mut retries)?;
+        runtime.apply_current(&mut retries)?;
         if retries > 0 {
             runtime
                 .metrics
@@ -402,14 +321,9 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         // A weight change alters the fairness objective: re-explore.
         if self.phase == Phase::Idle {
             self.phase = Phase::Exploring;
-            self.retry_count = 0;
-            self.best_seen = None;
+            self.explorer.restart();
         }
         Ok(())
-    }
-
-    fn group_ids(&self) -> Vec<ClosId> {
-        self.apps.iter().map(|a| a.group).collect()
     }
 
     /// Measures average IPS (and access rate / miss ratio / miss rate) of
@@ -500,48 +414,28 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             let (ips_mba, _, _, _) = self.probe(i, p.profile_periods, &mut retries)?;
 
             // Restore the shared equal-split allocation for this app.
-            self.apply_with_retry(&mut retries)?;
+            self.apply_current(&mut retries)?;
 
-            let deg = |x: f64| {
-                if ips_full > 0.0 {
-                    (ips_full - x) / ips_full
-                } else {
-                    0.0
-                }
+            let probes = ProfileProbes {
+                ips_full,
+                ips_llc_probe: ips_llc,
+                ips_mba_probe: ips_mba,
+                probe_access_rate,
+                probe_miss_ratio,
+                traffic_full: self.cfg.stream.traffic_ratio(miss_rate, budget.mba_cap),
             };
-            // Supply when the cache is barely exercised even at l_P ways:
-            // a low access rate means cache-idle, a low miss ratio at l_P
-            // ways means the working set already fits a minimal slice.
-            let llc_initial = if deg(ips_llc) > p.profile_demand_threshold {
-                AppState::Demand
-            } else if probe_access_rate < p.alpha_access_rate
-                || probe_miss_ratio < p.miss_ratio_supply
-            {
-                AppState::Supply
-            } else {
-                AppState::Maintain
-            };
-            let traffic_full = self.cfg.stream.traffic_ratio(miss_rate, budget.mba_cap);
-            let mba_initial = if deg(ips_mba) > p.profile_demand_threshold {
-                AppState::Demand
-            } else if traffic_full < p.traffic_ratio_supply {
-                AppState::Supply
-            } else {
-                AppState::Maintain
-            };
+            let (llc_initial, mba_initial) = initial_states(&p, &probes);
 
             let app = &mut self.apps[i];
             app.ips_full = ips_full;
             app.prev_ips = ips_full;
             app.last_ips = ips_full;
-            app.llc_fsm.reset(llc_initial);
-            app.mba_fsm.reset(mba_initial);
-            app.window.clear();
+            app.classifier.reset(llc_initial, mba_initial);
             app.last_events = AppliedEvents::default();
             // Seed the degraded-mode estimate so even a first-epoch
             // dropout has something to bridge with.
-            app.ewma.reset();
-            app.ewma.update(&Rates {
+            app.sensor.reset();
+            app.sensor.seed(&Rates {
                 ips: ips_full,
                 llc_accesses_per_sec: probe_access_rate,
                 llc_misses_per_sec: miss_rate,
@@ -583,8 +477,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             self.metrics.add("fault_write_retries", u64::from(retries));
         }
         self.phase = Phase::Exploring;
-        self.retry_count = 0;
-        self.best_seen = None;
+        self.explorer.restart();
         Ok(())
     }
 
@@ -608,61 +501,45 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     pub fn run_period(&mut self) -> Result<PeriodRecord, RdtError> {
         let t_epoch = Instant::now();
         let tracing = self.recorder.enabled();
-        let p = self.cfg.params.clone();
         let mut fault = FaultSample::new();
-        self.backend.advance(p.period)?;
+        self.backend.advance(self.cfg.params.period)?;
 
-        // Sample counters and build observations.
-        let mut classifications = Vec::with_capacity(self.apps.len());
+        // Sense and classify.
+        self.scratch.classifications.clear();
         let mut period_apps = Vec::with_capacity(self.apps.len());
         let mut trace_apps: Vec<AppSample> = Vec::new();
         for (i, app) in self.apps.iter_mut().enumerate() {
             let mba_level = self.state.allocs[i].mba;
-            let snapshot = self.backend.read_counters(app.group);
-            let (rates, dropped) = match snapshot {
-                Ok(s) => {
-                    app.window.push(s);
-                    (app.window.last_rates(), false)
-                }
-                // Dropout (or a momentarily vanished group): degrade —
-                // hold the previous estimates for one period.
-                Err(_) => (None, true),
-            };
-            if dropped {
+            let reading = app.sensor.ingest(self.backend.read_counters(app.group));
+            if reading.dropped {
                 self.metrics.inc("fault_counter_dropouts");
                 fault.degraded.push(app.name.clone());
             }
-            if let Some(r) = rates {
+            if let Some(r) = reading.rates {
                 let perf_delta = if app.prev_ips > 0.0 {
                     (r.ips - app.prev_ips) / app.prev_ips
                 } else {
                     0.0
                 };
-                let traffic_ratio = self
-                    .cfg
-                    .stream
-                    .traffic_ratio(r.llc_misses_per_sec, mba_level);
-                let base = Observation {
+                let m = Measurement {
                     perf_delta,
                     access_rate: r.llc_accesses_per_sec,
                     miss_ratio: r.miss_ratio,
-                    traffic_ratio,
-                    event: app.last_events.llc_event(),
+                    traffic_ratio: self
+                        .cfg
+                        .stream
+                        .traffic_ratio(r.llc_misses_per_sec, mba_level),
                 };
-                app.llc_fsm.update(&p, &base);
-                let mba_obs = Observation {
-                    event: app.last_events.mba_event(),
-                    ..base
-                };
-                app.mba_fsm.update(&p, &mba_obs);
+                app.classifier
+                    .observe(&self.cfg.params, &m, app.last_events);
                 app.prev_ips = app.last_ips;
                 app.last_ips = r.ips;
-                app.ewma.update(&r);
             }
             app.last_events = AppliedEvents::default();
-            classifications.push(AppClassification {
-                llc: app.llc_fsm.state(),
-                mba: app.mba_fsm.state(),
+            let (llc_state, mba_state) = app.classifier.states();
+            self.scratch.classifications.push(AppClassification {
+                llc: llc_state,
+                mba: mba_state,
                 // Weight-normalized: a high-priority application competes
                 // as if it were more slowed than it is.
                 slowdown: app.weighted_slowdown(),
@@ -671,23 +548,19 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 name: app.name.clone(),
                 ips: app.last_ips,
                 slowdown: app.slowdown(),
-                llc_state: app.llc_fsm.state(),
-                mba_state: app.mba_fsm.state(),
+                llc_state,
+                mba_state,
             });
             if tracing {
                 // A degraded app is traced with its smoothed estimate; an
                 // app that merely lacks two samples (startup, clock stall)
                 // is traced as zero-rates, exactly as before.
-                let shown = match rates {
-                    Some(r) => r,
-                    None if dropped => app.ewma.rates().unwrap_or_default(),
-                    None => Rates::default(),
-                };
+                let shown = app.sensor.display_rates(&reading);
                 trace_apps.push(AppSample::from_rates(
                     &app.name,
                     app.slowdown(),
-                    trace_class(app.llc_fsm.state()),
-                    trace_class(app.mba_fsm.state()),
+                    trace_class(llc_state),
+                    trace_class(mba_state),
                     &shown,
                 ));
             }
@@ -696,8 +569,11 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             self.metrics.inc("degraded_epochs");
         }
 
-        let slowdowns: Vec<f64> = classifications.iter().map(|c| c.slowdown).collect();
-        let current_unfairness = metrics::unfairness(&slowdowns);
+        self.scratch.slowdowns.clear();
+        self.scratch
+            .slowdowns
+            .extend(self.scratch.classifications.iter().map(|c| c.slowdown));
+        let current_unfairness = metrics::unfairness(&self.scratch.slowdowns);
 
         // What the trace event for this epoch will say.
         let mut decision = TraceDecision::Monitor;
@@ -707,91 +583,55 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         match self.phase {
             Phase::Exploring => {
                 // The unfairness just measured belongs to the state that
-                // was in force during this period; remember the best. The
-                // first period after (re)starting carries bootstrap
-                // slowdowns (exactly 1.0 for everyone, unfairness 0), so
-                // only states with two real counter samples qualify.
-                let measured = self.apps.iter().all(|a| a.window.len() >= 2);
-                if measured
-                    && current_unfairness.is_finite()
-                    && self
-                        .best_seen
-                        .as_ref()
-                        .is_none_or(|(u, _)| current_unfairness < *u)
-                {
-                    self.best_seen = Some((current_unfairness, self.state.clone()));
-                }
+                // was in force during this period; remember the best.
+                let measured = self.apps.iter().all(|a| a.sensor.samples() >= 2);
+                self.explorer
+                    .record_best(current_unfairness, &self.state, measured);
                 let t_explore = Instant::now();
-                let outcome = if p.use_hr_matching {
-                    get_next_system_state(
-                        &self.state,
-                        &classifications,
-                        &self.cfg.budget,
-                        &mut self.rng,
-                        self.cfg.manage_llc,
-                        self.cfg.manage_mba,
-                    )
-                } else {
-                    crate::next_state::get_next_system_state_greedy(
-                        &self.state,
-                        &classifications,
-                        &self.cfg.budget,
-                        self.cfg.manage_llc,
-                        self.cfg.manage_mba,
-                    )
-                };
+                let step = self.explorer.plan(
+                    &self.cfg,
+                    &self.state,
+                    &self.scratch.classifications,
+                    current_unfairness,
+                );
                 self.metrics
                     .observe_ns("explore_ns", t_explore.elapsed().as_nanos() as u64);
-                matching_rounds = outcome.matching_rounds;
+                matching_rounds = step.matching_rounds;
                 self.metrics
-                    .add("matching_rounds", u64::from(outcome.matching_rounds));
+                    .add("matching_rounds", u64::from(step.matching_rounds));
                 if tracing {
-                    proposed = alloc_samples(&outcome.state);
+                    proposed = alloc_samples(&step.proposal);
                 }
-                if outcome.changed {
-                    // A rolled-back apply leaves the old state in force;
-                    // classifiers simply propose again next period.
-                    if self.apply_state_txn(outcome.state, &mut fault) {
-                        for (app, ev) in self.apps.iter_mut().zip(outcome.events) {
-                            app.last_events = ev;
+                match step.action {
+                    PlanAction::Transfer { events } => {
+                        // A rolled-back apply leaves the old state in
+                        // force; classifiers simply propose again next
+                        // period.
+                        if self.apply_state_txn(step.proposal, &mut fault) {
+                            for (app, ev) in self.apps.iter_mut().zip(events) {
+                                app.last_events = ev;
+                            }
+                            self.explorer.transfer_applied();
+                            self.metrics.inc("transfers");
                         }
-                        self.retry_count = 0;
-                        self.metrics.inc("transfers");
+                        decision = TraceDecision::Transfer;
                     }
-                    decision = TraceDecision::Transfer;
-                } else if self.retry_count < p.theta_retries
-                    && (self.cfg.manage_llc || self.cfg.manage_mba)
-                {
-                    // Algorithm 1 lines 11–14: random neighbor restart.
-                    let neighbor = self.state.neighbor(
-                        &self.cfg.budget,
-                        &mut self.rng,
-                        self.cfg.manage_llc,
-                        self.cfg.manage_mba,
-                    );
-                    if tracing {
-                        // The proposal that actually went out is the
-                        // random neighbor, not the stalled matching state.
-                        proposed = alloc_samples(&neighbor);
-                    }
-                    let events = diff_events(&self.state, &neighbor);
-                    // A rolled-back restart does not consume a θ-retry:
-                    // nothing new was tried.
-                    if self.apply_state_txn(neighbor, &mut fault) {
-                        for (app, ev) in self.apps.iter_mut().zip(events) {
-                            app.last_events = ev;
+                    PlanAction::ThetaRetry => {
+                        let events = diff_events(&self.state, &step.proposal);
+                        // A rolled-back restart does not consume a
+                        // θ-retry: nothing new was tried.
+                        if self.apply_state_txn(step.proposal, &mut fault) {
+                            for (app, ev) in self.apps.iter_mut().zip(events) {
+                                app.last_events = ev;
+                            }
+                            self.explorer.retry_applied();
+                            self.metrics.inc("theta_retries");
                         }
-                        self.retry_count += 1;
-                        self.metrics.inc("theta_retries");
+                        decision = TraceDecision::ThetaRetry;
                     }
-                    decision = TraceDecision::ThetaRetry;
-                } else {
-                    // Converged: settle on the best state seen during this
-                    // exploration (random restarts may have left us on a
-                    // worse state with no producer able to undo them).
-                    let mut settled = current_unfairness;
-                    if let Some((best_u, best_state)) = self.best_seen.take() {
-                        if best_state != self.state && best_u < current_unfairness {
+                    PlanAction::Converge { settle } => {
+                        let mut settled = current_unfairness;
+                        if let Some((best_u, best_state)) = settle {
                             let events = diff_events(&self.state, &best_state);
                             // On rollback the manager idles where it is.
                             if self.apply_state_txn(best_state, &mut fault) {
@@ -801,20 +641,19 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                                 settled = best_u;
                             }
                         }
+                        self.explorer.settle(settled);
+                        self.phase = Phase::Idle;
+                        self.metrics.inc("convergences");
+                        decision = TraceDecision::Converged;
                     }
-                    self.unfairness_at_idle = settled;
-                    self.phase = Phase::Idle;
-                    self.metrics.inc("convergences");
-                    decision = TraceDecision::Converged;
                 }
             }
             Phase::Idle => {
                 // §5.4.3: monitor only, but resume adaptation when the
                 // fairness picture drifts substantially.
-                if current_unfairness > self.unfairness_at_idle * 1.5 + 0.02 {
+                if self.explorer.should_reexplore(current_unfairness) {
                     self.phase = Phase::Exploring;
-                    self.retry_count = 0;
-                    self.best_seen = None;
+                    self.explorer.restart();
                     self.metrics.inc("re_explorations");
                     decision = TraceDecision::ReExplore;
                 }
@@ -875,11 +714,10 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.apply_state()?;
         for app in &mut self.apps {
             app.last_events = AppliedEvents::default();
-            app.window.clear();
+            app.sensor.clear_window();
         }
         self.phase = Phase::Exploring;
-        self.retry_count = 0;
-        self.best_seen = None;
+        self.explorer.restart();
         Ok(())
     }
 
@@ -897,6 +735,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             .position(|a| a.group == group)
             .ok_or(RdtError::UnknownGroup(group))?;
         self.apps.remove(idx);
+        self.groups.remove(idx);
         if self.apps.is_empty() {
             return Ok(());
         }
@@ -906,8 +745,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
         self.apply_state()?;
         self.phase = Phase::Exploring;
-        self.retry_count = 0;
-        self.best_seen = None;
+        self.explorer.restart();
         Ok(())
     }
 
@@ -919,40 +757,38 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// Fails when the re-profiled initial state cannot be applied.
     pub fn add_app(&mut self, group: ClosId, name: String) -> Result<(), RdtError> {
         self.apps.push(ManagedApp::new(group, name));
+        self.groups.push(group);
         self.state =
             SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
         self.apply_state()?;
         self.phase = Phase::Profiling;
-        self.retry_count = 0;
-        self.best_seen = None;
+        self.explorer.restart();
         self.profile()
     }
 
-    /// Writes `self.state`'s allocation for every group, retrying
-    /// transient failures. The first persistent failure propagates —
-    /// membership and budget changes use this and surface the error to
-    /// their caller, who owns the recovery decision.
-    fn apply_with_retry(&mut self, retries: &mut u32) -> Result<(), RdtError> {
-        let groups = self.group_ids();
-        let res = self.cfg.resilience.clone();
-        let budget = self.cfg.budget;
-        let machine_ways = self.backend.capabilities().llc_ways;
-        let masks = self.state.masks(&budget, machine_ways);
-        for ((group, alloc), mask) in groups.iter().zip(&self.state.allocs).zip(masks) {
-            let group = *group;
-            let level = alloc.mba.min(budget.mba_cap);
-            retry_transient(&mut self.backend, &res, retries, |b| b.set_cbm(group, mask))?;
-            retry_transient(&mut self.backend, &res, retries, |b| {
-                b.set_mba(group, level)
-            })?;
-        }
-        Ok(())
+    /// Writes `self.state`'s allocation for every group through the
+    /// actuator, accumulating transient-retry counts into `retries`. The
+    /// first persistent failure propagates — membership and budget
+    /// changes use this and surface the error to their caller, who owns
+    /// the recovery decision.
+    fn apply_current(&mut self, retries: &mut u32) -> Result<(), RdtError> {
+        let mut report = ApplyReport::default();
+        let result = self.actuator.apply(
+            &mut self.backend,
+            &self.groups,
+            &self.state,
+            &self.cfg.budget,
+            &mut self.scratch.masks,
+            &mut report,
+        );
+        *retries += report.write_retries;
+        result
     }
 
     fn apply_state(&mut self) -> Result<(), RdtError> {
         let t0 = Instant::now();
         let mut retries = 0u32;
-        let result = self.apply_with_retry(&mut retries);
+        let result = self.apply_current(&mut retries);
         self.metrics
             .observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
         self.metrics.inc("backend_applies");
@@ -962,84 +798,43 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         result
     }
 
-    /// Transactionally switches the partition to `new`: either every
-    /// group's CBM and MBA level land (the state is adopted, returns
-    /// `true`) or the already-written prefix is rolled back to the old
-    /// partition and the old state stays in force (returns `false`).
-    /// Mid-transition the masks of prefix and suffix groups may overlap —
-    /// CAT permits that (it restricts allocation, not lookup), so every
-    /// intermediate picture the hardware sees is individually valid.
-    ///
-    /// Transient write failures are retried with backoff first; only a
-    /// write that stays broken triggers the rollback. Rollback writes get
-    /// the same bounded retry, and one that *still* fails is counted
-    /// (`rollback_write_failures`) and skipped — the group keeps the new
-    /// mask until the next successful apply overwrites it, which is safe
-    /// for the same reason overlap mid-transition is.
+    /// Transactionally switches the partition to `new` through the
+    /// actuator (see [`Actuator::apply_txn`]); on success the state is
+    /// adopted, on rollback the old state stays in force. Folds the
+    /// actuator's [`ApplyReport`] into the metrics registry and the
+    /// epoch's fault sample.
     fn apply_state_txn(&mut self, new: SystemState, fault: &mut FaultSample) -> bool {
-        let groups = self.group_ids();
-        let res = self.cfg.resilience.clone();
-        let budget = self.cfg.budget;
-        let machine_ways = self.backend.capabilities().llc_ways;
-        let new_masks = new.masks(&budget, machine_ways);
         let t0 = Instant::now();
-        let mut retries = 0u32;
-        let mut failed_at = None;
-        for (i, (alloc, mask)) in new.allocs.iter().zip(&new_masks).enumerate() {
-            let group = groups[i];
-            let mask = *mask;
-            let level = alloc.mba.min(budget.mba_cap);
-            let wrote = retry_transient(&mut self.backend, &res, &mut retries, |b| {
-                b.set_cbm(group, mask)
-            })
-            .and_then(|()| {
-                retry_transient(&mut self.backend, &res, &mut retries, |b| {
-                    b.set_mba(group, level)
-                })
-            });
-            if wrote.is_err() {
-                failed_at = Some(i);
-                break;
-            }
-        }
-        let landed = failed_at.is_none();
-        if let Some(k) = failed_at {
-            // Roll groups 0..=k back to the old partition (group k may
-            // have taken the new CBM before its MBA write failed); the
-            // untouched suffix still holds it.
-            let old_masks = self.state.masks(&budget, machine_ways);
-            for i in 0..=k {
-                let group = groups[i];
-                let mask = old_masks[i];
-                let level = self.state.allocs[i].mba.min(budget.mba_cap);
-                if retry_transient(&mut self.backend, &res, &mut retries, |b| {
-                    b.set_cbm(group, mask)
-                })
-                .is_err()
-                {
-                    self.metrics.inc("rollback_write_failures");
-                }
-                if retry_transient(&mut self.backend, &res, &mut retries, |b| {
-                    b.set_mba(group, level)
-                })
-                .is_err()
-                {
-                    self.metrics.inc("rollback_write_failures");
-                }
-            }
+        let mut report = ApplyReport::default();
+        let landed = self.actuator.apply_txn(
+            &mut self.backend,
+            &self.groups,
+            &self.state,
+            &new,
+            &self.cfg.budget,
+            &mut self.scratch.masks,
+            &mut self.scratch.rollback_masks,
+            &mut report,
+        );
+        if landed {
+            self.state = new;
+        } else {
+            self.metrics.add(
+                "rollback_write_failures",
+                u64::from(report.rollback_write_failures),
+            );
             self.metrics.inc("partition_apply_failures");
             self.metrics.inc("partition_rollbacks");
             fault.rolled_back = true;
-        } else {
-            self.state = new;
         }
         self.metrics
             .observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
         self.metrics.inc("backend_applies");
-        if retries > 0 {
-            self.metrics.add("fault_write_retries", u64::from(retries));
+        if report.write_retries > 0 {
+            self.metrics
+                .add("fault_write_retries", u64::from(report.write_retries));
         }
-        fault.write_retries += retries;
+        fault.write_retries += report.write_retries;
         landed
     }
 
@@ -1061,7 +856,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             time_ns: self.backend.now_ns(),
             phase: trace_phase(phase),
             decision,
-            retry_count: self.retry_count,
+            retry_count: self.explorer.retry_count(),
             matching_rounds,
             unfairness,
             apps,
@@ -1104,7 +899,7 @@ fn alloc_samples(state: &SystemState) -> Vec<AllocSample> {
 }
 
 /// Derives per-application events from the difference between two states
-/// (used when a random neighbor state is applied).
+/// (used when a random neighbor or settle state is applied).
 fn diff_events(from: &SystemState, to: &SystemState) -> Vec<AppliedEvents> {
     from.allocs
         .iter()

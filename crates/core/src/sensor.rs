@@ -1,0 +1,176 @@
+//! The sensing layer: per-application counter sampling with
+//! degraded-mode EWMA bridging.
+//!
+//! The first stage of the control-plane pipeline (DESIGN.md §12). Each
+//! managed application owns one sensor; every epoch the driver hands it
+//! the raw counter-read result and gets back a [`SensorReading`] — the
+//! period rates when the read landed, or a *degraded* marker when it
+//! dropped out. The sensor also maintains the EWMA'd rate estimates the
+//! trace falls back on during dropouts, so a counter failure never
+//! crashes (or blinds) the resource manager.
+
+use copart_rdt::RdtError;
+use copart_telemetry::{CounterSnapshot, Ewma, Rates, SlidingWindow};
+
+/// Smoothing weight for the degraded-mode rate estimates. Biased toward
+/// recent samples: the estimate is only consulted while counters are
+/// unavailable, so it should track the latest behaviour, not the whole
+/// run's average.
+const DEGRADED_EWMA_ALPHA: f64 = 0.3;
+
+/// EWMA'd copies of an application's per-epoch rates.
+///
+/// When a counter read drops out the runtime cannot measure this epoch,
+/// but it still owes the trace (and any consumer of the period record) a
+/// plausible per-application sample. These smoothers bridge the gap: they
+/// are fed every successfully measured epoch and consulted only on
+/// dropouts.
+#[derive(Debug)]
+struct RatesEwma {
+    ips: Ewma,
+    accesses: Ewma,
+    misses: Ewma,
+    miss_ratio: Ewma,
+}
+
+impl RatesEwma {
+    fn new() -> RatesEwma {
+        RatesEwma {
+            ips: Ewma::new(DEGRADED_EWMA_ALPHA),
+            accesses: Ewma::new(DEGRADED_EWMA_ALPHA),
+            misses: Ewma::new(DEGRADED_EWMA_ALPHA),
+            miss_ratio: Ewma::new(DEGRADED_EWMA_ALPHA),
+        }
+    }
+
+    fn update(&mut self, r: &Rates) {
+        self.ips.update(r.ips);
+        self.accesses.update(r.llc_accesses_per_sec);
+        self.misses.update(r.llc_misses_per_sec);
+        self.miss_ratio.update(r.miss_ratio);
+    }
+
+    fn rates(&self) -> Option<Rates> {
+        Some(Rates {
+            ips: self.ips.value()?,
+            llc_accesses_per_sec: self.accesses.value()?,
+            llc_misses_per_sec: self.misses.value()?,
+            miss_ratio: self.miss_ratio.value()?,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.ips.reset();
+        self.accesses.reset();
+        self.misses.reset();
+        self.miss_ratio.reset();
+    }
+}
+
+/// What the sensing layer reports for one application in one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorReading {
+    /// Rates over the last period — present only once two good samples
+    /// straddle it (startup and clock stalls measure nothing).
+    pub rates: Option<Rates>,
+    /// Whether this epoch's counter read dropped out. The application is
+    /// *degraded* for the period: classifiers and the slowdown estimate
+    /// hold their previous values.
+    pub dropped: bool,
+}
+
+/// One application's sensing seam in the control-plane pipeline.
+pub trait Sensor {
+    /// Ingests one epoch's raw counter-read result and reports what the
+    /// rest of the pipeline may consume. A successful read feeds both the
+    /// sampling window and the degraded-mode smoothers; a failed read
+    /// marks the epoch degraded and touches neither.
+    fn ingest(&mut self, snapshot: Result<CounterSnapshot, RdtError>) -> SensorReading;
+
+    /// The rates a trace consumer should display for `reading`: the real
+    /// measurement when there is one, the EWMA'd estimate for a dropout,
+    /// and zero-rates when the window merely lacks two samples.
+    fn display_rates(&self, reading: &SensorReading) -> Rates;
+
+    /// Good samples currently in the window. The explorer only trusts an
+    /// unfairness measurement when every application has at least two.
+    fn samples(&self) -> usize;
+
+    /// Seeds the degraded-mode estimate (end of profiling), so even a
+    /// first-epoch dropout has something to bridge with.
+    fn seed(&mut self, rates: &Rates);
+
+    /// Forgets the sampling window but keeps the degraded-mode estimate
+    /// (budget changes: the old samples span a different partition).
+    fn clear_window(&mut self);
+
+    /// Forgets everything — window and estimate (re-profiling).
+    fn reset(&mut self);
+}
+
+/// The default sensor: a bounded [`SlidingWindow`] of snapshots plus the
+/// `RatesEwma` dropout bridge.
+#[derive(Debug)]
+pub struct WindowedSensor {
+    window: SlidingWindow,
+    ewma: RatesEwma,
+}
+
+impl WindowedSensor {
+    /// A sensor with a `capacity`-snapshot sampling window.
+    pub fn new(capacity: usize) -> WindowedSensor {
+        WindowedSensor {
+            window: SlidingWindow::new(capacity),
+            ewma: RatesEwma::new(),
+        }
+    }
+}
+
+impl Sensor for WindowedSensor {
+    fn ingest(&mut self, snapshot: Result<CounterSnapshot, RdtError>) -> SensorReading {
+        match snapshot {
+            Ok(s) => {
+                self.window.push(s);
+                let rates = self.window.last_rates();
+                if let Some(r) = &rates {
+                    self.ewma.update(r);
+                }
+                SensorReading {
+                    rates,
+                    dropped: false,
+                }
+            }
+            // Dropout (or a momentarily vanished group): degrade — hold
+            // the previous estimates for one period.
+            Err(_) => SensorReading {
+                rates: None,
+                dropped: true,
+            },
+        }
+    }
+
+    fn display_rates(&self, reading: &SensorReading) -> Rates {
+        match reading.rates {
+            Some(r) => r,
+            None if reading.dropped => self.ewma.rates().unwrap_or_default(),
+            None => Rates::default(),
+        }
+    }
+
+    fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    fn seed(&mut self, rates: &Rates) {
+        self.ewma.update(rates);
+    }
+
+    fn clear_window(&mut self) {
+        self.window.clear();
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.ewma.reset();
+    }
+}

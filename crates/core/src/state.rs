@@ -118,21 +118,30 @@ impl SystemState {
     /// Panics when the state violates the budget (`is_valid` is false);
     /// callers must only apply valid states.
     pub fn masks(&self, budget: &WaysBudget, machine_ways: u32) -> Vec<CbmMask> {
+        let mut out = Vec::with_capacity(self.allocs.len());
+        self.masks_into(budget, machine_ways, &mut out);
+        out
+    }
+
+    /// [`SystemState::masks`] into a caller-provided buffer (cleared
+    /// first), so per-epoch actuation can reuse its scratch allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state violates the budget (`is_valid` is false).
+    pub fn masks_into(&self, budget: &WaysBudget, machine_ways: u32, out: &mut Vec<CbmMask>) {
         assert!(self.is_valid(budget), "cannot lay out an invalid state");
+        out.clear();
         let spare = budget.total_ways - self.total_ways();
         let mut start = budget.first_way;
         let last = self.allocs.len() - 1;
-        self.allocs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let count = a.ways + if i == last { spare } else { 0 };
-                let mask = CbmMask::contiguous(start, count, machine_ways)
-                    .expect("valid state fits the machine");
-                start += count;
-                mask
-            })
-            .collect()
+        for (i, a) in self.allocs.iter().enumerate() {
+            let count = a.ways + if i == last { spare } else { 0 };
+            let mask = CbmMask::contiguous(start, count, machine_ways)
+                .expect("valid state fits the machine");
+            start += count;
+            out.push(mask);
+        }
     }
 
     /// Programs the state onto the backend, group by group.

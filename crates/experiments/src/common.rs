@@ -158,7 +158,7 @@ impl Context {
             self.prewarm(&mix.specs());
         }
         let cells: Vec<(usize, PolicyKind)> = (0..mixes.len())
-            .flat_map(|mi| PolicyKind::evaluated().into_iter().map(move |p| (mi, p)))
+            .flat_map(|mi| PolicyKind::evaluated().iter().map(move |&p| (mi, p)))
             .collect();
         let ctx = &*self;
         let results = copart_parallel::par_map_indexed(&cells, 1, |_, &(mi, p)| {

@@ -49,7 +49,7 @@ fn main() {
         "\n{:<10} {:>12} {:>16}  per-app slowdowns",
         "policy", "unfairness", "throughput(IPS)"
     );
-    for policy in PolicyKind::evaluated() {
+    for &policy in PolicyKind::evaluated() {
         let r = policies::evaluate_policy(&machine_cfg, &specs, &full, &stream, policy, &opts);
         let slowdowns: Vec<String> = r.slowdowns.iter().map(|s| format!("{s:.2}")).collect();
         println!(

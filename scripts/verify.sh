@@ -2,14 +2,17 @@
 # Pre-PR gate for the CoPart reproduction (see README.md).
 #
 # Two modes:
-#   verify.sh quick   fast inner-loop gate: debug tests + rustfmt + clippy.
-#                     One debug build of the workspace, nothing else.
+#   verify.sh quick   fast inner-loop gate: debug tests + rustfmt + clippy
+#                     + rustdoc with warnings denied. One debug build of
+#                     the workspace, nothing else.
 #   verify.sh [full]  everything a PR must pass: release build, release
 #                     tests (sharing the release cache with the build —
 #                     no debug/release double compile), rustfmt, clippy,
-#                     and rustdoc with warnings denied (the workspace
-#                     keeps `#![warn(missing_docs)]` satisfied on every
-#                     crate).
+#                     rustdoc with warnings denied (the workspace keeps
+#                     `#![warn(missing_docs)]` satisfied on every crate),
+#                     the chaos gate, and the explore-overhead benchmark,
+#                     which prints the per-epoch heap allocation count of
+#                     `run_period` against the recorded baseline.
 #
 # The script is std-toolchain only: no network access and no external
 # tools beyond cargo itself.
@@ -28,6 +31,9 @@ quick)
 
     echo "==> cargo clippy (warnings are errors)"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "==> cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
     ;;
 full)
     echo "==> tier-1: cargo build --release"
@@ -47,6 +53,11 @@ full)
 
     echo "==> chaos gate (fault injection, REPRO_FAST)"
     REPRO_FAST=1 scripts/chaos.sh release
+
+    echo "==> explore-overhead benchmark (per-epoch allocation count)"
+    cargo bench -p copart-bench --bench explore_overhead 2>&1 \
+        | grep -E "heap allocations|WARNING" \
+        || { echo "explore_overhead produced no allocation report" >&2; exit 1; }
     ;;
 *)
     echo "usage: $0 [quick|full]" >&2

@@ -145,6 +145,133 @@ fn seed_sweep_soak() {
     );
 }
 
+/// The hostile plan with the vanish site disarmed: membership churn is
+/// driven by the test itself, so groups must not also disappear under it.
+fn churn_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        vanish: FaultTrigger::Never,
+        ..hostile_plan(seed)
+    }
+}
+
+/// Membership churn while every transient fault site fires: an
+/// application departs mid-run and a new one is admitted, each followed
+/// by more faulted epochs. The runtime's bookkeeping (apps, cached
+/// groups, partition state) must stay consistent through both
+/// transitions, and the standing resilience invariants must keep holding.
+fn churn_one(seed: u64, epochs: u32) {
+    let (backend, groups) = build(MixKind::HighBoth);
+    let n0 = groups.len();
+    let faulty = FaultyBackend::new(backend, churn_plan(seed));
+    let mut rt = ConsolidationRuntime::new(faulty, groups, runtime_cfg())
+        .unwrap_or_else(|e| panic!("seed {seed}: construction failed: {e}"));
+    let mut profiled = false;
+    for _ in 0..10 {
+        if rt.profile().is_ok() {
+            profiled = true;
+            break;
+        }
+    }
+    assert!(profiled, "seed {seed}: profiling should survive 10 passes");
+
+    let budget = WaysBudget::full_machine(11);
+    let check_epochs = |rt: &mut ConsolidationRuntime<FaultyBackend<SimBackend>>, stage: &str| {
+        for k in 0..epochs {
+            let r = rt
+                .run_period()
+                .unwrap_or_else(|e| panic!("seed {seed} {stage} epoch {k}: period failed: {e}"));
+            assert!(
+                r.state.is_valid(&budget),
+                "seed {seed} {stage} epoch {k}: invalid state {:?}",
+                r.state
+            );
+            assert_eq!(
+                r.apps.len(),
+                rt.apps().len(),
+                "seed {seed} {stage} epoch {k}: period/app bookkeeping diverged"
+            );
+            assert!(
+                r.unfairness.is_finite(),
+                "seed {seed} {stage} epoch {k}: unfairness is not finite"
+            );
+        }
+    };
+    check_epochs(&mut rt, "pre-churn");
+
+    // Departure. A persistent write fault can abort the shrunken-state
+    // apply; the membership change itself must stick either way, and the
+    // next successful apply re-synchronizes the backend.
+    let victim = rt.apps()[0].group;
+    let _ = rt.remove_app(victim);
+    assert_eq!(rt.apps().len(), n0 - 1, "seed {seed}: departure lost");
+    assert!(
+        rt.apps().iter().all(|a| a.group != victim),
+        "seed {seed}: victim still managed"
+    );
+    rt.backend_mut()
+        .inner_mut()
+        .remove_workload(victim)
+        .unwrap_or_else(|e| panic!("seed {seed}: sim removal failed: {e}"));
+    check_epochs(&mut rt, "post-remove");
+
+    // Admission: a new workload joins and the whole consolidation is
+    // re-profiled. A persistent fault can abort the profiling pass
+    // mid-way; the app stays admitted, so re-profile until it sticks.
+    let mut spec = copart_workloads::Benchmark::Swaptions.spec();
+    spec.name = "late_joiner".to_string();
+    let joiner = rt
+        .backend_mut()
+        .inner_mut()
+        .add_workload(spec)
+        .unwrap_or_else(|e| panic!("seed {seed}: sim admission failed: {e}"));
+    if rt.add_app(joiner, "late_joiner".to_string()).is_err() {
+        let mut reprofiled = false;
+        for _ in 0..10 {
+            if rt.profile().is_ok() {
+                reprofiled = true;
+                break;
+            }
+        }
+        assert!(
+            reprofiled,
+            "seed {seed}: re-profiling after admission should survive 10 passes"
+        );
+    }
+    assert_eq!(rt.apps().len(), n0, "seed {seed}: admission lost");
+    let late = rt
+        .apps()
+        .iter()
+        .find(|a| a.group == joiner)
+        .unwrap_or_else(|| panic!("seed {seed}: late joiner not managed"));
+    assert_eq!(late.name, "late_joiner");
+    assert!(
+        late.ips_full > 0.0,
+        "seed {seed}: late joiner was never profiled"
+    );
+    check_epochs(&mut rt, "post-add");
+
+    let m = rt.metrics_snapshot();
+    assert_eq!(
+        m.counter("partition_rollbacks"),
+        m.counter("partition_apply_failures"),
+        "seed {seed}: every failed partition apply must roll back"
+    );
+    assert_eq!(
+        rt.state().allocs.len(),
+        rt.apps().len(),
+        "seed {seed}: state/app bookkeeping diverged"
+    );
+}
+
+#[test]
+fn app_churn_under_faults() {
+    let seeds: &[u64] = if fast() { &[7, 23] } else { &[7, 23, 1117] };
+    let epochs = if fast() { 20 } else { 60 };
+    for &seed in seeds {
+        churn_one(seed, epochs);
+    }
+}
+
 /// `FaultPlan::none()` must be a true no-op: a run through the decorator
 /// with no site armed produces a byte-identical JSONL trace to a run on
 /// the bare backend.
