@@ -1,0 +1,121 @@
+//! The `copart-check` binary: runs the workspace's differential-oracle
+//! suite from the command line.
+//!
+//! ```text
+//! copart-check [--cases N] [--seed S] [--jobs N] [--corpus DIR]
+//!              [--no-corpus] [--replay-only] [--bless] [--list]
+//! ```
+//!
+//! Defaults come from the environment knobs (`COPART_CHECK_CASES`,
+//! `COPART_CHECK_SEED`, `COPART_JOBS`, `COPART_CORPUS_DIR`). The report
+//! goes to stdout and is byte-identical for any `--jobs` value; the exit
+//! code is 0 iff every property passed. `--replay-only` runs just the
+//! blessed corpus (the CI corpus job); `--bless` writes each minimized
+//! fresh failure into the corpus directory so that, once the underlying
+//! bug is fixed, it replays as a regression test forever after.
+
+use copart_check::runner::FailureOrigin;
+use copart_check::{oracles, run_suite, CheckConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    config: CheckConfig,
+    bless: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut config = CheckConfig::from_env();
+    let mut bless = false;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--cases" => {
+                config.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                config.seed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                }
+                .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jobs" => {
+                config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--corpus" => config.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--no-corpus" => config.corpus_dir = None,
+            "--replay-only" => config.cases = 0,
+            "--bless" => bless = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                return Err("usage: copart-check [--cases N] [--seed S] [--jobs N] \
+                            [--corpus DIR] [--no-corpus] [--replay-only] [--bless] [--list]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(Options {
+        config,
+        bless,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let properties = oracles::all();
+    if options.list {
+        for p in &properties {
+            println!("{}", p.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = run_suite(&properties, &options.config);
+    print!("{}", report.render());
+
+    if options.bless {
+        let Some(dir) = &options.config.corpus_dir else {
+            eprintln!("--bless needs a corpus directory (drop --no-corpus)");
+            return ExitCode::from(2);
+        };
+        for p in &report.properties {
+            for f in &p.failures {
+                // Corpus failures are existing entries; only fresh
+                // minimized counterexamples get persisted.
+                if matches!(f.origin, FailureOrigin::Corpus { .. }) {
+                    continue;
+                }
+                let case = f.corpus_case();
+                let path = dir.join(format!("{}.case", case.name));
+                match std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(&path, case.render()))
+                {
+                    Ok(()) => eprintln!("blessed {}", path.display()),
+                    Err(e) => eprintln!("blessing {} failed: {e}", path.display()),
+                }
+            }
+        }
+    }
+
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,90 @@
+//! Oracle for the classifier-input smoother (`copart_telemetry::Ewma`).
+//!
+//! Folds a randomized sample sequence — finite values interleaved with
+//! NaN/±∞ dropouts — through `Ewma::update` and through an independent
+//! `Option<f64>` fold of the recurrence `αx + (1−α)v`. The two must agree
+//! *bitwise* at every step, including the no-observation (`None`) cases.
+//! This is the property that flushed out the fabricated `0.0` a
+//! non-finite first sample used to produce (corpus entry
+//! `ewma-nonfinite-first-sample`).
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+use copart_telemetry::Ewma;
+
+/// Candidate samples, dropouts first so a zeroed (shrunken) tape yields
+/// the historically buggy case: a non-finite sample before any finite
+/// one.
+const SAMPLES: [f64; 8] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    0.0,
+    -3.25,
+    6.0,
+    1.0e9,
+    5.0e-3,
+];
+
+fn ewma_case(src: &mut Source) -> CaseOutcome {
+    let alpha = *src.pick(&[1.0, 0.5, 0.3, 0.05]);
+    let len = src.size(1, 12);
+    let samples: Vec<f64> = (0..len).map(|_| *src.pick(&SAMPLES)).collect();
+    let witness = format!("alpha={alpha} samples={samples:?}");
+
+    let mut smoother = Ewma::new(alpha);
+    let mut model: Option<f64> = None;
+    for (i, &sample) in samples.iter().enumerate() {
+        if sample.is_finite() {
+            model = Some(match model {
+                None => sample,
+                Some(v) => alpha * sample + (1.0 - alpha) * v,
+            });
+        }
+        let got = smoother.update(sample);
+        if got != model || smoother.value() != model {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!(
+                    "diverged at step {i} (sample {sample}): update → {got:?}, \
+                     value() → {:?}, reference → {model:?}",
+                    smoother.value()
+                )),
+            };
+        }
+    }
+    CaseOutcome {
+        witness,
+        verdict: Ok(()),
+    }
+}
+
+/// The EWMA oracle.
+pub fn properties() -> Vec<Property> {
+    vec![Property::new("ewma-reference", ewma_case)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..64 {
+            let mut src = Source::from_seed(seed);
+            let out = ewma_case(&mut src);
+            assert_eq!(out.verdict, Ok(()), "seed {seed}: {}", out.witness);
+        }
+    }
+
+    /// The zeroed tape decodes to the exact historical bug trigger:
+    /// α = 1.0 and one NaN sample.
+    #[test]
+    fn minimal_tape_is_the_historical_bug() {
+        let mut src = Source::replay(&[]);
+        let out = ewma_case(&mut src);
+        assert!(out.witness.contains("alpha=1"), "{}", out.witness);
+        assert!(out.witness.contains("NaN"), "{}", out.witness);
+        assert_eq!(out.verdict, Ok(()));
+    }
+}

@@ -1,0 +1,257 @@
+//! Transition-table oracle for the Fig 8/9 classifier pair
+//! (`copart_core::DualFsmClassifier`).
+//!
+//! The production classifiers encode the paper's prose as nested
+//! conditionals. This oracle re-encodes Figures 8 and 9 as literal
+//! row-by-row transition tables over discretized inputs — temperature
+//! (cold/warm/hot from the access-rate and miss-ratio thresholds),
+//! traffic (quiet/moderate/heavy from the γ/Γ thresholds), and the
+//! applied-transfer event — then steps both encodings through randomized
+//! multi-epoch observation sequences clustered *on and around* every
+//! threshold, where `<` vs `≤` disagreements live. The two encodings
+//! must agree after every epoch.
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+use copart_core::classifier::Measurement;
+use copart_core::next_state::AppliedEvents;
+use copart_core::{AppState, Classifier, CoPartParams, DualFsmClassifier, ResourceEvent};
+
+const STATES: [AppState; 3] = [AppState::Supply, AppState::Maintain, AppState::Demand];
+
+/// Fig 8 rows: LLC temperature per §5.2. Cold wins over hot (the
+/// supply-first reading of the paper; both conditions can hold at once
+/// when the access rate is low but the miss ratio is high).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Temp {
+    Cold,
+    Warm,
+    Hot,
+}
+
+fn llc_temp(p: &CoPartParams, access_rate: f64, miss_ratio: f64) -> Temp {
+    if access_rate < p.alpha_access_rate || miss_ratio < p.miss_ratio_supply {
+        Temp::Cold
+    } else if miss_ratio > p.miss_ratio_demand {
+        Temp::Hot
+    } else {
+        Temp::Warm
+    }
+}
+
+/// Fig 8 as a transition table. `improved`/`hurt` are the ±δ_P perf
+/// comparisons; rows are ordered exactly as the figure resolves
+/// conflicts.
+fn llc_table(
+    state: AppState,
+    temp: Temp,
+    event: ResourceEvent,
+    improved: bool,
+    hurt: bool,
+) -> AppState {
+    let reclaim_hurt = event == ResourceEvent::ReclaimedLlc && hurt;
+    match (state, temp) {
+        // Demand row: cold drains first; a grant that bought < δ_P
+        // settles to Maintain; otherwise keep demanding.
+        (AppState::Demand, Temp::Cold) => AppState::Supply,
+        (AppState::Demand, _) if event == ResourceEvent::GrantedLlc && !improved => {
+            AppState::Maintain
+        }
+        (AppState::Demand, _) => AppState::Demand,
+        // Maintain row.
+        (AppState::Maintain, Temp::Cold) => AppState::Supply,
+        (AppState::Maintain, Temp::Hot) => AppState::Demand,
+        (AppState::Maintain, Temp::Warm) if reclaim_hurt => AppState::Demand,
+        (AppState::Maintain, Temp::Warm) => AppState::Maintain,
+        // Supply row: a reclaim that hurt overrides even cold.
+        (AppState::Supply, _) if reclaim_hurt => AppState::Demand,
+        (AppState::Supply, Temp::Cold) => AppState::Supply,
+        (AppState::Supply, Temp::Hot) => AppState::Demand,
+        (AppState::Supply, Temp::Warm) => AppState::Maintain,
+    }
+}
+
+/// Fig 9 rows: memory-traffic class per §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Traffic {
+    Quiet,
+    Moderate,
+    Heavy,
+}
+
+fn mba_traffic(p: &CoPartParams, traffic_ratio: f64) -> Traffic {
+    if traffic_ratio >= p.traffic_ratio_demand {
+        Traffic::Heavy
+    } else if traffic_ratio < p.traffic_ratio_supply {
+        Traffic::Quiet
+    } else {
+        Traffic::Moderate
+    }
+}
+
+/// Fig 9 as a transition table, including the §5.3 cross-resource rule:
+/// with awareness on, only an *MBA* grant that bought < δ_P demotes
+/// Demand; with it off, an LLC grant demotes too.
+fn mba_table(
+    p: &CoPartParams,
+    state: AppState,
+    traffic: Traffic,
+    event: ResourceEvent,
+    improved: bool,
+    hurt: bool,
+) -> AppState {
+    let reclaim_hurt = event == ResourceEvent::ReclaimedMba && hurt;
+    let demoting_grant = event == ResourceEvent::GrantedMba
+        || (!p.cross_resource_awareness && event == ResourceEvent::GrantedLlc);
+    match (state, traffic) {
+        // Demand row (quiet resolves before heavy; γ < Γ keeps them
+        // disjoint for any valid parameter set).
+        (AppState::Demand, Traffic::Quiet) => AppState::Supply,
+        (AppState::Demand, Traffic::Heavy) => AppState::Demand,
+        (AppState::Demand, Traffic::Moderate) if demoting_grant && !improved => AppState::Maintain,
+        (AppState::Demand, Traffic::Moderate) => AppState::Demand,
+        // Maintain row: heavy traffic or a painful reclaim escalates
+        // before quiet demotes.
+        (AppState::Maintain, Traffic::Heavy) => AppState::Demand,
+        (AppState::Maintain, _) if reclaim_hurt => AppState::Demand,
+        (AppState::Maintain, Traffic::Quiet) => AppState::Supply,
+        (AppState::Maintain, Traffic::Moderate) => AppState::Maintain,
+        // Supply row mirrors Maintain.
+        (AppState::Supply, Traffic::Heavy) => AppState::Demand,
+        (AppState::Supply, _) if reclaim_hurt => AppState::Demand,
+        (AppState::Supply, Traffic::Quiet) => AppState::Supply,
+        (AppState::Supply, Traffic::Moderate) => AppState::Maintain,
+    }
+}
+
+/// Values on, just under, and just over a threshold — the discretization
+/// boundaries are where the implementations can disagree.
+fn around(src: &mut Source, threshold: f64) -> f64 {
+    *src.pick(&[
+        0.0,
+        threshold * 0.5,
+        threshold * (1.0 - 1e-9),
+        threshold,
+        threshold * (1.0 + 1e-9),
+        threshold * 1.5,
+    ])
+}
+
+fn gen_events(src: &mut Source) -> AppliedEvents {
+    let mut e = AppliedEvents::default();
+    // At most one flag: multi-flag epochs collapse through the
+    // `AppliedEvents` priority order before reaching either encoding, so
+    // single events are the discriminating inputs.
+    match src.below(5) {
+        0 => {}
+        1 => e.granted_llc = true,
+        2 => e.granted_mba = true,
+        3 => e.reclaimed_llc = true,
+        _ => e.reclaimed_mba = true,
+    }
+    e
+}
+
+fn fsm_case(src: &mut Source) -> CaseOutcome {
+    let p = CoPartParams {
+        cross_resource_awareness: src.chance(0.75),
+        ..CoPartParams::default()
+    };
+    let llc0 = *src.pick(&STATES);
+    let mba0 = *src.pick(&STATES);
+    let steps = src.size(1, 6);
+
+    let mut dut = DualFsmClassifier::new();
+    dut.reset(llc0, mba0);
+    let (mut llc_ref, mut mba_ref) = (llc0, mba0);
+
+    let mut trace = format!(
+        "cross={} llc0={llc0} mba0={mba0}",
+        p.cross_resource_awareness
+    );
+    for step in 0..steps {
+        let m = Measurement {
+            perf_delta: *src.pick(&[
+                0.0,
+                p.delta_p,
+                -p.delta_p,
+                p.delta_p * 0.5,
+                -p.delta_p * 0.5,
+                0.3,
+                -0.3,
+            ]),
+            access_rate: around(src, p.alpha_access_rate),
+            miss_ratio: {
+                let threshold = *src.pick(&[p.miss_ratio_supply, p.miss_ratio_demand]);
+                around(src, threshold)
+            },
+            traffic_ratio: {
+                let threshold = *src.pick(&[p.traffic_ratio_supply, p.traffic_ratio_demand]);
+                around(src, threshold)
+            },
+        };
+        let events = gen_events(src);
+        trace.push_str(&format!(
+            " | step {step}: perf={} rate={} mr={} tr={} ev={:?}",
+            m.perf_delta,
+            m.access_rate,
+            m.miss_ratio,
+            m.traffic_ratio,
+            events.llc_event()
+        ));
+
+        dut.observe(&p, &m, events);
+
+        let improved = m.perf_delta >= p.delta_p;
+        let hurt = m.perf_delta <= -p.delta_p;
+        llc_ref = llc_table(
+            llc_ref,
+            llc_temp(&p, m.access_rate, m.miss_ratio),
+            events.llc_event(),
+            improved,
+            hurt,
+        );
+        mba_ref = mba_table(
+            &p,
+            mba_ref,
+            mba_traffic(&p, m.traffic_ratio),
+            events.mba_event(),
+            improved,
+            hurt,
+        );
+
+        if dut.states() != (llc_ref, mba_ref) {
+            let (llc_got, mba_got) = dut.states();
+            return CaseOutcome {
+                witness: trace,
+                verdict: Err(format!(
+                    "diverged at step {step}: classifier ({llc_got}, {mba_got}) \
+                     vs table ({llc_ref}, {mba_ref})"
+                )),
+            };
+        }
+    }
+    CaseOutcome {
+        witness: trace,
+        verdict: Ok(()),
+    }
+}
+
+/// The FSM transition-table oracle.
+pub fn properties() -> Vec<Property> {
+    vec![Property::new("fsm-dual-vs-table", fsm_case)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..128 {
+            let mut src = Source::from_seed(seed);
+            let out = fsm_case(&mut src);
+            assert_eq!(out.verdict, Ok(()), "seed {seed}: {}", out.witness);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Oracles for the trace-format JSON codec (`copart_telemetry::Json`).
+//!
+//! * `json-roundtrip` — encode→parse→encode is a fixpoint for randomized
+//!   values (awkward strings, dyadic and bit-pattern floats, duplicate
+//!   object keys), and parse is the exact inverse of encode.
+//! * `json-depth-limit` — the recursive-descent parser accepts nesting
+//!   up to [`MAX_DEPTH`] and rejects
+//!   anything deeper. This is the property that flushed out the
+//!   stack-overflow bomb (corpus entry `json-depth-limit-bomb`): before
+//!   the limit existed, a hostile trace file of `100_000 × '['` crashed
+//!   the process instead of returning a parse error.
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+use copart_telemetry::json::MAX_DEPTH;
+use copart_telemetry::Json;
+
+/// Characters chosen to stress the string escaper: quotes, backslashes,
+/// control characters, multi-byte UTF-8.
+const TRICKY_CHARS: [char; 10] = [
+    'a', 'b', '"', '\\', '\n', '\t', '\u{0}', '\u{7f}', 'é', '😀',
+];
+
+fn gen_string(src: &mut Source) -> String {
+    let len = src.size(0, 6);
+    (0..len).map(|_| *src.pick(&TRICKY_CHARS)).collect()
+}
+
+fn gen_number(src: &mut Source) -> f64 {
+    match src.below(3) {
+        // Small integers (including negatives).
+        0 => src.size(0, 2_000_000) as f64 - 1_000_000.0,
+        // Dyadic fractions: exact in binary, awkward in decimal.
+        1 => (src.size(0, 1 << 20) as f64 - (1 << 19) as f64) / (1u64 << src.size(0, 10)) as f64,
+        // Arbitrary bit patterns, discarding non-finite ones.
+        _ => {
+            let x = f64::from_bits(src.draw());
+            if x.is_finite() {
+                x
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn gen_value(src: &mut Source, depth: usize) -> Json {
+    if depth == 0 || src.chance(0.4) {
+        match src.below(4) {
+            0 => Json::Null,
+            1 => Json::Bool(src.chance(0.5)),
+            2 => Json::Num(gen_number(src)),
+            _ => Json::Str(gen_string(src)),
+        }
+    } else if src.chance(0.5) {
+        let len = src.size(0, 4);
+        Json::Arr((0..len).map(|_| gen_value(src, depth - 1)).collect())
+    } else {
+        let len = src.size(0, 4);
+        // Duplicate keys are representable (ordered member list) and must
+        // survive the round trip; don't deduplicate.
+        Json::Obj(
+            (0..len)
+                .map(|_| (gen_string(src), gen_value(src, depth - 1)))
+                .collect(),
+        )
+    }
+}
+
+fn roundtrip_case(src: &mut Source) -> CaseOutcome {
+    let value = gen_value(src, 4);
+    let encoded = value.to_string();
+    let witness = format!("doc={encoded}");
+    let parsed = match Json::parse(&encoded) {
+        Ok(v) => v,
+        Err(e) => {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!("own encoding rejected: {e}")),
+            }
+        }
+    };
+    if parsed != value {
+        return CaseOutcome {
+            witness,
+            verdict: Err(format!(
+                "parse is not the inverse of encode: got {parsed:?}"
+            )),
+        };
+    }
+    let re_encoded = parsed.to_string();
+    if re_encoded != encoded {
+        return CaseOutcome {
+            witness,
+            verdict: Err(format!(
+                "encode→parse→encode not a fixpoint: {encoded:?} vs {re_encoded:?}"
+            )),
+        };
+    }
+    CaseOutcome {
+        witness,
+        verdict: Ok(()),
+    }
+}
+
+fn depth_limit_case(src: &mut Source) -> CaseOutcome {
+    // Straddle the limit densely: depths near MAX_DEPTH are the
+    // interesting region, but include shallow and clearly-over cases.
+    let depth = src.size(1, MAX_DEPTH + 64);
+    let arrays = src.chance(0.5);
+    let witness = format!(
+        "depth={depth} kind={}",
+        if arrays { "arrays" } else { "objects" }
+    );
+    let doc = if arrays {
+        format!("{}0{}", "[".repeat(depth), "]".repeat(depth))
+    } else {
+        format!("{}0{}", "{\"k\":".repeat(depth), "}".repeat(depth))
+    };
+    let result = Json::parse(&doc);
+    let should_parse = depth <= MAX_DEPTH;
+    match (result, should_parse) {
+        (Ok(v), true) => {
+            // While we're here: the accepted document round-trips.
+            let re = v.to_string();
+            if Json::parse(&re).as_ref() == Ok(&v) {
+                CaseOutcome {
+                    witness,
+                    verdict: Ok(()),
+                }
+            } else {
+                CaseOutcome {
+                    witness,
+                    verdict: Err(format!("accepted document does not round-trip: {re:?}")),
+                }
+            }
+        }
+        (Err(e), false) => {
+            if e.to_string().contains("nested") {
+                CaseOutcome {
+                    witness,
+                    verdict: Ok(()),
+                }
+            } else {
+                CaseOutcome {
+                    witness,
+                    verdict: Err(format!("rejected for the wrong reason: {e}")),
+                }
+            }
+        }
+        (Ok(_), false) => CaseOutcome {
+            witness,
+            verdict: Err(format!(
+                "depth {depth} > MAX_DEPTH {MAX_DEPTH} accepted — unbounded recursion"
+            )),
+        },
+        (Err(e), true) => CaseOutcome {
+            witness,
+            verdict: Err(format!(
+                "depth {depth} ≤ MAX_DEPTH {MAX_DEPTH} rejected: {e}"
+            )),
+        },
+    }
+}
+
+/// The JSON codec oracles.
+pub fn properties() -> Vec<Property> {
+    vec![
+        Property::new("json-roundtrip", roundtrip_case),
+        Property::new("json-depth-limit", depth_limit_case),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..64 {
+            let mut src = Source::from_seed(seed);
+            let out = roundtrip_case(&mut src);
+            assert_eq!(
+                out.verdict,
+                Ok(()),
+                "roundtrip seed {seed}: {}",
+                out.witness
+            );
+            let mut src = Source::from_seed(seed ^ 0x1234);
+            let out = depth_limit_case(&mut src);
+            assert_eq!(out.verdict, Ok(()), "depth seed {seed}: {}", out.witness);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The workspace's differential oracles, one module per subsystem.
+
+pub mod ewma;
+pub mod fsm;
+pub mod json;
+pub mod matching;
+pub mod schemata;
+pub mod sim_counters;
+
+use crate::property::Property;
+
+/// Every registered oracle, in report order. The `copart-check` binary
+/// and the top-level suite test both run exactly this list, so a new
+/// oracle registered here is automatically fuzzed, replayed against the
+/// corpus, and covered by the jobs-determinism gate.
+pub fn all() -> Vec<Property> {
+    let mut props = Vec::new();
+    props.extend(matching::properties());
+    props.extend(schemata::properties());
+    props.extend(json::properties());
+    props.extend(fsm::properties());
+    props.extend(sim_counters::properties());
+    props.extend(ewma::properties());
+    props
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn oracle_names_are_unique_and_stable() {
+        let props = all();
+        let names: BTreeSet<&str> = props.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), props.len(), "duplicate property names");
+        // Renaming a property orphans its corpus entries; this list is
+        // the rename tripwire.
+        let expected: BTreeSet<&str> = [
+            "matching-allocate-stable",
+            "schemata-roundtrip",
+            "schemata-validation",
+            "json-roundtrip",
+            "json-depth-limit",
+            "fsm-dual-vs-table",
+            "sim-counter-bounds",
+            "ewma-reference",
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names, expected);
+    }
+}

@@ -1,0 +1,260 @@
+//! Oracles for the resctrl `schemata` kernel-format codec
+//! (`copart_rdt::Schemata`).
+//!
+//! Two properties:
+//!
+//! * `schemata-roundtrip` — a randomized *valid* document (shuffled
+//!   domain order, stray whitespace, unmanaged resources, CDP spellings)
+//!   parses; re-rendering reaches a fixpoint after one normalization;
+//!   and the parsed tables match an independently tracked model of what
+//!   the document said.
+//! * `schemata-validation` — a document with one planted defect (MB
+//!   level 0 or > 100, a duplicated domain, an over-wide or empty mask)
+//!   is rejected, and the pristine variant of the same document is
+//!   accepted. This is the property that flushed out the
+//!   accept-anything parser (corpus entries `schemata-mb-over-100` and
+//!   `schemata-duplicate-domain`).
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+use copart_rdt::resctrl::Schemata;
+use std::collections::BTreeMap;
+
+/// The cbm_len the width oracle checks against (the Xeon Gold 6130
+/// testbed's 11 ways).
+const CBM_LEN: u32 = 11;
+
+/// One generated document plus the model of what it should parse to.
+struct Doc {
+    text: String,
+    l3: BTreeMap<u32, u32>,
+    mb: BTreeMap<u32, u8>,
+}
+
+/// A valid document: L3 (plain or CDP split) and MB lines over distinct
+/// domains in shuffled order, optional unmanaged-resource line, random
+/// spacing.
+fn gen_valid_doc(src: &mut Source) -> Doc {
+    let ndom = src.size(1, 3);
+    let mut l3 = BTreeMap::new();
+    let mut mb = BTreeMap::new();
+    let mut doms: Vec<u32> = (0..ndom as u32).collect();
+    // Shuffled emission order exercises the BTreeMap normalization.
+    for i in (1..doms.len()).rev() {
+        let j = src.below(i as u64 + 1) as usize;
+        doms.swap(i, j);
+    }
+    let cdp = src.chance(0.25);
+    let sep = if src.chance(0.5) { " " } else { "" };
+    let mut text = String::new();
+    if src.chance(0.2) {
+        text.push_str("L2:0=ff\n"); // Unmanaged resource: ignored.
+    }
+    let l3_resource = if cdp { "L3CODE" } else { "L3" };
+    let parts: Vec<String> = doms
+        .iter()
+        .map(|&d| {
+            let bits = 1 + src.below(u64::from((1u32 << CBM_LEN) - 1)) as u32;
+            l3.insert(d, bits);
+            format!("{d}={bits:x}")
+        })
+        .collect();
+    text.push_str(&format!(
+        "{l3_resource}:{}\n",
+        parts.join(&format!(";{sep}"))
+    ));
+    if cdp {
+        // The DATA half re-lists the same domains: legal (a distinct
+        // resource), and each entry overwrites the CODE mask in the
+        // single `l3` table, last-win by design for CDP.
+        let parts: Vec<String> = doms
+            .iter()
+            .map(|&d| {
+                let bits = 1 + src.below(u64::from((1u32 << CBM_LEN) - 1)) as u32;
+                l3.insert(d, bits);
+                format!("{d}={bits:x}")
+            })
+            .collect();
+        text.push_str(&format!("L3DATA:{}\n", parts.join(";")));
+    }
+    let parts: Vec<String> = doms
+        .iter()
+        .map(|&d| {
+            let pct = src.size(1, 100) as u8;
+            mb.insert(d, pct);
+            format!("{sep}{d}={pct}")
+        })
+        .collect();
+    text.push_str(&format!("MB:{}\n", parts.join(";")));
+    Doc { text, l3, mb }
+}
+
+fn roundtrip_case(src: &mut Source) -> CaseOutcome {
+    let doc = gen_valid_doc(src);
+    let witness = format!("doc={:?}", doc.text);
+    let parsed = match Schemata::parse(&doc.text) {
+        Ok(s) => s,
+        Err(e) => {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!("valid document rejected: {e}")),
+            }
+        }
+    };
+    if parsed.l3 != doc.l3 || parsed.mb != doc.mb {
+        return CaseOutcome {
+            witness,
+            verdict: Err(format!(
+                "parse disagrees with the model: got l3={:?} mb={:?}, want l3={:?} mb={:?}",
+                parsed.l3, parsed.mb, doc.l3, doc.mb
+            )),
+        };
+    }
+    if let Err(e) = parsed.check_l3_width(CBM_LEN) {
+        return CaseOutcome {
+            witness,
+            verdict: Err(format!("in-range mask rejected by width check: {e}")),
+        };
+    }
+    // render∘parse is a fixpoint after one normalization pass.
+    let rendered = parsed.render();
+    match Schemata::parse(&rendered) {
+        Ok(again) if again == parsed && again.render() == rendered => CaseOutcome {
+            witness,
+            verdict: Ok(()),
+        },
+        Ok(again) => CaseOutcome {
+            witness,
+            verdict: Err(format!(
+                "render/parse not a fixpoint: {rendered:?} re-parsed as {again:?}"
+            )),
+        },
+        Err(e) => CaseOutcome {
+            witness,
+            verdict: Err(format!("rendered form {rendered:?} rejected: {e}")),
+        },
+    }
+}
+
+/// The defect classes `schemata-validation` plants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Defect {
+    MbZero,
+    MbOver100,
+    DuplicateDomainSameLine,
+    DuplicateDomainCrossLine,
+    OverWideMask,
+    EmptyMask,
+}
+
+const DEFECTS: [Defect; 6] = [
+    Defect::MbZero,
+    Defect::MbOver100,
+    Defect::DuplicateDomainSameLine,
+    Defect::DuplicateDomainCrossLine,
+    Defect::OverWideMask,
+    Defect::EmptyMask,
+];
+
+fn validation_case(src: &mut Source) -> CaseOutcome {
+    let defect = *src.pick(&DEFECTS);
+    let dom = src.below(3) as u32;
+    let good_bits = 1 + src.below(u64::from((1u32 << CBM_LEN) - 1)) as u32;
+    let good_pct = src.size(1, 100) as u8;
+    let (pristine, broken) = match defect {
+        Defect::MbZero => (
+            format!("L3:{dom}={good_bits:x}\nMB:{dom}={good_pct}\n"),
+            format!("L3:{dom}={good_bits:x}\nMB:{dom}=0\n"),
+        ),
+        Defect::MbOver100 => {
+            let pct = src.size(101, 255);
+            (
+                format!("MB:{dom}={good_pct}\n"),
+                format!("MB:{dom}={pct}\n"),
+            )
+        }
+        Defect::DuplicateDomainSameLine => {
+            let dup_mb = src.chance(0.5);
+            if dup_mb {
+                (
+                    format!("MB:{dom}={good_pct}\n"),
+                    format!("MB:{dom}={good_pct};{dom}={good_pct}\n"),
+                )
+            } else {
+                (
+                    format!("L3:{dom}={good_bits:x}\n"),
+                    format!("L3:{dom}={good_bits:x};{dom}={good_bits:x}\n"),
+                )
+            }
+        }
+        Defect::DuplicateDomainCrossLine => (
+            format!("L3:{dom}={good_bits:x}\nMB:{dom}={good_pct}\n"),
+            format!("L3:{dom}={good_bits:x}\nMB:{dom}={good_pct}\nL3:{dom}={good_bits:x}\n"),
+        ),
+        Defect::OverWideMask => {
+            let wide = (1u32 << CBM_LEN) | good_bits;
+            (
+                format!("L3:{dom}={good_bits:x}\n"),
+                format!("L3:{dom}={wide:x}\n"),
+            )
+        }
+        Defect::EmptyMask => (format!("L3:{dom}={good_bits:x}\n"), format!("L3:{dom}=0\n")),
+    };
+    let witness = format!("defect={defect:?} pristine={pristine:?} broken={broken:?}");
+
+    // The pristine twin must pass parse + width check…
+    let accepted = Schemata::parse(&pristine).and_then(|s| s.check_l3_width(CBM_LEN).map(|_| s));
+    if let Err(e) = accepted {
+        return CaseOutcome {
+            witness,
+            verdict: Err(format!("pristine document rejected: {e}")),
+        };
+    }
+    // …and the broken twin must be rejected by the same pipeline.
+    let rejected = Schemata::parse(&broken).and_then(|s| s.check_l3_width(CBM_LEN).map(|_| s));
+    match rejected {
+        Err(_) => CaseOutcome {
+            witness,
+            verdict: Ok(()),
+        },
+        Ok(s) => CaseOutcome {
+            witness,
+            verdict: Err(format!("defective document accepted as {s:?}")),
+        },
+    }
+}
+
+/// The schemata codec oracles.
+pub fn properties() -> Vec<Property> {
+    vec![
+        Property::new("schemata-roundtrip", roundtrip_case),
+        Property::new("schemata-validation", validation_case),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..64 {
+            let mut src = Source::from_seed(seed);
+            let out = roundtrip_case(&mut src);
+            assert_eq!(
+                out.verdict,
+                Ok(()),
+                "roundtrip seed {seed}: {}",
+                out.witness
+            );
+            let mut src = Source::from_seed(seed ^ 0x5A5A);
+            let out = validation_case(&mut src);
+            assert_eq!(
+                out.verdict,
+                Ok(()),
+                "validation seed {seed}: {}",
+                out.witness
+            );
+        }
+    }
+}

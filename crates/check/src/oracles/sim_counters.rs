@@ -1,0 +1,209 @@
+//! Closed-form bounds oracle for the simulated machine's counter
+//! accounting (`copart_rdt::SimBackend` over `copart_sim::Machine`).
+//!
+//! The cycle-free performance model is a roofline fixpoint; its exact
+//! outputs are not independently recomputable, but hard physical bounds
+//! are, and the monitoring counters must respect them in every window:
+//!
+//! * instructions advance by at most `cores × freq × ipc_peak × dt`;
+//! * each application's memory-traffic delta fits under its MBA cap, and
+//!   the sum over all applications fits under the machine's memory
+//!   bandwidth;
+//! * LLC occupancy never exceeds the cache size;
+//! * all counters are monotone, misses never exceed accesses, and
+//!   snapshot timestamps equal simulated time;
+//! * the backend's CLOS table stays consistent with the machine's
+//!   ground truth (`Machine::app_clos`).
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+use copart_rdt::SimBackend;
+use copart_sim::trace::AccessPattern;
+use copart_sim::{AppSpec, CbmMask, Machine, MachineConfig, MbaLevel};
+
+/// Relative slack for float-accumulated counters compared against the
+/// closed-form bounds (the model rounds through `f64` accumulators).
+const REL: f64 = 1.0 + 1e-6;
+
+fn gen_spec(src: &mut Source, index: usize) -> AppSpec {
+    let footprint = 1u64 << src.size(14, 18);
+    let pattern = match src.below(3) {
+        0 => AccessPattern::UniformRandom { bytes: footprint },
+        1 => AccessPattern::Stream { bytes: footprint },
+        _ => AccessPattern::WorkingSetLoop {
+            bytes: footprint,
+            stride: 64,
+        },
+    };
+    AppSpec {
+        name: format!("app{index}"),
+        cores: 1,
+        ipc_peak: src.f64_in(0.5, 2.0),
+        apki: src.f64_in(1.0, 30.0),
+        write_fraction: src.f64_in(0.0, 0.3),
+        mlp: src.f64_in(1.0, 8.0),
+        phases: vec![(1.0, pattern)],
+    }
+}
+
+fn sim_case(src: &mut Source) -> CaseOutcome {
+    let cfg = MachineConfig::tiny_test();
+    let total_bw = cfg.mem_bw_bytes_per_sec;
+    let llc_bytes = cfg.llc_bytes() as f64;
+    let freq = cfg.freq_hz;
+    let ways = cfg.llc_ways;
+
+    let mut backend = SimBackend::new(Machine::new(cfg.clone()));
+    let napps = src.size(1, 3);
+    let mut apps = Vec::new();
+    let mut witness_parts = Vec::new();
+    for i in 0..napps {
+        let spec = gen_spec(src, i);
+        let clos = match backend.add_workload(spec.clone()) {
+            Ok(c) => c,
+            Err(e) => {
+                return CaseOutcome {
+                    witness: format!("apps=[{}]", witness_parts.join(" ")),
+                    verdict: Err(format!("add_workload failed: {e}")),
+                }
+            }
+        };
+        // A random contiguous partition slice and MBA level per CLOS.
+        let count = src.size(1, ways as usize) as u32;
+        let start = src.size(0, (ways - count) as usize) as u32;
+        let mask = CbmMask::contiguous(start, count, ways).expect("in-range mask");
+        let mba = MbaLevel::new((src.size(1, 10) * 10) as u8);
+        let machine = backend.machine_mut();
+        machine.set_cbm(clos, mask).expect("valid mask");
+        machine.set_mba(clos, mba);
+        witness_parts.push(format!(
+            "(name={} ipc={:.3} apki={:.2} wf={:.2} mlp={:.2} mask={start}+{count} mba={})",
+            spec.name,
+            spec.ipc_peak,
+            spec.apki,
+            spec.write_fraction,
+            spec.mlp,
+            mba.percent()
+        ));
+        apps.push((clos, spec, mba));
+    }
+    let windows = src.size(2, 4);
+    let window_ns: u64 = 20_000_000;
+    let dt = window_ns as f64 / 1e9;
+    let witness = format!("apps=[{}] windows={windows}", witness_parts.join(" "));
+
+    let fail = |msg: String| CaseOutcome {
+        witness: witness.clone(),
+        verdict: Err(msg),
+    };
+
+    let mut prev: Vec<_> = Vec::new();
+    for (clos, _, _) in &apps {
+        let app = backend.app_of(*clos).expect("app registered");
+        let snap = backend.machine().counters(app).expect("live app");
+        let mbm = backend.machine().mbm_total_bytes(app).expect("live app");
+        prev.push((app, snap, mbm));
+    }
+
+    for w in 0..windows {
+        backend.machine_mut().tick(window_ns);
+        let now = backend.machine().now_ns();
+        let mut traffic_sum = 0.0;
+        for (k, (clos, spec, mba)) in apps.iter().enumerate() {
+            let (app, prev_snap, prev_mbm) = prev[k];
+            // Backend group table vs machine ground truth.
+            match backend.machine().app_clos(app) {
+                Ok(c) if c == *clos => {}
+                other => {
+                    return fail(format!(
+                        "window {w}: CLOS table diverged for {}: backend says {clos:?}, \
+                         machine says {other:?}",
+                        spec.name
+                    ))
+                }
+            }
+            let snap = backend.machine().counters(app).expect("live app");
+            let mbm = backend.machine().mbm_total_bytes(app).expect("live app");
+            if snap.timestamp_ns != now {
+                return fail(format!(
+                    "window {w}: {} timestamp {} != simulated time {now}",
+                    spec.name, snap.timestamp_ns
+                ));
+            }
+            if snap.instructions < prev_snap.instructions
+                || snap.cycles < prev_snap.cycles
+                || snap.llc_accesses < prev_snap.llc_accesses
+                || snap.llc_misses < prev_snap.llc_misses
+                || mbm < prev_mbm
+            {
+                return fail(format!(
+                    "window {w}: {} counters went backwards: {prev_snap:?} → {snap:?}",
+                    spec.name
+                ));
+            }
+            if snap.llc_misses > snap.llc_accesses {
+                return fail(format!(
+                    "window {w}: {} misses {} exceed accesses {}",
+                    spec.name, snap.llc_misses, snap.llc_accesses
+                ));
+            }
+            let d_instr = (snap.instructions - prev_snap.instructions) as f64;
+            let peak = f64::from(spec.cores) * freq * spec.ipc_peak * dt;
+            if d_instr > peak * REL + 1.0 {
+                return fail(format!(
+                    "window {w}: {} retired {d_instr} instructions, roofline peak is {peak}",
+                    spec.name
+                ));
+            }
+            let d_traffic = (mbm - prev_mbm) as f64;
+            let cap = cfg.mba_bandwidth_cap(spec.cores, *mba) * dt;
+            if d_traffic > cap * REL + 64.0 {
+                return fail(format!(
+                    "window {w}: {} moved {d_traffic} bytes, MBA cap allows {cap}",
+                    spec.name
+                ));
+            }
+            traffic_sum += d_traffic;
+            let occupancy = backend
+                .machine()
+                .llc_occupancy_bytes(app)
+                .expect("live app") as f64;
+            if occupancy > llc_bytes {
+                return fail(format!(
+                    "window {w}: {} occupies {occupancy} bytes of a {llc_bytes}-byte LLC",
+                    spec.name
+                ));
+            }
+            prev[k] = (app, snap, mbm);
+        }
+        let bus = total_bw * dt;
+        if traffic_sum > bus * REL + 64.0 {
+            return fail(format!(
+                "window {w}: total traffic {traffic_sum} exceeds the {bus}-byte bus budget"
+            ));
+        }
+    }
+    CaseOutcome {
+        witness,
+        verdict: Ok(()),
+    }
+}
+
+/// The simulator counter-accounting oracle.
+pub fn properties() -> Vec<Property> {
+    vec![Property::new("sim-counter-bounds", sim_case)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..24 {
+            let mut src = Source::from_seed(seed);
+            let out = sim_case(&mut src);
+            assert_eq!(out.verdict, Ok(()), "seed {seed}: {}", out.witness);
+        }
+    }
+}

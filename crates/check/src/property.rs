@@ -1,0 +1,108 @@
+//! Properties: named differential oracles over a draw [`Source`].
+
+use crate::source::Source;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What one execution of a property reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// A deterministic, human-readable description of the generated
+    /// input. Digested (FNV-1a) into corpus entries to detect generator
+    /// drift, so it must be a pure function of the draws.
+    pub witness: String,
+    /// `Ok` when every oracle agreed, `Err` with the disagreement
+    /// otherwise.
+    pub verdict: Result<(), String>,
+}
+
+/// A named property: a generator plus its oracles, run on one [`Source`].
+pub struct Property {
+    name: &'static str,
+    run: Box<dyn Fn(&mut Source) -> CaseOutcome + Send + Sync>,
+}
+
+impl std::fmt::Debug for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Property")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Property {
+    /// Wraps a property function under a stable name. Names appear in
+    /// reports and corpus files; renaming one orphans its corpus entries.
+    pub fn new(
+        name: &'static str,
+        run: impl Fn(&mut Source) -> CaseOutcome + Send + Sync + 'static,
+    ) -> Property {
+        Property {
+            name,
+            run: Box::new(run),
+        }
+    }
+
+    /// The stable property name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Runs the property on `source`, converting a panic (in the
+    /// property or the code under test) into a failing outcome so the
+    /// suite can minimize and report it like any other counterexample.
+    pub fn run(&self, source: &mut Source) -> CaseOutcome {
+        match catch_unwind(AssertUnwindSafe(|| (self.run)(source))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                CaseOutcome {
+                    witness: "<panicked before reporting a witness>".to_string(),
+                    verdict: Err(format!("panic: {msg}")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_reports_its_witness() {
+        let p = Property::new("always-ok", |src| {
+            let n = src.size(0, 10);
+            CaseOutcome {
+                witness: format!("n={n}"),
+                verdict: Ok(()),
+            }
+        });
+        let mut src = Source::replay(&[7]);
+        let out = p.run(&mut src);
+        assert_eq!(out.witness, "n=7");
+        assert_eq!(out.verdict, Ok(()));
+    }
+
+    #[test]
+    fn panics_become_failures() {
+        let p = Property::new("panics", |src| {
+            let n = src.size(0, 10);
+            assert!(n < 5, "n too big: {n}");
+            CaseOutcome {
+                witness: format!("n={n}"),
+                verdict: Ok(()),
+            }
+        });
+        let mut src = Source::replay(&[9]);
+        let out = p.run(&mut src);
+        let err = out.verdict.unwrap_err();
+        assert!(err.contains("panic"), "got: {err}");
+        assert!(err.contains("n too big: 9"), "got: {err}");
+    }
+}

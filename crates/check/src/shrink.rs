@@ -1,0 +1,157 @@
+//! Tape shrinking: minimizing a failing case by simplifying its draw
+//! sequence.
+//!
+//! Because generators interpret tapes (see [`crate::source`]), a smaller
+//! tape *is* a smaller test case — there is no per-type shrinker. The
+//! passes below are the standard Hypothesis repertoire, applied to a
+//! fixpoint under a deterministic attempt budget:
+//!
+//! 1. **delete blocks** of draws (largest first) — removes whole
+//!    sub-structures, since the generator re-interprets what remains;
+//! 2. **zero blocks** — collapses choices to their first/minimal
+//!    alternative without changing the tape length;
+//! 3. **lower single draws** — toward 0 by jumps, halving, then −1.
+//!
+//! Every pass only ever replaces the tape with one that is shorter or
+//! lexicographically smaller, so the loop terminates even without the
+//! budget; the budget just bounds worst-case work on pathological
+//! properties.
+
+/// Shrinks `tape` while `still_fails` keeps returning `true`, spending at
+/// most `budget` candidate evaluations. Returns the smallest failing tape
+/// found (possibly the input itself).
+pub fn shrink<F>(tape: &[u64], budget: usize, mut still_fails: F) -> Vec<u64>
+where
+    F: FnMut(&[u64]) -> bool,
+{
+    let mut best: Vec<u64> = tape.to_vec();
+    let mut attempts = 0usize;
+    // The closure counts attempts; `try_accept` mutates `best` on success.
+    loop {
+        let mut progress = false;
+
+        // Pass 1: delete blocks, largest first.
+        for block in [32usize, 16, 8, 4, 2, 1] {
+            if block > best.len() {
+                continue;
+            }
+            let mut start = 0usize;
+            while start + block <= best.len() {
+                if attempts >= budget {
+                    return best;
+                }
+                attempts += 1;
+                let mut candidate = best.clone();
+                candidate.drain(start..start + block);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                    // Same start now names the next block; don't advance.
+                } else {
+                    start += 1;
+                }
+            }
+        }
+
+        // Pass 2: zero blocks of draws.
+        for block in [8usize, 4, 2, 1] {
+            if block > best.len() {
+                continue;
+            }
+            for start in 0..=(best.len() - block) {
+                if best[start..start + block].iter().all(|&v| v == 0) {
+                    continue;
+                }
+                if attempts >= budget {
+                    return best;
+                }
+                attempts += 1;
+                let mut candidate = best.clone();
+                candidate[start..start + block].fill(0);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                }
+            }
+        }
+
+        // Pass 3: lower individual draws toward 0.
+        for i in 0..best.len() {
+            let v = best[i];
+            if v == 0 {
+                continue;
+            }
+            for lowered in [0, v >> 32, v >> 8, v >> 1, v - 1] {
+                if lowered >= best[i] {
+                    continue;
+                }
+                if attempts >= budget {
+                    return best;
+                }
+                attempts += 1;
+                let mut candidate = best.clone();
+                candidate[i] = lowered;
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+
+        if !progress {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure whenever any draw is ≥ 10: the minimal failing tape is a
+    /// single draw of exactly 10.
+    #[test]
+    fn shrinks_to_the_boundary() {
+        let tape = [3, 981, 44, 17, 2];
+        let minimal = shrink(&tape, 10_000, |t| t.iter().any(|&v| v >= 10));
+        assert_eq!(minimal, vec![10]);
+    }
+
+    /// Failure requires two large draws; both survive, both minimized.
+    #[test]
+    fn preserves_multi_draw_dependencies() {
+        let tape = [500, 1, 700, 9, 9];
+        let minimal = shrink(&tape, 10_000, |t| {
+            t.iter().filter(|&&v| v >= 100).count() >= 2
+        });
+        assert_eq!(minimal, vec![100, 100]);
+    }
+
+    #[test]
+    fn passing_tape_is_returned_unchanged_shape() {
+        // `still_fails` always true: everything shrinks away.
+        assert_eq!(shrink(&[1, 2, 3], 10_000, |_| true), Vec::<u64>::new());
+        // Never true for candidates ≠ original: original returned.
+        let orig = [7u64, 8, 9];
+        assert_eq!(shrink(&orig, 10_000, |t| t == orig), orig.to_vec());
+    }
+
+    #[test]
+    fn respects_the_attempt_budget() {
+        let tape: Vec<u64> = (0..1000).map(|i| i * 31 + 5).collect();
+        let mut calls = 0usize;
+        let _ = shrink(&tape, 50, |t| {
+            calls += 1;
+            t.iter().any(|&v| v > 2)
+        });
+        assert!(calls <= 50, "budget overrun: {calls}");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let tape: Vec<u64> = (0..64).map(|i| i * 977 + 13).collect();
+        let f = |t: &[u64]| t.iter().sum::<u64>() > 5000;
+        assert_eq!(shrink(&tape, 4000, f), shrink(&tape, 4000, f));
+    }
+}

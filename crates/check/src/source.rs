@@ -1,0 +1,165 @@
+//! The draw source: a recorded tape of `u64` draws behind every generated
+//! test case.
+//!
+//! Generators never talk to a PRNG directly; they pull raw `u64`s from a
+//! [`Source`] and derive everything (sizes, choices, floats) from those.
+//! The source records every draw it hands out, so a generated case is
+//! fully described by its *tape* — the draw sequence. That one level of
+//! indirection buys the whole engine:
+//!
+//! * **replay** — re-running a generator on a saved tape reproduces the
+//!   exact case, which is how the regression corpus works;
+//! * **integrated shrinking** — mutating the tape (deleting or shrinking
+//!   draws) and re-running the generator yields a *valid* smaller case by
+//!   construction, with no per-type shrinker to write (the
+//!   Hypothesis/`proptest` design, not the QuickCheck one);
+//! * **determinism** — a case is a pure function of its seed, so the
+//!   suite is byte-reproducible at any worker count.
+//!
+//! Draws past the end of a replayed tape return 0, and every derived
+//! value maps draw 0 onto its minimum (first choice, smallest size,
+//! 0.0). Truncating a tape therefore always produces the *simplest*
+//! completion of the case, which is what drives shrinking toward minimal
+//! counterexamples.
+
+use copart_rng::XorShift64Star;
+
+/// A recorded stream of raw draws feeding a generator.
+#[derive(Debug)]
+pub struct Source {
+    /// Draws to replay before consulting `rng` (the whole tape when
+    /// replaying a corpus entry or a shrink candidate).
+    prefix: Vec<u64>,
+    pos: usize,
+    /// Fresh entropy once the prefix is exhausted; `None` in replay mode,
+    /// where exhausted tapes pad with 0 (the minimal completion).
+    rng: Option<XorShift64Star>,
+    log: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh source seeded for one generated case.
+    pub fn from_seed(seed: u64) -> Source {
+        Source {
+            prefix: Vec::new(),
+            pos: 0,
+            rng: Some(XorShift64Star::seed_from_u64(seed)),
+            log: Vec::new(),
+        }
+    }
+
+    /// A replay source: draws come from `tape`, then pad with 0.
+    pub fn replay(tape: &[u64]) -> Source {
+        Source {
+            prefix: tape.to_vec(),
+            pos: 0,
+            rng: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Every draw handed out so far, in order — the case's tape.
+    pub fn tape(&self) -> &[u64] {
+        &self.log
+    }
+
+    /// The next raw draw.
+    pub fn draw(&mut self) -> u64 {
+        let v = if self.pos < self.prefix.len() {
+            let v = self.prefix[self.pos];
+            self.pos += 1;
+            v
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.log.push(v);
+        v
+    }
+
+    /// A value in `[0, bound)`. Reduction is by modulo, *not* Lemire:
+    /// the slight bias is irrelevant for test-case generation, and the
+    /// monotone map (draw 0 ⇒ value 0) is what lets tape shrinking move
+    /// generated values toward their minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty choice");
+        self.draw() % bound
+    }
+
+    /// A size-like value in `lo..=hi` (shrinks toward `lo`).
+    pub fn size(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty size range");
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// A uniform choice from a non-empty slice (shrinks toward the first
+    /// element — order oracle alternatives simplest-first).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// `true` with probability `p` (a zeroed tape says `true`, so make
+    /// the `true` branch the simpler one).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// A float in `[0, 1)` with 53 bits of precision (shrinks toward 0).
+    pub fn unit(&mut self) -> f64 {
+        (self.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A float in `[lo, hi)` (shrinks toward `lo`).
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty float range");
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaying_a_tape_reproduces_the_draws() {
+        let mut fresh = Source::from_seed(17);
+        let a: Vec<u64> = (0..16).map(|_| fresh.draw()).collect();
+        let mut replay = Source::replay(fresh.tape());
+        let b: Vec<u64> = (0..16).map(|_| replay.draw()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_replay_pads_with_zero() {
+        let mut s = Source::replay(&[5]);
+        assert_eq!(s.draw(), 5);
+        assert_eq!(s.draw(), 0);
+        assert_eq!(s.below(7), 0);
+        assert_eq!(s.size(3, 9), 3);
+        assert_eq!(s.unit(), 0.0);
+    }
+
+    #[test]
+    fn zero_draws_produce_minimal_values() {
+        let mut s = Source::replay(&[]);
+        assert_eq!(s.size(2, 10), 2);
+        assert_eq!(*s.pick(&['a', 'b', 'c']), 'a');
+        assert!(s.chance(0.5));
+        assert_eq!(s.f64_in(1.5, 2.5), 1.5);
+    }
+
+    #[test]
+    fn log_captures_every_draw_including_fresh_ones() {
+        let mut s = Source::from_seed(3);
+        let _ = s.size(0, 100);
+        let _ = s.unit();
+        let _ = s.pick(&[1, 2, 3]);
+        assert_eq!(s.tape().len(), 3);
+    }
+}

@@ -44,12 +44,19 @@ impl RatesEwma {
     }
 
     fn update(&mut self, r: &Rates) {
-        self.ips.update(r.ips);
-        self.accesses.update(r.llc_accesses_per_sec);
-        self.misses.update(r.llc_misses_per_sec);
-        self.miss_ratio.update(r.miss_ratio);
+        // `Ewma::update` returns `None` until a finite sample lands; the
+        // smoothers are consulted through `rates()` below, which already
+        // propagates that absence, so the per-call results are unneeded.
+        let _ = self.ips.update(r.ips);
+        let _ = self.accesses.update(r.llc_accesses_per_sec);
+        let _ = self.misses.update(r.llc_misses_per_sec);
+        let _ = self.miss_ratio.update(r.miss_ratio);
     }
 
+    /// The bridged estimate — `None` until every component smoother has
+    /// observed at least one finite sample, so a pre-warm dropout is
+    /// reported as "nothing measured yet" instead of a fabricated zero
+    /// rate.
     fn rates(&self) -> Option<Rates> {
         Some(Rates {
             ips: self.ips.value()?,

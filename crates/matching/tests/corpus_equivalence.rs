@@ -1,0 +1,44 @@
+//! Corpus-seeded equivalence between the instability-chaining allocator
+//! (`chain::allocate`) and the deferred-acceptance solver.
+//!
+//! The blessed tapes in `tests/corpus/` pin down instances where the
+//! two algorithms historically could diverge — equal-priority ties
+//! resolved by index, displacement chains — and replay them through the
+//! full differential oracle: feasibility, brute-force stability, and
+//! exact equality with `solve_resident_optimal` on the induced
+//! Hospitals/Residents instance.
+
+use copart_check::corpus::{default_dir, load_dir};
+use copart_check::oracles::matching::allocate_case;
+use copart_check::{fnv1a64, Source};
+
+#[test]
+fn blessed_tapes_match_the_resident_optimal_solution() {
+    let entries = load_dir(&default_dir()).expect("corpus directory must load");
+    let matching: Vec<_> = entries
+        .iter()
+        .filter(|c| c.property == "matching-allocate-stable")
+        .collect();
+    assert!(
+        !matching.is_empty(),
+        "no blessed matching tapes under tests/corpus/"
+    );
+    for entry in matching {
+        let mut src = Source::replay(&entry.tape);
+        let out = allocate_case(&mut src);
+        assert_eq!(
+            fnv1a64(out.witness.as_bytes()),
+            entry.witness_fnv,
+            "{}: tape decodes to a different instance now ({}) — re-bless it",
+            entry.name,
+            out.witness
+        );
+        assert_eq!(
+            out.verdict,
+            Ok(()),
+            "{}: allocate disagrees with the solver on {}",
+            entry.name,
+            out.witness
+        );
+    }
+}

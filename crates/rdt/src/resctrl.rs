@@ -93,10 +93,17 @@ impl Schemata {
     ///
     /// # Errors
     ///
-    /// Fails on malformed lines; unknown resource prefixes are ignored
-    /// (real kernels expose resources we do not manage, e.g. `L2`).
+    /// Fails on malformed lines, on MB levels outside `1..=100`, and on a
+    /// resource repeating a domain id (a duplicate would otherwise
+    /// silently last-win and desynchronize the controller's view from
+    /// the kernel's). Unknown resource prefixes are ignored (real kernels
+    /// expose resources we do not manage, e.g. `L2`); `L3CODE`/`L3DATA`
+    /// are tracked as distinct resources for duplicate detection even
+    /// though both feed the `l3` table.
     pub fn parse(text: &str) -> Result<Schemata, String> {
         let mut s = Schemata::default();
+        // (resource, domain) pairs already seen, for duplicate rejection.
+        let mut seen: std::collections::BTreeSet<(String, u32)> = std::collections::BTreeSet::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -118,6 +125,10 @@ impl Schemata {
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad domain id {dom:?}"))?;
+                let managed = matches!(resource, "L3" | "L3CODE" | "L3DATA" | "MB");
+                if managed && !seen.insert((resource.to_string(), dom)) {
+                    return Err(format!("duplicate domain {dom} for resource {resource}"));
+                }
                 match resource {
                     "L3" | "L3CODE" | "L3DATA" => {
                         let bits = u32::from_str_radix(val.trim(), 16)
@@ -129,6 +140,9 @@ impl Schemata {
                             .trim()
                             .parse()
                             .map_err(|_| format!("bad MB level {val:?}"))?;
+                        if pct == 0 || pct > 100 {
+                            return Err(format!("MB level {pct} outside 1..=100"));
+                        }
                         s.mb.insert(dom, pct);
                     }
                     _ => {} // Unmanaged resource (L2, SMBA, ...).
@@ -136,6 +150,29 @@ impl Schemata {
             }
         }
         Ok(s)
+    }
+
+    /// Checks every L3 mask against the mounted `cbm_len`: a mask with
+    /// bits beyond the hardware's way count (or no bits at all) cannot
+    /// have come from a healthy kernel and would corrupt any
+    /// [`CbmMask`]-level math downstream. Applied at the same boundary as
+    /// `set_cbm`'s validation, so reads and writes enforce one rule.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first offending domain.
+    pub fn check_l3_width(&self, cbm_len: u32) -> Result<(), String> {
+        for (dom, bits) in &self.l3 {
+            if *bits == 0 {
+                return Err(format!("L3 domain {dom} has an empty mask"));
+            }
+            if cbm_len < 32 && bits >> cbm_len != 0 {
+                return Err(format!(
+                    "L3 domain {dom} mask {bits:x} wider than cbm_len {cbm_len}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Renders the schemata in the format the kernel accepts.
@@ -321,10 +358,18 @@ impl<C: CounterSource> ResctrlBackend<C> {
     fn read_schemata(&self, group: ClosId) -> Result<Schemata, RdtError> {
         let path = self.group_dir(group)?.join("schemata");
         let text = read_file(&path)?;
-        Schemata::parse(&text).map_err(|message| RdtError::Parse {
+        let s = Schemata::parse(&text).map_err(|message| RdtError::Parse {
             path: path.display().to_string(),
             message,
-        })
+        })?;
+        // Same rule `set_cbm` enforces on writes: masks must fit the
+        // mounted cbm_len, whichever direction they travel.
+        s.check_l3_width(self.caps.llc_ways)
+            .map_err(|message| RdtError::Parse {
+                path: path.display().to_string(),
+                message,
+            })?;
+        Ok(s)
     }
 
     fn write_schemata(&self, group: ClosId, s: &Schemata) -> Result<(), RdtError> {
@@ -487,6 +532,53 @@ mod tests {
         assert!(Schemata::parse("L3:x=7ff").is_err());
         assert!(Schemata::parse("L3:0=zz").is_err());
         assert!(Schemata::parse("MB:0=abc").is_err());
+    }
+
+    /// Regression: `copart-check`'s schemata oracle found that MB levels
+    /// above 100 parsed fine and duplicate domain ids silently last-won
+    /// (corpus entries `schemata-mb-over-100.case`,
+    /// `schemata-duplicate-domain.case`).
+    #[test]
+    fn schemata_validates_mb_range_and_duplicate_domains() {
+        assert!(Schemata::parse("MB:0=101").is_err());
+        assert!(Schemata::parse("MB:0=255").is_err());
+        assert!(Schemata::parse("MB:0=0").is_err());
+        assert_eq!(Schemata::parse("MB:0=100").unwrap().mb[&0], 100);
+        assert_eq!(Schemata::parse("MB:0=1").unwrap().mb[&0], 1);
+        // Duplicates, same line and across lines, for either resource.
+        assert!(Schemata::parse("MB:0=50;0=60").is_err());
+        assert!(Schemata::parse("L3:0=f;0=3").is_err());
+        assert!(Schemata::parse("L3:0=f\nL3:0=3\n").is_err());
+        assert!(Schemata::parse("MB:0=50\nMB:0=60\n").is_err());
+        // CDP-style trees repeat domains across L3CODE/L3DATA — distinct
+        // resources, so still accepted.
+        assert!(Schemata::parse("L3CODE:0=f\nL3DATA:0=3\n").is_ok());
+        // Unmanaged resources may repeat domains; we never read them.
+        assert!(Schemata::parse("L2:0=3\nL2:0=1\n").is_ok());
+    }
+
+    #[test]
+    fn l3_width_check_matches_set_cbm_boundary() {
+        let s = Schemata::parse("L3:0=7ff\n").unwrap();
+        assert!(s.check_l3_width(11).is_ok());
+        assert!(s.check_l3_width(10).is_err());
+        let empty = Schemata {
+            l3: [(0, 0)].into(),
+            mb: BTreeMap::new(),
+        };
+        assert!(empty.check_l3_width(11).is_err());
+    }
+
+    /// A schemata file wider than the mounted cbm_len is rejected on the
+    /// read path, mirroring `set_cbm`'s write-side validation.
+    #[test]
+    fn oversized_on_disk_mask_is_rejected_on_read() {
+        let (root, mut b) = mounted("overwide");
+        let g = b.create_group("grp").unwrap();
+        fs::write(root.join("grp/schemata"), "L3:0=fff\nMB:0=100\n").unwrap();
+        assert!(matches!(b.clos_config(g), Err(RdtError::Parse { .. })));
+        // set_mba must not round-trip the bogus mask back to disk either.
+        assert!(b.set_mba(g, MbaLevel::new(50)).is_err());
     }
 
     #[test]

@@ -313,6 +313,17 @@ impl Machine {
         Ok(())
     }
 
+    /// The CLOS a live application currently runs under — the ground
+    /// truth that backend-level group tables (e.g. `SimBackend`'s) must
+    /// stay consistent with.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown or removed application.
+    pub fn app_clos(&self, app: AppHandle) -> Result<ClosId, SimError> {
+        Ok(self.live(app)?.clos)
+    }
+
     /// LLC occupancy (bytes, unscaled) attributed to the application's
     /// CLOS, emulating the `llc_occupancy` monitoring event.
     pub fn llc_occupancy_bytes(&self, app: AppHandle) -> Result<u64, SimError> {

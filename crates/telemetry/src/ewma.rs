@@ -25,20 +25,26 @@ impl Ewma {
         Ewma { alpha, value: None }
     }
 
-    /// Feeds a sample and returns the updated average.
+    /// Feeds a sample and returns the updated average, or `None` when no
+    /// finite sample has ever been observed.
     ///
-    /// Non-finite samples are ignored (the previous average is returned)
-    /// so a corrupted reading cannot permanently poison the series.
-    pub fn update(&mut self, sample: f64) -> f64 {
+    /// Non-finite samples are ignored (the previous average, if any, is
+    /// returned) so a corrupted reading cannot permanently poison the
+    /// series. The no-observation case is explicit: a non-finite *first*
+    /// sample yields `None` rather than a fabricated `0.0` — returning a
+    /// zero rate during a pre-warm counter dropout would tell the
+    /// classifiers the application went idle when in truth nothing has
+    /// been measured yet.
+    pub fn update(&mut self, sample: f64) -> Option<f64> {
         if !sample.is_finite() {
-            return self.value.unwrap_or(0.0);
+            return self.value;
         }
         let next = match self.value {
             None => sample,
             Some(v) => self.alpha * sample + (1.0 - self.alpha) * v,
         };
         self.value = Some(next);
-        next
+        Some(next)
     }
 
     /// The current average, if any sample has been observed.
@@ -59,8 +65,24 @@ mod tests {
     #[test]
     fn first_sample_is_adopted_directly() {
         let mut e = Ewma::new(0.25);
-        assert_eq!(e.update(8.0), 8.0);
+        assert_eq!(e.update(8.0), Some(8.0));
         assert_eq!(e.value(), Some(8.0));
+    }
+
+    /// Regression: `copart-check`'s ewma oracle found that a non-finite
+    /// *first* sample reported `0.0` (`unwrap_or(0.0)`), fabricating a
+    /// zero rate during a pre-warm counter dropout (corpus entry
+    /// `ewma-nonfinite-first-sample.case`). The no-observation case is
+    /// now explicit.
+    #[test]
+    fn nonfinite_first_sample_reports_no_observation() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut e = Ewma::new(0.5);
+            assert_eq!(e.update(bad), None, "no fabricated zero for {bad}");
+            assert_eq!(e.value(), None);
+            // The series starts cleanly at the first finite sample.
+            assert_eq!(e.update(6.0), Some(6.0));
+        }
     }
 
     #[test]
@@ -77,15 +99,15 @@ mod tests {
     fn alpha_one_tracks_input_exactly() {
         let mut e = Ewma::new(1.0);
         e.update(3.0);
-        assert_eq!(e.update(7.0), 7.0);
+        assert_eq!(e.update(7.0), Some(7.0));
     }
 
     #[test]
     fn ignores_non_finite_samples() {
         let mut e = Ewma::new(0.5);
         e.update(4.0);
-        assert_eq!(e.update(f64::NAN), 4.0);
-        assert_eq!(e.update(f64::INFINITY), 4.0);
+        assert_eq!(e.update(f64::NAN), Some(4.0));
+        assert_eq!(e.update(f64::INFINITY), Some(4.0));
         assert_eq!(e.value(), Some(4.0));
     }
 
@@ -95,7 +117,7 @@ mod tests {
         e.update(4.0);
         e.reset();
         assert_eq!(e.value(), None);
-        assert_eq!(e.update(1.0), 1.0);
+        assert_eq!(e.update(1.0), Some(1.0));
     }
 
     #[test]

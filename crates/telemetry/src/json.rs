@@ -80,10 +80,15 @@ impl Json {
 
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
+    ///
+    /// Containers may nest at most [`MAX_DEPTH`] levels; deeper documents
+    /// are rejected with a parse error rather than recursing without
+    /// bound (a `[[[[…` bomb would otherwise overflow the stack).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -171,9 +176,17 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth [`Json::parse`] accepts. The trace
+/// schema is flat (depth ≤ 3); 128 leaves generous headroom for foreign
+/// documents while keeping the recursive-descent parser's stack usage
+/// bounded on any platform.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -226,7 +239,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bounds container recursion: every `object()`/`array()` frame
+    /// passes through here first, so a `[[[[…` bomb is rejected with a
+    /// parse error instead of overflowing the stack.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("containers nested deeper than 128 levels"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        let result = self.object_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn object_inner(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
@@ -255,6 +286,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        let result = self.array_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn array_inner(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -438,6 +476,30 @@ mod tests {
         ] {
             assert!(Json::parse(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    /// Regression: `copart-check`'s json-depth oracle found that a
+    /// `[[[[…` bomb recursed unbounded and overflowed the stack (corpus
+    /// entry `json-depth-limit-bomb.case`). Depths at the limit parse;
+    /// one past it is a parse error, not a crash.
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let nested = |d: usize| format!("{}0{}", "[".repeat(d), "]".repeat(d));
+        let at_limit = nested(MAX_DEPTH);
+        assert!(Json::parse(&at_limit).is_ok(), "depth {MAX_DEPTH} parses");
+        let over = nested(MAX_DEPTH + 1);
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.msg.contains("nested"), "{err}");
+        // Far beyond the limit — the pre-fix parser died here.
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+        // Mixed object/array nesting counts every container level.
+        let mixed = format!(
+            "{}0{}",
+            "{\"k\":[".repeat(MAX_DEPTH / 2 + 1),
+            "]}".repeat(MAX_DEPTH / 2 + 1)
+        );
+        assert!(Json::parse(&mixed).is_err());
     }
 
     #[test]

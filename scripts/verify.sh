@@ -4,15 +4,22 @@
 # Two modes:
 #   verify.sh quick   fast inner-loop gate: debug tests + rustfmt + clippy
 #                     + rustdoc with warnings denied. One debug build of
-#                     the workspace, nothing else.
+#                     the workspace, nothing else. The copart-check
+#                     property suite runs inside the test pass at the
+#                     quick fuzz budget (COPART_CHECK_CASES=64).
 #   verify.sh [full]  everything a PR must pass: release build, release
 #                     tests (sharing the release cache with the build —
 #                     no debug/release double compile), rustfmt, clippy,
 #                     rustdoc with warnings denied (the workspace keeps
 #                     `#![warn(missing_docs)]` satisfied on every crate),
-#                     the chaos gate, and the explore-overhead benchmark,
-#                     which prints the per-epoch heap allocation count of
-#                     `run_period` against the recorded baseline.
+#                     the copart-check suite at the full fuzz budget
+#                     (COPART_CHECK_CASES=512) with a jobs-1-vs-8 report
+#                     byte-comparison, the chaos gate, and the
+#                     explore-overhead benchmark, which prints the
+#                     per-epoch heap allocation count of `run_period`
+#                     against the recorded baseline.
+#
+# COPART_CHECK_CASES overrides either budget from the environment.
 #
 # The script is std-toolchain only: no network access and no external
 # tools beyond cargo itself.
@@ -23,8 +30,8 @@ cd "$(dirname "$0")/.."
 mode="${1:-full}"
 case "$mode" in
 quick)
-    echo "==> cargo test -q (debug)"
-    cargo test -q --workspace
+    echo "==> cargo test -q (debug, copart-check at ${COPART_CHECK_CASES:-64} cases)"
+    COPART_CHECK_CASES="${COPART_CHECK_CASES:-64}" cargo test -q --workspace
 
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
@@ -39,8 +46,18 @@ full)
     echo "==> tier-1: cargo build --release"
     cargo build --workspace --release
 
-    echo "==> tier-1: cargo test -q --release"
-    cargo test -q --workspace --release
+    echo "==> tier-1: cargo test -q --release (copart-check at ${COPART_CHECK_CASES:-512} cases)"
+    COPART_CHECK_CASES="${COPART_CHECK_CASES:-512}" cargo test -q --workspace --release
+
+    echo "==> copart-check report determinism (jobs 1 vs 8, ${COPART_CHECK_CASES:-512} cases)"
+    check_tmp="$(mktemp -d)"
+    trap 'rm -rf "$check_tmp"' EXIT
+    cargo run -q --release -p copart-check -- \
+        --cases "${COPART_CHECK_CASES:-512}" --jobs 1 >"$check_tmp/jobs1.txt"
+    cargo run -q --release -p copart-check -- \
+        --cases "${COPART_CHECK_CASES:-512}" --jobs 8 >"$check_tmp/jobs8.txt"
+    cmp "$check_tmp/jobs1.txt" "$check_tmp/jobs8.txt" \
+        || { echo "copart-check report differs between --jobs 1 and --jobs 8" >&2; exit 1; }
 
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
