@@ -97,7 +97,7 @@ fn explore_step() {
 /// Builds a profiled 4-app CoPart runtime with the given recorder.
 fn epoch_runtime(
     stream: &StreamReference,
-    recorder: Box<dyn Recorder>,
+    recorder: Box<dyn Recorder + Send>,
 ) -> ConsolidationRuntime<SimBackend> {
     let machine_cfg = MachineConfig::xeon_gold_6130();
     let mix = WorkloadMix::build(MixKind::HighBoth, 4, machine_cfg.n_cores);
@@ -127,7 +127,7 @@ fn epoch_runtime(
 /// Mean cost of one `run_period` epoch under each recorder. Both
 /// runtimes are seeded identically, so they take the exact same
 /// decision trajectory and the comparison isolates the recorder.
-fn epoch_mean_ns(label: &str, stream: &StreamReference, recorder: Box<dyn Recorder>) -> f64 {
+fn epoch_mean_ns(label: &str, stream: &StreamReference, recorder: Box<dyn Recorder + Send>) -> f64 {
     const EPOCHS: u32 = 200;
     let mut rt = epoch_runtime(stream, recorder);
     let t = Instant::now();

@@ -39,7 +39,7 @@ fn main() {
     );
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut registry = MetricsRegistry::new();
+    let registry = MetricsRegistry::new();
     let mut serial_ns = 0u64;
     let mut widest: Option<(usize, u64, f64)> = None; // (jobs, best_ns, occupancy)
     let mut reference = None;

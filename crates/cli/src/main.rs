@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! copart sim-run   --mix h-both --policy copart --seconds 30
+//! copart serve     --mix h-both --policy copart --port 7700
+//! copart load      --addr 127.0.0.1:7700 --requests 10000
 //! copart classify  --bench WN
 //! copart resctrl-status --root /sys/fs/resctrl
 //! copart resctrl-apply  --root /sys/fs/resctrl --group batch0 --ways 4@2 --mba 40
@@ -13,6 +15,7 @@
 
 mod args;
 mod resctrl_cmd;
+mod serve_cmd;
 mod sim_cmd;
 
 use std::process::ExitCode;
@@ -35,6 +38,17 @@ Commands:
                            policies only), e.g. seed=7,write=0.1,dropout=0.05
                            keys: seed, dropout, cbm, mba, write, vanish,
                            stall; values: probability, 1/<n>, or off
+  serve            Run the always-on control daemon (HTTP API + /metrics)
+      --mix, --policy (dynamic only), --apps, --seed    as in sim-run
+      --port <n>           listen port (default 0 = ephemeral)
+      --tick-ms <n>        wall-clock epoch spacing (default 25;
+                           0 = free-run, requires --epochs)
+      --epochs <n>         stop epoching after n (default 0 = unbounded)
+      --faults <spec>      deterministic fault injection, as in sim-run
+      --trace-dir <path>   write rotating JSONL trace files
+                           stop it with: curl -X POST <addr>/shutdown
+  load             Hammer a daemon's read API (status/metrics/trace)
+      --addr <host:port> [--requests <n>] [--concurrency <n>]
   trace-check      Validate a JSONL decision trace (parses, gapless
                    epochs, monotone time) — the CI smoke gate
       --path <file> [--min-events <n>]
@@ -66,6 +80,8 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "sim-run" => sim_cmd::sim_run(&opts),
+        "serve" => serve_cmd::serve(&opts),
+        "load" => serve_cmd::load(&opts),
         "trace-check" => sim_cmd::trace_check(&opts),
         "classify" => sim_cmd::classify(&opts),
         "resctrl-status" => resctrl_cmd::status(&opts),

@@ -11,7 +11,7 @@ use copart_workloads::{measure, Benchmark, MixKind, WorkloadMix};
 
 use crate::args::Options;
 
-fn parse_mix(s: &str) -> Result<MixKind, String> {
+pub(crate) fn parse_mix(s: &str) -> Result<MixKind, String> {
     Ok(match s {
         "h-llc" => MixKind::HighLlc,
         "h-bw" => MixKind::HighBw,
@@ -116,7 +116,7 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
                 "--trace-out/--metrics need a dynamic policy (cat-only, mba-only, copart)".into(),
             );
         }
-        let recorder: Box<dyn Recorder> = match trace_out {
+        let recorder: Box<dyn Recorder + Send> = match trace_out {
             Some(path) => Box::new(
                 JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
             ),
@@ -191,7 +191,7 @@ fn run_faulty(
     let faulty = FaultyBackend::new(backend, plan);
     let mut runtime = ConsolidationRuntime::new(faulty, named, cfg)
         .map_err(|e| format!("initial partition apply failed under faults: {e}"))?;
-    let recorder: Box<dyn Recorder> = match trace_out {
+    let recorder: Box<dyn Recorder + Send> = match trace_out {
         Some(path) => {
             Box::new(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
         }

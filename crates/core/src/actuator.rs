@@ -91,6 +91,32 @@ pub struct ApplyReport {
 /// runtime never calls [`RdtBackend::set_cbm`] / [`RdtBackend::set_mba`]
 /// directly. Mask layout scratch is caller-provided so the per-epoch hot
 /// path reuses its allocations.
+///
+/// # Examples
+///
+/// The retry machinery under the trait, demonstrated directly: a write
+/// that comes back busy once is retried and lands, and the spent retry
+/// is accounted.
+///
+/// ```
+/// use copart_core::actuator::{retry_transient, ResilienceConfig};
+/// use copart_rdt::{RdtError, SimBackend};
+/// use copart_sim::{Machine, MachineConfig};
+///
+/// let mut backend = SimBackend::new(Machine::new(MachineConfig::xeon_gold_6130()));
+/// let resilience = ResilienceConfig::default();
+/// let mut retries = 0;
+/// let mut first = true;
+/// let outcome = retry_transient(&mut backend, &resilience, &mut retries, |_b| {
+///     if std::mem::take(&mut first) {
+///         Err(RdtError::Busy("schemata write"))
+///     } else {
+///         Ok(())
+///     }
+/// });
+/// assert!(outcome.is_ok());
+/// assert_eq!(retries, 1);
+/// ```
 pub trait Actuator<B: RdtBackend> {
     /// The retry/backoff policy in force.
     fn resilience(&self) -> &ResilienceConfig;

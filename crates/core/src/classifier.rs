@@ -31,6 +31,33 @@ pub struct Measurement {
 /// The classification seam of the control-plane pipeline: anything that
 /// turns per-epoch measurements into a Supply/Maintain/Demand verdict per
 /// resource.
+///
+/// # Examples
+///
+/// ```
+/// use copart_core::classifier::{Classifier, DualFsmClassifier, Measurement};
+/// use copart_core::next_state::AppliedEvents;
+/// use copart_core::{AppState, CoPartParams};
+///
+/// let params = CoPartParams::default();
+/// let mut classifier = DualFsmClassifier::new();
+/// assert_eq!(classifier.states(), (AppState::Maintain, AppState::Maintain));
+///
+/// // A cache-hungry epoch: high access rate and miss ratio, low traffic.
+/// let m = Measurement {
+///     perf_delta: 0.0,
+///     access_rate: 1e9,
+///     miss_ratio: 0.9,
+///     traffic_ratio: 0.05,
+/// };
+/// classifier.observe(&params, &m, AppliedEvents::default());
+/// let (llc, _mba) = classifier.states();
+/// assert_eq!(llc, AppState::Demand, "wants more LLC ways");
+///
+/// // Profiling restarts both machines from probed initial states.
+/// classifier.reset(AppState::Supply, AppState::Maintain);
+/// assert_eq!(classifier.states(), (AppState::Supply, AppState::Maintain));
+/// ```
 pub trait Classifier {
     /// Steps both resource classifiers with one epoch's measurement and
     /// the transfers applied to this application last epoch.

@@ -245,6 +245,49 @@ pub enum PolicyPlan {
 /// reference per [`PolicyKind`]. A new policy plugs into the evaluation
 /// harness by implementing this trait — plan a state (static) or a
 /// runtime configuration (dynamic) and the shared driver does the rest.
+///
+/// # Examples
+///
+/// Looking up a built-in engine through the registry:
+///
+/// ```
+/// use copart_core::planner::engine;
+/// use copart_core::policies::PolicyKind;
+///
+/// let copart = engine(PolicyKind::CoPart);
+/// assert_eq!(copart.kind(), PolicyKind::CoPart);
+/// assert_eq!(copart.label(), "CoPart");
+/// ```
+///
+/// Plugging in a custom (static) policy:
+///
+/// ```
+/// use copart_core::planner::{PlanContext, PolicyEngine, PolicyPlan};
+/// use copart_core::policies::PolicyKind;
+/// use copart_core::SystemState;
+///
+/// /// Holds the equal split for the whole run, never adapting.
+/// struct FrozenEqual;
+///
+/// impl PolicyEngine for FrozenEqual {
+///     fn kind(&self) -> PolicyKind {
+///         PolicyKind::Equal
+///     }
+///     fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+///         PolicyPlan::Static {
+///             state: SystemState::equal_split(
+///                 ctx.specs.len(),
+///                 &ctx.budget,
+///                 ctx.budget.mba_cap,
+///             ),
+///             overlapping: false,
+///         }
+///     }
+/// }
+///
+/// let engine: &dyn PolicyEngine = &FrozenEqual;
+/// assert_eq!(engine.label(), "EQ");
+/// ```
 pub trait PolicyEngine: Sync {
     /// The policy this engine implements.
     fn kind(&self) -> PolicyKind;

@@ -395,8 +395,8 @@ pub fn evaluate_policy_traced(
     stream: &StreamReference,
     policy: PolicyKind,
     opts: &EvalOptions,
-    recorder: Box<dyn Recorder>,
-) -> (EvalResult, Box<dyn Recorder>, MetricsSnapshot) {
+    recorder: Box<dyn Recorder + Send>,
+) -> (EvalResult, Box<dyn Recorder + Send>, MetricsSnapshot) {
     assert!(
         matches!(
             policy,

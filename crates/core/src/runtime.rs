@@ -22,6 +22,7 @@
 //! hands the proposal to the [`Actuator`]. Cross-cutting concerns —
 //! tracing, metrics, fault accounting — live here, at the seams.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use copart_rdt::{ClosId, MbaLevel, RdtBackend, RdtError};
@@ -189,8 +190,8 @@ pub struct ConsolidationRuntime<B: RdtBackend> {
     /// Monotone event counter: one per control period plus one per
     /// profiling probe, advanced whether or not a recorder listens.
     epoch: u64,
-    recorder: Box<dyn Recorder>,
-    metrics: MetricsRegistry,
+    recorder: Box<dyn Recorder + Send>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<B: RdtBackend> ConsolidationRuntime<B> {
@@ -233,7 +234,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             scratch: EpochScratch::default(),
             epoch: 0,
             recorder: Box::new(NullRecorder),
-            metrics: MetricsRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         };
         // The retry-aware path, so a transiently busy backend does not
         // fail construction.
@@ -280,7 +281,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// Installs a trace recorder (the default is the disabled
     /// [`NullRecorder`]) and returns the previous one, so callers can
     /// recover a buffering sink they handed in earlier.
-    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) -> Box<dyn Recorder> {
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder + Send>) -> Box<dyn Recorder + Send> {
         std::mem::replace(&mut self.recorder, recorder)
     }
 
@@ -293,6 +294,14 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// histograms fed by [`ConsolidationRuntime::run_period`]).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// A shared handle to the metrics registry, for concurrent readers
+    /// such as a `/metrics` listener thread. The registry is internally
+    /// synchronized, so the handle can be cloned across threads while
+    /// the runtime keeps writing.
+    pub fn metrics_handle(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// A point-in-time copy of every metric.
@@ -763,6 +772,31 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.apply_state()?;
         self.phase = Phase::Profiling;
         self.explorer.restart();
+        self.profile()
+    }
+
+    /// Replaces the whole runtime configuration and restarts adaptation
+    /// from scratch: the equal split is re-applied under the new budget
+    /// and every application is re-profiled, exactly as if the
+    /// consolidation had just been launched. This is the live
+    /// policy-switch path (`POST /policy` on the serve daemon).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the re-profiled initial state cannot be applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new parameters are invalid or the new budget
+    /// cannot give every application a way.
+    pub fn reconfigure(&mut self, cfg: RuntimeConfig) -> Result<(), RdtError> {
+        cfg.params.assert_valid();
+        self.cfg = cfg;
+        self.explorer = Explorer::new(self.cfg.params.seed);
+        self.state =
+            SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
+        self.apply_state()?;
+        self.phase = Phase::Profiling;
         self.profile()
     }
 

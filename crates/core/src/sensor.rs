@@ -87,6 +87,32 @@ pub struct SensorReading {
 }
 
 /// One application's sensing seam in the control-plane pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use copart_core::{Sensor, WindowedSensor};
+/// use copart_rdt::RdtError;
+/// use copart_telemetry::CounterSnapshot;
+///
+/// let snap = |t_s: u64| CounterSnapshot {
+///     timestamp_ns: t_s * 1_000_000_000,
+///     instructions: t_s * 2_000_000_000,
+///     cycles: t_s * 3_000_000_000,
+///     llc_accesses: t_s * 10_000_000,
+///     llc_misses: t_s * 1_000_000,
+/// };
+/// let mut sensor = WindowedSensor::new(8);
+/// // A single sample cannot span a period: nothing to report yet.
+/// assert!(sensor.ingest(Ok(snap(1))).rates.is_none());
+/// // Two samples straddle one second: 2e9 instructions retired in it.
+/// let reading = sensor.ingest(Ok(snap(2)));
+/// assert_eq!(reading.rates.unwrap().ips, 2e9);
+/// // A dropout degrades the epoch; the EWMA estimate bridges display.
+/// let dropped = sensor.ingest(Err(RdtError::Busy("counter read")));
+/// assert!(dropped.dropped);
+/// assert!(sensor.display_rates(&dropped).ips > 0.0);
+/// ```
 pub trait Sensor {
     /// Ingests one epoch's raw counter-read result and reports what the
     /// rest of the pipeline may consume. A successful read feeds both the

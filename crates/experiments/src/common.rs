@@ -192,7 +192,7 @@ pub fn trace_dir() -> PathBuf {
 /// Opens a JSONL trace sink named `<name>.jsonl` under [`trace_dir`].
 /// Falls back to a no-op recorder (with a warning) when the file cannot
 /// be created, so figure runs never fail on trace I/O.
-pub fn trace_sink(name: &str) -> Box<dyn Recorder> {
+pub fn trace_sink(name: &str) -> Box<dyn Recorder + Send> {
     let dir = trace_dir();
     let path = dir.join(format!("{name}.jsonl"));
     match std::fs::create_dir_all(&dir).and_then(|()| JsonlRecorder::create(&path)) {

@@ -1,0 +1,501 @@
+//! The control thread: the single owner of the [`ConsolidationRuntime`],
+//! driving epochs on ticks and serving mutations between them.
+//!
+//! Determinism is the design constraint. The runtime stays exactly as
+//! single-threaded as it is in one-shot runs: every mutating request
+//! (admit, remove, policy switch) travels over an mpsc channel and is
+//! applied by this thread *between* epochs, and every read either comes
+//! from a structure that is safe to share ([`SharedRing`], the metrics
+//! registry) or from the status snapshot this thread republishes after
+//! each epoch. Concurrent HTTP load therefore cannot reorder, interleave
+//! with, or otherwise perturb the epoch loop — which is what keeps a
+//! daemon trace byte-identical to a one-shot trace of the same scenario.
+//!
+//! Two pacing modes:
+//!
+//! * **wall-clock** (`tick > 0`) — epochs start on a fixed wall-clock
+//!   grid; the thread waits out each tick in `recv_timeout`, so commands
+//!   are handled the moment they arrive without moving the grid. An
+//!   epoch that starts more than one tick late counts as an
+//!   `epoch_deadline_misses` and the grid resynchronizes.
+//! * **free-run** (`tick == 0`) — epochs run back to back on virtual
+//!   time until `max_epochs`, the mode tests and the determinism suite
+//!   use.
+
+use crate::scenario::ScenarioEnv;
+use crate::trace::SharedRing;
+use copart_core::policies::PolicyKind;
+use copart_core::runtime::{ConsolidationRuntime, Phase};
+use copart_faults::FaultyBackend;
+use copart_rdt::{ClosId, RdtBackend, RdtError, SimBackend};
+use copart_sim::AppSpec;
+use copart_telemetry::{Json, MetricsRegistry};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What an API command produced: a JSON body on success, a status code
+/// plus message on failure.
+pub type ApiResult = Result<String, (u16, String)>;
+
+/// A mutation for the control thread, carrying its reply channel.
+pub enum Command {
+    /// `POST /apps` — admit a benchmark by Table 2 short name.
+    Admit {
+        /// The benchmark short name (`WN`, `SP`, ...).
+        bench: String,
+        /// Where the outcome goes.
+        reply: SyncSender<ApiResult>,
+    },
+    /// `DELETE /apps/{id}` — remove a managed application.
+    Remove {
+        /// The application's group (CLOS) id.
+        group: u16,
+        /// Where the outcome goes.
+        reply: SyncSender<ApiResult>,
+    },
+    /// `POST /policy` — switch the partitioning policy live.
+    SetPolicy {
+        /// The policy name (`cat-only`, `mba-only`, `copart`).
+        policy: String,
+        /// Where the outcome goes.
+        reply: SyncSender<ApiResult>,
+    },
+    /// Stop the control loop at the next epoch boundary.
+    Shutdown {
+        /// Receives the number of epochs run.
+        reply: SyncSender<u64>,
+    },
+}
+
+/// Parses the name of a *dynamic* policy, the only kind the daemon can
+/// run or switch to.
+///
+/// # Errors
+///
+/// Rejects unknown names and the static policies (`eq`, `st`).
+///
+/// # Examples
+///
+/// ```
+/// use copart_serve::daemon::parse_dynamic_policy;
+/// assert!(parse_dynamic_policy("copart").is_ok());
+/// assert!(parse_dynamic_policy("eq").is_err());
+/// ```
+pub fn parse_dynamic_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "cat-only" => Ok(PolicyKind::CatOnly),
+        "mba-only" => Ok(PolicyKind::MbaOnly),
+        "copart" => Ok(PolicyKind::CoPart),
+        "eq" | "st" => Err(format!(
+            "policy {s:?} is static; the daemon needs cat-only, mba-only, or copart"
+        )),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+/// The backend capabilities the daemon needs beyond [`RdtBackend`]:
+/// admitting and evicting whole workloads at runtime.
+pub trait ServeBackend: RdtBackend + Send + 'static {
+    /// Starts a workload in a fresh group and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the platform cannot host another workload.
+    fn admit(&mut self, spec: AppSpec) -> Result<ClosId, RdtError>;
+
+    /// Stops a workload and releases its group.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown group.
+    fn evict(&mut self, group: ClosId) -> Result<(), RdtError>;
+}
+
+impl ServeBackend for SimBackend {
+    fn admit(&mut self, spec: AppSpec) -> Result<ClosId, RdtError> {
+        self.add_workload(spec)
+    }
+
+    fn evict(&mut self, group: ClosId) -> Result<(), RdtError> {
+        self.remove_workload(group)
+    }
+}
+
+/// Admission bypasses fault injection (launching a container is an
+/// orchestrator operation, not an RDT one); everything the runtime does
+/// with the admitted group still goes through the fault plan.
+impl ServeBackend for FaultyBackend<SimBackend> {
+    fn admit(&mut self, spec: AppSpec) -> Result<ClosId, RdtError> {
+        self.inner_mut().add_workload(spec)
+    }
+
+    fn evict(&mut self, group: ClosId) -> Result<(), RdtError> {
+        self.inner_mut().remove_workload(group)
+    }
+}
+
+/// Pacing configuration for the control loop.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Wall-clock epoch spacing; `Duration::ZERO` selects free-run.
+    pub tick: Duration,
+    /// Stop running epochs (but keep serving) after this many.
+    pub max_epochs: Option<u64>,
+}
+
+/// A handle to a spawned control thread.
+pub struct ControlHandle {
+    /// Command channel into the control thread.
+    pub commands: Sender<Command>,
+    /// The last published status document (JSON).
+    pub status: Arc<Mutex<String>>,
+    join: JoinHandle<()>,
+}
+
+impl ControlHandle {
+    /// Waits for the control thread to exit. Send [`Command::Shutdown`]
+    /// first, or this blocks until every command sender is dropped.
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Spawns the control thread over a profiled runtime.
+pub fn spawn_control<B: ServeBackend>(
+    runtime: ConsolidationRuntime<B>,
+    env: ScenarioEnv,
+    cfg: DaemonConfig,
+    rx: Receiver<Command>,
+    commands: Sender<Command>,
+) -> ControlHandle {
+    let status = Arc::new(Mutex::new(String::from("{}")));
+    let metrics = runtime.metrics_handle();
+    let daemon = Daemon {
+        runtime,
+        env,
+        cfg,
+        metrics,
+        status: Arc::clone(&status),
+        rx,
+        epochs_done: 0,
+    };
+    let join = std::thread::Builder::new()
+        .name("copart-control".into())
+        .spawn(move || daemon.run())
+        .expect("spawning the control thread");
+    ControlHandle {
+        commands,
+        status,
+        join,
+    }
+}
+
+struct Daemon<B: ServeBackend> {
+    runtime: ConsolidationRuntime<B>,
+    env: ScenarioEnv,
+    cfg: DaemonConfig,
+    metrics: Arc<MetricsRegistry>,
+    status: Arc<Mutex<String>>,
+    rx: Receiver<Command>,
+    epochs_done: u64,
+}
+
+impl<B: ServeBackend> Daemon<B> {
+    fn run(mut self) {
+        self.publish_status();
+        if self.cfg.tick.is_zero() {
+            self.run_free();
+        } else {
+            self.run_wall();
+        }
+        if let Err(e) = self.runtime.recorder_mut().flush() {
+            eprintln!("copart serve: flushing trace on shutdown: {e}");
+        }
+    }
+
+    /// Free-run: epochs back to back on virtual time, commands drained
+    /// between them.
+    fn run_free(&mut self) {
+        loop {
+            loop {
+                match self.rx.try_recv() {
+                    Ok(cmd) => {
+                        if self.handle(cmd) {
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return,
+                }
+            }
+            if self.epochs_remaining() {
+                self.epoch();
+            } else {
+                // Cap reached: park on the channel and keep serving.
+                match self.rx.recv() {
+                    Ok(cmd) => {
+                        if self.handle(cmd) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+
+    /// Wall-clock: epochs on a fixed grid, commands handled the moment
+    /// they arrive in between.
+    fn run_wall(&mut self) {
+        let tick = self.cfg.tick;
+        // Prime the pacing counters so /metrics exposes them as 0 from
+        // boot instead of omitting them until the first miss.
+        self.metrics.add("ticks", 0);
+        self.metrics.add("epoch_deadline_misses", 0);
+        // The first epoch runs before the grid is established: it pays
+        // the process's cold-start costs (first-touch page faults, lazy
+        // allocations) and would otherwise overshoot the first deadline.
+        if self.epochs_remaining() {
+            self.epoch();
+        }
+        let mut deadline = Instant::now() + tick;
+        loop {
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(cmd) => {
+                        if self.handle(cmd) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            let lag = Instant::now().saturating_duration_since(deadline);
+            self.metrics.inc("ticks");
+            self.metrics
+                .observe_ns("tick_lag_ns", lag.as_nanos() as u64);
+            if lag > tick {
+                // The epoch would start more than one full tick late:
+                // that is a missed deadline. Resynchronize the grid so
+                // one long stall counts once, not once per tick.
+                self.metrics.inc("epoch_deadline_misses");
+                deadline = Instant::now() + tick;
+            } else {
+                deadline += tick;
+            }
+            if self.epochs_remaining() {
+                self.epoch();
+            }
+        }
+    }
+
+    fn epochs_remaining(&self) -> bool {
+        self.cfg.max_epochs.is_none_or(|cap| self.epochs_done < cap)
+    }
+
+    fn epoch(&mut self) {
+        // Attempts count toward the cap whether or not the period
+        // succeeds, so a failing backend cannot spin a free-run forever.
+        self.epochs_done += 1;
+        if let Err(e) = self.runtime.run_period() {
+            self.metrics.inc("epoch_failures");
+            eprintln!("copart serve: epoch failed: {e}");
+        }
+        self.publish_status();
+    }
+
+    /// Applies one command; returns whether the loop should stop.
+    fn handle(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Admit { bench, reply } => {
+                let result = self.admit(&bench);
+                self.publish_status();
+                let _ = reply.send(result);
+            }
+            Command::Remove { group, reply } => {
+                let result = self.remove(group);
+                self.publish_status();
+                let _ = reply.send(result);
+            }
+            Command::SetPolicy { policy, reply } => {
+                let result = self.set_policy(&policy);
+                self.publish_status();
+                let _ = reply.send(result);
+            }
+            Command::Shutdown { reply } => {
+                let _ = reply.send(self.epochs_done);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn admit(&mut self, bench: &str) -> ApiResult {
+        let spec = self.env.spec_for(bench).map_err(|e| (400, e))?;
+        let name = spec.name.clone();
+        let budget = self.runtime.config().budget;
+        let n = self.runtime.apps().len() as u32;
+        if n + 1 > budget.total_ways {
+            return Err((
+                409,
+                format!(
+                    "no LLC way left for another application ({n} managed, {} ways)",
+                    budget.total_ways
+                ),
+            ));
+        }
+        let group = self
+            .runtime
+            .backend_mut()
+            .admit(spec)
+            .map_err(|e| (409, format!("admission refused: {e}")))?;
+        if let Err(e) = self.runtime.add_app(group, name) {
+            let _ = self.runtime.backend_mut().evict(group);
+            return Err((500, format!("admitted but re-profiling failed: {e}")));
+        }
+        self.metrics.inc("admitted_apps");
+        Ok(format!("{{\"group\":{}}}", group.0))
+    }
+
+    fn remove(&mut self, id: u16) -> ApiResult {
+        let group = ClosId(id);
+        if !self.runtime.apps().iter().any(|a| a.group == group) {
+            return Err((404, format!("no managed application in group {id}")));
+        }
+        if self.runtime.apps().len() == 1 {
+            return Err((
+                409,
+                "refusing to remove the last application; shut the daemon down instead".into(),
+            ));
+        }
+        self.runtime
+            .remove_app(group)
+            .map_err(|e| (500, format!("removal failed: {e}")))?;
+        self.runtime.backend_mut().evict(group).map_err(|e| {
+            (
+                500,
+                format!("removed from control but not the platform: {e}"),
+            )
+        })?;
+        self.metrics.inc("removed_apps");
+        Ok(format!("{{\"removed\":{id}}}"))
+    }
+
+    fn set_policy(&mut self, policy: &str) -> ApiResult {
+        let kind = parse_dynamic_policy(policy).map_err(|e| (400, e))?;
+        let cfg = self.env.runtime_config(self.runtime.apps().len(), kind);
+        self.runtime
+            .reconfigure(cfg)
+            .map_err(|e| (500, format!("policy switch failed mid-apply: {e}")))?;
+        self.env.policy = kind;
+        self.metrics.inc("policy_switches");
+        Ok(format!("{{\"policy\":\"{}\"}}", kind.label()))
+    }
+
+    /// Renders and publishes the `GET /status` document. Runs after
+    /// every epoch and every command, so readers always see the state
+    /// as of the last epoch boundary.
+    fn publish_status(&self) {
+        let phase = match self.runtime.phase() {
+            Phase::Profiling => "profiling",
+            Phase::Exploring => "exploring",
+            Phase::Idle => "idle",
+        };
+        let budget = self.runtime.config().budget;
+        let machine_ways = self.runtime.backend().capabilities().llc_ways;
+        let state = self.runtime.state();
+        let masks = state.masks(&budget, machine_ways);
+        let mut apps = Vec::with_capacity(self.runtime.apps().len());
+        let mut schemata_l3 = String::from("L3:");
+        let mut schemata_mb = String::from("MB:");
+        for (i, app) in self.runtime.apps().iter().enumerate() {
+            let (llc, mba) = app.classifier_states();
+            let alloc = state.allocs[i];
+            let mask = masks[i];
+            if i > 0 {
+                schemata_l3.push(';');
+                schemata_mb.push(';');
+            }
+            schemata_l3.push_str(&format!("{}={mask}", app.group.0));
+            schemata_mb.push_str(&format!("{}={}", app.group.0, alloc.mba.percent()));
+            apps.push(Json::Obj(vec![
+                ("group".into(), Json::Num(f64::from(app.group.0))),
+                ("name".into(), Json::Str(app.name.clone())),
+                ("llc".into(), Json::Str(llc.to_string())),
+                ("mba".into(), Json::Str(mba.to_string())),
+                ("ways".into(), Json::Num(f64::from(alloc.ways))),
+                (
+                    "mba_percent".into(),
+                    Json::Num(f64::from(alloc.mba.percent())),
+                ),
+                ("mask".into(), Json::Str(mask.to_string())),
+                ("slowdown".into(), Json::Num(app.slowdown())),
+            ]));
+        }
+        let doc = Json::Obj(vec![
+            ("epoch".into(), Json::Num(self.epochs_done as f64)),
+            (
+                "ticks".into(),
+                Json::Num(self.metrics.counter("ticks") as f64),
+            ),
+            (
+                "deadline_misses".into(),
+                Json::Num(self.metrics.counter("epoch_deadline_misses") as f64),
+            ),
+            ("phase".into(), Json::Str(phase.into())),
+            ("policy".into(), Json::Str(self.env.policy.label().into())),
+            (
+                "unfairness".into(),
+                Json::Num(self.metrics.gauge("unfairness").unwrap_or(0.0)),
+            ),
+            ("apps".into(), Json::Arr(apps)),
+            (
+                "schemata".into(),
+                Json::Str(format!("{schemata_l3} {schemata_mb}")),
+            ),
+        ]);
+        let rendered = doc.to_string();
+        *self.status.lock().unwrap_or_else(|e| e.into_inner()) = rendered;
+    }
+}
+
+/// Everything HTTP workers share: read-side structures plus the command
+/// channel into the control thread.
+pub struct Gateway {
+    /// The runtime's metrics registry (shared handle).
+    pub metrics: Arc<MetricsRegistry>,
+    /// The flight recorder behind `GET /trace`.
+    pub ring: SharedRing,
+    /// The published `GET /status` document.
+    pub status: Arc<Mutex<String>>,
+    /// Commands into the control thread.
+    pub commands: Sender<Command>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_policy_names_parse() {
+        assert_eq!(
+            parse_dynamic_policy("cat-only").unwrap().label(),
+            "CAT-only"
+        );
+        assert_eq!(
+            parse_dynamic_policy("mba-only").unwrap().label(),
+            "MBA-only"
+        );
+        assert_eq!(parse_dynamic_policy("copart").unwrap().label(), "CoPart");
+        assert!(parse_dynamic_policy("eq").unwrap_err().contains("static"));
+        assert!(parse_dynamic_policy("st").unwrap_err().contains("static"));
+        assert!(parse_dynamic_policy("x").unwrap_err().contains("unknown"));
+    }
+}

@@ -1,0 +1,208 @@
+//! A small load-generator client for the daemon's API, used by
+//! `copart load`, `scripts/loadtest.sh`, and the serve tests.
+//!
+//! The generator opens `concurrency` keep-alive connections and rotates
+//! each through the read endpoints (`/status`, `/metrics`,
+//! `/trace?tail=4`) until the shared request budget is spent. It is
+//! deliberately read-only: the point is to pressure the listener and the
+//! shared read structures while the control loop keeps its epoch
+//! deadlines, not to mutate the consolidation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How much load to apply.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests across all connections.
+    pub requests: u64,
+    /// Concurrent keep-alive connections.
+    pub concurrency: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            requests: 10_000,
+            concurrency: 8,
+        }
+    }
+}
+
+/// What the generator observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests actually sent.
+    pub sent: u64,
+    /// Responses with a 2xx status.
+    pub ok2xx: u64,
+    /// Requests that failed at the transport layer or got a non-2xx
+    /// status.
+    pub failures: u64,
+}
+
+/// Sends one request on its own connection and returns `(status, body)`.
+///
+/// This is the simple path the tests use; the load loop below keeps its
+/// connections alive instead.
+///
+/// # Errors
+///
+/// Propagates connect, write, and malformed-response errors.
+pub fn fetch(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let _ = stream.set_nodelay(true);
+    write_request(&mut stream, addr, method, path, body, false)?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Runs the configured load against a daemon and reports what happened.
+///
+/// # Errors
+///
+/// Fails when no worker thread can even connect; individual request
+/// failures are counted in the report instead.
+pub fn run(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let budget = Arc::new(AtomicU64::new(cfg.requests));
+    let ok2xx = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let mut joins = Vec::new();
+    for worker in 0..cfg.concurrency.max(1) {
+        let addr = addr.to_string();
+        let budget = Arc::clone(&budget);
+        let ok2xx = Arc::clone(&ok2xx);
+        let failures = Arc::clone(&failures);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("copart-load-{worker}"))
+                .spawn(move || load_worker(&addr, &budget, &ok2xx, &failures))
+                .map_err(|e| format!("spawning load worker: {e}"))?,
+        );
+    }
+    for join in joins {
+        let _ = join.join();
+    }
+    let ok = ok2xx.load(Ordering::SeqCst);
+    let failed = failures.load(Ordering::SeqCst);
+    Ok(LoadReport {
+        sent: ok + failed,
+        ok2xx: ok,
+        failures: failed,
+    })
+}
+
+/// The read endpoints a connection rotates through.
+const PATHS: [&str; 3] = ["/status", "/metrics", "/trace?tail=4"];
+
+fn load_worker(addr: &str, budget: &AtomicU64, ok2xx: &AtomicU64, failures: &AtomicU64) {
+    let mut conn: Option<BufReader<TcpStream>> = None;
+    let mut turn = 0usize;
+    while claim(budget) {
+        let path = PATHS[turn % PATHS.len()];
+        turn += 1;
+        // One reconnect attempt per request: a dropped keep-alive
+        // connection is normal churn, not a failure.
+        let mut attempts = 0;
+        let status = loop {
+            attempts += 1;
+            if conn.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                        let _ = stream.set_nodelay(true);
+                        conn = Some(BufReader::new(stream));
+                    }
+                    Err(_) => break None,
+                }
+            }
+            let reader = conn.as_mut().expect("just connected");
+            let sent = write_request(reader.get_mut(), addr, "GET", path, "", true);
+            match sent.and_then(|()| read_response(reader)) {
+                Ok((status, _body)) => break Some(status),
+                Err(_) => {
+                    conn = None;
+                    if attempts >= 2 {
+                        break None;
+                    }
+                }
+            }
+        };
+        match status {
+            Some(s) if (200..300).contains(&s) => {
+                ok2xx.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {
+                failures.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Claims one request from the shared budget.
+fn claim(budget: &AtomicU64) -> bool {
+    budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut req =
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\n");
+    if !body.is_empty() {
+        req.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream.write_all(req.as_bytes())
+}
+
+/// Reads one HTTP/1.1 response, honoring Content-Length framing.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(bad("connection closed before the status line"));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("malformed Content-Length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}

@@ -1,0 +1,277 @@
+//! Shared bootstrap for daemon and one-shot runs of the same scenario.
+//!
+//! Byte-identical traces are the repo's determinism contract: a daemon
+//! run of N epochs must produce exactly the JSONL a one-shot `sim-run`
+//! of the same scenario produces. Both paths therefore build their
+//! runtime through this module — same machine model, same mix, same
+//! STREAM reference, same seed, same profiling-retry policy — and
+//! [`Scenario::reference_trace`] *is* the one-shot path, used by the
+//! determinism tests as the expected value.
+
+use copart_core::policies::{self, PolicyKind};
+use copart_core::runtime::{ConsolidationRuntime, RuntimeConfig};
+use copart_core::CoPartParams;
+use copart_faults::{FaultPlan, FaultyBackend};
+use copart_rdt::{ClosId, RdtBackend, RdtError, SimBackend};
+use copart_sim::{AppSpec, Machine, MachineConfig};
+use copart_workloads::stream::StreamReference;
+use copart_workloads::{Benchmark, MixKind, WorkloadMix};
+
+use crate::trace::SharedRing;
+
+/// Profiling attempts a fault-injected boot gets before giving up (the
+/// same allowance the one-shot `sim-run --faults` path grants).
+pub const PROFILE_ATTEMPTS: u32 = 5;
+
+/// What consolidation the daemon should run: everything needed to build
+/// the runtime deterministically.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which Table 3 mix family to consolidate.
+    pub mix: MixKind,
+    /// Number of applications (1–6).
+    pub n_apps: usize,
+    /// The partitioning policy (must be dynamic: CAT-only, MBA-only, or
+    /// CoPart).
+    pub policy: PolicyKind,
+    /// Seed for the explorer's randomized θ-retries.
+    pub seed: u64,
+    /// Deterministic fault plan, if the daemon should run injected.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Scenario {
+    /// A scenario over one of the paper's mixes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an app count outside 1–6 and non-dynamic policies (EQ
+    /// and ST have no epoch loop to serve).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use copart_core::policies::PolicyKind;
+    /// use copart_serve::Scenario;
+    /// use copart_workloads::MixKind;
+    /// let s = Scenario::new(MixKind::HighBoth, 4, PolicyKind::CoPart, 42, None).unwrap();
+    /// assert_eq!(s.n_apps, 4);
+    /// assert!(Scenario::new(MixKind::HighBoth, 4, PolicyKind::Equal, 42, None).is_err());
+    /// ```
+    pub fn new(
+        mix: MixKind,
+        n_apps: usize,
+        policy: PolicyKind,
+        seed: u64,
+        faults: Option<FaultPlan>,
+    ) -> Result<Scenario, String> {
+        if !(1..=6).contains(&n_apps) {
+            return Err("app count must be between 1 and 6".into());
+        }
+        if !matches!(
+            policy,
+            PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+        ) {
+            return Err(format!(
+                "policy {} is not dynamic; serve needs cat-only, mba-only, or copart",
+                policy.label()
+            ));
+        }
+        Ok(Scenario {
+            mix,
+            n_apps,
+            policy,
+            seed,
+            faults,
+        })
+    }
+
+    /// Measures the environment the scenario runs in (machine model,
+    /// STREAM reference table, parameters). Deterministic, but not free:
+    /// the STREAM table is simulated at every MBA level.
+    pub fn env(&self) -> ScenarioEnv {
+        let machine = MachineConfig::xeon_gold_6130();
+        let mix = WorkloadMix::build(self.mix, self.n_apps, machine.n_cores);
+        let stream = StreamReference::compute(&machine, 4);
+        let params = CoPartParams {
+            seed: self.seed,
+            ..CoPartParams::default()
+        };
+        ScenarioEnv {
+            machine,
+            stream,
+            params,
+            cores_per_app: mix.cores_per_app,
+            policy: self.policy,
+        }
+    }
+
+    /// The mix's application specs, in slot order.
+    pub fn specs(&self, env: &ScenarioEnv) -> Vec<AppSpec> {
+        WorkloadMix::build(self.mix, self.n_apps, env.machine.n_cores).specs()
+    }
+
+    /// Builds the fault-free runtime for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the mix does not fit the machine or the initial
+    /// partition cannot be applied.
+    pub fn build_sim(&self, env: &ScenarioEnv) -> Result<ConsolidationRuntime<SimBackend>, String> {
+        let mut backend = SimBackend::new(Machine::new(env.machine.clone()));
+        let named = admit_all(&mut backend, &self.specs(env))?;
+        let cfg = env.runtime_config(self.n_apps, self.policy);
+        ConsolidationRuntime::new(backend, named, cfg)
+            .map_err(|e| format!("initial partition apply failed: {e}"))
+    }
+
+    /// Builds the fault-injected runtime for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the mix does not fit the machine or the initial
+    /// partition cannot be applied through the injected faults.
+    pub fn build_faulty(
+        &self,
+        env: &ScenarioEnv,
+        plan: FaultPlan,
+    ) -> Result<ConsolidationRuntime<FaultyBackend<SimBackend>>, String> {
+        let mut backend = SimBackend::new(Machine::new(env.machine.clone()));
+        let named = admit_all(&mut backend, &self.specs(env))?;
+        let cfg = env.runtime_config(self.n_apps, self.policy);
+        ConsolidationRuntime::new(FaultyBackend::new(backend, plan), named, cfg)
+            .map_err(|e| format!("initial partition apply failed under faults: {e}"))
+    }
+
+    /// The one-shot run the daemon is compared against: build, profile,
+    /// run exactly `epochs` periods, and return the trace as JSONL
+    /// lines. Fault plans are honored, so the fault-injected daemon has
+    /// a reference too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, profiling, and epoch failures.
+    pub fn reference_trace(&self, epochs: u64) -> Result<Vec<String>, String> {
+        let env = self.env();
+        let ring = SharedRing::new(epochs as usize + 256);
+        match self.faults.clone() {
+            None => {
+                let mut runtime = self.build_sim(&env)?;
+                runtime.set_recorder(Box::new(ring.clone()));
+                profile_with_retries(&mut runtime, 1)?;
+                for _ in 0..epochs {
+                    runtime.run_period().map_err(|e| format!("epoch: {e}"))?;
+                }
+            }
+            Some(plan) => {
+                let mut runtime = self.build_faulty(&env, plan)?;
+                runtime.set_recorder(Box::new(ring.clone()));
+                profile_with_retries(&mut runtime, PROFILE_ATTEMPTS)?;
+                for _ in 0..epochs {
+                    runtime.run_period().map_err(|e| format!("epoch: {e}"))?;
+                }
+            }
+        }
+        Ok(ring.all().iter().map(|e| e.to_json_line()).collect())
+    }
+}
+
+/// Admits every spec into the backend, returning `(group, name)` pairs
+/// in spec order.
+fn admit_all(backend: &mut SimBackend, specs: &[AppSpec]) -> Result<Vec<(ClosId, String)>, String> {
+    specs
+        .iter()
+        .map(|spec| {
+            let name = spec.name.clone();
+            backend
+                .add_workload(spec.clone())
+                .map(|group| (group, name))
+                .map_err(|e| format!("mix does not fit the machine: {e}"))
+        })
+        .collect()
+}
+
+/// The measured environment a scenario runs in, kept by the daemon for
+/// later admissions and policy switches.
+#[derive(Debug, Clone)]
+pub struct ScenarioEnv {
+    /// The simulated machine model.
+    pub machine: MachineConfig,
+    /// STREAM reference miss rates per MBA level (§5.3).
+    pub stream: StreamReference,
+    /// Controller parameters (seeded from the scenario).
+    pub params: CoPartParams,
+    /// Dedicated cores per consolidated application.
+    pub cores_per_app: u32,
+    /// The currently active policy.
+    pub policy: PolicyKind,
+}
+
+impl ScenarioEnv {
+    /// The runtime configuration for `policy` over `n_apps`
+    /// applications.
+    pub fn runtime_config(&self, n_apps: usize, policy: PolicyKind) -> RuntimeConfig {
+        policies::dynamic_runtime_config(&self.machine, n_apps, &self.stream, policy, &self.params)
+    }
+
+    /// The calibrated spec for a Table 2 benchmark short name (`WN`,
+    /// `SP`, ...), pinned to this scenario's per-app core count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown short names.
+    pub fn spec_for(&self, short: &str) -> Result<AppSpec, String> {
+        Benchmark::all()
+            .into_iter()
+            .find(|b| b.table2().short.eq_ignore_ascii_case(short))
+            .map(|b| b.spec_with_cores(self.cores_per_app))
+            .ok_or_else(|| format!("unknown benchmark {short:?} (use the Table 2 short names)"))
+    }
+}
+
+/// Runs profiling, retrying whole passes up to `attempts` times — under
+/// fault injection a vanished group or a run of busy writes can abort a
+/// pass, and the daemon (like `sim-run --faults`) gives it several.
+///
+/// # Errors
+///
+/// Returns the last profiling error once the attempts are exhausted.
+pub fn profile_with_retries<B: RdtBackend>(
+    runtime: &mut ConsolidationRuntime<B>,
+    attempts: u32,
+) -> Result<(), String> {
+    let mut last: Option<RdtError> = None;
+    for _ in 0..attempts.max(1) {
+        match runtime.profile() {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(format!(
+        "profiling did not survive {attempts} attempts: {}",
+        last.expect("at least one attempt ran")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_trace_is_reproducible() {
+        let scenario = Scenario::new(MixKind::HighBoth, 2, PolicyKind::CoPart, 7, None).unwrap();
+        let a = scenario.reference_trace(6).unwrap();
+        let b = scenario.reference_trace(6).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same scenario, same bytes");
+    }
+
+    #[test]
+    fn env_resolves_table2_short_names() {
+        let scenario = Scenario::new(MixKind::HighBoth, 2, PolicyKind::CoPart, 7, None).unwrap();
+        let env = scenario.env();
+        let spec = env.spec_for("wn").unwrap();
+        assert!(spec.name.to_lowercase().contains("water") || !spec.name.is_empty());
+        assert!(env.spec_for("nope").is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Trace plumbing for the daemon: a thread-shared flight recorder, a
+//! rotating JSONL file sink, and a tee that feeds both.
+//!
+//! The control thread owns the runtime and therefore the recorder; the
+//! HTTP workers only ever *read* the ring (for `GET /trace?tail=N`), and
+//! the background trace-rotate worker only swaps files between epochs'
+//! writes. Both cross-thread structures are small `Arc<Mutex<_>>`
+//! handles whose locks are held for one event or one rotation at a time.
+
+use copart_telemetry::{JsonlRecorder, Recorder, RingRecorder, TraceEvent};
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning: trace sinks hold no
+/// mid-update invariants worth abandoning the daemon over.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A [`RingRecorder`] behind an `Arc<Mutex<_>>`: the control thread
+/// records into it while HTTP workers serve tail reads from it.
+///
+/// # Examples
+///
+/// ```
+/// use copart_serve::trace::SharedRing;
+/// let ring = SharedRing::new(128);
+/// let reader = ring.clone();
+/// assert_eq!(reader.tail(10).len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedRing {
+    inner: Arc<Mutex<RingRecorder>>,
+}
+
+impl SharedRing {
+    /// A shared ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is 0.
+    pub fn new(capacity: usize) -> SharedRing {
+        SharedRing {
+            inner: Arc::new(Mutex::new(RingRecorder::new(capacity))),
+        }
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        lock_unpoisoned(&self.inner).is_empty()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = lock_unpoisoned(&self.inner);
+        let skip = ring.len().saturating_sub(n);
+        ring.events().skip(skip).cloned().collect()
+    }
+
+    /// The most recent `n` events as JSONL (one event per line, oldest
+    /// first), the `GET /trace` wire format.
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let mut out = String::new();
+        for event in self.tail(n) {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Every retained event, oldest first.
+    pub fn all(&self) -> Vec<TraceEvent> {
+        lock_unpoisoned(&self.inner).events().cloned().collect()
+    }
+}
+
+impl Recorder for SharedRing {
+    fn record(&mut self, event: &TraceEvent) {
+        lock_unpoisoned(&self.inner).record(event);
+    }
+}
+
+/// The shared state behind a [`RotatingJsonl`] handle.
+#[derive(Debug)]
+struct RotatingInner {
+    dir: PathBuf,
+    prefix: String,
+    max_events_per_file: u64,
+    index: u32,
+    sink: JsonlRecorder<BufWriter<File>>,
+    rotations: u64,
+}
+
+impl RotatingInner {
+    fn path(dir: &std::path::Path, prefix: &str, index: u32) -> PathBuf {
+        dir.join(format!("{prefix}-{index:04}.jsonl"))
+    }
+}
+
+/// A JSONL trace sink that writes `prefix-0000.jsonl`, `prefix-0001.jsonl`,
+/// ... in a directory, switching files when the background trace-rotate
+/// worker finds the current one full.
+///
+/// Rotation is *not* checked on the write path — the control thread's
+/// record stays a plain buffered write — so a file may exceed the cap by
+/// however many events land between two worker ticks.
+#[derive(Debug, Clone)]
+pub struct RotatingJsonl {
+    inner: Arc<Mutex<RotatingInner>>,
+}
+
+impl RotatingJsonl {
+    /// Opens the first trace file (`prefix-0000.jsonl`) in `dir`,
+    /// creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory or the first file cannot be created.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        prefix: &str,
+        max_events_per_file: u64,
+    ) -> io::Result<RotatingJsonl> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let sink = JsonlRecorder::create(RotatingInner::path(&dir, prefix, 0))?;
+        Ok(RotatingJsonl {
+            inner: Arc::new(Mutex::new(RotatingInner {
+                dir,
+                prefix: prefix.to_string(),
+                max_events_per_file: max_events_per_file.max(1),
+                index: 0,
+                sink,
+                rotations: 0,
+            })),
+        })
+    }
+
+    /// Switches to the next file if the current one has reached the
+    /// event cap. Returns whether a rotation happened.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the old file cannot be flushed or the new one created;
+    /// the sink keeps writing to the old file in that case.
+    pub fn rotate_if_full(&self) -> io::Result<bool> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if inner.sink.events_written() < inner.max_events_per_file {
+            return Ok(false);
+        }
+        inner.sink.flush()?;
+        let next = inner.index + 1;
+        let sink = JsonlRecorder::create(RotatingInner::path(&inner.dir, &inner.prefix, next))?;
+        inner.sink = sink;
+        inner.index = next;
+        inner.rotations += 1;
+        Ok(true)
+    }
+
+    /// How many rotations have happened.
+    pub fn rotations(&self) -> u64 {
+        lock_unpoisoned(&self.inner).rotations
+    }
+
+    /// Flushes the current file.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces deferred write errors, like [`JsonlRecorder::flush`].
+    pub fn flush(&self) -> io::Result<()> {
+        lock_unpoisoned(&self.inner).sink.flush()
+    }
+}
+
+impl Recorder for RotatingJsonl {
+    fn record(&mut self, event: &TraceEvent) {
+        lock_unpoisoned(&self.inner).sink.record(event);
+    }
+}
+
+/// Feeds every event to two sinks: the daemon tees the flight-recorder
+/// ring and the rotating file sink.
+pub struct TeeRecorder {
+    first: Box<dyn Recorder + Send>,
+    second: Box<dyn Recorder + Send>,
+}
+
+impl TeeRecorder {
+    /// A tee over two sinks.
+    pub fn new(first: Box<dyn Recorder + Send>, second: Box<dyn Recorder + Send>) -> TeeRecorder {
+        TeeRecorder { first, second }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&mut self, event: &TraceEvent) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let first = self.first.flush();
+        self.second.flush()?;
+        first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copart_telemetry::{read_trace_file, TraceDecision, TracePhase};
+
+    fn event(epoch: u64) -> TraceEvent {
+        TraceEvent {
+            epoch,
+            time_ns: epoch * 1000,
+            phase: TracePhase::Exploring,
+            decision: TraceDecision::Transfer,
+            retry_count: 0,
+            matching_rounds: 1,
+            unfairness: 0.1,
+            apps: Vec::new(),
+            proposed: Vec::new(),
+            applied: Vec::new(),
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn shared_ring_tail_is_most_recent_oldest_first() {
+        let mut ring = SharedRing::new(4);
+        for epoch in 0..10 {
+            ring.record(&event(epoch));
+        }
+        assert_eq!(ring.len(), 4);
+        let tail: Vec<u64> = ring.tail(2).iter().map(|e| e.epoch).collect();
+        assert_eq!(tail, vec![8, 9]);
+        // Asking for more than retained yields everything retained.
+        assert_eq!(ring.tail(100).len(), 4);
+        let jsonl = ring.tail_jsonl(2);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().next().unwrap().contains("\"epoch\":8"));
+    }
+
+    #[test]
+    fn shared_ring_reads_from_a_clone() {
+        let mut ring = SharedRing::new(8);
+        let reader = ring.clone();
+        ring.record(&event(0));
+        assert_eq!(reader.len(), 1);
+        assert!(!reader.is_empty());
+        assert_eq!(reader.all()[0], event(0));
+    }
+
+    #[test]
+    fn rotating_sink_switches_files_at_the_cap() {
+        let dir = std::env::temp_dir().join(format!("copart-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = RotatingJsonl::create(&dir, "trace", 3).unwrap();
+        for epoch in 0..3 {
+            sink.record(&event(epoch));
+        }
+        assert!(sink.rotate_if_full().unwrap());
+        assert!(!sink.rotate_if_full().unwrap(), "fresh file is not full");
+        for epoch in 3..5 {
+            sink.record(&event(epoch));
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.rotations(), 1);
+        let first = read_trace_file(dir.join("trace-0000.jsonl")).unwrap();
+        let second = read_trace_file(dir.join("trace-0001.jsonl")).unwrap();
+        assert_eq!(first.len(), 3);
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].epoch, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let ring_a = SharedRing::new(8);
+        let ring_b = SharedRing::new(8);
+        let mut tee = TeeRecorder::new(Box::new(ring_a.clone()), Box::new(ring_b.clone()));
+        tee.record(&event(1));
+        tee.flush().unwrap();
+        assert_eq!(ring_a.len(), 1);
+        assert_eq!(ring_b.len(), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! The daemon's background-worker abstraction: small periodic jobs on
+//! one shared ticker thread.
+//!
+//! Modeled on the background-worker loops of storage daemons: each
+//! [`Worker`] is a named, fallible `tick`, and one thread drives all of
+//! them at a fixed interval, folding successes and failures into the
+//! shared metrics registry (`worker_runs` / `worker_errors`). Workers
+//! never touch the runtime directly — they only hold their own handles
+//! (a trace sink, the metrics registry, the flight-recorder ring) — so a
+//! slow or failing worker cannot stall the control loop.
+
+use crate::trace::{RotatingJsonl, SharedRing};
+use copart_telemetry::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One periodic background job.
+///
+/// # Examples
+///
+/// ```
+/// use copart_serve::workers::Worker;
+/// struct CountUp(u64);
+/// impl Worker for CountUp {
+///     fn name(&self) -> &'static str { "count-up" }
+///     fn tick(&mut self) -> Result<(), String> {
+///         self.0 += 1;
+///         Ok(())
+///     }
+/// }
+/// let mut w = CountUp(0);
+/// assert!(w.tick().is_ok());
+/// assert_eq!(w.name(), "count-up");
+/// ```
+pub trait Worker: Send {
+    /// Stable name, used in logs and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Runs one iteration. Errors are counted, reported, and do not
+    /// stop the ticker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of a failed iteration.
+    fn tick(&mut self) -> Result<(), String>;
+}
+
+/// Rotates the on-disk JSONL trace when the current file is full.
+pub struct TraceRotateWorker {
+    sink: RotatingJsonl,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl TraceRotateWorker {
+    /// A rotation worker over the daemon's file sink.
+    pub fn new(sink: RotatingJsonl, metrics: Arc<MetricsRegistry>) -> TraceRotateWorker {
+        TraceRotateWorker { sink, metrics }
+    }
+}
+
+impl Worker for TraceRotateWorker {
+    fn name(&self) -> &'static str {
+        "trace-rotate"
+    }
+
+    fn tick(&mut self) -> Result<(), String> {
+        match self.sink.rotate_if_full() {
+            Ok(true) => {
+                self.metrics.inc("trace_rotations");
+                Ok(())
+            }
+            Ok(false) => Ok(()),
+            Err(e) => Err(format!("rotation failed: {e}")),
+        }
+    }
+}
+
+/// Replays the flight recorder's retained events through the trace
+/// invariants (`copart trace-check` enforces the same ones offline):
+/// epoch numbers strictly increase and time never rewinds.
+pub struct TraceReplayWorker {
+    ring: SharedRing,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl TraceReplayWorker {
+    /// A replay worker over the daemon's flight recorder.
+    pub fn new(ring: SharedRing, metrics: Arc<MetricsRegistry>) -> TraceReplayWorker {
+        TraceReplayWorker { ring, metrics }
+    }
+}
+
+impl Worker for TraceReplayWorker {
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+
+    fn tick(&mut self) -> Result<(), String> {
+        let events = self.ring.all();
+        for pair in events.windows(2) {
+            if pair[1].epoch <= pair[0].epoch {
+                self.metrics.inc("trace_verify_failures");
+                return Err(format!(
+                    "epoch rewinds in the flight recorder: {} then {}",
+                    pair[0].epoch, pair[1].epoch
+                ));
+            }
+            if pair[1].time_ns < pair[0].time_ns {
+                self.metrics.inc("trace_verify_failures");
+                return Err(format!(
+                    "time rewinds in the flight recorder at epoch {}",
+                    pair[1].epoch
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks that the control loop is making progress: the epoch counter
+/// must have advanced since the previous check once the daemon is past
+/// profiling. Publishes the verdict as the `healthy` gauge.
+pub struct HealthCheckWorker {
+    metrics: Arc<MetricsRegistry>,
+    last_epochs: u64,
+    /// Free-running daemons stop epoching at `max_epochs`; the health
+    /// check treats a reached cap as healthy-and-done.
+    epoch_cap: Option<u64>,
+}
+
+impl HealthCheckWorker {
+    /// A health checker over the shared registry.
+    pub fn new(metrics: Arc<MetricsRegistry>, epoch_cap: Option<u64>) -> HealthCheckWorker {
+        HealthCheckWorker {
+            metrics,
+            last_epochs: 0,
+            epoch_cap,
+        }
+    }
+}
+
+impl Worker for HealthCheckWorker {
+    fn name(&self) -> &'static str {
+        "health-check"
+    }
+
+    fn tick(&mut self) -> Result<(), String> {
+        let epochs = self.metrics.counter("epochs");
+        let done = self.epoch_cap.is_some_and(|cap| epochs >= cap);
+        let healthy = done || epochs > self.last_epochs || epochs == 0;
+        self.last_epochs = epochs;
+        self.metrics
+            .set_gauge("healthy", if healthy { 1.0 } else { 0.0 });
+        if healthy {
+            Ok(())
+        } else {
+            Err(format!("control loop stalled at epoch {epochs}"))
+        }
+    }
+}
+
+/// The ticker thread driving a set of workers until asked to stop.
+pub struct WorkerPool {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns the ticker thread. Every `interval` it runs each worker
+    /// once, counting `worker_runs` and `worker_errors` in `metrics`
+    /// and reporting failures to stderr.
+    pub fn spawn(
+        mut workers: Vec<Box<dyn Worker>>,
+        interval: Duration,
+        metrics: Arc<MetricsRegistry>,
+    ) -> WorkerPool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            // Sleep in short slices so shutdown is prompt even with a
+            // long interval.
+            let slice = interval
+                .min(Duration::from_millis(20))
+                .max(Duration::from_millis(1));
+            let mut elapsed = interval; // run every worker once at startup
+            while !stop_flag.load(Ordering::Relaxed) {
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    for worker in &mut workers {
+                        match worker.tick() {
+                            Ok(()) => metrics.inc("worker_runs"),
+                            Err(e) => {
+                                metrics.inc("worker_errors");
+                                eprintln!("copart serve: worker {}: {e}", worker.name());
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(slice);
+                elapsed += slice;
+            }
+        });
+        WorkerPool {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Stops the ticker and waits for the in-flight iteration to finish.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copart_telemetry::{Recorder, TraceDecision, TraceEvent, TracePhase};
+
+    fn event(epoch: u64, time_ns: u64) -> TraceEvent {
+        TraceEvent {
+            epoch,
+            time_ns,
+            phase: TracePhase::Exploring,
+            decision: TraceDecision::Transfer,
+            retry_count: 0,
+            matching_rounds: 1,
+            unfairness: 0.1,
+            apps: Vec::new(),
+            proposed: Vec::new(),
+            applied: Vec::new(),
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn replay_worker_accepts_a_well_formed_ring() {
+        let mut ring = SharedRing::new(8);
+        for epoch in 0..5 {
+            ring.record(&event(epoch, epoch * 100));
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut w = TraceReplayWorker::new(ring, Arc::clone(&metrics));
+        assert!(w.tick().is_ok());
+        assert_eq!(metrics.counter("trace_verify_failures"), 0);
+    }
+
+    #[test]
+    fn replay_worker_flags_time_rewinds() {
+        let mut ring = SharedRing::new(8);
+        ring.record(&event(0, 100));
+        ring.record(&event(1, 50));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut w = TraceReplayWorker::new(ring, Arc::clone(&metrics));
+        assert!(w.tick().is_err());
+        assert_eq!(metrics.counter("trace_verify_failures"), 1);
+    }
+
+    #[test]
+    fn health_check_requires_progress_only_after_first_epoch() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut w = HealthCheckWorker::new(Arc::clone(&metrics), None);
+        assert!(w.tick().is_ok(), "no epochs yet is healthy (still booting)");
+        metrics.add("epochs", 5);
+        assert!(w.tick().is_ok(), "progress since last check");
+        assert_eq!(metrics.gauge("healthy"), Some(1.0));
+        assert!(w.tick().is_err(), "no progress since last check");
+        assert_eq!(metrics.gauge("healthy"), Some(0.0));
+    }
+
+    #[test]
+    fn health_check_treats_reached_cap_as_done() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.add("epochs", 10);
+        let mut w = HealthCheckWorker::new(Arc::clone(&metrics), Some(10));
+        assert!(w.tick().is_ok());
+        assert!(w.tick().is_ok(), "cap reached: stalling is expected");
+        assert_eq!(metrics.gauge("healthy"), Some(1.0));
+    }
+
+    #[test]
+    fn pool_runs_workers_and_counts() {
+        struct Flaky(u32);
+        impl Worker for Flaky {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn tick(&mut self) -> Result<(), String> {
+                self.0 += 1;
+                if self.0 == 1 {
+                    Err("first tick fails".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let pool = WorkerPool::spawn(
+            vec![Box::new(Flaky(0))],
+            Duration::from_millis(5),
+            Arc::clone(&metrics),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while metrics.counter("worker_runs") < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pool.shutdown();
+        assert!(metrics.counter("worker_runs") >= 2);
+        assert_eq!(metrics.counter("worker_errors"), 1);
+    }
+}

@@ -6,12 +6,19 @@
 //! `explore_ns` (one `get_next_system_state` decision), `apply_ns` (one
 //! backend programming pass), and `epoch_ns` (one end-to-end control
 //! epoch) — plus counters for epochs, transfers, θ-retries and backend
-//! calls. Names are `&'static str` so the hot path never allocates; the
-//! registry is single-threaded by design (the runtime owns it), so no
-//! atomics are needed.
+//! calls. Names are `&'static str` so the hot path never allocates.
+//!
+//! All mutation goes through `&self`: the registry keeps its three maps
+//! behind one internal mutex, so an `Arc<MetricsRegistry>` can be shared
+//! between the epoch thread that records and a listener thread that
+//! serves `/metrics`. The single lock is deliberate — a snapshot taken
+//! mid-epoch still sees counters, gauges and histograms from one
+//! consistent instant (never `epochs = N` next to an `epoch_ns` count of
+//! `N - 1`), which per-metric atomics could not guarantee.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Histogram bucket upper bounds in nanoseconds: 256 ns doubling up to
 /// ~8.6 s, which brackets everything from a sub-microsecond matching
@@ -118,12 +125,31 @@ impl Histogram {
     }
 }
 
-/// Counters, gauges and histograms under `&'static str` names.
+/// The registry's maps, guarded together by one mutex so readers always
+/// see one consistent instant across all three kinds.
 #[derive(Debug, Clone, Default)]
-pub struct MetricsRegistry {
+struct RegistryInner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// Counters, gauges and histograms under `&'static str` names.
+///
+/// Mutators take `&self`: the maps live behind a single internal mutex,
+/// so the registry can be shared (`Arc<MetricsRegistry>`) between the
+/// thread recording metrics and a thread snapshotting them.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Clone for MetricsRegistry {
+    fn clone(&self) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -132,47 +158,61 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// The maps, recovered even if a panicking thread poisoned the lock —
+    /// metrics are monotone bookkeeping, never left mid-invariant.
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Increments the named monotonic counter by 1.
-    pub fn inc(&mut self, name: &'static str) {
+    pub fn inc(&self, name: &'static str) {
         self.add(name, 1);
     }
 
     /// Increments the named monotonic counter by `n`.
-    pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+    pub fn add(&self, name: &'static str, n: u64) {
+        *self.lock().counters.entry(name).or_insert(0) += n;
     }
 
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Sets the named gauge to an arbitrary value.
-    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        self.lock().gauges.insert(name, value);
     }
 
     /// Current value of a gauge, if ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.lock().gauges.get(name).copied()
     }
 
     /// Records a latency sample into the named histogram.
-    pub fn observe_ns(&mut self, name: &'static str, ns: u64) {
-        self.histograms.entry(name).or_default().observe_ns(ns);
+    pub fn observe_ns(&self, name: &'static str, ns: u64) {
+        self.lock()
+            .histograms
+            .entry(name)
+            .or_default()
+            .observe_ns(ns);
     }
 
-    /// The named histogram, if it has ever received a sample.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+    /// A copy of the named histogram, if it has ever received a sample.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
     }
 
-    /// A point-in-time copy of every metric.
+    /// A point-in-time copy of every metric. Taken under the registry's
+    /// single lock, so the counters, gauges and histograms in one
+    /// snapshot are mutually consistent even while another thread
+    /// records.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
         MetricsSnapshot {
-            counters: self.counters.iter().map(|(&k, &v)| (k, v)).collect(),
-            gauges: self.gauges.iter().map(|(&k, &v)| (k, v)).collect(),
-            histograms: self
+            counters: inner.counters.iter().map(|(&k, &v)| (k, v)).collect(),
+            gauges: inner.gauges.iter().map(|(&k, &v)| (k, v)).collect(),
+            histograms: inner
                 .histograms
                 .iter()
                 .map(|(&k, v)| (k, v.clone()))
@@ -254,7 +294,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut m = MetricsRegistry::new();
+        let m = MetricsRegistry::new();
         m.inc("epochs");
         m.inc("epochs");
         m.add("epochs", 3);
@@ -264,7 +304,7 @@ mod tests {
 
     #[test]
     fn gauges_overwrite() {
-        let mut m = MetricsRegistry::new();
+        let m = MetricsRegistry::new();
         assert_eq!(m.gauge("u"), None);
         m.set_gauge("u", 0.5);
         m.set_gauge("u", 0.25);
@@ -308,7 +348,7 @@ mod tests {
 
     #[test]
     fn snapshot_is_a_frozen_copy() {
-        let mut m = MetricsRegistry::new();
+        let m = MetricsRegistry::new();
         m.inc("epochs");
         m.observe_ns("epoch_ns", 1000);
         let snap = m.snapshot();
@@ -320,8 +360,45 @@ mod tests {
     }
 
     #[test]
+    fn shared_across_threads_snapshots_consistently() {
+        use std::sync::Arc;
+        let m = Arc::new(MetricsRegistry::new());
+        let writer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    // One epoch = one counter bump plus one latency sample,
+                    // taken under the same lock acquisitions a real epoch
+                    // driver performs.
+                    m.inc("epochs");
+                    m.observe_ns("epoch_ns", 1000 + i);
+                }
+            })
+        };
+        let reader = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let snap = m.snapshot();
+                    let epochs = snap.counter("epochs");
+                    let samples = snap.histogram("epoch_ns").map_or(0, |h| h.count());
+                    // Writers bump the counter before observing the sample,
+                    // so a consistent snapshot can be ahead by at most one.
+                    assert!(
+                        epochs == samples || epochs == samples + 1,
+                        "inconsistent snapshot: epochs={epochs} samples={samples}"
+                    );
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(m.counter("epochs"), 1000);
+    }
+
+    #[test]
     fn snapshot_renders_every_kind() {
-        let mut m = MetricsRegistry::new();
+        let m = MetricsRegistry::new();
         m.inc("epochs");
         m.set_gauge("unfairness", 0.125);
         m.observe_ns("epoch_ns", 1_500_000);

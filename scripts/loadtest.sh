@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# CI load gate for the `copart serve` daemon: boot it on an ephemeral
+# port, hammer the read API with `copart load`, and require a perfect
+# outcome —
+#
+#   * every request answered 2xx (the listener drops nothing at this
+#     concurrency),
+#   * zero epoch-deadline misses (the control loop holds its wall-clock
+#     grid while the HTTP side is saturated),
+#   * a clean drain on POST /shutdown.
+#
+# The tick is deliberately generous (50 ms) so the gate measures the
+# daemon's isolation of control from serving, not the CI runner's
+# scheduler. A miss only counts when an epoch starts more than one full
+# tick late.
+#
+# Usage: loadtest.sh [debug|release]   (default release, matching CI)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-release}"
+bindir="target/$profile"
+build_flags=(-p copart-cli)
+if [[ "$profile" == release ]]; then
+    build_flags+=(--release)
+fi
+cargo build "${build_flags[@]}"
+
+requests="${LOADTEST_REQUESTS:-10000}"
+concurrency="${LOADTEST_CONCURRENCY:-8}"
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/copart-loadtest.XXXXXX")"
+serve_pid=""
+cleanup() {
+    [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> loadtest: booting copart serve (h-both x 4, tick 50 ms)"
+"$bindir/copart" serve --mix h-both --policy copart --apps 4 \
+    --tick-ms 50 --trace-dir "$workdir/trace" >"$workdir/serve.out" 2>&1 &
+serve_pid=$!
+
+# The daemon prints its (ephemeral) address once profiling finishes.
+addr=""
+for _ in $(seq 1 120); do
+    addr="$(sed -n 's#^copart serve listening on http://##p' "$workdir/serve.out")"
+    [[ -n "$addr" ]] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "loadtest: daemon died during boot:" >&2
+        cat "$workdir/serve.out" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+if [[ -z "$addr" ]]; then
+    echo "loadtest: daemon never published its address" >&2
+    cat "$workdir/serve.out" >&2
+    exit 1
+fi
+echo "==> loadtest: daemon up at $addr"
+
+echo "==> loadtest: copart load ($requests requests, $concurrency connections)"
+"$bindir/copart" load --addr "$addr" \
+    --requests "$requests" --concurrency "$concurrency" | tee "$workdir/load.out"
+
+echo "==> loadtest: asserting a perfect run"
+grep -q " 0 failures" "$workdir/load.out" \
+    || { echo "loadtest: some requests failed" >&2; exit 1; }
+grep -q "^daemon epoch deadline misses: 0$" "$workdir/load.out" \
+    || { echo "loadtest: the control loop missed epoch deadlines under load" >&2; exit 1; }
+
+echo "==> loadtest: draining via POST /shutdown"
+curl -fsS -X POST "http://$addr/shutdown" >/dev/null
+for _ in $(seq 1 60); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.5
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "loadtest: daemon did not drain within 30s of POST /shutdown" >&2
+    exit 1
+fi
+serve_pid=""
+
+echo "==> loadtest: validating the rotating trace"
+shopt -s nullglob
+traces=("$workdir"/trace/*.jsonl)
+if ((${#traces[@]} < 1)); then
+    echo "loadtest: daemon wrote no trace files" >&2
+    exit 1
+fi
+"$bindir/copart" trace-check --path "${traces[0]}" --min-events 1
+
+echo "loadtest: all gates passed"

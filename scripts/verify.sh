@@ -2,9 +2,10 @@
 # Pre-PR gate for the CoPart reproduction (see README.md).
 #
 # Two modes:
-#   verify.sh quick   fast inner-loop gate: debug tests + rustfmt + clippy
-#                     + rustdoc with warnings denied. One debug build of
-#                     the workspace, nothing else. The copart-check
+#   verify.sh quick   fast inner-loop gate: debug tests + an explicit
+#                     doctest pass + rustfmt + clippy + rustdoc with
+#                     warnings denied. One debug build of the workspace,
+#                     nothing else. The copart-check
 #                     property suite runs inside the test pass at the
 #                     quick fuzz budget (COPART_CHECK_CASES=64).
 #   verify.sh [full]  everything a PR must pass: release build, release
@@ -32,6 +33,9 @@ case "$mode" in
 quick)
     echo "==> cargo test -q (debug, copart-check at ${COPART_CHECK_CASES:-64} cases)"
     COPART_CHECK_CASES="${COPART_CHECK_CASES:-64}" cargo test -q --workspace
+
+    echo "==> cargo test --doc (the API examples are executable)"
+    cargo test -q --doc --workspace
 
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check

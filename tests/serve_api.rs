@@ -1,0 +1,364 @@
+//! Integration tests for the `copart serve` daemon: every wire endpoint,
+//! the Prometheus exposition, determinism of daemon traces against
+//! one-shot runs (fault-free and fault-injected, under concurrent read
+//! load), wall-clock pacing, and the drain-at-epoch-boundary shutdown.
+
+use copart_core::policies::PolicyKind;
+use copart_faults::FaultPlan;
+use copart_serve::loadgen::{self, LoadConfig};
+use copart_serve::{Scenario, ServeConfig, ServerHandle};
+use copart_telemetry::Json;
+use copart_workloads::MixKind;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A free-running daemon over the standard 4-app scenario.
+fn boot_free(scenario: &Scenario, max_epochs: u64) -> ServerHandle {
+    let cfg = ServeConfig {
+        tick: Duration::ZERO,
+        max_epochs: Some(max_epochs),
+        ..ServeConfig::default()
+    };
+    copart_serve::serve_scenario(scenario, cfg).expect("daemon boots")
+}
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::new(MixKind::HighBoth, 4, PolicyKind::CoPart, seed, None).expect("valid scenario")
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    loadgen::fetch(addr, "GET", path, "").expect("GET succeeds at the transport layer")
+}
+
+/// Polls `/metrics` until the epoch counter reaches `target`.
+fn wait_for_epochs(addr: &str, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let done = body
+            .lines()
+            .find_map(|l| l.strip_prefix("copart_epochs_total "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .is_some_and(|n| n >= target);
+        if done {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not reach {target} epochs in time"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One exposition sample: `name{labels} value`.
+struct Sample {
+    name: String,
+    labels: String,
+    value: f64,
+}
+
+/// A tiny Prometheus text-format (0.0.4) parser: enough to reject
+/// malformed exposition and hand back the samples. Every sample must be
+/// preceded by a `# TYPE` for its metric (histograms via their base
+/// name), which is what real scrapers rely on.
+fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    if parts.next().is_none() {
+                        return Err(err("HELP without a metric name"));
+                    }
+                }
+                Some("TYPE") => {
+                    let name = parts.next().ok_or_else(|| err("TYPE without a name"))?;
+                    let kind = parts.next().ok_or_else(|| err("TYPE without a kind"))?;
+                    if !["counter", "gauge", "histogram"].contains(&kind) {
+                        return Err(err("unknown metric kind"));
+                    }
+                    typed.insert(name.to_string(), kind.to_string());
+                }
+                _ => return Err(err("unknown comment form")),
+            }
+            continue;
+        }
+        let (name_labels, value) = line.rsplit_once(' ').ok_or_else(|| err("no value"))?;
+        let value: f64 = value.parse().map_err(|_| err("unparseable value"))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => (
+                n.to_string(),
+                l.strip_suffix('}')
+                    .ok_or_else(|| err("unclosed labels"))?
+                    .to_string(),
+            ),
+            None => (name_labels.to_string(), String::new()),
+        };
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(&name);
+        if !typed.contains_key(&name) && !typed.contains_key(base) {
+            return Err(err("sample without a preceding TYPE"));
+        }
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[test]
+fn every_endpoint_round_trips() {
+    let handle = boot_free(&scenario(7), 2_000);
+    let addr = handle.addr().to_string();
+
+    // GET /status: a JSON document with the live consolidation picture.
+    let (status, body) = get(&addr, "/status");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("/status is JSON");
+    assert!(doc.get("epoch").is_some());
+    assert!(doc
+        .get("schemata")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("L3:"));
+
+    // GET /healthz: the daemon just booted and is live.
+    assert_eq!(get(&addr, "/healthz").0, 200);
+
+    // GET /metrics: valid Prometheus text carrying the advertised series.
+    // The epoch-derived series (epochs, unfairness, epoch_ns) appear
+    // once the first epoch lands, so let a few run first.
+    wait_for_epochs(&addr, 5);
+    let (status, text) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let samples = parse_prometheus(&text).expect("/metrics parses as Prometheus 0.0.4");
+    for required in [
+        "copart_epochs_total",
+        "copart_http_requests_total",
+        "copart_http_responses_2xx_total",
+        "copart_worker_runs_total",
+        "copart_unfairness",
+        "copart_healthy",
+        "copart_epoch_ns_sum",
+    ] {
+        assert!(
+            samples.iter().any(|s| s.name == required),
+            "/metrics is missing {required}"
+        );
+    }
+    // Histogram buckets are cumulative and end at +Inf == _count.
+    let buckets: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "copart_epoch_ns_bucket")
+        .collect();
+    assert!(!buckets.is_empty());
+    assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+    let inf = buckets.last().unwrap();
+    assert!(inf.labels.contains("le=\"+Inf\""));
+    let count = samples
+        .iter()
+        .find(|s| s.name == "copart_epoch_ns_count")
+        .unwrap();
+    assert_eq!(inf.value, count.value);
+
+    // GET /trace?tail=N: at most N JSONL events, each parseable.
+    let (status, tail) = get(&addr, "/trace?tail=3");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = tail.lines().collect();
+    assert!(!lines.is_empty() && lines.len() <= 3);
+    for line in &lines {
+        Json::parse(line).expect("trace line is JSON");
+    }
+
+    // Mutations: remove an app, admit a replacement, switch the policy.
+    let (status, body) = loadgen::fetch(&addr, "DELETE", "/apps/2", "").unwrap();
+    assert_eq!(status, 200, "remove: {body}");
+    let (status, body) = loadgen::fetch(&addr, "POST", "/apps", "{\"bench\":\"EP\"}").unwrap();
+    assert_eq!(status, 201, "admit into the freed slot: {body}");
+    assert!(body.contains("\"group\""));
+    let (status, body) =
+        loadgen::fetch(&addr, "POST", "/policy", "{\"policy\":\"mba-only\"}").unwrap();
+    assert_eq!(status, 200, "policy switch: {body}");
+    assert!(body.contains("MBA-only"));
+
+    // Malformed and refused requests map onto the right 4xx.
+    let cases: [(&str, &str, &str, u16); 8] = [
+        ("POST", "/apps", "not json", 400),
+        ("POST", "/apps", "{\"bench\":\"NOPE\"}", 400),
+        ("POST", "/apps", "{\"wrong\":\"field\"}", 400),
+        ("POST", "/policy", "{\"policy\":\"st\"}", 400),
+        ("DELETE", "/apps/99", "", 404),
+        ("DELETE", "/apps/abc", "", 400),
+        ("GET", "/no-such-endpoint", "", 404),
+        ("PUT", "/status", "", 405),
+    ];
+    for (method, path, body, expected) in cases {
+        let (status, reply) = loadgen::fetch(&addr, method, path, body).unwrap();
+        assert_eq!(status, expected, "{method} {path} with {body:?}: {reply}");
+        assert!(Json::parse(&reply)
+            .expect("error body is JSON")
+            .get("error")
+            .is_some());
+    }
+    let (status, _) = get(&addr, "/trace?tail=abc");
+    assert_eq!(status, 400);
+
+    // An oversize body is rejected before it is read.
+    let oversize = "x".repeat(65 * 1024 + 1);
+    let (status, _) = loadgen::fetch(&addr, "POST", "/apps", &oversize).unwrap();
+    assert_eq!(status, 413);
+
+    // POST /shutdown drains the daemon.
+    let (status, body) = loadgen::fetch(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"));
+    let report = handle.join();
+    assert!(report.epochs > 0);
+    assert!(
+        loadgen::fetch(&addr, "GET", "/status", "").is_err(),
+        "the port is closed"
+    );
+}
+
+#[test]
+fn fault_free_daemon_trace_matches_oneshot_under_load() {
+    const EPOCHS: u64 = 30;
+    let scenario = scenario(42);
+    let expected = scenario
+        .reference_trace(EPOCHS)
+        .expect("one-shot reference runs");
+
+    let handle = boot_free(&scenario, EPOCHS);
+    let addr = handle.addr().to_string();
+    // Concurrent read load while the epochs run: GETs must not perturb
+    // the control loop's decisions.
+    let load_addr = addr.clone();
+    let load = std::thread::spawn(move || {
+        loadgen::run(
+            &load_addr,
+            &LoadConfig {
+                requests: 400,
+                concurrency: 4,
+            },
+        )
+        .expect("load generator runs")
+    });
+    wait_for_epochs(&addr, EPOCHS);
+    let report = load.join().expect("load thread joins");
+    assert_eq!(report.failures, 0, "every request under load answered 2xx");
+
+    let (status, trace) = get(&addr, "/trace?tail=4096");
+    assert_eq!(status, 200);
+    let got: Vec<&str> = trace.lines().collect();
+    assert_eq!(
+        got, expected,
+        "daemon trace diverged from the one-shot reference"
+    );
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.epochs, EPOCHS);
+}
+
+#[test]
+fn fault_injected_daemon_trace_matches_oneshot() {
+    const EPOCHS: u64 = 25;
+    let plan = FaultPlan::parse("seed=9,write=0.08,dropout=0.06").expect("valid fault spec");
+    let scenario = Scenario::new(MixKind::HighBoth, 4, PolicyKind::CoPart, 42, Some(plan)).unwrap();
+    let expected = scenario
+        .reference_trace(EPOCHS)
+        .expect("faulty reference runs");
+
+    let handle = boot_free(&scenario, EPOCHS);
+    let addr = handle.addr().to_string();
+    wait_for_epochs(&addr, EPOCHS);
+    let (status, trace) = get(&addr, "/trace?tail=4096");
+    assert_eq!(status, 200);
+    let got: Vec<&str> = trace.lines().collect();
+    assert_eq!(
+        got, expected,
+        "fault-injected daemon trace diverged from the one-shot reference"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn reference_trace_is_jobs_invariant() {
+    let scenario = scenario(13);
+    copart_parallel::set_jobs(Some(1));
+    let jobs1 = scenario.reference_trace(12).unwrap();
+    copart_parallel::set_jobs(Some(4));
+    let jobs4 = scenario.reference_trace(12).unwrap();
+    copart_parallel::set_jobs(None);
+    assert_eq!(jobs1, jobs4, "worker count must not leak into the trace");
+}
+
+#[test]
+fn wall_clock_pacing_holds_deadlines_under_load() {
+    // A deliberately generous tick for CI machines: a miss means the
+    // control thread lagged by more than one full tick (100 ms).
+    let cfg = ServeConfig {
+        tick: Duration::from_millis(100),
+        max_epochs: None,
+        ..ServeConfig::default()
+    };
+    let handle = copart_serve::serve_scenario(&scenario(3), cfg).expect("daemon boots");
+    let addr = handle.addr().to_string();
+    let report = loadgen::run(
+        &addr,
+        &LoadConfig {
+            requests: 2_000,
+            concurrency: 8,
+        },
+    )
+    .expect("load generator runs");
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.ok2xx, 2_000);
+    // The load can finish inside the first 100 ms tick; make sure the
+    // pacer has actually ticked before reading its counters.
+    wait_for_epochs(&addr, 3);
+
+    handle.shutdown();
+    let report = handle.join();
+    assert!(report.snapshot.counter("ticks") > 0, "the pacer ticked");
+    assert_eq!(
+        report.snapshot.counter("epoch_deadline_misses"),
+        0,
+        "the control loop held every epoch deadline under load"
+    );
+}
+
+#[test]
+fn shutdown_drains_at_an_epoch_boundary() {
+    let cfg = ServeConfig {
+        tick: Duration::from_millis(20),
+        max_epochs: None,
+        ..ServeConfig::default()
+    };
+    let handle = copart_serve::serve_scenario(&scenario(5), cfg).expect("daemon boots");
+    let addr = handle.addr().to_string();
+    wait_for_epochs(&addr, 3);
+    // The wire-level kill: POST /shutdown, then drain.
+    let (status, _) = loadgen::fetch(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    let report = handle.join();
+    // Every epoch the daemon *started* also finished and was recorded:
+    // the attempt count equals the runtime's completed-epoch counter, so
+    // the drain happened on an epoch boundary, never mid-epoch.
+    assert!(report.epochs >= 3);
+    assert_eq!(report.epochs, report.snapshot.counter("epochs"));
+}
