@@ -1,11 +1,17 @@
 //! Scaling of the Hospitals/Residents machinery: deferred acceptance and
 //! instability chaining on instances far larger than CoPart ever builds
 //! (CoPart's are ≤ 3 categories × N_A consumers), demonstrating headroom.
+//!
+//! The chaining section compares the indexed scratch-reuse allocator
+//! (`chain::allocate_into`, a binary heap over holders) against the
+//! original O(rounds × consumers) scan allocator on a 64→4096-consumer
+//! curve; with `BENCH_JSON_DIR` set the indexed throughputs land in
+//! `BENCH_matching.json` for the `scripts/bench_gate.sh` regression gate.
 
 use std::hint::black_box;
 
-use copart_bench::bench;
-use copart_matching::chain::{self, Consumer};
+use copart_bench::{bench, Artifact};
+use copart_matching::chain::{self, ChainScratch, Consumer};
 use copart_matching::{solve_resident_optimal, Hospital, Instance, Resident};
 use copart_rng::XorShift64Star;
 
@@ -35,6 +41,18 @@ fn random_instance(nh: usize, nr: usize, seed: u64) -> Instance {
     }
 }
 
+fn chain_population(n: usize) -> (Vec<usize>, Vec<Consumer>) {
+    let mut rng = XorShift64Star::seed_from_u64(9);
+    let capacities = vec![n.div_ceil(4).max(1); 3];
+    let consumers = (0..n)
+        .map(|_| Consumer {
+            priority: rng.gen_range(1.0..3.0),
+            preference: vec![0, 1, 2],
+        })
+        .collect();
+    (capacities, consumers)
+}
+
 fn main() {
     bench_deferred_acceptance();
     bench_chaining();
@@ -50,22 +68,38 @@ fn bench_deferred_acceptance() {
     }
 }
 
+/// Indexed (heap + scratch reuse) vs. the original full-scan allocator
+/// across the consumer-count curve. The two must agree byte-for-byte —
+/// the `matching-incremental-vs-rebuild` oracle in `copart-check` fuzzes
+/// exactly this equivalence — so here only speed is at stake.
 fn bench_chaining() {
-    println!("\ninstability_chaining (one allocation per iter)");
-    for n in [8usize, 32, 128] {
-        let mut rng = XorShift64Star::seed_from_u64(9);
-        let capacities = vec![n / 4; 3];
-        let consumers: Vec<Consumer> = (0..n)
-            .map(|_| Consumer {
-                priority: rng.gen_range(1.0..3.0),
-                preference: vec![0, 1, 2],
-            })
-            .collect();
-        bench(&format!("instability_chaining/{n}"), || {
-            black_box(chain::allocate(
+    println!("\ninstability_chaining (one allocation per iter, indexed vs scan)");
+    let mut art = Artifact::new("copart-bench-matching/v1");
+    let mut assignment = Vec::new();
+    let mut scratch = ChainScratch::default();
+    for n in [64usize, 256, 1024, 4096] {
+        let (capacities, consumers) = chain_population(n);
+        let indexed = bench(&format!("instability_chaining/indexed/{n}"), || {
+            chain::allocate_into(
                 black_box(&capacities),
                 black_box(&consumers),
-            ));
+                &mut assignment,
+                &mut scratch,
+            );
+            black_box(&assignment);
         });
+        // The scan reference is quadratic; cap it where it stops being
+        // informative and the indexed curve already tells the story.
+        if n <= 1024 {
+            bench(&format!("instability_chaining/scan/{n}"), || {
+                black_box(chain::allocate(
+                    black_box(&capacities),
+                    black_box(&consumers),
+                ));
+            });
+        }
+        art.num(&format!("chain_indexed_{n}_per_sec"), 1e9 / indexed.mean_ns);
+        art.num(&format!("chain_indexed_{n}_ns"), indexed.mean_ns);
     }
+    art.write("matching");
 }

@@ -12,6 +12,9 @@
 
 use std::time::{Duration, Instant};
 
+pub mod artifact;
+pub use artifact::Artifact;
+
 use copart_core::fsm::AppState;
 use copart_core::next_state::AppClassification;
 use copart_core::state::{AllocationState, SystemState, WaysBudget};

@@ -1,0 +1,166 @@
+//! Differential oracle for the incremental Algorithm 2 step.
+//!
+//! `get_next_system_state_into` keeps a role cache and scratch buffers
+//! alive across epochs and recomputes only the applications whose
+//! role key changed; `get_next_system_state` rebuilds the matching
+//! instance from scratch every call. The two must be *byte-identical* —
+//! same proposal, same per-app events, same round count, and the same
+//! RNG draw sequence — on every epoch of a chained run, under churned
+//! classifications, partial management, and converged steady states.
+//! A divergence here means the cache invalidation is wrong, which the
+//! planner's `plan_into` fast path would silently inherit.
+
+use copart_core::fsm::AppState;
+use copart_core::next_state::{
+    get_next_system_state, get_next_system_state_into, AppClassification, AppliedEvents,
+    ExploreScratch,
+};
+use copart_core::state::{SystemState, WaysBudget};
+use copart_rdt::MbaLevel;
+use copart_rng::XorShift64Star;
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+
+fn gen_class(src: &mut Source) -> AppClassification {
+    let states = [AppState::Supply, AppState::Maintain, AppState::Demand];
+    AppClassification {
+        llc: *src.pick(&states),
+        mba: *src.pick(&states),
+        slowdown: 1.0 + src.f64_in(0.0, 3.0),
+    }
+}
+
+/// The property behind `matching-incremental-vs-rebuild`: a chained
+/// multi-epoch run where the incremental step (persistent scratch +
+/// role cache) must stay byte-identical to the from-scratch rebuild.
+pub fn incremental_case(src: &mut Source) -> CaseOutcome {
+    let n = src.size(1, 7);
+    let budget = WaysBudget {
+        first_way: 0,
+        total_ways: src.size(n, 12) as u32,
+        mba_cap: MbaLevel::MAX,
+    };
+    // `true` is the simpler (and more interesting) branch under shrinking.
+    let manage_llc = src.chance(0.85);
+    let manage_mba = src.chance(0.85);
+    let epochs = src.size(1, 6);
+    let seed = src.draw();
+    let start_mba = MbaLevel::new(src.size(1, 10) as u8 * 10);
+
+    let mut apps: Vec<AppClassification> = (0..n).map(|_| gen_class(src)).collect();
+    let mut current = SystemState::equal_split(n, &budget, start_mba);
+
+    let witness = format!(
+        "n={n} ways={} llc={manage_llc} mba={manage_mba} epochs={epochs} \
+         seed={seed:#x} start_mba={} apps={apps:?}",
+        budget.total_ways,
+        start_mba.percent(),
+    );
+
+    // Two identically seeded generators: the incremental step promises
+    // the exact draw sequence of the reference, so the streams must stay
+    // in lockstep across the whole chained run.
+    let mut rng_inc = XorShift64Star::seed_from_u64(seed);
+    let mut rng_ref = XorShift64Star::seed_from_u64(seed);
+    let mut scratch = ExploreScratch::default();
+    let mut proposal = SystemState::default();
+    let mut events: Vec<AppliedEvents> = Vec::new();
+
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            for app in &mut apps {
+                if src.chance(0.3) {
+                    *app = gen_class(src);
+                }
+            }
+        }
+        let stats = get_next_system_state_into(
+            &current,
+            &apps,
+            &budget,
+            &mut rng_inc,
+            manage_llc,
+            manage_mba,
+            &mut scratch,
+            &mut proposal,
+            &mut events,
+        );
+        let reference = get_next_system_state(
+            &current,
+            &apps,
+            &budget,
+            &mut rng_ref,
+            manage_llc,
+            manage_mba,
+        );
+        if proposal != reference.state {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!(
+                    "epoch {epoch}: state diverged: incremental {proposal:?} \
+                     != rebuild {:?}",
+                    reference.state
+                )),
+            };
+        }
+        if events != reference.events {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!(
+                    "epoch {epoch}: events diverged: incremental {events:?} \
+                     != rebuild {:?}",
+                    reference.events
+                )),
+            };
+        }
+        if stats.changed != reference.changed || stats.matching_rounds != reference.matching_rounds
+        {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!(
+                    "epoch {epoch}: stats diverged: incremental {stats:?} != rebuild \
+                     (changed={}, rounds={})",
+                    reference.changed, reference.matching_rounds
+                )),
+            };
+        }
+        if rng_inc != rng_ref {
+            return CaseOutcome {
+                witness,
+                verdict: Err(format!(
+                    "epoch {epoch}: RNG streams desynchronized (draw counts differ)"
+                )),
+            };
+        }
+        // Chain: the accepted proposal becomes the next epoch's input, so
+        // the role cache sees realistic unit-transfer trajectories.
+        current.allocs.clone_from(&proposal.allocs);
+    }
+    CaseOutcome {
+        witness,
+        verdict: Ok(()),
+    }
+}
+
+/// The incremental-matching oracles.
+pub fn properties() -> Vec<Property> {
+    vec![Property::new(
+        "matching-incremental-vs-rebuild",
+        incremental_case,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..64 {
+            let mut src = Source::from_seed(seed);
+            let out = incremental_case(&mut src);
+            assert_eq!(out.verdict, Ok(()), "seed {seed}: {}", out.witness);
+        }
+    }
+}

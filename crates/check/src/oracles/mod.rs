@@ -2,6 +2,7 @@
 
 pub mod ewma;
 pub mod fsm;
+pub mod incremental;
 pub mod json;
 pub mod matching;
 pub mod schemata;
@@ -16,6 +17,7 @@ use crate::property::Property;
 pub fn all() -> Vec<Property> {
     let mut props = Vec::new();
     props.extend(matching::properties());
+    props.extend(incremental::properties());
     props.extend(schemata::properties());
     props.extend(json::properties());
     props.extend(fsm::properties());
@@ -38,6 +40,7 @@ mod tests {
         // the rename tripwire.
         let expected: BTreeSet<&str> = [
             "matching-allocate-stable",
+            "matching-incremental-vs-rebuild",
             "schemata-roundtrip",
             "schemata-validation",
             "json-roundtrip",

@@ -1,0 +1,278 @@
+//! `copart bench-report` — pretty-print and diff `BENCH_*.json` perf
+//! artifacts.
+//!
+//! With only `--current`, the artifact is printed as an aligned table.
+//! With `--baseline`, every baseline field is gated against the current
+//! run using rules keyed on the field's *name*, so the gate needs no
+//! per-benchmark configuration:
+//!
+//! - string fields (`schema`, `*_digest`) must match byte-for-byte —
+//!   a digest change means the planner's decisions changed;
+//! - fields containing `allocs` are exact counts: current must not
+//!   exceed baseline by more than 0.5 (one stray allocation fails CI);
+//! - `*_per_sec` throughputs must stay ≥ baseline / tolerance;
+//! - `*_ns` latencies must stay ≤ baseline × tolerance;
+//! - anything else is informational (printed, never gated).
+//!
+//! The tolerance ratio defaults to 3.0 — wide enough for noisy shared
+//! CI runners, tight enough to catch an accidental O(n²) — and can be
+//! overridden with `--tolerance` or the `COPART_BENCH_TOLERANCE`
+//! environment variable. `scripts/bench_gate.sh` drives this command
+//! once per artifact; regenerate baselines with `UPDATE_BENCH=1`.
+
+use copart_telemetry::json::Json;
+
+use crate::args::Options;
+
+/// Default latency/throughput tolerance ratio for the regression gate.
+const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// Allocation-count slack: exact gate, rounded measurement.
+const ALLOC_SLACK: f64 = 0.5;
+
+/// Entry point for `copart bench-report`.
+pub fn bench_report(opts: &Options) -> Result<(), String> {
+    let current_path = opts.required("current")?;
+    let current = load_artifact(current_path)?;
+    let Some(baseline_path) = opts.get("baseline") else {
+        print!("{}", render(&current));
+        return Ok(());
+    };
+    let baseline = load_artifact(baseline_path)?;
+    let tolerance = match opts.get("tolerance") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("option --tolerance: cannot parse {v:?}"))?,
+        None => match std::env::var("COPART_BENCH_TOLERANCE") {
+            Ok(v) => v
+                .parse()
+                .map_err(|_| format!("COPART_BENCH_TOLERANCE: cannot parse {v:?}"))?,
+            Err(_) => DEFAULT_TOLERANCE,
+        },
+    };
+    if tolerance.is_nan() || tolerance < 1.0 {
+        return Err(format!("tolerance must be >= 1.0, got {tolerance}"));
+    }
+    println!("comparing {current_path} against {baseline_path} (tolerance {tolerance}x)");
+    let (report, regressions) = compare(&baseline, &current, tolerance);
+    print!("{report}");
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} perf regression(s) against {baseline_path}; \
+             if intentional, re-bless with UPDATE_BENCH=1 scripts/bench_gate.sh"
+        ));
+    }
+    println!("OK: no regressions");
+    Ok(())
+}
+
+/// Loads a `BENCH_*.json` file as its ordered field list.
+fn load_artifact(path: &str) -> Result<Vec<(String, Json)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match json {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err(format!("{path}: artifact must be a JSON object")),
+    }
+}
+
+/// Renders one artifact as an aligned key/value table.
+fn render(fields: &[(String, Json)]) -> String {
+    let width = fields.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in fields {
+        match v {
+            Json::Num(x) => out.push_str(&format!("{k:<width$}  {x:>14.1}\n")),
+            Json::Str(s) => out.push_str(&format!("{k:<width$}  {s}\n")),
+            other => out.push_str(&format!("{k:<width$}  {other:?}\n")),
+        }
+    }
+    out
+}
+
+/// How one field is gated, decided from its name alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    /// Byte-for-byte string equality (schema, digests).
+    Exact,
+    /// Count: current ≤ baseline + [`ALLOC_SLACK`].
+    Count,
+    /// Latency: current ≤ baseline × tolerance.
+    Latency,
+    /// Throughput: current ≥ baseline / tolerance.
+    Throughput,
+    /// Printed, never gated.
+    Info,
+}
+
+fn rule_for(key: &str, value: &Json) -> Rule {
+    if matches!(value, Json::Str(_)) {
+        Rule::Exact
+    } else if key.contains("allocs") {
+        Rule::Count
+    } else if key.ends_with("_per_sec") {
+        Rule::Throughput
+    } else if key.ends_with("_ns") || key.contains("_ns_") {
+        Rule::Latency
+    } else {
+        Rule::Info
+    }
+}
+
+/// Diffs `current` against `baseline`; returns the human report and the
+/// number of gated fields that regressed.
+fn compare(
+    baseline: &[(String, Json)],
+    current: &[(String, Json)],
+    tolerance: f64,
+) -> (String, usize) {
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    let width = baseline
+        .iter()
+        .chain(current)
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(0);
+    let lookup = |k: &str| current.iter().find(|(ck, _)| ck == k).map(|(_, v)| v);
+    for (key, base) in baseline {
+        let Some(cur) = lookup(key) else {
+            regressions += 1;
+            out.push_str(&format!("FAIL {key:<width$}  missing from current run\n"));
+            continue;
+        };
+        let rule = rule_for(key, base);
+        match (rule, base, cur) {
+            (Rule::Exact, Json::Str(b), Json::Str(c)) => {
+                if b == c {
+                    out.push_str(&format!("ok   {key:<width$}  {c}\n"));
+                } else {
+                    regressions += 1;
+                    out.push_str(&format!("FAIL {key:<width$}  {c} (baseline {b})\n"));
+                }
+            }
+            (_, Json::Num(b), Json::Num(c)) => {
+                let (pass, bound) = match rule {
+                    Rule::Count => (*c <= b + ALLOC_SLACK, format!("<= {:.1}", b + ALLOC_SLACK)),
+                    Rule::Latency => (*c <= b * tolerance, format!("<= {:.1}", b * tolerance)),
+                    Rule::Throughput => (*c >= b / tolerance, format!(">= {:.1}", b / tolerance)),
+                    Rule::Exact | Rule::Info => (true, String::new()),
+                };
+                let ratio = if *b != 0.0 { c / b } else { f64::NAN };
+                if rule == Rule::Info {
+                    out.push_str(&format!(
+                        "info {key:<width$}  {c:>14.1} (baseline {b:.1}, ungated)\n"
+                    ));
+                } else if pass {
+                    out.push_str(&format!(
+                        "ok   {key:<width$}  {c:>14.1} (baseline {b:.1}, {ratio:.2}x)\n"
+                    ));
+                } else {
+                    regressions += 1;
+                    out.push_str(&format!(
+                        "FAIL {key:<width$}  {c:>14.1} (baseline {b:.1}, {ratio:.2}x, \
+                         need {bound})\n"
+                    ));
+                }
+            }
+            _ => {
+                regressions += 1;
+                out.push_str(&format!(
+                    "FAIL {key:<width$}  type changed ({base:?} -> {cur:?})\n"
+                ));
+            }
+        }
+    }
+    for (key, _) in current {
+        if !baseline.iter().any(|(bk, _)| bk == key) {
+            out.push_str(&format!(
+                "new  {key:<width$}  (not in baseline; bless to start gating)\n"
+            ));
+        }
+    }
+    (out, regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(pairs: &[(&str, Json)]) -> Vec<(String, Json)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = fields(&[
+            ("schema", Json::Str("s/v1".into())),
+            ("epoch_ns_p50", Json::Num(100.0)),
+            ("allocs_per_epoch_steady", Json::Num(0.1)),
+            ("chain_indexed_64_per_sec", Json::Num(1e6)),
+        ]);
+        let (report, regressions) = compare(&a, &a, 3.0);
+        assert_eq!(regressions, 0, "{report}");
+    }
+
+    #[test]
+    fn latency_within_tolerance_passes_and_beyond_fails() {
+        let base = fields(&[("x_ns", Json::Num(100.0))]);
+        let fast = fields(&[("x_ns", Json::Num(250.0))]);
+        let slow = fields(&[("x_ns", Json::Num(301.0))]);
+        assert_eq!(compare(&base, &fast, 3.0).1, 0);
+        assert_eq!(compare(&base, &slow, 3.0).1, 1);
+        // Latency improvements never fail, however large.
+        assert_eq!(
+            compare(&base, &fields(&[("x_ns", Json::Num(1.0))]), 3.0).1,
+            0
+        );
+    }
+
+    #[test]
+    fn alloc_counts_are_gated_exactly() {
+        let base = fields(&[("allocs_per_epoch_steady", Json::Num(0.1))]);
+        let ok = fields(&[("allocs_per_epoch_steady", Json::Num(0.5))]);
+        let bad = fields(&[("allocs_per_epoch_steady", Json::Num(1.0))]);
+        assert_eq!(compare(&base, &ok, 3.0).1, 0);
+        assert_eq!(compare(&base, &bad, 3.0).1, 1);
+    }
+
+    #[test]
+    fn throughput_drops_fail() {
+        let base = fields(&[("chain_indexed_1024_per_sec", Json::Num(9000.0))]);
+        let ok = fields(&[("chain_indexed_1024_per_sec", Json::Num(3500.0))]);
+        let bad = fields(&[("chain_indexed_1024_per_sec", Json::Num(2000.0))]);
+        assert_eq!(compare(&base, &ok, 3.0).1, 0);
+        assert_eq!(compare(&base, &bad, 3.0).1, 1);
+    }
+
+    #[test]
+    fn digest_changes_and_missing_fields_fail() {
+        let base = fields(&[
+            ("scale_1000_digest", Json::Str("0xaa".into())),
+            ("epoch_ns_p50", Json::Num(10.0)),
+        ]);
+        let drifted = fields(&[
+            ("scale_1000_digest", Json::Str("0xbb".into())),
+            ("epoch_ns_p50", Json::Num(10.0)),
+        ]);
+        assert_eq!(compare(&base, &drifted, 3.0).1, 1);
+        let missing = fields(&[("scale_1000_digest", Json::Str("0xaa".into()))]);
+        assert_eq!(compare(&base, &missing, 3.0).1, 1);
+    }
+
+    #[test]
+    fn ungated_and_new_fields_are_informational() {
+        let base = fields(&[("scale_1000_matching_rounds", Json::Num(100.0))]);
+        let cur = fields(&[
+            ("scale_1000_matching_rounds", Json::Num(9999.0)),
+            ("brand_new_ns", Json::Num(1.0)),
+        ]);
+        let (report, regressions) = compare(&base, &cur, 3.0);
+        assert_eq!(regressions, 0, "{report}");
+        assert!(report.contains("info"));
+        assert!(report.contains("new "));
+    }
+}

@@ -14,6 +14,7 @@
 //! mock tree or at `/sys/fs/resctrl` on RDT hardware).
 
 mod args;
+mod bench_report;
 mod resctrl_cmd;
 mod serve_cmd;
 mod sim_cmd;
@@ -27,7 +28,10 @@ Commands:
   sim-run          Run a consolidation on the simulated testbed
       --mix <h-llc|h-bw|h-both|m-llc|m-bw|m-both|is>   (default h-both)
       --policy <eq|st|cat-only|mba-only|copart>        (default copart)
-      --apps <1..6>                                    (default 4)
+      --apps <1..4096>                                 (default 4)
+                           7+ apps run the synthetic planner-scale
+                           harness (no machine simulation); --seed and
+                           --churn <0..1> tune its population
       --seconds <virtual seconds>                      (default 30)
       --trace-out <path>   write a per-epoch JSONL decision trace
                            (dynamic policies: cat-only, mba-only, copart)
@@ -52,6 +56,12 @@ Commands:
   trace-check      Validate a JSONL decision trace (parses, gapless
                    epochs, monotone time) — the CI smoke gate
       --path <file> [--min-events <n>]
+  bench-report     Pretty-print a BENCH_*.json perf artifact, or gate it
+                   against a baseline (used by scripts/bench_gate.sh)
+      --current <file> [--baseline <file>] [--tolerance <ratio>]
+                           latency/throughput tolerance ratio (default 3.0,
+                           or COPART_BENCH_TOLERANCE); alloc counts and
+                           digests are gated exactly
   classify         Probe one benchmark's sensitivity class
       --bench <WN|WS|RT|OC|CG|FT|SP|ON|FMM|SW|EP>
   resctrl-status   Show groups and schemata of a resctrl tree
@@ -83,6 +93,7 @@ fn main() -> ExitCode {
         "serve" => serve_cmd::serve(&opts),
         "load" => serve_cmd::load(&opts),
         "trace-check" => sim_cmd::trace_check(&opts),
+        "bench-report" => bench_report::bench_report(&opts),
         "classify" => sim_cmd::classify(&opts),
         "resctrl-status" => resctrl_cmd::status(&opts),
         "resctrl-apply" => resctrl_cmd::apply(&opts),

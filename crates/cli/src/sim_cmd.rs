@@ -2,6 +2,7 @@
 
 use copart_core::policies::{self, EvalOptions, PolicyKind};
 use copart_core::runtime::ConsolidationRuntime;
+use copart_core::scale::{run_planner_scale, ScaleConfig};
 use copart_faults::{FaultPlan, FaultyBackend};
 use copart_rdt::{ClosId, RdtBackend, SimBackend};
 use copart_sim::{AppSpec, Machine, MachineConfig};
@@ -48,11 +49,16 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
     let policy = parse_policy(opts.get("policy").unwrap_or("copart"))?;
     let n_apps: usize = opts.number("apps", 4usize)?;
     let seconds: f64 = opts.number("seconds", 30.0f64)?;
-    if !(1..=6).contains(&n_apps) {
-        return Err("--apps must be between 1 and 6".into());
-    }
     if seconds <= 0.0 {
         return Err("--seconds must be positive".into());
+    }
+    if n_apps == 0 || n_apps > 4096 {
+        return Err("--apps must be between 1 and 4096".into());
+    }
+    if n_apps > 6 {
+        // Beyond the simulated machine's CLOS capacity: drive the planner
+        // alone over a synthetic population (the scale harness).
+        return planner_scale(opts, n_apps, seconds);
     }
     // Worker count for the parallel sweeps (the ST offline search).
     if let Some(jobs) = opts.get("jobs") {
@@ -152,6 +158,43 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
     for (spec, slowdown) in specs.iter().zip(&r.slowdowns) {
         println!("  {:<16} slowdown {slowdown:.3}", spec.name);
     }
+    Ok(())
+}
+
+/// The `--apps 7..4096` path of `sim-run`: no machine fits that many
+/// CLOS groups, so the planner runs solo over a deterministic synthetic
+/// population (see `copart_core::scale`), reporting per-epoch planning
+/// latency against the paper's ~1 ms epoch budget.
+fn planner_scale(opts: &Options, n_apps: usize, seconds: f64) -> Result<(), String> {
+    let period_s = copart_core::CoPartParams::default().period.as_secs_f64();
+    let epochs = ((seconds / period_s).ceil() as u32).max(1);
+    let seed: u64 = opts.number("seed", copart_core::CoPartParams::default().seed)?;
+    let churn: f64 = opts.number("churn", 0.02f64)?;
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be within [0, 1]".into());
+    }
+    let cfg = ScaleConfig {
+        churn,
+        ..ScaleConfig::new(n_apps, epochs, seed)
+    };
+    println!("planner-scale run: {n_apps} synthetic apps, {epochs} epochs, seed {seed:#x}");
+    let r = run_planner_scale(&cfg);
+    println!(
+        "  decisions: {} transfers, {} θ-retries, {} converges",
+        r.transfers, r.theta_retries, r.converges
+    );
+    println!("  matching rounds: {}", r.matching_rounds);
+    println!(
+        "  plan latency: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms (budget ~1 ms/epoch)",
+        r.plan_ns_p50 as f64 / 1e6,
+        r.plan_ns_p99 as f64 / 1e6,
+        r.plan_ns_max as f64 / 1e6
+    );
+    println!(
+        "  role cache: {} hits, {} misses",
+        r.role_cache_hits, r.role_cache_misses
+    );
+    println!("  decision digest: {:#018x}", r.digest);
     Ok(())
 }
 

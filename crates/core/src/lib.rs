@@ -49,6 +49,7 @@ pub mod params;
 pub mod planner;
 pub mod policies;
 pub mod runtime;
+pub mod scale;
 pub mod sensor;
 pub mod state;
 

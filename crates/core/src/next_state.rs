@@ -12,7 +12,7 @@
 
 use copart_rng::XorShift64Star;
 
-use copart_matching::chain::{self, Consumer};
+use copart_matching::chain::{self, ChainScratch, Consumer};
 use copart_rdt::{MbaLevel, ResourceKind};
 
 use crate::fsm::{AppState, ResourceEvent};
@@ -98,6 +98,333 @@ pub struct TransferOutcome {
 const CAT_LLC: usize = 0;
 const CAT_MBA: usize = 1;
 const CAT_ANY: usize = 2;
+
+/// The per-app inputs that determine an app's producer/consumer role in
+/// the matching instance. The allocation enters only through the three
+/// threshold booleans, so ordinary unit transfers that stay on the same
+/// side of a threshold keep the cached role valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RoleKey {
+    llc: AppState,
+    mba: AppState,
+    ways_above_floor: bool,
+    mba_above_min: bool,
+    mba_below_cap: bool,
+}
+
+/// Which producer pool an app belongs to, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ProducerRole {
+    #[default]
+    None,
+    Llc,
+    Mba,
+    Any,
+}
+
+/// Which resources an app demands, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ConsumerRole {
+    #[default]
+    None,
+    Llc,
+    Mba,
+    Both,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AppRole {
+    producer: ProducerRole,
+    consumer: ConsumerRole,
+}
+
+fn derive_role(key: RoleKey, manage_llc: bool, manage_mba: bool) -> AppRole {
+    let can_llc = manage_llc && key.llc == AppState::Supply && key.ways_above_floor;
+    let can_mba = manage_mba && key.mba == AppState::Supply && key.mba_above_min;
+    let producer = match (can_llc, can_mba) {
+        (true, true) => ProducerRole::Any,
+        (true, false) => ProducerRole::Llc,
+        (false, true) => ProducerRole::Mba,
+        (false, false) => ProducerRole::None,
+    };
+    let wants_llc = manage_llc && key.llc == AppState::Demand;
+    let wants_mba = manage_mba && key.mba == AppState::Demand && key.mba_below_cap;
+    let consumer = match (wants_llc, wants_mba) {
+        (true, true) => ConsumerRole::Both,
+        (true, false) => ConsumerRole::Llc,
+        (false, true) => ConsumerRole::Mba,
+        (false, false) => ConsumerRole::None,
+    };
+    AppRole { producer, consumer }
+}
+
+/// Reusable buffers and the incremental role cache for
+/// [`get_next_system_state_into`]. Hold one across epochs: pools,
+/// consumer preference lists, and the chaining heaps are reused, and an
+/// app's role is re-derived only when its role key changed since the
+/// previous epoch (tracked by [`cache_hits`](Self::cache_hits) /
+/// [`cache_misses`](Self::cache_misses)).
+#[derive(Debug, Default, Clone)]
+pub struct ExploreScratch {
+    /// Last-seen role key per app; `None` forces a recompute.
+    keys: Vec<Option<RoleKey>>,
+    roles: Vec<AppRole>,
+    /// `(manage_llc, manage_mba)` the cache was built for; a change
+    /// invalidates every cached role.
+    cfg: Option<(bool, bool)>,
+    hits: u64,
+    misses: u64,
+    pool_llc: Vec<Option<usize>>,
+    pool_mba: Vec<Option<usize>>,
+    pool_any: Vec<Option<usize>>,
+    consumers: Vec<Consumer>,
+    consumer_apps: Vec<usize>,
+    any_choice: Vec<Option<ResourceKind>>,
+    assignment: Vec<Option<usize>>,
+    chain: ChainScratch,
+}
+
+impl ExploreScratch {
+    /// Apps whose cached role was reused since construction.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Apps whose role had to be re-derived since construction.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The scalar results of one in-place Algorithm 2 step (the state and
+/// events land in caller-provided buffers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepStats {
+    /// Whether any transfer happened (false ⇒ the state converged).
+    pub changed: bool,
+    /// Instability-chaining iterations the matching step used.
+    pub matching_rounds: u32,
+}
+
+/// In-place, incremental `getNextSystemState`: byte-identical to
+/// [`get_next_system_state`] (state, events, `changed`, and
+/// `matching_rounds`, including the exact RNG draw sequence), but all
+/// working storage lives in `scratch` and per-app roles are recomputed
+/// only when their inputs changed — so steady-state calls allocate
+/// nothing and scale to thousands of apps. The
+/// `matching-incremental-vs-rebuild` oracle in `copart-check` fuzzes this
+/// equivalence against the from-scratch rebuild every epoch.
+// The signature mirrors `get_next_system_state` plus the three output
+// buffers; bundling them into a struct would only move the argument list.
+#[allow(clippy::too_many_arguments)]
+pub fn get_next_system_state_into(
+    current: &SystemState,
+    apps: &[AppClassification],
+    budget: &WaysBudget,
+    rng: &mut XorShift64Star,
+    manage_llc: bool,
+    manage_mba: bool,
+    scratch: &mut ExploreScratch,
+    state: &mut SystemState,
+    events: &mut Vec<AppliedEvents>,
+) -> StepStats {
+    assert_eq!(
+        current.allocs.len(),
+        apps.len(),
+        "state/classification mismatch"
+    );
+    let n = apps.len();
+    state.allocs.clone_from(&current.allocs);
+    events.clear();
+    events.resize(n, AppliedEvents::default());
+
+    let ExploreScratch {
+        keys,
+        roles,
+        cfg,
+        hits,
+        misses,
+        pool_llc,
+        pool_mba,
+        pool_any,
+        consumers,
+        consumer_apps,
+        any_choice,
+        assignment,
+        chain: chain_scratch,
+    } = scratch;
+
+    if *cfg != Some((manage_llc, manage_mba)) {
+        *cfg = Some((manage_llc, manage_mba));
+        keys.clear();
+    }
+    if keys.len() != n {
+        keys.clear();
+        keys.resize(n, None);
+    }
+    roles.resize(n, AppRole::default());
+
+    // --- Producer pools (lines 2–5), membership from the role cache. ---
+    pool_llc.clear();
+    pool_mba.clear();
+    pool_any.clear();
+    for (i, (app, alloc)) in apps.iter().zip(&current.allocs).enumerate() {
+        let key = RoleKey {
+            llc: app.llc,
+            mba: app.mba,
+            ways_above_floor: alloc.ways > 1,
+            mba_above_min: alloc.mba > MbaLevel::MIN,
+            mba_below_cap: alloc.mba < budget.mba_cap,
+        };
+        if keys[i] == Some(key) {
+            *hits += 1;
+        } else {
+            keys[i] = Some(key);
+            roles[i] = derive_role(key, manage_llc, manage_mba);
+            *misses += 1;
+        }
+        match roles[i].producer {
+            ProducerRole::Any => pool_any.push(Some(i)),
+            ProducerRole::Llc => pool_llc.push(Some(i)),
+            ProducerRole::Mba => pool_mba.push(Some(i)),
+            ProducerRole::None => {}
+        }
+    }
+    let spare_ways = budget.total_ways.saturating_sub(current.total_ways());
+    if manage_llc {
+        for _ in 0..spare_ways {
+            pool_llc.push(None);
+        }
+    }
+    // Identical order to the reference's stable sort: the comparator is a
+    // total order whose only equal elements are interchangeable `None`s.
+    let by_slowdown_asc = |a: &Option<usize>, b: &Option<usize>| match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => apps[*x]
+            .slowdown
+            .partial_cmp(&apps[*y].slowdown)
+            .expect("slowdowns are not NaN")
+            .then(x.cmp(y)),
+    };
+    pool_llc.sort_unstable_by(by_slowdown_asc);
+    pool_mba.sort_unstable_by(by_slowdown_asc);
+    pool_any.sort_unstable_by(by_slowdown_asc);
+
+    // --- Consumers (lines 6–18), preference buffers reused in place. ---
+    // RNG draws must mirror the reference exactly: one `gen_bool` per
+    // dual-demand consumer, in app-index order.
+    let mut nc = 0usize;
+    for (i, app) in apps.iter().enumerate() {
+        let (prefs, choice): (&[usize], Option<ResourceKind>) = match roles[i].consumer {
+            ConsumerRole::None => continue,
+            ConsumerRole::Both => {
+                if rng.gen_bool(0.5) {
+                    (&[CAT_LLC, CAT_MBA, CAT_ANY], None)
+                } else {
+                    (&[CAT_MBA, CAT_LLC, CAT_ANY], None)
+                }
+            }
+            ConsumerRole::Llc => (&[CAT_LLC, CAT_ANY], Some(ResourceKind::Llc)),
+            ConsumerRole::Mba => (&[CAT_MBA, CAT_ANY], Some(ResourceKind::MemoryBandwidth)),
+        };
+        if nc < consumers.len() {
+            let c = &mut consumers[nc];
+            c.priority = app.slowdown;
+            c.preference.clear();
+            c.preference.extend_from_slice(prefs);
+            consumer_apps[nc] = i;
+            any_choice[nc] = choice;
+        } else {
+            consumers.push(Consumer {
+                priority: app.slowdown,
+                preference: prefs.to_vec(),
+            });
+            consumer_apps.push(i);
+            any_choice.push(choice);
+        }
+        nc += 1;
+    }
+
+    let capacities = [pool_llc.len(), pool_mba.len(), pool_any.len()];
+    let matching_rounds =
+        chain::allocate_into(&capacities, &consumers[..nc], assignment, chain_scratch);
+
+    // --- Step two (lines 19–29): iterate the assignment directly — same
+    // (category, then consumer-index) order the reference's `granted()`
+    // lists produce, without materializing them. ---
+    let mut cursor_llc = 0usize;
+    let mut cursor_mba = 0usize;
+    let mut cursor_any = 0usize;
+    for t in [CAT_LLC, CAT_MBA, CAT_ANY] {
+        for k in 0..nc {
+            if assignment[k] != Some(t) {
+                continue;
+            }
+            let c = consumer_apps[k];
+            let kind = if t == CAT_LLC {
+                ResourceKind::Llc
+            } else if t == CAT_MBA {
+                ResourceKind::MemoryBandwidth
+            } else {
+                match any_choice[k] {
+                    Some(kind) => kind,
+                    None => {
+                        if rng.gen_bool(0.5) {
+                            ResourceKind::Llc
+                        } else {
+                            ResourceKind::MemoryBandwidth
+                        }
+                    }
+                }
+            };
+            let producer = match t {
+                CAT_LLC => {
+                    cursor_llc += 1;
+                    pool_llc[cursor_llc - 1]
+                }
+                CAT_MBA => {
+                    cursor_mba += 1;
+                    pool_mba[cursor_mba - 1]
+                }
+                _ => {
+                    cursor_any += 1;
+                    pool_any[cursor_any - 1]
+                }
+            };
+            if let Some(p) = producer {
+                match kind {
+                    ResourceKind::Llc => {
+                        debug_assert!(state.allocs[p].ways > 1);
+                        state.allocs[p].ways -= 1;
+                        events[p].reclaimed_llc = true;
+                    }
+                    ResourceKind::MemoryBandwidth => {
+                        state.allocs[p].mba = state.allocs[p].mba.step_down();
+                        events[p].reclaimed_mba = true;
+                    }
+                }
+            }
+            match kind {
+                ResourceKind::Llc => {
+                    state.allocs[c].ways += 1;
+                    events[c].granted_llc = true;
+                }
+                ResourceKind::MemoryBandwidth => {
+                    state.allocs[c].mba = state.allocs[c].mba.step_up().min(budget.mba_cap);
+                    events[c].granted_mba = true;
+                }
+            }
+        }
+    }
+
+    let changed = events.iter().any(AppliedEvents::any) && *state != *current;
+    StepStats {
+        changed,
+        matching_rounds,
+    }
+}
 
 /// Runs one `getNextSystemState` step.
 ///
@@ -654,6 +981,70 @@ mod tests {
             assert!(out.state.total_ways() >= current.total_ways());
             let spare = budget.total_ways - current.total_ways();
             assert!(out.state.total_ways() - current.total_ways() <= spare);
+        }
+    }
+
+    /// The incremental in-place step is byte-identical to the
+    /// from-scratch rebuild — state, events, changed, rounds — across
+    /// chained epochs with one persistent scratch, while classifications
+    /// and allocations evolve (so the role cache sees hits and misses).
+    #[test]
+    fn incremental_step_matches_rebuild_across_epochs() {
+        let mut gen = XorShift64Star::seed_from_u64(0x001A_C5E7);
+        let st = |k: u8| match k {
+            0 => AppState::Supply,
+            1 => AppState::Maintain,
+            _ => AppState::Demand,
+        };
+        for seed in 0u64..60 {
+            let budget = budget();
+            let n = gen.gen_range(2..6usize);
+            let ways_each = budget.total_ways / n as u32;
+            let mut current = SystemState {
+                allocs: (0..n).map(|_| alloc(ways_each, 100)).collect(),
+            };
+            let mut apps: Vec<AppClassification> = (0..n)
+                .map(|_| {
+                    class(
+                        st(gen.gen_range(0..3u8)),
+                        st(gen.gen_range(0..3u8)),
+                        f64::from(gen.gen_range(10..400u32)) / 100.0,
+                    )
+                })
+                .collect();
+            let mut scratch = ExploreScratch::default();
+            let mut state = SystemState { allocs: Vec::new() };
+            let mut events = Vec::new();
+            let mut rng_ref = XorShift64Star::seed_from_u64(seed);
+            let mut rng_inc = XorShift64Star::seed_from_u64(seed);
+            for _ in 0..12 {
+                let reference =
+                    get_next_system_state(&current, &apps, &budget, &mut rng_ref, true, true);
+                let stats = get_next_system_state_into(
+                    &current,
+                    &apps,
+                    &budget,
+                    &mut rng_inc,
+                    true,
+                    true,
+                    &mut scratch,
+                    &mut state,
+                    &mut events,
+                );
+                assert_eq!(state, reference.state);
+                assert_eq!(events, reference.events);
+                assert_eq!(stats.changed, reference.changed);
+                assert_eq!(stats.matching_rounds, reference.matching_rounds);
+                // Chain: adopt the outcome and mutate one app's inputs.
+                current = reference.state;
+                let i = gen.gen_range(0..n);
+                apps[i] = class(
+                    st(gen.gen_range(0..3u8)),
+                    st(gen.gen_range(0..3u8)),
+                    f64::from(gen.gen_range(10..400u32)) / 100.0,
+                );
+            }
+            assert!(scratch.cache_hits() > 0, "cache never hit at seed {seed}");
         }
     }
 }

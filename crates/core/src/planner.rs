@@ -25,7 +25,8 @@ use copart_workloads::stream::StreamReference;
 
 use crate::actuator::ResilienceConfig;
 use crate::next_state::{
-    get_next_system_state, get_next_system_state_greedy, AppClassification, AppliedEvents,
+    get_next_system_state_greedy, get_next_system_state_into, AppClassification, AppliedEvents,
+    ExploreScratch, StepStats,
 };
 use crate::policies::{equal_state, static_search, utility_state, EvalOptions, PolicyKind};
 use crate::runtime::RuntimeConfig;
@@ -65,6 +66,42 @@ pub enum PlanAction {
         /// `(unfairness, state)` to settle on, when better than staying.
         settle: Option<(f64, SystemState)>,
     },
+}
+
+/// Reusable buffers for [`Explorer::plan_into`]: the incremental matching
+/// scratch plus the proposal/events the plan writes in place. One of these
+/// lives in the runtime's `EpochScratch`, making steady-state planning
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// Incremental matching buffers + role cache.
+    pub explore: ExploreScratch,
+    /// The planned next state (the reference [`PlannedStep::proposal`]).
+    pub proposal: SystemState,
+    /// Per-application transfers (same indexing as the apps).
+    pub events: Vec<AppliedEvents>,
+}
+
+/// What the driver should do with an in-place plan (the proposal and
+/// events are in the [`PlanScratch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDecision {
+    /// Apply the proposal and feed each application its transfer events.
+    Transfer,
+    /// The matching stalled; the proposal is a random neighbor restart.
+    ThetaRetry,
+    /// Exploration converged: go idle, optionally settling on the best
+    /// `(unfairness, state)` seen when it beats the current one.
+    Converge(Option<(f64, SystemState)>),
+}
+
+/// The scalar outcome of [`Explorer::plan_into`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Instability-chaining iterations the matching step used.
+    pub matching_rounds: u32,
+    /// What the driver should do with the scratch proposal.
+    pub decision: PlanDecision,
 }
 
 /// The §5.4.2 exploration stepper (Algorithm 1), lifted out of the epoch
@@ -124,6 +161,10 @@ impl Explorer {
     /// One Algorithm 1 step: run the matching (or the greedy ablation)
     /// over the classifier verdicts and decide whether to transfer,
     /// restart from a random neighbor, or converge.
+    ///
+    /// Convenience wrapper over [`Explorer::plan_into`] that returns owned
+    /// buffers; the epoch hot path holds a [`PlanScratch`] and calls
+    /// `plan_into` directly.
     pub fn plan(
         &mut self,
         cfg: &RuntimeConfig,
@@ -131,36 +172,80 @@ impl Explorer {
         apps: &[AppClassification],
         current_unfairness: f64,
     ) -> PlannedStep {
+        let mut scratch = PlanScratch::default();
+        let stats = self.plan_into(cfg, current, apps, current_unfairness, &mut scratch);
+        PlannedStep {
+            proposal: scratch.proposal,
+            matching_rounds: stats.matching_rounds,
+            action: match stats.decision {
+                PlanDecision::Transfer => PlanAction::Transfer {
+                    events: scratch.events,
+                },
+                PlanDecision::ThetaRetry => PlanAction::ThetaRetry,
+                PlanDecision::Converge(settle) => PlanAction::Converge { settle },
+            },
+        }
+    }
+
+    /// [`Explorer::plan`] writing the proposal and events into `scratch`
+    /// instead of allocating, using the incremental matching step
+    /// ([`get_next_system_state_into`]) underneath. Identical decisions
+    /// and RNG draw sequence as the from-scratch reference.
+    pub fn plan_into(
+        &mut self,
+        cfg: &RuntimeConfig,
+        current: &SystemState,
+        apps: &[AppClassification],
+        current_unfairness: f64,
+        scratch: &mut PlanScratch,
+    ) -> PlanStats {
         let p = &cfg.params;
-        let outcome = if p.use_hr_matching {
-            get_next_system_state(
+        let stats = if p.use_hr_matching {
+            get_next_system_state_into(
                 current,
                 apps,
                 &cfg.budget,
                 &mut self.rng,
                 cfg.manage_llc,
                 cfg.manage_mba,
+                &mut scratch.explore,
+                &mut scratch.proposal,
+                &mut scratch.events,
             )
         } else {
-            get_next_system_state_greedy(current, apps, &cfg.budget, cfg.manage_llc, cfg.manage_mba)
+            let outcome = get_next_system_state_greedy(
+                current,
+                apps,
+                &cfg.budget,
+                cfg.manage_llc,
+                cfg.manage_mba,
+            );
+            scratch.proposal.allocs.clone_from(&outcome.state.allocs);
+            scratch.events.clone_from(&outcome.events);
+            StepStats {
+                changed: outcome.changed,
+                matching_rounds: outcome.matching_rounds,
+            }
         };
-        let matching_rounds = outcome.matching_rounds;
-        if outcome.changed {
-            PlannedStep {
-                proposal: outcome.state,
+        let matching_rounds = stats.matching_rounds;
+        if stats.changed {
+            PlanStats {
                 matching_rounds,
-                action: PlanAction::Transfer {
-                    events: outcome.events,
-                },
+                decision: PlanDecision::Transfer,
             }
         } else if self.retry_count < p.theta_retries && (cfg.manage_llc || cfg.manage_mba) {
-            // Algorithm 1 lines 11–14: random neighbor restart.
-            let neighbor =
-                current.neighbor(&cfg.budget, &mut self.rng, cfg.manage_llc, cfg.manage_mba);
-            PlannedStep {
-                proposal: neighbor,
+            // Algorithm 1 lines 11–14: random neighbor restart (overwrites
+            // the stalled matching output in the proposal buffer).
+            current.neighbor_into(
+                &cfg.budget,
+                &mut self.rng,
+                cfg.manage_llc,
+                cfg.manage_mba,
+                &mut scratch.proposal,
+            );
+            PlanStats {
                 matching_rounds,
-                action: PlanAction::ThetaRetry,
+                decision: PlanDecision::ThetaRetry,
             }
         } else {
             // Converged: settle on the best state seen during this
@@ -169,10 +254,9 @@ impl Explorer {
             let settle = self.best_seen.take().filter(|(best_u, best_state)| {
                 *best_state != *current && *best_u < current_unfairness
             });
-            PlannedStep {
-                proposal: outcome.state,
+            PlanStats {
                 matching_rounds,
-                action: PlanAction::Converge { settle },
+                decision: PlanDecision::Converge(settle),
             }
         }
     }

@@ -40,7 +40,7 @@ use crate::classifier::{
 use crate::fsm::AppState;
 use crate::metrics;
 use crate::next_state::{AppClassification, AppliedEvents};
-use crate::planner::{Explorer, PlanAction};
+use crate::planner::{Explorer, PlanDecision, PlanScratch};
 use crate::sensor::{Sensor, WindowedSensor};
 use crate::state::{SystemState, WaysBudget};
 use crate::CoPartParams;
@@ -172,6 +172,9 @@ struct EpochScratch {
     masks: Vec<copart_rdt::CbmMask>,
     /// Mask layout of the rollback target during a failed transaction.
     rollback_masks: Vec<copart_rdt::CbmMask>,
+    /// Planner buffers: the incremental matching scratch plus the
+    /// proposal/events of the epoch's plan.
+    plan: PlanScratch,
 }
 
 /// The CoPart resource manager: a thin epoch driver over the sensing,
@@ -508,6 +511,27 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     ///
     /// Fails only when the platform cannot advance.
     pub fn run_period(&mut self) -> Result<PeriodRecord, RdtError> {
+        let mut record = PeriodRecord {
+            time_ns: 0,
+            phase: self.phase,
+            state: SystemState::default(),
+            apps: Vec::new(),
+            unfairness: 0.0,
+        };
+        self.run_period_into(&mut record)?;
+        Ok(record)
+    }
+
+    /// [`ConsolidationRuntime::run_period`] writing into a caller-held
+    /// record whose buffers (per-app entries, their name strings, the
+    /// state's allocation vector) are reused in place. With a disabled
+    /// recorder, steady-state epochs through this path perform no heap
+    /// allocation (gated by `benches/explore_overhead.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the platform cannot advance.
+    pub fn run_period_into(&mut self, record: &mut PeriodRecord) -> Result<(), RdtError> {
         let t_epoch = Instant::now();
         let tracing = self.recorder.enabled();
         let mut fault = FaultSample::new();
@@ -515,7 +539,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
 
         // Sense and classify.
         self.scratch.classifications.clear();
-        let mut period_apps = Vec::with_capacity(self.apps.len());
+        record.apps.truncate(self.apps.len());
         let mut trace_apps: Vec<AppSample> = Vec::new();
         for (i, app) in self.apps.iter_mut().enumerate() {
             let mba_level = self.state.allocs[i].mba;
@@ -553,13 +577,22 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 // as if it were more slowed than it is.
                 slowdown: app.weighted_slowdown(),
             });
-            period_apps.push(AppPeriod {
-                name: app.name.clone(),
-                ips: app.last_ips,
-                slowdown: app.slowdown(),
-                llc_state,
-                mba_state,
-            });
+            if let Some(slot) = record.apps.get_mut(i) {
+                slot.name.clear();
+                slot.name.push_str(&app.name);
+                slot.ips = app.last_ips;
+                slot.slowdown = app.slowdown();
+                slot.llc_state = llc_state;
+                slot.mba_state = mba_state;
+            } else {
+                record.apps.push(AppPeriod {
+                    name: app.name.clone(),
+                    ips: app.last_ips,
+                    slowdown: app.slowdown(),
+                    llc_state,
+                    mba_state,
+                });
+            }
             if tracing {
                 // A degraded app is traced with its smoothed estimate; an
                 // app that merely lacks two samples (startup, clock stall)
@@ -597,55 +630,70 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                 self.explorer
                     .record_best(current_unfairness, &self.state, measured);
                 let t_explore = Instant::now();
-                let step = self.explorer.plan(
+                let stats = self.explorer.plan_into(
                     &self.cfg,
                     &self.state,
                     &self.scratch.classifications,
                     current_unfairness,
+                    &mut self.scratch.plan,
                 );
                 self.metrics
                     .observe_ns("explore_ns", t_explore.elapsed().as_nanos() as u64);
-                matching_rounds = step.matching_rounds;
+                matching_rounds = stats.matching_rounds;
                 self.metrics
-                    .add("matching_rounds", u64::from(step.matching_rounds));
+                    .add("matching_rounds", u64::from(stats.matching_rounds));
                 if tracing {
-                    proposed = alloc_samples(&step.proposal);
+                    proposed = alloc_samples(&self.scratch.plan.proposal);
                 }
-                match step.action {
-                    PlanAction::Transfer { events } => {
+                match stats.decision {
+                    PlanDecision::Transfer => {
                         // A rolled-back apply leaves the old state in
                         // force; classifiers simply propose again next
                         // period.
-                        if self.apply_state_txn(step.proposal, &mut fault) {
-                            for (app, ev) in self.apps.iter_mut().zip(events) {
-                                app.last_events = ev;
+                        if self.apply_planned_txn(&mut fault) {
+                            for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events) {
+                                app.last_events = *ev;
                             }
                             self.explorer.transfer_applied();
                             self.metrics.inc("transfers");
                         }
                         decision = TraceDecision::Transfer;
                     }
-                    PlanAction::ThetaRetry => {
-                        let events = diff_events(&self.state, &step.proposal);
+                    PlanDecision::ThetaRetry => {
+                        diff_events_into(
+                            &self.state,
+                            &self.scratch.plan.proposal,
+                            &mut self.scratch.plan.events,
+                        );
                         // A rolled-back restart does not consume a
                         // θ-retry: nothing new was tried.
-                        if self.apply_state_txn(step.proposal, &mut fault) {
-                            for (app, ev) in self.apps.iter_mut().zip(events) {
-                                app.last_events = ev;
+                        if self.apply_planned_txn(&mut fault) {
+                            for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events) {
+                                app.last_events = *ev;
                             }
                             self.explorer.retry_applied();
                             self.metrics.inc("theta_retries");
                         }
                         decision = TraceDecision::ThetaRetry;
                     }
-                    PlanAction::Converge { settle } => {
+                    PlanDecision::Converge(settle) => {
                         let mut settled = current_unfairness;
                         if let Some((best_u, best_state)) = settle {
-                            let events = diff_events(&self.state, &best_state);
+                            diff_events_into(
+                                &self.state,
+                                &best_state,
+                                &mut self.scratch.plan.events,
+                            );
+                            self.scratch
+                                .plan
+                                .proposal
+                                .allocs
+                                .clone_from(&best_state.allocs);
                             // On rollback the manager idles where it is.
-                            if self.apply_state_txn(best_state, &mut fault) {
-                                for (app, ev) in self.apps.iter_mut().zip(events) {
-                                    app.last_events = ev;
+                            if self.apply_planned_txn(&mut fault) {
+                                for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events)
+                                {
+                                    app.last_events = *ev;
                                 }
                                 settled = best_u;
                             }
@@ -692,13 +740,11 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.metrics
             .observe_ns("epoch_ns", t_epoch.elapsed().as_nanos() as u64);
 
-        Ok(PeriodRecord {
-            time_ns: self.backend.now_ns(),
-            phase: self.phase,
-            state: self.state.clone(),
-            apps: period_apps,
-            unfairness: current_unfairness,
-        })
+        record.time_ns = self.backend.now_ns();
+        record.phase = self.phase;
+        record.state.allocs.clone_from(&self.state.allocs);
+        record.unfairness = current_unfairness;
+        Ok(())
     }
 
     /// Runs `n` periods, collecting the records.
@@ -832,41 +878,51 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         result
     }
 
-    /// Transactionally switches the partition to `new` through the
-    /// actuator (see [`Actuator::apply_txn`]); on success the state is
-    /// adopted, on rollback the old state stays in force. Folds the
-    /// actuator's [`ApplyReport`] into the metrics registry and the
-    /// epoch's fault sample.
-    fn apply_state_txn(&mut self, new: SystemState, fault: &mut FaultSample) -> bool {
+    /// Transactionally switches the partition to the planned proposal in
+    /// `scratch.plan` through the actuator (see [`Actuator::apply_txn`]);
+    /// on success the state is adopted (buffer reused, no allocation), on
+    /// rollback the old state stays in force. Folds the actuator's
+    /// [`ApplyReport`] into the metrics registry and the epoch's fault
+    /// sample.
+    fn apply_planned_txn(&mut self, fault: &mut FaultSample) -> bool {
         let t0 = Instant::now();
         let mut report = ApplyReport::default();
-        let landed = self.actuator.apply_txn(
-            &mut self.backend,
-            &self.groups,
-            &self.state,
-            &new,
-            &self.cfg.budget,
-            &mut self.scratch.masks,
-            &mut self.scratch.rollback_masks,
+        let ConsolidationRuntime {
+            backend,
+            groups,
+            cfg,
+            state,
+            actuator,
+            scratch,
+            metrics,
+            ..
+        } = self;
+        let new = &scratch.plan.proposal;
+        let landed = actuator.apply_txn(
+            backend,
+            groups,
+            state,
+            new,
+            &cfg.budget,
+            &mut scratch.masks,
+            &mut scratch.rollback_masks,
             &mut report,
         );
         if landed {
-            self.state = new;
+            state.allocs.clone_from(&new.allocs);
         } else {
-            self.metrics.add(
+            metrics.add(
                 "rollback_write_failures",
                 u64::from(report.rollback_write_failures),
             );
-            self.metrics.inc("partition_apply_failures");
-            self.metrics.inc("partition_rollbacks");
+            metrics.inc("partition_apply_failures");
+            metrics.inc("partition_rollbacks");
             fault.rolled_back = true;
         }
-        self.metrics
-            .observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
-        self.metrics.inc("backend_applies");
+        metrics.observe_ns("apply_ns", t0.elapsed().as_nanos() as u64);
+        metrics.inc("backend_applies");
         if report.write_retries > 0 {
-            self.metrics
-                .add("fault_write_retries", u64::from(report.write_retries));
+            metrics.add("fault_write_retries", u64::from(report.write_retries));
         }
         fault.write_retries += report.write_retries;
         landed
@@ -933,18 +989,21 @@ fn alloc_samples(state: &SystemState) -> Vec<AllocSample> {
 }
 
 /// Derives per-application events from the difference between two states
-/// (used when a random neighbor or settle state is applied).
-fn diff_events(from: &SystemState, to: &SystemState) -> Vec<AppliedEvents> {
-    from.allocs
-        .iter()
-        .zip(&to.allocs)
-        .map(|(a, b)| AppliedEvents {
-            granted_llc: b.ways > a.ways,
-            reclaimed_llc: b.ways < a.ways,
-            granted_mba: b.mba > a.mba,
-            reclaimed_mba: b.mba < a.mba,
-        })
-        .collect()
+/// (used when a random neighbor or settle state is applied), into a
+/// reusable buffer.
+fn diff_events_into(from: &SystemState, to: &SystemState, out: &mut Vec<AppliedEvents>) {
+    out.clear();
+    out.extend(
+        from.allocs
+            .iter()
+            .zip(&to.allocs)
+            .map(|(a, b)| AppliedEvents {
+                granted_llc: b.ways > a.ways,
+                reclaimed_llc: b.ways < a.ways,
+                granted_mba: b.mba > a.mba,
+                reclaimed_mba: b.mba < a.mba,
+            }),
+    );
 }
 
 #[cfg(test)]

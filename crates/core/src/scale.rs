@@ -1,0 +1,292 @@
+//! Synthetic planner-scale harness: the exploration stepper at
+//! thousands of applications, without a simulated machine underneath.
+//!
+//! The cache/timing simulator tops out at a handful of applications (one
+//! per CLOS on an 11-way LLC), but the planner itself — role derivation,
+//! the Hospitals/Residents matching, and the transactional bookkeeping —
+//! must stay inside the paper's ~1 ms epoch budget at three to four
+//! orders of magnitude more consumers. This module drives
+//! [`Explorer::plan_into`] over a deterministic synthetic population:
+//! classifier verdicts are drawn from a seeded RNG and churned every
+//! epoch, the planner's decision is applied to the system state exactly
+//! as the runtime would, and per-epoch plan latencies are recorded.
+//!
+//! Determinism: the whole run is a pure function of [`ScaleConfig`]. The
+//! [`ScaleReport::digest`] folds every decision and the resulting
+//! allocations into an FNV-1a hash (timings excluded), so two runs with
+//! the same config — on different thread counts, machines, or builds —
+//! must produce identical digests. `tests/parallel_determinism.rs` and
+//! the bench gate both rely on this.
+
+use std::time::Instant;
+
+use copart_rdt::MbaLevel;
+use copart_rng::XorShift64Star;
+use copart_workloads::stream::StreamReference;
+
+use crate::actuator::ResilienceConfig;
+use crate::fsm::AppState;
+use crate::metrics::unfairness;
+use crate::next_state::AppClassification;
+use crate::planner::{Explorer, PlanDecision, PlanScratch};
+use crate::runtime::RuntimeConfig;
+use crate::state::{SystemState, WaysBudget};
+use crate::CoPartParams;
+
+/// Configuration of one synthetic planner-scale run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Synthetic application count (each gets `ways_per_app` LLC ways in
+    /// the scaled budget, so any population fits).
+    pub n_apps: usize,
+    /// Adaptation epochs to drive.
+    pub epochs: u32,
+    /// Seed for the synthetic population and its churn.
+    pub seed: u64,
+    /// Fraction of applications whose classification is redrawn each
+    /// epoch (steady state churns a few; 1.0 redraws everyone).
+    pub churn: f64,
+    /// Budget ways per application (the scaled machine's LLC).
+    pub ways_per_app: u32,
+}
+
+impl ScaleConfig {
+    /// A standard run: 2 ways/app, 2 % churn per epoch.
+    pub fn new(n_apps: usize, epochs: u32, seed: u64) -> ScaleConfig {
+        ScaleConfig {
+            n_apps,
+            epochs,
+            seed,
+            churn: 0.02,
+            ways_per_app: 2,
+        }
+    }
+}
+
+/// The outcome of a planner-scale run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleReport {
+    /// Application count driven.
+    pub n_apps: usize,
+    /// Epochs driven.
+    pub epochs: u32,
+    /// FNV-1a digest of every decision and resulting allocation
+    /// (timings excluded); identical configs must produce identical
+    /// digests regardless of machine or parallelism.
+    pub digest: u64,
+    /// Epochs that applied a matching transfer.
+    pub transfers: u64,
+    /// Epochs that restarted from a random neighbor (θ-retry).
+    pub theta_retries: u64,
+    /// Epochs that converged.
+    pub converges: u64,
+    /// Total instability-chaining iterations across all epochs.
+    pub matching_rounds: u64,
+    /// Median per-epoch planning latency, nanoseconds.
+    pub plan_ns_p50: u64,
+    /// 99th-percentile per-epoch planning latency, nanoseconds.
+    pub plan_ns_p99: u64,
+    /// Worst per-epoch planning latency, nanoseconds.
+    pub plan_ns_max: u64,
+    /// Role-cache hits across the run (see `ExploreScratch`).
+    pub role_cache_hits: u64,
+    /// Role-cache misses across the run.
+    pub role_cache_misses: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv1a_u64(hash: &mut u64, v: u64) {
+    fnv1a(hash, &v.to_le_bytes());
+}
+
+fn random_state(rng: &mut XorShift64Star) -> AppState {
+    match rng.gen_range(0..3u8) {
+        0 => AppState::Supply,
+        1 => AppState::Maintain,
+        _ => AppState::Demand,
+    }
+}
+
+fn redraw(rng: &mut XorShift64Star) -> AppClassification {
+    AppClassification {
+        llc: random_state(rng),
+        mba: random_state(rng),
+        slowdown: 1.0 + rng.gen_range(0.0..3.0),
+    }
+}
+
+/// Drives [`Explorer::plan_into`] for `cfg.epochs` epochs over a churned
+/// synthetic population of `cfg.n_apps` applications, applying each
+/// decision the way the consolidation runtime would.
+///
+/// # Panics
+///
+/// Panics on a zero application count or zero `ways_per_app`.
+pub fn run_planner_scale(cfg: &ScaleConfig) -> ScaleReport {
+    assert!(cfg.n_apps >= 1, "need at least one application");
+    assert!(cfg.ways_per_app >= 1, "every application needs a way");
+
+    let budget = WaysBudget {
+        first_way: 0,
+        total_ways: cfg.n_apps as u32 * cfg.ways_per_app,
+        mba_cap: MbaLevel::MAX,
+    };
+    let rt_cfg = RuntimeConfig {
+        params: CoPartParams::default(),
+        manage_llc: true,
+        manage_mba: true,
+        budget,
+        // The planner never consults the STREAM table; a flat placeholder
+        // keeps the synthetic harness free of machine measurement.
+        stream: StreamReference::from_table([1.0; 10]),
+        resilience: ResilienceConfig::default(),
+    };
+
+    let mut rng = XorShift64Star::seed_from_u64(cfg.seed ^ 0x5ca1_ab1e);
+    let mut classes: Vec<AppClassification> = (0..cfg.n_apps).map(|_| redraw(&mut rng)).collect();
+    let mut slowdowns: Vec<f64> = classes.iter().map(|c| c.slowdown).collect();
+
+    let mut state = SystemState::equal_split(cfg.n_apps, &budget, MbaLevel::MAX);
+    let mut explorer = Explorer::new(cfg.seed);
+    let mut scratch = PlanScratch::default();
+
+    let churned = ((cfg.churn * cfg.n_apps as f64).ceil() as usize).min(cfg.n_apps);
+    let mut digest = FNV_OFFSET;
+    fnv1a_u64(&mut digest, cfg.n_apps as u64);
+    fnv1a_u64(&mut digest, u64::from(cfg.epochs));
+
+    let mut transfers = 0u64;
+    let mut theta_retries = 0u64;
+    let mut converges = 0u64;
+    let mut matching_rounds = 0u64;
+    let mut plan_ns: Vec<u64> = Vec::with_capacity(cfg.epochs as usize);
+
+    for epoch in 0..cfg.epochs {
+        // Churn: redraw a deterministic handful of classifications.
+        for _ in 0..churned {
+            let i = rng.gen_range(0..cfg.n_apps);
+            classes[i] = redraw(&mut rng);
+            slowdowns[i] = classes[i].slowdown;
+        }
+        let current_unfairness = unfairness(&slowdowns);
+        explorer.record_best(current_unfairness, &state, epoch > 0);
+
+        let t0 = Instant::now();
+        let stats = explorer.plan_into(&rt_cfg, &state, &classes, current_unfairness, &mut scratch);
+        plan_ns.push(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+
+        matching_rounds += u64::from(stats.matching_rounds);
+        let tag: u64 = match &stats.decision {
+            PlanDecision::Transfer => {
+                state.allocs.clone_from(&scratch.proposal.allocs);
+                explorer.transfer_applied();
+                transfers += 1;
+                1
+            }
+            PlanDecision::ThetaRetry => {
+                state.allocs.clone_from(&scratch.proposal.allocs);
+                explorer.retry_applied();
+                theta_retries += 1;
+                2
+            }
+            PlanDecision::Converge(settle) => {
+                if let Some((_, best)) = settle {
+                    state.allocs.clone_from(&best.allocs);
+                }
+                explorer.settle(current_unfairness);
+                explorer.restart();
+                converges += 1;
+                3
+            }
+        };
+        fnv1a_u64(&mut digest, u64::from(epoch));
+        fnv1a_u64(&mut digest, tag);
+        fnv1a_u64(&mut digest, u64::from(stats.matching_rounds));
+        for a in &state.allocs {
+            fnv1a_u64(&mut digest, u64::from(a.ways));
+            fnv1a_u64(&mut digest, u64::from(a.mba.percent()));
+        }
+    }
+
+    plan_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if plan_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((plan_ns.len() as f64 - 1.0) * p).round() as usize;
+        plan_ns[idx]
+    };
+    ScaleReport {
+        n_apps: cfg.n_apps,
+        epochs: cfg.epochs,
+        digest,
+        transfers,
+        theta_retries,
+        converges,
+        matching_rounds,
+        plan_ns_p50: pct(0.50),
+        plan_ns_p99: pct(0.99),
+        plan_ns_max: plan_ns.last().copied().unwrap_or(0),
+        role_cache_hits: scratch.explore.cache_hits(),
+        role_cache_misses: scratch.explore.cache_misses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_configs_produce_identical_digests() {
+        let cfg = ScaleConfig::new(64, 40, 0xD16E_5701);
+        let a = run_planner_scale(&cfg);
+        let b = run_planner_scale(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.theta_retries, b.theta_retries);
+        assert_eq!(a.converges, b.converges);
+        assert_eq!(a.matching_rounds, b.matching_rounds);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_planner_scale(&ScaleConfig::new(64, 40, 1));
+        let b = run_planner_scale(&ScaleConfig::new(64, 40, 2));
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn every_epoch_is_accounted_for() {
+        let r = run_planner_scale(&ScaleConfig::new(32, 50, 7));
+        assert_eq!(r.transfers + r.theta_retries + r.converges, 50);
+        assert!(r.plan_ns_p50 <= r.plan_ns_p99);
+        assert!(r.plan_ns_p99 <= r.plan_ns_max);
+    }
+
+    #[test]
+    fn role_cache_sees_hits_under_low_churn() {
+        let r = run_planner_scale(&ScaleConfig::new(256, 30, 11));
+        assert!(
+            r.role_cache_hits > r.role_cache_misses,
+            "low churn should mostly reuse cached roles: {} hits vs {} misses",
+            r.role_cache_hits,
+            r.role_cache_misses
+        );
+    }
+
+    #[test]
+    fn thousand_apps_complete() {
+        let r = run_planner_scale(&ScaleConfig::new(1000, 10, 3));
+        assert_eq!(r.n_apps, 1000);
+        assert_eq!(r.transfers + r.theta_retries + r.converges, 10);
+    }
+}

@@ -41,7 +41,7 @@ impl WaysBudget {
 }
 
 /// The system state `S = {s_0, …, s_(N_A − 1)}`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SystemState {
     /// Per-application allocations, indexed like the managed app list.
     pub allocs: Vec<AllocationState>,
@@ -185,10 +185,25 @@ impl SystemState {
         allow_llc: bool,
         allow_mba: bool,
     ) -> SystemState {
+        let mut next = SystemState { allocs: Vec::new() };
+        self.neighbor_into(budget, rng, allow_llc, allow_mba, &mut next);
+        next
+    }
+
+    /// [`SystemState::neighbor`] into a caller-provided state (its
+    /// allocation buffer is reused), with the identical RNG draw sequence.
+    pub fn neighbor_into(
+        &self,
+        budget: &WaysBudget,
+        rng: &mut XorShift64Star,
+        allow_llc: bool,
+        allow_mba: bool,
+        next: &mut SystemState,
+    ) {
         let n = self.allocs.len();
-        let mut next = self.clone();
+        next.allocs.clone_from(&self.allocs);
         if !allow_llc && !allow_mba {
-            return next;
+            return;
         }
         for _ in 0..64 {
             match rng.gen_range(0..3u8) {
@@ -199,7 +214,7 @@ impl SystemState {
                     if from != to && next.allocs[from].ways > 1 {
                         next.allocs[from].ways -= 1;
                         next.allocs[to].ways += 1;
-                        return next;
+                        return;
                     }
                 }
                 1 if allow_mba => {
@@ -207,7 +222,7 @@ impl SystemState {
                     let up = next.allocs[i].mba.step_up().min(budget.mba_cap);
                     if up != next.allocs[i].mba {
                         next.allocs[i].mba = up;
-                        return next;
+                        return;
                     }
                 }
                 2 if allow_mba => {
@@ -215,13 +230,12 @@ impl SystemState {
                     let down = next.allocs[i].mba.step_down();
                     if down != next.allocs[i].mba {
                         next.allocs[i].mba = down;
-                        return next;
+                        return;
                     }
                 }
                 _ => {}
             }
         }
-        next
     }
 }
 

@@ -17,6 +17,8 @@
 //! checks exactly that equivalence.
 
 use crate::{Hospital, Instance, Matching, Resident};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// A consumer competing for resource categories.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +53,127 @@ impl Allocation {
     }
 }
 
-/// Runs instability chaining.
+/// A tentative holder of a category slot, ordered so a max-heap pops the
+/// *weakest* holder first: lowest priority, ties toward the higher consumer
+/// index — exactly the displacement rule of the reference scan in
+/// [`allocate`].
+#[derive(Debug, Clone, Copy)]
+struct Holder {
+    priority: f64,
+    consumer: usize,
+}
+
+impl PartialEq for Holder {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Holder {}
+impl PartialOrd for Holder {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Holder {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .priority
+            .partial_cmp(&self.priority)
+            .expect("priorities must not be NaN")
+            .then(self.consumer.cmp(&other.consumer))
+    }
+}
+
+/// Reusable buffers for [`allocate_into`]. Holding one of these across
+/// epochs makes repeated chaining runs allocation-free once the buffers
+/// have grown to the instance size.
+#[derive(Debug, Default, Clone)]
+pub struct ChainScratch {
+    /// One tentative-holder heap per category (the indexed replacement for
+    /// the reference scan's `Vec<Vec<usize>>` granted lists).
+    heaps: Vec<BinaryHeap<Holder>>,
+    /// Next preference position each consumer will try after a displacement.
+    cursor: Vec<usize>,
+}
+
+/// Indexed instability chaining: identical contract and byte-identical
+/// output (`assignment` and the returned `rounds`) to [`allocate`], but
+/// each displacement is a heap pop instead of an O(capacity) scan, and all
+/// working storage lives in `scratch` so steady-state calls allocate
+/// nothing. Displacement picks the unique weakest holder under the total
+/// order (priority ascending, then higher index first), so the heap and the
+/// scan select the same consumer at every step.
+///
+/// # Panics
+///
+/// Panics if any preference index is out of range, as [`allocate`] does.
+pub fn allocate_into(
+    capacities: &[usize],
+    consumers: &[Consumer],
+    assignment: &mut Vec<Option<usize>>,
+    scratch: &mut ChainScratch,
+) -> u32 {
+    for c in consumers {
+        for &p in &c.preference {
+            assert!(
+                p < capacities.len(),
+                "preference index {p} out of range ({} categories)",
+                capacities.len()
+            );
+        }
+    }
+
+    if scratch.heaps.len() < capacities.len() {
+        scratch.heaps.resize_with(capacities.len(), BinaryHeap::new);
+    }
+    for h in &mut scratch.heaps[..capacities.len()] {
+        h.clear();
+    }
+    assignment.clear();
+    assignment.resize(consumers.len(), None);
+    scratch.cursor.clear();
+    scratch.cursor.resize(consumers.len(), 0);
+    let mut rounds = 0u32;
+
+    for start in 0..consumers.len() {
+        let mut current = start;
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(&cat) = consumers[current].preference.get(scratch.cursor[current]) else {
+                break;
+            };
+            scratch.cursor[current] += 1;
+            rounds += 1;
+            if capacities[cat] == 0 {
+                continue;
+            }
+            scratch.heaps[cat].push(Holder {
+                priority: consumers[current].priority,
+                consumer: current,
+            });
+            assignment[current] = Some(cat);
+            if scratch.heaps[cat].len() <= capacities[cat] {
+                break;
+            }
+            let displaced = scratch.heaps[cat]
+                .pop()
+                .expect("oversubscribed ⇒ non-empty")
+                .consumer;
+            assignment[displaced] = None;
+            if displaced == current {
+                continue;
+            }
+            current = displaced;
+        }
+    }
+
+    rounds
+}
+
+/// Runs instability chaining — the straightforward reference
+/// implementation ([`allocate_into`] is the indexed, scratch-reusing
+/// equivalent used on the hot path; a differential test and the
+/// `matching-incremental-vs-rebuild` oracle pin the two together).
 ///
 /// `capacities[c]` is the number of grants category `c` can make. Ties in
 /// priority are broken toward the lower consumer index, making the result
@@ -280,6 +402,53 @@ mod tests {
             // index), so the two algorithms agree exactly.
             assert_eq!(matching, reference);
         }
+    }
+
+    /// The indexed heap allocator is byte-identical to the reference scan
+    /// — assignment AND rounds — across a seeded random sweep, with one
+    /// `ChainScratch` reused for every instance in the sweep.
+    #[test]
+    fn indexed_allocator_matches_reference_scan() {
+        let mut rng = XorShift64Star::seed_from_u64(0xC4A1_0003);
+        let mut scratch = ChainScratch::default();
+        let mut assignment = Vec::new();
+        for _ in 0..500 {
+            let ncat = rng.gen_range(1..6usize);
+            let capacities: Vec<usize> = (0..ncat).map(|_| rng.gen_range(0..4usize)).collect();
+            let nconsumers = rng.gen_range(0..12usize);
+            let consumers: Vec<Consumer> = (0..nconsumers)
+                .map(|_| {
+                    let nprefs = rng.gen_range(0..=ncat);
+                    let mut seen = vec![false; ncat];
+                    let preference = (0..nprefs)
+                        .map(|_| rng.gen_range(0..ncat))
+                        .filter(|&c| !std::mem::replace(&mut seen[c], true))
+                        .collect();
+                    Consumer {
+                        // Coarse priorities force plenty of ties.
+                        priority: rng.gen_range(0..6u32) as f64,
+                        preference,
+                    }
+                })
+                .collect();
+            let reference = allocate(&capacities, &consumers);
+            let rounds = allocate_into(&capacities, &consumers, &mut assignment, &mut scratch);
+            assert_eq!(assignment, reference.consumer_to_category);
+            assert_eq!(rounds, reference.rounds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexed_allocator_rejects_out_of_range_preference() {
+        let mut scratch = ChainScratch::default();
+        let mut assignment = Vec::new();
+        let _ = allocate_into(
+            &[1],
+            &[consumer(1.0, vec![3])],
+            &mut assignment,
+            &mut scratch,
+        );
     }
 
     /// Stability: no consumer both lost a category it prefers and

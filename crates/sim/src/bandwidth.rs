@@ -24,6 +24,15 @@ impl BandwidthRequest {
     }
 }
 
+/// Reusable buffers for [`allocate_into`], so steady-state callers (one
+/// bus arbitration per simulated window) allocate nothing after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct AllocScratch {
+    demands: Vec<f64>,
+    active: Vec<usize>,
+    satisfied: Vec<usize>,
+}
+
 /// Allocates `total` bytes/second across the requests with max–min
 /// fairness under each request's cap.
 ///
@@ -33,20 +42,41 @@ impl BandwidthRequest {
 /// * max–min fairness: every unsatisfied application receives the same
 ///   grant, and no application receives more than that.
 pub fn allocate(total: f64, requests: &[BandwidthRequest]) -> Vec<f64> {
+    let mut grants = Vec::new();
+    allocate_into(total, requests, &mut grants, &mut AllocScratch::default());
+    grants
+}
+
+/// [`allocate`], writing into a caller-owned grants vector and reusing
+/// `scratch` across calls. Byte-identical results to [`allocate`].
+pub fn allocate_into(
+    total: f64,
+    requests: &[BandwidthRequest],
+    grants: &mut Vec<f64>,
+    scratch: &mut AllocScratch,
+) {
     let n = requests.len();
-    let mut grants = vec![0.0f64; n];
+    grants.clear();
+    grants.resize(n, 0.0);
     if n == 0 || total <= 0.0 {
-        return grants;
+        return;
     }
 
-    let demands: Vec<f64> = requests.iter().map(|r| r.effective_demand()).collect();
-    let mut active: Vec<usize> = (0..n).filter(|&i| demands[i] > 0.0).collect();
+    let AllocScratch {
+        demands,
+        active,
+        satisfied,
+    } = scratch;
+    demands.clear();
+    demands.extend(requests.iter().map(|r| r.effective_demand()));
+    active.clear();
+    active.extend((0..n).filter(|&i| demands[i] > 0.0));
     let mut remaining = total;
 
     while !active.is_empty() && remaining > 0.0 {
         let fair = remaining / active.len() as f64;
-        let mut satisfied: Vec<usize> = Vec::new();
-        for &i in &active {
+        satisfied.clear();
+        for &i in active.iter() {
             if demands[i] <= fair {
                 satisfied.push(i);
             }
@@ -54,19 +84,18 @@ pub fn allocate(total: f64, requests: &[BandwidthRequest]) -> Vec<f64> {
         if satisfied.is_empty() {
             // Everyone still active wants more than the fair share: split
             // the remainder evenly and stop.
-            for &i in &active {
+            for &i in active.iter() {
                 grants[i] = fair;
             }
-            return grants;
+            return;
         }
-        for &i in &satisfied {
+        for &i in satisfied.iter() {
             grants[i] = demands[i];
             remaining -= demands[i];
         }
         active.retain(|i| !satisfied.contains(i));
         remaining = remaining.max(0.0);
     }
-    grants
 }
 
 #[cfg(test)]

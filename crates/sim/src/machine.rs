@@ -6,7 +6,9 @@ use std::fmt;
 use copart_telemetry::CounterSnapshot;
 
 use crate::cache::{CacheConfig, SampledCache};
-use crate::timing::{self, AppTimingParams, TimingConfig, WindowInputs};
+use crate::timing::{
+    self, AppTimingParams, AppWindowResult, TimingConfig, WindowInputs, WindowScratch,
+};
 use crate::trace::{AccessPattern, TraceGenerator, BURST_LEN};
 use crate::{CbmMask, ClosId, MachineConfig, MaskError, MbaLevel};
 
@@ -126,6 +128,24 @@ struct SimApp {
     mem_traffic_bytes: f64,
 }
 
+/// Reusable per-window buffers so steady-state [`Machine::tick`] calls
+/// stay off the heap: the live-app index, sampling quotas and tallies,
+/// timing inputs/outputs, and the report vector handed back to callers.
+#[derive(Debug, Default)]
+struct TickScratch {
+    live: Vec<usize>,
+    quotas: Vec<u64>,
+    remaining: Vec<u64>,
+    sampled_hits: Vec<u64>,
+    sampled_accesses: Vec<u64>,
+    sampled_writebacks: Vec<u64>,
+    sampled_prefetch_fills: Vec<u64>,
+    timing_in: Vec<(AppTimingParams, WindowInputs)>,
+    solved: Vec<AppWindowResult>,
+    timing: WindowScratch,
+    reports: Vec<WindowReport>,
+}
+
 /// The simulated server.
 ///
 /// A `Machine` owns the shared LLC, the CLOS configuration table, and the
@@ -141,6 +161,7 @@ pub struct Machine {
     apps: Vec<Option<SimApp>>,
     cores_used: u32,
     time_ns: u64,
+    scratch: TickScratch,
 }
 
 impl Machine {
@@ -175,6 +196,7 @@ impl Machine {
             apps: Vec::new(),
             cores_used: 0,
             time_ns: 0,
+            scratch: TickScratch::default(),
         }
     }
 
@@ -391,43 +413,73 @@ impl Machine {
 
     /// Advances virtual time by `window_ns`, simulating one window.
     ///
-    /// Returns one report per live application (admission order).
-    pub fn tick(&mut self, window_ns: u64) -> Vec<WindowReport> {
+    /// Returns one report per live application (admission order); the
+    /// slice is backed by an internal buffer and stays valid until the
+    /// next `tick`. Steady-state ticks reuse all window buffers and do
+    /// not touch the heap.
+    pub fn tick(&mut self, window_ns: u64) -> &[WindowReport] {
+        let Machine {
+            cfg,
+            timing_cfg,
+            cache,
+            clos_table,
+            apps,
+            time_ns,
+            scratch,
+            ..
+        } = self;
+        let TickScratch {
+            live,
+            quotas,
+            remaining,
+            sampled_hits,
+            sampled_accesses,
+            sampled_writebacks,
+            sampled_prefetch_fills,
+            timing_in,
+            solved,
+            timing,
+            reports,
+        } = scratch;
+
         let dt = window_ns as f64 / 1e9;
-        let live: Vec<usize> = (0..self.apps.len())
-            .filter(|&i| self.apps[i].is_some())
-            .collect();
+        live.clear();
+        live.extend((0..apps.len()).filter(|&i| apps[i].is_some()));
+        reports.clear();
         if live.is_empty() {
-            self.time_ns += window_ns;
-            return Vec::new();
+            *time_ns += window_ns;
+            return reports;
         }
 
         // --- Phase 1: sampled cache simulation, interleaved. ---
         // Quota per app: expected accesses this window, reduced by the
         // sampling scale; if any quota exceeds the budget, shrink all
         // proportionally so relative cache pressure is preserved.
-        let mut quotas: Vec<u64> = live
-            .iter()
-            .map(|&i| {
-                let a = self.apps[i].as_ref().expect("live");
-                let expected = a.ips_estimate * a.spec.apki / 1000.0 * dt;
-                (expected / f64::from(self.cfg.scale)).round() as u64
-            })
-            .collect();
+        quotas.clear();
+        quotas.extend(live.iter().map(|&i| {
+            let a = apps[i].as_ref().expect("live");
+            let expected = a.ips_estimate * a.spec.apki / 1000.0 * dt;
+            (expected / f64::from(cfg.scale)).round() as u64
+        }));
         let max_quota = quotas.iter().copied().max().unwrap_or(0);
-        let budget = u64::from(self.cfg.window_sample_budget);
+        let budget = u64::from(cfg.window_sample_budget);
         if max_quota > budget {
             let shrink = budget as f64 / max_quota as f64;
-            for q in &mut quotas {
+            for q in quotas.iter_mut() {
                 *q = ((*q as f64) * shrink).round() as u64;
             }
         }
 
-        let mut sampled_hits = vec![0u64; live.len()];
-        let mut sampled_accesses = vec![0u64; live.len()];
-        let mut sampled_writebacks = vec![0u64; live.len()];
-        let mut sampled_prefetch_fills = vec![0u64; live.len()];
-        let mut remaining = quotas.clone();
+        sampled_hits.clear();
+        sampled_hits.resize(live.len(), 0);
+        sampled_accesses.clear();
+        sampled_accesses.resize(live.len(), 0);
+        sampled_writebacks.clear();
+        sampled_writebacks.resize(live.len(), 0);
+        sampled_prefetch_fills.clear();
+        sampled_prefetch_fills.resize(live.len(), 0);
+        remaining.clear();
+        remaining.extend_from_slice(quotas);
         loop {
             let mut any = false;
             for (k, &i) in live.iter().enumerate() {
@@ -437,14 +489,14 @@ impl Machine {
                 any = true;
                 let burst = remaining[k].min(u64::from(BURST_LEN));
                 remaining[k] -= burst;
-                let a = self.apps[i].as_mut().expect("live");
+                let a = apps[i].as_mut().expect("live");
                 let clos = a.clos;
-                let cc = self.clos_table[&clos];
+                let cc = clos_table[&clos];
                 let base = u64::from(i as u32 + 1) << 44;
                 for _ in 0..burst {
                     let addr = base + a.gen.next_addr();
                     let is_write = a.gen.flip(a.spec.write_fraction);
-                    let out = self.cache.access(clos, cc.mask, addr, is_write);
+                    let out = cache.access(clos, cc.mask, addr, is_write);
                     sampled_accesses[k] += 1;
                     if out.hit {
                         sampled_hits[k] += 1;
@@ -452,10 +504,8 @@ impl Machine {
                     if out.writeback {
                         sampled_writebacks[k] += 1;
                     }
-                    if !out.hit && self.cfg.prefetch_next_line {
-                        let pf = self
-                            .cache
-                            .prefetch(clos, cc.mask, addr + self.cfg.line_bytes);
+                    if !out.hit && cfg.prefetch_next_line {
+                        let pf = cache.prefetch(clos, cc.mask, addr + cfg.line_bytes);
                         if !pf.hit {
                             sampled_prefetch_fills[k] += 1;
                         }
@@ -471,9 +521,9 @@ impl Machine {
         }
 
         // --- Phase 2: timing fixed point. ---
-        let mut timing_in = Vec::with_capacity(live.len());
+        timing_in.clear();
         for (k, &i) in live.iter().enumerate() {
-            let a = self.apps[i].as_mut().expect("live");
+            let a = apps[i].as_mut().expect("live");
             if sampled_accesses[k] > 0 {
                 let mr = 1.0 - sampled_hits[k] as f64 / sampled_accesses[k] as f64;
                 let wb = sampled_writebacks[k] as f64 / sampled_accesses[k] as f64;
@@ -491,7 +541,7 @@ impl Machine {
             } else {
                 0.0
             };
-            let cc = self.clos_table[&a.clos];
+            let cc = clos_table[&a.clos];
             timing_in.push((
                 AppTimingParams {
                     cores: a.spec.cores,
@@ -502,28 +552,27 @@ impl Machine {
                 WindowInputs {
                     miss_ratio: a.miss_ratio,
                     wb_per_access: a.wb_per_access + prefetch_per_access,
-                    bw_cap: self.cfg.mba_bandwidth_cap(a.spec.cores, cc.mba),
-                    lat_factor: self.cfg.mba_latency_factor(cc.mba),
+                    bw_cap: cfg.mba_bandwidth_cap(a.spec.cores, cc.mba),
+                    lat_factor: cfg.mba_latency_factor(cc.mba),
                 },
             ));
         }
-        let solved = timing::solve_window(&self.timing_cfg, &timing_in);
+        timing::solve_window_into(timing_cfg, timing_in, solved, timing);
 
         // --- Phase 3: advance PMCs. ---
-        let mut reports = Vec::with_capacity(live.len());
         for (k, &i) in live.iter().enumerate() {
-            let a = self.apps[i].as_mut().expect("live");
+            let a = apps[i].as_mut().expect("live");
             let r = solved[k];
             let instr = r.ips * dt;
             let accesses = instr * a.spec.apki / 1000.0;
             a.instructions += instr;
             a.accesses += accesses;
             a.misses += accesses * a.miss_ratio;
-            a.cycles += f64::from(a.spec.cores) * self.cfg.freq_hz * dt;
+            a.cycles += f64::from(a.spec.cores) * cfg.freq_hz * dt;
             // Achieved memory traffic: bounded by the bandwidth grant, so
             // this is what a memory-bandwidth monitor would count.
             a.mem_traffic_bytes +=
-                accesses * (a.miss_ratio + a.wb_per_access) * self.cfg.line_bytes as f64;
+                accesses * (a.miss_ratio + a.wb_per_access) * cfg.line_bytes as f64;
             a.ips_estimate = r.ips;
             reports.push(WindowReport {
                 app: AppHandle(i as u32),
@@ -533,7 +582,7 @@ impl Machine {
                 granted_bw: r.granted_bw,
             });
         }
-        self.time_ns += window_ns;
+        *time_ns += window_ns;
         reports
     }
 

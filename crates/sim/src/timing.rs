@@ -16,7 +16,7 @@
 //!   where grants come from the max–min fair bus model under each
 //!   application's MBA cap.
 
-use crate::bandwidth::{self, BandwidthRequest};
+use crate::bandwidth::{self, AllocScratch, BandwidthRequest};
 
 /// Machine-level constants the timing model needs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +72,16 @@ pub struct AppWindowResult {
     pub congestion: f64,
 }
 
+/// Reusable buffers for [`solve_window_into`]: the per-application
+/// intermediates of the roofline solve plus the bus-arbitration scratch.
+#[derive(Debug, Default, Clone)]
+pub struct WindowScratch {
+    bytes_per_inst: Vec<f64>,
+    requests: Vec<BandwidthRequest>,
+    grants: Vec<f64>,
+    bw: AllocScratch,
+}
+
 /// Solves the window roofline for all applications jointly.
 ///
 /// Applications with zero miss traffic are purely compute-bound and come
@@ -82,18 +92,37 @@ pub fn solve_window(
     cfg: &TimingConfig,
     apps: &[(AppTimingParams, WindowInputs)],
 ) -> Vec<AppWindowResult> {
+    let mut results = Vec::new();
+    solve_window_into(cfg, apps, &mut results, &mut WindowScratch::default());
+    results
+}
+
+/// [`solve_window`], writing into a caller-owned results vector and
+/// reusing `scratch` across windows. Byte-identical to [`solve_window`].
+pub fn solve_window_into(
+    cfg: &TimingConfig,
+    apps: &[(AppTimingParams, WindowInputs)],
+    results: &mut Vec<AppWindowResult>,
+    scratch: &mut WindowScratch,
+) {
     let n = apps.len();
-    let mut results = Vec::with_capacity(n);
+    results.clear();
     if n == 0 {
-        return results;
+        return;
     }
 
     let lat_cycles_base = cfg.mem_latency_ns * 1e-9 * cfg.freq_hz;
 
     // Latency-bound pass: MBA-inflated latency → unconstrained IPS and the
     // memory traffic that IPS would generate.
-    let mut bytes_per_inst = Vec::with_capacity(n);
-    let mut requests = Vec::with_capacity(n);
+    let WindowScratch {
+        bytes_per_inst,
+        requests,
+        grants,
+        bw,
+    } = scratch;
+    bytes_per_inst.clear();
+    requests.clear();
     for (p, w) in apps {
         let misses_per_inst = (p.apki / 1000.0) * w.miss_ratio.clamp(0.0, 1.0);
         // MLP below 1 models dependent-miss chains (each miss costs more
@@ -119,7 +148,7 @@ pub fn solve_window(
 
     // Bandwidth-bound pass: grants clamp IPS from above. Grants never
     // exceed demand, so the clamp can only lower IPS.
-    let grants = bandwidth::allocate(cfg.total_bw, &requests);
+    bandwidth::allocate_into(cfg.total_bw, requests, grants, bw);
     for i in 0..n {
         results[i].granted_bw = grants[i];
         if results[i].demand_bw > 0.0 {
@@ -132,7 +161,6 @@ pub fn solve_window(
             }
         }
     }
-    results
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Performance-regression gate for the CoPart reproduction.
+#
+# Runs the artifact-emitting benchmarks (explore_overhead, matching)
+# with BENCH_JSON_DIR set, then gates each fresh BENCH_*.json against
+# the checked-in baseline in crates/bench/baselines/ using
+# `copart bench-report`:
+#
+#   - *_ns latencies may regress up to the tolerance ratio
+#     (COPART_BENCH_TOLERANCE, default 3.0 — shared CI runners are
+#     noisy; an order-of-magnitude blowup still fails);
+#   - fields containing "allocs" are exact counts (baseline + 0.5);
+#   - *_per_sec throughputs must stay above baseline / tolerance;
+#   - string fields (schema, decision digests) must match exactly.
+#
+# Bless workflow — after an intentional perf or decision change:
+#
+#   UPDATE_BENCH=1 scripts/bench_gate.sh
+#
+# copies the fresh artifacts over the baselines; commit the diff and
+# say why in the commit message. CI re-runs this script and uploads
+# the fresh artifacts whether or not the gate passes.
+#
+# BENCH_JSON_DIR overrides where fresh artifacts land (default
+# target/bench). The script is std-toolchain only.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo bench runs the binaries with the *package*
+# directory as cwd, so a relative BENCH_JSON_DIR would silently land
+# under crates/bench/ and the gate would compare stale artifacts.
+out_dir="${BENCH_JSON_DIR:-target/bench}"
+case "$out_dir" in
+/*) ;;
+*) out_dir="$PWD/$out_dir" ;;
+esac
+baseline_dir="crates/bench/baselines"
+benches=(explore_overhead matching)
+
+echo "==> running artifact benches into $out_dir"
+mkdir -p "$out_dir"
+for b in "${benches[@]}"; do
+    BENCH_JSON_DIR="$out_dir" cargo bench -q -p copart-bench --bench "$b" >/dev/null
+done
+
+shopt -s nullglob
+artifacts=("$out_dir"/BENCH_*.json)
+if [ "${#artifacts[@]}" -eq 0 ]; then
+    echo "bench_gate: no BENCH_*.json produced in $out_dir" >&2
+    exit 1
+fi
+
+if [ "${UPDATE_BENCH:-0}" = "1" ]; then
+    mkdir -p "$baseline_dir"
+    for f in "${artifacts[@]}"; do
+        cp "$f" "$baseline_dir/$(basename "$f")"
+        echo "blessed $baseline_dir/$(basename "$f")"
+    done
+    echo "bench_gate: baselines updated — commit the diff"
+    exit 0
+fi
+
+status=0
+for f in "${artifacts[@]}"; do
+    base="$baseline_dir/$(basename "$f")"
+    if [ ! -f "$base" ]; then
+        echo "bench_gate: missing baseline $base (run UPDATE_BENCH=1 $0)" >&2
+        status=1
+        continue
+    fi
+    echo "==> gating $(basename "$f")"
+    cargo run -q --release -p copart-cli -- bench-report \
+        --current "$f" --baseline "$base" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "bench_gate: FAILED — see regressions above" >&2
+    echo "bench_gate: if the change is intentional: UPDATE_BENCH=1 $0" >&2
+    exit 1
+fi
+echo "bench_gate: all artifacts within baseline"

@@ -15,10 +15,10 @@
 #                     `#![warn(missing_docs)]` satisfied on every crate),
 #                     the copart-check suite at the full fuzz budget
 #                     (COPART_CHECK_CASES=512) with a jobs-1-vs-8 report
-#                     byte-comparison, the chaos gate, and the
-#                     explore-overhead benchmark, which prints the
-#                     per-epoch heap allocation count of `run_period`
-#                     against the recorded baseline.
+#                     byte-comparison, the chaos gate, and the perf
+#                     gate (scripts/bench_gate.sh), which runs the
+#                     artifact benches and diffs their BENCH_*.json
+#                     against the checked-in baselines.
 #
 # COPART_CHECK_CASES overrides either budget from the environment.
 #
@@ -75,10 +75,8 @@ full)
     echo "==> chaos gate (fault injection, REPRO_FAST)"
     REPRO_FAST=1 scripts/chaos.sh release
 
-    echo "==> explore-overhead benchmark (per-epoch allocation count)"
-    cargo bench -p copart-bench --bench explore_overhead 2>&1 \
-        | grep -E "heap allocations|WARNING" \
-        || { echo "explore_overhead produced no allocation report" >&2; exit 1; }
+    echo "==> perf gate (BENCH_*.json vs crates/bench/baselines)"
+    scripts/bench_gate.sh
     ;;
 *)
     echo "usage: $0 [quick|full]" >&2

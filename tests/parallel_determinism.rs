@@ -133,6 +133,49 @@ fn fig12_sweep_traces_identical_at_1_and_8_jobs() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The planner-scale harness at 1000 applications: the decision digest
+/// (an FNV-1a fold over every epoch's decision and resulting
+/// allocation) must be identical whether the shards run serially or on
+/// eight workers, and identical run-to-run. Timing fields are excluded
+/// — only the decision-relevant outputs are compared.
+#[test]
+fn planner_scale_digests_identical_at_1_and_8_jobs() {
+    use copart_core::scale::{run_planner_scale, ScaleConfig, ScaleReport};
+
+    // Decision-relevant projection of a report (drops wall-clock fields).
+    fn decisions(r: &ScaleReport) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            r.digest,
+            r.transfers,
+            r.theta_retries,
+            r.converges,
+            r.matching_rounds,
+            r.role_cache_hits,
+            r.role_cache_misses,
+        )
+    }
+
+    let cfgs: Vec<ScaleConfig> = (0..4u64)
+        .map(|i| ScaleConfig::new(1000, 10, 0xA11C0 + i))
+        .collect();
+    let serial: Vec<_> = with_jobs(1, || copart_parallel::par_map(&cfgs, run_planner_scale))
+        .iter()
+        .map(decisions)
+        .collect();
+    let parallel: Vec<_> = with_jobs(8, || copart_parallel::par_map(&cfgs, run_planner_scale))
+        .iter()
+        .map(decisions)
+        .collect();
+    assert_eq!(
+        serial, parallel,
+        "1000-app planner-scale decisions must match between --jobs 1 and --jobs 8"
+    );
+    // The digest is not degenerate: distinct seeds take distinct paths.
+    for w in serial.windows(2) {
+        assert_ne!(w[0].0, w[1].0, "digests must differ across seeds");
+    }
+}
+
 /// The fault plan the cross-jobs contract is checked under: every
 /// transient site armed. (No vanish — group disappearance aborts whole
 /// profiling passes, which this test is not about; `fault_soak`
