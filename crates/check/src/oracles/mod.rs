@@ -5,6 +5,7 @@ pub mod fsm;
 pub mod incremental;
 pub mod json;
 pub mod matching;
+pub mod persistence;
 pub mod schemata;
 pub mod sim_counters;
 
@@ -23,6 +24,7 @@ pub fn all() -> Vec<Property> {
     props.extend(fsm::properties());
     props.extend(sim_counters::properties());
     props.extend(ewma::properties());
+    props.extend(persistence::properties());
     props
 }
 
@@ -48,6 +50,7 @@ mod tests {
             "fsm-dual-vs-table",
             "sim-counter-bounds",
             "ewma-reference",
+            "snapshot-restore-replay",
         ]
         .into_iter()
         .collect();

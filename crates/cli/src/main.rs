@@ -42,6 +42,15 @@ Commands:
                            policies only), e.g. seed=7,write=0.1,dropout=0.05
                            keys: seed, dropout, cbm, mba, write, vanish,
                            stall; values: probability, 1/<n>, or off
+      --state-dir <dir>    crash-safe persistence: epoch snapshots plus an
+                           event log (dynamic policies, up to 6 apps);
+                           --epochs <n> sets the control epoch count
+                           (default derived from --seconds),
+                           --snapshot-every <n> the snapshot cadence
+                           (default 16), --kill-at-epoch <k> stops dead
+                           after k epochs (simulated SIGKILL), and
+                           --resume recovers from the state directory and
+                           finishes the run with byte-identical traces
   serve            Run the always-on control daemon (HTTP API + /metrics)
       --mix, --policy (dynamic only), --apps, --seed    as in sim-run
       --port <n>           listen port (default 0 = ephemeral)
@@ -50,12 +59,19 @@ Commands:
       --epochs <n>         stop epoching after n (default 0 = unbounded)
       --faults <spec>      deterministic fault injection, as in sim-run
       --trace-dir <path>   write rotating JSONL trace files
+      --state-dir <dir>    crash-safe persistence; a restarted daemon
+                           resumes the run from its latest snapshot
+      --snapshot-every <n> epochs between daemon snapshots (default 64;
+                           0 = only at shutdown and POST /snapshot)
                            stop it with: curl -X POST <addr>/shutdown
   load             Hammer a daemon's read API (status/metrics/trace)
       --addr <host:port> [--requests <n>] [--concurrency <n>]
   trace-check      Validate a JSONL decision trace (parses, gapless
                    epochs, monotone time) — the CI smoke gate
       --path <file> [--min-events <n>]
+      --reference <file>   additionally require the trace to be
+                           byte-identical to a reference trace (the
+                           crash-recovery CI gate)
   bench-report     Pretty-print a BENCH_*.json perf artifact, or gate it
                    against a baseline (used by scripts/bench_gate.sh)
       --current <file> [--baseline <file>] [--tolerance <ratio>]
@@ -80,7 +96,7 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match args::Options::parse_with_flags(rest, &["metrics"]) {
+    let opts = match args::Options::parse_with_flags(rest, &["metrics", "resume"]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n");

@@ -29,6 +29,8 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         tick: Duration::from_millis(tick_ms),
         max_epochs: (epochs > 0).then_some(epochs),
         trace_dir: opts.get("trace-dir").map(Into::into),
+        state_dir: opts.get("state-dir").map(Into::into),
+        snapshot_every: opts.number("snapshot-every", ServeConfig::default().snapshot_every)?,
         ..ServeConfig::default()
     };
 

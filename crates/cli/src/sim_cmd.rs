@@ -5,10 +5,12 @@ use copart_core::runtime::ConsolidationRuntime;
 use copart_core::scale::{run_planner_scale, ScaleConfig};
 use copart_faults::{FaultPlan, FaultyBackend};
 use copart_rdt::{ClosId, RdtBackend, SimBackend};
+use copart_serve::Scenario;
 use copart_sim::{AppSpec, Machine, MachineConfig};
 use copart_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{measure, Benchmark, MixKind, WorkloadMix};
+use std::path::PathBuf;
 
 use crate::args::Options;
 
@@ -66,6 +68,11 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
             Ok(n) if n > 0 => copart_parallel::set_jobs(Some(n)),
             _ => return Err(format!("option --jobs: cannot parse {jobs:?}")),
         }
+    }
+    if opts.get("state-dir").is_some() {
+        // Crash-safe persistence: hand the run to the kill/resume
+        // harness instead of the one-shot evaluation.
+        return sim_run_persisted(opts, mix_kind, policy, n_apps, seconds);
     }
 
     let machine = MachineConfig::xeon_gold_6130();
@@ -157,6 +164,79 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
     println!("  throughput (geomean IPS):      {:.3e}", r.throughput);
     for (spec, slowdown) in specs.iter().zip(&r.slowdowns) {
         println!("  {:<16} slowdown {slowdown:.3}", spec.name);
+    }
+    Ok(())
+}
+
+/// The `--state-dir` path of `sim-run`: the crash-safe kill/resume
+/// harness. The run snapshots every `--snapshot-every` epochs and logs
+/// every epoch in between; `--kill-at-epoch K` stops dead after K
+/// epochs (no final snapshot — a simulated SIGKILL), and `--resume`
+/// recovers from the state directory and continues, extending the trace
+/// to bytes identical with an uninterrupted run.
+fn sim_run_persisted(
+    opts: &Options,
+    mix: MixKind,
+    policy: PolicyKind,
+    n_apps: usize,
+    seconds: f64,
+) -> Result<(), String> {
+    let state_dir = PathBuf::from(opts.required("state-dir")?);
+    std::fs::create_dir_all(&state_dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
+    let seed: u64 = opts.number("seed", copart_core::CoPartParams::default().seed)?;
+    let faults = opts
+        .get("faults")
+        .map(|spec| FaultPlan::parse(spec).map_err(|e| format!("option --faults: {e}")))
+        .transpose()?;
+    let scenario = Scenario::new(mix, n_apps, policy, seed, faults)?;
+
+    let period_s = copart_core::CoPartParams::default().period.as_secs_f64();
+    let default_epochs = ((seconds / period_s).ceil() as u64).max(1);
+    let epochs: u64 = opts.number("epochs", default_epochs)?;
+    if epochs == 0 {
+        return Err("--epochs must be positive".into());
+    }
+    let snapshot_every: u64 = opts.number("snapshot-every", 16u64)?;
+    let kill_at: Option<u64> = opts
+        .get("kill-at-epoch")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("option --kill-at-epoch: cannot parse {s:?}"))
+        })
+        .transpose()?;
+    let trace_path = opts
+        .get("trace-out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| state_dir.join("trace.jsonl"));
+
+    let outcome = copart_serve::harness_run(
+        &scenario,
+        epochs,
+        kill_at,
+        &state_dir,
+        snapshot_every,
+        &trace_path,
+        opts.flag("resume"),
+        &[],
+    )?;
+    if outcome.killed {
+        println!(
+            "killed at epoch {} of {epochs}; state in {} (rerun with --resume to finish)",
+            outcome.epochs_done,
+            state_dir.display()
+        );
+    } else {
+        println!(
+            "run complete: {} epochs, trace {}, state {}",
+            outcome.epochs_done,
+            trace_path.display(),
+            state_dir.display()
+        );
+    }
+    if opts.flag("metrics") {
+        println!("\nmetrics:");
+        print!("{}", outcome.metrics);
     }
     Ok(())
 }
@@ -324,12 +404,44 @@ pub fn trace_check(opts: &Options) -> Result<(), String> {
         .iter()
         .filter(|e| e.decision == copart_telemetry::TraceDecision::Profiled)
         .count();
+    if let Some(reference) = opts.get("reference") {
+        check_reference(path, reference)?;
+    }
     println!(
         "{path}: OK — {} events, epochs 0..{} gapless, {profiled} profiling probes",
         events.len(),
         events.len().saturating_sub(1),
     );
     Ok(())
+}
+
+/// The `--reference` mode of `trace-check`: the trace must be
+/// byte-identical to a known-good trace — the determinism contract a
+/// recovered run is held to (scripts/recovery.sh diffs a kill/resume
+/// trace against its uninterrupted reference with this).
+fn check_reference(path: &str, reference: &str) -> Result<(), String> {
+    let got = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let want = std::fs::read(reference).map_err(|e| format!("{reference}: {e}"))?;
+    if got == want {
+        println!(
+            "{path}: byte-identical to reference {reference} ({} bytes)",
+            got.len()
+        );
+        return Ok(());
+    }
+    let got_lines: Vec<&[u8]> = got.split(|&b| b == b'\n').collect();
+    let want_lines: Vec<&[u8]> = want.split(|&b| b == b'\n').collect();
+    let line = got_lines
+        .iter()
+        .zip(want_lines.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or(got_lines.len().min(want_lines.len()));
+    Err(format!(
+        "{path}: differs from reference {reference} at line {} ({} vs {} bytes)",
+        line + 1,
+        got.len(),
+        want.len()
+    ))
 }
 
 /// `copart classify`: the §3.3 probes for one benchmark.

@@ -58,7 +58,9 @@ pub use classifier::{Classifier, DualFsmClassifier};
 pub use fsm::{AppState, ResourceEvent};
 pub use metrics::{geomean, unfairness};
 pub use params::CoPartParams;
-pub use planner::{PlanContext, PolicyEngine, PolicyPlan};
-pub use runtime::{ConsolidationRuntime, ManagedApp, PeriodRecord, Phase};
-pub use sensor::{Sensor, SensorReading, WindowedSensor};
+pub use planner::{ExplorerSnapshot, PlanContext, PolicyEngine, PolicyPlan};
+pub use runtime::{
+    AppRuntimeSnapshot, ConsolidationRuntime, ManagedApp, PeriodRecord, Phase, RuntimeSnapshot,
+};
+pub use sensor::{Sensor, SensorReading, SensorSnapshot, WindowedSensor};
 pub use state::{AllocationState, SystemState, WaysBudget};

@@ -281,6 +281,42 @@ impl Explorer {
     pub fn should_reexplore(&self, current_unfairness: f64) -> bool {
         current_unfairness > self.unfairness_at_idle * 1.5 + 0.02
     }
+
+    /// Captures the explorer's complete state — RNG stream position,
+    /// retry budget, idle threshold, and best state seen — for crash
+    /// recovery.
+    pub fn snapshot(&self) -> ExplorerSnapshot {
+        ExplorerSnapshot {
+            rng_state: self.rng.state(),
+            retry_count: self.retry_count,
+            unfairness_at_idle: self.unfairness_at_idle,
+            best_seen: self.best_seen.clone(),
+        }
+    }
+
+    /// Rebuilds an explorer from a captured state; planning resumes with
+    /// the identical RNG draw sequence.
+    pub fn from_snapshot(snap: &ExplorerSnapshot) -> Explorer {
+        Explorer {
+            rng: XorShift64Star::from_state(snap.rng_state),
+            retry_count: snap.retry_count,
+            unfairness_at_idle: snap.unfairness_at_idle,
+            best_seen: snap.best_seen.clone(),
+        }
+    }
+}
+
+/// Frozen state of an [`Explorer`] (see [`Explorer::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerSnapshot {
+    /// Raw RNG state word.
+    pub rng_state: u64,
+    /// θ-retries consumed in the current exploration.
+    pub retry_count: u32,
+    /// Unfairness at the last idle transition (§5.4.3 drift baseline).
+    pub unfairness_at_idle: f64,
+    /// Best `(unfairness, state)` observed this exploration.
+    pub best_seen: Option<(f64, SystemState)>,
 }
 
 /// Everything a policy engine may consult when planning a run: the

@@ -40,8 +40,8 @@ use crate::classifier::{
 use crate::fsm::AppState;
 use crate::metrics;
 use crate::next_state::{AppClassification, AppliedEvents};
-use crate::planner::{Explorer, PlanDecision, PlanScratch};
-use crate::sensor::{Sensor, WindowedSensor};
+use crate::planner::{Explorer, ExplorerSnapshot, PlanDecision, PlanScratch};
+use crate::sensor::{Sensor, SensorSnapshot, WindowedSensor};
 use crate::state::{SystemState, WaysBudget};
 use crate::CoPartParams;
 
@@ -160,6 +160,55 @@ pub struct RuntimeConfig {
     pub resilience: ResilienceConfig,
 }
 
+/// Frozen controller state of one managed application inside a
+/// [`RuntimeSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRuntimeSnapshot {
+    /// Raw CLOS id of the application's group.
+    pub group: u16,
+    /// Display name.
+    pub name: String,
+    /// `IPS_full` from profiling.
+    pub ips_full: f64,
+    /// Fairness weight.
+    pub weight: f64,
+    /// Sensing state (window samples + degraded-mode smoothers).
+    pub sensor: SensorSnapshot,
+    /// LLC classifier FSM state.
+    pub llc_state: AppState,
+    /// MBA classifier FSM state.
+    pub mba_state: AppState,
+    /// IPS of the period before last.
+    pub prev_ips: f64,
+    /// IPS of the last period.
+    pub last_ips: f64,
+    /// Transfer events applied at the end of the last period.
+    pub last_events: AppliedEvents,
+}
+
+/// Frozen controller state of a [`ConsolidationRuntime`], captured at an
+/// epoch boundary. Together with a faithfully restored backend this
+/// resumes the control loop bit-identically: same decisions, same RNG
+/// draws, same trace events.
+///
+/// Deliberately *not* captured (recovery invariants, DESIGN.md §16):
+/// planner/epoch scratch buffers (purely derived; rebuilt from defaults)
+/// and the wall-clock latency histograms (`*_ns` metrics, which measure
+/// the host, not the simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSnapshot {
+    /// The epoch counter (periods + profiling probes so far).
+    pub epoch: u64,
+    /// Controller phase.
+    pub phase: Phase,
+    /// System state currently in force.
+    pub state: SystemState,
+    /// Exploration state (RNG position, retries, best seen).
+    pub explorer: ExplorerSnapshot,
+    /// Per-application controller state, in management order.
+    pub apps: Vec<AppRuntimeSnapshot>,
+}
+
 /// Reusable per-epoch buffers, so the hot path does not reallocate the
 /// same vectors every period.
 #[derive(Debug, Default)]
@@ -276,6 +325,12 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.phase
     }
 
+    /// The monotone epoch counter (one per control period plus one per
+    /// profiling probe) — the chaining key for event-sourced recovery.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
@@ -310,6 +365,87 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// A point-in-time copy of every metric.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Captures the controller's complete state for crash recovery.
+    /// Meant to be taken at an epoch boundary (between `run_period`
+    /// calls); pair with a backend snapshot taken at the same moment.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            epoch: self.epoch,
+            phase: self.phase,
+            state: self.state.clone(),
+            explorer: self.explorer.snapshot(),
+            apps: self
+                .apps
+                .iter()
+                .map(|a| {
+                    let (llc_state, mba_state) = a.classifier.states();
+                    AppRuntimeSnapshot {
+                        group: a.group.0,
+                        name: a.name.clone(),
+                        ips_full: a.ips_full,
+                        weight: a.weight,
+                        sensor: a.sensor.snapshot(),
+                        llc_state,
+                        mba_state,
+                        prev_ips: a.prev_ips,
+                        last_ips: a.last_ips,
+                        last_events: a.last_events,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrites the controller's state from a snapshot. The backend
+    /// must already hold the matching state (partition table, clock,
+    /// application state) — this method touches only the controller side
+    /// and performs no backend writes. Scratch buffers are reset to
+    /// defaults; they are purely derived and rebuilt on the next period.
+    pub fn restore_snapshot(&mut self, snap: &RuntimeSnapshot) {
+        self.apps = snap
+            .apps
+            .iter()
+            .map(|a| {
+                let mut app = ManagedApp::new(ClosId(a.group), a.name.clone());
+                app.ips_full = a.ips_full;
+                app.weight = a.weight;
+                app.sensor = WindowedSensor::from_snapshot(&a.sensor);
+                app.classifier.reset(a.llc_state, a.mba_state);
+                app.prev_ips = a.prev_ips;
+                app.last_ips = a.last_ips;
+                app.last_events = a.last_events;
+                app
+            })
+            .collect();
+        self.groups = self.apps.iter().map(|a| a.group).collect();
+        self.state = snap.state.clone();
+        self.phase = snap.phase;
+        self.explorer = Explorer::from_snapshot(&snap.explorer);
+        self.epoch = snap.epoch;
+        self.scratch = EpochScratch::default();
+    }
+
+    /// Replaces the configuration without the [`reconfigure`] restart:
+    /// no equal split, no backend writes, no re-profiling. This is the
+    /// recovery path's companion to [`restore_snapshot`] — a live policy
+    /// switch before the snapshot leaves the dead process running under a
+    /// different configuration than the boot scenario describes, and the
+    /// restored state must be interpreted under *that* configuration, not
+    /// re-adapted from scratch.
+    ///
+    /// The explorer is untouched (restore it from the snapshot).
+    ///
+    /// [`reconfigure`]: ConsolidationRuntime::reconfigure
+    /// [`restore_snapshot`]: ConsolidationRuntime::restore_snapshot
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new parameters are invalid.
+    pub fn restore_config(&mut self, cfg: RuntimeConfig) {
+        cfg.params.assert_valid();
+        self.cfg = cfg;
     }
 
     /// Sets an application's fairness weight (default 1.0). Takes effect
@@ -1123,6 +1259,36 @@ mod tests {
         assert_eq!(rt.phase(), Phase::Exploring);
         let r = rt.run_period().unwrap();
         assert_eq!(r.apps.len(), n_before - 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut original = make_runtime(MixKind::ModerateBoth);
+        original.profile().unwrap();
+        original.run_periods(9).unwrap();
+        let rt_snap = original.snapshot();
+        let machine_snap = original.backend().machine().snapshot();
+        let (groups, next_clos) = original.backend().export_groups();
+
+        // Recovery path: construct a fresh runtime (which applies the
+        // equal split), then overwrite the backend and controller state
+        // from the snapshots.
+        let mut resumed = make_runtime(MixKind::ModerateBoth);
+        resumed
+            .backend_mut()
+            .machine_mut()
+            .restore(&machine_snap)
+            .unwrap();
+        resumed.backend_mut().import_groups(&groups, next_clos);
+        resumed.restore_snapshot(&rt_snap);
+        assert_eq!(resumed.epoch(), original.epoch());
+        assert_eq!(resumed.phase(), original.phase());
+        for _ in 0..15 {
+            let a = original.run_period().unwrap();
+            let b = resumed.run_period().unwrap();
+            assert_eq!(a, b, "period records diverge after restore");
+        }
+        assert_eq!(original.snapshot(), resumed.snapshot());
     }
 
     #[test]

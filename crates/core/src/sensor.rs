@@ -141,6 +141,19 @@ pub trait Sensor {
     fn reset(&mut self);
 }
 
+/// Frozen state of a [`WindowedSensor`]: the retained counter samples and
+/// the four degraded-mode smoother values (ips, accesses/s, misses/s,
+/// miss ratio — in that order). Restoring it resumes sensing bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorSnapshot {
+    /// The sampling window's capacity.
+    pub capacity: usize,
+    /// Retained counter snapshots, oldest first.
+    pub samples: Vec<CounterSnapshot>,
+    /// EWMA values: `[ips, accesses/s, misses/s, miss_ratio]`.
+    pub ewma: [Option<f64>; 4],
+}
+
 /// The default sensor: a bounded [`SlidingWindow`] of snapshots plus the
 /// `RatesEwma` dropout bridge.
 #[derive(Debug)]
@@ -156,6 +169,33 @@ impl WindowedSensor {
             window: SlidingWindow::new(capacity),
             ewma: RatesEwma::new(),
         }
+    }
+
+    /// Captures the sensor's complete state.
+    pub fn snapshot(&self) -> SensorSnapshot {
+        SensorSnapshot {
+            capacity: self.window.capacity(),
+            samples: self.window.samples().copied().collect(),
+            ewma: [
+                self.ewma.ips.value(),
+                self.ewma.accesses.value(),
+                self.ewma.misses.value(),
+                self.ewma.miss_ratio.value(),
+            ],
+        }
+    }
+
+    /// Rebuilds a sensor from a captured state.
+    pub fn from_snapshot(snap: &SensorSnapshot) -> WindowedSensor {
+        let mut sensor = WindowedSensor::new(snap.capacity);
+        for s in &snap.samples {
+            sensor.window.push(*s);
+        }
+        sensor.ewma.ips.restore(snap.ewma[0]);
+        sensor.ewma.accesses.restore(snap.ewma[1]);
+        sensor.ewma.misses.restore(snap.ewma[2]);
+        sensor.ewma.miss_ratio.restore(snap.ewma[3]);
+        sensor
     }
 }
 

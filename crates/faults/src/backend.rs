@@ -94,6 +94,33 @@ pub struct FaultyBackend<B: RdtBackend> {
     vanish: Site,
     stall: Site,
     stats: InjectionStats,
+    /// When disarmed, every call forwards transparently and no site
+    /// advances its stream — used during crash-recovery reconstruction so
+    /// bookkeeping calls do not consume fault-site draws.
+    armed: bool,
+}
+
+/// Frozen state of one injection site: the RNG stream position and the
+/// call counter. The trigger itself is part of the [`FaultPlan`] and is
+/// not captured here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSnapshot {
+    /// Raw RNG state word of the site's private stream.
+    pub rng_state: u64,
+    /// How many calls the site has registered.
+    pub calls: u64,
+}
+
+/// Frozen fault-injection state of a [`FaultyBackend`]: the five sites
+/// (dropout, write-cbm, write-mba, vanish, stall — in that order) and the
+/// cumulative injection statistics. Restoring it onto a backend built
+/// from the same [`FaultPlan`] resumes the fault schedule exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStateSnapshot {
+    /// Per-site stream positions, in site order.
+    pub sites: [SiteSnapshot; 5],
+    /// Cumulative injection counts.
+    pub stats: InjectionStats,
 }
 
 impl<B: RdtBackend> FaultyBackend<B> {
@@ -107,7 +134,57 @@ impl<B: RdtBackend> FaultyBackend<B> {
             vanish: Site::new(plan.vanish, plan.seed, 4),
             stall: Site::new(plan.clock_stall, plan.seed, 5),
             stats: InjectionStats::default(),
+            armed: true,
         }
+    }
+
+    /// Arms or disarms injection. While disarmed the decorator is fully
+    /// transparent *and frozen*: no site fires, no stream advances, no
+    /// call counter moves — re-arming resumes the schedule exactly where
+    /// it stopped. Crash recovery constructs the backend disarmed so
+    /// reconstruction traffic does not consume fault-site draws.
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// Whether injection is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Captures the fault-injection state (site streams + statistics).
+    pub fn fault_state(&self) -> FaultStateSnapshot {
+        let snap = |s: &Site| SiteSnapshot {
+            rng_state: s.rng.state(),
+            calls: s.calls,
+        };
+        FaultStateSnapshot {
+            sites: [
+                snap(&self.dropout),
+                snap(&self.write_cbm),
+                snap(&self.write_mba),
+                snap(&self.vanish),
+                snap(&self.stall),
+            ],
+            stats: self.stats,
+        }
+    }
+
+    /// Restores fault-injection state captured from a backend built with
+    /// the same [`FaultPlan`], resuming the fault schedule exactly.
+    pub fn restore_fault_state(&mut self, snap: &FaultStateSnapshot) {
+        let sites = [
+            &mut self.dropout,
+            &mut self.write_cbm,
+            &mut self.write_mba,
+            &mut self.vanish,
+            &mut self.stall,
+        ];
+        for (site, s) in sites.into_iter().zip(&snap.sites) {
+            site.rng = XorShift64Star::from_state(s.rng_state);
+            site.calls = s.calls;
+        }
+        self.stats = snap.stats;
     }
 
     /// What has actually been injected so far.
@@ -132,7 +209,7 @@ impl<B: RdtBackend> FaultyBackend<B> {
 
     /// Checks the vanish site for a per-group mutating operation.
     fn vanished(&mut self, group: ClosId) -> Result<(), RdtError> {
-        if self.vanish.fires() {
+        if self.armed && self.vanish.fires() {
             self.stats.vanishes += 1;
             return Err(RdtError::UnknownGroup(group));
         }
@@ -151,7 +228,7 @@ impl<B: RdtBackend> RdtBackend for FaultyBackend<B> {
 
     fn set_cbm(&mut self, group: ClosId, mask: CbmMask) -> Result<(), RdtError> {
         self.vanished(group)?;
-        if self.write_cbm.fires() {
+        if self.armed && self.write_cbm.fires() {
             self.stats.cbm_write_faults += 1;
             return Err(RdtError::Busy("injected CAT schemata write failure"));
         }
@@ -160,7 +237,7 @@ impl<B: RdtBackend> RdtBackend for FaultyBackend<B> {
 
     fn set_mba(&mut self, group: ClosId, level: MbaLevel) -> Result<(), RdtError> {
         self.vanished(group)?;
-        if self.write_mba.fires() {
+        if self.armed && self.write_mba.fires() {
             self.stats.mba_write_faults += 1;
             return Err(RdtError::Busy("injected MBA schemata write failure"));
         }
@@ -173,7 +250,7 @@ impl<B: RdtBackend> RdtBackend for FaultyBackend<B> {
 
     fn read_counters(&mut self, group: ClosId) -> Result<CounterSnapshot, RdtError> {
         self.vanished(group)?;
-        if self.dropout.fires() {
+        if self.armed && self.dropout.fires() {
             self.stats.dropouts += 1;
             return Err(RdtError::Busy("injected counter dropout"));
         }
@@ -181,7 +258,7 @@ impl<B: RdtBackend> RdtBackend for FaultyBackend<B> {
     }
 
     fn advance(&mut self, period: Duration) -> Result<(), RdtError> {
-        if self.stall.fires() {
+        if self.armed && self.stall.fires() {
             // The clock stalls: the call "succeeds" but no time passes,
             // so the next counter delta spans zero time.
             self.stats.clock_stalls += 1;
@@ -364,6 +441,56 @@ mod tests {
         assert!(matches!(err, RdtError::UnknownGroup(v) if v == g));
         assert!(!err.is_transient());
         assert_eq!(faulty.stats().vanishes, 1);
+    }
+
+    #[test]
+    fn disarmed_backend_is_transparent_and_frozen() {
+        let (backend, g) = sim_with_one_app();
+        let mut faulty = FaultyBackend::new(
+            backend,
+            FaultPlan {
+                counter_dropout: FaultTrigger::Every { n: 2 },
+                ..FaultPlan::none()
+            },
+        );
+        faulty.read_counters(g).unwrap(); // call 1: survives
+        let frozen = faulty.fault_state();
+        faulty.set_armed(false);
+        assert!(!faulty.is_armed());
+        // Would be call 2 (a dropout) if armed; disarmed, it passes and
+        // the site does not even count the call.
+        for _ in 0..5 {
+            faulty.read_counters(g).unwrap();
+        }
+        assert_eq!(faulty.fault_state(), frozen, "streams must not advance");
+        faulty.set_armed(true);
+        // Re-armed: the very next read is the deferred call 2 dropout.
+        assert!(faulty.read_counters(g).is_err());
+    }
+
+    #[test]
+    fn fault_state_restore_resumes_the_schedule() {
+        let run_tail = |faulty: &mut FaultyBackend<SimBackend>, g: ClosId| -> Vec<bool> {
+            (0..40).map(|_| faulty.read_counters(g).is_ok()).collect()
+        };
+        let plan = FaultPlan {
+            seed: 77,
+            counter_dropout: FaultTrigger::Prob { p: 0.3 },
+            ..FaultPlan::none()
+        };
+        let (backend, g) = sim_with_one_app();
+        let mut original = FaultyBackend::new(backend, plan.clone());
+        for _ in 0..17 {
+            let _ = original.read_counters(g);
+        }
+        let snap = original.fault_state();
+
+        let (backend2, g2) = sim_with_one_app();
+        let mut resumed = FaultyBackend::new(backend2, plan);
+        resumed.restore_fault_state(&snap);
+        assert_eq!(resumed.stats(), original.stats());
+        assert_eq!(run_tail(&mut original, g), run_tail(&mut resumed, g2));
+        assert_eq!(original.fault_state(), resumed.fault_state());
     }
 
     #[test]

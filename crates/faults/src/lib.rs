@@ -45,5 +45,5 @@
 mod backend;
 mod plan;
 
-pub use backend::{FaultyBackend, InjectionStats};
+pub use backend::{FaultStateSnapshot, FaultyBackend, InjectionStats, SiteSnapshot};
 pub use plan::{FaultPlan, FaultPlanError, FaultTrigger};

@@ -1,0 +1,132 @@
+//! Freezing and restoring RDT backends.
+//!
+//! The controller snapshot ([`copart_core::RuntimeSnapshot`]) is only
+//! half the story: resuming bit-identically also needs the *backend*
+//! back in the same state — the simulated machine (virtual time, CLOS
+//! table, per-app trace-generator positions, cache contents), the
+//! backend's group table, and, when faults are injected, the per-site
+//! RNG stream positions. [`PersistableBackend`] is the seam: each
+//! supported backend knows how to capture itself into a
+//! [`BackendSnapshot`] and how to restore *in place* from one.
+//!
+//! Restoration is in-place by design: recovery first constructs the
+//! runtime through the normal path (which applies the initial equal
+//! split and consumes no information from the dead process), then
+//! restores the backend underneath it, overwriting everything
+//! construction touched. The fault decorator must be *disarmed* during
+//! that construction so the rebuild consumes no fault-stream draws —
+//! see [`copart_faults::FaultyBackend::set_armed`].
+
+use copart_faults::{FaultStateSnapshot, FaultyBackend};
+use copart_rdt::{RdtBackend, SimBackend};
+use copart_sim::MachineSnapshot;
+
+use crate::error::PersistError;
+
+/// Complete dynamic state of a supported backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendSnapshot {
+    /// A bare simulator backend.
+    Sim {
+        /// The simulated machine.
+        machine: MachineSnapshot,
+        /// Group table as `(raw CLOS id, raw app handle)` pairs.
+        groups: Vec<(u16, u32)>,
+        /// Next CLOS id the backend would hand out.
+        next_clos: u16,
+    },
+    /// A simulator backend wrapped in the fault-injection decorator.
+    Faulty {
+        /// The simulated machine.
+        machine: MachineSnapshot,
+        /// Group table as `(raw CLOS id, raw app handle)` pairs.
+        groups: Vec<(u16, u32)>,
+        /// Next CLOS id the backend would hand out.
+        next_clos: u16,
+        /// Per-site fault stream positions and injection stats.
+        fault_state: FaultStateSnapshot,
+    },
+}
+
+/// A backend that can freeze its complete dynamic state and later
+/// restore it in place.
+pub trait PersistableBackend: RdtBackend {
+    /// Captures the backend's state.
+    fn capture(&self) -> BackendSnapshot;
+
+    /// Restores the backend's state in place, overwriting whatever the
+    /// construction path left behind.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Schema`] when the snapshot was captured from a
+    /// different backend kind, [`PersistError::Backend`] when the
+    /// machine rejects the snapshot (foreign geometry).
+    fn restore_from(&mut self, snap: &BackendSnapshot) -> Result<(), PersistError>;
+}
+
+impl PersistableBackend for SimBackend {
+    fn capture(&self) -> BackendSnapshot {
+        let (groups, next_clos) = self.export_groups();
+        BackendSnapshot::Sim {
+            machine: self.machine().snapshot(),
+            groups,
+            next_clos,
+        }
+    }
+
+    fn restore_from(&mut self, snap: &BackendSnapshot) -> Result<(), PersistError> {
+        match snap {
+            BackendSnapshot::Sim {
+                machine,
+                groups,
+                next_clos,
+            } => {
+                self.machine_mut()
+                    .restore(machine)
+                    .map_err(|e| PersistError::Corrupt(format!("machine restore: {e:?}")))?;
+                self.import_groups(groups, *next_clos);
+                Ok(())
+            }
+            BackendSnapshot::Faulty { .. } => Err(PersistError::Schema(
+                "snapshot was captured from a faulty backend; this run has no fault plan"
+                    .to_string(),
+            )),
+        }
+    }
+}
+
+impl PersistableBackend for FaultyBackend<SimBackend> {
+    fn capture(&self) -> BackendSnapshot {
+        let (groups, next_clos) = self.inner().export_groups();
+        BackendSnapshot::Faulty {
+            machine: self.inner().machine().snapshot(),
+            groups,
+            next_clos,
+            fault_state: self.fault_state(),
+        }
+    }
+
+    fn restore_from(&mut self, snap: &BackendSnapshot) -> Result<(), PersistError> {
+        match snap {
+            BackendSnapshot::Faulty {
+                machine,
+                groups,
+                next_clos,
+                fault_state,
+            } => {
+                self.inner_mut()
+                    .machine_mut()
+                    .restore(machine)
+                    .map_err(|e| PersistError::Corrupt(format!("machine restore: {e:?}")))?;
+                self.inner_mut().import_groups(groups, *next_clos);
+                self.restore_fault_state(fault_state);
+                Ok(())
+            }
+            BackendSnapshot::Sim { .. } => Err(PersistError::Schema(
+                "snapshot was captured from a bare sim backend; this run injects faults"
+                    .to_string(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,836 @@
+//! Bit-exact JSON encoding of every snapshot type.
+//!
+//! The recovery contract is *byte-identical resumption*, so the codec
+//! cannot tolerate the usual JSON number laundering: an `f64` that loses
+//! one ulp on the way through a decimal representation changes an EWMA,
+//! which changes a classifier verdict three epochs later. Every `f64`
+//! therefore travels as the hex of its IEEE-754 bit pattern, and every
+//! `u64` that may exceed 2⁵³ (timestamps, cumulative counters, RNG
+//! words, cache tags) as a hex string. Small structural integers (way
+//! counts, CLOS ids, epoch counters) stay plain JSON numbers for
+//! readability — they are exact well below 2⁵³.
+
+use copart_core::next_state::AppliedEvents;
+use copart_core::AllocationState;
+use copart_core::{
+    AppRuntimeSnapshot, AppState, ExplorerSnapshot, Phase, RuntimeSnapshot, SensorSnapshot,
+    SystemState,
+};
+use copart_faults::{FaultStateSnapshot, InjectionStats, SiteSnapshot};
+use copart_rdt::MbaLevel;
+use copart_sim::trace::TraceGenSnapshot;
+use copart_sim::{AppSpec, MachineSnapshot, SimAppSnapshot};
+use copart_telemetry::{CounterSnapshot, Json};
+
+use crate::backend::BackendSnapshot;
+use crate::error::PersistError;
+use crate::metrics::MetricsFrozen;
+
+use copart_sim::cache::{CacheLineSnapshot, CacheSnapshot};
+use copart_sim::trace::AccessPattern;
+
+/// Builds an object from borrowed keys.
+pub(crate) fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A `u64` as a 16-digit hex string — exact for the full range.
+pub(crate) fn hex_u64(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+/// An `f64` as the hex of its bit pattern — bit-exact, NaN-safe.
+pub(crate) fn hex_f64(v: f64) -> Json {
+    hex_u64(v.to_bits())
+}
+
+fn schema(what: impl Into<String>) -> PersistError {
+    PersistError::Schema(what.into())
+}
+
+/// Looks up a required object member.
+pub(crate) fn req<'a>(j: &'a Json, key: &str) -> Result<&'a Json, PersistError> {
+    j.get(key).ok_or_else(|| schema(format!("missing `{key}`")))
+}
+
+/// A required plain-number `u64` member.
+pub(crate) fn dec_u64(j: &Json, key: &str) -> Result<u64, PersistError> {
+    req(j, key)?
+        .as_u64()
+        .ok_or_else(|| schema(format!("`{key}` is not a u64")))
+}
+
+fn dec_u32(j: &Json, key: &str) -> Result<u32, PersistError> {
+    u32::try_from(dec_u64(j, key)?).map_err(|_| schema(format!("`{key}` overflows u32")))
+}
+
+fn dec_u16(j: &Json, key: &str) -> Result<u16, PersistError> {
+    u16::try_from(dec_u64(j, key)?).map_err(|_| schema(format!("`{key}` overflows u16")))
+}
+
+fn hex_word(s: &str, key: &str) -> Result<u64, PersistError> {
+    u64::from_str_radix(s, 16).map_err(|_| schema(format!("`{key}` is not hex")))
+}
+
+/// A required hex-string `u64` member.
+pub(crate) fn dec_hex_u64(j: &Json, key: &str) -> Result<u64, PersistError> {
+    let s = req(j, key)?
+        .as_str()
+        .ok_or_else(|| schema(format!("`{key}` is not a hex string")))?;
+    hex_word(s, key)
+}
+
+/// A required hex-bits `f64` member.
+pub(crate) fn dec_hex_f64(j: &Json, key: &str) -> Result<f64, PersistError> {
+    Ok(f64::from_bits(dec_hex_u64(j, key)?))
+}
+
+/// A required string member.
+pub(crate) fn dec_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, PersistError> {
+    req(j, key)?
+        .as_str()
+        .ok_or_else(|| schema(format!("`{key}` is not a string")))
+}
+
+fn dec_bool(j: &Json, key: &str) -> Result<bool, PersistError> {
+    req(j, key)?
+        .as_bool()
+        .ok_or_else(|| schema(format!("`{key}` is not a bool")))
+}
+
+fn dec_arr<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], PersistError> {
+    req(j, key)?
+        .as_arr()
+        .ok_or_else(|| schema(format!("`{key}` is not an array")))
+}
+
+// ---------------------------------------------------------------------
+// telemetry
+// ---------------------------------------------------------------------
+
+fn enc_counter_snapshot(s: &CounterSnapshot) -> Json {
+    obj(vec![
+        ("t", hex_u64(s.timestamp_ns)),
+        ("i", hex_u64(s.instructions)),
+        ("c", hex_u64(s.cycles)),
+        ("a", hex_u64(s.llc_accesses)),
+        ("m", hex_u64(s.llc_misses)),
+    ])
+}
+
+fn dec_counter_snapshot(j: &Json) -> Result<CounterSnapshot, PersistError> {
+    Ok(CounterSnapshot {
+        timestamp_ns: dec_hex_u64(j, "t")?,
+        instructions: dec_hex_u64(j, "i")?,
+        cycles: dec_hex_u64(j, "c")?,
+        llc_accesses: dec_hex_u64(j, "a")?,
+        llc_misses: dec_hex_u64(j, "m")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// core: sensor / classifier / explorer / runtime
+// ---------------------------------------------------------------------
+
+fn enc_opt_f64(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => hex_f64(x),
+        None => Json::Null,
+    }
+}
+
+fn dec_opt_f64(j: &Json, what: &str) -> Result<Option<f64>, PersistError> {
+    match j {
+        Json::Null => Ok(None),
+        Json::Str(s) => Ok(Some(f64::from_bits(hex_word(s, what)?))),
+        _ => Err(schema(format!("`{what}` is neither null nor hex"))),
+    }
+}
+
+fn enc_sensor(s: &SensorSnapshot) -> Json {
+    obj(vec![
+        ("capacity", Json::Num(s.capacity as f64)),
+        (
+            "samples",
+            Json::Arr(s.samples.iter().map(enc_counter_snapshot).collect()),
+        ),
+        (
+            "ewma",
+            Json::Arr(s.ewma.iter().map(|&v| enc_opt_f64(v)).collect()),
+        ),
+    ])
+}
+
+fn dec_sensor(j: &Json) -> Result<SensorSnapshot, PersistError> {
+    let samples = dec_arr(j, "samples")?
+        .iter()
+        .map(dec_counter_snapshot)
+        .collect::<Result<Vec<_>, _>>()?;
+    let raw = dec_arr(j, "ewma")?;
+    if raw.len() != 4 {
+        return Err(schema("`ewma` must have 4 entries"));
+    }
+    let mut ewma = [None; 4];
+    for (slot, v) in ewma.iter_mut().zip(raw) {
+        *slot = dec_opt_f64(v, "ewma")?;
+    }
+    Ok(SensorSnapshot {
+        capacity: dec_u64(j, "capacity")? as usize,
+        samples,
+        ewma,
+    })
+}
+
+fn enc_app_state(s: AppState) -> Json {
+    Json::Str(
+        match s {
+            AppState::Supply => "supply",
+            AppState::Maintain => "maintain",
+            AppState::Demand => "demand",
+        }
+        .to_string(),
+    )
+}
+
+fn dec_app_state(j: &Json, key: &str) -> Result<AppState, PersistError> {
+    match dec_str(j, key)? {
+        "supply" => Ok(AppState::Supply),
+        "maintain" => Ok(AppState::Maintain),
+        "demand" => Ok(AppState::Demand),
+        other => Err(schema(format!("unknown app state `{other}`"))),
+    }
+}
+
+fn enc_phase(p: Phase) -> Json {
+    Json::Str(
+        match p {
+            Phase::Profiling => "profiling",
+            Phase::Exploring => "exploring",
+            Phase::Idle => "idle",
+        }
+        .to_string(),
+    )
+}
+
+fn dec_phase(j: &Json) -> Result<Phase, PersistError> {
+    match dec_str(j, "phase")? {
+        "profiling" => Ok(Phase::Profiling),
+        "exploring" => Ok(Phase::Exploring),
+        "idle" => Ok(Phase::Idle),
+        other => Err(schema(format!("unknown phase `{other}`"))),
+    }
+}
+
+fn enc_events(e: &AppliedEvents) -> Json {
+    obj(vec![
+        ("granted_llc", Json::Bool(e.granted_llc)),
+        ("granted_mba", Json::Bool(e.granted_mba)),
+        ("reclaimed_llc", Json::Bool(e.reclaimed_llc)),
+        ("reclaimed_mba", Json::Bool(e.reclaimed_mba)),
+    ])
+}
+
+fn dec_events(j: &Json) -> Result<AppliedEvents, PersistError> {
+    Ok(AppliedEvents {
+        granted_llc: dec_bool(j, "granted_llc")?,
+        granted_mba: dec_bool(j, "granted_mba")?,
+        reclaimed_llc: dec_bool(j, "reclaimed_llc")?,
+        reclaimed_mba: dec_bool(j, "reclaimed_mba")?,
+    })
+}
+
+fn enc_system_state(s: &SystemState) -> Json {
+    Json::Arr(
+        s.allocs
+            .iter()
+            .map(|a| {
+                obj(vec![
+                    ("ways", Json::Num(f64::from(a.ways))),
+                    ("mba", Json::Num(f64::from(a.mba.percent()))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn dec_system_state(j: &Json, key: &str) -> Result<SystemState, PersistError> {
+    let allocs = req(j, key)?
+        .as_arr()
+        .ok_or_else(|| schema(format!("`{key}` is not an array")))?
+        .iter()
+        .map(|a| {
+            Ok(AllocationState {
+                ways: dec_u32(a, "ways")?,
+                mba: MbaLevel::new(
+                    u8::try_from(dec_u64(a, "mba")?).map_err(|_| schema("`mba` overflows u8"))?,
+                ),
+            })
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    Ok(SystemState { allocs })
+}
+
+fn enc_explorer(e: &ExplorerSnapshot) -> Json {
+    let best = match &e.best_seen {
+        None => Json::Null,
+        Some((unfairness, state)) => obj(vec![
+            ("unfairness", hex_f64(*unfairness)),
+            ("state", enc_system_state(state)),
+        ]),
+    };
+    obj(vec![
+        ("rng_state", hex_u64(e.rng_state)),
+        ("retry_count", Json::Num(f64::from(e.retry_count))),
+        ("unfairness_at_idle", hex_f64(e.unfairness_at_idle)),
+        ("best_seen", best),
+    ])
+}
+
+fn dec_explorer(j: &Json) -> Result<ExplorerSnapshot, PersistError> {
+    let best_seen = match req(j, "best_seen")? {
+        Json::Null => None,
+        b => Some((dec_hex_f64(b, "unfairness")?, dec_system_state(b, "state")?)),
+    };
+    Ok(ExplorerSnapshot {
+        rng_state: dec_hex_u64(j, "rng_state")?,
+        retry_count: dec_u32(j, "retry_count")?,
+        unfairness_at_idle: dec_hex_f64(j, "unfairness_at_idle")?,
+        best_seen,
+    })
+}
+
+fn enc_app_runtime(a: &AppRuntimeSnapshot) -> Json {
+    obj(vec![
+        ("group", Json::Num(f64::from(a.group))),
+        ("name", Json::Str(a.name.clone())),
+        ("ips_full", hex_f64(a.ips_full)),
+        ("weight", hex_f64(a.weight)),
+        ("sensor", enc_sensor(&a.sensor)),
+        ("llc_state", enc_app_state(a.llc_state)),
+        ("mba_state", enc_app_state(a.mba_state)),
+        ("prev_ips", hex_f64(a.prev_ips)),
+        ("last_ips", hex_f64(a.last_ips)),
+        ("last_events", enc_events(&a.last_events)),
+    ])
+}
+
+fn dec_app_runtime(j: &Json) -> Result<AppRuntimeSnapshot, PersistError> {
+    Ok(AppRuntimeSnapshot {
+        group: dec_u16(j, "group")?,
+        name: dec_str(j, "name")?.to_string(),
+        ips_full: dec_hex_f64(j, "ips_full")?,
+        weight: dec_hex_f64(j, "weight")?,
+        sensor: dec_sensor(req(j, "sensor")?)?,
+        llc_state: dec_app_state(j, "llc_state")?,
+        mba_state: dec_app_state(j, "mba_state")?,
+        prev_ips: dec_hex_f64(j, "prev_ips")?,
+        last_ips: dec_hex_f64(j, "last_ips")?,
+        last_events: dec_events(req(j, "last_events")?)?,
+    })
+}
+
+/// Encodes a frozen controller state.
+pub fn enc_runtime(r: &RuntimeSnapshot) -> Json {
+    obj(vec![
+        ("epoch", Json::Num(r.epoch as f64)),
+        ("phase", enc_phase(r.phase)),
+        ("state", enc_system_state(&r.state)),
+        ("explorer", enc_explorer(&r.explorer)),
+        (
+            "apps",
+            Json::Arr(r.apps.iter().map(enc_app_runtime).collect()),
+        ),
+    ])
+}
+
+/// Decodes a frozen controller state.
+pub fn dec_runtime(j: &Json) -> Result<RuntimeSnapshot, PersistError> {
+    Ok(RuntimeSnapshot {
+        epoch: dec_u64(j, "epoch")?,
+        phase: dec_phase(j)?,
+        state: dec_system_state(j, "state")?,
+        explorer: dec_explorer(req(j, "explorer")?)?,
+        apps: dec_arr(j, "apps")?
+            .iter()
+            .map(dec_app_runtime)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// sim: trace generator / app spec / cache / machine
+// ---------------------------------------------------------------------
+
+fn enc_pattern(p: &AccessPattern) -> Json {
+    match p {
+        AccessPattern::WorkingSetLoop { bytes, stride } => obj(vec![
+            ("kind", Json::Str("wsl".to_string())),
+            ("bytes", hex_u64(*bytes)),
+            ("stride", hex_u64(*stride)),
+        ]),
+        AccessPattern::Stream { bytes } => obj(vec![
+            ("kind", Json::Str("stream".to_string())),
+            ("bytes", hex_u64(*bytes)),
+        ]),
+        AccessPattern::UniformRandom { bytes } => obj(vec![
+            ("kind", Json::Str("rand".to_string())),
+            ("bytes", hex_u64(*bytes)),
+        ]),
+        AccessPattern::Zipf { bytes, exponent } => obj(vec![
+            ("kind", Json::Str("zipf".to_string())),
+            ("bytes", hex_u64(*bytes)),
+            ("exponent", hex_f64(*exponent)),
+        ]),
+        AccessPattern::PointerChase { bytes } => obj(vec![
+            ("kind", Json::Str("chase".to_string())),
+            ("bytes", hex_u64(*bytes)),
+        ]),
+    }
+}
+
+fn dec_pattern(j: &Json) -> Result<AccessPattern, PersistError> {
+    let bytes = dec_hex_u64(j, "bytes")?;
+    match dec_str(j, "kind")? {
+        "wsl" => Ok(AccessPattern::WorkingSetLoop {
+            bytes,
+            stride: dec_hex_u64(j, "stride")?,
+        }),
+        "stream" => Ok(AccessPattern::Stream { bytes }),
+        "rand" => Ok(AccessPattern::UniformRandom { bytes }),
+        "zipf" => Ok(AccessPattern::Zipf {
+            bytes,
+            exponent: dec_hex_f64(j, "exponent")?,
+        }),
+        "chase" => Ok(AccessPattern::PointerChase { bytes }),
+        other => Err(schema(format!("unknown access pattern `{other}`"))),
+    }
+}
+
+fn enc_spec(s: &AppSpec) -> Json {
+    obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("cores", Json::Num(f64::from(s.cores))),
+        ("ipc_peak", hex_f64(s.ipc_peak)),
+        ("apki", hex_f64(s.apki)),
+        ("write_fraction", hex_f64(s.write_fraction)),
+        ("mlp", hex_f64(s.mlp)),
+        (
+            "phases",
+            Json::Arr(
+                s.phases
+                    .iter()
+                    .map(|(w, p)| obj(vec![("weight", hex_f64(*w)), ("pattern", enc_pattern(p))]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_spec(j: &Json) -> Result<AppSpec, PersistError> {
+    Ok(AppSpec {
+        name: dec_str(j, "name")?.to_string(),
+        cores: dec_u32(j, "cores")?,
+        ipc_peak: dec_hex_f64(j, "ipc_peak")?,
+        apki: dec_hex_f64(j, "apki")?,
+        write_fraction: dec_hex_f64(j, "write_fraction")?,
+        mlp: dec_hex_f64(j, "mlp")?,
+        phases: dec_arr(j, "phases")?
+            .iter()
+            .map(|p| Ok((dec_hex_f64(p, "weight")?, dec_pattern(req(p, "pattern")?)?)))
+            .collect::<Result<Vec<_>, PersistError>>()?,
+    })
+}
+
+fn enc_trace_gen(g: &TraceGenSnapshot) -> Json {
+    obj(vec![
+        (
+            "cursors",
+            Json::Arr(g.cursors.iter().map(|&c| hex_u64(c)).collect()),
+        ),
+        ("rng_state", hex_u64(g.rng_state)),
+        ("active", Json::Num(g.active as f64)),
+        ("burst_left", Json::Num(f64::from(g.burst_left))),
+    ])
+}
+
+fn dec_trace_gen(j: &Json) -> Result<TraceGenSnapshot, PersistError> {
+    Ok(TraceGenSnapshot {
+        cursors: dec_arr(j, "cursors")?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .ok_or_else(|| schema("`cursors` entry is not hex"))
+                    .and_then(|s| hex_word(s, "cursors"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        rng_state: dec_hex_u64(j, "rng_state")?,
+        active: dec_u64(j, "active")? as usize,
+        burst_left: dec_u32(j, "burst_left")?,
+    })
+}
+
+fn enc_sim_app(a: &SimAppSnapshot) -> Json {
+    obj(vec![
+        ("spec", enc_spec(&a.spec)),
+        ("clos", Json::Num(f64::from(a.clos))),
+        ("gen", enc_trace_gen(&a.gen)),
+        ("ips_estimate", hex_f64(a.ips_estimate)),
+        ("miss_ratio", hex_f64(a.miss_ratio)),
+        ("wb_per_access", hex_f64(a.wb_per_access)),
+        ("instructions", hex_f64(a.instructions)),
+        ("cycles", hex_f64(a.cycles)),
+        ("accesses", hex_f64(a.accesses)),
+        ("misses", hex_f64(a.misses)),
+        ("mem_traffic_bytes", hex_f64(a.mem_traffic_bytes)),
+    ])
+}
+
+fn dec_sim_app(j: &Json) -> Result<SimAppSnapshot, PersistError> {
+    Ok(SimAppSnapshot {
+        spec: dec_spec(req(j, "spec")?)?,
+        clos: dec_u16(j, "clos")?,
+        gen: dec_trace_gen(req(j, "gen")?)?,
+        ips_estimate: dec_hex_f64(j, "ips_estimate")?,
+        miss_ratio: dec_hex_f64(j, "miss_ratio")?,
+        wb_per_access: dec_hex_f64(j, "wb_per_access")?,
+        instructions: dec_hex_f64(j, "instructions")?,
+        cycles: dec_hex_f64(j, "cycles")?,
+        accesses: dec_hex_f64(j, "accesses")?,
+        misses: dec_hex_f64(j, "misses")?,
+        mem_traffic_bytes: dec_hex_f64(j, "mem_traffic_bytes")?,
+    })
+}
+
+fn enc_cache(c: &CacheSnapshot) -> Json {
+    obj(vec![
+        ("clock", hex_u64(c.clock)),
+        (
+            "lines",
+            Json::Arr(
+                c.lines
+                    .iter()
+                    .map(|l| {
+                        obj(vec![
+                            ("index", hex_u64(l.index)),
+                            ("tag", hex_u64(l.tag)),
+                            ("lru", hex_u64(l.lru)),
+                            ("owner", Json::Num(f64::from(l.owner))),
+                            ("dirty", Json::Bool(l.dirty)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_cache(j: &Json) -> Result<CacheSnapshot, PersistError> {
+    Ok(CacheSnapshot {
+        clock: dec_hex_u64(j, "clock")?,
+        lines: dec_arr(j, "lines")?
+            .iter()
+            .map(|l| {
+                Ok(CacheLineSnapshot {
+                    index: dec_hex_u64(l, "index")?,
+                    tag: dec_hex_u64(l, "tag")?,
+                    lru: dec_hex_u64(l, "lru")?,
+                    owner: dec_u16(l, "owner")?,
+                    dirty: dec_bool(l, "dirty")?,
+                })
+            })
+            .collect::<Result<Vec<_>, PersistError>>()?,
+    })
+}
+
+/// Encodes a frozen simulated machine.
+pub fn enc_machine(m: &MachineSnapshot) -> Json {
+    obj(vec![
+        ("time_ns", hex_u64(m.time_ns)),
+        (
+            "clos",
+            Json::Arr(
+                m.clos_table
+                    .iter()
+                    .map(|&(id, cbm, mba)| {
+                        obj(vec![
+                            ("id", Json::Num(f64::from(id))),
+                            ("cbm", Json::Num(f64::from(cbm))),
+                            ("mba", Json::Num(f64::from(mba))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "apps",
+            Json::Arr(
+                m.apps
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(a) => enc_sim_app(a),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            ),
+        ),
+        ("cache", enc_cache(&m.cache)),
+    ])
+}
+
+/// Decodes a frozen simulated machine.
+pub fn dec_machine(j: &Json) -> Result<MachineSnapshot, PersistError> {
+    Ok(MachineSnapshot {
+        time_ns: dec_hex_u64(j, "time_ns")?,
+        clos_table: dec_arr(j, "clos")?
+            .iter()
+            .map(|c| {
+                Ok((
+                    dec_u16(c, "id")?,
+                    dec_u32(c, "cbm")?,
+                    u8::try_from(dec_u64(c, "mba")?).map_err(|_| schema("`mba` overflows u8"))?,
+                ))
+            })
+            .collect::<Result<Vec<_>, PersistError>>()?,
+        apps: dec_arr(j, "apps")?
+            .iter()
+            .map(|slot| match slot {
+                Json::Null => Ok(None),
+                a => dec_sim_app(a).map(Some),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        cache: dec_cache(req(j, "cache")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// faults
+// ---------------------------------------------------------------------
+
+/// Encodes frozen fault-injection state.
+pub fn enc_fault_state(f: &FaultStateSnapshot) -> Json {
+    obj(vec![
+        (
+            "sites",
+            Json::Arr(
+                f.sites
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("rng_state", hex_u64(s.rng_state)),
+                            ("calls", hex_u64(s.calls)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "stats",
+            obj(vec![
+                ("dropouts", hex_u64(f.stats.dropouts)),
+                ("cbm_write_faults", hex_u64(f.stats.cbm_write_faults)),
+                ("mba_write_faults", hex_u64(f.stats.mba_write_faults)),
+                ("vanishes", hex_u64(f.stats.vanishes)),
+                ("clock_stalls", hex_u64(f.stats.clock_stalls)),
+            ]),
+        ),
+    ])
+}
+
+/// Decodes frozen fault-injection state.
+pub fn dec_fault_state(j: &Json) -> Result<FaultStateSnapshot, PersistError> {
+    let raw = dec_arr(j, "sites")?;
+    if raw.len() != 5 {
+        return Err(schema("`sites` must have 5 entries"));
+    }
+    let mut sites = [SiteSnapshot {
+        rng_state: 0,
+        calls: 0,
+    }; 5];
+    for (slot, s) in sites.iter_mut().zip(raw) {
+        *slot = SiteSnapshot {
+            rng_state: dec_hex_u64(s, "rng_state")?,
+            calls: dec_hex_u64(s, "calls")?,
+        };
+    }
+    let stats = req(j, "stats")?;
+    Ok(FaultStateSnapshot {
+        sites,
+        stats: InjectionStats {
+            dropouts: dec_hex_u64(stats, "dropouts")?,
+            cbm_write_faults: dec_hex_u64(stats, "cbm_write_faults")?,
+            mba_write_faults: dec_hex_u64(stats, "mba_write_faults")?,
+            vanishes: dec_hex_u64(stats, "vanishes")?,
+            clock_stalls: dec_hex_u64(stats, "clock_stalls")?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// backend
+// ---------------------------------------------------------------------
+
+fn enc_groups(groups: &[(u16, u32)]) -> Json {
+    Json::Arr(
+        groups
+            .iter()
+            .map(|&(clos, app)| {
+                obj(vec![
+                    ("clos", Json::Num(f64::from(clos))),
+                    ("app", Json::Num(f64::from(app))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn dec_groups(j: &Json) -> Result<Vec<(u16, u32)>, PersistError> {
+    dec_arr(j, "groups")?
+        .iter()
+        .map(|g| Ok((dec_u16(g, "clos")?, dec_u32(g, "app")?)))
+        .collect()
+}
+
+/// Encodes a frozen backend.
+pub fn enc_backend(b: &BackendSnapshot) -> Json {
+    match b {
+        BackendSnapshot::Sim {
+            machine,
+            groups,
+            next_clos,
+        } => obj(vec![
+            ("kind", Json::Str("sim".to_string())),
+            ("machine", enc_machine(machine)),
+            ("groups", enc_groups(groups)),
+            ("next_clos", Json::Num(f64::from(*next_clos))),
+        ]),
+        BackendSnapshot::Faulty {
+            machine,
+            groups,
+            next_clos,
+            fault_state,
+        } => obj(vec![
+            ("kind", Json::Str("faulty".to_string())),
+            ("machine", enc_machine(machine)),
+            ("groups", enc_groups(groups)),
+            ("next_clos", Json::Num(f64::from(*next_clos))),
+            ("fault_state", enc_fault_state(fault_state)),
+        ]),
+    }
+}
+
+/// Decodes a frozen backend.
+pub fn dec_backend(j: &Json) -> Result<BackendSnapshot, PersistError> {
+    let machine = dec_machine(req(j, "machine")?)?;
+    let groups = dec_groups(j)?;
+    let next_clos = dec_u16(j, "next_clos")?;
+    match dec_str(j, "kind")? {
+        "sim" => Ok(BackendSnapshot::Sim {
+            machine,
+            groups,
+            next_clos,
+        }),
+        "faulty" => Ok(BackendSnapshot::Faulty {
+            machine,
+            groups,
+            next_clos,
+            fault_state: dec_fault_state(req(j, "fault_state")?)?,
+        }),
+        other => Err(schema(format!("unknown backend kind `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// the document
+// ---------------------------------------------------------------------
+
+/// Identity of the run a snapshot belongs to. Recovery refuses to resume
+/// a state directory under a different scenario — restoring an H-LLC
+/// controller over an M-Both machine would not crash, it would silently
+/// produce garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Workload mix label (e.g. `"M-Both"`).
+    pub mix: String,
+    /// The app count the live runtime configuration was built for (the
+    /// boot count, updated by policy switches; admissions and removals
+    /// keep the standing configuration).
+    pub n_apps: u64,
+    /// Partitioning policy label (e.g. `"CoPart"`).
+    pub policy: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Fault plan spec string (empty = no faults).
+    pub faults: String,
+    /// Control epochs the daemon had completed (excludes profiling).
+    pub daemon_epochs: u64,
+}
+
+/// One complete, self-contained snapshot of a running consolidation: the
+/// scenario identity, the controller, the backend, and the metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDoc {
+    /// Which run this is.
+    pub meta: SnapshotMeta,
+    /// The controller's state.
+    pub runtime: RuntimeSnapshot,
+    /// The backend's state.
+    pub backend: BackendSnapshot,
+    /// Cumulative counters and gauges (histograms are a documented
+    /// recovery invariant: they measure wall-clock latency and are not
+    /// restored).
+    pub metrics: MetricsFrozen,
+}
+
+impl SnapshotDoc {
+    /// The epoch the snapshot was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.runtime.epoch
+    }
+
+    /// Serialises the document to a JSON value.
+    pub fn encode(&self) -> Json {
+        obj(vec![
+            (
+                "meta",
+                obj(vec![
+                    ("mix", Json::Str(self.meta.mix.clone())),
+                    ("n_apps", Json::Num(self.meta.n_apps as f64)),
+                    ("policy", Json::Str(self.meta.policy.clone())),
+                    ("seed", Json::Num(self.meta.seed as f64)),
+                    ("faults", Json::Str(self.meta.faults.clone())),
+                    ("daemon_epochs", Json::Num(self.meta.daemon_epochs as f64)),
+                ]),
+            ),
+            ("runtime", enc_runtime(&self.runtime)),
+            ("backend", enc_backend(&self.backend)),
+            ("metrics", self.metrics.encode()),
+        ])
+    }
+
+    /// Deserialises a document.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Schema`] when a field is missing or ill-typed.
+    pub fn decode(j: &Json) -> Result<SnapshotDoc, PersistError> {
+        let meta = req(j, "meta")?;
+        Ok(SnapshotDoc {
+            meta: SnapshotMeta {
+                mix: dec_str(meta, "mix")?.to_string(),
+                n_apps: dec_u64(meta, "n_apps")?,
+                policy: dec_str(meta, "policy")?.to_string(),
+                seed: dec_u64(meta, "seed")?,
+                faults: dec_str(meta, "faults")?.to_string(),
+                daemon_epochs: dec_u64(meta, "daemon_epochs")?,
+            },
+            runtime: dec_runtime(req(j, "runtime")?)?,
+            backend: dec_backend(req(j, "backend")?)?,
+            metrics: MetricsFrozen::decode(req(j, "metrics")?)?,
+        })
+    }
+}

@@ -1,0 +1,213 @@
+//! Freezing and restoring the metrics registry.
+//!
+//! [`copart_telemetry::MetricsRegistry`] keys its series by
+//! `&'static str`, which keeps the hot path allocation-free but means a
+//! name read back from disk (a `String`) cannot be handed to
+//! [`MetricsRegistry::set_counter`] directly. The intern table below
+//! maps every counter and gauge the workspace emits back to its static
+//! name; a snapshot written by a newer build with series this build does
+//! not know is restored best-effort (unknown names are skipped and
+//! reported, never fabricated).
+//!
+//! Histograms (`*_ns` latency series) are deliberately *not* frozen:
+//! they measure wall-clock behaviour of the process that died, which a
+//! resumed process cannot meaningfully continue. This is a documented
+//! recovery invariant (DESIGN.md §16).
+
+use copart_telemetry::{Json, MetricsRegistry, MetricsSnapshot};
+
+use crate::codec::{dec_hex_u64, dec_str, hex_f64, hex_u64, obj, req};
+use crate::error::PersistError;
+
+/// Every counter name the workspace emits, in one place so the intern
+/// table cannot silently drift from the emitting crates.
+pub const KNOWN_COUNTERS: &[&str] = &[
+    "epochs",
+    "transfers",
+    "theta_retries",
+    "convergences",
+    "re_explorations",
+    "matching_rounds",
+    "apps_profiled",
+    "backend_applies",
+    "fault_write_retries",
+    "fault_counter_dropouts",
+    "degraded_epochs",
+    "partition_apply_failures",
+    "partition_rollbacks",
+    "rollback_write_failures",
+    "admitted_apps",
+    "removed_apps",
+    "policy_switches",
+    "epoch_failures",
+    "ticks",
+    "epoch_deadline_misses",
+    "http_requests",
+    "http_rejected_overload",
+    "trace_rotations",
+    "trace_verify_failures",
+    "worker_errors",
+    "worker_runs",
+    "snapshots_written",
+    "recoveries",
+];
+
+/// Every gauge name the workspace emits.
+pub const KNOWN_GAUGES: &[&str] = &["unfairness", "healthy", "snapshot_bytes"];
+
+/// Interns a counter name read from disk.
+pub fn intern_counter(name: &str) -> Option<&'static str> {
+    KNOWN_COUNTERS.iter().find(|&&k| k == name).copied()
+}
+
+/// Interns a gauge name read from disk.
+pub fn intern_gauge(name: &str) -> Option<&'static str> {
+    KNOWN_GAUGES.iter().find(|&&k| k == name).copied()
+}
+
+/// The restorable slice of a [`MetricsSnapshot`]: cumulative counters
+/// and current gauges, without the wall-clock histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsFrozen {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl MetricsFrozen {
+    /// Freezes the restorable slice of a registry snapshot.
+    pub fn capture(snap: &MetricsSnapshot) -> MetricsFrozen {
+        MetricsFrozen {
+            counters: snap
+                .counters
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Writes the frozen values back into a live registry. Returns the
+    /// names that could not be interned (unknown to this build) and were
+    /// therefore skipped.
+    pub fn restore(&self, registry: &MetricsRegistry) -> Vec<String> {
+        let mut skipped = Vec::new();
+        for (name, value) in &self.counters {
+            match intern_counter(name) {
+                Some(key) => registry.set_counter(key, *value),
+                None => skipped.push(name.clone()),
+            }
+        }
+        for (name, value) in &self.gauges {
+            match intern_gauge(name) {
+                Some(key) => registry.set_gauge(key, *value),
+                None => skipped.push(name.clone()),
+            }
+        }
+        skipped
+    }
+
+    /// Serialises to JSON (counters as hex `u64`, gauges as hex bits).
+    pub fn encode(&self) -> Json {
+        obj(vec![
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| {
+                            obj(vec![("name", Json::Str(k.clone())), ("value", hex_u64(*v))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Arr(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| {
+                            obj(vec![("name", Json::Str(k.clone())), ("value", hex_f64(*v))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Schema`] on missing or ill-typed fields.
+    pub fn decode(j: &Json) -> Result<MetricsFrozen, PersistError> {
+        let arr = |key: &str| -> Result<&[Json], PersistError> {
+            req(j, key)?
+                .as_arr()
+                .ok_or_else(|| PersistError::Schema(format!("`{key}` is not an array")))
+        };
+        Ok(MetricsFrozen {
+            counters: arr("counters")?
+                .iter()
+                .map(|e| Ok((dec_str(e, "name")?.to_string(), dec_hex_u64(e, "value")?)))
+                .collect::<Result<Vec<_>, PersistError>>()?,
+            gauges: arr("gauges")?
+                .iter()
+                .map(|e| {
+                    Ok((
+                        dec_str(e, "name")?.to_string(),
+                        f64::from_bits(dec_hex_u64(e, "value")?),
+                    ))
+                })
+                .collect::<Result<Vec<_>, PersistError>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_restore_round_trips_known_series() {
+        let reg = MetricsRegistry::new();
+        reg.add("epochs", 41);
+        reg.set_gauge("unfairness", 0.0625);
+        reg.observe_ns("epoch_ns", 1_000); // histogram: dropped by design
+        let frozen = MetricsFrozen::capture(&reg.snapshot());
+
+        let fresh = MetricsRegistry::new();
+        let skipped = frozen.restore(&fresh);
+        assert!(skipped.is_empty(), "skipped: {skipped:?}");
+        assert_eq!(fresh.counter("epochs"), 41);
+        assert_eq!(fresh.gauge("unfairness"), Some(0.0625));
+        assert!(fresh.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_are_skipped_not_fabricated() {
+        let frozen = MetricsFrozen {
+            counters: vec![("from_the_future".to_string(), 7)],
+            gauges: vec![],
+        };
+        let reg = MetricsRegistry::new();
+        assert_eq!(frozen.restore(&reg), vec!["from_the_future".to_string()]);
+        assert_eq!(reg.counter("from_the_future"), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let frozen = MetricsFrozen {
+            counters: vec![("epochs".to_string(), u64::MAX - 3)],
+            gauges: vec![("unfairness".to_string(), 0.1 + 0.2)],
+        };
+        let text = frozen.encode().to_string();
+        let back = MetricsFrozen::decode(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, frozen);
+    }
+}

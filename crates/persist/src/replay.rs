@@ -1,0 +1,108 @@
+//! Re-executing the event log over a restored runtime.
+//!
+//! Replay is *re-execution*, not re-application of recorded outputs:
+//! an `epoch` entry runs a real control period against the restored
+//! backend, an `admit` entry really admits the benchmark, and so on.
+//! Because snapshot restoration puts every RNG stream, FSM, and cache
+//! line back where it was, re-execution deterministically reproduces
+//! the exact decisions (and trace events) the dead process made — and
+//! the per-entry `pre` check proves it as it goes: the moment the
+//! runtime's epoch counter disagrees with the log, replay stops with
+//! [`PersistError::Chain`] instead of continuing down a forked history.
+//!
+//! Admission and policy switches need scenario context (benchmark
+//! tables, runtime configs) that lives above this crate, so replay
+//! delegates them to a caller-provided [`ReplayHooks`]; runs without
+//! churn can pass [`NoHooks`].
+
+use copart_core::ConsolidationRuntime;
+use copart_rdt::{ClosId, RdtBackend};
+
+use crate::error::PersistError;
+use crate::log::{EventKind, LogEntry};
+
+/// Scenario-level operations the log cannot perform by itself.
+pub trait ReplayHooks<B: RdtBackend> {
+    /// Re-admits `bench`; must land on exactly the recorded `group` (the
+    /// backend's CLOS assignment is deterministic once its group table
+    /// is restored, so a mismatch means the log and snapshot disagree).
+    fn admit(
+        &mut self,
+        rt: &mut ConsolidationRuntime<B>,
+        bench: &str,
+        group: u16,
+    ) -> Result<(), PersistError>;
+
+    /// Re-applies a policy switch by label.
+    fn set_policy(
+        &mut self,
+        rt: &mut ConsolidationRuntime<B>,
+        name: &str,
+    ) -> Result<(), PersistError>;
+}
+
+/// Hooks for logs that contain no admissions or policy switches.
+#[derive(Debug, Default)]
+pub struct NoHooks;
+
+impl<B: RdtBackend> ReplayHooks<B> for NoHooks {
+    fn admit(
+        &mut self,
+        _rt: &mut ConsolidationRuntime<B>,
+        bench: &str,
+        _group: u16,
+    ) -> Result<(), PersistError> {
+        Err(PersistError::Schema(format!(
+            "log admits `{bench}` but no replay hooks were provided"
+        )))
+    }
+
+    fn set_policy(
+        &mut self,
+        _rt: &mut ConsolidationRuntime<B>,
+        name: &str,
+    ) -> Result<(), PersistError> {
+        Err(PersistError::Schema(format!(
+            "log switches policy to `{name}` but no replay hooks were provided"
+        )))
+    }
+}
+
+/// Replays `entries` over a restored runtime. Returns the number of
+/// control periods re-executed.
+///
+/// # Errors
+///
+/// [`PersistError::Chain`] the moment an entry's recorded epoch
+/// disagrees with the runtime's live counter; hook and backend errors
+/// pass through.
+pub fn replay_log<B, H>(
+    rt: &mut ConsolidationRuntime<B>,
+    hooks: &mut H,
+    entries: &[LogEntry],
+) -> Result<u64, PersistError>
+where
+    B: RdtBackend,
+    H: ReplayHooks<B>,
+{
+    let mut periods = 0u64;
+    for entry in entries {
+        let live = rt.epoch();
+        if entry.pre != live {
+            return Err(PersistError::Chain {
+                expected: live,
+                found: entry.pre,
+            });
+        }
+        match &entry.kind {
+            EventKind::Epoch => {
+                rt.run_period()?;
+                periods += 1;
+            }
+            EventKind::Admit { bench, group } => hooks.admit(rt, bench, *group)?,
+            EventKind::Remove { group } => rt.remove_app(ClosId(*group))?,
+            EventKind::Policy { name } => hooks.set_policy(rt, name)?,
+        }
+    }
+    Ok(periods)
+}

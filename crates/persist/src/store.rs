@@ -1,0 +1,291 @@
+//! The on-disk snapshot store: atomic writes, digest-checked reads,
+//! torn-file fallback, and pruning.
+//!
+//! A snapshot file is two lines:
+//!
+//! ```text
+//! {"magic":"copart-snap","version":1,"epoch":42,"digest":"<fnv1a64 hex>","len":12345}
+//! {...payload: the SnapshotDoc, single line...}
+//! ```
+//!
+//! The header carries an FNV-1a digest and byte length of the payload,
+//! so *any* truncation or corruption — a crash mid-`write(2)`, a torn
+//! page, a disk filling up — is detected on read and the file is
+//! skipped in favour of the previous good snapshot. Writes go through a
+//! temp file + `rename(2)`, so a reader never observes a half-written
+//! file under the final name; the digest covers the residual cases
+//! (torn temp data surviving the rename on power loss).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use copart_telemetry::Json;
+
+use crate::codec::{dec_str, dec_u64, SnapshotDoc};
+use crate::error::PersistError;
+
+/// First header field; anything else is not a snapshot.
+pub const SNAP_MAGIC: &str = "copart-snap";
+
+/// Current snapshot format version.
+pub const SNAP_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit, the workspace's standard content digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The snapshot file for `epoch` inside `dir`. Zero-padded so
+/// lexicographic and numeric order agree.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snap-{epoch:020}.json"))
+}
+
+/// Serialises `doc` and writes it atomically into `dir`. Returns the
+/// final path and the total bytes written.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the directory cannot be written.
+pub fn write_snapshot(dir: &Path, doc: &SnapshotDoc) -> Result<(PathBuf, u64), PersistError> {
+    fs::create_dir_all(dir)?;
+    let payload = doc.encode().to_string();
+    let header = Json::Obj(vec![
+        ("magic".to_string(), Json::Str(SNAP_MAGIC.to_string())),
+        ("version".to_string(), Json::Num(SNAP_VERSION as f64)),
+        ("epoch".to_string(), Json::Num(doc.epoch() as f64)),
+        (
+            "digest".to_string(),
+            Json::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+        ),
+        ("len".to_string(), Json::Num(payload.len() as f64)),
+    ])
+    .to_string();
+    let content = format!("{header}\n{payload}\n");
+
+    let path = snapshot_path(dir, doc.epoch());
+    let tmp = dir.join(format!(".snap-{:020}.tmp", doc.epoch()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok((path, content.len() as u64))
+}
+
+/// Reads and fully validates one snapshot file.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] for a torn, truncated, or digest-mismatched
+/// file; [`PersistError::Schema`] for a well-formed file of the wrong
+/// shape; [`PersistError::Io`] when the file cannot be read at all.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotDoc, PersistError> {
+    let content = fs::read_to_string(path)?;
+    let (header_line, rest) = content
+        .split_once('\n')
+        .ok_or_else(|| PersistError::Corrupt("no header line".to_string()))?;
+    let header = Json::parse(header_line)
+        .map_err(|e| PersistError::Corrupt(format!("header is not JSON: {e}")))?;
+    if dec_str(&header, "magic")? != SNAP_MAGIC {
+        return Err(PersistError::Corrupt("bad magic".to_string()));
+    }
+    if dec_u64(&header, "version")? != SNAP_VERSION {
+        return Err(PersistError::Corrupt("unsupported version".to_string()));
+    }
+    let len = dec_u64(&header, "len")? as usize;
+    let payload = rest.strip_suffix('\n').unwrap_or(rest);
+    if payload.len() != len {
+        return Err(PersistError::Corrupt(format!(
+            "payload is {} bytes, header says {len}",
+            payload.len()
+        )));
+    }
+    let digest = u64::from_str_radix(dec_str(&header, "digest")?, 16)
+        .map_err(|_| PersistError::Corrupt("digest is not hex".to_string()))?;
+    if fnv1a64(payload.as_bytes()) != digest {
+        return Err(PersistError::Corrupt("digest mismatch".to_string()));
+    }
+    let doc = SnapshotDoc::decode(
+        &Json::parse(payload).map_err(|e| PersistError::Corrupt(format!("payload: {e}")))?,
+    )?;
+    if doc.epoch() != dec_u64(&header, "epoch")? {
+        return Err(PersistError::Corrupt(
+            "header/payload epoch mismatch".to_string(),
+        ));
+    }
+    Ok(doc)
+}
+
+/// Every snapshot file in `dir`, as `(epoch, path)`, ascending by epoch.
+/// Files that merely *look* like snapshots are listed; validation
+/// happens on read.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut found = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(found),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(digits) = name
+            .strip_prefix("snap-")
+            .and_then(|r| r.strip_suffix(".json"))
+        {
+            if let Ok(epoch) = digits.parse::<u64>() {
+                found.push((epoch, path));
+            }
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// The newest snapshot in `dir` that passes full validation, or `None`
+/// when the directory holds no usable snapshot. Torn or corrupt files
+/// are skipped — this is the crash-recovery entry point, and a crash
+/// mid-write must cost at most one snapshot interval, never the run.
+pub fn latest_good(dir: &Path) -> Result<Option<(SnapshotDoc, PathBuf)>, PersistError> {
+    for (_, path) in list_snapshots(dir)?.into_iter().rev() {
+        if let Ok(doc) = read_snapshot(&path) {
+            return Ok(Some((doc, path)));
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes all but the newest `keep` snapshots, along with each deleted
+/// snapshot's event log. Keeping two means one whole corrupt snapshot
+/// still leaves a recovery point.
+pub fn prune(dir: &Path, keep: usize) -> Result<(), PersistError> {
+    let snaps = list_snapshots(dir)?;
+    let excess = snaps.len().saturating_sub(keep);
+    for (epoch, path) in snaps.into_iter().take(excess) {
+        fs::remove_file(&path)?;
+        let log = crate::log::log_path(dir, epoch);
+        if log.exists() {
+            fs::remove_file(&log)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_doc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copart-persist-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_round_trips_exactly() {
+        let dir = tmpdir("roundtrip");
+        let doc = tiny_doc(42);
+        let (path, bytes) = write_snapshot(&dir, &doc).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(read_snapshot(&path).unwrap(), doc);
+        let (best, best_path) = latest_good(&dir).unwrap().unwrap();
+        assert_eq!(best, doc);
+        assert_eq!(best_path, path);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_good_prefers_the_newest() {
+        let dir = tmpdir("newest");
+        write_snapshot(&dir, &tiny_doc(10)).unwrap();
+        write_snapshot(&dir, &tiny_doc(20)).unwrap();
+        let (best, _) = latest_good(&dir).unwrap().unwrap();
+        assert_eq!(best.epoch(), 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite 1: truncate the newest snapshot at *every* byte offset;
+    /// recovery must fall back to the previous good snapshot (or accept
+    /// the file only once every payload byte survived).
+    #[test]
+    fn truncation_at_every_byte_offset_falls_back() {
+        let dir = tmpdir("truncate");
+        let old = tiny_doc(10);
+        write_snapshot(&dir, &old).unwrap();
+        let new = tiny_doc(20);
+        let (new_path, _) = write_snapshot(&dir, &new).unwrap();
+        let full = fs::read(&new_path).unwrap();
+        // Everything before the trailing newline is load-bearing.
+        let min_valid = full.len() - 1;
+
+        for cut in 0..=full.len() {
+            fs::write(&new_path, &full[..cut]).unwrap();
+            let (best, _) = latest_good(&dir)
+                .unwrap()
+                .unwrap_or_else(|| panic!("no snapshot recovered at cut {cut}"));
+            if cut < min_valid {
+                assert_eq!(best, old, "cut {cut} must fall back to epoch 10");
+            } else {
+                assert_eq!(best, new, "cut {cut} keeps the full payload");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_corruption_is_detected_by_the_digest() {
+        let dir = tmpdir("bitflip");
+        let doc = tiny_doc(7);
+        let (path, _) = write_snapshot(&dir, &doc).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit in the middle of the payload.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match read_snapshot(&path) {
+            Err(PersistError::Corrupt(_)) | Err(PersistError::Schema(_)) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_and_drops_old_logs() {
+        let dir = tmpdir("prune");
+        for epoch in [10, 20, 30] {
+            write_snapshot(&dir, &tiny_doc(epoch)).unwrap();
+            fs::write(crate::log::log_path(&dir, epoch), "").unwrap();
+        }
+        prune(&dir, 2).unwrap();
+        let left: Vec<u64> = list_snapshots(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(left, vec![20, 30]);
+        assert!(!crate::log::log_path(&dir, 10).exists());
+        assert!(crate::log::log_path(&dir, 20).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_dir_recovers_nothing() {
+        let dir = tmpdir("empty");
+        assert!(latest_good(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(latest_good(&dir).unwrap().is_none());
+    }
+}

@@ -107,6 +107,27 @@ impl SimBackend {
             .copied()
             .ok_or(RdtError::UnknownGroup(group))
     }
+
+    /// The group table as raw `(CLOS id, app handle)` pairs plus the next
+    /// CLOS id to allocate — the snapshot/restore seam for crash
+    /// recovery. Pair with [`Machine::snapshot`] for the machine state.
+    pub fn export_groups(&self) -> (Vec<(u16, u32)>, u16) {
+        (
+            self.groups.iter().map(|(c, h)| (c.0, h.raw())).collect(),
+            self.next_clos,
+        )
+    }
+
+    /// Overwrites the group table from values previously captured with
+    /// [`SimBackend::export_groups`]. The caller is responsible for
+    /// restoring the underlying machine to the matching state.
+    pub fn import_groups(&mut self, groups: &[(u16, u32)], next_clos: u16) {
+        self.groups = groups
+            .iter()
+            .map(|&(c, h)| (ClosId(c), AppHandle::from_raw(h)))
+            .collect();
+        self.next_clos = next_clos;
+    }
 }
 
 impl RdtBackend for SimBackend {
@@ -261,6 +282,26 @@ mod tests {
         b.remove_workload(g).unwrap();
         assert!(b.groups().is_empty());
         assert!(b.read_counters(g).is_err());
+    }
+
+    #[test]
+    fn group_table_export_import_round_trips() {
+        let mut b = backend();
+        let g1 = b.add_workload(spec("a")).unwrap();
+        let g2 = b.add_workload(spec("b")).unwrap();
+        b.remove_workload(g1).unwrap();
+        let (groups, next_clos) = b.export_groups();
+        let machine_snap = b.machine().snapshot();
+
+        let mut restored = backend();
+        restored.machine_mut().restore(&machine_snap).unwrap();
+        restored.import_groups(&groups, next_clos);
+        assert_eq!(restored.groups(), vec![g2]);
+        assert_eq!(restored.app_of(g2), b.app_of(g2));
+        // The next admission picks the same fresh CLOS in both backends.
+        let ga = b.add_workload(spec("c")).unwrap();
+        let gb = restored.add_workload(spec("c")).unwrap();
+        assert_eq!(ga, gb);
     }
 
     #[test]

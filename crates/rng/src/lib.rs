@@ -95,6 +95,33 @@ impl XorShift64Star {
         XorShift64Star::seed_from_u64(derive_seed(master, stream))
     }
 
+    /// The raw internal state word — the generator's complete stream
+    /// position, for snapshot/restore. Feed it back through
+    /// [`XorShift64Star::from_state`] to resume the exact draw sequence.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at a previously captured stream position.
+    ///
+    /// Unlike [`XorShift64Star::seed_from_u64`], the word is adopted as
+    /// the internal state directly (no SplitMix64 expansion), so
+    /// `from_state(g.state())` continues `g`'s stream exactly. A zero
+    /// word — xorshift's single forbidden state, which
+    /// [`XorShift64Star::state`] can never return — is remapped the same
+    /// way seeding remaps it, keeping the constructor total.
+    #[inline]
+    pub fn from_state(state: u64) -> XorShift64Star {
+        XorShift64Star {
+            state: if state == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                state
+            },
+        }
+    }
+
     /// The next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -307,6 +334,22 @@ mod tests {
         let mut b = XorShift64Star::for_stream(1, 1);
         let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 16);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = XorShift64Star::seed_from_u64(0x5EED);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = XorShift64Star::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Zero is remapped, never adopted (it would wedge the stream).
+        let mut z = XorShift64Star::from_state(0);
+        assert_ne!(z.state(), 0);
+        assert_ne!(z.next_u64(), 0);
     }
 
     #[test]

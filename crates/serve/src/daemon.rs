@@ -1,4 +1,5 @@
-//! The control thread: the single owner of the [`ConsolidationRuntime`],
+//! The control thread: the single owner of the
+//! [`ConsolidationRuntime`](copart_core::runtime::ConsolidationRuntime),
 //! driving epochs on ticks and serving mutations between them.
 //!
 //! Determinism is the design constraint. The runtime stays exactly as
@@ -22,11 +23,12 @@
 //!   time until `max_epochs`, the mode tests and the determinism suite
 //!   use.
 
-use crate::scenario::ScenarioEnv;
+use crate::persist::PersistedRun;
 use crate::trace::SharedRing;
 use copart_core::policies::PolicyKind;
-use copart_core::runtime::{ConsolidationRuntime, Phase};
+use copart_core::runtime::Phase;
 use copart_faults::FaultyBackend;
+use copart_persist::PersistableBackend;
 use copart_rdt::{ClosId, RdtBackend, RdtError, SimBackend};
 use copart_sim::AppSpec;
 use copart_telemetry::{Json, MetricsRegistry};
@@ -59,6 +61,11 @@ pub enum Command {
     SetPolicy {
         /// The policy name (`cat-only`, `mba-only`, `copart`).
         policy: String,
+        /// Where the outcome goes.
+        reply: SyncSender<ApiResult>,
+    },
+    /// `POST /snapshot` — cut a state snapshot right now.
+    Snapshot {
         /// Where the outcome goes.
         reply: SyncSender<ApiResult>,
     },
@@ -96,8 +103,10 @@ pub fn parse_dynamic_policy(s: &str) -> Result<PolicyKind, String> {
 }
 
 /// The backend capabilities the daemon needs beyond [`RdtBackend`]:
-/// admitting and evicting whole workloads at runtime.
-pub trait ServeBackend: RdtBackend + Send + 'static {
+/// admitting and evicting whole workloads at runtime, plus freezing and
+/// restoring complete state for crash recovery
+/// ([`PersistableBackend`]).
+pub trait ServeBackend: RdtBackend + PersistableBackend + Send + 'static {
     /// Starts a workload in a fresh group and returns its id.
     ///
     /// # Errors
@@ -162,24 +171,22 @@ impl ControlHandle {
     }
 }
 
-/// Spawns the control thread over a profiled runtime.
+/// Spawns the control thread over a profiled (and possibly recovered)
+/// run.
 pub fn spawn_control<B: ServeBackend>(
-    runtime: ConsolidationRuntime<B>,
-    env: ScenarioEnv,
+    run: PersistedRun<B>,
     cfg: DaemonConfig,
     rx: Receiver<Command>,
     commands: Sender<Command>,
 ) -> ControlHandle {
     let status = Arc::new(Mutex::new(String::from("{}")));
-    let metrics = runtime.metrics_handle();
+    let metrics = run.runtime().metrics_handle();
     let daemon = Daemon {
-        runtime,
-        env,
+        run,
         cfg,
         metrics,
         status: Arc::clone(&status),
         rx,
-        epochs_done: 0,
     };
     let join = std::thread::Builder::new()
         .name("copart-control".into())
@@ -193,13 +200,11 @@ pub fn spawn_control<B: ServeBackend>(
 }
 
 struct Daemon<B: ServeBackend> {
-    runtime: ConsolidationRuntime<B>,
-    env: ScenarioEnv,
+    run: PersistedRun<B>,
     cfg: DaemonConfig,
     metrics: Arc<MetricsRegistry>,
     status: Arc<Mutex<String>>,
     rx: Receiver<Command>,
-    epochs_done: u64,
 }
 
 impl<B: ServeBackend> Daemon<B> {
@@ -210,7 +215,14 @@ impl<B: ServeBackend> Daemon<B> {
         } else {
             self.run_wall();
         }
-        if let Err(e) = self.runtime.recorder_mut().flush() {
+        // A clean shutdown cuts a final snapshot, so the state
+        // directory restores to exactly the drained state.
+        if self.run.persisting() {
+            if let Err(e) = self.run.snapshot_now() {
+                eprintln!("copart serve: final snapshot on shutdown: {e}");
+            }
+        }
+        if let Err(e) = self.run.flush_trace() {
             eprintln!("copart serve: flushing trace on shutdown: {e}");
         }
     }
@@ -297,14 +309,15 @@ impl<B: ServeBackend> Daemon<B> {
     }
 
     fn epochs_remaining(&self) -> bool {
-        self.cfg.max_epochs.is_none_or(|cap| self.epochs_done < cap)
+        self.cfg
+            .max_epochs
+            .is_none_or(|cap| self.run.epochs_done() < cap)
     }
 
     fn epoch(&mut self) {
         // Attempts count toward the cap whether or not the period
         // succeeds, so a failing backend cannot spin a free-run forever.
-        self.epochs_done += 1;
-        if let Err(e) = self.runtime.run_period() {
+        if let Err(e) = self.run.run_epoch() {
             self.metrics.inc("epoch_failures");
             eprintln!("copart serve: epoch failed: {e}");
         }
@@ -329,8 +342,11 @@ impl<B: ServeBackend> Daemon<B> {
                 self.publish_status();
                 let _ = reply.send(result);
             }
+            Command::Snapshot { reply } => {
+                let _ = reply.send(self.snapshot());
+            }
             Command::Shutdown { reply } => {
-                let _ = reply.send(self.epochs_done);
+                let _ = reply.send(self.run.epochs_done());
                 return true;
             }
         }
@@ -338,84 +354,58 @@ impl<B: ServeBackend> Daemon<B> {
     }
 
     fn admit(&mut self, bench: &str) -> ApiResult {
-        let spec = self.env.spec_for(bench).map_err(|e| (400, e))?;
-        let name = spec.name.clone();
-        let budget = self.runtime.config().budget;
-        let n = self.runtime.apps().len() as u32;
-        if n + 1 > budget.total_ways {
-            return Err((
-                409,
-                format!(
-                    "no LLC way left for another application ({n} managed, {} ways)",
-                    budget.total_ways
-                ),
-            ));
-        }
-        let group = self
-            .runtime
-            .backend_mut()
-            .admit(spec)
-            .map_err(|e| (409, format!("admission refused: {e}")))?;
-        if let Err(e) = self.runtime.add_app(group, name) {
-            let _ = self.runtime.backend_mut().evict(group);
-            return Err((500, format!("admitted but re-profiling failed: {e}")));
-        }
-        self.metrics.inc("admitted_apps");
-        Ok(format!("{{\"group\":{}}}", group.0))
+        self.run
+            .admit(bench)
+            .map(|group| format!("{{\"group\":{}}}", group.0))
     }
 
     fn remove(&mut self, id: u16) -> ApiResult {
-        let group = ClosId(id);
-        if !self.runtime.apps().iter().any(|a| a.group == group) {
-            return Err((404, format!("no managed application in group {id}")));
-        }
-        if self.runtime.apps().len() == 1 {
-            return Err((
-                409,
-                "refusing to remove the last application; shut the daemon down instead".into(),
-            ));
-        }
-        self.runtime
-            .remove_app(group)
-            .map_err(|e| (500, format!("removal failed: {e}")))?;
-        self.runtime.backend_mut().evict(group).map_err(|e| {
-            (
-                500,
-                format!("removed from control but not the platform: {e}"),
-            )
-        })?;
-        self.metrics.inc("removed_apps");
-        Ok(format!("{{\"removed\":{id}}}"))
+        self.run
+            .remove(id)
+            .map(|()| format!("{{\"removed\":{id}}}"))
     }
 
     fn set_policy(&mut self, policy: &str) -> ApiResult {
-        let kind = parse_dynamic_policy(policy).map_err(|e| (400, e))?;
-        let cfg = self.env.runtime_config(self.runtime.apps().len(), kind);
-        self.runtime
-            .reconfigure(cfg)
-            .map_err(|e| (500, format!("policy switch failed mid-apply: {e}")))?;
-        self.env.policy = kind;
-        self.metrics.inc("policy_switches");
-        Ok(format!("{{\"policy\":\"{}\"}}", kind.label()))
+        self.run
+            .set_policy(policy)
+            .map(|kind| format!("{{\"policy\":\"{}\"}}", kind.label()))
+    }
+
+    fn snapshot(&mut self) -> ApiResult {
+        if !self.run.persisting() {
+            return Err((
+                409,
+                "persistence is not enabled (start the daemon with --state-dir)".into(),
+            ));
+        }
+        match self.run.snapshot_now() {
+            Ok((path, bytes)) => Ok(format!(
+                "{{\"snapshot\":{},\"bytes\":{bytes},\"epoch\":{}}}",
+                Json::Str(path.display().to_string()),
+                self.run.runtime().epoch()
+            )),
+            Err(e) => Err((500, e)),
+        }
     }
 
     /// Renders and publishes the `GET /status` document. Runs after
     /// every epoch and every command, so readers always see the state
     /// as of the last epoch boundary.
     fn publish_status(&self) {
-        let phase = match self.runtime.phase() {
+        let runtime = self.run.runtime();
+        let phase = match runtime.phase() {
             Phase::Profiling => "profiling",
             Phase::Exploring => "exploring",
             Phase::Idle => "idle",
         };
-        let budget = self.runtime.config().budget;
-        let machine_ways = self.runtime.backend().capabilities().llc_ways;
-        let state = self.runtime.state();
+        let budget = runtime.config().budget;
+        let machine_ways = runtime.backend().capabilities().llc_ways;
+        let state = runtime.state();
         let masks = state.masks(&budget, machine_ways);
-        let mut apps = Vec::with_capacity(self.runtime.apps().len());
+        let mut apps = Vec::with_capacity(runtime.apps().len());
         let mut schemata_l3 = String::from("L3:");
         let mut schemata_mb = String::from("MB:");
-        for (i, app) in self.runtime.apps().iter().enumerate() {
+        for (i, app) in runtime.apps().iter().enumerate() {
             let (llc, mba) = app.classifier_states();
             let alloc = state.allocs[i];
             let mask = masks[i];
@@ -440,7 +430,7 @@ impl<B: ServeBackend> Daemon<B> {
             ]));
         }
         let doc = Json::Obj(vec![
-            ("epoch".into(), Json::Num(self.epochs_done as f64)),
+            ("epoch".into(), Json::Num(self.run.epochs_done() as f64)),
             (
                 "ticks".into(),
                 Json::Num(self.metrics.counter("ticks") as f64),
@@ -450,7 +440,10 @@ impl<B: ServeBackend> Daemon<B> {
                 Json::Num(self.metrics.counter("epoch_deadline_misses") as f64),
             ),
             ("phase".into(), Json::Str(phase.into())),
-            ("policy".into(), Json::Str(self.env.policy.label().into())),
+            (
+                "policy".into(),
+                Json::Str(self.run.env().policy.label().into()),
+            ),
             (
                 "unfairness".into(),
                 Json::Num(self.metrics.gauge("unfairness").unwrap_or(0.0)),

@@ -55,6 +55,7 @@
 pub mod daemon;
 pub mod http;
 pub mod loadgen;
+pub mod persist;
 pub mod prometheus;
 pub mod scenario;
 pub mod server;
@@ -63,6 +64,10 @@ pub mod workers;
 
 pub use daemon::{parse_dynamic_policy, DaemonConfig, ServeBackend};
 pub use loadgen::{LoadConfig, LoadReport};
-pub use scenario::{Scenario, ScenarioEnv, PROFILE_ATTEMPTS};
+pub use persist::{
+    harness_run, recover_faulty, recover_sim, resume_trace_file, ChurnOp, HarnessOutcome,
+    PersistConfig, PersistedRun, Recovered, KEEP_SNAPSHOTS,
+};
+pub use scenario::{RunIdentity, Scenario, ScenarioEnv, PROFILE_ATTEMPTS};
 pub use server::{serve, serve_scenario, ServeConfig, ServeReport, ServerHandle};
 pub use trace::{RotatingJsonl, SharedRing, TeeRecorder};

@@ -87,12 +87,18 @@ impl Scenario {
     }
 
     /// Measures the environment the scenario runs in (machine model,
-    /// STREAM reference table, parameters). Deterministic, but not free:
-    /// the STREAM table is simulated at every MBA level.
+    /// STREAM reference table, parameters). The STREAM table is
+    /// simulated at every MBA level — deterministic but not free, so it
+    /// is computed once per process and cloned (every scenario runs on
+    /// the same machine model; the kill/resume harness and the recovery
+    /// tests call this per incarnation).
     pub fn env(&self) -> ScenarioEnv {
+        static STREAM: std::sync::OnceLock<StreamReference> = std::sync::OnceLock::new();
         let machine = MachineConfig::xeon_gold_6130();
         let mix = WorkloadMix::build(self.mix, self.n_apps, machine.n_cores);
-        let stream = StreamReference::compute(&machine, 4);
+        let stream = STREAM
+            .get_or_init(|| StreamReference::compute(&machine, 4))
+            .clone();
         let params = CoPartParams {
             seed: self.seed,
             ..CoPartParams::default()
@@ -103,6 +109,15 @@ impl Scenario {
             params,
             cores_per_app: mix.cores_per_app,
             policy: self.policy,
+            identity: RunIdentity {
+                mix: self.mix.label().to_string(),
+                seed: self.seed,
+                faults: self
+                    .faults
+                    .as_ref()
+                    .map(|p| format!("{p:?}"))
+                    .unwrap_or_default(),
+            },
         }
     }
 
@@ -177,8 +192,13 @@ impl Scenario {
 }
 
 /// Admits every spec into the backend, returning `(group, name)` pairs
-/// in spec order.
-fn admit_all(backend: &mut SimBackend, specs: &[AppSpec]) -> Result<Vec<(ClosId, String)>, String> {
+/// in spec order. Crate-visible so the recovery path
+/// ([`crate::persist`]) can rebuild the boot-time group table before
+/// restoring a snapshot over it.
+pub(crate) fn admit_all(
+    backend: &mut SimBackend,
+    specs: &[AppSpec],
+) -> Result<Vec<(ClosId, String)>, String> {
     specs
         .iter()
         .map(|spec| {
@@ -189,6 +209,22 @@ fn admit_all(backend: &mut SimBackend, specs: &[AppSpec]) -> Result<Vec<(ClosId,
                 .map_err(|e| format!("mix does not fit the machine: {e}"))
         })
         .collect()
+}
+
+/// What makes one persisted run *this* run: the immutable facts a state
+/// directory is checked against before a snapshot is restored over a
+/// freshly built runtime. Deliberately excludes the app count and the
+/// policy — both drift legitimately over a run's lifetime (admissions,
+/// removals, live policy switches) and are restored *from* the snapshot
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunIdentity {
+    /// Workload mix label (e.g. `"M-Both"`).
+    pub mix: String,
+    /// The explorer seed.
+    pub seed: u64,
+    /// The fault plan's debug rendering (empty = fault-free).
+    pub faults: String,
 }
 
 /// The measured environment a scenario runs in, kept by the daemon for
@@ -205,6 +241,8 @@ pub struct ScenarioEnv {
     pub cores_per_app: u32,
     /// The currently active policy.
     pub policy: PolicyKind,
+    /// The run's immutable identity (crash-recovery guard).
+    pub identity: RunIdentity,
 }
 
 impl ScenarioEnv {

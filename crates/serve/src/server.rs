@@ -21,12 +21,13 @@ use crate::daemon::{
     spawn_control, ApiResult, Command, ControlHandle, DaemonConfig, Gateway, ServeBackend,
 };
 use crate::http::{self, ReadOutcome, Request, Response};
+use crate::persist::{recover_faulty, recover_sim, PersistConfig, PersistedRun, Recovered};
 use crate::prometheus;
 use crate::scenario::{profile_with_retries, Scenario, ScenarioEnv, PROFILE_ATTEMPTS};
 use crate::trace::{RotatingJsonl, SharedRing, TeeRecorder};
 use crate::workers::{HealthCheckWorker, TraceReplayWorker, TraceRotateWorker, Worker, WorkerPool};
 use copart_core::runtime::ConsolidationRuntime;
-use copart_telemetry::{Json, MetricsSnapshot, Recorder};
+use copart_telemetry::{Json, MetricsRegistry, MetricsSnapshot, Recorder};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -61,6 +62,13 @@ pub struct ServeConfig {
     pub trace_file_events: u64,
     /// Background-worker tick interval.
     pub worker_interval: Duration,
+    /// State directory for crash-safe snapshots and event logs (`None`
+    /// disables persistence). [`serve_scenario`] recovers from it when
+    /// it already holds a usable snapshot.
+    pub state_dir: Option<PathBuf>,
+    /// Epochs between automatic snapshots (0 = only explicit
+    /// `POST /snapshot` requests).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +84,8 @@ impl Default for ServeConfig {
             trace_dir: None,
             trace_file_events: 10_000,
             worker_interval: Duration::from_millis(50),
+            state_dir: None,
+            snapshot_every: 64,
         }
     }
 }
@@ -151,18 +161,91 @@ impl ServerHandle {
 }
 
 /// Builds the scenario's runtime (fault-free or fault-injected) and
-/// starts the daemon over it.
+/// starts the daemon over it. With [`ServeConfig::state_dir`] set and a
+/// usable snapshot in it, the daemon recovers — restores the snapshot,
+/// replays the event-log tail — and continues the dead process's run
+/// instead of starting over.
 ///
 /// # Errors
 ///
-/// Fails when the scenario cannot be built, profiling does not survive
-/// the fault plan, or the listen address cannot be bound.
+/// Fails when the scenario cannot be built, the state directory holds
+/// another run's state, profiling does not survive the fault plan, or
+/// the listen address cannot be bound.
 pub fn serve_scenario(scenario: &Scenario, cfg: ServeConfig) -> Result<ServerHandle, String> {
+    if let Some(dir) = cfg.state_dir.clone() {
+        match scenario.faults.clone() {
+            None => {
+                if let Some(rec) = recover_sim(scenario, &dir, cfg.snapshot_every)? {
+                    return serve_recovered(rec, cfg);
+                }
+            }
+            Some(plan) => {
+                if let Some(rec) = recover_faulty(scenario, plan, &dir, cfg.snapshot_every)? {
+                    return serve_recovered(rec, cfg);
+                }
+            }
+        }
+    }
     let env = scenario.env();
     match scenario.faults.clone() {
         None => serve(scenario.build_sim(&env)?, env, cfg),
         Some(plan) => serve(scenario.build_faulty(&env, plan)?, env, cfg),
     }
+}
+
+/// The trace sinks and background jobs a daemon boots with, fresh or
+/// recovered.
+struct Sinks {
+    ring: SharedRing,
+    rotating: Option<RotatingJsonl>,
+    background: Vec<Box<dyn Worker>>,
+    recorder: Box<dyn Recorder + Send>,
+}
+
+/// Builds the flight recorder, the optional file sink, and the workers
+/// that watch them. `resume_below` reopens the file sink truncated to
+/// trace events below the restored snapshot's epoch (replay re-emits
+/// the rest); the in-memory ring always starts empty.
+fn build_sinks(
+    cfg: &ServeConfig,
+    metrics: &Arc<MetricsRegistry>,
+    resume_below: Option<u64>,
+) -> Result<Sinks, String> {
+    let ring = SharedRing::new(cfg.ring_capacity.max(1));
+    let mut background: Vec<Box<dyn Worker>> = vec![
+        Box::new(HealthCheckWorker::new(Arc::clone(metrics), cfg.max_epochs)),
+        Box::new(TraceReplayWorker::new(ring.clone(), Arc::clone(metrics))),
+    ];
+    let mut rotating = None;
+    let recorder: Box<dyn Recorder + Send> = match &cfg.trace_dir {
+        None => Box::new(ring.clone()),
+        Some(dir) => {
+            let sink = match resume_below {
+                None => RotatingJsonl::create(dir, "trace", cfg.trace_file_events),
+                Some(cut) => RotatingJsonl::resume(dir, "trace", cfg.trace_file_events, cut),
+            }
+            .map_err(|e| format!("cannot open trace dir {}: {e}", dir.display()))?;
+            background.push(Box::new(TraceRotateWorker::new(
+                sink.clone(),
+                Arc::clone(metrics),
+            )));
+            rotating = Some(sink.clone());
+            Box::new(TeeRecorder::new(Box::new(ring.clone()), Box::new(sink)))
+        }
+    };
+    Ok(Sinks {
+        ring,
+        rotating,
+        background,
+        recorder,
+    })
+}
+
+fn check_pacing(cfg: &ServeConfig) -> Result<(), String> {
+    if cfg.tick.is_zero() && cfg.max_epochs.is_none() {
+        return Err("free-run (tick 0) needs --epochs, or the loop would spin forever".into());
+    }
+    Ok(())
 }
 
 /// Starts the daemon over an already-built (not yet profiled) runtime.
@@ -176,36 +259,49 @@ pub fn serve<B: ServeBackend>(
     env: ScenarioEnv,
     cfg: ServeConfig,
 ) -> Result<ServerHandle, String> {
-    if cfg.tick.is_zero() && cfg.max_epochs.is_none() {
-        return Err("free-run (tick 0) needs --epochs, or the loop would spin forever".into());
-    }
+    check_pacing(&cfg)?;
     let metrics = runtime.metrics_handle();
-    let ring = SharedRing::new(cfg.ring_capacity.max(1));
-    let mut background: Vec<Box<dyn Worker>> = vec![
-        Box::new(HealthCheckWorker::new(Arc::clone(&metrics), cfg.max_epochs)),
-        Box::new(TraceReplayWorker::new(ring.clone(), Arc::clone(&metrics))),
-    ];
-    let mut rotating = None;
-    let recorder: Box<dyn Recorder + Send> = match &cfg.trace_dir {
-        None => Box::new(ring.clone()),
-        Some(dir) => {
-            let sink = RotatingJsonl::create(dir, "trace", cfg.trace_file_events)
-                .map_err(|e| format!("cannot open trace dir {}: {e}", dir.display()))?;
-            background.push(Box::new(TraceRotateWorker::new(
-                sink.clone(),
-                Arc::clone(&metrics),
-            )));
-            rotating = Some(sink.clone());
-            Box::new(TeeRecorder::new(Box::new(ring.clone()), Box::new(sink)))
-        }
-    };
-    runtime.set_recorder(recorder);
+    let sinks = build_sinks(&cfg, &metrics, None)?;
+    runtime.set_recorder(sinks.recorder);
     profile_with_retries(&mut runtime, PROFILE_ATTEMPTS)?;
+    let mut run = PersistedRun::new(runtime, env);
+    if let Some(dir) = cfg.state_dir.clone() {
+        run.enable_persistence(PersistConfig {
+            dir,
+            snapshot_every: cfg.snapshot_every,
+        })?;
+    }
+    serve_run(run, cfg, sinks.ring, sinks.rotating, sinks.background)
+}
 
+/// Starts the daemon over a restored-but-not-yet-replayed run: attaches
+/// the (resume-truncated) trace sinks, replays the event-log tail
+/// through them, and serves the continued run.
+fn serve_recovered<B: ServeBackend>(
+    mut rec: Recovered<B>,
+    cfg: ServeConfig,
+) -> Result<ServerHandle, String> {
+    check_pacing(&cfg)?;
+    let metrics = rec.metrics_handle();
+    let sinks = build_sinks(&cfg, &metrics, Some(rec.snapshot_epoch()))?;
+    rec.set_recorder(sinks.recorder);
+    let run = rec.replay(true)?;
+    serve_run(run, cfg, sinks.ring, sinks.rotating, sinks.background)
+}
+
+/// The shared back half of both boot paths: spawn the control thread,
+/// the worker pool, and the HTTP front end over a ready [`PersistedRun`].
+fn serve_run<B: ServeBackend>(
+    run: PersistedRun<B>,
+    cfg: ServeConfig,
+    ring: SharedRing,
+    rotating: Option<RotatingJsonl>,
+    background: Vec<Box<dyn Worker>>,
+) -> Result<ServerHandle, String> {
+    let metrics = run.runtime().metrics_handle();
     let (cmd_tx, cmd_rx) = mpsc::channel();
     let control = spawn_control(
-        runtime,
-        env,
+        run,
         DaemonConfig {
             tick: cfg.tick,
             max_epochs: cfg.max_epochs,
@@ -435,13 +531,16 @@ fn route(req: &Request, gateway: &Gateway, shutdown: &AtomicBool) -> Response {
             Ok(policy) => roundtrip(gateway, 200, |reply| Command::SetPolicy { policy, reply }),
             Err(resp) => resp,
         },
+        ("POST", "/snapshot") => roundtrip(gateway, 200, |reply| Command::Snapshot { reply }),
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             Response::json(200, "{\"draining\":true}")
         }
-        (_, "/metrics" | "/status" | "/healthz" | "/trace" | "/apps" | "/policy" | "/shutdown") => {
-            Response::error(405, "method not allowed for this path")
-        }
+        (
+            _,
+            "/metrics" | "/status" | "/healthz" | "/trace" | "/apps" | "/policy" | "/snapshot"
+            | "/shutdown",
+        ) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "no such endpoint"),
     }
 }

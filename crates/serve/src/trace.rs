@@ -143,6 +143,84 @@ impl RotatingJsonl {
         })
     }
 
+    /// Reopens a rotated trace directory for a recovered daemon: keeps
+    /// the byte-exact prefix of events below `below_epoch` (replay
+    /// re-emits the rest), drops any torn tail, repacks the kept events
+    /// at the file cap, and leaves the last file open for appending.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be scanned or the files cannot
+    /// be rewritten.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        prefix: &str,
+        max_events_per_file: u64,
+        below_epoch: u64,
+    ) -> io::Result<RotatingJsonl> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let max = max_events_per_file.max(1) as usize;
+        // The durable prefix: parsed events below the boundary, in file
+        // order. The first torn line or replayed epoch ends it — and
+        // everything after it (including later files) is regenerated.
+        let mut kept: Vec<String> = Vec::new();
+        let mut index = 0u32;
+        'scan: loop {
+            let text = match std::fs::read_to_string(RotatingInner::path(&dir, prefix, index)) {
+                Ok(t) => t,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            };
+            for line in text.lines() {
+                match TraceEvent::from_json_line(line) {
+                    Ok(e) if e.epoch < below_epoch => kept.push(line.to_string()),
+                    _ => break 'scan,
+                }
+            }
+            index += 1;
+        }
+        let file_prefix = format!("{prefix}-");
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(&file_prefix) && name.ends_with(".jsonl") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        // Repack: full files at exactly the cap, then the open tail
+        // file. Re-recording the tail keeps the open sink's event count
+        // honest, so the next rotation happens at the right size.
+        let full = (kept.len() / max) * max;
+        for (i, chunk) in kept[..full].chunks(max).enumerate() {
+            let mut text = String::with_capacity(chunk.iter().map(|l| l.len() + 1).sum());
+            for line in chunk {
+                text.push_str(line);
+                text.push('\n');
+            }
+            std::fs::write(RotatingInner::path(&dir, prefix, i as u32), text)?;
+        }
+        let open_index = (full / max) as u32;
+        let mut sink = JsonlRecorder::create(RotatingInner::path(&dir, prefix, open_index))?;
+        for line in &kept[full..] {
+            if let Ok(event) = TraceEvent::from_json_line(line) {
+                sink.record(&event);
+            }
+        }
+        sink.flush()?;
+        Ok(RotatingJsonl {
+            inner: Arc::new(Mutex::new(RotatingInner {
+                dir,
+                prefix: prefix.to_string(),
+                max_events_per_file: max as u64,
+                index: open_index,
+                sink,
+                rotations: 0,
+            })),
+        })
+    }
+
     /// Switches to the next file if the current one has reached the
     /// event cap. Returns whether a rotation happened.
     ///
@@ -279,6 +357,42 @@ mod tests {
         assert_eq!(first.len(), 3);
         assert_eq!(second.len(), 2);
         assert_eq!(second[0].epoch, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_keeps_the_prefix_and_repacks_at_the_cap() {
+        let dir = std::env::temp_dir().join(format!("copart-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = RotatingJsonl::create(&dir, "trace", 3).unwrap();
+        for epoch in 0..3 {
+            sink.record(&event(epoch));
+        }
+        assert!(sink.rotate_if_full().unwrap());
+        for epoch in 3..7 {
+            sink.record(&event(epoch));
+        }
+        sink.flush().unwrap();
+        drop(sink);
+        // Resume below epoch 5: epochs 5 and 6 are regenerated by
+        // replay, so the reopened sink keeps exactly 0..=4.
+        let mut resumed = RotatingJsonl::resume(&dir, "trace", 3, 5).unwrap();
+        for epoch in 5..7 {
+            resumed.record(&event(epoch));
+        }
+        resumed.flush().unwrap();
+        let first = read_trace_file(dir.join("trace-0000.jsonl")).unwrap();
+        let second = read_trace_file(dir.join("trace-0001.jsonl")).unwrap();
+        assert_eq!(first.iter().map(|e| e.epoch).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(
+            second.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            [3, 4, 5, 6],
+            "tail file keeps the durable prefix and the re-emitted events"
+        );
+        assert!(
+            resumed.rotate_if_full().unwrap(),
+            "the reopened sink counts the kept events toward the cap"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -50,6 +50,33 @@ const INVALID_LINE: Line = Line {
     dirty: false,
 };
 
+/// One valid line in a [`CacheSnapshot`], addressed by its flat index
+/// into the `sets × ways` line array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLineSnapshot {
+    /// Flat index (`set * ways + way`) of the line.
+    pub index: u64,
+    /// The line's tag.
+    pub tag: u64,
+    /// LRU stamp (value of the access clock when last touched).
+    pub lru: u64,
+    /// Raw CLOS id of the last toucher.
+    pub owner: u16,
+    /// Whether the line holds unwritten-back data.
+    pub dirty: bool,
+}
+
+/// Full content state of a [`SampledCache`]: the access clock and every
+/// valid line. Invalid lines are implicit, keeping snapshots of a cold or
+/// partially-warm cache compact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// The access clock (monotone LRU timestamp source).
+    pub clock: u64,
+    /// Every valid line, in flat-index order.
+    pub lines: Vec<CacheLineSnapshot>,
+}
+
 /// A way-partitioned set-associative LRU cache.
 #[derive(Debug, Clone)]
 pub struct SampledCache {
@@ -231,6 +258,49 @@ impl SampledCache {
     pub fn flush(&mut self) {
         self.lines.fill(INVALID_LINE);
     }
+
+    /// Captures the full content state (clock + every valid line).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let lines = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid)
+            .map(|(i, l)| CacheLineSnapshot {
+                index: i as u64,
+                tag: l.tag,
+                lru: l.lru,
+                owner: l.owner.0,
+                dirty: l.dirty,
+            })
+            .collect();
+        CacheSnapshot {
+            clock: self.clock,
+            lines,
+        }
+    }
+
+    /// Restores content state captured from a cache of the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any line index is out of range for this geometry — the
+    /// snapshot belongs to a differently-sized cache.
+    pub fn restore(&mut self, snap: &CacheSnapshot) {
+        self.flush();
+        self.clock = snap.clock;
+        for line in &snap.lines {
+            let idx = usize::try_from(line.index).expect("line index fits usize");
+            assert!(idx < self.lines.len(), "snapshot line index out of range");
+            self.lines[idx] = Line {
+                tag: line.tag,
+                lru: line.lru,
+                owner: ClosId(line.owner),
+                valid: true,
+                dirty: line.dirty,
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +444,47 @@ mod tests {
         assert_eq!(c.occupancy_lines(C1), 1);
         c.flush();
         assert_eq!(c.occupancy_lines(C0), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_hits_and_occupancy() {
+        let mut c = small();
+        let m = full_mask();
+        for t in 0..7 {
+            c.access(C0, m, addr(t % 4, t), t % 2 == 0);
+        }
+        c.access(C1, m, addr(1, 40), true);
+        let snap = c.snapshot();
+        let mut restored = small();
+        restored.restore(&snap);
+        assert_eq!(restored.occupancy_lines(C0), c.occupancy_lines(C0));
+        assert_eq!(restored.occupancy_lines(C1), c.occupancy_lines(C1));
+        // Identical future behaviour, including LRU victim choice and
+        // dirty-writeback accounting.
+        for t in 0..20u64 {
+            let a = addr(t % 4, 100 + t);
+            assert_eq!(
+                c.access(C0, m, a, t % 3 == 0),
+                restored.access(C0, m, a, t % 3 == 0)
+            );
+        }
+        assert_eq!(c.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restore_rejects_foreign_geometry() {
+        let mut big = SampledCache::new(CacheConfig {
+            sets: 8,
+            ways: 8,
+            line_bytes: 64,
+        });
+        let m = CbmMask::full(8);
+        for t in 0..60 {
+            big.access(C0, m, t * 64, false);
+        }
+        let mut tiny = small();
+        tiny.restore(&big.snapshot());
     }
 
     #[test]

@@ -46,5 +46,7 @@ pub mod timing;
 pub mod trace;
 
 pub use config::MachineConfig;
-pub use machine::{AppHandle, AppSpec, Machine, SimError, WindowReport};
+pub use machine::{
+    AppHandle, AppSpec, Machine, MachineSnapshot, SimAppSnapshot, SimError, WindowReport,
+};
 pub use resources::{CbmMask, ClosId, MaskError, MbaLevel, ResourceKind};

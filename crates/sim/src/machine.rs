@@ -40,6 +40,21 @@ pub struct AppSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppHandle(u32);
 
+impl AppHandle {
+    /// The raw slot index — the snapshot/restore seam for backend group
+    /// tables that must persist handle values across a crash.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from its raw slot index. Only meaningful for
+    /// values previously obtained from [`AppHandle::raw`] against the
+    /// same (or a faithfully restored) machine.
+    pub fn from_raw(raw: u32) -> AppHandle {
+        AppHandle(raw)
+    }
+}
+
 impl fmt::Display for AppHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "app{}", self.0)
@@ -106,6 +121,55 @@ pub struct WindowReport {
 struct ClosConfig {
     mask: CbmMask,
     mba: MbaLevel,
+}
+
+/// Frozen state of one live application inside a [`MachineSnapshot`]:
+/// the full spec, CLOS assignment, trace-generator position, estimator
+/// state, and cumulative PMC accumulators (kept as `f64` exactly as the
+/// machine accumulates them, so a restored run produces bit-identical
+/// counter readings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimAppSnapshot {
+    /// The application's full spec (unscaled phases).
+    pub spec: AppSpec,
+    /// Raw CLOS id the application runs under.
+    pub clos: u16,
+    /// Mid-stream position of the trace generator.
+    pub gen: crate::trace::TraceGenSnapshot,
+    /// IPS estimate used to size the next window's access quota.
+    pub ips_estimate: f64,
+    /// Smoothed miss ratio.
+    pub miss_ratio: f64,
+    /// Smoothed writebacks per access.
+    pub wb_per_access: f64,
+    /// Cumulative instructions (f64 accumulator).
+    pub instructions: f64,
+    /// Cumulative cycles (f64 accumulator).
+    pub cycles: f64,
+    /// Cumulative LLC accesses (f64 accumulator).
+    pub accesses: f64,
+    /// Cumulative LLC misses (f64 accumulator).
+    pub misses: f64,
+    /// Cumulative memory traffic in bytes (f64 accumulator).
+    pub mem_traffic_bytes: f64,
+}
+
+/// Complete dynamic state of a [`Machine`]: virtual time, the CLOS table,
+/// every application slot (removed-app holes preserved, so handles stay
+/// stable), and the shared cache contents. Together with the
+/// [`MachineConfig`] the machine was built from, this fully determines
+/// all future behaviour — restoring it mid-run continues the simulation
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    /// Virtual time in nanoseconds.
+    pub time_ns: u64,
+    /// CLOS table as `(raw id, CAT mask bits, MBA percent)` triples.
+    pub clos_table: Vec<(u16, u32, u8)>,
+    /// Application slots in handle order; `None` marks a removed app.
+    pub apps: Vec<Option<SimAppSnapshot>>,
+    /// Shared LLC contents.
+    pub cache: crate::cache::CacheSnapshot,
 }
 
 #[derive(Debug)]
@@ -623,6 +687,100 @@ impl Machine {
             .and_then(|a| a.as_mut())
             .ok_or(SimError::UnknownApp(app))
     }
+
+    /// Captures the machine's complete dynamic state.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            time_ns: self.time_ns,
+            clos_table: self
+                .clos_table
+                .iter()
+                .map(|(id, c)| (id.0, c.mask.bits(), c.mba.percent()))
+                .collect(),
+            apps: self
+                .apps
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|a| SimAppSnapshot {
+                        spec: a.spec.clone(),
+                        clos: a.clos.0,
+                        gen: a.gen.snapshot(),
+                        ips_estimate: a.ips_estimate,
+                        miss_ratio: a.miss_ratio,
+                        wb_per_access: a.wb_per_access,
+                        instructions: a.instructions,
+                        cycles: a.cycles,
+                        accesses: a.accesses,
+                        misses: a.misses,
+                        mem_traffic_bytes: a.mem_traffic_bytes,
+                    })
+                })
+                .collect(),
+            cache: self.cache.snapshot(),
+        }
+    }
+
+    /// Restores dynamic state captured from a machine built with the same
+    /// [`MachineConfig`]. Removed-app holes are reproduced so application
+    /// handles keep their original meaning; trace generators are rebuilt
+    /// over each spec's scaled phase mixture and resumed mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a CLOS mask in the snapshot is invalid for this machine's
+    /// way count (the snapshot belongs to a different geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache snapshot or a trace-generator snapshot does
+    /// not match this machine's geometry or the spec's phase mixture.
+    pub fn restore(&mut self, snap: &MachineSnapshot) -> Result<(), SimError> {
+        let mut clos_table = BTreeMap::new();
+        for &(id, bits, percent) in &snap.clos_table {
+            let mask = CbmMask::new(bits, self.cfg.llc_ways)?;
+            clos_table.insert(
+                ClosId(id),
+                ClosConfig {
+                    mask,
+                    mba: MbaLevel::new(percent),
+                },
+            );
+        }
+        let mut apps: Vec<Option<SimApp>> = Vec::with_capacity(snap.apps.len());
+        let mut cores_used = 0;
+        for slot in &snap.apps {
+            apps.push(slot.as_ref().map(|s| {
+                cores_used += s.spec.cores;
+                let scaled: Vec<(f64, AccessPattern)> = s
+                    .spec
+                    .phases
+                    .iter()
+                    .map(|(w, p)| (*w, p.scaled(self.cfg.scale, self.cfg.line_bytes)))
+                    .collect();
+                let mut gen = TraceGenerator::new(&scaled, self.cfg.line_bytes, 0);
+                gen.restore(&s.gen);
+                SimApp {
+                    spec: s.spec.clone(),
+                    clos: ClosId(s.clos),
+                    gen,
+                    ips_estimate: s.ips_estimate,
+                    miss_ratio: s.miss_ratio,
+                    wb_per_access: s.wb_per_access,
+                    instructions: s.instructions,
+                    cycles: s.cycles,
+                    accesses: s.accesses,
+                    misses: s.misses,
+                    mem_traffic_bytes: s.mem_traffic_bytes,
+                }
+            }));
+        }
+        self.cache.restore(&snap.cache);
+        self.clos_table = clos_table;
+        self.apps = apps;
+        self.cores_used = cores_used;
+        self.time_ns = snap.time_ns;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -800,6 +958,42 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].app, b);
         assert_eq!(m.apps(), vec![b]);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let mut original = Machine::new(MachineConfig::tiny_test());
+        original.add_app(stream_spec("s", 2), ClosId(0)).unwrap();
+        let gone = original.add_app(compute_spec("x", 1), ClosId(0)).unwrap();
+        let kept = original.add_app(compute_spec("c", 1), ClosId(0)).unwrap();
+        original
+            .set_cbm(ClosId(1), CbmMask::new(0b0011, 4).unwrap())
+            .unwrap();
+        original.set_mba(ClosId(1), MbaLevel::new(40));
+        original.remove_app(gone).unwrap();
+        for _ in 0..7 {
+            original.tick(100_000_000);
+        }
+        let snap = original.snapshot();
+        let mut resumed = Machine::new(MachineConfig::tiny_test());
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.now_ns(), original.now_ns());
+        assert_eq!(resumed.apps(), original.apps());
+        assert_eq!(resumed.free_cores(), original.free_cores());
+        assert_eq!(
+            resumed.clos_config(ClosId(1)),
+            original.clos_config(ClosId(1))
+        );
+        for _ in 0..10 {
+            let a = original.tick(100_000_000).to_vec();
+            let b = resumed.tick(100_000_000).to_vec();
+            assert_eq!(a, b, "reports diverge after restore");
+        }
+        assert_eq!(
+            original.counters(kept).unwrap(),
+            resumed.counters(kept).unwrap()
+        );
+        assert_eq!(original.snapshot(), resumed.snapshot());
     }
 
     #[test]

@@ -165,6 +165,22 @@ fn zipf_rank(rng: &mut XorShift64Star, n: u64, s: f64) -> u64 {
     (k as u64).min(n - 1)
 }
 
+/// Frozen mid-stream position of a [`TraceGenerator`]: the per-phase
+/// cursors, the RNG stream position, and the burst bookkeeping. Applied
+/// to a generator rebuilt over the *same* phase mixture (any seed), it
+/// resumes the address stream exactly where the original left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGenSnapshot {
+    /// Phase cursors, in phase order.
+    pub cursors: Vec<u64>,
+    /// The generator RNG's raw state word.
+    pub rng_state: u64,
+    /// Index of the phase currently emitting its burst.
+    pub active: usize,
+    /// Accesses left in the current burst.
+    pub burst_left: u32,
+}
+
 /// A deterministic, seedable trace generator over a phase mixture.
 ///
 /// All addresses are offsets within the application's private address
@@ -241,6 +257,39 @@ impl TraceGenerator {
     /// reproducible from the single seed).
     pub fn flip(&mut self, p: f64) -> bool {
         self.rng.gen_range(0.0..1.0) < p
+    }
+
+    /// Captures the generator's mid-stream position.
+    pub fn snapshot(&self) -> TraceGenSnapshot {
+        TraceGenSnapshot {
+            cursors: self.phases.iter().map(|p| p.cursor).collect(),
+            rng_state: self.rng.state(),
+            active: self.active,
+            burst_left: self.burst_left,
+        }
+    }
+
+    /// Resumes from a captured position. The generator must have been
+    /// rebuilt over the same phase mixture the snapshot was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's cursor count does not match the phase
+    /// count or its active index is out of range — that means the
+    /// snapshot belongs to a different mixture.
+    pub fn restore(&mut self, snap: &TraceGenSnapshot) {
+        assert_eq!(
+            snap.cursors.len(),
+            self.phases.len(),
+            "snapshot phase count mismatch"
+        );
+        assert!(snap.active < self.phases.len(), "active phase out of range");
+        for (phase, cursor) in self.phases.iter_mut().zip(&snap.cursors) {
+            phase.cursor = *cursor;
+        }
+        self.rng = XorShift64Star::from_state(snap.rng_state);
+        self.active = snap.active;
+        self.burst_left = snap.burst_left;
     }
 }
 
@@ -376,5 +425,55 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_mixture_panics() {
         let _ = TraceGenerator::new(&[], 64, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_burst() {
+        let phases = [
+            (
+                0.7,
+                AccessPattern::WorkingSetLoop {
+                    bytes: 16 * 64,
+                    stride: 64,
+                },
+            ),
+            (
+                0.3,
+                AccessPattern::Zipf {
+                    bytes: 1 << 16,
+                    exponent: 1.1,
+                },
+            ),
+        ];
+        let mut original = TraceGenerator::new(&phases, 64, 77);
+        // Advance to an arbitrary point mid-burst.
+        for _ in 0..203 {
+            original.next_addr();
+        }
+        original.flip(0.5);
+        let snap = original.snapshot();
+        // A freshly built generator with a different seed adopts the
+        // snapshot completely: the seed only matters at construction.
+        let mut resumed = TraceGenerator::new(&phases, 64, 9999);
+        resumed.restore(&snap);
+        for _ in 0..500 {
+            assert_eq!(original.next_addr(), resumed.next_addr());
+        }
+        assert_eq!(original.flip(0.25), resumed.flip(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase count mismatch")]
+    fn restore_rejects_foreign_snapshot() {
+        let a = TraceGenerator::new(&[(1.0, AccessPattern::Stream { bytes: 1 << 12 })], 64, 1);
+        let mut b = TraceGenerator::new(
+            &[
+                (1.0, AccessPattern::Stream { bytes: 1 << 12 }),
+                (1.0, AccessPattern::UniformRandom { bytes: 1 << 12 }),
+            ],
+            64,
+            1,
+        );
+        b.restore(&a.snapshot());
     }
 }

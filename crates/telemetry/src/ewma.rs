@@ -52,6 +52,13 @@ impl Ewma {
         self.value
     }
 
+    /// Overwrites the current average — the snapshot/restore seam.
+    /// `restore(e.value())` on a fresh smoother with the same alpha
+    /// resumes the series bit-exactly.
+    pub fn restore(&mut self, value: Option<f64>) {
+        self.value = value;
+    }
+
     /// Forgets all history.
     pub fn reset(&mut self) {
         self.value = None;
@@ -109,6 +116,26 @@ mod tests {
         assert_eq!(e.update(f64::NAN), Some(4.0));
         assert_eq!(e.update(f64::INFINITY), Some(4.0));
         assert_eq!(e.value(), Some(4.0));
+    }
+
+    #[test]
+    fn restore_resumes_the_series_bit_exactly() {
+        let mut original = Ewma::new(0.3);
+        for s in [4.0, 9.5, 2.25, 7.125] {
+            original.update(s);
+        }
+        let mut resumed = Ewma::new(0.3);
+        resumed.restore(original.value());
+        for s in [1.0, 3.5, 8.0] {
+            assert_eq!(original.update(s), resumed.update(s));
+        }
+        assert_eq!(
+            original.value().map(f64::to_bits),
+            resumed.value().map(f64::to_bits)
+        );
+        // Restoring None returns to the no-observation state.
+        resumed.restore(None);
+        assert_eq!(resumed.value(), None);
     }
 
     #[test]

@@ -179,6 +179,15 @@ impl MetricsRegistry {
         self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Overwrites the named counter — the snapshot/restore seam, used
+    /// when a crash-recovered runtime re-adopts the counter values a
+    /// persisted snapshot recorded. Normal accounting must go through
+    /// [`MetricsRegistry::inc`]/[`MetricsRegistry::add`]; this is the
+    /// one sanctioned break in counter monotonicity.
+    pub fn set_counter(&self, name: &'static str, value: u64) {
+        self.lock().counters.insert(name, value);
+    }
+
     /// Sets the named gauge to an arbitrary value.
     pub fn set_gauge(&self, name: &'static str, value: f64) {
         self.lock().gauges.insert(name, value);
@@ -300,6 +309,17 @@ mod tests {
         m.add("epochs", 3);
         assert_eq!(m.counter("epochs"), 5);
         assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn set_counter_overwrites_and_keeps_accumulating() {
+        let m = MetricsRegistry::new();
+        m.inc("epochs");
+        m.set_counter("epochs", 41);
+        m.inc("epochs");
+        assert_eq!(m.counter("epochs"), 42);
+        m.set_counter("fresh", 7);
+        assert_eq!(m.counter("fresh"), 7);
     }
 
     #[test]

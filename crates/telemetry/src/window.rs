@@ -69,6 +69,18 @@ impl SlidingWindow {
         self.samples.back()
     }
 
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained snapshots, oldest first — the snapshot/restore seam:
+    /// re-pushing the sequence into a fresh window of the same capacity
+    /// reproduces the exact history.
+    pub fn samples(&self) -> impl Iterator<Item = &CounterSnapshot> {
+        self.samples.iter()
+    }
+
     /// Delta between the two most recent snapshots.
     pub fn last_delta(&self) -> Option<CounterDelta> {
         let n = self.samples.len();
@@ -162,6 +174,22 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn capacity_must_allow_a_delta() {
         let _ = SlidingWindow::new(1);
+    }
+
+    #[test]
+    fn samples_roundtrip_reproduces_the_window() {
+        let mut w = SlidingWindow::new(4);
+        for k in 1..=6u64 {
+            w.push(snap(k * 100, k * 1000));
+        }
+        let mut restored = SlidingWindow::new(w.capacity());
+        for s in w.samples() {
+            assert!(restored.push(*s), "recorded history is monotone");
+        }
+        assert_eq!(restored.len(), w.len());
+        assert_eq!(restored.latest(), w.latest());
+        assert_eq!(restored.last_delta(), w.last_delta());
+        assert_eq!(restored.full_delta(), w.full_delta());
     }
 
     #[test]

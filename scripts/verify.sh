@@ -15,10 +15,14 @@
 #                     `#![warn(missing_docs)]` satisfied on every crate),
 #                     the copart-check suite at the full fuzz budget
 #                     (COPART_CHECK_CASES=512) with a jobs-1-vs-8 report
-#                     byte-comparison, the chaos gate, and the perf
-#                     gate (scripts/bench_gate.sh), which runs the
-#                     artifact benches and diffs their BENCH_*.json
-#                     against the checked-in baselines.
+#                     byte-comparison, the chaos gate, the
+#                     crash-recovery gate (scripts/recovery.sh: kill a
+#                     persisted run at an epoch boundary, resume it, and
+#                     require the stitched trace byte-identical to an
+#                     uninterrupted run), and the perf gate
+#                     (scripts/bench_gate.sh), which runs the artifact
+#                     benches and diffs their BENCH_*.json against the
+#                     checked-in baselines.
 #
 # COPART_CHECK_CASES overrides either budget from the environment.
 #
@@ -74,6 +78,9 @@ full)
 
     echo "==> chaos gate (fault injection, REPRO_FAST)"
     REPRO_FAST=1 scripts/chaos.sh release
+
+    echo "==> recovery gate (kill/resume byte-identity)"
+    scripts/recovery.sh release
 
     echo "==> perf gate (BENCH_*.json vs crates/bench/baselines)"
     scripts/bench_gate.sh

@@ -72,4 +72,8 @@ fn corpus_replays_every_blessed_regression() {
         replayed("matching-allocate-stable") >= 1,
         "matching fixture missing"
     );
+    assert!(
+        replayed("snapshot-restore-replay") >= 2,
+        "crash-recovery fixtures missing (clean + faulted)"
+    );
 }

@@ -1,0 +1,466 @@
+//! Kill-at-epoch-K crash recovery: the headline test for the
+//! epoch-snapshot + event-log persistence layer.
+//!
+//! The contract under test (DESIGN.md §16): a run killed dead at *any*
+//! epoch and resumed from its state directory finishes **byte-identical**
+//! to a run that never died — same decision-trace bytes, same final
+//! snapshot document, same metrics (modulo the wall-clock histograms and
+//! the persistence bookkeeping series, which describe the process, not
+//! the run). The sweep kills at every epoch K of the run, for a clean
+//! scenario, a churned one (admissions, removals, live policy switches),
+//! and a fault-injected one.
+
+use copart_core::policies::PolicyKind;
+use copart_faults::{FaultPlan, FaultTrigger};
+use copart_persist::{latest_good, SnapshotDoc};
+use copart_serve::loadgen;
+use copart_serve::{harness_run, ChurnOp, HarnessOutcome, Scenario, ServeConfig};
+use copart_telemetry::MetricsSnapshot;
+use copart_workloads::MixKind;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes the tests that flip the global parallelism knob.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn fast() -> bool {
+    std::env::var("REPRO_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A fresh scratch directory (removed by the caller when the test ends).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("copart-crashrec-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("creating scratch dir");
+    dir
+}
+
+const EPOCHS: u64 = 12;
+const SNAP_EVERY: u64 = 3;
+
+fn clean_scenario() -> Scenario {
+    Scenario::new(MixKind::HighBoth, 3, PolicyKind::CoPart, 11, None).unwrap()
+}
+
+/// Transient fault noise on every site except `vanish` (a vanished group
+/// would make the scheduled churn operations seed-dependent).
+fn noisy_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 5,
+        counter_dropout: FaultTrigger::Prob { p: 0.05 },
+        write_cbm: FaultTrigger::Prob { p: 0.05 },
+        write_mba: FaultTrigger::Prob { p: 0.05 },
+        vanish: FaultTrigger::Never,
+        clock_stall: FaultTrigger::Prob { p: 0.02 },
+    }
+}
+
+fn faulty_scenario() -> Scenario {
+    Scenario::new(
+        MixKind::HighBoth,
+        3,
+        PolicyKind::CoPart,
+        11,
+        Some(noisy_plan()),
+    )
+    .unwrap()
+}
+
+/// Admissions, a removal, and policy switches spread across the run, so
+/// kills land before, between, and after every kind of logged event.
+/// Boot groups of a 3-app mix are 1–3; the epoch-3 admission lands on 4.
+fn churn_schedule() -> Vec<(u64, ChurnOp)> {
+    vec![
+        (2, ChurnOp::Policy("cat-only".into())),
+        (3, ChurnOp::Admit("SW".into())),
+        (5, ChurnOp::Policy("copart".into())),
+        (8, ChurnOp::Remove(2)),
+        (10, ChurnOp::Admit("EP".into())),
+    ]
+}
+
+/// Everything a finished run leaves behind that must be reproducible.
+struct RunResidue {
+    trace: Vec<u8>,
+    snapshot: SnapshotDoc,
+    outcome: HarnessOutcome,
+}
+
+fn residue(trace_path: &Path, state_dir: &Path, outcome: HarnessOutcome) -> RunResidue {
+    let trace = fs::read(trace_path).expect("reading trace");
+    let (snapshot, _) = latest_good(state_dir)
+        .expect("scanning state dir")
+        .expect("a completed run leaves a final snapshot");
+    RunResidue {
+        trace,
+        snapshot,
+        outcome,
+    }
+}
+
+/// Counters that legitimately differ between a resumed and an
+/// uninterrupted run: they count the *persistence process* itself.
+const PROCESS_COUNTERS: &[&str] = &["snapshots_written", "recoveries"];
+const PROCESS_GAUGES: &[&str] = &["snapshot_bytes"];
+
+/// Counters and debug-formatted gauges, as comparable lists.
+type MetricLists = (Vec<(&'static str, u64)>, Vec<(&'static str, String)>);
+
+/// The run-describing metrics: counters and gauges minus the process
+/// series, histograms dropped entirely (every histogram is wall-clock).
+fn run_metrics(m: &MetricsSnapshot) -> MetricLists {
+    let counters = m
+        .counters
+        .iter()
+        .filter(|(name, _)| !PROCESS_COUNTERS.contains(name))
+        .copied()
+        .collect();
+    let gauges = m
+        .gauges
+        .iter()
+        .filter(|(name, _)| !PROCESS_GAUGES.contains(name))
+        .map(|(name, v)| (*name, format!("{v:?}")))
+        .collect();
+    (counters, gauges)
+}
+
+fn assert_same_residue(reference: &RunResidue, resumed: &RunResidue, label: &str) {
+    assert!(
+        !reference.trace.is_empty(),
+        "{label}: the reference run must trace"
+    );
+    assert_eq!(
+        reference.trace, resumed.trace,
+        "{label}: resumed trace must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        format!("{:?}", reference.snapshot.runtime),
+        format!("{:?}", resumed.snapshot.runtime),
+        "{label}: final runtime snapshots diverge"
+    );
+    assert_eq!(
+        format!("{:?}", reference.snapshot.backend),
+        format!("{:?}", resumed.snapshot.backend),
+        "{label}: final backend snapshots diverge"
+    );
+    assert_eq!(
+        format!("{:?}", reference.snapshot.meta),
+        format!("{:?}", resumed.snapshot.meta),
+        "{label}: final snapshot metadata diverges"
+    );
+    assert_eq!(
+        reference.outcome.epochs_done, resumed.outcome.epochs_done,
+        "{label}: epoch counts diverge"
+    );
+    assert_eq!(
+        run_metrics(&reference.outcome.metrics),
+        run_metrics(&resumed.outcome.metrics),
+        "{label}: run metrics diverge"
+    );
+}
+
+/// The uninterrupted run of a scenario, used as the expected value.
+fn reference(scenario: &Scenario, schedule: &[(u64, ChurnOp)], tag: &str) -> RunResidue {
+    let dir = scratch(tag);
+    let state = dir.join("state");
+    let trace = dir.join("trace.jsonl");
+    let outcome = harness_run(
+        scenario, EPOCHS, None, &state, SNAP_EVERY, &trace, false, schedule,
+    )
+    .expect("reference run");
+    assert!(!outcome.killed);
+    let r = residue(&trace, &state, outcome);
+    let _ = fs::remove_dir_all(&dir);
+    r
+}
+
+/// Kill at epoch `k`, resume, and return what the resumed run left.
+fn kill_and_resume(
+    scenario: &Scenario,
+    schedule: &[(u64, ChurnOp)],
+    k: u64,
+    tag: &str,
+) -> RunResidue {
+    let dir = scratch(tag);
+    let state = dir.join("state");
+    let trace = dir.join("trace.jsonl");
+    let killed = harness_run(
+        scenario,
+        EPOCHS,
+        Some(k),
+        &state,
+        SNAP_EVERY,
+        &trace,
+        false,
+        schedule,
+    )
+    .expect("killed run");
+    assert!(killed.killed, "kill at {k} should stop the run");
+    assert_eq!(killed.epochs_done, k);
+    let outcome = harness_run(
+        scenario, EPOCHS, None, &state, SNAP_EVERY, &trace, true, schedule,
+    )
+    .expect("resumed run");
+    assert!(!outcome.killed);
+    let r = residue(&trace, &state, outcome);
+    let _ = fs::remove_dir_all(&dir);
+    r
+}
+
+fn sweep(scenario: &Scenario, schedule: &[(u64, ChurnOp)], tag: &str) {
+    let expected = reference(scenario, schedule, &format!("{tag}-ref"));
+    assert_eq!(expected.outcome.epochs_done, EPOCHS);
+    let kills: Vec<u64> = if fast() {
+        vec![0, 1, SNAP_EVERY, SNAP_EVERY + 1, 7, EPOCHS - 1]
+    } else {
+        (0..EPOCHS).collect()
+    };
+    for k in kills {
+        let resumed = kill_and_resume(scenario, schedule, k, &format!("{tag}-k{k}"));
+        assert_same_residue(&expected, &resumed, &format!("{tag} kill@{k}"));
+        assert_eq!(
+            resumed.outcome.metrics.counter("recoveries"),
+            1,
+            "{tag} kill@{k}: exactly one recovery"
+        );
+    }
+}
+
+#[test]
+fn clean_run_survives_a_kill_at_every_epoch() {
+    sweep(&clean_scenario(), &[], "clean");
+}
+
+#[test]
+fn churned_run_survives_a_kill_at_every_epoch() {
+    sweep(&clean_scenario(), &churn_schedule(), "churn");
+}
+
+#[test]
+fn fault_injected_run_survives_a_kill_at_every_epoch() {
+    sweep(&faulty_scenario(), &[], "faults");
+}
+
+#[test]
+fn fault_injected_churned_run_survives_a_kill_at_every_epoch() {
+    sweep(&faulty_scenario(), &churn_schedule(), "faults-churn");
+}
+
+/// Two kills in one run: the second incarnation is itself killed, so the
+/// third recovers from a snapshot the *first recovery* wrote.
+#[test]
+fn double_kill_recovers_twice() {
+    let scenario = clean_scenario();
+    let schedule = churn_schedule();
+    let expected = reference(&scenario, &schedule, "double-ref");
+    let dir = scratch("double");
+    let state = dir.join("state");
+    let trace = dir.join("trace.jsonl");
+    let run = |kill_at: Option<u64>, resume: bool| {
+        harness_run(
+            &scenario, EPOCHS, kill_at, &state, SNAP_EVERY, &trace, resume, &schedule,
+        )
+        .expect("double-kill run")
+    };
+    assert!(run(Some(4), false).killed);
+    assert!(run(Some(9), true).killed);
+    let outcome = run(None, true);
+    assert!(!outcome.killed);
+    assert_eq!(outcome.metrics.counter("recoveries"), 2);
+    let resumed = residue(&trace, &state, outcome);
+    let _ = fs::remove_dir_all(&dir);
+    assert_same_residue(&expected, &resumed, "double kill");
+}
+
+/// Resuming a state directory under the wrong scenario must be refused,
+/// not silently continued.
+#[test]
+fn resume_rejects_a_foreign_state_directory() {
+    let dir = scratch("foreign");
+    let state = dir.join("state");
+    let trace = dir.join("trace.jsonl");
+    let killed = harness_run(
+        &clean_scenario(),
+        EPOCHS,
+        Some(4),
+        &state,
+        SNAP_EVERY,
+        &trace,
+        false,
+        &[],
+    )
+    .expect("killed run");
+    assert!(killed.killed);
+    let other = Scenario::new(MixKind::HighBoth, 3, PolicyKind::CoPart, 12, None).unwrap();
+    let err = harness_run(&other, EPOCHS, None, &state, SNAP_EVERY, &trace, true, &[])
+        .expect_err("a different seed is a different run");
+    assert!(
+        err.contains("different run"),
+        "unexpected error text: {err}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Boots a free-running daemon over `scenario` with persistence and a
+/// rotating on-disk trace, waits until the runtime's epoch counter
+/// reaches `target_periods`, and drains it cleanly.
+fn daemon_run(
+    scenario: &Scenario,
+    max_epochs: u64,
+    target_periods: u64,
+    state: &Path,
+    trace: &Path,
+) -> copart_serve::ServeReport {
+    let cfg = ServeConfig {
+        tick: Duration::ZERO,
+        max_epochs: Some(max_epochs),
+        snapshot_every: 4,
+        state_dir: Some(state.to_path_buf()),
+        trace_dir: Some(trace.to_path_buf()),
+        trace_file_events: 6,
+        ..ServeConfig::default()
+    };
+    let handle = copart_serve::serve_scenario(scenario, cfg).expect("daemon boots");
+    let addr = handle.addr().to_string();
+    wait_for_periods(&addr, target_periods);
+    handle.shutdown();
+    handle.join()
+}
+
+/// Polls `/metrics` until `copart_epochs_total` (control periods run,
+/// including periods a recovered daemon restored) reaches `target`.
+fn wait_for_periods(addr: &str, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = loadgen::fetch(addr, "GET", "/metrics", "").expect("GET /metrics");
+        assert_eq!(status, 200);
+        let done = body
+            .lines()
+            .find_map(|l| l.strip_prefix("copart_epochs_total "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .is_some_and(|n| n >= target);
+        if done {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not reach {target} periods in time"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Concatenates a rotating trace directory's files in order: the
+/// logical trace, independent of where rotation happened to cut it.
+fn read_rotated(dir: &Path) -> Vec<u8> {
+    let mut out = Vec::new();
+    for idx in 0.. {
+        match fs::read(dir.join(format!("trace-{idx:04}.jsonl"))) {
+            Ok(bytes) => out.extend(bytes),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// A daemon shut down cleanly and rebooted over the same state directory
+/// continues the run: the two incarnations' rotating traces concatenate
+/// to exactly the bytes one uninterrupted daemon writes.
+#[test]
+fn daemon_restart_continues_the_run() {
+    let scenario = Scenario::new(MixKind::HighBoth, 4, PolicyKind::CoPart, 21, None).unwrap();
+    let dir = scratch("daemon-restart");
+    let (ref_state, ref_trace) = (dir.join("ref-state"), dir.join("ref-trace"));
+    let (state, trace) = (dir.join("state"), dir.join("trace"));
+
+    let reference = daemon_run(&scenario, 12, 12, &ref_state, &ref_trace);
+    assert_eq!(reference.epochs, 12);
+
+    let first = daemon_run(&scenario, 6, 6, &state, &trace);
+    assert_eq!(first.epochs, 6);
+    // The reboot resumes from the clean-shutdown snapshot: the epoch cap
+    // keeps counting from 6, and `copart_epochs_total` reboots at 6.
+    let second = daemon_run(&scenario, 12, 12, &state, &trace);
+    assert_eq!(second.epochs, 12);
+    assert_eq!(second.snapshot.counter("recoveries"), 1);
+
+    let expected = read_rotated(&ref_trace);
+    let restarted = read_rotated(&trace);
+    let _ = fs::remove_dir_all(&dir);
+    assert!(!expected.is_empty());
+    assert_eq!(
+        expected, restarted,
+        "restarted daemon's trace must be byte-identical to an uninterrupted daemon's"
+    );
+}
+
+/// `POST /snapshot` cuts a snapshot on demand when persistence is on and
+/// answers 409 when the daemon was started without a state directory.
+#[test]
+fn snapshot_endpoint_cuts_on_demand() {
+    let scenario = Scenario::new(MixKind::HighBoth, 4, PolicyKind::CoPart, 23, None).unwrap();
+    let dir = scratch("daemon-snapshot");
+
+    let without = copart_serve::serve_scenario(
+        &scenario,
+        ServeConfig {
+            tick: Duration::ZERO,
+            max_epochs: Some(4),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon boots");
+    let addr = without.addr().to_string();
+    let (status, body) = loadgen::fetch(&addr, "POST", "/snapshot", "").expect("POST /snapshot");
+    assert_eq!(status, 409, "no state dir: {body}");
+    without.shutdown();
+    without.join();
+
+    let state = dir.join("state");
+    let with = copart_serve::serve_scenario(
+        &scenario,
+        ServeConfig {
+            tick: Duration::ZERO,
+            max_epochs: Some(6),
+            state_dir: Some(state.clone()),
+            snapshot_every: 0, // explicit snapshots only
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon boots");
+    let addr = with.addr().to_string();
+    wait_for_periods(&addr, 6);
+    let (status, body) = loadgen::fetch(&addr, "GET", "/snapshot", "").expect("GET /snapshot");
+    assert_eq!(status, 405, "{body}");
+    let (status, body) = loadgen::fetch(&addr, "POST", "/snapshot", "").expect("POST /snapshot");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"snapshot\"") && body.contains("\"bytes\""));
+    let (doc, path) = latest_good(&state)
+        .expect("scanning state dir")
+        .expect("the endpoint left a snapshot");
+    assert!(path.exists());
+    assert!(doc.meta.daemon_epochs >= 6);
+    with.shutdown();
+    with.join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The recovery contract cannot depend on the parallelism knob: a run
+/// killed and resumed under `--jobs 8` reproduces the uninterrupted
+/// `--jobs 1` run byte for byte.
+#[test]
+fn recovery_is_jobs_invariant() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scenario = clean_scenario();
+    let schedule = churn_schedule();
+    copart_parallel::set_jobs(Some(1));
+    let serial = reference(&scenario, &schedule, "jobs1-ref");
+    copart_parallel::set_jobs(Some(8));
+    let parallel = reference(&scenario, &schedule, "jobs8-ref");
+    let resumed = kill_and_resume(&scenario, &schedule, 5, "jobs8-kill");
+    copart_parallel::set_jobs(None);
+    assert_same_residue(&serial, &parallel, "jobs 1 vs jobs 8");
+    assert_same_residue(&serial, &resumed, "jobs 1 reference vs jobs 8 kill/resume");
+}

@@ -272,6 +272,100 @@ fn app_churn_under_faults() {
     }
 }
 
+/// A dropout-heavy, vanish-free plan: hot enough that the runtime is in
+/// and out of degraded mode (held FSMs, EWMA'd rates) on any stretch of
+/// epochs, so a mid-run kill lands with degraded-mode state in flight.
+fn degraded_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        counter_dropout: FaultTrigger::Prob { p: 0.25 },
+        vanish: FaultTrigger::Never,
+        ..hostile_plan(seed)
+    }
+}
+
+/// Crash-recovery meets the fault soak: kill the persisted harness run
+/// in the middle of a degraded-mode stretch and resume it. Degraded
+/// mode is pure runtime state (frozen classifier FSMs, EWMA holds,
+/// per-site fault-stream positions), so the resumed continuation must
+/// be byte-identical to the run that was never interrupted — the same
+/// contract `tests/crash_recovery.rs` proves for clean runs, here under
+/// a plan hot enough that the kill point is *inside* the degradation.
+#[test]
+fn kill_and_resume_mid_degraded_mode() {
+    use copart_serve::{harness_run, Scenario};
+
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("copart-soak-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    };
+    let scenario = Scenario::new(
+        MixKind::HighBoth,
+        3,
+        copart_core::policies::PolicyKind::CoPart,
+        17,
+        Some(degraded_plan(17)),
+    )
+    .unwrap();
+    let total: u64 = if fast() { 24 } else { 48 };
+    let kill = total / 2;
+
+    let ref_dir = scratch("degraded-ref");
+    let ref_trace = ref_dir.join("trace.jsonl");
+    let reference = harness_run(&scenario, total, None, &ref_dir, 5, &ref_trace, false, &[])
+        .unwrap_or_else(|e| panic!("reference run failed: {e}"));
+    assert!(
+        reference.metrics.counter("degraded_epochs") > 0,
+        "the plan never degraded the run; this test is not testing anything"
+    );
+
+    let kr_dir = scratch("degraded-kr");
+    let kr_trace = kr_dir.join("trace.jsonl");
+    let killed = harness_run(
+        &scenario,
+        total,
+        Some(kill),
+        &kr_dir,
+        5,
+        &kr_trace,
+        false,
+        &[],
+    )
+    .unwrap_or_else(|e| panic!("killed run failed: {e}"));
+    assert!(killed.killed, "the run should have died at epoch {kill}");
+    assert_eq!(killed.epochs_done, kill);
+    assert!(
+        killed.metrics.counter("degraded_epochs") > 0,
+        "the kill point must land after degraded-mode epochs"
+    );
+
+    let resumed = harness_run(&scenario, total, None, &kr_dir, 5, &kr_trace, true, &[])
+        .unwrap_or_else(|e| panic!("resume failed: {e}"));
+    assert_eq!(resumed.epochs_done, total);
+    assert_eq!(
+        resumed.metrics.counter("recoveries"),
+        1,
+        "exactly one recovery should have happened"
+    );
+    assert_eq!(
+        resumed.metrics.counter("degraded_epochs"),
+        reference.metrics.counter("degraded_epochs"),
+        "the resumed run must re-live the same degraded epochs"
+    );
+
+    let want = std::fs::read(&ref_trace).unwrap();
+    let got = std::fs::read(&kr_trace).unwrap();
+    assert!(!want.is_empty(), "the reference run should have traced");
+    assert_eq!(
+        got, want,
+        "kill/resume mid-degraded-mode must reproduce the uninterrupted trace byte-for-byte"
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&kr_dir);
+}
+
 /// `FaultPlan::none()` must be a true no-op: a run through the decorator
 /// with no site armed produces a byte-identical JSONL trace to a run on
 /// the bare backend.
