@@ -1,0 +1,144 @@
+//! Oracle for the fleet admission engine (`copart_fleet::placement_log`).
+//!
+//! The fleet determinism contract starts here: placement is a pure
+//! function of the committed occupancy history, so the same `(nodes,
+//! capacity, apps, horizon, seed)` must produce byte-identical decision
+//! logs on every run — no clock, no thread count, no allocator noise in
+//! the decisions. Each case draws a fleet shape, generates the log
+//! twice, and demands equality; it then replays the log line by line
+//! against an independent occupancy model and checks the structural
+//! invariants the full fleet controller builds on:
+//!
+//! * occupancy stays within `[0, capacity]` on every node;
+//! * a tenant departs only from the node it was placed on, exactly once;
+//! * a tenant is deferred only when every node is at capacity;
+//! * tenants never end the run both placed and deferred.
+
+use std::collections::HashMap;
+
+use crate::property::{CaseOutcome, Property};
+use crate::source::Source;
+use copart_fleet::placement_log;
+
+fn placement_case(src: &mut Source) -> CaseOutcome {
+    let n_nodes = src.size(1, 8);
+    let capacity = src.size(1, 4) as u32;
+    let n_apps = src.below(120);
+    let horizon = 4 + src.below(40);
+    let seed = src.below(1 << 16);
+    let witness =
+        format!("nodes={n_nodes} capacity={capacity} apps={n_apps} horizon={horizon} seed={seed}");
+    let verdict = check_case(n_nodes, capacity, n_apps, horizon, seed);
+    CaseOutcome { witness, verdict }
+}
+
+fn check_case(
+    n_nodes: usize,
+    capacity: u32,
+    n_apps: u64,
+    horizon: u64,
+    seed: u64,
+) -> Result<(), String> {
+    let log = placement_log(n_nodes, capacity, n_apps, horizon, seed);
+    let again = placement_log(n_nodes, capacity, n_apps, horizon, seed);
+    if log != again {
+        let at = log
+            .iter()
+            .zip(&again)
+            .position(|(a, b)| a != b)
+            .unwrap_or(log.len().min(again.len()));
+        return Err(format!(
+            "two identical replays diverge at line {at}: {:?} vs {:?}",
+            log.get(at),
+            again.get(at)
+        ));
+    }
+
+    // Independent replay of the decision log.
+    let mut occupancy = vec![0u32; n_nodes];
+    let mut home: HashMap<u64, usize> = HashMap::new();
+    let mut seen_full_fleet_for_defer = true;
+    for line in &log {
+        let field = |key: &str| -> Result<u64, String> {
+            line.split_whitespace()
+                .find_map(|part| part.strip_prefix(key))
+                .ok_or_else(|| format!("{line:?}: missing {key}"))?
+                .split('=')
+                .next_back()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|_| format!("{line:?}: bad {key}"))
+        };
+        let app = field("app=")?;
+        if line.contains(" place ") {
+            let node = field("node=")? as usize;
+            if node >= n_nodes {
+                return Err(format!("{line:?}: node out of range"));
+            }
+            if home.insert(app, node).is_some() {
+                return Err(format!("{line:?}: app placed while already placed"));
+            }
+            occupancy[node] += 1;
+            if occupancy[node] > capacity {
+                return Err(format!("{line:?}: node over capacity"));
+            }
+        } else if line.contains(" depart ") {
+            let node = field("node=")? as usize;
+            match home.remove(&app) {
+                Some(h) if h == node => occupancy[node] -= 1,
+                Some(h) => return Err(format!("{line:?}: app was placed on node {h}")),
+                None => return Err(format!("{line:?}: departure of an unplaced app")),
+            }
+        } else if line.contains(" defer ") {
+            // The engine defers only with every node full. (Departures
+            // precede placements within an epoch, so the log order
+            // matches the decision order.)
+            if occupancy.iter().any(|&o| o < capacity) {
+                seen_full_fleet_for_defer = false;
+            }
+        } else {
+            return Err(format!("{line:?}: unknown decision"));
+        }
+    }
+    if !seen_full_fleet_for_defer {
+        return Err("a tenant was deferred while a node had room".to_string());
+    }
+    let placed_now: u32 = occupancy.iter().sum();
+    if u64::from(placed_now) != home.len() as u64 {
+        return Err(format!(
+            "replay bookkeeping disagrees: occupancy {placed_now}, residents {}",
+            home.len()
+        ));
+    }
+    Ok(())
+}
+
+/// The fleet placement determinism oracle.
+pub fn properties() -> Vec<Property> {
+    vec![Property::new(
+        "fleet-placement-deterministic",
+        placement_case,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_pass() {
+        for seed in 0..32 {
+            let mut src = Source::from_seed(seed);
+            let out = placement_case(&mut src);
+            assert_eq!(out.verdict, Ok(()), "seed {seed}: {}", out.witness);
+        }
+    }
+
+    #[test]
+    fn zero_tape_is_the_minimal_quiet_case() {
+        let mut src = Source::replay(&[]);
+        let out = placement_case(&mut src);
+        assert_eq!(out.verdict, Ok(()), "{}", out.witness);
+        assert!(out.witness.contains("nodes=1"), "{}", out.witness);
+    }
+}

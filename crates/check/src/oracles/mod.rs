@@ -1,6 +1,7 @@
 //! The workspace's differential oracles, one module per subsystem.
 
 pub mod ewma;
+pub mod fleet_placement;
 pub mod fsm;
 pub mod incremental;
 pub mod json;
@@ -25,6 +26,7 @@ pub fn all() -> Vec<Property> {
     props.extend(sim_counters::properties());
     props.extend(ewma::properties());
     props.extend(persistence::properties());
+    props.extend(fleet_placement::properties());
     props
 }
 
@@ -51,6 +53,7 @@ mod tests {
             "sim-counter-bounds",
             "ewma-reference",
             "snapshot-restore-replay",
+            "fleet-placement-deterministic",
         ]
         .into_iter()
         .collect();

@@ -15,6 +15,7 @@
 
 mod args;
 mod bench_report;
+mod fleet_cmd;
 mod resctrl_cmd;
 mod serve_cmd;
 mod sim_cmd;
@@ -42,6 +43,9 @@ Commands:
                            policies only), e.g. seed=7,write=0.1,dropout=0.05
                            keys: seed, dropout, cbm, mba, write, vanish,
                            stall; values: probability, 1/<n>, or off
+      --population <uniform|fleet>   planner-scale population source
+                           (7+ apps): uniform random verdicts, or the
+                           fleet's zipf-skewed benchmark mix
       --state-dir <dir>    crash-safe persistence: epoch snapshots plus an
                            event log (dynamic policies, up to 6 apps);
                            --epochs <n> sets the control epoch count
@@ -66,9 +70,31 @@ Commands:
                            stop it with: curl -X POST <addr>/shutdown
   load             Hammer a daemon's read API (status/metrics/trace)
       --addr <host:port> [--requests <n>] [--concurrency <n>]
+  fleet-run        Consolidate a multi-node fleet (placement engine,
+                   unfairness-driven migrations, fleet-wide metrics)
+      --nodes <n>          Xeon node count (default 4)
+      --apps <n>           tenants on the churn tape (default 16)
+      --seed <n>           master fleet seed (default 42)
+      --epochs <n>         fleet epochs (default 48)
+      --capacity <n>       tenants per node (default 4, the paper's
+                           consolidation density)
+      --rebalance-threshold <x>  unfairness EWMA that marks a node hot
+      --rebalance-patience <n>   hot epochs before a migration fires
+      --faults <spec>      per-node fault injection; sim-run's spec plus
+                           nodes=<all|every/<k>|half> scoping
+      --state-dir <dir>    write every live node's final snapshot
+                           (node-NNNN/, PR-8 wire format)
+      --trace-out <path>   write the JSONL fleet trace
+      --tickets-out <path> write the migration-ticket audit trail
+      --metrics            print the fleet metrics JSON document
+      --jobs <n>           node-phase workers (byte-identical output at
+                           any setting)
   trace-check      Validate a JSONL decision trace (parses, gapless
                    epochs, monotone time) — the CI smoke gate
       --path <file> [--min-events <n>]
+      --fleet              validate a fleet-run trace instead: full
+                           occupancy replay of placements, departures,
+                           migrations, and per-epoch summaries
       --reference <file>   additionally require the trace to be
                            byte-identical to a reference trace (the
                            crash-recovery CI gate)
@@ -96,7 +122,7 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match args::Options::parse_with_flags(rest, &["metrics", "resume"]) {
+    let opts = match args::Options::parse_with_flags(rest, &["metrics", "resume", "fleet"]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -106,8 +132,10 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "sim-run" => sim_cmd::sim_run(&opts),
+        "fleet-run" => fleet_cmd::fleet_run(&opts),
         "serve" => serve_cmd::serve(&opts),
         "load" => serve_cmd::load(&opts),
+        "trace-check" if opts.flag("fleet") => fleet_cmd::fleet_trace_check(&opts),
         "trace-check" => sim_cmd::trace_check(&opts),
         "bench-report" => bench_report::bench_report(&opts),
         "classify" => sim_cmd::classify(&opts),

@@ -2,7 +2,7 @@
 
 use copart_core::policies::{self, EvalOptions, PolicyKind};
 use copart_core::runtime::ConsolidationRuntime;
-use copart_core::scale::{run_planner_scale, ScaleConfig};
+use copart_core::scale::{run_planner_scale, ScaleConfig, ScalePopulation};
 use copart_faults::{FaultPlan, FaultyBackend};
 use copart_rdt::{ClosId, RdtBackend, SimBackend};
 use copart_serve::Scenario;
@@ -253,11 +253,23 @@ fn planner_scale(opts: &Options, n_apps: usize, seconds: f64) -> Result<(), Stri
     if !(0.0..=1.0).contains(&churn) {
         return Err("--churn must be within [0, 1]".into());
     }
+    let population = match opts.get("population").unwrap_or("uniform") {
+        "uniform" => ScalePopulation::Uniform,
+        "fleet" => ScalePopulation::FleetMix,
+        other => return Err(format!("unknown population {other:?} (uniform or fleet)")),
+    };
     let cfg = ScaleConfig {
         churn,
+        population,
         ..ScaleConfig::new(n_apps, epochs, seed)
     };
-    println!("planner-scale run: {n_apps} synthetic apps, {epochs} epochs, seed {seed:#x}");
+    println!(
+        "planner-scale run: {n_apps} synthetic apps ({} population), {epochs} epochs, seed {seed:#x}",
+        match population {
+            ScalePopulation::Uniform => "uniform",
+            ScalePopulation::FleetMix => "zipf fleet-mix",
+        }
+    );
     let r = run_planner_scale(&cfg);
     println!(
         "  decisions: {} transfers, {} θ-retries, {} converges",
@@ -419,7 +431,7 @@ pub fn trace_check(opts: &Options) -> Result<(), String> {
 /// byte-identical to a known-good trace — the determinism contract a
 /// recovered run is held to (scripts/recovery.sh diffs a kill/resume
 /// trace against its uninterrupted reference with this).
-fn check_reference(path: &str, reference: &str) -> Result<(), String> {
+pub(crate) fn check_reference(path: &str, reference: &str) -> Result<(), String> {
     let got = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let want = std::fs::read(reference).map_err(|e| format!("{reference}: {e}"))?;
     if got == want {

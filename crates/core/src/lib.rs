@@ -45,6 +45,7 @@ pub mod llc_fsm;
 pub mod mba_fsm;
 pub mod metrics;
 pub mod next_state;
+pub mod node;
 pub mod params;
 pub mod planner;
 pub mod policies;
@@ -57,6 +58,7 @@ pub use actuator::{Actuator, ApplyReport, ResilienceConfig, TransactionalActuato
 pub use classifier::{Classifier, DualFsmClassifier};
 pub use fsm::{AppState, ResourceEvent};
 pub use metrics::{geomean, unfairness};
+pub use node::{profile_with_retries, NodeBackend, NodeRuntime};
 pub use params::CoPartParams;
 pub use planner::{ExplorerSnapshot, PlanContext, PolicyEngine, PolicyPlan};
 pub use runtime::{

@@ -22,7 +22,9 @@ use std::time::Instant;
 
 use copart_rdt::MbaLevel;
 use copart_rng::XorShift64Star;
+use copart_workloads::fleet::MixSampler;
 use copart_workloads::stream::StreamReference;
+use copart_workloads::Category;
 
 use crate::actuator::ResilienceConfig;
 use crate::fsm::AppState;
@@ -32,6 +34,21 @@ use crate::planner::{Explorer, PlanDecision, PlanScratch};
 use crate::runtime::RuntimeConfig;
 use crate::state::{SystemState, WaysBudget};
 use crate::CoPartParams;
+
+/// How the synthetic population's classifier verdicts are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScalePopulation {
+    /// Uniform random Supply/Maintain/Demand states — the original
+    /// harness, and the population the bench gate's digests pin.
+    #[default]
+    Uniform,
+    /// The fleet's tenant mix: each application is a benchmark drawn
+    /// from the zipf-skewed [`MixSampler`] (the same sampler behind the
+    /// fleet controller's churn tape), and its verdicts are biased by
+    /// the benchmark's §3.3 sensitivity category — LLC-sensitive images
+    /// mostly demand ways, insensitive ones mostly supply them.
+    FleetMix,
+}
 
 /// Configuration of one synthetic planner-scale run.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,10 +65,12 @@ pub struct ScaleConfig {
     pub churn: f64,
     /// Budget ways per application (the scaled machine's LLC).
     pub ways_per_app: u32,
+    /// Where the classifier verdicts come from.
+    pub population: ScalePopulation,
 }
 
 impl ScaleConfig {
-    /// A standard run: 2 ways/app, 2 % churn per epoch.
+    /// A standard run: 2 ways/app, 2 % churn per epoch, uniform verdicts.
     pub fn new(n_apps: usize, epochs: u32, seed: u64) -> ScaleConfig {
         ScaleConfig {
             n_apps,
@@ -59,6 +78,7 @@ impl ScaleConfig {
             seed,
             churn: 0.02,
             ways_per_app: 2,
+            population: ScalePopulation::Uniform,
         }
     }
 }
@@ -124,6 +144,64 @@ fn redraw(rng: &mut XorShift64Star) -> AppClassification {
     }
 }
 
+/// A verdict biased toward Demand on a sensitive dimension and toward
+/// Supply on an insensitive one (6:3:1), mirroring how the §4.2
+/// classifier treats the §3.3 categories in the full simulation.
+fn biased_state(rng: &mut XorShift64Star, sensitive: bool) -> AppState {
+    match (rng.gen_range(0..10u8), sensitive) {
+        (0..=5, true) | (9, false) => AppState::Demand,
+        (6..=8, _) => AppState::Maintain,
+        _ => AppState::Supply,
+    }
+}
+
+fn redraw_fleet(rng: &mut XorShift64Star, category: Category) -> AppClassification {
+    let llc = biased_state(rng, category.llc_sensitive());
+    let mba = biased_state(rng, category.bw_sensitive());
+    // Sensitive tenants can be badly slowed; insensitive ones hover
+    // near their solo speed no matter what the allocator does.
+    let span = if category.llc_sensitive() || category.bw_sensitive() {
+        3.0
+    } else {
+        0.5
+    };
+    AppClassification {
+        llc,
+        mba,
+        slowdown: 1.0 + rng.gen_range(0.0..span),
+    }
+}
+
+/// The per-application verdict source, resolved once at startup.
+enum Verdicts {
+    Uniform,
+    /// One §3.3 category per application, drawn from the fleet mix.
+    Fleet(Vec<Category>),
+}
+
+impl Verdicts {
+    fn build(cfg: &ScaleConfig, rng: &mut XorShift64Star) -> Verdicts {
+        match cfg.population {
+            ScalePopulation::Uniform => Verdicts::Uniform,
+            ScalePopulation::FleetMix => {
+                let sampler = MixSampler::new(cfg.seed);
+                Verdicts::Fleet(
+                    (0..cfg.n_apps)
+                        .map(|_| sampler.sample(rng.next_f64()).category())
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn redraw(&self, rng: &mut XorShift64Star, app: usize) -> AppClassification {
+        match self {
+            Verdicts::Uniform => redraw(rng),
+            Verdicts::Fleet(cats) => redraw_fleet(rng, cats[app]),
+        }
+    }
+}
+
 /// Drives [`Explorer::plan_into`] for `cfg.epochs` epochs over a churned
 /// synthetic population of `cfg.n_apps` applications, applying each
 /// decision the way the consolidation runtime would.
@@ -152,7 +230,10 @@ pub fn run_planner_scale(cfg: &ScaleConfig) -> ScaleReport {
     };
 
     let mut rng = XorShift64Star::seed_from_u64(cfg.seed ^ 0x5ca1_ab1e);
-    let mut classes: Vec<AppClassification> = (0..cfg.n_apps).map(|_| redraw(&mut rng)).collect();
+    let verdicts = Verdicts::build(cfg, &mut rng);
+    let mut classes: Vec<AppClassification> = (0..cfg.n_apps)
+        .map(|i| verdicts.redraw(&mut rng, i))
+        .collect();
     let mut slowdowns: Vec<f64> = classes.iter().map(|c| c.slowdown).collect();
 
     let mut state = SystemState::equal_split(cfg.n_apps, &budget, MbaLevel::MAX);
@@ -174,7 +255,7 @@ pub fn run_planner_scale(cfg: &ScaleConfig) -> ScaleReport {
         // Churn: redraw a deterministic handful of classifications.
         for _ in 0..churned {
             let i = rng.gen_range(0..cfg.n_apps);
-            classes[i] = redraw(&mut rng);
+            classes[i] = verdicts.redraw(&mut rng, i);
             slowdowns[i] = classes[i].slowdown;
         }
         let current_unfairness = unfairness(&slowdowns);
@@ -281,6 +362,21 @@ mod tests {
             r.role_cache_hits,
             r.role_cache_misses
         );
+    }
+
+    #[test]
+    fn fleet_mix_population_is_deterministic_and_diverges_from_uniform() {
+        let mut fleet = ScaleConfig::new(128, 30, 0xF1EE7);
+        fleet.population = ScalePopulation::FleetMix;
+        let a = run_planner_scale(&fleet);
+        let b = run_planner_scale(&fleet);
+        assert_eq!(a.digest, b.digest, "fleet population is a pure function");
+        let uniform = run_planner_scale(&ScaleConfig::new(128, 30, 0xF1EE7));
+        assert_ne!(
+            a.digest, uniform.digest,
+            "the zipf-skewed mix must steer the planner differently"
+        );
+        assert_eq!(a.transfers + a.theta_retries + a.converges, 30);
     }
 
     #[test]

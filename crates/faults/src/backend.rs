@@ -280,6 +280,21 @@ impl<B: RdtBackend> RdtBackend for FaultyBackend<B> {
     }
 }
 
+/// Admission and eviction bypass fault injection: launching or stopping
+/// a container is an orchestrator operation, not an RDT one. Everything
+/// the runtime then does with the admitted group still goes through the
+/// fault plan, so a fleet node under a per-node plan churns its
+/// membership cleanly while its control loop suffers.
+impl<B: copart_core::NodeBackend> copart_core::NodeBackend for FaultyBackend<B> {
+    fn admit(&mut self, spec: copart_sim::AppSpec) -> Result<ClosId, RdtError> {
+        self.inner.admit(spec)
+    }
+
+    fn evict(&mut self, group: ClosId) -> Result<(), RdtError> {
+        self.inner.evict(group)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,8 @@
 
 mod backend;
 mod plan;
+mod scope;
 
 pub use backend::{FaultStateSnapshot, FaultyBackend, InjectionStats, SiteSnapshot};
 pub use plan::{FaultPlan, FaultPlanError, FaultTrigger};
+pub use scope::{NodeScope, ScopedFaultPlan};

@@ -51,6 +51,14 @@ impl fmt::Display for FaultPlanError {
 
 impl std::error::Error for FaultPlanError {}
 
+impl FaultPlanError {
+    /// Builds an error with the given message (shared with the
+    /// [`crate::scope`] parser so every spec error renders uniformly).
+    pub(crate) fn new(msg: impl Into<String>) -> FaultPlanError {
+        FaultPlanError(msg.into())
+    }
+}
+
 fn err<T>(msg: impl Into<String>) -> Result<T, FaultPlanError> {
     Err(FaultPlanError(msg.into()))
 }

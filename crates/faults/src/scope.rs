@@ -1,0 +1,188 @@
+//! Per-node scoping of fault plans for multi-node (fleet) runs.
+//!
+//! A fleet spreads one logical `--faults` specification across many
+//! simulated machines. [`ScopedFaultPlan`] pairs a [`FaultPlan`] with a
+//! [`NodeScope`] selecting *which* nodes run injected; every selected
+//! node gets the same trigger configuration but a private seed derived
+//! from `(plan.seed, node id)`, so two faulted nodes draw independent
+//! fault streams and a node's stream never depends on how many other
+//! nodes exist. Out-of-scope nodes get [`FaultPlan::none`], which is
+//! proven byte-transparent by the decorator tests — a fleet of mixed
+//! faulted/clean nodes is still uniformly typed.
+
+use std::fmt;
+
+use copart_rng::derive_seed;
+
+use crate::plan::{FaultPlan, FaultPlanError};
+
+/// Which fleet nodes a fault plan applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeScope {
+    /// Every node runs injected.
+    All,
+    /// Exactly the listed node ids run injected.
+    Nodes(Vec<u64>),
+    /// Every `k`-th node (ids divisible by `k`) runs injected.
+    Every(u64),
+}
+
+impl NodeScope {
+    /// Whether `node` is inside the scope.
+    pub fn contains(&self, node: u64) -> bool {
+        match self {
+            NodeScope::All => true,
+            NodeScope::Nodes(ids) => ids.contains(&node),
+            NodeScope::Every(k) => node.is_multiple_of(*k),
+        }
+    }
+}
+
+impl fmt::Display for NodeScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeScope::All => write!(f, "all"),
+            NodeScope::Every(k) => write!(f, "every/{k}"),
+            NodeScope::Nodes(ids) => {
+                let parts: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+                write!(f, "{}", parts.join("+"))
+            }
+        }
+    }
+}
+
+/// A fault plan plus the set of nodes it applies to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopedFaultPlan {
+    /// The trigger configuration shared by every in-scope node.
+    pub plan: FaultPlan,
+    /// Which nodes run injected.
+    pub scope: NodeScope,
+}
+
+impl ScopedFaultPlan {
+    /// Parses an extended `--faults` specification: every key
+    /// [`FaultPlan::parse`] accepts, plus an optional `nodes=` key
+    /// selecting the scope — `nodes=all` (the default), `nodes=every/8`
+    /// (ids divisible by 8), or an explicit `+`-separated id list like
+    /// `nodes=0+3+17`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on anything [`FaultPlan::parse`] rejects, or a malformed
+    /// `nodes=` value (empty list, zero stride, non-numeric id).
+    pub fn parse(spec: &str) -> Result<ScopedFaultPlan, FaultPlanError> {
+        let mut scope = NodeScope::All;
+        let mut rest: Vec<&str> = Vec::new();
+        for part in spec.split(',') {
+            let trimmed = part.trim();
+            if let Some(value) = trimmed.strip_prefix("nodes=") {
+                scope = parse_scope(value.trim())?;
+            } else {
+                rest.push(part);
+            }
+        }
+        let plan = FaultPlan::parse(&rest.join(","))?;
+        Ok(ScopedFaultPlan { plan, scope })
+    }
+
+    /// The plan `node` should run under: the shared triggers with a
+    /// per-node derived seed when in scope, [`FaultPlan::none`] (which
+    /// is byte-transparent) otherwise.
+    pub fn plan_for_node(&self, node: u64) -> FaultPlan {
+        if !self.scope.contains(node) {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            seed: derive_seed(self.plan.seed, node),
+            ..self.plan.clone()
+        }
+    }
+}
+
+fn scope_err<T>(msg: impl Into<String>) -> Result<T, FaultPlanError> {
+    Err(FaultPlanError::new(msg))
+}
+
+fn parse_scope(value: &str) -> Result<NodeScope, FaultPlanError> {
+    if value == "all" {
+        return Ok(NodeScope::All);
+    }
+    if let Some(stride) = value.strip_prefix("every/") {
+        let Ok(k) = stride.parse::<u64>() else {
+            return scope_err(format!("nodes stride must be every/<u64>, found {value:?}"));
+        };
+        if k == 0 {
+            return scope_err("nodes stride must be at least 1");
+        }
+        return Ok(NodeScope::Every(k));
+    }
+    let mut ids = Vec::new();
+    for id in value.split('+') {
+        let id = id.trim();
+        let Ok(id) = id.parse::<u64>() else {
+            return scope_err(format!(
+                "nodes must be all, every/<k>, or a +-separated id list; found {value:?}"
+            ));
+        };
+        ids.push(id);
+    }
+    if ids.is_empty() {
+        return scope_err("nodes id list is empty");
+    }
+    Ok(NodeScope::Nodes(ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultTrigger;
+
+    #[test]
+    fn parses_scope_variants() {
+        let p = ScopedFaultPlan::parse("seed=9,dropout=0.1").unwrap();
+        assert_eq!(p.scope, NodeScope::All);
+        assert_eq!(p.plan.counter_dropout, FaultTrigger::Prob { p: 0.1 });
+
+        let p = ScopedFaultPlan::parse("seed=9,dropout=0.1,nodes=every/8").unwrap();
+        assert_eq!(p.scope, NodeScope::Every(8));
+        assert!(p.scope.contains(0));
+        assert!(p.scope.contains(16));
+        assert!(!p.scope.contains(3));
+
+        let p = ScopedFaultPlan::parse("nodes=1+4+9,stall=1/7").unwrap();
+        assert_eq!(p.scope, NodeScope::Nodes(vec![1, 4, 9]));
+        assert!(p.scope.contains(4));
+        assert!(!p.scope.contains(2));
+    }
+
+    #[test]
+    fn rejects_malformed_scopes() {
+        for bad in ["nodes=", "nodes=every/0", "nodes=every/x", "nodes=1+x"] {
+            assert!(
+                ScopedFaultPlan::parse(bad).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_scope_nodes_get_the_transparent_plan() {
+        let p = ScopedFaultPlan::parse("seed=5,write=0.2,nodes=0+2").unwrap();
+        assert!(p.plan_for_node(1).is_none());
+        let n0 = p.plan_for_node(0);
+        let n2 = p.plan_for_node(2);
+        assert!(!n0.is_none());
+        assert_eq!(n0.write_cbm, FaultTrigger::Prob { p: 0.2 });
+        // Same triggers, independent per-node seeds.
+        assert_ne!(n0.seed, n2.seed);
+        assert_eq!(n0.seed, p.plan_for_node(0).seed, "derivation is stable");
+    }
+
+    #[test]
+    fn scope_renders_back_to_spec_syntax() {
+        assert_eq!(NodeScope::All.to_string(), "all");
+        assert_eq!(NodeScope::Every(4).to_string(), "every/4");
+        assert_eq!(NodeScope::Nodes(vec![1, 2]).to_string(), "1+2");
+    }
+}

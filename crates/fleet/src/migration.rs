@@ -1,0 +1,163 @@
+//! The migration wire format: one tenant's frozen controller state in
+//! flight between nodes.
+//!
+//! Rebalancing hands a tenant from a hot node to a cooler one. The
+//! ticket that travels is the PR-8 snapshot codec's per-application
+//! record ([`copart_persist::codec::enc_app_runtime`]) wrapped in
+//! routing metadata — the same bit-exact hex-float encoding the crash
+//! snapshots use, so the state that leaves the source is provably the
+//! state that arrives (the digest in the fleet trace's migration event
+//! is the FNV-1a of this very encoding). The destination re-admits the
+//! tenant through the ordinary §5.4.3 launch path — profiling restarts
+//! because `IPS_full` is a per-machine quantity — and the ticket stays
+//! in the audit trail as the proof of what was carried.
+
+use copart_core::runtime::AppRuntimeSnapshot;
+use copart_persist::codec::{dec_app_runtime, enc_app_runtime};
+use copart_persist::store::fnv1a64;
+use copart_persist::PersistError;
+use copart_telemetry::Json;
+
+/// One tenant's state in flight from `from` to `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationTicket {
+    /// Fleet-unique application id.
+    pub app: u64,
+    /// Fleet epoch the migration was decided.
+    pub epoch: u64,
+    /// Source node id.
+    pub from: u64,
+    /// Destination node id.
+    pub to: u64,
+    /// The tenant's frozen controller state as captured on the source.
+    pub state: AppRuntimeSnapshot,
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, PersistError> {
+    match j {
+        Json::Obj(members) => members
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| PersistError::Corrupt(format!("missing key {key:?}"))),
+        _ => Err(PersistError::Corrupt("expected an object".to_string())),
+    }
+}
+
+fn field_u64(j: &Json, key: &str) -> Result<u64, PersistError> {
+    match field(j, key)? {
+        Json::Num(n) => Ok(*n as u64),
+        _ => Err(PersistError::Corrupt(format!("{key:?} is not a number"))),
+    }
+}
+
+impl MigrationTicket {
+    /// Encodes the ticket; floats travel as bit-exact hex strings.
+    pub fn encode(&self) -> Json {
+        Json::Obj(vec![
+            ("app".to_string(), Json::Num(self.app as f64)),
+            ("epoch".to_string(), Json::Num(self.epoch as f64)),
+            ("from".to_string(), Json::Num(self.from as f64)),
+            ("to".to_string(), Json::Num(self.to as f64)),
+            ("state".to_string(), enc_app_runtime(&self.state)),
+        ])
+    }
+
+    /// Decodes a ticket.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing keys or a malformed state record.
+    pub fn decode(j: &Json) -> Result<MigrationTicket, PersistError> {
+        Ok(MigrationTicket {
+            app: field_u64(j, "app")?,
+            epoch: field_u64(j, "epoch")?,
+            from: field_u64(j, "from")?,
+            to: field_u64(j, "to")?,
+            state: dec_app_runtime(field(j, "state")?)?,
+        })
+    }
+
+    /// One JSONL audit line.
+    pub fn to_json_line(&self) -> String {
+        self.encode().to_string()
+    }
+
+    /// Parses a JSONL audit line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a malformed ticket.
+    pub fn parse_json_line(line: &str) -> Result<MigrationTicket, PersistError> {
+        let j = Json::parse(line)
+            .map_err(|e| PersistError::Corrupt(format!("ticket is not JSON: {e}")))?;
+        MigrationTicket::decode(&j)
+    }
+
+    /// FNV-1a digest of the encoded ticket — the value the fleet
+    /// trace's migration event carries, binding the trace to the exact
+    /// bytes that moved.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.to_json_line().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copart_core::fsm::AppState;
+
+    fn ticket() -> MigrationTicket {
+        MigrationTicket {
+            app: 17,
+            epoch: 9,
+            from: 3,
+            to: 5,
+            state: AppRuntimeSnapshot {
+                group: 2,
+                name: "a17-WN".to_string(),
+                // Deliberately awkward floats: bit-exactness is the test.
+                ips_full: 1.0e9 + 1.0 / 3.0,
+                weight: 1.0,
+                sensor: copart_core::SensorSnapshot {
+                    capacity: 8,
+                    samples: Vec::new(),
+                    ewma: [Some(1.5), None, None, Some(0.01)],
+                },
+                llc_state: AppState::Demand,
+                mba_state: AppState::Supply,
+                prev_ips: f64::MIN_POSITIVE,
+                last_ips: 0.1 + 0.2,
+                last_events: Default::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn ticket_roundtrips_bit_exactly() {
+        let t = ticket();
+        let line = t.to_json_line();
+        let back = MigrationTicket::parse_json_line(&line).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(
+            t.state.last_ips.to_bits(),
+            back.state.last_ips.to_bits(),
+            "floats must survive bit-exactly"
+        );
+        assert_eq!(t.digest(), back.digest());
+    }
+
+    #[test]
+    fn digest_tracks_state_changes() {
+        let t = ticket();
+        let mut u = ticket();
+        u.state.last_ips = u.state.last_ips.next_up();
+        assert_ne!(t.digest(), u.digest(), "one ULP must change the digest");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MigrationTicket::parse_json_line("{}").is_err());
+        assert!(MigrationTicket::parse_json_line("not json").is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! The admission/placement engine: sensitivity-class-aware bin packing.
+//!
+//! Placement never simulates. It scores nodes from two integers the
+//! fleet controller maintains anyway — how many tenants a node hosts
+//! and how many of them contend for each resource class — using the
+//! paper's §3.3 sensitivity categories as the *predicted* class of an
+//! incoming tenant (LFOC+ argues the class is the right assignment
+//! unit). That makes every decision a pure function of the committed
+//! occupancy history, which is what the `fleet-placement-deterministic`
+//! oracle pins down: same seed + arrival tape ⇒ byte-identical
+//! placement log, independent of `--jobs`.
+//!
+//! Scoring: each resident costs `APP_COST`; each resident already
+//! hungry for a resource the candidate also wants costs
+//! `CONFLICT_COST` more. Lowest score wins; ties break toward the
+//! lowest node id. Packing therefore prefers emptier nodes first and,
+//! between equally-full nodes, the one whose residents contend least
+//! with the newcomer — LLC-hungry tenants spread away from each other,
+//! bandwidth-hungry tenants likewise.
+
+use copart_workloads::{Benchmark, Category};
+
+/// Score per resident already on a node (fill cost).
+const APP_COST: u64 = 100;
+
+/// Extra score per resident contending for a resource class the
+/// candidate also wants.
+const CONFLICT_COST: u64 = 40;
+
+/// The predicted resource appetite of a tenant: which of the two
+/// partitionable resources (LLC ways, memory bandwidth) it is
+/// sensitive to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// Wants LLC capacity (category C or LM).
+    pub llc: bool,
+    /// Wants memory bandwidth (category B or LM).
+    pub bw: bool,
+}
+
+impl Demand {
+    /// The demand predicted from a benchmark's §3.3 category.
+    pub fn of(bench: Benchmark) -> Demand {
+        match bench.category() {
+            Category::LlcSensitive => Demand {
+                llc: true,
+                bw: false,
+            },
+            Category::BwSensitive => Demand {
+                llc: false,
+                bw: true,
+            },
+            Category::Both => Demand {
+                llc: true,
+                bw: true,
+            },
+            Category::Insensitive => Demand {
+                llc: false,
+                bw: false,
+            },
+        }
+    }
+}
+
+/// One node's committed occupancy, as the engine sees it (placed plus
+/// in-flight admissions the controller has committed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Occupancy {
+    /// Tenants committed to the node.
+    pub apps: u32,
+    /// Of those, how many want LLC capacity.
+    pub llc: u32,
+    /// Of those, how many want memory bandwidth.
+    pub bw: u32,
+}
+
+/// The fleet's bin-packing state: per-node occupancy plus the uniform
+/// per-node capacity.
+#[derive(Debug, Clone)]
+pub struct PlacementEngine {
+    capacity: u32,
+    nodes: Vec<Occupancy>,
+}
+
+impl PlacementEngine {
+    /// An empty fleet of `nodes` nodes taking up to `capacity` tenants
+    /// each.
+    pub fn new(nodes: usize, capacity: u32) -> PlacementEngine {
+        PlacementEngine {
+            capacity,
+            nodes: vec![Occupancy::default(); nodes],
+        }
+    }
+
+    /// Per-node tenant capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// A node's committed occupancy.
+    pub fn occupancy(&self, node: usize) -> Occupancy {
+        self.nodes[node]
+    }
+
+    fn score(&self, node: usize, d: Demand) -> u64 {
+        let o = self.nodes[node];
+        let mut s = u64::from(o.apps) * APP_COST;
+        if d.llc {
+            s += u64::from(o.llc) * CONFLICT_COST;
+        }
+        if d.bw {
+            s += u64::from(o.bw) * CONFLICT_COST;
+        }
+        s
+    }
+
+    /// Picks the node for a tenant with demand `d`: lowest score among
+    /// non-full nodes, ties to the lowest id. `None` when the fleet is
+    /// full.
+    pub fn place(&self, d: Demand) -> Option<usize> {
+        self.place_excluding(d, usize::MAX)
+    }
+
+    /// [`PlacementEngine::place`] with one node barred — the migration
+    /// path must not bounce a tenant back onto its source.
+    pub fn place_excluding(&self, d: Demand, barred: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(id, o)| *id != barred && o.apps < self.capacity)
+            .min_by_key(|(id, _)| (self.score(*id, d), *id))
+            .map(|(id, _)| id)
+    }
+
+    /// Commits a tenant to a node (after a successful [`place`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is already full — callers commit only what
+    /// `place` returned.
+    ///
+    /// [`place`]: PlacementEngine::place
+    pub fn commit(&mut self, node: usize, d: Demand) {
+        let o = &mut self.nodes[node];
+        assert!(o.apps < self.capacity, "commit past capacity");
+        o.apps += 1;
+        o.llc += u32::from(d.llc);
+        o.bw += u32::from(d.bw);
+    }
+
+    /// Releases a tenant's commitment (departure, migration source, or
+    /// a rolled-back admission).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node has nothing to release.
+    pub fn release(&mut self, node: usize, d: Demand) {
+        let o = &mut self.nodes[node];
+        assert!(o.apps > 0, "release from an empty node");
+        o.apps -= 1;
+        o.llc -= u32::from(d.llc);
+        o.bw -= u32::from(d.bw);
+    }
+}
+
+/// Replays a churn tape through the placement engine alone — no
+/// simulation, no rebalancing — and returns the decision log, one line
+/// per decision. This is the pure kernel the
+/// `fleet-placement-deterministic` check oracle replays: determinism
+/// here is a precondition for determinism of the full fleet run.
+///
+/// Lifetimes count placed epochs, as in the real controller; deferred
+/// tenants retry FIFO each epoch ahead of new arrivals.
+pub fn placement_log(
+    n_nodes: usize,
+    capacity: u32,
+    n_apps: u64,
+    horizon: u64,
+    seed: u64,
+) -> Vec<String> {
+    use std::collections::VecDeque;
+
+    let tape = copart_workloads::fleet::churn_tape(n_apps, horizon, seed);
+    let mut engine = PlacementEngine::new(n_nodes, capacity);
+    let mut log = Vec::new();
+    // (app, bench, remaining) per placed tenant, keyed by node.
+    let mut placed: Vec<Vec<(u64, Benchmark, u64)>> = vec![Vec::new(); n_nodes];
+    let mut deferred: VecDeque<(u64, Benchmark, u64)> = VecDeque::new();
+    let mut next_arrival = 0usize;
+
+    for epoch in 0..horizon {
+        // Departures first: tenants whose residence expired last epoch.
+        for (node, residents) in placed.iter_mut().enumerate() {
+            let mut i = 0;
+            while i < residents.len() {
+                if residents[i].2 == 0 {
+                    let (app, bench, _) = residents.remove(i);
+                    engine.release(node, Demand::of(bench));
+                    log.push(format!("epoch={epoch} depart app={app} node={node}"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Placement: deferred FIFO first, then this epoch's arrivals.
+        let mut queue: Vec<(u64, Benchmark, u64)> = deferred.drain(..).collect();
+        while next_arrival < tape.len() && tape[next_arrival].arrive == epoch {
+            let a = &tape[next_arrival];
+            queue.push((a.app, a.bench, a.lifetime));
+            next_arrival += 1;
+        }
+        for (app, bench, lifetime) in queue {
+            let d = Demand::of(bench);
+            match engine.place(d) {
+                Some(node) => {
+                    engine.commit(node, d);
+                    placed[node].push((app, bench, lifetime));
+                    log.push(format!(
+                        "epoch={epoch} place app={app} bench={} node={node}",
+                        bench.table2().short
+                    ));
+                }
+                None => {
+                    deferred.push_back((app, bench, lifetime));
+                    log.push(format!("epoch={epoch} defer app={app}"));
+                }
+            }
+        }
+        // Residence advances one epoch for every placed tenant.
+        for residents in &mut placed {
+            for r in residents {
+                r.2 -= 1;
+            }
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoring_prefers_empty_then_least_conflicting() {
+        let mut e = PlacementEngine::new(3, 4);
+        let llc = Demand {
+            llc: true,
+            bw: false,
+        };
+        let bw = Demand {
+            llc: false,
+            bw: true,
+        };
+        assert_eq!(e.place(llc), Some(0), "empty fleet ties break to node 0");
+        e.commit(0, llc);
+        assert_eq!(e.place(llc), Some(1));
+        e.commit(1, llc);
+        // Node 2 is empty; nodes 0 and 1 host one LLC-hungry tenant each.
+        assert_eq!(e.place(llc), Some(2));
+        e.commit(2, bw);
+        // All nodes host one tenant; an LLC-hungry newcomer avoids the
+        // LLC-hungry residents on 0 and 1.
+        assert_eq!(e.place(llc), Some(2));
+        // A bandwidth-hungry newcomer avoids node 2 instead.
+        assert_eq!(e.place(bw), Some(0));
+    }
+
+    #[test]
+    fn capacity_and_exclusion_are_honored() {
+        let mut e = PlacementEngine::new(2, 1);
+        let d = Demand {
+            llc: false,
+            bw: false,
+        };
+        e.commit(0, d);
+        assert_eq!(e.place(d), Some(1));
+        assert_eq!(e.place_excluding(d, 1), None, "node 0 full, node 1 barred");
+        e.commit(1, d);
+        assert_eq!(e.place(d), None, "fleet full");
+        e.release(0, d);
+        assert_eq!(e.place(d), Some(0));
+    }
+
+    #[test]
+    fn placement_log_is_deterministic() {
+        let a = placement_log(8, 4, 100, 32, 42);
+        let b = placement_log(8, 4, 100, 32, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|l| l.contains(" place ")));
+        let c = placement_log(8, 4, 100, 32, 43);
+        assert_ne!(a, c, "different seeds place differently");
+    }
+
+    #[test]
+    fn placement_log_never_exceeds_capacity() {
+        // Replay the log and track per-node occupancy.
+        let n_nodes = 4;
+        let capacity = 3u32;
+        let mut occ = vec![0i64; n_nodes];
+        for line in placement_log(n_nodes, capacity, 200, 40, 7) {
+            let field = |k: &str| -> Option<usize> {
+                line.split_whitespace()
+                    .find_map(|p| p.strip_prefix(k))
+                    .map(|v| v.parse().unwrap())
+            };
+            if line.contains(" place ") {
+                occ[field("node=").unwrap()] += 1;
+            } else if line.contains(" depart ") {
+                occ[field("node=").unwrap()] -= 1;
+            }
+            assert!(
+                occ.iter().all(|&o| (0..=i64::from(capacity)).contains(&o)),
+                "occupancy out of bounds after {line:?}: {occ:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,664 @@
+//! The JSONL fleet trace: placement, migration, departure, and
+//! per-epoch summary events, plus the structural checker behind
+//! `copart trace-check --fleet`.
+//!
+//! The fleet trace is the controller's decision log, and — like the
+//! per-node period trace — it is part of the determinism contract:
+//! byte-identical across `--jobs` settings for the same configuration.
+//! Every line is one JSON object with a `kind` discriminator. The
+//! checker replays the lines against the fleet's lifecycle rules (a
+//! tenant is placed exactly once before it departs, migrations move a
+//! placed tenant between distinct live nodes, summary running-app
+//! counts match the replayed membership) so a trace that drifts from
+//! the controller's actual behaviour fails structurally, not just by
+//! eyeball.
+
+use std::collections::HashMap;
+
+use copart_telemetry::Json;
+
+/// One fleet trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// The run's configuration header (first line of every trace).
+    Config {
+        /// Node count.
+        nodes: u64,
+        /// Tenants on the churn tape.
+        apps: u64,
+        /// Per-node tenant capacity.
+        capacity: u64,
+        /// Fleet epochs driven.
+        horizon: u64,
+        /// Master seed.
+        seed: u64,
+    },
+    /// A tenant was admitted onto a node.
+    Placement {
+        /// Fleet epoch.
+        epoch: u64,
+        /// Fleet-unique application id.
+        app: u64,
+        /// Table 2 short name of the tenant's workload.
+        bench: String,
+        /// Hosting node.
+        node: u64,
+        /// Whether this admission booted the node (first tenant).
+        boot: bool,
+    },
+    /// A tenant could not be placed this epoch and stays queued.
+    Deferred {
+        /// Fleet epoch.
+        epoch: u64,
+        /// Fleet-unique application id.
+        app: u64,
+    },
+    /// A tenant finished its service and left.
+    Departure {
+        /// Fleet epoch.
+        epoch: u64,
+        /// Fleet-unique application id.
+        app: u64,
+        /// The node it departed from.
+        node: u64,
+        /// Whether the departure emptied (tore down) the node.
+        teardown: bool,
+    },
+    /// The rebalancer moved a tenant between nodes.
+    Migration {
+        /// Fleet epoch.
+        epoch: u64,
+        /// Fleet-unique application id.
+        app: u64,
+        /// Source node.
+        from: u64,
+        /// Destination node.
+        to: u64,
+        /// FNV-1a digest of the migration ticket that carried the state.
+        digest: u64,
+    },
+    /// End-of-epoch fleet aggregate (cumulative counters).
+    Summary {
+        /// Fleet epoch.
+        epoch: u64,
+        /// Nodes hosting at least one tenant.
+        active_nodes: u64,
+        /// Tenants currently placed.
+        running_apps: u64,
+        /// Cumulative placements.
+        placements: u64,
+        /// Cumulative departures.
+        departures: u64,
+        /// Cumulative migrations.
+        migrations: u64,
+        /// p99 of per-node unfairness this epoch.
+        unfairness_p99: f64,
+        /// p99 of per-tenant slowdown this epoch.
+        slowdown_p99: f64,
+    },
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+impl FleetEvent {
+    /// Renders the event as one JSONL line.
+    pub fn to_json_line(&self) -> String {
+        let obj = |kind: &str, mut rest: Vec<(String, Json)>| {
+            let mut members = vec![("kind".to_string(), Json::Str(kind.to_string()))];
+            members.append(&mut rest);
+            Json::Obj(members).to_string()
+        };
+        match self {
+            FleetEvent::Config {
+                nodes,
+                apps,
+                capacity,
+                horizon,
+                seed,
+            } => obj(
+                "fleet-config",
+                vec![
+                    ("nodes".to_string(), num(*nodes)),
+                    ("apps".to_string(), num(*apps)),
+                    ("capacity".to_string(), num(*capacity)),
+                    ("horizon".to_string(), num(*horizon)),
+                    ("seed".to_string(), num(*seed)),
+                ],
+            ),
+            FleetEvent::Placement {
+                epoch,
+                app,
+                bench,
+                node,
+                boot,
+            } => obj(
+                "placement",
+                vec![
+                    ("epoch".to_string(), num(*epoch)),
+                    ("app".to_string(), num(*app)),
+                    ("bench".to_string(), Json::Str(bench.clone())),
+                    ("node".to_string(), num(*node)),
+                    ("boot".to_string(), Json::Bool(*boot)),
+                ],
+            ),
+            FleetEvent::Deferred { epoch, app } => obj(
+                "deferred",
+                vec![
+                    ("epoch".to_string(), num(*epoch)),
+                    ("app".to_string(), num(*app)),
+                ],
+            ),
+            FleetEvent::Departure {
+                epoch,
+                app,
+                node,
+                teardown,
+            } => obj(
+                "departure",
+                vec![
+                    ("epoch".to_string(), num(*epoch)),
+                    ("app".to_string(), num(*app)),
+                    ("node".to_string(), num(*node)),
+                    ("teardown".to_string(), Json::Bool(*teardown)),
+                ],
+            ),
+            FleetEvent::Migration {
+                epoch,
+                app,
+                from,
+                to,
+                digest,
+            } => obj(
+                "migration",
+                vec![
+                    ("epoch".to_string(), num(*epoch)),
+                    ("app".to_string(), num(*app)),
+                    ("from".to_string(), num(*from)),
+                    ("to".to_string(), num(*to)),
+                    ("digest".to_string(), Json::Str(format!("{digest:016x}"))),
+                ],
+            ),
+            FleetEvent::Summary {
+                epoch,
+                active_nodes,
+                running_apps,
+                placements,
+                departures,
+                migrations,
+                unfairness_p99,
+                slowdown_p99,
+            } => obj(
+                "summary",
+                vec![
+                    ("epoch".to_string(), num(*epoch)),
+                    ("active_nodes".to_string(), num(*active_nodes)),
+                    ("running_apps".to_string(), num(*running_apps)),
+                    ("placements".to_string(), num(*placements)),
+                    ("departures".to_string(), num(*departures)),
+                    ("migrations".to_string(), num(*migrations)),
+                    ("unfairness_p99".to_string(), Json::Num(*unfairness_p99)),
+                    ("slowdown_p99".to_string(), Json::Num(*slowdown_p99)),
+                ],
+            ),
+        }
+    }
+
+    /// Parses one JSONL line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, an unknown `kind`, or missing fields.
+    pub fn parse_json_line(line: &str) -> Result<FleetEvent, String> {
+        let j = Json::parse(line).map_err(|e| format!("not JSON: {e}"))?;
+        let members = match &j {
+            Json::Obj(m) => m,
+            _ => return Err("fleet event is not an object".to_string()),
+        };
+        let get = |key: &str| -> Result<&Json, String> {
+            members
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            match get(key)? {
+                Json::Num(n) => Ok(*n as u64),
+                _ => Err(format!("{key:?} is not a number")),
+            }
+        };
+        let get_f64 = |key: &str| -> Result<f64, String> {
+            match get(key)? {
+                Json::Num(n) => Ok(*n),
+                _ => Err(format!("{key:?} is not a number")),
+            }
+        };
+        let get_bool = |key: &str| -> Result<bool, String> {
+            match get(key)? {
+                Json::Bool(b) => Ok(*b),
+                _ => Err(format!("{key:?} is not a bool")),
+            }
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            match get(key)? {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(format!("{key:?} is not a string")),
+            }
+        };
+        match get_str("kind")?.as_str() {
+            "fleet-config" => Ok(FleetEvent::Config {
+                nodes: get_u64("nodes")?,
+                apps: get_u64("apps")?,
+                capacity: get_u64("capacity")?,
+                horizon: get_u64("horizon")?,
+                seed: get_u64("seed")?,
+            }),
+            "placement" => Ok(FleetEvent::Placement {
+                epoch: get_u64("epoch")?,
+                app: get_u64("app")?,
+                bench: get_str("bench")?,
+                node: get_u64("node")?,
+                boot: get_bool("boot")?,
+            }),
+            "deferred" => Ok(FleetEvent::Deferred {
+                epoch: get_u64("epoch")?,
+                app: get_u64("app")?,
+            }),
+            "departure" => Ok(FleetEvent::Departure {
+                epoch: get_u64("epoch")?,
+                app: get_u64("app")?,
+                node: get_u64("node")?,
+                teardown: get_bool("teardown")?,
+            }),
+            "migration" => Ok(FleetEvent::Migration {
+                epoch: get_u64("epoch")?,
+                app: get_u64("app")?,
+                from: get_u64("from")?,
+                to: get_u64("to")?,
+                digest: u64::from_str_radix(&get_str("digest")?, 16)
+                    .map_err(|e| format!("bad digest: {e}"))?,
+            }),
+            "summary" => Ok(FleetEvent::Summary {
+                epoch: get_u64("epoch")?,
+                active_nodes: get_u64("active_nodes")?,
+                running_apps: get_u64("running_apps")?,
+                placements: get_u64("placements")?,
+                departures: get_u64("departures")?,
+                migrations: get_u64("migrations")?,
+                unfairness_p99: get_f64("unfairness_p99")?,
+                slowdown_p99: get_f64("slowdown_p99")?,
+            }),
+            other => Err(format!("unknown fleet event kind {other:?}")),
+        }
+    }
+}
+
+/// What a structurally valid fleet trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetTraceStats {
+    /// Events checked (including the config header).
+    pub events: usize,
+    /// Distinct epochs with a summary.
+    pub epochs: u64,
+    /// Placement events.
+    pub placements: u64,
+    /// Departure events.
+    pub departures: u64,
+    /// Migration events.
+    pub migrations: u64,
+    /// Deferral events.
+    pub deferrals: u64,
+}
+
+/// Replays a fleet trace and checks it against the lifecycle rules.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation: malformed
+/// line, missing/duplicated config header, an event that contradicts
+/// the replayed membership (placing a placed tenant, departing from the
+/// wrong node, migrating to a full or identical node), a node id out of
+/// range, occupancy above capacity, non-monotonic epochs, or a summary
+/// whose running-app count disagrees with the replay.
+pub fn check_fleet_trace(text: &str) -> Result<FleetTraceStats, String> {
+    let mut stats = FleetTraceStats::default();
+    let mut cfg: Option<(u64, u64)> = None; // (nodes, capacity)
+    let mut placed: HashMap<u64, u64> = HashMap::new(); // app -> node
+    let mut occupancy: HashMap<u64, u64> = HashMap::new(); // node -> apps
+    let mut last_epoch = 0u64;
+    let mut last_summary_epoch: Option<u64> = None;
+
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let event = FleetEvent::parse_json_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        stats.events += 1;
+        if stats.events == 1 {
+            match event {
+                FleetEvent::Config {
+                    nodes, capacity, ..
+                } => {
+                    cfg = Some((nodes, capacity));
+                    continue;
+                }
+                _ => return Err("line 1: first event must be fleet-config".to_string()),
+            }
+        }
+        let (n_nodes, capacity) = cfg.expect("config checked on the first event");
+        let epoch = match &event {
+            FleetEvent::Config { .. } => {
+                return Err(format!("line {lineno}: duplicate fleet-config"));
+            }
+            FleetEvent::Placement { epoch, .. }
+            | FleetEvent::Deferred { epoch, .. }
+            | FleetEvent::Departure { epoch, .. }
+            | FleetEvent::Migration { epoch, .. }
+            | FleetEvent::Summary { epoch, .. } => *epoch,
+        };
+        if epoch < last_epoch {
+            return Err(format!(
+                "line {lineno}: epoch {epoch} after epoch {last_epoch}"
+            ));
+        }
+        last_epoch = epoch;
+        match event {
+            FleetEvent::Config { .. } => unreachable!("handled above"),
+            FleetEvent::Placement {
+                app, node, boot, ..
+            } => {
+                stats.placements += 1;
+                if node >= n_nodes {
+                    return Err(format!("line {lineno}: node {node} out of range"));
+                }
+                if let Some(on) = placed.get(&app) {
+                    return Err(format!(
+                        "line {lineno}: app {app} placed while already on node {on}"
+                    ));
+                }
+                let occ = occupancy.entry(node).or_insert(0);
+                if boot != (*occ == 0) {
+                    return Err(format!(
+                        "line {lineno}: boot flag {boot} but node {node} hosts {occ}"
+                    ));
+                }
+                *occ += 1;
+                if *occ > capacity {
+                    return Err(format!(
+                        "line {lineno}: node {node} over capacity ({occ} > {capacity})"
+                    ));
+                }
+                placed.insert(app, node);
+            }
+            FleetEvent::Deferred { app, .. } => {
+                stats.deferrals += 1;
+                if let Some(on) = placed.get(&app) {
+                    return Err(format!(
+                        "line {lineno}: app {app} deferred while placed on node {on}"
+                    ));
+                }
+            }
+            FleetEvent::Departure {
+                app,
+                node,
+                teardown,
+                ..
+            } => {
+                stats.departures += 1;
+                match placed.remove(&app) {
+                    Some(on) if on == node => {}
+                    Some(on) => {
+                        return Err(format!(
+                            "line {lineno}: app {app} departed node {node} but lives on {on}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!("line {lineno}: app {app} departed unplaced"));
+                    }
+                }
+                let occ = occupancy.entry(node).or_insert(0);
+                *occ -= 1;
+                if teardown != (*occ == 0) {
+                    return Err(format!(
+                        "line {lineno}: teardown flag {teardown} but node {node} hosts {occ}"
+                    ));
+                }
+            }
+            FleetEvent::Migration { app, from, to, .. } => {
+                stats.migrations += 1;
+                if from == to {
+                    return Err(format!("line {lineno}: migration from a node to itself"));
+                }
+                if to >= n_nodes {
+                    return Err(format!("line {lineno}: node {to} out of range"));
+                }
+                match placed.get(&app) {
+                    Some(&on) if on == from => {}
+                    Some(&on) => {
+                        return Err(format!(
+                            "line {lineno}: app {app} migrated from {from} but lives on {on}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!("line {lineno}: app {app} migrated unplaced"));
+                    }
+                }
+                *occupancy.entry(from).or_insert(1) -= 1;
+                let occ = occupancy.entry(to).or_insert(0);
+                *occ += 1;
+                if *occ > capacity {
+                    return Err(format!(
+                        "line {lineno}: migration over capacity on node {to}"
+                    ));
+                }
+                placed.insert(app, to);
+            }
+            FleetEvent::Summary {
+                epoch,
+                running_apps,
+                active_nodes,
+                ..
+            } => {
+                if last_summary_epoch == Some(epoch) {
+                    return Err(format!(
+                        "line {lineno}: duplicate summary for epoch {epoch}"
+                    ));
+                }
+                last_summary_epoch = Some(epoch);
+                stats.epochs += 1;
+                let replayed = placed.len() as u64;
+                if running_apps != replayed {
+                    return Err(format!(
+                        "line {lineno}: summary says {running_apps} running apps, replay says {replayed}"
+                    ));
+                }
+                let replayed_nodes = occupancy.values().filter(|&&o| o > 0).count() as u64;
+                if active_nodes != replayed_nodes {
+                    return Err(format!(
+                        "line {lineno}: summary says {active_nodes} active nodes, replay says {replayed_nodes}"
+                    ));
+                }
+            }
+        }
+    }
+    if cfg.is_none() {
+        return Err("empty fleet trace (no fleet-config header)".to_string());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_line() -> String {
+        FleetEvent::Config {
+            nodes: 4,
+            apps: 8,
+            capacity: 2,
+            horizon: 10,
+            seed: 1,
+        }
+        .to_json_line()
+    }
+
+    #[test]
+    fn events_roundtrip_through_jsonl() {
+        let events = vec![
+            FleetEvent::Config {
+                nodes: 4,
+                apps: 8,
+                capacity: 2,
+                horizon: 10,
+                seed: 1,
+            },
+            FleetEvent::Placement {
+                epoch: 0,
+                app: 3,
+                bench: "WN".to_string(),
+                node: 1,
+                boot: true,
+            },
+            FleetEvent::Deferred { epoch: 0, app: 4 },
+            FleetEvent::Migration {
+                epoch: 2,
+                app: 3,
+                from: 1,
+                to: 2,
+                digest: 0xdead_beef_cafe_f00d,
+            },
+            FleetEvent::Departure {
+                epoch: 3,
+                app: 3,
+                node: 2,
+                teardown: true,
+            },
+            FleetEvent::Summary {
+                epoch: 3,
+                active_nodes: 0,
+                running_apps: 0,
+                placements: 1,
+                departures: 1,
+                migrations: 1,
+                unfairness_p99: 0.25,
+                slowdown_p99: 1.5,
+            },
+        ];
+        for e in events {
+            let line = e.to_json_line();
+            assert_eq!(FleetEvent::parse_json_line(&line).unwrap(), e, "{line}");
+        }
+    }
+
+    #[test]
+    fn checker_accepts_a_consistent_trace() {
+        let lines = [
+            config_line(),
+            FleetEvent::Placement {
+                epoch: 0,
+                app: 0,
+                bench: "WN".to_string(),
+                node: 0,
+                boot: true,
+            }
+            .to_json_line(),
+            FleetEvent::Placement {
+                epoch: 0,
+                app: 1,
+                bench: "SP".to_string(),
+                node: 1,
+                boot: true,
+            }
+            .to_json_line(),
+            FleetEvent::Migration {
+                epoch: 1,
+                app: 0,
+                from: 0,
+                to: 1,
+                digest: 7,
+            }
+            .to_json_line(),
+            FleetEvent::Departure {
+                epoch: 2,
+                app: 0,
+                node: 1,
+                teardown: false,
+            }
+            .to_json_line(),
+            FleetEvent::Summary {
+                epoch: 2,
+                active_nodes: 1,
+                running_apps: 1,
+                placements: 2,
+                departures: 1,
+                migrations: 1,
+                unfairness_p99: 0.0,
+                slowdown_p99: 1.0,
+            }
+            .to_json_line(),
+        ];
+        let stats = check_fleet_trace(&lines.join("\n")).unwrap();
+        assert_eq!(stats.placements, 2);
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.epochs, 1);
+    }
+
+    #[test]
+    fn checker_rejects_lifecycle_violations() {
+        let place = |app: u64, node: u64, boot: bool| {
+            FleetEvent::Placement {
+                epoch: 0,
+                app,
+                bench: "WN".to_string(),
+                node,
+                boot,
+            }
+            .to_json_line()
+        };
+        // Double placement.
+        let t = [config_line(), place(0, 0, true), place(0, 1, true)].join("\n");
+        assert!(check_fleet_trace(&t)
+            .unwrap_err()
+            .contains("already on node"));
+        // Wrong boot flag.
+        let t = [config_line(), place(0, 0, false)].join("\n");
+        assert!(check_fleet_trace(&t).unwrap_err().contains("boot flag"));
+        // Over capacity (capacity 2).
+        let t = [
+            config_line(),
+            place(0, 0, true),
+            place(1, 0, false),
+            place(2, 0, false),
+        ]
+        .join("\n");
+        assert!(check_fleet_trace(&t).unwrap_err().contains("over capacity"));
+        // Departure of an unplaced app.
+        let t = [
+            config_line(),
+            FleetEvent::Departure {
+                epoch: 0,
+                app: 9,
+                node: 0,
+                teardown: false,
+            }
+            .to_json_line(),
+        ]
+        .join("\n");
+        assert!(check_fleet_trace(&t).unwrap_err().contains("unplaced"));
+        // Missing header.
+        assert!(check_fleet_trace(&place(0, 0, true))
+            .unwrap_err()
+            .contains("fleet-config"));
+        // Epochs must not go backwards.
+        let t = [
+            config_line(),
+            FleetEvent::Deferred { epoch: 3, app: 0 }.to_json_line(),
+            FleetEvent::Deferred { epoch: 2, app: 1 }.to_json_line(),
+        ]
+        .join("\n");
+        assert!(check_fleet_trace(&t).unwrap_err().contains("after epoch"));
+    }
+}

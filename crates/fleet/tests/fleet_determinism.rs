@@ -1,0 +1,60 @@
+//! The fleet determinism contract: one configuration, one byte stream —
+//! regardless of how many workers drive the node phase.
+//!
+//! Everything cross-node is decided serially; the parallel phase only
+//! steps disjoint per-node state and reassembles in node-id order. These
+//! tests pin that down by running the same fleet at `--jobs 1` and
+//! `--jobs 8` inside one process and comparing every output byte:
+//! trace, metrics document, and migration tickets.
+
+use copart_fleet::{check_fleet_trace, run_fleet, FleetConfig};
+
+/// One test drives both job counts: `set_jobs` is process-global, so
+/// sequencing inside a single `#[test]` keeps the comparison honest.
+#[test]
+fn fleet_outputs_are_byte_identical_across_jobs() {
+    let mut cfg = FleetConfig::new(6, 30, 97);
+    cfg.horizon = 24;
+    // Make rebalancing near-certain so the migration path is part of
+    // what the comparison covers.
+    cfg.rebalance.threshold = 0.005;
+    cfg.rebalance.patience = 1;
+    cfg.rebalance.cooldown = 2;
+
+    copart_parallel::set_jobs(Some(1));
+    let serial = run_fleet(&cfg).unwrap();
+    copart_parallel::set_jobs(Some(8));
+    let parallel = run_fleet(&cfg).unwrap();
+    copart_parallel::set_jobs(None);
+
+    assert_eq!(
+        serial.trace, parallel.trace,
+        "trace must not depend on jobs"
+    );
+    assert_eq!(serial.metrics_json, parallel.metrics_json);
+    assert_eq!(serial.tickets, parallel.tickets);
+
+    let stats = check_fleet_trace(&serial.trace).unwrap();
+    assert_eq!(stats.epochs, 24);
+    assert!(stats.placements > 0);
+    assert!(
+        stats.migrations > 0,
+        "the comparison must cover the migration path"
+    );
+
+    // The faulted variant must hold the same contract: per-node fault
+    // streams are seeded by node id, never by worker interleaving.
+    let mut faulted = cfg.clone();
+    faulted.faults = Some(
+        copart_faults::ScopedFaultPlan::parse("seed=5,dropout=1/41,write=0.02,nodes=every/2")
+            .unwrap(),
+    );
+    copart_parallel::set_jobs(Some(1));
+    let serial = run_fleet(&faulted).unwrap();
+    copart_parallel::set_jobs(Some(8));
+    let parallel = run_fleet(&faulted).unwrap();
+    copart_parallel::set_jobs(None);
+    assert_eq!(serial.trace, parallel.trace, "faulted trace must match too");
+    assert_eq!(serial.metrics_json, parallel.metrics_json);
+    check_fleet_trace(&serial.trace).unwrap();
+}

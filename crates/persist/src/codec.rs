@@ -304,7 +304,9 @@ fn dec_explorer(j: &Json) -> Result<ExplorerSnapshot, PersistError> {
     })
 }
 
-fn enc_app_runtime(a: &AppRuntimeSnapshot) -> Json {
+/// Encodes one application's frozen controller state — the bit-exact
+/// payload the fleet's migration tickets carry between nodes.
+pub fn enc_app_runtime(a: &AppRuntimeSnapshot) -> Json {
     obj(vec![
         ("group", Json::Num(f64::from(a.group))),
         ("name", Json::Str(a.name.clone())),
@@ -319,7 +321,13 @@ fn enc_app_runtime(a: &AppRuntimeSnapshot) -> Json {
     ])
 }
 
-fn dec_app_runtime(j: &Json) -> Result<AppRuntimeSnapshot, PersistError> {
+/// Decodes one application's frozen controller state (inverse of
+/// [`enc_app_runtime`]).
+///
+/// # Errors
+///
+/// Fails on missing fields or malformed hex-float encodings.
+pub fn dec_app_runtime(j: &Json) -> Result<AppRuntimeSnapshot, PersistError> {
     Ok(AppRuntimeSnapshot {
         group: dec_u16(j, "group")?,
         name: dec_str(j, "name")?.to_string(),

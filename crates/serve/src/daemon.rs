@@ -27,10 +27,8 @@ use crate::persist::PersistedRun;
 use crate::trace::SharedRing;
 use copart_core::policies::PolicyKind;
 use copart_core::runtime::Phase;
-use copart_faults::FaultyBackend;
+use copart_core::NodeBackend;
 use copart_persist::PersistableBackend;
-use copart_rdt::{ClosId, RdtBackend, RdtError, SimBackend};
-use copart_sim::AppSpec;
 use copart_telemetry::{Json, MetricsRegistry};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -102,48 +100,17 @@ pub fn parse_dynamic_policy(s: &str) -> Result<PolicyKind, String> {
     }
 }
 
-/// The backend capabilities the daemon needs beyond [`RdtBackend`]:
-/// admitting and evicting whole workloads at runtime, plus freezing and
-/// restoring complete state for crash recovery
-/// ([`PersistableBackend`]).
-pub trait ServeBackend: RdtBackend + PersistableBackend + Send + 'static {
-    /// Starts a workload in a fresh group and returns its id.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the platform cannot host another workload.
-    fn admit(&mut self, spec: AppSpec) -> Result<ClosId, RdtError>;
+/// The backend capabilities the daemon needs beyond
+/// [`RdtBackend`](copart_rdt::RdtBackend):
+/// admitting and evicting whole workloads at runtime
+/// ([`NodeBackend`] — the seam `copart-fleet` nodes share), plus
+/// freezing and restoring complete state for crash recovery
+/// ([`PersistableBackend`]). The `SimBackend` and
+/// `FaultyBackend<SimBackend>` impls come from those two traits; this
+/// is just their intersection.
+pub trait ServeBackend: NodeBackend + PersistableBackend + Send + 'static {}
 
-    /// Stops a workload and releases its group.
-    ///
-    /// # Errors
-    ///
-    /// Fails on an unknown group.
-    fn evict(&mut self, group: ClosId) -> Result<(), RdtError>;
-}
-
-impl ServeBackend for SimBackend {
-    fn admit(&mut self, spec: AppSpec) -> Result<ClosId, RdtError> {
-        self.add_workload(spec)
-    }
-
-    fn evict(&mut self, group: ClosId) -> Result<(), RdtError> {
-        self.remove_workload(group)
-    }
-}
-
-/// Admission bypasses fault injection (launching a container is an
-/// orchestrator operation, not an RDT one); everything the runtime does
-/// with the admitted group still goes through the fault plan.
-impl ServeBackend for FaultyBackend<SimBackend> {
-    fn admit(&mut self, spec: AppSpec) -> Result<ClosId, RdtError> {
-        self.inner_mut().add_workload(spec)
-    }
-
-    fn evict(&mut self, group: ClosId) -> Result<(), RdtError> {
-        self.inner_mut().remove_workload(group)
-    }
-}
+impl<B: NodeBackend + PersistableBackend + Send + 'static> ServeBackend for B {}
 
 /// Pacing configuration for the control loop.
 #[derive(Debug, Clone)]

@@ -12,7 +12,7 @@ use copart_core::policies::{self, PolicyKind};
 use copart_core::runtime::{ConsolidationRuntime, RuntimeConfig};
 use copart_core::CoPartParams;
 use copart_faults::{FaultPlan, FaultyBackend};
-use copart_rdt::{ClosId, RdtBackend, RdtError, SimBackend};
+use copart_rdt::{ClosId, SimBackend};
 use copart_sim::{AppSpec, Machine, MachineConfig};
 use copart_workloads::stream::StreamReference;
 use copart_workloads::{Benchmark, MixKind, WorkloadMix};
@@ -267,29 +267,10 @@ impl ScenarioEnv {
     }
 }
 
-/// Runs profiling, retrying whole passes up to `attempts` times — under
-/// fault injection a vanished group or a run of busy writes can abort a
-/// pass, and the daemon (like `sim-run --faults`) gives it several.
-///
-/// # Errors
-///
-/// Returns the last profiling error once the attempts are exhausted.
-pub fn profile_with_retries<B: RdtBackend>(
-    runtime: &mut ConsolidationRuntime<B>,
-    attempts: u32,
-) -> Result<(), String> {
-    let mut last: Option<RdtError> = None;
-    for _ in 0..attempts.max(1) {
-        match runtime.profile() {
-            Ok(()) => return Ok(()),
-            Err(e) => last = Some(e),
-        }
-    }
-    Err(format!(
-        "profiling did not survive {attempts} attempts: {}",
-        last.expect("at least one attempt ran")
-    ))
-}
+/// Runs profiling, retrying whole passes up to `attempts` times.
+/// Re-exported from the core node seam, where fleet nodes share the
+/// exact same retry policy (byte-identical traces depend on it).
+pub use copart_core::node::profile_with_retries;
 
 #[cfg(test)]
 mod tests {

@@ -37,6 +37,7 @@
 mod counters;
 mod event;
 mod ewma;
+mod fleet;
 pub mod json;
 mod rates;
 mod recorder;
@@ -49,6 +50,7 @@ pub use event::{
     TracePhase,
 };
 pub use ewma::Ewma;
+pub use fleet::{FleetAggregator, NodeGauges, Percentiles};
 pub use json::{Json, JsonError};
 pub use rates::{traffic_ratio, Rates};
 pub use recorder::{

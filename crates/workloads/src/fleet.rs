@@ -1,0 +1,181 @@
+//! Multi-tenant fleet workload: zipf-skewed arrival/departure churn.
+//!
+//! A consolidation fleet does not see the paper's neat 6-app mixes; it
+//! sees hundreds of short-lived tenants whose benchmark popularity is
+//! heavily skewed (a handful of hot images dominate) and whose arrivals
+//! and lifetimes churn continuously. This module generates that tape
+//! deterministically:
+//!
+//! * [`MixSampler`] — a Zipf(s≈1) distribution over the 11 Table 2
+//!   benchmarks, with the popularity *order* itself drawn from the seed
+//!   (so different fleets are hot on different images);
+//! * [`churn_tape`] — the full arrival schedule: per app an id, a
+//!   benchmark, an arrival epoch spread over the horizon, and a service
+//!   lifetime (epochs of *placed* residence — time spent waiting in an
+//!   admission queue does not count against it).
+//!
+//! Both are pure functions of `(seed, counts)`: the fleet controller,
+//! the planner-scale harness, and the `fleet-placement-deterministic`
+//! oracle all replay the identical tape from the identical inputs.
+
+use copart_rng::XorShift64Star;
+
+use crate::Benchmark;
+
+/// Zipf exponent: popularity of the k-th hottest benchmark ∝ 1/k^s.
+const ZIPF_S: f64 = 1.1;
+
+/// Shortest service lifetime, in placed epochs.
+const MIN_LIFETIME: u64 = 4;
+
+/// A Zipf-skewed sampler over the Table 2 benchmarks.
+///
+/// The popularity ranking is a seed-derived permutation of
+/// [`Benchmark::all`], so which image is "hot" varies per fleet while
+/// the skew shape stays fixed.
+#[derive(Debug, Clone)]
+pub struct MixSampler {
+    ranked: Vec<Benchmark>,
+    /// Cumulative probability per rank, ending at 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl MixSampler {
+    /// Builds the sampler for a fleet seed.
+    pub fn new(seed: u64) -> MixSampler {
+        let mut rng = XorShift64Star::for_stream(seed, 0x21bf);
+        let mut ranked: Vec<Benchmark> = Benchmark::all().to_vec();
+        rng.shuffle(&mut ranked);
+        let weights: Vec<f64> = (1..=ranked.len())
+            .map(|k| 1.0 / (k as f64).powf(ZIPF_S))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        MixSampler { ranked, cumulative }
+    }
+
+    /// Maps a uniform draw in `[0, 1)` onto a benchmark.
+    pub fn sample(&self, u: f64) -> Benchmark {
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.ranked.len() - 1);
+        self.ranked[idx]
+    }
+
+    /// The benchmarks in popularity order (hottest first).
+    pub fn ranking(&self) -> &[Benchmark] {
+        &self.ranked
+    }
+}
+
+/// One tenant in the churn tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetArrival {
+    /// Fleet-unique application id (dense, in arrival order).
+    pub app: u64,
+    /// The tenant's workload.
+    pub bench: Benchmark,
+    /// Fleet epoch the tenant shows up for admission.
+    pub arrive: u64,
+    /// Service lifetime: epochs of placed residence before departure.
+    pub lifetime: u64,
+}
+
+/// Generates the deterministic churn tape: `n_apps` tenants arriving
+/// over the first ~3/4 of `horizon` epochs (so late arrivals still get
+/// to run), zipf-skewed benchmarks, geometric-ish lifetimes of at least
+/// `MIN_LIFETIME` epochs. Sorted by `(arrive, app)`; app ids are
+/// assigned after the sort, so they are dense in admission order —
+/// fleet-unique identity is part of the tape.
+pub fn churn_tape(n_apps: u64, horizon: u64, seed: u64) -> Vec<FleetArrival> {
+    let sampler = MixSampler::new(seed);
+    let mut rng = XorShift64Star::for_stream(seed, 0x7a9e);
+    let arrival_window = (horizon.saturating_mul(3) / 4).max(1);
+    let mut tape: Vec<FleetArrival> = (0..n_apps)
+        .map(|_| {
+            let bench = sampler.sample(rng.next_f64());
+            let arrive = rng.next_below(arrival_window);
+            // A coarse geometric: most tenants are short-lived, a tail
+            // runs for much of the horizon.
+            let mut lifetime = MIN_LIFETIME;
+            while lifetime < horizon && rng.gen_bool(0.55) {
+                lifetime += MIN_LIFETIME;
+            }
+            FleetArrival {
+                app: 0,
+                bench,
+                arrive,
+                lifetime,
+            }
+        })
+        .collect();
+    // next_below is already deterministic; the sort key breaks arrival
+    // ties by the generation index, which `sort_by_key` preserves via
+    // stability.
+    tape.sort_by_key(|a| a.arrive);
+    for (i, arrival) in tape.iter_mut().enumerate() {
+        arrival.app = i as u64;
+    }
+    tape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn tape_is_deterministic_and_sorted() {
+        let a = churn_tape(200, 48, 7);
+        let b = churn_tape(200, 48, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrive <= w[1].arrive));
+        assert!(a.iter().enumerate().all(|(i, x)| x.app == i as u64));
+        let c = churn_tape(200, 48, 8);
+        assert_ne!(a, c, "different seeds give different tapes");
+    }
+
+    #[test]
+    fn lifetimes_and_arrivals_are_bounded() {
+        for arrival in churn_tape(500, 40, 3) {
+            assert!(arrival.arrive < 30, "arrivals stay inside 3/4 horizon");
+            assert!(arrival.lifetime >= MIN_LIFETIME);
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let tape = churn_tape(2000, 64, 11);
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for a in &tape {
+            *counts.entry(a.bench.table2().short).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min = counts.values().copied().min().unwrap_or(0);
+        // Zipf over 11 ranks: the hottest image should dominate the
+        // coldest by a wide margin.
+        assert!(
+            max >= min.max(1) * 4,
+            "expected skew, got max={max} min={min}"
+        );
+    }
+
+    #[test]
+    fn sampler_ranking_depends_on_seed() {
+        let a = MixSampler::new(1);
+        let b = MixSampler::new(2);
+        assert_eq!(a.ranking().len(), 11);
+        assert_ne!(a.ranking(), b.ranking(), "seeded permutations differ");
+        // Cumulative distribution ends at ~1.
+        assert!((a.cumulative.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

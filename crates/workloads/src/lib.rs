@@ -24,6 +24,7 @@
 pub mod benchmarks;
 pub mod casestudy;
 pub mod category;
+pub mod fleet;
 pub mod measure;
 pub mod mixes;
 pub mod stream;

@@ -51,6 +51,30 @@ if [ "${#artifacts[@]}" -eq 0 ]; then
     exit 1
 fi
 
+# Absolute budget gate, independent of the relative baseline: CoPart's
+# control epoch leaves roughly 1 ms for planning (DESIGN.md §13), and
+# the fleet consolidates thousands of tenants, so the 4000-app planner
+# p99 must stay inside that budget in absolute terms — a slow baseline
+# must not grandfather a slow planner. COPART_P99_BUDGET_NS overrides
+# the ceiling (nanoseconds).
+budget_ns="${COPART_P99_BUDGET_NS:-1000000}"
+epoch_artifact="$out_dir/BENCH_epoch.json"
+if [ -f "$epoch_artifact" ]; then
+    p99=$(sed -n 's/.*"scale_4000_plan_ns_p99":[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$epoch_artifact")
+    if [ -z "$p99" ]; then
+        echo "bench_gate: scale_4000_plan_ns_p99 missing from $epoch_artifact" >&2
+        exit 1
+    fi
+    if [ "$p99" -gt "$budget_ns" ]; then
+        echo "bench_gate: FAILED — 4000-app plan p99 ${p99} ns exceeds the epoch budget (${budget_ns} ns)" >&2
+        exit 1
+    fi
+    echo "bench_gate: 4000-app plan p99 ${p99} ns within the ${budget_ns} ns epoch budget"
+else
+    echo "bench_gate: $epoch_artifact not produced — budget gate has nothing to check" >&2
+    exit 1
+fi
+
 if [ "${UPDATE_BENCH:-0}" = "1" ]; then
     mkdir -p "$baseline_dir"
     for f in "${artifacts[@]}"; do

@@ -19,10 +19,16 @@
 #                     crash-recovery gate (scripts/recovery.sh: kill a
 #                     persisted run at an epoch boundary, resume it, and
 #                     require the stitched trace byte-identical to an
-#                     uninterrupted run), and the perf gate
+#                     uninterrupted run), the fleet gate
+#                     (scripts/fleet.sh under REPRO_FAST: multi-node
+#                     churn with per-node faults, byte-identical at
+#                     --jobs 1 vs 8, with at least one state-preserving
+#                     migration), and the perf gate
 #                     (scripts/bench_gate.sh), which runs the artifact
 #                     benches and diffs their BENCH_*.json against the
-#                     checked-in baselines.
+#                     checked-in baselines; the latter also holds the
+#                     4000-app planner p99 under the ~1 ms epoch budget
+#                     in absolute terms (COPART_P99_BUDGET_NS).
 #
 # COPART_CHECK_CASES overrides either budget from the environment.
 #
@@ -81,6 +87,9 @@ full)
 
     echo "==> recovery gate (kill/resume byte-identity)"
     scripts/recovery.sh release
+
+    echo "==> fleet gate (multi-node determinism, REPRO_FAST)"
+    REPRO_FAST=1 scripts/fleet.sh release
 
     echo "==> perf gate (BENCH_*.json vs crates/bench/baselines)"
     scripts/bench_gate.sh
