@@ -138,6 +138,7 @@ fn epoch_runtime(
         budget: WaysBudget::full_machine(machine_cfg.llc_ways),
         stream: stream.clone(),
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(backend, named, cfg).expect("state applies");
     rt.set_recorder(recorder);
@@ -257,6 +258,7 @@ fn layer_allocations(stream: &StreamReference, art: &mut Artifact) {
         budget: WaysBudget::full_machine(machine_cfg.llc_ways),
         stream: stream.clone(),
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let instances: Vec<_> = (0..32).map(|s| synthetic_instance(6, s)).collect();
     let mut explorer = Explorer::new(7);

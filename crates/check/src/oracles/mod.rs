@@ -1,5 +1,6 @@
 //! The workspace's differential oracles, one module per subsystem.
 
+pub mod cluster;
 pub mod ewma;
 pub mod fleet_placement;
 pub mod fsm;
@@ -27,6 +28,7 @@ pub fn all() -> Vec<Property> {
     props.extend(ewma::properties());
     props.extend(persistence::properties());
     props.extend(fleet_placement::properties());
+    props.extend(cluster::properties());
     props
 }
 
@@ -54,6 +56,7 @@ mod tests {
             "ewma-reference",
             "snapshot-restore-replay",
             "fleet-placement-deterministic",
+            "cluster-assignment-deterministic",
         ]
         .into_iter()
         .collect();

@@ -15,6 +15,7 @@
 
 mod args;
 mod bench_report;
+mod compare_cmd;
 mod fleet_cmd;
 mod resctrl_cmd;
 mod serve_cmd;
@@ -28,14 +29,15 @@ Usage: copart <command> [options]
 Commands:
   sim-run          Run a consolidation on the simulated testbed
       --mix <h-llc|h-bw|h-both|m-llc|m-bw|m-both|is>   (default h-both)
-      --policy <eq|st|cat-only|mba-only|copart>        (default copart)
+      --policy <eq|st|cat-only|mba-only|copart|lfoc>   (default copart)
       --apps <1..4096>                                 (default 4)
                            7+ apps run the synthetic planner-scale
                            harness (no machine simulation); --seed and
                            --churn <0..1> tune its population
       --seconds <virtual seconds>                      (default 30)
       --trace-out <path>   write a per-epoch JSONL decision trace
-                           (dynamic policies: cat-only, mba-only, copart)
+                           (dynamic policies: cat-only, mba-only, copart,
+                           lfoc)
       --metrics            print the runtime metrics registry after the run
       --jobs <n>           worker threads for parallel sweeps (the ST
                            offline search); also COPART_JOBS env var
@@ -89,6 +91,17 @@ Commands:
       --metrics            print the fleet metrics JSON document
       --jobs <n>           node-phase workers (byte-identical output at
                            any setting)
+  compare          Head-to-head fairness grid: every registered policy
+                   engine (EQ, ST, CAT-only, MBA-only, CoPart, Utility,
+                   LFOC) x every compare scenario (paper mixes, diurnal
+                   LC, flash-crowd LC, bully); byte-identical output at
+                   any --jobs setting
+      --seconds <virtual seconds>   per-cell run length (default 30)
+      --seed <n>           evaluation seed (default 42)
+      --jobs <n>           worker threads for the cell grid
+      --out <path>         write one JSONL line per (engine, scenario)
+                           cell; BENCH_JSON_DIR additionally drops a
+                           BENCH_compare.json artifact for bench_gate.sh
   trace-check      Validate a JSONL decision trace (parses, gapless
                    epochs, monotone time) — the CI smoke gate
       --path <file> [--min-events <n>]
@@ -132,6 +145,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "sim-run" => sim_cmd::sim_run(&opts),
+        "compare" => compare_cmd::compare(&opts),
         "fleet-run" => fleet_cmd::fleet_run(&opts),
         "serve" => serve_cmd::serve(&opts),
         "load" => serve_cmd::load(&opts),

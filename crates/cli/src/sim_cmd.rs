@@ -34,6 +34,7 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
         "cat-only" => PolicyKind::CatOnly,
         "mba-only" => PolicyKind::MbaOnly,
         "copart" => PolicyKind::CoPart,
+        "lfoc" => PolicyKind::LfocCluster,
         other => return Err(format!("unknown policy {other:?}")),
     })
 }
@@ -106,11 +107,13 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
         .transpose()?;
     let dynamic = matches!(
         policy,
-        PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+        PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart | PolicyKind::LfocCluster
     );
     let r = if let Some(plan) = faults {
         if !dynamic {
-            return Err("--faults needs a dynamic policy (cat-only, mba-only, copart)".into());
+            return Err(
+                "--faults needs a dynamic policy (cat-only, mba-only, copart, lfoc)".into(),
+            );
         }
         run_faulty(
             &machine,
@@ -126,7 +129,8 @@ pub fn sim_run(opts: &Options) -> Result<(), String> {
     } else if trace_out.is_some() || want_metrics {
         if !dynamic {
             return Err(
-                "--trace-out/--metrics need a dynamic policy (cat-only, mba-only, copart)".into(),
+                "--trace-out/--metrics need a dynamic policy (cat-only, mba-only, copart, lfoc)"
+                    .into(),
             );
         }
         let recorder: Box<dyn Recorder + Send> = match trace_out {

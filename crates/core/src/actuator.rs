@@ -89,8 +89,12 @@ pub struct ApplyReport {
 ///
 /// Implementations turn a [`SystemState`] into backend writes; the
 /// runtime never calls [`RdtBackend::set_cbm`] / [`RdtBackend::set_mba`]
-/// directly. Mask layout scratch is caller-provided so the per-epoch hot
-/// path reuses its allocations.
+/// directly. The CAT mask layout is computed by the *caller*: the epoch
+/// driver owns the layout policy — disjoint per-application packing
+/// ([`SystemState::masks_into`]) or shared per-cluster regions
+/// ([`crate::cluster::cluster_masks_into`]) — and the actuator writes
+/// whatever masks it is handed, one per group, alongside each
+/// allocation's (capped) MBA level.
 ///
 /// # Examples
 ///
@@ -121,10 +125,10 @@ pub trait Actuator<B: RdtBackend> {
     /// The retry/backoff policy in force.
     fn resilience(&self) -> &ResilienceConfig;
 
-    /// Writes `state`'s allocation for every group, retrying transient
-    /// failures. The first persistent failure propagates — membership and
-    /// budget changes use this and surface the error to their caller, who
-    /// owns the recovery decision.
+    /// Writes `state`'s MBA levels and the caller-laid-out `masks` for
+    /// every group, retrying transient failures. The first persistent
+    /// failure propagates — membership and budget changes use this and
+    /// surface the error to their caller, who owns the recovery decision.
     ///
     /// # Errors
     ///
@@ -135,18 +139,19 @@ pub trait Actuator<B: RdtBackend> {
         groups: &[ClosId],
         state: &SystemState,
         budget: &WaysBudget,
-        masks: &mut Vec<CbmMask>,
+        masks: &[CbmMask],
         report: &mut ApplyReport,
     ) -> Result<(), RdtError>;
 
-    /// Transactionally switches the partition from `old` to `new`: either
-    /// every group's CBM and MBA level land (returns `true`; the caller
-    /// adopts `new`) or the already-written prefix is rolled back to
-    /// `old`, which stays in force (returns `false`). Mid-transition the
-    /// masks of prefix and suffix groups may overlap — CAT permits that
-    /// (it restricts allocation, not lookup), so every intermediate
-    /// picture the hardware sees is individually valid.
-    #[allow(clippy::too_many_arguments)] // Caller-owned scratch keeps the hot path allocation-free.
+    /// Transactionally switches the partition from `old` (laid out as
+    /// `old_masks`) to `new` (laid out as `new_masks`): either every
+    /// group's CBM and MBA level land (returns `true`; the caller adopts
+    /// `new`) or the already-written prefix is rolled back to `old`,
+    /// which stays in force (returns `false`). Mid-transition the masks
+    /// of prefix and suffix groups may overlap — CAT permits that (it
+    /// restricts allocation, not lookup), so every intermediate picture
+    /// the hardware sees is individually valid.
+    #[allow(clippy::too_many_arguments)] // The transition's two layouts travel alongside their states.
     fn apply_txn(
         &self,
         backend: &mut B,
@@ -154,8 +159,8 @@ pub trait Actuator<B: RdtBackend> {
         old: &SystemState,
         new: &SystemState,
         budget: &WaysBudget,
-        new_masks: &mut Vec<CbmMask>,
-        old_masks: &mut Vec<CbmMask>,
+        new_masks: &[CbmMask],
+        old_masks: &[CbmMask],
         report: &mut ApplyReport,
     ) -> bool;
 }
@@ -186,11 +191,9 @@ impl<B: RdtBackend> Actuator<B> for TransactionalActuator {
         groups: &[ClosId],
         state: &SystemState,
         budget: &WaysBudget,
-        masks: &mut Vec<CbmMask>,
+        masks: &[CbmMask],
         report: &mut ApplyReport,
     ) -> Result<(), RdtError> {
-        let machine_ways = backend.capabilities().llc_ways;
-        state.masks_into(budget, machine_ways, masks);
         for ((group, alloc), mask) in groups.iter().zip(&state.allocs).zip(masks.iter()) {
             let group = *group;
             let mask = *mask;
@@ -218,12 +221,10 @@ impl<B: RdtBackend> Actuator<B> for TransactionalActuator {
         old: &SystemState,
         new: &SystemState,
         budget: &WaysBudget,
-        new_masks: &mut Vec<CbmMask>,
-        old_masks: &mut Vec<CbmMask>,
+        new_masks: &[CbmMask],
+        old_masks: &[CbmMask],
         report: &mut ApplyReport,
     ) -> bool {
-        let machine_ways = backend.capabilities().llc_ways;
-        new.masks_into(budget, machine_ways, new_masks);
         let mut failed_at = None;
         for (i, (alloc, mask)) in new.allocs.iter().zip(new_masks.iter()).enumerate() {
             let group = groups[i];
@@ -247,7 +248,6 @@ impl<B: RdtBackend> Actuator<B> for TransactionalActuator {
             // Roll groups 0..=k back to the old partition (group k may
             // have taken the new CBM before its MBA write failed); the
             // untouched suffix still holds it.
-            old.masks_into(budget, machine_ways, old_masks);
             for i in 0..=k {
                 let group = groups[i];
                 let mask = old_masks[i];

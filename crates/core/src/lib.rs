@@ -40,6 +40,7 @@
 
 pub mod actuator;
 pub mod classifier;
+pub mod cluster;
 pub mod fsm;
 pub mod llc_fsm;
 pub mod mba_fsm;
@@ -62,7 +63,8 @@ pub use node::{profile_with_retries, NodeBackend, NodeRuntime};
 pub use params::CoPartParams;
 pub use planner::{ExplorerSnapshot, PlanContext, PolicyEngine, PolicyPlan};
 pub use runtime::{
-    AppRuntimeSnapshot, ConsolidationRuntime, ManagedApp, PeriodRecord, Phase, RuntimeSnapshot,
+    AppRuntimeSnapshot, ConsolidationRuntime, ManagedApp, PeriodRecord, Phase, PlannerMode,
+    RuntimeSnapshot,
 };
 pub use sensor::{Sensor, SensorReading, SensorSnapshot, WindowedSensor};
 pub use state::{AllocationState, SystemState, WaysBudget};

@@ -236,6 +236,7 @@ mod tests {
             budget: WaysBudget::full_machine(machine.llc_ways),
             stream: StreamReference::compute(machine, 4),
             resilience: Default::default(),
+            planner: Default::default(),
         }
     }
 

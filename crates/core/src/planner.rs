@@ -29,7 +29,7 @@ use crate::next_state::{
     ExploreScratch, StepStats,
 };
 use crate::policies::{equal_state, static_search, utility_state, EvalOptions, PolicyKind};
-use crate::runtime::RuntimeConfig;
+use crate::runtime::{PlannerMode, RuntimeConfig};
 use crate::state::{AllocationState, SystemState, WaysBudget};
 use crate::CoPartParams;
 
@@ -447,6 +447,7 @@ pub fn engine(kind: PolicyKind) -> &'static dyn PolicyEngine {
         PolicyKind::MbaOnly => &MbaOnlyEngine,
         PolicyKind::CoPart => &CoPartEngine,
         PolicyKind::Utility => &UtilityEngine,
+        PolicyKind::LfocCluster => &LfocClusterEngine,
     }
 }
 
@@ -485,6 +486,7 @@ fn dynamic_config(
         },
         stream: stream.clone(),
         resilience: ResilienceConfig::default(),
+        planner: PlannerMode::Explore,
     }
 }
 
@@ -628,6 +630,34 @@ impl PolicyEngine for MbaOnlyEngine {
             true,
             MbaLevel::MAX,
         ))
+    }
+}
+
+/// LFOC-style clustering: dynamic management of both resources, but the
+/// planner groups applications by their dual-FSM classification into at
+/// most nine clusters sharing a CAT region and a proportional MBA grant
+/// (see [`crate::cluster`]), instead of exploring per-app transfers.
+pub struct LfocClusterEngine;
+
+impl PolicyEngine for LfocClusterEngine {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LfocCluster
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> PolicyPlan {
+        dynamic_plan(self, ctx)
+    }
+
+    fn runtime_config(
+        &self,
+        machine_cfg: &MachineConfig,
+        _n_apps: usize,
+        stream: &StreamReference,
+        params: &CoPartParams,
+    ) -> Option<RuntimeConfig> {
+        let mut cfg = dynamic_config(machine_cfg, stream, params, true, true, MbaLevel::MAX);
+        cfg.planner = PlannerMode::LfocCluster;
+        Some(cfg)
     }
 }
 

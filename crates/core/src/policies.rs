@@ -57,6 +57,12 @@ pub enum PolicyKind {
     /// Not part of the paper's Figure 12; provided as an extra
     /// comparator (`repro compare-utility`).
     Utility,
+    /// LFOC-style cache clustering (PR 10): dynamic management of both
+    /// resources, but applications are grouped by their dual-FSM
+    /// classification into at most nine clusters sharing a CAT region
+    /// and a proportional MBA grant, instead of per-app exploration.
+    /// Not part of Figure 12; an extra comparator for `copart compare`.
+    LfocCluster,
 }
 
 impl PolicyKind {
@@ -71,6 +77,22 @@ impl PolicyKind {
         ]
     }
 
+    /// Every registered engine, in report order: the five Figure 12
+    /// policies followed by the extra comparators (Utility, LFOC). The
+    /// head-to-head harness (`copart compare`) runs all of these;
+    /// [`PolicyKind::evaluated`] stays the paper's five.
+    pub fn registry() -> &'static [PolicyKind] {
+        &[
+            PolicyKind::Equal,
+            PolicyKind::Static,
+            PolicyKind::CatOnly,
+            PolicyKind::MbaOnly,
+            PolicyKind::CoPart,
+            PolicyKind::Utility,
+            PolicyKind::LfocCluster,
+        ]
+    }
+
     /// The paper's label.
     pub fn label(self) -> &'static str {
         match self {
@@ -81,6 +103,7 @@ impl PolicyKind {
             PolicyKind::MbaOnly => "MBA-only",
             PolicyKind::CoPart => "CoPart",
             PolicyKind::Utility => "Utility",
+            PolicyKind::LfocCluster => "LFOC",
         }
     }
 }
@@ -356,15 +379,15 @@ fn build_runtime(
     (runtime, groups)
 }
 
-/// The [`RuntimeConfig`] a dynamic policy (CAT-only / MBA-only / CoPart)
-/// runs with, as planned by its [`PolicyEngine`]. Public so harnesses
-/// that build the backend themselves — e.g. to wrap it in a
+/// The [`RuntimeConfig`] a dynamic policy (CAT-only / MBA-only / CoPart /
+/// LFOC) runs with, as planned by its [`PolicyEngine`]. Public so
+/// harnesses that build the backend themselves — e.g. to wrap it in a
 /// fault-injecting decorator — run the *same* controller configuration
 /// the standard traced evaluation uses.
 ///
 /// # Panics
 ///
-/// Panics when `policy` is not CAT-only / MBA-only / CoPart.
+/// Panics when `policy` is not CAT-only / MBA-only / CoPart / LFOC.
 pub fn dynamic_runtime_config(
     machine_cfg: &MachineConfig,
     n_apps: usize,
@@ -386,8 +409,8 @@ pub fn dynamic_runtime_config(
 /// # Panics
 ///
 /// Panics when `policy` is not one of the dynamic policies (CAT-only /
-/// MBA-only / CoPart): static policies never build a runtime, so there is
-/// nothing to trace.
+/// MBA-only / CoPart / LFOC): static policies never build a runtime, so
+/// there is nothing to trace.
 pub fn evaluate_policy_traced(
     machine_cfg: &MachineConfig,
     specs: &[AppSpec],
@@ -400,7 +423,10 @@ pub fn evaluate_policy_traced(
     assert!(
         matches!(
             policy,
-            PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+            PolicyKind::CatOnly
+                | PolicyKind::MbaOnly
+                | PolicyKind::CoPart
+                | PolicyKind::LfocCluster
         ),
         "only dynamic policies build a runtime to trace"
     );

@@ -37,6 +37,7 @@ use crate::actuator::{retry_transient, Actuator, ApplyReport, TransactionalActua
 use crate::classifier::{
     initial_states, Classifier, DualFsmClassifier, Measurement, ProfileProbes,
 };
+use crate::cluster;
 use crate::fsm::AppState;
 use crate::metrics;
 use crate::next_state::{AppClassification, AppliedEvents};
@@ -143,6 +144,20 @@ pub struct PeriodRecord {
     pub unfairness: f64,
 }
 
+/// Which planning algorithm drives the exploration phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// The paper's Algorithm 1: per-application disjoint partitions,
+    /// Hospitals/Residents matching with θ-retry random restarts.
+    #[default]
+    Explore,
+    /// LFOC-style clustering ([`crate::cluster`]): applications with the
+    /// same dual-FSM classification share one CAT partition; the plan is
+    /// a deterministic apportionment recomputed each exploring epoch
+    /// (no RNG draws).
+    LfocCluster,
+}
+
 /// Configuration of a consolidation run.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -158,6 +173,8 @@ pub struct RuntimeConfig {
     pub stream: StreamReference,
     /// Retry/backoff policy for transient backend failures.
     pub resilience: ResilienceConfig,
+    /// The planning algorithm of the exploration phase.
+    pub planner: PlannerMode,
 }
 
 /// Frozen controller state of one managed application inside a
@@ -203,6 +220,9 @@ pub struct RuntimeSnapshot {
     pub phase: Phase,
     /// System state currently in force.
     pub state: SystemState,
+    /// Per-application cluster assignment when the cluster planner laid
+    /// out the partition (empty = disjoint per-application layout).
+    pub clusters: Vec<u16>,
     /// Exploration state (RNG position, retries, best seen).
     pub explorer: ExplorerSnapshot,
     /// Per-application controller state, in management order.
@@ -224,6 +244,8 @@ struct EpochScratch {
     /// Planner buffers: the incremental matching scratch plus the
     /// proposal/events of the epoch's plan.
     plan: PlanScratch,
+    /// Cluster assignment of the epoch's plan (cluster planner only).
+    plan_clusters: Vec<u16>,
 }
 
 /// The CoPart resource manager: a thin epoch driver over the sensing,
@@ -235,6 +257,9 @@ pub struct ConsolidationRuntime<B: RdtBackend> {
     groups: Vec<ClosId>,
     cfg: RuntimeConfig,
     state: SystemState,
+    /// Per-application cluster assignment currently in force (empty =
+    /// the per-application disjoint layout of the exploration planner).
+    clusters: Vec<u16>,
     phase: Phase,
     explorer: Explorer,
     actuator: TransactionalActuator,
@@ -280,6 +305,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             groups: group_ids,
             cfg,
             state,
+            clusters: Vec::new(),
             phase: Phase::Profiling,
             explorer,
             actuator,
@@ -318,6 +344,13 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// The current system state.
     pub fn state(&self) -> &SystemState {
         &self.state
+    }
+
+    /// The cluster assignment currently in force — one cluster id per
+    /// application, empty when the exploration planner's disjoint
+    /// per-application layout applies.
+    pub fn clusters(&self) -> &[u16] {
+        &self.clusters
     }
 
     /// The current phase.
@@ -375,6 +408,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             epoch: self.epoch,
             phase: self.phase,
             state: self.state.clone(),
+            clusters: self.clusters.clone(),
             explorer: self.explorer.snapshot(),
             apps: self
                 .apps
@@ -421,6 +455,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
             .collect();
         self.groups = self.apps.iter().map(|a| a.group).collect();
         self.state = snap.state.clone();
+        self.clusters = snap.clusters.clone();
         self.phase = snap.phase;
         self.explorer = Explorer::from_snapshot(&snap.explorer);
         self.epoch = snap.epoch;
@@ -759,6 +794,53 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         let mut proposed: Vec<AllocSample> = Vec::new();
 
         match self.phase {
+            Phase::Exploring if self.cfg.planner == PlannerMode::LfocCluster => {
+                // The LFOC-style cluster planner: recompute the cluster
+                // plan from this epoch's classifications — a pure
+                // function, no RNG draws. An unchanged plan means the
+                // classifications have settled; go idle. A changed plan
+                // is switched to transactionally, exactly like an
+                // Algorithm 1 transfer.
+                let t_explore = Instant::now();
+                cluster::form_clusters_into(
+                    &self.scratch.classifications,
+                    &self.cfg.budget,
+                    &mut self.scratch.plan_clusters,
+                    &mut self.scratch.plan.proposal,
+                );
+                self.metrics
+                    .observe_ns("explore_ns", t_explore.elapsed().as_nanos() as u64);
+                if tracing {
+                    proposed = alloc_samples(&self.scratch.plan.proposal);
+                }
+                if self.scratch.plan_clusters == self.clusters
+                    && self.scratch.plan.proposal == self.state
+                {
+                    self.explorer.settle(current_unfairness);
+                    self.phase = Phase::Idle;
+                    self.metrics.inc("convergences");
+                    decision = TraceDecision::Converged;
+                } else {
+                    diff_events_into(
+                        &self.state,
+                        &self.scratch.plan.proposal,
+                        &mut self.scratch.plan.events,
+                    );
+                    // On rollback the old partition stays in force and
+                    // the plan is simply recomputed next period.
+                    if self.apply_planned_txn(&mut fault, true) {
+                        for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events) {
+                            app.last_events = *ev;
+                        }
+                        self.explorer.transfer_applied();
+                        self.metrics.inc("transfers");
+                        self.metrics.inc("cluster_replans");
+                        self.metrics
+                            .set_gauge("clusters", cluster_count(&self.clusters) as f64);
+                    }
+                    decision = TraceDecision::Transfer;
+                }
+            }
             Phase::Exploring => {
                 // The unfairness just measured belongs to the state that
                 // was in force during this period; remember the best.
@@ -786,7 +868,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         // A rolled-back apply leaves the old state in
                         // force; classifiers simply propose again next
                         // period.
-                        if self.apply_planned_txn(&mut fault) {
+                        if self.apply_planned_txn(&mut fault, false) {
                             for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events) {
                                 app.last_events = *ev;
                             }
@@ -803,7 +885,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                         );
                         // A rolled-back restart does not consume a
                         // θ-retry: nothing new was tried.
-                        if self.apply_planned_txn(&mut fault) {
+                        if self.apply_planned_txn(&mut fault, false) {
                             for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events) {
                                 app.last_events = *ev;
                             }
@@ -826,7 +908,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
                                 .allocs
                                 .clone_from(&best_state.allocs);
                             // On rollback the manager idles where it is.
-                            if self.apply_planned_txn(&mut fault) {
+                            if self.apply_planned_txn(&mut fault, false) {
                                 for (app, ev) in self.apps.iter_mut().zip(&self.scratch.plan.events)
                                 {
                                     app.last_events = *ev;
@@ -902,6 +984,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     pub fn set_budget(&mut self, budget: WaysBudget) -> Result<(), RdtError> {
         self.cfg.budget = budget;
         self.state = SystemState::equal_split(self.apps.len(), &budget, budget.mba_cap);
+        self.clusters.clear();
         self.apply_state()?;
         for app in &mut self.apps {
             app.last_events = AppliedEvents::default();
@@ -934,6 +1017,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         // and re-explore.
         self.state =
             SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
+        self.clusters.clear();
         self.apply_state()?;
         self.phase = Phase::Exploring;
         self.explorer.restart();
@@ -951,6 +1035,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.groups.push(group);
         self.state =
             SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
+        self.clusters.clear();
         self.apply_state()?;
         self.phase = Phase::Profiling;
         self.explorer.restart();
@@ -977,6 +1062,7 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
         self.explorer = Explorer::new(self.cfg.params.seed);
         self.state =
             SystemState::equal_split(self.apps.len(), &self.cfg.budget, self.cfg.budget.mba_cap);
+        self.clusters.clear();
         self.apply_state()?;
         self.phase = Phase::Profiling;
         self.profile()
@@ -987,14 +1073,40 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
     /// first persistent failure propagates — membership and budget
     /// changes use this and surface the error to their caller, who owns
     /// the recovery decision.
+    ///
+    /// The mask layout is chosen here, not in the actuator: a live
+    /// cluster assignment lays out shared per-cluster regions, otherwise
+    /// the state's disjoint per-application packing applies.
     fn apply_current(&mut self, retries: &mut u32) -> Result<(), RdtError> {
         let mut report = ApplyReport::default();
-        let result = self.actuator.apply(
-            &mut self.backend,
-            &self.groups,
-            &self.state,
-            &self.cfg.budget,
-            &mut self.scratch.masks,
+        let machine_ways = self.backend.capabilities().llc_ways;
+        let ConsolidationRuntime {
+            backend,
+            groups,
+            cfg,
+            state,
+            clusters,
+            actuator,
+            scratch,
+            ..
+        } = self;
+        if clusters.is_empty() {
+            state.masks_into(&cfg.budget, machine_ways, &mut scratch.masks);
+        } else {
+            cluster::cluster_masks_into(
+                clusters,
+                state,
+                &cfg.budget,
+                machine_ways,
+                &mut scratch.masks,
+            );
+        }
+        let result = actuator.apply(
+            backend,
+            groups,
+            state,
+            &cfg.budget,
+            &scratch.masks,
             &mut report,
         );
         *retries += report.write_retries;
@@ -1016,36 +1128,70 @@ impl<B: RdtBackend> ConsolidationRuntime<B> {
 
     /// Transactionally switches the partition to the planned proposal in
     /// `scratch.plan` through the actuator (see [`Actuator::apply_txn`]);
-    /// on success the state is adopted (buffer reused, no allocation), on
-    /// rollback the old state stays in force. Folds the actuator's
-    /// [`ApplyReport`] into the metrics registry and the epoch's fault
-    /// sample.
-    fn apply_planned_txn(&mut self, fault: &mut FaultSample) -> bool {
+    /// on success the state (and, in cluster mode, the planned cluster
+    /// assignment in `scratch.plan_clusters`) is adopted (buffers reused,
+    /// no allocation), on rollback the old state stays in force. Folds
+    /// the actuator's [`ApplyReport`] into the metrics registry and the
+    /// epoch's fault sample.
+    ///
+    /// Both the new and the rollback mask layouts are computed up front:
+    /// the transition may cross layout kinds (the first cluster plan
+    /// replaces a disjoint equal split), so the rollback target must be
+    /// laid out under the assignment *currently* in force while the
+    /// proposal is laid out under the planned one.
+    fn apply_planned_txn(&mut self, fault: &mut FaultSample, cluster_mode: bool) -> bool {
         let t0 = Instant::now();
         let mut report = ApplyReport::default();
+        let machine_ways = self.backend.capabilities().llc_ways;
         let ConsolidationRuntime {
             backend,
             groups,
             cfg,
             state,
+            clusters,
             actuator,
             scratch,
             metrics,
             ..
         } = self;
         let new = &scratch.plan.proposal;
+        if cluster_mode {
+            cluster::cluster_masks_into(
+                &scratch.plan_clusters,
+                new,
+                &cfg.budget,
+                machine_ways,
+                &mut scratch.masks,
+            );
+        } else {
+            new.masks_into(&cfg.budget, machine_ways, &mut scratch.masks);
+        }
+        if clusters.is_empty() {
+            state.masks_into(&cfg.budget, machine_ways, &mut scratch.rollback_masks);
+        } else {
+            cluster::cluster_masks_into(
+                clusters,
+                state,
+                &cfg.budget,
+                machine_ways,
+                &mut scratch.rollback_masks,
+            );
+        }
         let landed = actuator.apply_txn(
             backend,
             groups,
             state,
             new,
             &cfg.budget,
-            &mut scratch.masks,
-            &mut scratch.rollback_masks,
+            &scratch.masks,
+            &scratch.rollback_masks,
             &mut report,
         );
         if landed {
             state.allocs.clone_from(&new.allocs);
+            if cluster_mode {
+                clusters.clone_from(&scratch.plan_clusters);
+            }
         } else {
             metrics.add(
                 "rollback_write_failures",
@@ -1112,6 +1258,14 @@ fn trace_class(state: AppState) -> TraceClass {
     }
 }
 
+/// Number of distinct clusters in a (dense) assignment.
+fn cluster_count(clusters: &[u16]) -> usize {
+    clusters
+        .iter()
+        .max()
+        .map_or(0, |&highest| usize::from(highest) + 1)
+}
+
 /// Snapshots a system state as per-group allocation samples.
 fn alloc_samples(state: &SystemState) -> Vec<AllocSample> {
     state
@@ -1167,6 +1321,7 @@ mod tests {
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
             resilience: Default::default(),
+            planner: PlannerMode::default(),
         };
         ConsolidationRuntime::new(backend, groups, cfg).unwrap()
     }
@@ -1339,6 +1494,7 @@ mod weight_tests {
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
             resilience: Default::default(),
+            planner: PlannerMode::default(),
         };
         let mut rt = ConsolidationRuntime::new(backend, groups, cfg).unwrap();
         rt.set_weight(favored, 3.0).unwrap();
@@ -1374,6 +1530,7 @@ mod weight_tests {
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
             resilience: Default::default(),
+            planner: PlannerMode::default(),
         };
         let mut rt = ConsolidationRuntime::new(backend, groups, cfg).unwrap();
         rt.profile().unwrap();

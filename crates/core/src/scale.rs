@@ -227,6 +227,7 @@ pub fn run_planner_scale(cfg: &ScaleConfig) -> ScaleReport {
         // keeps the synthetic harness free of machine measurement.
         stream: StreamReference::from_table([1.0; 10]),
         resilience: ResilienceConfig::default(),
+        planner: Default::default(),
     };
 
     let mut rng = XorShift64Star::seed_from_u64(cfg.seed ^ 0x5ca1_ab1e);

@@ -34,6 +34,7 @@ fn run_with_seed(kind: MixKind, seed: u64) -> Vec<copart_core::PeriodRecord> {
         budget: WaysBudget::full_machine(cfg.llc_ways),
         stream: stream().clone(),
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
     rt.profile().unwrap();

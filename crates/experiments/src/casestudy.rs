@@ -129,6 +129,7 @@ fn run_case(policy: PolicyKind) -> Vec<BucketRow> {
                 budget,
                 stream: stream.clone(),
                 resilience: Default::default(),
+                planner: Default::default(),
             };
             let mut rt = ConsolidationRuntime::new(backend, named, cfg).expect("state applies");
             // Record the whole CoPart run — including the profiling

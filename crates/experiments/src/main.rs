@@ -8,6 +8,7 @@
 mod ablations;
 mod casestudy;
 mod common;
+mod compare;
 mod fairness_figs;
 mod fig12;
 mod overhead;
@@ -43,6 +44,8 @@ Ablations (design choices of DESIGN.md section 6):
   ablate-retry    theta-retry random restarts on/off
   ablate-prefetch next-line hardware prefetcher on/off
   compare-utility UCP/dCat-style utility partitioning vs CoPart
+  compare-engines Head-to-head: every registered engine (incl. LFOC
+                  clustering) x every compare scenario, normalized to EQ
 
   all             Run everything (slow)
 
@@ -103,6 +106,7 @@ fn main() -> ExitCode {
             "ablate-retry" => ablations::retry(),
             "ablate-prefetch" => ablations::prefetch(),
             "compare-utility" => ablations::utility(),
+            "compare-engines" => compare::compare_engines(),
             _ => return false,
         }
         true
@@ -129,6 +133,7 @@ fn main() -> ExitCode {
             "ablate-retry",
             "ablate-prefetch",
             "compare-utility",
+            "compare-engines",
         ] {
             println!("\n================ {name} ================\n");
             assert!(run(name));

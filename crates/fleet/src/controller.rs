@@ -230,6 +230,7 @@ impl Shared {
             budget: WaysBudget::full_machine(self.machine.llc_ways),
             stream: self.stream.clone(),
             resilience: Default::default(),
+            planner: Default::default(),
         }
     }
 }
@@ -726,11 +727,11 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetOutcome, String> {
                     mix: "fleet".to_string(),
                     n_apps: node.residents.len() as u64,
                     policy: "copart".to_string(),
-                    // The master fleet seed, not the derived per-node one:
-                    // `meta.seed` travels as a plain JSON number (exact only
-                    // below 2^53) and the node's own stream is re-derivable
-                    // from this seed plus the node id in the directory name.
-                    seed: cfg.seed,
+                    // The node's true derived seed. The codec carries the
+                    // full u64 range losslessly since format version 2, so
+                    // there is no need to smuggle the master seed and
+                    // re-derive on read.
+                    seed: derive_seed(cfg.seed, id as u64),
                     faults: cfg
                         .faults
                         .as_ref()
@@ -804,7 +805,11 @@ mod tests {
                 .unwrap()
                 .expect("live node has a snapshot");
             assert_eq!(doc.meta.mix, "fleet");
-            assert_eq!(doc.meta.seed, 23, "meta carries the master fleet seed");
+            assert_eq!(
+                doc.meta.seed,
+                copart_rng::derive_seed(23, id as u64),
+                "meta carries the node's true derived seed"
+            );
             assert_eq!(doc.meta.n_apps, gauges.apps);
             assert_eq!(doc.runtime.apps.len() as u64, gauges.apps);
         }

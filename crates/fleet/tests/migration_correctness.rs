@@ -32,6 +32,7 @@ fn node_cfg(machine: &MachineConfig, seed: u64) -> RuntimeConfig {
         budget: WaysBudget::full_machine(machine.llc_ways),
         stream: StreamReference::compute(machine, 1),
         resilience: Default::default(),
+        planner: Default::default(),
     }
 }
 
@@ -117,6 +118,38 @@ fn migrated_state_is_bit_exact_and_destination_matches_direct_admission() {
     // The source keeps running consistently with one tenant gone.
     let record = source.runtime_mut().run_period().unwrap();
     assert_eq!(record.apps.len(), 1);
+}
+
+/// PR 10 bugfix pin: node snapshots carry their *true* derived seeds
+/// end-to-end. The master seed sits above 2⁵³, so every derived value
+/// (and the master itself) would be corrupted by the old JSON-number
+/// encoding — the hex seed codec is load-bearing here.
+#[test]
+fn state_dir_snapshots_carry_true_derived_seeds_beyond_2_pow_53() {
+    let master = (1u64 << 53) + 4099;
+    let dir = std::env::temp_dir().join(format!("copart-fleet-big-seed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = FleetConfig::new(3, 8, master);
+    cfg.horizon = 12;
+    cfg.state_dir = Some(dir.clone());
+    let out = run_fleet(&cfg).unwrap();
+    assert!(out.snapshots_written > 0, "at least one node stayed live");
+    for id in 0..3u64 {
+        let node_dir = dir.join(format!("node-{id:04}"));
+        if !node_dir.exists() {
+            continue;
+        }
+        let (doc, _) = copart_persist::latest_good(&node_dir)
+            .unwrap()
+            .expect("live node has a snapshot");
+        let expect = copart_rng::derive_seed(master, id);
+        assert_eq!(
+            doc.meta.seed, expect,
+            "node {id} must persist its derived seed bit-exactly"
+        );
+        assert_ne!(doc.meta.seed, master, "no master-seed workaround");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

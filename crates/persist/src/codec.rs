@@ -90,6 +90,20 @@ pub(crate) fn dec_hex_f64(j: &Json, key: &str) -> Result<f64, PersistError> {
     Ok(f64::from_bits(dec_hex_u64(j, key)?))
 }
 
+/// A `u64` that is a hex string in the current format but was a plain
+/// JSON number in format version 1. The legacy number path is exact
+/// only below 2⁵³ — which is precisely why the field moved to hex — but
+/// every version-1 snapshot in the wild was written through `as f64`,
+/// so reading it back the same way reproduces the stored value.
+pub(crate) fn dec_u64_compat(j: &Json, key: &str) -> Result<u64, PersistError> {
+    match req(j, key)? {
+        Json::Str(s) => hex_word(s, key),
+        other => other
+            .as_u64()
+            .ok_or_else(|| schema(format!("`{key}` is neither hex nor a u64"))),
+    }
+}
+
 /// A required string member.
 pub(crate) fn dec_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, PersistError> {
     req(j, key)?
@@ -348,6 +362,15 @@ pub fn enc_runtime(r: &RuntimeSnapshot) -> Json {
         ("epoch", Json::Num(r.epoch as f64)),
         ("phase", enc_phase(r.phase)),
         ("state", enc_system_state(&r.state)),
+        (
+            "clusters",
+            Json::Arr(
+                r.clusters
+                    .iter()
+                    .map(|&c| Json::Num(f64::from(c)))
+                    .collect(),
+            ),
+        ),
         ("explorer", enc_explorer(&r.explorer)),
         (
             "apps",
@@ -362,6 +385,22 @@ pub fn dec_runtime(j: &Json) -> Result<RuntimeSnapshot, PersistError> {
         epoch: dec_u64(j, "epoch")?,
         phase: dec_phase(j)?,
         state: dec_system_state(j, "state")?,
+        // Absent in snapshots written before clustering existed; an
+        // empty vector is also the live "no clustering" value, so no
+        // version bump is needed for this field.
+        clusters: match j.get("clusters") {
+            Some(arr) => arr
+                .as_arr()
+                .ok_or_else(|| schema("`clusters` is not an array".to_string()))?
+                .iter()
+                .map(|c| {
+                    c.as_u64()
+                        .and_then(|v| u16::try_from(v).ok())
+                        .ok_or_else(|| schema("`clusters` entry is not a u16".to_string()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        },
         explorer: dec_explorer(req(j, "explorer")?)?,
         apps: dec_arr(j, "apps")?
             .iter()
@@ -809,7 +848,7 @@ impl SnapshotDoc {
                     ("mix", Json::Str(self.meta.mix.clone())),
                     ("n_apps", Json::Num(self.meta.n_apps as f64)),
                     ("policy", Json::Str(self.meta.policy.clone())),
-                    ("seed", Json::Num(self.meta.seed as f64)),
+                    ("seed", hex_u64(self.meta.seed)),
                     ("faults", Json::Str(self.meta.faults.clone())),
                     ("daemon_epochs", Json::Num(self.meta.daemon_epochs as f64)),
                 ]),
@@ -832,7 +871,7 @@ impl SnapshotDoc {
                 mix: dec_str(meta, "mix")?.to_string(),
                 n_apps: dec_u64(meta, "n_apps")?,
                 policy: dec_str(meta, "policy")?.to_string(),
-                seed: dec_u64(meta, "seed")?,
+                seed: dec_u64_compat(meta, "seed")?,
                 faults: dec_str(meta, "faults")?.to_string(),
                 daemon_epochs: dec_u64(meta, "daemon_epochs")?,
             },

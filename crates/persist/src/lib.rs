@@ -55,4 +55,6 @@ pub use error::PersistError;
 pub use log::{EventKind, EventLog, LogEntry};
 pub use metrics::MetricsFrozen;
 pub use replay::{replay_log, NoHooks, ReplayHooks};
-pub use store::{latest_good, prune, read_snapshot, write_snapshot, SNAP_MAGIC, SNAP_VERSION};
+pub use store::{
+    latest_good, prune, read_snapshot, write_snapshot, SNAP_MAGIC, SNAP_VERSION, SNAP_VERSION_MIN,
+};

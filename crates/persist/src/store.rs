@@ -4,7 +4,7 @@
 //! A snapshot file is two lines:
 //!
 //! ```text
-//! {"magic":"copart-snap","version":1,"epoch":42,"digest":"<fnv1a64 hex>","len":12345}
+//! {"magic":"copart-snap","version":2,"epoch":42,"digest":"<fnv1a64 hex>","len":12345}
 //! {...payload: the SnapshotDoc, single line...}
 //! ```
 //!
@@ -28,8 +28,15 @@ use crate::error::PersistError;
 /// First header field; anything else is not a snapshot.
 pub const SNAP_MAGIC: &str = "copart-snap";
 
-/// Current snapshot format version.
-pub const SNAP_VERSION: u64 = 1;
+/// Current snapshot format version. Version 2 encodes `meta.seed` as a
+/// hex string (exact for the full `u64` range) and carries the cluster
+/// assignment of the LFOC-style clustering planner; version 1 stored
+/// the seed as a plain JSON number, exact only below 2⁵³.
+pub const SNAP_VERSION: u64 = 2;
+
+/// Oldest format version `read_snapshot` still accepts. Version-1 files
+/// decode through the legacy number path in the codec.
+pub const SNAP_VERSION_MIN: u64 = 1;
 
 /// FNV-1a 64-bit, the workspace's standard content digest.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -97,7 +104,8 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotDoc, PersistError> {
     if dec_str(&header, "magic")? != SNAP_MAGIC {
         return Err(PersistError::Corrupt("bad magic".to_string()));
     }
-    if dec_u64(&header, "version")? != SNAP_VERSION {
+    let version = dec_u64(&header, "version")?;
+    if !(SNAP_VERSION_MIN..=SNAP_VERSION).contains(&version) {
         return Err(PersistError::Corrupt("unsupported version".to_string()));
     }
     let len = dec_u64(&header, "len")? as usize;
@@ -204,6 +212,46 @@ mod tests {
         let (best, best_path) = latest_good(&dir).unwrap().unwrap();
         assert_eq!(best, doc);
         assert_eq!(best_path, path);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A hand-built version-1 file (plain-number seed) must still read:
+    /// the store accepts the legacy format down to `SNAP_VERSION_MIN`.
+    #[test]
+    fn version_1_files_with_number_seeds_still_read() {
+        let dir = tmpdir("v1");
+        let doc = tiny_doc(9);
+        let payload = doc
+            .encode()
+            .to_string()
+            .replace("\"seed\":\"000000000000002a\"", "\"seed\":42");
+        let header = Json::Obj(vec![
+            ("magic".to_string(), Json::Str(SNAP_MAGIC.to_string())),
+            ("version".to_string(), Json::Num(1.0)),
+            ("epoch".to_string(), Json::Num(doc.epoch() as f64)),
+            (
+                "digest".to_string(),
+                Json::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+            ),
+            ("len".to_string(), Json::Num(payload.len() as f64)),
+        ])
+        .to_string();
+        let path = snapshot_path(&dir, doc.epoch());
+        fs::write(&path, format!("{header}\n{payload}\n")).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.meta.seed, 42);
+        assert_eq!(back, doc);
+
+        // A version from the future is still rejected.
+        let bad = format!(
+            "{}\n{payload}\n",
+            header.replace("\"version\":1", "\"version\":99")
+        );
+        fs::write(&path, bad).unwrap();
+        match read_snapshot(&path) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("future version accepted: {other:?}"),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

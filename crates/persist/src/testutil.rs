@@ -105,6 +105,7 @@ pub(crate) fn tiny_doc(epoch: u64) -> SnapshotDoc {
             epoch,
             phase: Phase::Exploring,
             state: state.clone(),
+            clusters: vec![0, 1],
             explorer: ExplorerSnapshot {
                 rng_state: 0xdead_beef_cafe_f00d,
                 retry_count: 2,
@@ -228,6 +229,41 @@ mod tests {
         assert_eq!(app.prev_ips.to_bits(), f64::NAN.to_bits());
         assert_eq!(app.last_ips, f64::INFINITY);
         assert_eq!(app.weight.to_bits(), (-0.0f64).to_bits());
+    }
+
+    /// Satellite bugfix (PR 10): the scenario seed must survive the wire
+    /// format for the *full* `u64` range. `Json::Num` is exact only
+    /// below 2⁵³, which is exactly where these seeds live.
+    #[test]
+    fn seeds_at_and_beyond_2_pow_53_round_trip_exactly() {
+        for seed in [1u64 << 53, (1u64 << 53) + 1, u64::MAX] {
+            let mut doc = tiny_doc(5);
+            doc.meta.seed = seed;
+            let text = doc.encode().to_string();
+            let back = SnapshotDoc::decode(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.meta.seed, seed, "seed {seed} must be lossless");
+            assert_eq!(back, doc);
+            assert_eq!(
+                back.encode().to_string(),
+                text,
+                "re-encoding is byte-stable"
+            );
+        }
+    }
+
+    /// Version-1 documents stored the seed as a plain JSON number; the
+    /// decoder must keep accepting that shape.
+    #[test]
+    fn legacy_number_seed_still_decodes() {
+        let doc = tiny_doc(5);
+        let text = doc
+            .encode()
+            .to_string()
+            .replace("\"seed\":\"000000000000002a\"", "\"seed\":42");
+        assert_ne!(text, doc.encode().to_string(), "replacement must fire");
+        let back = SnapshotDoc::decode(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.meta.seed, 42);
+        assert_eq!(back, doc);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub enum Command {
     },
     /// `POST /policy` — switch the partitioning policy live.
     SetPolicy {
-        /// The policy name (`cat-only`, `mba-only`, `copart`).
+        /// The policy name (`cat-only`, `mba-only`, `copart`, `lfoc`).
         policy: String,
         /// Where the outcome goes.
         reply: SyncSender<ApiResult>,
@@ -93,8 +93,9 @@ pub fn parse_dynamic_policy(s: &str) -> Result<PolicyKind, String> {
         "cat-only" => Ok(PolicyKind::CatOnly),
         "mba-only" => Ok(PolicyKind::MbaOnly),
         "copart" => Ok(PolicyKind::CoPart),
+        "lfoc" => Ok(PolicyKind::LfocCluster),
         "eq" | "st" => Err(format!(
-            "policy {s:?} is static; the daemon needs cat-only, mba-only, or copart"
+            "policy {s:?} is static; the daemon needs cat-only, mba-only, copart, or lfoc"
         )),
         other => Err(format!("unknown policy {other:?}")),
     }

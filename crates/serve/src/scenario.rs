@@ -70,10 +70,13 @@ impl Scenario {
         }
         if !matches!(
             policy,
-            PolicyKind::CatOnly | PolicyKind::MbaOnly | PolicyKind::CoPart
+            PolicyKind::CatOnly
+                | PolicyKind::MbaOnly
+                | PolicyKind::CoPart
+                | PolicyKind::LfocCluster
         ) {
             return Err(format!(
-                "policy {} is not dynamic; serve needs cat-only, mba-only, or copart",
+                "policy {} is not dynamic; serve needs cat-only, mba-only, copart, or lfoc",
                 policy.label()
             ));
         }

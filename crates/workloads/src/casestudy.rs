@@ -154,6 +154,48 @@ impl LoadTrace {
         }
     }
 
+    /// A diurnal load curve: one compressed "day" (600 s of trace time)
+    /// with a quiet night, a morning ramp, a midday peak just under the
+    /// paper's high-load step, and an evening decline. The peak stays in
+    /// [`LcReservation::for_load`]'s high tier while the night floor sits
+    /// well inside the low tier, so a run over the whole day exercises
+    /// both reservation shapes.
+    pub fn diurnal() -> LoadTrace {
+        LoadTrace {
+            steps: vec![
+                (0.0, 30_000.0),    // night
+                (100.0, 60_000.0),  // early morning
+                (200.0, 110_000.0), // morning ramp crosses the tier boundary
+                (300.0, 140_000.0), // midday peak
+                (400.0, 95_000.0),  // afternoon
+                (500.0, 45_000.0),  // evening
+            ],
+        }
+    }
+
+    /// A flash-crowd spike: steady 75 krps, then a sudden 4× surge at
+    /// t = 60 s that decays in steps back to the baseline. The surge peak
+    /// (300 krps) exceeds what even the full machine can serve
+    /// (μ ≈ 224 krps at 8 cores), so the LC model saturates — the
+    /// scenario stresses how a policy treats the batch tenants while the
+    /// LC app is drowning.
+    pub fn flash_crowd() -> LoadTrace {
+        LoadTrace {
+            steps: vec![
+                (0.0, 75_000.0),
+                (60.0, 300_000.0),  // the crowd arrives
+                (90.0, 180_000.0),  // first decay
+                (150.0, 105_000.0), // tail of the surge
+                (300.0, 75_000.0),  // back to baseline
+            ],
+        }
+    }
+
+    /// Peak offered load over the whole trace (0 for an empty trace).
+    pub fn peak(&self) -> f64 {
+        self.steps.iter().map(|&(_, l)| l).fold(0.0, f64::max)
+    }
+
     /// Offered load at time `t` seconds.
     pub fn load_at(&self, t: f64) -> f64 {
         let mut load = self.steps.first().map_or(0.0, |&(_, l)| l);
@@ -297,5 +339,34 @@ mod reservation_tests {
     fn empty_trace_has_zero_load() {
         let t = LoadTrace { steps: vec![] };
         assert_eq!(t.load_at(10.0), 0.0);
+        assert_eq!(t.peak(), 0.0);
+    }
+
+    #[test]
+    fn diurnal_day_crosses_both_reservation_tiers() {
+        let t = LoadTrace::diurnal();
+        assert!(t.steps.windows(2).all(|w| w[0].0 < w[1].0), "sorted steps");
+        assert_eq!(t.peak(), 140_000.0);
+        // Night floor is low-tier, midday peak is high-tier.
+        assert_eq!(LcReservation::for_load(t.load_at(0.0)).lc_cores, 4);
+        assert_eq!(LcReservation::for_load(t.load_at(350.0)).lc_cores, 8);
+        // The curve rises to the peak and falls off it.
+        assert!(t.load_at(50.0) < t.load_at(250.0));
+        assert!(t.load_at(250.0) < t.load_at(350.0));
+        assert!(t.load_at(450.0) < t.load_at(350.0));
+    }
+
+    #[test]
+    fn flash_crowd_saturates_and_recovers() {
+        let t = LoadTrace::flash_crowd();
+        assert!(t.steps.windows(2).all(|w| w[0].0 < w[1].0), "sorted steps");
+        let m = LcModel::default();
+        // 8 cores at ~1 IPC on 2.1 GHz ⇒ μ ≈ 224 krps: the spike drowns
+        // the server, the baseline does not.
+        let ips = 16.8e9;
+        assert_eq!(t.peak(), 300_000.0);
+        assert_eq!(m.p95_latency_ms(ips, t.load_at(60.0)), 50.0);
+        assert!(m.slo_met(ips, t.load_at(0.0)));
+        assert!(m.slo_met(ips, t.load_at(400.0)));
     }
 }

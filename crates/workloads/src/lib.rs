@@ -27,8 +27,10 @@ pub mod category;
 pub mod fleet;
 pub mod measure;
 pub mod mixes;
+pub mod scenarios;
 pub mod stream;
 
 pub use benchmarks::Benchmark;
 pub use category::Category;
 pub use mixes::{MixKind, WorkloadMix};
+pub use scenarios::{antagonist_spec, CompareScenario};

@@ -43,6 +43,7 @@ fn main() {
         budget: batch_budget(&reservation),
         stream,
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let mut runtime = ConsolidationRuntime::new(
         backend,

@@ -48,6 +48,7 @@ fn main() {
         budget: WaysBudget::full_machine(machine_cfg.llc_ways),
         stream,
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let mut runtime =
         ConsolidationRuntime::new(backend, groups, cfg).expect("initial state applies");

@@ -53,6 +53,7 @@ fn main() {
             budget: WaysBudget::full_machine(machine_cfg.llc_ways),
             stream,
             resilience: Default::default(),
+            planner: Default::default(),
         },
     )
     .unwrap();

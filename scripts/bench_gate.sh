@@ -44,6 +44,14 @@ for b in "${benches[@]}"; do
     BENCH_JSON_DIR="$out_dir" cargo bench -q -p copart-bench --bench "$b" >/dev/null
 done
 
+# The head-to-head grid artifact: BENCH_compare.json's grid_digest is a
+# string field, so the gate below holds the whole engine × scenario
+# fairness grid byte-exact. The shape is fixed (never REPRO_FAST-scaled)
+# and must stay in lockstep with scripts/compare.sh.
+echo "==> running the compare grid into $out_dir"
+BENCH_JSON_DIR="$out_dir" cargo run -q --release -p copart-cli -- \
+    compare --seconds 6 --seed 42 --jobs 8 >/dev/null
+
 shopt -s nullglob
 artifacts=("$out_dir"/BENCH_*.json)
 if [ "${#artifacts[@]}" -eq 0 ]; then

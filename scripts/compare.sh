@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Compare gate: the head-to-head fairness harness end to end.
+#
+#   1. `copart compare` — every registered policy engine (EQ, ST,
+#      CAT-only, MBA-only, CoPart, Utility, LFOC) × every compare
+#      scenario (paper mixes, diurnal LC, flash-crowd LC, bully) — run
+#      twice, once at --jobs 1 and once at --jobs 8: the per-cell JSONL,
+#      the stdout table, and the BENCH_compare.json artifact must all be
+#      byte-identical (`cmp`): the grid determinism contract,
+#   2. the JSONL must actually cover the full grid — one line per
+#      (engine, scenario) cell, no engine or scenario silently dropped,
+#   3. the LFOC clustering engine must survive fault injection:
+#      `sim-run --policy lfoc --faults …` runs to completion (the
+#      runtime lays out shared-cluster schemata through the validity
+#      assertions), its decision trace checks out, and its metrics show
+#      the cluster planner actually engaged.
+#
+# The grid shape (--seconds, --seed) is fixed rather than REPRO_FAST-
+# scaled: BENCH_compare.json's grid digest is gated byte-exactly against
+# crates/bench/baselines/ by scripts/bench_gate.sh, so every producer
+# must run the identical shape.
+#
+# Usage: compare.sh [debug|release]   (default release, matching CI)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-release}"
+bindir="target/$profile"
+build_flags=(-p copart-cli)
+if [[ "$profile" == release ]]; then
+    build_flags+=(--release)
+fi
+cargo build "${build_flags[@]}"
+
+cmpdir="$(mktemp -d "${TMPDIR:-/tmp}/copart-compare.XXXXXX")"
+trap 'rm -rf "$cmpdir"' EXIT
+
+# Fixed shape — see the header comment; keep in lockstep with the
+# compare invocation in scripts/bench_gate.sh.
+seconds=6
+seed=42
+
+echo "==> compare: full engine x scenario grid (--jobs 1)"
+BENCH_JSON_DIR="$cmpdir/b1" "$bindir/copart" compare \
+    --seconds "$seconds" --seed "$seed" --jobs 1 \
+    --out "$cmpdir/j1.jsonl" >"$cmpdir/t1.txt"
+
+echo "==> compare: the same grid at --jobs 8"
+BENCH_JSON_DIR="$cmpdir/b8" "$bindir/copart" compare \
+    --seconds "$seconds" --seed "$seed" --jobs 8 \
+    --out "$cmpdir/j8.jsonl" >"$cmpdir/t8.txt"
+
+echo "==> compare: jobs-1 vs jobs-8 byte-identity (JSONL, table, artifact)"
+cmp "$cmpdir/j1.jsonl" "$cmpdir/j8.jsonl" ||
+    { echo "compare: JSONL differs between --jobs 1 and --jobs 8" >&2; exit 1; }
+# The artifact-location line names the (different) output directory;
+# everything else on stdout must match.
+grep -v '^bench artifact written' "$cmpdir/t1.txt" >"$cmpdir/t1-stable.txt"
+grep -v '^bench artifact written' "$cmpdir/t8.txt" >"$cmpdir/t8-stable.txt"
+cmp "$cmpdir/t1-stable.txt" "$cmpdir/t8-stable.txt" ||
+    { echo "compare: stdout table differs between --jobs 1 and --jobs 8" >&2; exit 1; }
+cmp "$cmpdir/b1/BENCH_compare.json" "$cmpdir/b8/BENCH_compare.json" ||
+    { echo "compare: BENCH_compare.json differs between --jobs 1 and --jobs 8" >&2; exit 1; }
+
+echo "==> compare: the grid must cover every engine and every scenario"
+for engine in EQ ST CAT-only MBA-only CoPart Utility LFOC; do
+    grep -q "\"engine\":\"$engine\"" "$cmpdir/j1.jsonl" ||
+        { echo "compare: engine $engine missing from the grid" >&2; exit 1; }
+done
+for scenario in h-both m-llc diurnal-lc flash-crowd-lc bully; do
+    grep -q "\"scenario\":\"$scenario\"" "$cmpdir/j1.jsonl" ||
+        { echo "compare: scenario $scenario missing from the grid" >&2; exit 1; }
+done
+cells=$(wc -l <"$cmpdir/j1.jsonl")
+[ "$cells" -eq 35 ] ||
+    { echo "compare: expected 35 grid cells, got $cells" >&2; exit 1; }
+
+echo "==> compare: LFOC clustering under fault injection"
+"$bindir/copart" sim-run --mix m-both --policy lfoc --seconds 30 \
+    --faults seed=7,write=0.1,dropout=0.05 \
+    --trace-out "$cmpdir/lfoc-faults.jsonl" --metrics >"$cmpdir/lfoc.txt"
+"$bindir/copart" trace-check --path "$cmpdir/lfoc-faults.jsonl" --min-events 10
+grep -Eq '^gauge +clusters = [1-9]' "$cmpdir/lfoc.txt" ||
+    { echo "compare: lfoc run reports no cluster gauge — planner never engaged" >&2; exit 1; }
+grep -Eq '^counter cluster_replans = [1-9]' "$cmpdir/lfoc.txt" ||
+    { echo "compare: lfoc run performed no cluster replans under faults" >&2; exit 1; }
+
+echo "compare: all gates passed"

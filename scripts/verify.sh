@@ -23,7 +23,10 @@
 #                     (scripts/fleet.sh under REPRO_FAST: multi-node
 #                     churn with per-node faults, byte-identical at
 #                     --jobs 1 vs 8, with at least one state-preserving
-#                     migration), and the perf gate
+#                     migration), the compare gate (scripts/compare.sh:
+#                     the engine x scenario fairness grid byte-identical
+#                     at --jobs 1 vs 8, with the LFOC clustering engine
+#                     surviving fault injection), and the perf gate
 #                     (scripts/bench_gate.sh), which runs the artifact
 #                     benches and diffs their BENCH_*.json against the
 #                     checked-in baselines; the latter also holds the
@@ -90,6 +93,9 @@ full)
 
     echo "==> fleet gate (multi-node determinism, REPRO_FAST)"
     REPRO_FAST=1 scripts/fleet.sh release
+
+    echo "==> compare gate (engine x scenario grid determinism)"
+    scripts/compare.sh release
 
     echo "==> perf gate (BENCH_*.json vs crates/bench/baselines)"
     scripts/bench_gate.sh

@@ -124,6 +124,7 @@ fn controller_converges_to_idle_and_masks_partition_the_budget() {
         budget: WaysBudget::full_machine(cfg.llc_ways),
         stream: stream().clone(),
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
     rt.profile().unwrap();
@@ -174,6 +175,7 @@ fn full_runs_are_reproducible() {
             budget: WaysBudget::full_machine(cfg.llc_ways),
             stream: stream().clone(),
             resilience: Default::default(),
+            planner: Default::default(),
         };
         let mut rt = ConsolidationRuntime::new(backend, groups, rcfg).unwrap();
         rt.profile().unwrap();

@@ -44,6 +44,7 @@ fn runtime_cfg() -> RuntimeConfig {
         budget: WaysBudget::full_machine(11),
         stream: stream().clone(),
         resilience: Default::default(),
+        planner: Default::default(),
     }
 }
 

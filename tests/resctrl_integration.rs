@@ -162,6 +162,7 @@ fn full_control_loop_over_the_filesystem() {
         budget: WaysBudget::full_machine(11),
         stream,
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let mut rt = ConsolidationRuntime::new(
         backend,

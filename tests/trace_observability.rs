@@ -38,6 +38,7 @@ fn traced_run() -> (Vec<TraceEvent>, usize) {
         budget: WaysBudget::full_machine(cfg.llc_ways),
         stream,
         resilience: Default::default(),
+        planner: Default::default(),
     };
     let path =
         std::env::temp_dir().join(format!("copart-observability-{}.jsonl", std::process::id()));
